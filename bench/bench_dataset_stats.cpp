@@ -1,0 +1,68 @@
+// Regenerates the §V-D dataset summary: row/column counts, per-system and
+// per-scale composition, target distribution.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Dataset", "MP-HPC dataset statistics (paper SS V-D)");
+
+  Timer timer;
+  const core::Dataset ds = bench::build_standard_dataset();
+  const double build_s = timer.seconds();
+
+  std::printf("rows: %zu (paper: 11,312; see DESIGN.md on the -32 delta)\n",
+              ds.num_rows());
+  std::printf("feature columns: %zu (paper: 21)\n",
+              core::FeaturePipeline::kNumFeatures);
+  std::printf("build time: %.2f s\n\n", build_s);
+
+  // Composition per source system and scale.
+  TablePrinter comp({"system", "1core", "1node", "2node", "total"});
+  const auto& systems = ds.systems();
+  const auto& scales = ds.scales();
+  JsonWriter json;
+  json.begin_object()
+      .field("experiment", "dataset_stats")
+      .field("rows", ds.num_rows())
+      .field("build_seconds", build_s)
+      .begin_array("per_system");
+  for (const arch::SystemId id : arch::kAllSystems) {
+    const std::string name(arch::to_string(id));
+    std::size_t counts[3] = {0, 0, 0};
+    for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+      if (systems[r] != name) continue;
+      if (scales[r] == "1core") ++counts[0];
+      else if (scales[r] == "1node") ++counts[1];
+      else ++counts[2];
+    }
+    comp.add_row({name, std::to_string(counts[0]), std::to_string(counts[1]),
+                  std::to_string(counts[2]),
+                  std::to_string(counts[0] + counts[1] + counts[2])});
+    json.begin_object()
+        .field("system", name)
+        .field("rows", counts[0] + counts[1] + counts[2])
+        .end_object();
+  }
+  comp.print();
+
+  // Target (RPV entry) distribution.
+  const auto y = ds.targets();
+  std::vector<double> values(y.flat().begin(), y.flat().end());
+  std::sort(values.begin(), values.end());
+  const auto quantile = [&](double p) {
+    return values[static_cast<std::size_t>(p * (values.size() - 1))];
+  };
+  std::printf("\nRPV entry distribution: min=%.3f p10=%.3f median=%.3f "
+              "p90=%.3f p99=%.3f max=%.2f\n",
+              quantile(0.0), quantile(0.10), quantile(0.50), quantile(0.90),
+              quantile(0.99), quantile(1.0));
+  json.end_array()
+      .field("rpv_median", quantile(0.50))
+      .field("rpv_p99", quantile(0.99))
+      .field("rpv_max", quantile(1.0))
+      .end_object();
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Regenerates paper Figure 2: MAE (left) and SOS (right) of each ML model
+// on the held-out test set, with the paper's 90/10 split protocol.
+// Pass --cv to also run the 5-fold cross-validation on the training data.
+#include <cstring>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mphpc;
+  bench::print_header("Figure 2", "MAE and SOS per ML model (90/10 split)");
+
+  bool run_cv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cv") == 0) run_cv = true;
+  }
+
+  const core::Dataset ds = bench::build_standard_dataset();
+  const auto x = ds.features();
+  const auto y = ds.targets();
+  std::printf("dataset: %zu rows\n\n", ds.num_rows());
+
+  core::ComparisonOptions options;
+  options.run_cv = run_cv;
+  Timer timer;
+  const auto results = core::compare_models(x, y, core::kAllModelKinds, options,
+                                            &ThreadPool::shared());
+  const double elapsed = timer.seconds();
+
+  // Paper-reported reference points (read off Fig. 2).
+  const double paper_mae[] = {0.60, 0.40, 0.14, 0.11};
+  const double paper_sos[] = {0.52, 0.30, 0.82, 0.86};
+
+  TablePrinter table({"model", "MAE", "paper MAE", "SOS", "paper SOS", "RMSE",
+                      "R^2", run_cv ? "CV MAE" : ""});
+  JsonWriter json;
+  json.begin_object().field("experiment", "fig2").begin_array("models");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({std::string(core::to_string(r.kind)),
+                   format_fixed(r.test.mae, 4), format_fixed(paper_mae[i], 2),
+                   format_fixed(r.test.sos, 4), format_fixed(paper_sos[i], 2),
+                   format_fixed(r.test.rmse, 4), format_fixed(r.test.r2, 4),
+                   r.cv_mae ? format_fixed(*r.cv_mae, 4) : ""});
+    json.begin_object()
+        .field("model", core::to_string(r.kind))
+        .field("mae", r.test.mae)
+        .field("sos", r.test.sos)
+        .field("rmse", r.test.rmse)
+        .field("r2", r.test.r2)
+        .end_object();
+  }
+  json.end_array().field("seconds", elapsed).end_object();
+  table.print();
+
+  const double improvement = 1.0 - results[3].test.mae / results[0].test.mae;
+  std::printf("\nXGBoost improves on the mean baseline by %.1f%% MAE "
+              "(paper: 81.6%%)\n", 100.0 * improvement);
+  std::printf("elapsed: %.1f s\n", elapsed);
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Regenerates paper Figure 3: MAE (left) and SOS (right) heatmaps for each
+// ML model when trained/evaluated only on counters collected on one source
+// architecture. The paper's finding: CPU-sourced counters (Quartz, Ruby)
+// predict better than GPU-sourced ones (Lassen, Corona).
+#include "bench_common.hpp"
+
+#include "data/split.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Figure 3",
+                      "MAE / SOS per (model x source architecture)");
+
+  const core::Dataset ds = bench::build_standard_dataset();
+  const auto x = ds.features();
+  const auto y = ds.targets();
+  const auto& systems = ds.systems();
+
+  // Per source architecture: 90/10 split within its rows.
+  struct Cell {
+    double mae = 0.0;
+    double sos = 0.0;
+  };
+  Cell cells[4][arch::kNumSystems];  // [model][source]
+
+  Timer timer;
+  for (std::size_t s = 0; s < arch::kNumSystems; ++s) {
+    const std::string source(arch::to_string(static_cast<arch::SystemId>(s)));
+    const auto rows = data::rows_where(systems, source);
+    const auto pos_split = data::train_test_split(rows.size(), 0.10, 42);
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+    for (const auto p : pos_split.train) train.push_back(rows[p]);
+    for (const auto p : pos_split.test) test.push_back(rows[p]);
+    const auto x_train = x.select_rows(train);
+    const auto y_train = y.select_rows(train);
+    const auto x_test = x.select_rows(test);
+    const auto y_test = y.select_rows(test);
+
+    for (std::size_t m = 0; m < core::kAllModelKinds.size(); ++m) {
+      std::unique_ptr<ml::Regressor> model;
+      if (core::kAllModelKinds[m] == core::ModelKind::kXgboost) {
+        model = std::make_unique<ml::GbtRegressor>(bench::ablation_gbt_options());
+      } else {
+        model = core::make_model(core::kAllModelKinds[m]);
+      }
+      model->fit(x_train, y_train, &ThreadPool::shared());
+      const auto metrics = core::evaluate(y_test, model->predict(x_test));
+      cells[m][s] = {metrics.mae, metrics.sos};
+    }
+  }
+
+  const auto print_heatmap = [&](const char* metric, auto getter) {
+    std::printf("\n%s:\n", metric);
+    TablePrinter table({"model", "quartz", "ruby", "lassen", "corona"});
+    for (std::size_t m = 0; m < core::kAllModelKinds.size(); ++m) {
+      std::vector<double> row;
+      for (std::size_t s = 0; s < arch::kNumSystems; ++s) {
+        row.push_back(getter(cells[m][s]));
+      }
+      table.add_row_numeric(std::string(core::to_string(core::kAllModelKinds[m])),
+                            row, 4);
+    }
+    table.print();
+  };
+  print_heatmap("MAE (lower is better)", [](const Cell& c) { return c.mae; });
+  print_heatmap("SOS (higher is better)", [](const Cell& c) { return c.sos; });
+
+  // Paper's headline comparison: CPU sources vs GPU sources for XGBoost.
+  const double cpu_mae = 0.5 * (cells[3][0].mae + cells[3][1].mae);
+  const double gpu_mae = 0.5 * (cells[3][2].mae + cells[3][3].mae);
+  std::printf("\nXGBoost mean MAE from CPU sources: %.4f, from GPU sources: %.4f\n",
+              cpu_mae, gpu_mae);
+  std::printf("(paper: CPU-sourced counters predict better — ratio here %.2f)\n",
+              gpu_mae / cpu_mae);
+
+  JsonWriter json;
+  json.begin_object().field("experiment", "fig3").begin_array("cells");
+  for (std::size_t m = 0; m < core::kAllModelKinds.size(); ++m) {
+    for (std::size_t s = 0; s < arch::kNumSystems; ++s) {
+      json.begin_object()
+          .field("model", core::to_string(core::kAllModelKinds[m]))
+          .field("source", arch::to_string(static_cast<arch::SystemId>(s)))
+          .field("mae", cells[m][s].mae)
+          .field("sos", cells[m][s].sos)
+          .end_object();
+    }
+  }
+  json.end_array().field("seconds", timer.seconds()).end_object();
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates paper Figure 4: XGBoost trained on two of the three resource
+// scales (1 core, 1 node, 2 nodes) and evaluated on the held-out third.
+// The paper finds all three evaluate near MAE 0.11, 1-node slightly best.
+#include "bench_common.hpp"
+
+#include "data/split.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Figure 4", "Leave-one-resource-scale-out MAE (XGBoost)");
+
+  const core::Dataset ds = bench::build_standard_dataset();
+  const auto x = ds.features();
+  const auto y = ds.targets();
+  const auto& scales = ds.scales();
+
+  TablePrinter table({"held-out scale", "MAE", "SOS", "train rows", "test rows"});
+  JsonWriter json;
+  json.begin_object().field("experiment", "fig4").begin_array("scales");
+  Timer timer;
+  for (const workload::ScaleClass scale : workload::kAllScaleClasses) {
+    const auto split = data::group_holdout(scales, workload::to_string(scale));
+    ml::GbtRegressor model(bench::ablation_gbt_options());
+    model.fit(x.select_rows(split.train), y.select_rows(split.train),
+              &ThreadPool::shared());
+    const auto y_test = y.select_rows(split.test);
+    const auto pred = model.predict(x.select_rows(split.test));
+    const double mae = ml::mean_absolute_error(y_test, pred);
+    const double sos = ml::same_order_score(y_test, pred);
+    table.add_row({std::string(workload::to_string(scale)), format_fixed(mae, 4),
+                   format_fixed(sos, 4), std::to_string(split.train.size()),
+                   std::to_string(split.test.size())});
+    json.begin_object()
+        .field("scale", workload::to_string(scale))
+        .field("mae", mae)
+        .field("sos", sos)
+        .end_object();
+  }
+  json.end_array().field("seconds", timer.seconds()).end_object();
+  table.print();
+  std::printf("\n(paper: all three near 0.11 MAE, 1-node best; our substrate's one-core\nregime is qualitatively distinct, so extrapolating to held-out small scales\nfails here — see EXPERIMENTS.md F4)\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Regenerates paper Figure 5: XGBoost trained on all applications but one,
+// evaluated on the held-out application. The paper finds the ML/Python
+// workloads (CANDLE, CosmoFlow, miniGAN, DeepCam) hardest to predict.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "data/split.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Figure 5", "Leave-one-application-out MAE (XGBoost)");
+
+  const core::Dataset ds = bench::build_standard_dataset();
+  const workload::AppCatalog apps;
+  const auto x = ds.features();
+  const auto y = ds.targets();
+  const auto& app_col = ds.apps();
+
+  struct Row {
+    std::string app;
+    bool python;
+    double mae;
+    double sos;
+  };
+  std::vector<Row> rows;
+  Timer timer;
+  for (const auto& app : apps.all()) {
+    const auto split = data::group_holdout(app_col, app.name);
+    ml::GbtRegressor model(bench::ablation_gbt_options());
+    model.fit(x.select_rows(split.train), y.select_rows(split.train),
+              &ThreadPool::shared());
+    const auto y_test = y.select_rows(split.test);
+    const auto pred = model.predict(x.select_rows(split.test));
+    rows.push_back({app.name, app.python_stack,
+                    ml::mean_absolute_error(y_test, pred),
+                    ml::same_order_score(y_test, pred)});
+    std::printf("  [%2zu/20] %-14s MAE=%.4f\n", rows.size(), app.name.c_str(),
+                rows.back().mae);
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.mae > b.mae; });
+  std::printf("\n");
+  TablePrinter table({"held-out app", "MAE", "SOS", "ML/Python stack"});
+  JsonWriter json;
+  json.begin_object().field("experiment", "fig5").begin_array("apps");
+  for (const auto& r : rows) {
+    table.add_row({r.app, format_fixed(r.mae, 4), format_fixed(r.sos, 4),
+                   r.python ? "yes" : ""});
+    json.begin_object()
+        .field("app", r.app)
+        .field("mae", r.mae)
+        .field("sos", r.sos)
+        .field("python", r.python)
+        .end_object();
+  }
+  json.end_array().field("seconds", timer.seconds()).end_object();
+  table.print();
+
+  // Paper check: the Python/ML apps should cluster at the hard end.
+  double python_mean = 0.0;
+  double native_mean = 0.0;
+  int n_python = 0;
+  for (const auto& r : rows) {
+    if (r.python) {
+      python_mean += r.mae;
+      ++n_python;
+    } else {
+      native_mean += r.mae;
+    }
+  }
+  python_mean /= n_python;
+  native_mean /= static_cast<double>(rows.size() - n_python);
+  std::printf("\nmean held-out MAE: ML/Python apps %.4f vs native apps %.4f "
+              "(paper: ML apps notably worse)\n", python_mean, native_mean);
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Infrastructure micro-benchmarks (google-benchmark): simulator run rate,
+// dataset assembly, model fit/predict throughput, scheduler event rate.
+#include <benchmark/benchmark.h>
+
+#include "arch/system_catalog.hpp"
+#include "common/rng.hpp"
+#include "core/dataset.hpp"
+#include "core/predictor.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+#include "sched/easy_scheduler.hpp"
+#include "sched/workload_gen.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace {
+
+using namespace mphpc;
+
+const workload::AppCatalog& apps() {
+  static const workload::AppCatalog catalog;
+  return catalog;
+}
+
+const arch::SystemCatalog& systems() {
+  static const arch::SystemCatalog catalog;
+  return catalog;
+}
+
+// One simulated profile (analytic model + counter synthesis).
+void BM_ProfileOneRun(benchmark::State& state) {
+  const sim::Profiler profiler(1);
+  const auto& app = apps().get("CoMD");
+  const auto inputs = workload::make_inputs(app, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.profile(
+        app, inputs[0], workload::ScaleClass::kOneNode, systems().get("lassen")));
+  }
+}
+BENCHMARK(BM_ProfileOneRun);
+
+// Full campaign sweep at a reduced size, per-run rate reported.
+void BM_Campaign(benchmark::State& state) {
+  sim::CampaignOptions options;
+  options.inputs_per_app = static_cast<int>(state.range(0));
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    const auto profiles = sim::run_campaign(apps(), systems(), options);
+    runs += profiles.size();
+    benchmark::DoNotOptimize(profiles.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+}
+BENCHMARK(BM_Campaign)->Arg(2)->Arg(8);
+
+// Dataset assembly from a fixed campaign.
+void BM_BuildDataset(benchmark::State& state) {
+  sim::CampaignOptions options;
+  options.inputs_per_app = 8;
+  const auto profiles = sim::run_campaign(apps(), systems(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_dataset(profiles).num_rows());
+  }
+}
+BENCHMARK(BM_BuildDataset);
+
+struct FitFixture {
+  ml::Matrix x;
+  ml::Matrix y;
+
+  static const FitFixture& get() {
+    static const FitFixture f = [] {
+      sim::CampaignOptions options;
+      options.inputs_per_app = 6;
+      const auto ds = core::build_dataset(run_campaign(apps(), systems(), options));
+      return FitFixture{ds.features(), ds.targets()};
+    }();
+    return f;
+  }
+};
+
+void BM_GbtFit(benchmark::State& state) {
+  const auto& f = FitFixture::get();
+  ml::GbtOptions options;
+  options.n_rounds = static_cast<int>(state.range(0));
+  options.max_depth = 6;
+  for (auto _ : state) {
+    ml::GbtRegressor model(options);
+    model.fit(f.x, f.y);
+    benchmark::DoNotOptimize(model.fitted());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_GbtFit)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_GbtPredict(benchmark::State& state) {
+  const auto& f = FitFixture::get();
+  ml::GbtOptions options;
+  options.n_rounds = 50;
+  options.max_depth = 6;
+  ml::GbtRegressor model(options);
+  model.fit(f.x, f.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(f.x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(f.x.rows()));
+}
+BENCHMARK(BM_GbtPredict)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto& f = FitFixture::get();
+  ml::ForestOptions options;
+  options.n_trees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest model(options);
+    model.fit(f.x, f.y);
+    benchmark::DoNotOptimize(model.fitted());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerSimulate(benchmark::State& state) {
+  sim::CampaignOptions options;
+  options.inputs_per_app = 4;
+  const auto ds = core::build_dataset(run_campaign(apps(), systems(), options));
+  core::CrossArchPredictor::Options popt;
+  popt.gbt.n_rounds = 30;
+  popt.gbt.max_depth = 4;
+  core::CrossArchPredictor predictor(popt);
+  predictor.train(ds);
+  const auto predictions = predictor.predict(ds.features());
+  const auto jobs = sched::sample_jobs(ds, predictions, apps(),
+                                       static_cast<std::size_t>(state.range(0)), 3);
+  const auto machines = sched::default_cluster(systems());
+  for (auto _ : state) {
+    sched::ModelBasedAssigner assigner;
+    benchmark::DoNotOptimize(sched::simulate(jobs, machines, assigner).makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerSimulate)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Regenerates paper Table I: the four systems and their configurations.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Table I", "Systems used for data collection");
+
+  const arch::SystemCatalog catalog;
+  TablePrinter table({"System", "CPU Type", "CPU cores/node", "CPU Clock (GHz)",
+                      "GPU Type", "GPUs/node", "Nodes"});
+  JsonWriter json;
+  json.begin_object().field("experiment", "table1").begin_array("systems");
+  for (const auto& sys : catalog.all()) {
+    table.add_row({std::string(arch::to_string(sys.id)), sys.cpu.model,
+                   std::to_string(sys.cpu.cores_per_node),
+                   format_fixed(sys.cpu.clock_ghz, 1),
+                   sys.gpu ? sys.gpu->model : "-",
+                   sys.gpu ? std::to_string(sys.gpu->per_node) : "-",
+                   std::to_string(sys.nodes)});
+    json.begin_object()
+        .field("name", arch::to_string(sys.id))
+        .field("cpu", sys.cpu.model)
+        .field("cores", sys.cpu.cores_per_node)
+        .field("clock_ghz", sys.cpu.clock_ghz)
+        .field("gpu", sys.gpu ? sys.gpu->model : "-")
+        .field("gpus_per_node", sys.gpu ? sys.gpu->per_node : 0)
+        .field("nodes", sys.nodes)
+        .end_object();
+  }
+  json.end_array().end_object();
+  table.print();
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Regenerates paper Table II: the application suite with GPU support.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mphpc;
+  bench::print_header("Table II", "Applications in the MP-HPC dataset");
+
+  const workload::AppCatalog catalog;
+  TablePrinter table({"Application", "Description", "GPU"});
+  JsonWriter json;
+  json.begin_object().field("experiment", "table2").begin_array("applications");
+  int gpu_count = 0;
+  for (const auto& app : catalog.all()) {
+    table.add_row({app.name, app.description, app.gpu_support ? "yes" : "no"});
+    json.begin_object()
+        .field("name", app.name)
+        .field("gpu", app.gpu_support)
+        .field("python_stack", app.python_stack)
+        .end_object();
+    gpu_count += app.gpu_support ? 1 : 0;
+  }
+  json.end_array().field("total", catalog.size()).field("gpu_capable", gpu_count);
+  json.end_object();
+  table.print();
+  std::printf("\n%zu applications, %d with GPU support (paper: 20 / 11)\n",
+              catalog.size(), gpu_count);
+  bench::print_json_line(json);
+  return 0;
+}

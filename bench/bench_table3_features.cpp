@@ -1,0 +1,63 @@
+// Regenerates paper Table III: the derived features and, per system, the
+// architecture-native source counters they are computed from.
+#include "bench_common.hpp"
+
+#include "arch/counter_names.hpp"
+#include "core/feature_pipeline.hpp"
+
+int main() {
+  using namespace mphpc;
+  using arch::CounterKind;
+  using arch::Device;
+  bench::print_header("Table III", "Derived features and per-system source counters");
+
+  // The eight semantic kinds that feed the first fourteen features, in the
+  // feature order of §V-D.
+  struct FeatureSource {
+    const char* feature;
+    CounterKind kind;
+    bool ratio;  // ratio-of-total-instructions vs standardized magnitude
+  };
+  const FeatureSource sources[] = {
+      {"branch_intensity", CounterKind::kBranchInstructions, true},
+      {"store_intensity", CounterKind::kStoreInstructions, true},
+      {"load_intensity", CounterKind::kLoadInstructions, true},
+      {"sp_fp_intensity", CounterKind::kSpFpInstructions, true},
+      {"dp_fp_intensity", CounterKind::kDpFpInstructions, true},
+      {"arith_intensity", CounterKind::kIntArithInstructions, true},
+      {"l1_load_misses", CounterKind::kL1LoadMisses, false},
+      {"l1_store_misses", CounterKind::kL1StoreMisses, false},
+      {"l2_load_misses", CounterKind::kL2LoadMisses, false},
+      {"l2_store_misses", CounterKind::kL2StoreMisses, false},
+      {"io_bytes_written", CounterKind::kIoBytesWritten, false},
+      {"io_bytes_read", CounterKind::kIoBytesRead, false},
+      {"page_table_size", CounterKind::kPageTableSize, false},
+      {"mem_stalls", CounterKind::kMemStallCycles, false},
+  };
+
+  TablePrinter table({"Feature", "Transform", "Quartz (CPU)", "Ruby (CPU)",
+                      "Lassen (GPU)", "Corona (GPU)"});
+  JsonWriter json;
+  json.begin_object().field("experiment", "table3").begin_array("features");
+  for (const auto& s : sources) {
+    table.add_row(
+        {s.feature, s.ratio ? "ratio of total insts" : "z-score",
+         std::string(counter_source_name(arch::SystemId::kQuartz, Device::kCpu, s.kind)),
+         std::string(counter_source_name(arch::SystemId::kRuby, Device::kCpu, s.kind)),
+         std::string(counter_source_name(arch::SystemId::kLassen, Device::kGpu, s.kind)),
+         std::string(counter_source_name(arch::SystemId::kCorona, Device::kGpu, s.kind))});
+    json.begin_object().field("feature", s.feature).end_object();
+  }
+  for (const char* meta : {"nodes", "cores", "uses_gpu", "arch_quartz", "arch_ruby",
+                           "arch_lassen", "arch_corona"}) {
+    table.add_row({meta, "run configuration", "-", "-", "-", "-"});
+    json.begin_object().field("feature", meta).end_object();
+  }
+  json.end_array().field("num_features", core::FeaturePipeline::kNumFeatures);
+  json.end_object();
+  table.print();
+  std::printf("\n%zu final feature columns (paper: 21)\n",
+              core::FeaturePipeline::kNumFeatures);
+  bench::print_json_line(json);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: build the MP-HPC dataset, train the cross-architecture
+// predictor, evaluate it on held-out runs, and predict the RPV of a new
+// profile.
+//
+//   ./quickstart [inputs_per_app]
+//
+// With the default 47 inputs per application the dataset has
+// 20 apps x 47 inputs x 3 scales x 4 systems = 11,280 rows (paper: 11,312).
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/system_catalog.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/dataset.hpp"
+#include "core/model_selection.hpp"
+#include "core/predictor.hpp"
+#include "data/split.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mphpc;
+
+  sim::CampaignOptions campaign;
+  if (argc > 1) campaign.inputs_per_app = std::atoi(argv[1]);
+
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  ThreadPool& pool = ThreadPool::shared();
+
+  // 1. Data collection: profile every (app, input) on all four systems at
+  //    three resource scales.
+  Timer timer;
+  const auto profiles = sim::run_campaign(apps, systems, campaign, &pool);
+  std::printf("collected %zu profiles in %.1f s\n", profiles.size(), timer.seconds());
+
+  // 2. Dataset assembly: derived features + RPV targets.
+  timer.reset();
+  const core::Dataset dataset = core::build_dataset(profiles);
+  std::printf("dataset: %zu rows x %zu feature columns (%.1f s)\n",
+              dataset.num_rows(), core::FeaturePipeline::kNumFeatures,
+              timer.seconds());
+
+  // 3. Train the predictor on a 90/10 split.
+  const auto split = data::train_test_split(dataset.num_rows(), 0.10, 42);
+  timer.reset();
+  core::CrossArchPredictor predictor;
+  predictor.train(dataset, split.train, &pool);
+  std::printf("trained XGBoost-style model on %zu rows (%.1f s)\n",
+              split.train.size(), timer.seconds());
+
+  // 4. Evaluate on the held-out 10%.
+  const ml::Matrix x_test = dataset.features(split.test);
+  const ml::Matrix y_test = dataset.targets(split.test);
+  const auto metrics = core::evaluate(y_test, predictor.predict(x_test));
+  std::printf("test MAE  = %.4f   (paper: 0.11)\n", metrics.mae);
+  std::printf("test SOS  = %.4f   (paper: 0.86)\n", metrics.sos);
+  std::printf("test RMSE = %.4f, R^2 = %.4f\n", metrics.rmse, metrics.r2);
+
+  // 5. Predict the RPV of a freshly profiled run from one architecture.
+  const sim::Profiler profiler(999);
+  const auto& app = apps.get("CoMD");
+  const auto inputs = workload::make_inputs(app, 1, 999);
+  const sim::RunProfile fresh = profiler.profile(
+      app, inputs[0], workload::ScaleClass::kOneNode, systems.get("quartz"));
+  const core::Rpv rpv = predictor.predict(fresh);
+  std::printf("\nCoMD one-node run profiled on quartz -> predicted RPV:\n");
+  for (const arch::SystemId id : arch::kAllSystems) {
+    std::printf("  %-7s time ratio %.3f (speedup vs quartz: %.2fx)\n",
+                std::string(arch::to_string(id)).c_str(), rpv.time_ratio(id),
+                rpv.speedup(id));
+  }
+  std::printf("predicted fastest system: %s\n",
+              std::string(arch::to_string(rpv.fastest())).c_str());
+  return 0;
+}

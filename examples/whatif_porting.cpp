@@ -1,0 +1,72 @@
+// Example: the "what-if porting" use case from paper §VIII-B — estimate
+// the speedup an application would see on an architecture it cannot run on
+// today, from counters collected on a cheap CPU system.
+//
+// Here we profile the CPU-only applications on Quartz (the cheapest, most
+// available system) and ask the model what their relative performance
+// across all four systems would be — e.g., what a Corona (AMD GPU) port
+// might buy, without having access to (or a port for) that machine.
+#include <cstdio>
+
+#include "arch/system_catalog.hpp"
+#include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
+#include "core/dataset.hpp"
+#include "core/predictor.hpp"
+#include "data/split.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+int main() {
+  using namespace mphpc;
+
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  ThreadPool& pool = ThreadPool::shared();
+
+  // Train the predictor once on the standard (reduced-size) dataset.
+  sim::CampaignOptions campaign;
+  campaign.inputs_per_app = 12;
+  const auto dataset =
+      core::build_dataset(sim::run_campaign(apps, systems, campaign, &pool));
+  core::CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 150;
+  options.gbt.max_depth = 6;
+  core::CrossArchPredictor predictor(options);
+  predictor.train(dataset, {}, &pool);
+
+  // Persist + reload, as a deployment would.
+  const std::string model_path = "/tmp/mphpc_whatif_model.txt";
+  predictor.save(model_path);
+  const auto deployed = core::CrossArchPredictor::load(model_path);
+  std::printf("model trained and reloaded from %s\n\n", model_path.c_str());
+
+  const sim::Profiler profiler(4242);
+  TablePrinter table({"application", "time on quartz (s)", "pred. vs ruby",
+                      "pred. vs lassen", "pred. vs corona", "pred. fastest"});
+  for (const auto& app : apps.all()) {
+    if (app.gpu_support) continue;  // "cannot run on the GPU systems today"
+    const auto inputs = workload::make_inputs(app, 1, 4242);
+    const auto profile = profiler.profile(app, inputs[0],
+                                          workload::ScaleClass::kOneNode,
+                                          systems.get("quartz"));
+    const core::Rpv rpv = deployed.predict(profile);
+    char time_s[32];
+    std::snprintf(time_s, sizeof time_s, "%.1f", profile.time_s);
+    const auto speedup_cell = [&](arch::SystemId id) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2fx", rpv.speedup(id));
+      return std::string(buf);
+    };
+    table.add_row({app.name, time_s, speedup_cell(arch::SystemId::kRuby),
+                   speedup_cell(arch::SystemId::kLassen),
+                   speedup_cell(arch::SystemId::kCorona),
+                   std::string(arch::to_string(rpv.fastest()))});
+  }
+  table.print();
+
+  std::printf("\nspeedups are the model's predicted relative performance "
+              "(reciprocal time ratios)\nfrom quartz-side counters only — no "
+              "run on the target systems required.\n");
+  return 0;
+}

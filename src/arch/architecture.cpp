@@ -1,0 +1,25 @@
+#include "arch/architecture.hpp"
+
+#include "common/strings.hpp"
+
+namespace mphpc::arch {
+
+std::string_view to_string(SystemId id) noexcept {
+  switch (id) {
+    case SystemId::kQuartz: return "quartz";
+    case SystemId::kRuby: return "ruby";
+    case SystemId::kLassen: return "lassen";
+    case SystemId::kCorona: return "corona";
+  }
+  return "unknown";
+}
+
+std::optional<SystemId> parse_system(std::string_view name) noexcept {
+  const std::string lower = to_lower(name);
+  for (const SystemId id : kAllSystems) {
+    if (lower == to_string(id)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mphpc::arch

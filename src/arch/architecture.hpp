@@ -1,0 +1,99 @@
+// Architecture descriptions for the four systems in Table I of the paper.
+//
+// The real study ran on physical LLNL clusters; here each system is an
+// analytic machine model: enough micro-architectural parameters for the
+// simulator (src/sim) to produce execution times and hardware counters with
+// the qualitative structure the paper's ML model learns from (CPU vs GPU
+// suitability, cache capacity effects, bandwidth limits, scaling).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mphpc::arch {
+
+/// The four systems of the study, in the paper's one-hot encoding order.
+enum class SystemId : std::uint8_t { kQuartz = 0, kRuby = 1, kLassen = 2, kCorona = 3 };
+
+inline constexpr std::size_t kNumSystems = 4;
+
+inline constexpr std::array<SystemId, kNumSystems> kAllSystems = {
+    SystemId::kQuartz, SystemId::kRuby, SystemId::kLassen, SystemId::kCorona};
+
+/// Stable lowercase identifier ("quartz", "ruby", "lassen", "corona").
+[[nodiscard]] std::string_view to_string(SystemId id) noexcept;
+
+/// Parses a system name (case-insensitive); returns nullopt if unknown.
+[[nodiscard]] std::optional<SystemId> parse_system(std::string_view name) noexcept;
+
+/// CPU micro-parameters of one node.
+struct CpuSpec {
+  std::string model;           ///< marketing name, e.g. "Intel Xeon E5-2695 v4"
+  int cores_per_node = 0;      ///< physical cores per node
+  double clock_ghz = 0.0;      ///< nominal clock
+  double flops_per_cycle = 0;  ///< peak double-precision flops/cycle/core (FMA+SIMD)
+  double sp_throughput_ratio = 2.0;  ///< single- vs double-precision throughput ratio
+  double l1_kib = 32.0;        ///< L1 data cache per core
+  double l2_kib = 256.0;       ///< L2 cache per core
+  double l3_mib = 0.0;         ///< last-level cache per node (shared)
+  double mem_bw_gbs = 0.0;     ///< node DRAM bandwidth, GB/s
+  double mem_latency_ns = 90;  ///< DRAM access latency
+  double ipc_scale = 1.0;      ///< relative scalar issue throughput vs baseline
+  double branch_miss_penalty_cycles = 15.0;  ///< pipeline refill cost
+  double branch_predictor_accuracy = 0.95;   ///< baseline prediction rate
+
+  /// Peak node double-precision GFLOP/s.
+  [[nodiscard]] double peak_dp_gflops() const noexcept {
+    return cores_per_node * clock_ghz * flops_per_cycle;
+  }
+};
+
+/// GPU micro-parameters of one device.
+struct GpuSpec {
+  std::string model;            ///< e.g. "NVIDIA V100"
+  int per_node = 0;             ///< devices per node
+  double peak_sp_tflops = 0.0;  ///< single-precision peak per device
+  double peak_dp_tflops = 0.0;  ///< double-precision peak per device
+  double mem_bw_gbs = 0.0;      ///< HBM bandwidth per device, GB/s
+  double mem_gib = 16.0;        ///< device memory capacity
+  double l2_mib = 6.0;          ///< device L2 cache
+  double kernel_launch_us = 8;  ///< per-kernel launch overhead
+  double divergence_penalty = 6.0;  ///< slowdown factor at full branch divergence
+  double pcie_bw_gbs = 16.0;    ///< host<->device transfer bandwidth
+  /// Fraction of peak the software stack realistically sustains (compiler,
+  /// libraries, runtime maturity).
+  double software_efficiency = 1.0;
+};
+
+/// Inter-node network characteristics.
+struct NetworkSpec {
+  double latency_us = 1.5;   ///< small-message latency
+  double bw_gbs = 12.5;      ///< per-node injection bandwidth
+};
+
+/// One system: the unit the scheduler assigns jobs to and the simulator
+/// executes runs on.
+struct ArchitectureSpec {
+  SystemId id = SystemId::kQuartz;
+  std::string name;           ///< lowercase identifier, matches to_string(id)
+  CpuSpec cpu;
+  std::optional<GpuSpec> gpu;  ///< engaged only on GPU systems
+  NetworkSpec network;
+  int nodes = 0;               ///< cluster size, used by the scheduler
+  double io_bw_gbs = 10.0;     ///< parallel filesystem bandwidth per node
+  double os_noise_sigma = 0.02;  ///< log-space run-to-run noise floor
+
+  [[nodiscard]] bool has_gpu() const noexcept { return gpu.has_value(); }
+
+  /// Peak node-level double-precision GFLOP/s including GPUs.
+  [[nodiscard]] double peak_node_dp_gflops() const noexcept {
+    double peak = cpu.peak_dp_gflops();
+    if (gpu) peak += gpu->per_node * gpu->peak_dp_tflops * 1e3;
+    return peak;
+  }
+};
+
+}  // namespace mphpc::arch

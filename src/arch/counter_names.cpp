@@ -1,0 +1,134 @@
+#include "arch/counter_names.hpp"
+
+namespace mphpc::arch {
+
+std::string_view to_string(Device d) noexcept {
+  return d == Device::kCpu ? "cpu" : "gpu";
+}
+
+std::string_view to_string(CounterKind kind) noexcept {
+  switch (kind) {
+    case CounterKind::kTotalInstructions: return "total_instructions";
+    case CounterKind::kBranchInstructions: return "branch_instructions";
+    case CounterKind::kStoreInstructions: return "store_instructions";
+    case CounterKind::kLoadInstructions: return "load_instructions";
+    case CounterKind::kSpFpInstructions: return "sp_fp_instructions";
+    case CounterKind::kDpFpInstructions: return "dp_fp_instructions";
+    case CounterKind::kIntArithInstructions: return "int_arith_instructions";
+    case CounterKind::kL1LoadMisses: return "l1_load_misses";
+    case CounterKind::kL1StoreMisses: return "l1_store_misses";
+    case CounterKind::kL2LoadMisses: return "l2_load_misses";
+    case CounterKind::kL2StoreMisses: return "l2_store_misses";
+    case CounterKind::kIoBytesWritten: return "io_bytes_written";
+    case CounterKind::kIoBytesRead: return "io_bytes_read";
+    case CounterKind::kPageTableSize: return "page_table_size";
+    case CounterKind::kMemStallCycles: return "mem_stall_cycles";
+    case CounterKind::kTotalCycles: return "total_cycles";
+  }
+  return "unknown";
+}
+
+std::optional<CounterKind> parse_counter_kind(std::string_view name) noexcept {
+  for (const CounterKind kind : kAllCounterKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// PAPI preset names used on all four CPUs; the integer-arithmetic event is
+// a native event whose prefix differs per micro-architecture.
+std::string_view cpu_name(SystemId system, CounterKind kind) noexcept {
+  switch (kind) {
+    case CounterKind::kTotalInstructions: return "PAPI_TOT_INS";
+    case CounterKind::kBranchInstructions: return "PAPI_BR_INS";
+    case CounterKind::kStoreInstructions: return "PAPI_SR_INS";
+    case CounterKind::kLoadInstructions: return "PAPI_LD_INS";
+    case CounterKind::kSpFpInstructions: return "PAPI_SP_OPS";
+    case CounterKind::kDpFpInstructions: return "PAPI_DP_OPS";
+    case CounterKind::kIntArithInstructions:
+      switch (system) {
+        case SystemId::kQuartz: return "bdw::ARITH";
+        case SystemId::kRuby: return "clx::ARITH";
+        case SystemId::kLassen: return "pwr9::ARITH";
+        case SystemId::kCorona: return "rome::ARITH";
+      }
+      return "ARITH";
+    case CounterKind::kL1LoadMisses: return "PAPI_L1_LDM";
+    case CounterKind::kL1StoreMisses: return "PAPI_L1_STM";
+    case CounterKind::kL2LoadMisses: return "PAPI_L2_LDM";
+    case CounterKind::kL2StoreMisses: return "PAPI_L2_STM";
+    case CounterKind::kIoBytesWritten: return "io::bytes_written";
+    case CounterKind::kIoBytesRead: return "io::bytes_read";
+    case CounterKind::kPageTableSize: return "ept::size";
+    case CounterKind::kMemStallCycles: return "PAPI_MEM_SCY";
+    case CounterKind::kTotalCycles: return "PAPI_TOT_CYC";
+  }
+  return "-";
+}
+
+// CUPTI metric names on Lassen's V100s.
+std::string_view cupti_name(CounterKind kind) noexcept {
+  switch (kind) {
+    case CounterKind::kTotalInstructions: return "inst_executed";
+    case CounterKind::kBranchInstructions: return "cf_executed";
+    case CounterKind::kStoreInstructions:
+      return "inst_executed_local_stores+inst_executed_global_stores";
+    case CounterKind::kLoadInstructions:
+      return "inst_executed_local_loads+inst_executed_global_loads";
+    case CounterKind::kSpFpInstructions: return "flop_count_sp";
+    case CounterKind::kDpFpInstructions: return "flop_count_dp";
+    case CounterKind::kIntArithInstructions: return "inst_integer";
+    case CounterKind::kL1LoadMisses: return "local_load_requests*(1-local_hit_rate)";
+    case CounterKind::kL1StoreMisses: return "local_store_requests*(1-local_hit_rate)";
+    case CounterKind::kL2LoadMisses: return "gld_transactions*(1-gld_efficiency)";
+    case CounterKind::kL2StoreMisses: return "gst_transactions*(1-gst_efficiency)";
+    case CounterKind::kIoBytesWritten: return "io::bytes_written";  // OS-side
+    case CounterKind::kIoBytesRead: return "io::bytes_read";        // OS-side
+    case CounterKind::kPageTableSize: return "-";
+    case CounterKind::kMemStallCycles: return "GINST:STL_ANY";
+    case CounterKind::kTotalCycles: return "elapsed_cycles_sm";
+  }
+  return "-";
+}
+
+// rocprofiler counter names on Corona's MI50s.
+std::string_view rocm_name(CounterKind kind) noexcept {
+  switch (kind) {
+    case CounterKind::kTotalInstructions: return "SQ_INSTS";
+    case CounterKind::kBranchInstructions: return "SQ_INSTS_BRANCH";
+    case CounterKind::kStoreInstructions: return "SQ_INSTS_FLAT+SQ_INSTS_SMEM_STORE";
+    case CounterKind::kLoadInstructions: return "SQ_INSTS_FLAT+SQ_INSTS_SMEM_LOAD";
+    case CounterKind::kSpFpInstructions: return "SQ_INSTS_VALU_ADD_F32";
+    case CounterKind::kDpFpInstructions: return "SQ_INSTS_VALU_ADD_F64";
+    case CounterKind::kIntArithInstructions: return "SQ_INSTS_VALU_INT32";
+    case CounterKind::kL1LoadMisses: return "TCP_TCC_READ_REQ_sum";
+    case CounterKind::kL1StoreMisses: return "TCP_TCC_WRITE_REQ_sum";
+    case CounterKind::kL2LoadMisses: return "TCC_MISS_sum*TCC_EA_RDREQ";
+    case CounterKind::kL2StoreMisses: return "TCC_MISS_sum*TCC_EA_WRREQ";
+    case CounterKind::kIoBytesWritten: return "io::bytes_written";  // OS-side
+    case CounterKind::kIoBytesRead: return "io::bytes_read";        // OS-side
+    case CounterKind::kPageTableSize: return "-";
+    case CounterKind::kMemStallCycles: return "MemUnitStalled";
+    case CounterKind::kTotalCycles: return "GRBM_GUI_ACTIVE";
+  }
+  return "-";
+}
+
+}  // namespace
+
+std::string_view counter_source_name(SystemId system, Device device,
+                                     CounterKind kind) noexcept {
+  if (device == Device::kCpu) return cpu_name(system, kind);
+  switch (system) {
+    case SystemId::kLassen: return cupti_name(kind);
+    case SystemId::kCorona: return rocm_name(kind);
+    case SystemId::kQuartz:
+    case SystemId::kRuby:
+      return "-";  // CPU-only systems have no GPU counters
+  }
+  return "-";
+}
+
+}  // namespace mphpc::arch

@@ -1,0 +1,74 @@
+// Raw hardware counter taxonomy (paper Table III, right-hand side).
+//
+// Counter *names* differ per architecture and measurement stack (PAPI on
+// CPUs, CUPTI on NVIDIA GPUs, rocprofiler on AMD GPUs) while measuring
+// similar underlying quantities. The simulator produces values keyed by
+// the semantic `CounterKind`; this header carries the per-architecture
+// display/source names so profiles, CSV exports, and the Table III bench
+// mirror what the real collection pipeline records.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "arch/architecture.hpp"
+
+namespace mphpc::arch {
+
+/// Which device the counters were collected from.
+enum class Device : std::uint8_t { kCpu = 0, kGpu = 1 };
+
+[[nodiscard]] std::string_view to_string(Device d) noexcept;
+
+/// Semantic counter kinds recorded during every run.
+enum class CounterKind : std::uint8_t {
+  kTotalInstructions = 0,
+  kBranchInstructions,
+  kStoreInstructions,
+  kLoadInstructions,
+  kSpFpInstructions,
+  kDpFpInstructions,
+  kIntArithInstructions,
+  kL1LoadMisses,
+  kL1StoreMisses,
+  kL2LoadMisses,
+  kL2StoreMisses,
+  kIoBytesWritten,
+  kIoBytesRead,
+  kPageTableSize,
+  kMemStallCycles,
+  kTotalCycles,
+};
+
+inline constexpr std::size_t kNumCounterKinds = 16;
+
+inline constexpr std::array<CounterKind, kNumCounterKinds> kAllCounterKinds = {
+    CounterKind::kTotalInstructions, CounterKind::kBranchInstructions,
+    CounterKind::kStoreInstructions, CounterKind::kLoadInstructions,
+    CounterKind::kSpFpInstructions,  CounterKind::kDpFpInstructions,
+    CounterKind::kIntArithInstructions, CounterKind::kL1LoadMisses,
+    CounterKind::kL1StoreMisses,     CounterKind::kL2LoadMisses,
+    CounterKind::kL2StoreMisses,     CounterKind::kIoBytesWritten,
+    CounterKind::kIoBytesRead,       CounterKind::kPageTableSize,
+    CounterKind::kMemStallCycles,    CounterKind::kTotalCycles,
+};
+
+/// Stable snake_case identifier for CSV headers ("branch_instructions", ...).
+[[nodiscard]] std::string_view to_string(CounterKind kind) noexcept;
+
+/// Parses a counter kind identifier; nullopt if unknown.
+[[nodiscard]] std::optional<CounterKind> parse_counter_kind(std::string_view name) noexcept;
+
+/// The architecture-native source counter (or counter expression) that the
+/// real collection stack would read for this semantic kind on this
+/// system/device, mirroring Table III. Example:
+///   counter_source_name(SystemId::kLassen, Device::kGpu,
+///                       CounterKind::kBranchInstructions) == "cf_executed"
+/// Returns "-" when the paper's stack has no equivalent on that device
+/// (e.g. per-GPU I/O counters, which are recorded OS-side instead).
+[[nodiscard]] std::string_view counter_source_name(SystemId system, Device device,
+                                                   CounterKind kind) noexcept;
+
+}  // namespace mphpc::arch

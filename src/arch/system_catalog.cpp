@@ -1,0 +1,146 @@
+#include "arch/system_catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace mphpc::arch {
+
+namespace {
+
+ArchitectureSpec make_quartz() {
+  ArchitectureSpec s;
+  s.id = SystemId::kQuartz;
+  s.name = "quartz";
+  s.cpu.model = "Intel Xeon E5-2695 v4";
+  s.cpu.cores_per_node = 36;
+  s.cpu.clock_ghz = 2.1;
+  s.cpu.flops_per_cycle = 16.0;  // AVX2: 2 FMA ports x 4 doubles x 2 flops
+  s.cpu.sp_throughput_ratio = 2.0;
+  s.cpu.l1_kib = 32.0;
+  s.cpu.l2_kib = 256.0;
+  s.cpu.l3_mib = 90.0;  // 45 MiB per socket, dual socket
+  s.cpu.mem_bw_gbs = 130.0;
+  s.cpu.mem_latency_ns = 95.0;
+  s.cpu.ipc_scale = 1.0;
+  s.cpu.branch_miss_penalty_cycles = 15.0;
+  s.cpu.branch_predictor_accuracy = 0.93;
+  s.network.latency_us = 1.5;
+  s.network.bw_gbs = 12.0;  // Omni-Path 100 Gb/s
+  s.nodes = 3018;
+  s.io_bw_gbs = 10.0;
+  s.os_noise_sigma = 0.013;
+  return s;
+}
+
+ArchitectureSpec make_ruby() {
+  ArchitectureSpec s;
+  s.id = SystemId::kRuby;
+  s.name = "ruby";
+  s.cpu.model = "Intel Xeon CLX-8276";
+  s.cpu.cores_per_node = 56;
+  s.cpu.clock_ghz = 2.2;
+  s.cpu.flops_per_cycle = 32.0;  // AVX-512: 2 FMA ports x 8 doubles x 2 flops
+  s.cpu.sp_throughput_ratio = 2.0;
+  s.cpu.l1_kib = 32.0;
+  s.cpu.l2_kib = 1024.0;
+  s.cpu.l3_mib = 77.0;  // 38.5 MiB per socket, dual socket
+  s.cpu.mem_bw_gbs = 280.0;
+  s.cpu.mem_latency_ns = 90.0;
+  s.cpu.ipc_scale = 1.2;
+  s.cpu.branch_miss_penalty_cycles = 16.0;
+  s.cpu.branch_predictor_accuracy = 0.97;
+  s.network.latency_us = 1.4;
+  s.network.bw_gbs = 12.0;
+  s.nodes = 1512;
+  s.io_bw_gbs = 12.0;
+  s.os_noise_sigma = 0.010;
+  return s;
+}
+
+ArchitectureSpec make_lassen() {
+  ArchitectureSpec s;
+  s.id = SystemId::kLassen;
+  s.name = "lassen";
+  s.cpu.model = "IBM Power9";
+  s.cpu.cores_per_node = 44;
+  s.cpu.clock_ghz = 3.5;
+  s.cpu.flops_per_cycle = 8.0;  // 2 x (2-wide VSX FMA)
+  s.cpu.sp_throughput_ratio = 2.0;
+  s.cpu.l1_kib = 32.0;
+  s.cpu.l2_kib = 512.0;
+  s.cpu.l3_mib = 120.0;
+  s.cpu.mem_bw_gbs = 340.0;
+  s.cpu.mem_latency_ns = 85.0;
+  s.cpu.ipc_scale = 0.85;
+  s.cpu.branch_miss_penalty_cycles = 13.0;
+  s.cpu.branch_predictor_accuracy = 0.92;
+  GpuSpec g;
+  g.model = "NVIDIA V100";
+  g.per_node = 4;
+  g.peak_sp_tflops = 15.7;
+  g.peak_dp_tflops = 7.8;
+  g.mem_bw_gbs = 900.0;
+  g.software_efficiency = 1.0;
+  g.mem_gib = 16.0;
+  g.l2_mib = 6.0;
+  g.kernel_launch_us = 8.0;
+  g.divergence_penalty = 6.0;
+  g.pcie_bw_gbs = 62.5;  // NVLink2 host link
+  s.gpu = g;
+  s.network.latency_us = 1.2;
+  s.network.bw_gbs = 25.0;  // dual-rail EDR InfiniBand
+  s.nodes = 795;
+  s.io_bw_gbs = 15.0;
+  s.os_noise_sigma = 0.015;
+  return s;
+}
+
+ArchitectureSpec make_corona() {
+  ArchitectureSpec s;
+  s.id = SystemId::kCorona;
+  s.name = "corona";
+  s.cpu.model = "AMD Rome";
+  s.cpu.cores_per_node = 48;
+  s.cpu.clock_ghz = 2.8;
+  s.cpu.flops_per_cycle = 16.0;  // AVX2-class: 2 FMA x 4 doubles x 2 flops
+  s.cpu.sp_throughput_ratio = 2.0;
+  s.cpu.l1_kib = 32.0;
+  s.cpu.l2_kib = 512.0;
+  s.cpu.l3_mib = 128.0;  // half the chiplet L3 variants
+  s.cpu.mem_bw_gbs = 205.0;
+  s.cpu.mem_latency_ns = 105.0;
+  s.cpu.ipc_scale = 0.92;  // early Rome, derated clocks under GPU power budget
+  s.cpu.branch_miss_penalty_cycles = 17.0;
+  s.cpu.branch_predictor_accuracy = 0.96;
+  GpuSpec g;
+  g.model = "AMD MI50";
+  g.per_node = 8;
+  g.peak_sp_tflops = 13.3;
+  g.peak_dp_tflops = 6.6;
+  g.mem_bw_gbs = 1024.0;
+  g.mem_gib = 32.0;
+  g.l2_mib = 4.0;
+  g.kernel_launch_us = 12.0;   // HIP launch overhead slightly higher
+  g.divergence_penalty = 7.0;  // wave64 diverges harder than warp32
+  g.pcie_bw_gbs = 32.0;
+  g.software_efficiency = 0.72;  // 2020-era ROCm stack vs mature CUDA
+  s.gpu = g;
+  s.network.latency_us = 1.6;
+  s.network.bw_gbs = 12.0;
+  s.nodes = 121;
+  s.io_bw_gbs = 8.0;
+  s.os_noise_sigma = 0.018;
+  return s;
+}
+
+}  // namespace
+
+SystemCatalog::SystemCatalog()
+    : systems_{make_quartz(), make_ruby(), make_lassen(), make_corona()} {}
+
+const ArchitectureSpec& SystemCatalog::get(std::string_view name) const {
+  const auto id = parse_system(name);
+  if (!id) throw LookupError("unknown system: '" + std::string(name) + "'");
+  return get(*id);
+}
+
+}  // namespace mphpc::arch

@@ -1,0 +1,33 @@
+// The catalog of the four study systems (paper Table I), with
+// micro-architectural parameters filled in from public specifications.
+#pragma once
+
+#include <array>
+
+#include "arch/architecture.hpp"
+
+namespace mphpc::arch {
+
+/// Value-type catalog of the four systems. Copyable; no global state.
+class SystemCatalog {
+ public:
+  /// Builds the default catalog matching Table I.
+  SystemCatalog();
+
+  /// Spec lookup by id (always succeeds — ids are a closed enum).
+  [[nodiscard]] const ArchitectureSpec& get(SystemId id) const noexcept {
+    return systems_[static_cast<std::size_t>(id)];
+  }
+
+  /// Spec lookup by name; throws mphpc::LookupError if unknown.
+  [[nodiscard]] const ArchitectureSpec& get(std::string_view name) const;
+
+  [[nodiscard]] const std::array<ArchitectureSpec, kNumSystems>& all() const noexcept {
+    return systems_;
+  }
+
+ private:
+  std::array<ArchitectureSpec, kNumSystems> systems_;
+};
+
+}  // namespace mphpc::arch

@@ -1,0 +1,94 @@
+// Continuous and discrete distributions on top of mphpc::Rng.
+//
+// We implement these explicitly (rather than using <random> distribution
+// adaptors) because the standard library does not guarantee identical
+// sequences across implementations, and our experiments must be
+// reproducible across toolchains.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc {
+
+/// Standard normal draw (Box–Muller, one value per call; deterministic).
+inline double normal(Rng& rng) noexcept {
+  // Avoid log(0) by nudging u1 away from zero.
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+/// Normal draw with the given mean and standard deviation (sigma >= 0).
+inline double normal(Rng& rng, double mean, double sigma) noexcept {
+  return mean + sigma * normal(rng);
+}
+
+/// Log-normal multiplicative noise factor with median 1 and the given
+/// log-space sigma; used for run-to-run performance variability.
+inline double lognormal_factor(Rng& rng, double log_sigma) noexcept {
+  return std::exp(log_sigma * normal(rng));
+}
+
+/// Exponential draw with the given rate (lambda > 0).
+inline double exponential(Rng& rng, double lambda) {
+  MPHPC_EXPECTS(lambda > 0.0);
+  return -std::log(1.0 - rng.uniform()) / lambda;
+}
+
+/// Draws an index in [0, weights.size()) with probability proportional to
+/// weights[i]. All weights must be >= 0 and their sum > 0.
+inline std::size_t weighted_choice(Rng& rng, std::span<const double> weights) {
+  MPHPC_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    MPHPC_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  MPHPC_EXPECTS(total > 0.0);
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: landed exactly on the total
+}
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(Rng& rng, std::vector<T>& v) noexcept {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    using std::swap;
+    swap(v[i - 1], v[rng.below(i)]);
+  }
+}
+
+/// Returns a random permutation of [0, n).
+inline std::vector<std::size_t> permutation(Rng& rng, std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(rng, idx);
+  return idx;
+}
+
+/// Samples k distinct indices from [0, n) without replacement (k <= n).
+inline std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                           std::size_t k) {
+  MPHPC_EXPECTS(k <= n);
+  // Partial Fisher–Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    using std::swap;
+    swap(idx[i], idx[i + rng.below(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace mphpc

@@ -1,0 +1,150 @@
+#include "common/json_writer.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc {
+
+void JsonWriter::comma() {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma();
+  out_ += '"';
+  write_escaped(key);
+  out_ += "\":";
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MPHPC_EXPECTS(!has_items_.empty());
+  has_items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MPHPC_EXPECTS(!has_items_.empty());
+  has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  out_ += '"';
+  write_escaped(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  out_ += format_double(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, long long value) {
+  key_prefix(key);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, int value) {
+  return field(key, static_cast<long long>(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::size_t value) {
+  return field(key, static_cast<long long>(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  write_escaped(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+}  // namespace mphpc

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer for experiment reports.
+//
+// The bench harness emits both a human-readable table (table_printer) and a
+// machine-readable JSON record per experiment; this writer covers exactly
+// the subset needed (objects, arrays, strings, numbers, booleans) with
+// correct escaping and round-trippable doubles.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mphpc {
+
+class JsonWriter {
+ public:
+  /// Begins a JSON object ({"key": {...}} when inside an object).
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+
+  /// Begins a JSON array.
+  JsonWriter& begin_array();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  /// Writes a key/value member inside an object.
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, long long value);
+  JsonWriter& field(std::string_view key, int value);
+  JsonWriter& field(std::string_view key, std::size_t value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// Writes a bare value inside an array.
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(bool v);
+
+  /// The accumulated JSON text. Valid once all scopes are closed.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void key_prefix(std::string_view key);
+  void write_escaped(std::string_view s);
+
+  std::string out_;
+  std::vector<bool> has_items_;  // per open scope: have we emitted an item yet?
+};
+
+}  // namespace mphpc

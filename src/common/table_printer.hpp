@@ -1,0 +1,35 @@
+// Fixed-width console table rendering for bench/experiment output.
+//
+// Every bench binary prints its figure/table as an aligned text table so
+// the harness output is directly comparable with the paper's artefacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mphpc {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 4);
+
+  /// Renders the table with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mphpc

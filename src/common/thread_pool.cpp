@@ -1,0 +1,118 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace mphpc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc > 0 ? hc : 4;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MPHPC_EXPECTS(task != nullptr);
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_chunks(begin, end,
+                  [&body](std::size_t /*chunk*/, std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) body(i);
+                  });
+}
+
+std::size_t ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (begin >= end) return 0;
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = size() + 1;  // workers + calling thread
+  const std::size_t chunks = std::min(n, max_chunks);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+
+  // Chunk c covers [lo, hi): first `rem` chunks get base+1 items.
+  const auto bounds = [&](std::size_t c) {
+    const std::size_t lo = begin + c * base + std::min(c, rem);
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    return std::pair{lo, lo + len};
+  };
+
+  std::atomic<std::size_t> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    submit([&, c] {
+      const auto [lo, hi] = bounds(c);
+      body(c, lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  // Calling thread takes chunk 0 to avoid idling.
+  const auto [lo0, hi0] = bounds(0);
+  body(0, lo0, hi0);
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  return chunks;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mphpc

@@ -1,0 +1,28 @@
+// Monotonic wall-clock timer for coarse instrumentation in benches.
+#pragma once
+
+#include <chrono>
+
+namespace mphpc {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mphpc

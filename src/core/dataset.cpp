@@ -1,0 +1,152 @@
+#include "core/dataset.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mphpc::core {
+
+std::vector<std::string> Dataset::feature_column_names() {
+  std::vector<std::string> names;
+  names.reserve(FeaturePipeline::kNumFeatures);
+  for (const auto name : FeaturePipeline::feature_names()) names.emplace_back(name);
+  return names;
+}
+
+std::vector<std::string> Dataset::target_column_names() {
+  std::vector<std::string> names;
+  names.reserve(arch::kNumSystems);
+  for (const arch::SystemId id : arch::kAllSystems) {
+    names.push_back("rpv_" + std::string(arch::to_string(id)));
+  }
+  return names;
+}
+
+std::vector<std::string> Dataset::time_column_names() {
+  std::vector<std::string> names;
+  names.reserve(arch::kNumSystems);
+  for (const arch::SystemId id : arch::kAllSystems) {
+    names.push_back("time_" + std::string(arch::to_string(id)));
+  }
+  return names;
+}
+
+namespace {
+
+ml::Matrix extract(const data::Table& table, const std::vector<std::string>& cols,
+                   std::span<const std::size_t> rows) {
+  if (rows.empty()) {
+    return {table.num_rows(), cols.size(), table.to_row_major(cols)};
+  }
+  const data::Table subset = table.select_rows(rows);
+  return {subset.num_rows(), cols.size(), subset.to_row_major(cols)};
+}
+
+}  // namespace
+
+ml::Matrix Dataset::features(std::span<const std::size_t> rows) const {
+  return extract(table_, feature_column_names(), rows);
+}
+
+ml::Matrix Dataset::targets(std::span<const std::size_t> rows) const {
+  return extract(table_, target_column_names(), rows);
+}
+
+double Dataset::time_on(std::size_t row, arch::SystemId system) const {
+  MPHPC_EXPECTS(row < num_rows());
+  return table_.numeric(time_column_names()[static_cast<std::size_t>(system)])[row];
+}
+
+Rpv Dataset::true_rpv(std::size_t row) const {
+  MPHPC_EXPECTS(row < num_rows());
+  SystemTimes times{};
+  const auto names = time_column_names();
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+    times[k] = table_.numeric(names[k])[row];
+  }
+  const auto source = arch::parse_system(systems()[row]);
+  MPHPC_EXPECTS(source.has_value());
+  return Rpv::relative_to(times, *source);
+}
+
+Dataset build_dataset(std::span<const sim::RunProfile> profiles) {
+  MPHPC_EXPECTS(!profiles.empty());
+
+  // Observed times per (app, input) group: [system][scale].
+  struct GroupTimes {
+    double time[arch::kNumSystems][workload::kNumScaleClasses] = {};
+    bool seen[arch::kNumSystems][workload::kNumScaleClasses] = {};
+  };
+  std::map<std::pair<std::string, int>, GroupTimes> groups;
+  for (const auto& p : profiles) {
+    auto& g = groups[{p.app, p.input_index}];
+    const auto s = static_cast<std::size_t>(p.system);
+    const auto c = static_cast<std::size_t>(p.config.scale_class);
+    g.time[s][c] = p.time_s;
+    g.seen[s][c] = true;
+  }
+  for (const auto& [key, g] : groups) {
+    for (std::size_t s = 0; s < arch::kNumSystems; ++s) {
+      for (std::size_t c = 0; c < workload::kNumScaleClasses; ++c) {
+        if (!g.seen[s][c]) {
+          throw ContractViolation("incomplete profile group for app '" + key.first +
+                                  "' input " + std::to_string(key.second));
+        }
+      }
+    }
+  }
+
+  // Raw features for every profile, then fit the standardizers over all
+  // rows (paper §V-D: normalization statistics come from the full corpus).
+  constexpr std::size_t kF = FeaturePipeline::kNumFeatures;
+  std::vector<double> raw(profiles.size() * kF);
+  for (std::size_t r = 0; r < profiles.size(); ++r) {
+    const auto f = FeaturePipeline::raw_features(profiles[r]);
+    std::copy(f.begin(), f.end(), raw.begin() + static_cast<std::ptrdiff_t>(r * kF));
+  }
+  Dataset dataset;
+  dataset.pipeline_.fit(raw, profiles.size());
+
+  // Assemble the table.
+  data::Table& t = dataset.table_;
+  t.add_text_column("app");
+  t.add_numeric_column("input");
+  t.add_text_column("system");
+  t.add_text_column("scale");
+  t.add_numeric_column("time_s");
+  for (const auto& name : Dataset::feature_column_names()) t.add_numeric_column(name);
+  for (const auto& name : Dataset::target_column_names()) t.add_numeric_column(name);
+  for (const auto& name : Dataset::time_column_names()) t.add_numeric_column(name);
+
+  std::vector<double> numbers;
+  std::vector<std::string> strings;
+  for (std::size_t r = 0; r < profiles.size(); ++r) {
+    const auto& p = profiles[r];
+    const auto& g = groups[{p.app, p.input_index}];
+    const auto scale_idx = static_cast<std::size_t>(p.config.scale_class);
+
+    SystemTimes times{};
+    for (std::size_t s = 0; s < arch::kNumSystems; ++s) times[s] = g.time[s][scale_idx];
+    const Rpv rpv = Rpv::relative_to(times, p.system);
+
+    FeaturePipeline::FeatureVector f{};
+    std::copy(raw.begin() + static_cast<std::ptrdiff_t>(r * kF),
+              raw.begin() + static_cast<std::ptrdiff_t>((r + 1) * kF), f.begin());
+    dataset.pipeline_.transform(f);
+
+    numbers.clear();
+    strings.clear();
+    strings.emplace_back(p.app);
+    numbers.push_back(static_cast<double>(p.input_index));
+    strings.emplace_back(arch::to_string(p.system));
+    strings.emplace_back(workload::to_string(p.config.scale_class));
+    numbers.push_back(p.time_s);
+    for (const double v : f) numbers.push_back(v);
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) numbers.push_back(rpv[k]);
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) numbers.push_back(times[k]);
+    t.append_row(numbers, strings);
+  }
+  return dataset;
+}
+
+}  // namespace mphpc::core

@@ -1,0 +1,63 @@
+// The derived-feature pipeline (paper Table III, left side; §V-D).
+//
+// From a run's raw counters it computes the final 21 features:
+//   - six instruction-class intensities (ratios of total instructions)
+//   - eight magnitude features (cache misses, I/O bytes, page-table size,
+//     memory stalls) standardized to zero mean / unit variance with
+//     statistics fitted on the training corpus and persisted with the model
+//   - nodes, cores, uses-GPU
+//   - the four-way one-hot encoding of the source architecture.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sim/profiler.hpp"
+
+namespace mphpc::core {
+
+class FeaturePipeline {
+ public:
+  static constexpr std::size_t kNumFeatures = 21;
+
+  /// Canonical feature order; also the dataset's feature column names.
+  [[nodiscard]] static const std::array<std::string_view, kNumFeatures>&
+  feature_names() noexcept;
+
+  /// Index range [kFirstStandardized, kFirstStandardized+kNumStandardized)
+  /// of the z-scored magnitude features within the canonical order.
+  static constexpr std::size_t kFirstStandardized = 6;
+  static constexpr std::size_t kNumStandardized = 8;
+
+  using FeatureVector = std::array<double, kNumFeatures>;
+
+  /// Raw (pre-standardization) features of one profiled run.
+  [[nodiscard]] static FeatureVector raw_features(const sim::RunProfile& profile);
+
+  /// Fits the standardizers over raw feature rows (row-major, 21 columns).
+  void fit(std::span<const double> raw_rows, std::size_t n_rows);
+
+  /// Standardizes a raw feature vector in place. Must be fitted.
+  void transform(FeatureVector& features) const;
+
+  /// raw_features + transform in one call.
+  [[nodiscard]] FeatureVector features(const sim::RunProfile& profile) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  [[nodiscard]] double mean(std::size_t standardized_index) const;
+  [[nodiscard]] double stddev(std::size_t standardized_index) const;
+
+  /// Round-trippable text form ("mean std" per standardized feature).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static FeaturePipeline deserialize(std::string_view text);
+
+ private:
+  std::array<double, kNumStandardized> means_{};
+  std::array<double, kNumStandardized> stds_{};
+  bool fitted_ = false;
+};
+
+}  // namespace mphpc::core

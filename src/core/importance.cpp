@@ -1,0 +1,56 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mphpc::core {
+
+std::vector<FeatureImportance> importance_report(
+    const ml::Regressor& model, std::span<const std::string> feature_names) {
+  const auto importances = model.feature_importances();
+  MPHPC_EXPECTS(importances.has_value());
+  MPHPC_EXPECTS(importances->size() == feature_names.size());
+  std::vector<FeatureImportance> report;
+  report.reserve(feature_names.size());
+  for (std::size_t f = 0; f < feature_names.size(); ++f) {
+    report.push_back({feature_names[f], (*importances)[f]});
+  }
+  std::stable_sort(report.begin(), report.end(),
+                   [](const FeatureImportance& a, const FeatureImportance& b) {
+                     return a.importance > b.importance;
+                   });
+  return report;
+}
+
+std::vector<std::string> top_k_features(std::span<const FeatureImportance> report,
+                                        std::size_t k) {
+  MPHPC_EXPECTS(k > 0);
+  std::vector<std::string> out;
+  out.reserve(std::min(k, report.size()));
+  for (std::size_t i = 0; i < report.size() && i < k; ++i) {
+    out.push_back(report[i].feature);
+  }
+  return out;
+}
+
+std::vector<std::size_t> top_k_feature_indices(
+    std::span<const FeatureImportance> report,
+    std::span<const std::string> feature_names, std::size_t k) {
+  const auto top = top_k_features(report, k);
+  std::vector<std::size_t> indices;
+  indices.reserve(top.size());
+  for (const auto& name : top) {
+    for (std::size_t f = 0; f < feature_names.size(); ++f) {
+      if (feature_names[f] == name) {
+        indices.push_back(f);
+        break;
+      }
+    }
+  }
+  MPHPC_ENSURES(indices.size() == top.size());
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+}  // namespace mphpc::core

@@ -1,0 +1,36 @@
+// Feature-importance reporting (paper §VI-B, Fig. 6): pairs model gain
+// importances with feature names, ranks them, and supports the top-k
+// feature-selection pass the paper uses to re-train on the most impactful
+// counters.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace mphpc::core {
+
+struct FeatureImportance {
+  std::string feature;
+  double importance = 0.0;
+};
+
+/// Importances of a fitted model paired with names, sorted descending
+/// (stable: equal scores keep feature order). Throws ContractViolation if
+/// the model does not expose importances or sizes mismatch.
+[[nodiscard]] std::vector<FeatureImportance> importance_report(
+    const ml::Regressor& model, std::span<const std::string> feature_names);
+
+/// The k highest-importance feature names, in rank order.
+[[nodiscard]] std::vector<std::string> top_k_features(
+    std::span<const FeatureImportance> report, std::size_t k);
+
+/// Indices (into `feature_names`) of the k highest-importance features,
+/// ascending — the form consumed by matrix column selection.
+[[nodiscard]] std::vector<std::size_t> top_k_feature_indices(
+    std::span<const FeatureImportance> report,
+    std::span<const std::string> feature_names, std::size_t k);
+
+}  // namespace mphpc::core

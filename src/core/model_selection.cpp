@@ -1,0 +1,116 @@
+#include "core/model_selection.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear_regressor.hpp"
+#include "ml/mean_regressor.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace mphpc::core {
+
+std::string_view to_string(ModelKind kind) noexcept {
+  switch (kind) {
+    case ModelKind::kMean: return "mean";
+    case ModelKind::kLinear: return "linear";
+    case ModelKind::kForest: return "decision forest";
+    case ModelKind::kXgboost: return "xgboost";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<ml::Regressor> make_model(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kMean:
+      return std::make_unique<ml::MeanRegressor>();
+    case ModelKind::kLinear: {
+      ml::LinearOptions options;
+      options.l2 = 1e-6;
+      return std::make_unique<ml::LinearRegressor>(options);
+    }
+    case ModelKind::kForest: {
+      ml::ForestOptions options;
+      options.n_trees = 100;
+      options.max_depth = 16;
+      options.min_samples_leaf = 2;
+      options.seed = seed;
+      return std::make_unique<ml::RandomForest>(options);
+    }
+    case ModelKind::kXgboost: {
+      ml::GbtOptions options;
+      options.seed = seed;
+      return std::make_unique<ml::GbtRegressor>(options);
+    }
+  }
+  throw ContractViolation("unknown model kind");
+}
+
+EvalMetrics evaluate(const ml::Matrix& truth, const ml::Matrix& pred) {
+  EvalMetrics m;
+  m.mae = ml::mean_absolute_error(truth, pred);
+  m.sos = ml::same_order_score(truth, pred);
+  m.rmse = ml::root_mean_squared_error(truth, pred);
+  m.r2 = ml::r2_score(truth, pred);
+  return m;
+}
+
+EvalMetrics train_and_evaluate(ml::Regressor& model, const ml::Matrix& x,
+                               const ml::Matrix& y, const data::TrainTestSplit& split,
+                               ThreadPool* pool) {
+  MPHPC_EXPECTS(!split.train.empty() && !split.test.empty());
+  const ml::Matrix x_train = x.select_rows(split.train);
+  const ml::Matrix y_train = y.select_rows(split.train);
+  model.fit(x_train, y_train, pool);
+  const ml::Matrix x_test = x.select_rows(split.test);
+  const ml::Matrix y_test = y.select_rows(split.test);
+  return evaluate(y_test, model.predict(x_test));
+}
+
+double cross_validated_mae(ModelKind kind, const ml::Matrix& x, const ml::Matrix& y,
+                           std::span<const std::size_t> rows, int folds,
+                           std::uint64_t seed, ThreadPool* pool) {
+  MPHPC_EXPECTS(folds >= 2);
+  // Work over positions within `rows`, then map back to dataset rows.
+  const auto fold_plan = data::k_fold(rows.size(), folds, seed);
+  double mae_sum = 0.0;
+  for (const auto& fold : fold_plan) {
+    std::vector<std::size_t> train_rows;
+    train_rows.reserve(fold.train.size());
+    for (const std::size_t p : fold.train) train_rows.push_back(rows[p]);
+    std::vector<std::size_t> val_rows;
+    val_rows.reserve(fold.validation.size());
+    for (const std::size_t p : fold.validation) val_rows.push_back(rows[p]);
+
+    const auto model = make_model(kind, derive_seed(seed, "cv-model"));
+    model->fit(x.select_rows(train_rows), y.select_rows(train_rows), pool);
+    const ml::Matrix pred = model->predict(x.select_rows(val_rows));
+    mae_sum += ml::mean_absolute_error(y.select_rows(val_rows), pred);
+  }
+  return mae_sum / static_cast<double>(fold_plan.size());
+}
+
+std::vector<ModelEvaluation> compare_models(const ml::Matrix& x, const ml::Matrix& y,
+                                            std::span<const ModelKind> kinds,
+                                            const ComparisonOptions& options,
+                                            ThreadPool* pool) {
+  const data::TrainTestSplit split =
+      data::train_test_split(x.rows(), options.test_fraction, options.split_seed);
+
+  std::vector<ModelEvaluation> results;
+  results.reserve(kinds.size());
+  for (const ModelKind kind : kinds) {
+    ModelEvaluation eval;
+    eval.kind = kind;
+    const auto model = make_model(kind, options.model_seed);
+    eval.test = train_and_evaluate(*model, x, y, split, pool);
+    if (options.run_cv) {
+      eval.cv_mae = cross_validated_mae(kind, x, y, split.train, options.cv_folds,
+                                        derive_seed(options.split_seed, "cv"), pool);
+    }
+    results.push_back(eval);
+  }
+  return results;
+}
+
+}  // namespace mphpc::core

@@ -1,0 +1,73 @@
+// Model zoo and evaluation harness (paper §VI): builds each comparator
+// model (mean baseline, linear regression, decision forest, XGBoost-style
+// GBT), runs the 90/10 train-test protocol with 5-fold cross-validation on
+// the training portion, and reports MAE / SOS / RMSE / R^2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "data/split.hpp"
+#include "ml/model.hpp"
+
+namespace mphpc::core {
+
+enum class ModelKind : std::uint8_t { kMean = 0, kLinear = 1, kForest = 2, kXgboost = 3 };
+
+inline constexpr std::array<ModelKind, 4> kAllModelKinds = {
+    ModelKind::kMean, ModelKind::kLinear, ModelKind::kForest, ModelKind::kXgboost};
+
+[[nodiscard]] std::string_view to_string(ModelKind kind) noexcept;
+
+/// Factory with the hyper-parameters used throughout the reproduction.
+/// `seed` feeds every stochastic component of the model.
+[[nodiscard]] std::unique_ptr<ml::Regressor> make_model(ModelKind kind,
+                                                        std::uint64_t seed = 13);
+
+struct EvalMetrics {
+  double mae = 0.0;
+  double sos = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+};
+
+/// Computes all four metrics of `pred` against `truth`.
+[[nodiscard]] EvalMetrics evaluate(const ml::Matrix& truth, const ml::Matrix& pred);
+
+/// Fits `model` on the split's train rows and evaluates on its test rows.
+[[nodiscard]] EvalMetrics train_and_evaluate(ml::Regressor& model, const ml::Matrix& x,
+                                             const ml::Matrix& y,
+                                             const data::TrainTestSplit& split,
+                                             ThreadPool* pool = nullptr);
+
+/// K-fold cross-validated MAE of a fresh `kind` model over the given rows.
+[[nodiscard]] double cross_validated_mae(ModelKind kind, const ml::Matrix& x,
+                                         const ml::Matrix& y,
+                                         std::span<const std::size_t> rows, int folds,
+                                         std::uint64_t seed, ThreadPool* pool = nullptr);
+
+struct ModelEvaluation {
+  ModelKind kind = ModelKind::kMean;
+  EvalMetrics test;                 ///< held-out test metrics
+  std::optional<double> cv_mae;     ///< 5-fold CV MAE on the training rows
+};
+
+struct ComparisonOptions {
+  double test_fraction = 0.10;
+  int cv_folds = 5;
+  bool run_cv = true;
+  std::uint64_t split_seed = 42;
+  std::uint64_t model_seed = 13;
+};
+
+/// The full paper §VI protocol over every model kind.
+[[nodiscard]] std::vector<ModelEvaluation> compare_models(
+    const ml::Matrix& x, const ml::Matrix& y, std::span<const ModelKind> kinds,
+    const ComparisonOptions& options, ThreadPool* pool = nullptr);
+
+}  // namespace mphpc::core

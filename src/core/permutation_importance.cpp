@@ -1,0 +1,63 @@
+#include "core/permutation_importance.hpp"
+
+#include <algorithm>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace mphpc::core {
+
+std::vector<double> permutation_importances(const ml::Regressor& model,
+                                            const ml::Matrix& x, const ml::Matrix& y,
+                                            const PermutationOptions& options,
+                                            ThreadPool* pool) {
+  MPHPC_EXPECTS(model.fitted());
+  MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 1);
+  MPHPC_EXPECTS(options.repeats >= 1);
+
+  const double baseline = ml::mean_absolute_error(y, model.predict(x));
+  std::vector<double> importances(x.cols(), 0.0);
+
+  const auto evaluate_feature = [&](std::size_t f) {
+    Rng rng(derive_seed(options.seed, "perm", static_cast<std::uint64_t>(f)));
+    double total = 0.0;
+    for (int rep = 0; rep < options.repeats; ++rep) {
+      ml::Matrix corrupted = x;
+      // Permute column f.
+      const auto perm = permutation(rng, x.rows());
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        corrupted(r, f) = x(perm[r], f);
+      }
+      total += ml::mean_absolute_error(y, model.predict(corrupted));
+    }
+    importances[f] = total / options.repeats - baseline;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, x.cols(), evaluate_feature);
+  } else {
+    for (std::size_t f = 0; f < x.cols(); ++f) evaluate_feature(f);
+  }
+  return importances;
+}
+
+std::vector<FeatureImportance> permutation_report(
+    const ml::Regressor& model, const ml::Matrix& x, const ml::Matrix& y,
+    std::span<const std::string> feature_names, const PermutationOptions& options,
+    ThreadPool* pool) {
+  MPHPC_EXPECTS(feature_names.size() == x.cols());
+  const auto importances = permutation_importances(model, x, y, options, pool);
+  std::vector<FeatureImportance> report;
+  report.reserve(feature_names.size());
+  for (std::size_t f = 0; f < feature_names.size(); ++f) {
+    report.push_back({feature_names[f], importances[f]});
+  }
+  std::stable_sort(report.begin(), report.end(),
+                   [](const FeatureImportance& a, const FeatureImportance& b) {
+                     return a.importance > b.importance;
+                   });
+  return report;
+}
+
+}  // namespace mphpc::core

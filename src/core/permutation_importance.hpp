@@ -1,0 +1,37 @@
+// Permutation feature importance: the model-agnostic complement to the
+// gain importances of Fig. 6. For each feature, shuffle its column in the
+// evaluation set and measure the MAE increase; features whose corruption
+// hurts predictions most matter most. Unlike gain importance it reflects
+// what the *fitted* model actually relies on at prediction time, which is
+// useful for auditing the Fig. 6 discussion (see EXPERIMENTS.md F6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/importance.hpp"
+#include "ml/model.hpp"
+
+namespace mphpc::core {
+
+struct PermutationOptions {
+  int repeats = 3;           ///< shuffles per feature (averaged)
+  std::uint64_t seed = 99;
+};
+
+/// MAE increase per feature when that feature's evaluation column is
+/// permuted, in feature order (not sorted). `model` must be fitted;
+/// `x`/`y` are the evaluation set.
+[[nodiscard]] std::vector<double> permutation_importances(
+    const ml::Regressor& model, const ml::Matrix& x, const ml::Matrix& y,
+    const PermutationOptions& options = {}, ThreadPool* pool = nullptr);
+
+/// Convenience: named, sorted report (same shape as importance_report).
+[[nodiscard]] std::vector<FeatureImportance> permutation_report(
+    const ml::Regressor& model, const ml::Matrix& x, const ml::Matrix& y,
+    std::span<const std::string> feature_names,
+    const PermutationOptions& options = {}, ThreadPool* pool = nullptr);
+
+}  // namespace mphpc::core

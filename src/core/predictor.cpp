@@ -1,0 +1,60 @@
+#include "core/predictor.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "ml/serialize.hpp"
+
+namespace mphpc::core {
+
+void CrossArchPredictor::train(const Dataset& dataset,
+                               std::span<const std::size_t> rows, ThreadPool* pool) {
+  MPHPC_EXPECTS(dataset.num_rows() > 0);
+  pipeline_ = dataset.pipeline();
+  model_ = ml::GbtRegressor(options_.gbt);
+  const ml::Matrix x = dataset.features(rows);
+  const ml::Matrix y = dataset.targets(rows);
+  model_.fit(x, y, pool);
+}
+
+Rpv CrossArchPredictor::predict(const sim::RunProfile& profile) const {
+  MPHPC_EXPECTS(trained());
+  const FeaturePipeline::FeatureVector f = pipeline_.features(profile);
+  ml::Matrix x(1, FeaturePipeline::kNumFeatures,
+               std::vector<double>(f.begin(), f.end()));
+  const ml::Matrix y = model_.predict(x);
+  std::array<double, arch::kNumSystems> ratios{};
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) ratios[k] = y(0, k);
+  return Rpv(ratios);
+}
+
+ml::Matrix CrossArchPredictor::predict(const ml::Matrix& features) const {
+  MPHPC_EXPECTS(trained());
+  return model_.predict(features);
+}
+
+namespace {
+constexpr std::string_view kSectionMarker = "=== model ===";
+}  // namespace
+
+void CrossArchPredictor::save(const std::string& path) const {
+  MPHPC_EXPECTS(trained());
+  std::string text = pipeline_.serialize();
+  text += std::string(kSectionMarker) + "\n";
+  text += model_.serialize();
+  ml::save_text(text, path);
+}
+
+CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
+  const std::string text = ml::load_text(path);
+  const std::size_t pos = text.find(kSectionMarker);
+  if (pos == std::string::npos) {
+    throw ParseError("predictor file missing section marker: " + path);
+  }
+  CrossArchPredictor predictor;
+  predictor.pipeline_ = FeaturePipeline::deserialize(text.substr(0, pos));
+  predictor.model_ =
+      ml::GbtRegressor::deserialize(text.substr(pos + kSectionMarker.size()));
+  return predictor;
+}
+
+}  // namespace mphpc::core

@@ -1,0 +1,55 @@
+// CrossArchPredictor — the library's headline API.
+//
+// Train on an MP-HPC dataset; afterwards, given hardware counters
+// collected on *one* architecture (a RunProfile), predict the job's
+// Relative Performance Vector across all four systems. Persisted models
+// bundle the fitted feature pipeline with the boosted-tree ensemble so a
+// deployment can score new runs without the training corpus.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "core/dataset.hpp"
+#include "core/rpv.hpp"
+#include "ml/gbt.hpp"
+
+namespace mphpc::core {
+
+class CrossArchPredictor {
+ public:
+  struct Options {
+    ml::GbtOptions gbt;
+  };
+
+  explicit CrossArchPredictor(Options options = Options()) : options_(options) {}
+
+  /// Trains the RPV model on the dataset (optionally restricted to the
+  /// given rows, e.g. a train split). Copies the dataset's fitted feature
+  /// pipeline into the predictor.
+  void train(const Dataset& dataset, std::span<const std::size_t> rows = {},
+             ThreadPool* pool = nullptr);
+
+  /// Predicts the RPV of a freshly profiled run from its raw counters.
+  [[nodiscard]] Rpv predict(const sim::RunProfile& profile) const;
+
+  /// Batch prediction over already-standardized feature rows (as produced
+  /// by Dataset::features).
+  [[nodiscard]] ml::Matrix predict(const ml::Matrix& features) const;
+
+  [[nodiscard]] bool trained() const noexcept { return model_.fitted(); }
+  [[nodiscard]] const ml::GbtRegressor& model() const noexcept { return model_; }
+  [[nodiscard]] const FeaturePipeline& pipeline() const noexcept { return pipeline_; }
+
+  /// Persists pipeline + model to a single file; load() restores it.
+  void save(const std::string& path) const;
+  [[nodiscard]] static CrossArchPredictor load(const std::string& path);
+
+ private:
+  Options options_;
+  FeaturePipeline pipeline_;
+  ml::GbtRegressor model_;
+};
+
+}  // namespace mphpc::core

@@ -1,0 +1,59 @@
+#include "core/rpv.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mphpc::core {
+
+Rpv Rpv::relative_to(const SystemTimes& times, arch::SystemId reference) {
+  for (const double t : times) MPHPC_EXPECTS(t > 0.0);
+  const double ref = times[static_cast<std::size_t>(reference)];
+  Rpv rpv;
+  for (std::size_t k = 0; k < times.size(); ++k) rpv.ratios_[k] = times[k] / ref;
+  return rpv;
+}
+
+Rpv Rpv::relative_to_min(const SystemTimes& times) {
+  // Lowest performance = largest time.
+  const auto it = std::max_element(times.begin(), times.end());
+  return relative_to(times,
+                     static_cast<arch::SystemId>(std::distance(times.begin(), it)));
+}
+
+Rpv Rpv::relative_to_max(const SystemTimes& times) {
+  // Highest performance = smallest time.
+  const auto it = std::min_element(times.begin(), times.end());
+  return relative_to(times,
+                     static_cast<arch::SystemId>(std::distance(times.begin(), it)));
+}
+
+arch::SystemId Rpv::fastest() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < ratios_.size(); ++k) {
+    if (ratios_[k] < ratios_[best]) best = k;
+  }
+  return static_cast<arch::SystemId>(best);
+}
+
+arch::SystemId Rpv::slowest() const noexcept {
+  std::size_t worst = 0;
+  for (std::size_t k = 1; k < ratios_.size(); ++k) {
+    if (ratios_[k] > ratios_[worst]) worst = k;
+  }
+  return static_cast<arch::SystemId>(worst);
+}
+
+std::array<arch::SystemId, arch::kNumSystems> Rpv::order() const {
+  std::array<std::size_t, arch::kNumSystems> idx{};
+  for (std::size_t k = 0; k < idx.size(); ++k) idx[k] = k;
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return ratios_[a] < ratios_[b]; });
+  std::array<arch::SystemId, arch::kNumSystems> out{};
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    out[k] = static_cast<arch::SystemId>(idx[k]);
+  }
+  return out;
+}
+
+}  // namespace mphpc::core

@@ -1,0 +1,74 @@
+// Relative Performance Vectors (paper §IV).
+//
+// For an (application, input) pair executed on all N systems,
+// rpv(a, i, s)[k] is the performance of the pair on system k relative to
+// system s. Following the paper's worked example (10 min on X, 8 on Y,
+// 21 on Z -> RPV relative to X = [1.0, 0.8, 2.1]), entries are *time
+// ratios* t_k / t_s: lower is faster.
+//
+// Note: the paper's Algorithm 2 writes `argmax rpv` for the fastest
+// machine, which contradicts the example's time-ratio convention. We keep
+// the example's convention as primary and expose `speedup()` (its
+// reciprocal, higher is faster) for consumers that want an argmax; the
+// model-based scheduler picks the fastest machine either way.
+#pragma once
+
+#include <array>
+
+#include "arch/architecture.hpp"
+
+namespace mphpc::core {
+
+/// Execution times of one (app, input, scale) across the four systems.
+using SystemTimes = std::array<double, arch::kNumSystems>;
+
+class Rpv {
+ public:
+  Rpv() = default;
+
+  /// Explicit construction from time ratios.
+  explicit Rpv(const std::array<double, arch::kNumSystems>& ratios) noexcept
+      : ratios_(ratios) {}
+
+  /// rpv(a, i, s): times relative to system `reference`. All times must be
+  /// positive.
+  [[nodiscard]] static Rpv relative_to(const SystemTimes& times,
+                                       arch::SystemId reference);
+
+  /// rpv(a, i, min): relative to the system with the *lowest* performance
+  /// (largest time) — every entry <= 1.
+  [[nodiscard]] static Rpv relative_to_min(const SystemTimes& times);
+
+  /// rpv(a, i, max): relative to the system with the *highest* performance
+  /// (smallest time) — every entry >= 1.
+  [[nodiscard]] static Rpv relative_to_max(const SystemTimes& times);
+
+  /// Time ratio for system k (1.0 for the reference system).
+  [[nodiscard]] double time_ratio(arch::SystemId k) const noexcept {
+    return ratios_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] double operator[](std::size_t k) const noexcept { return ratios_[k]; }
+
+  /// Reciprocal view: relative speed, higher is faster.
+  [[nodiscard]] double speedup(arch::SystemId k) const noexcept {
+    return 1.0 / time_ratio(k);
+  }
+
+  /// System predicted fastest (smallest time ratio; lowest id on ties).
+  [[nodiscard]] arch::SystemId fastest() const noexcept;
+
+  /// System predicted slowest (largest time ratio; lowest id on ties).
+  [[nodiscard]] arch::SystemId slowest() const noexcept;
+
+  /// Systems ordered fastest-to-slowest (stable on ties).
+  [[nodiscard]] std::array<arch::SystemId, arch::kNumSystems> order() const;
+
+  [[nodiscard]] const std::array<double, arch::kNumSystems>& values() const noexcept {
+    return ratios_;
+  }
+
+ private:
+  std::array<double, arch::kNumSystems> ratios_{};
+};
+
+}  // namespace mphpc::core

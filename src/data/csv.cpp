@@ -1,0 +1,171 @@
+#include "data/csv.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc::data {
+
+namespace {
+
+bool needs_quoting(std::string_view cell) noexcept {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void write_cell(std::ostream& out, std::string_view cell) {
+  if (!needs_quoting(cell)) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (const char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+/// Splits one CSV record honoring quotes. `line` must be a full record
+/// (we do not support embedded newlines on read; the writer never emits
+/// them for this dataset).
+std::vector<std::string> parse_record(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quote in CSV record");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+bool parses_as_double(std::string_view s) noexcept {
+  try {
+    (void)parse_double(s);
+    return true;
+  } catch (const ParseError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+void write_csv(const Table& table, std::ostream& out) {
+  const auto names = table.column_names();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    if (c > 0) out << ',';
+    write_cell(out, names[c]);
+  }
+  out << '\n';
+
+  // Cache column pointers and types once.
+  struct Col {
+    bool numeric;
+    const std::vector<double>* nums = nullptr;
+    const std::vector<std::string>* texts = nullptr;
+  };
+  std::vector<Col> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) {
+    Col col{table.column_type(name) == ColumnType::kNumeric};
+    if (col.numeric) {
+      col.nums = &table.numeric(name);
+    } else {
+      col.texts = &table.text(name);
+    }
+    cols.push_back(col);
+  }
+
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (c > 0) out << ',';
+      if (cols[c].numeric) {
+        out << format_double((*cols[c].nums)[r]);
+      } else {
+        write_cell(out, (*cols[c].texts)[r]);
+      }
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(table, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {
+  std::string line;
+  if (!std::getline(in, line)) throw ParseError("empty CSV input");
+  const std::vector<std::string> header = parse_record(line);
+
+  // Gather all records first so we can infer types from the first row.
+  std::vector<std::vector<std::string>> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = parse_record(line);
+    if (cells.size() != header.size()) {
+      throw ParseError("CSV row has " + std::to_string(cells.size()) +
+                       " cells, expected " + std::to_string(header.size()));
+    }
+    records.push_back(std::move(cells));
+  }
+
+  const auto is_text = [&](std::size_t c) {
+    for (const auto& name : text_columns) {
+      if (name == header[c]) return true;
+    }
+    return !records.empty() && !parses_as_double(records[0][c]);
+  };
+
+  Table table;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (is_text(c)) {
+      std::vector<std::string> values;
+      values.reserve(records.size());
+      for (const auto& rec : records) values.push_back(rec[c]);
+      table.add_text_column(header[c], std::move(values));
+    } else {
+      std::vector<double> values;
+      values.reserve(records.size());
+      for (const auto& rec : records) values.push_back(parse_double(rec[c]));
+      table.add_numeric_column(header[c], std::move(values));
+    }
+  }
+  return table;
+}
+
+Table read_csv_file(const std::string& path,
+                    const std::vector<std::string>& text_columns) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_csv(in, text_columns);
+}
+
+}  // namespace mphpc::data

@@ -1,0 +1,76 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::data {
+
+TrainTestSplit train_test_split(std::size_t n, double test_fraction,
+                                std::uint64_t seed) {
+  MPHPC_EXPECTS(test_fraction > 0.0 && test_fraction < 1.0);
+  MPHPC_EXPECTS(n >= 2);
+  Rng rng(seed);
+  const std::vector<std::size_t> perm = permutation(rng, n);
+  const std::size_t n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction * static_cast<double>(n)));
+  TrainTestSplit split;
+  split.test.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(n_test));
+  split.train.assign(perm.begin() + static_cast<std::ptrdiff_t>(n_test), perm.end());
+  // Sorted order keeps downstream row selection cache-friendly and
+  // independent of the shuffle.
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+std::vector<Fold> k_fold(std::size_t n, int k, std::uint64_t seed) {
+  MPHPC_EXPECTS(k >= 2 && static_cast<std::size_t>(k) <= n);
+  Rng rng(seed);
+  const std::vector<std::size_t> perm = permutation(rng, n);
+  std::vector<Fold> folds(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    folds[i % static_cast<std::size_t>(k)].validation.push_back(perm[i]);
+  }
+  for (int f = 0; f < k; ++f) {
+    auto& fold = folds[static_cast<std::size_t>(f)];
+    std::sort(fold.validation.begin(), fold.validation.end());
+    fold.train.reserve(n - fold.validation.size());
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v < fold.validation.size() && fold.validation[v] == i) {
+        ++v;
+      } else {
+        fold.train.push_back(i);
+      }
+    }
+  }
+  return folds;
+}
+
+TrainTestSplit group_holdout(std::span<const std::string> groups,
+                             std::string_view held_out) {
+  TrainTestSplit split;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] == held_out) {
+      split.test.push_back(i);
+    } else {
+      split.train.push_back(i);
+    }
+  }
+  MPHPC_ENSURES(!split.test.empty());
+  return split;
+}
+
+std::vector<std::size_t> rows_where(std::span<const std::string> groups,
+                                    std::string_view value) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i] == value) rows.push_back(i);
+  }
+  return rows;
+}
+
+}  // namespace mphpc::data

@@ -1,0 +1,41 @@
+// Dataset splitting utilities: the 90/10 train-test split, the 5-fold
+// cross-validation used during training (paper §VI-A), and group-based
+// holdouts for the ablation studies (leave-one-application-out, Fig. 5;
+// leave-one-scale-out, Fig. 4; per-source-architecture, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mphpc::data {
+
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random `test_fraction` holdout over [0, n) with a deterministic seed.
+[[nodiscard]] TrainTestSplit train_test_split(std::size_t n, double test_fraction,
+                                              std::uint64_t seed);
+
+struct Fold {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// Shuffled k-fold partition of [0, n). Every index appears in exactly one
+/// validation fold.
+[[nodiscard]] std::vector<Fold> k_fold(std::size_t n, int k, std::uint64_t seed);
+
+/// Group holdout: rows whose group label equals `held_out` become the test
+/// set, all others train. Used for leave-one-application-out.
+[[nodiscard]] TrainTestSplit group_holdout(std::span<const std::string> groups,
+                                           std::string_view held_out);
+
+/// Rows whose group label equals `value`.
+[[nodiscard]] std::vector<std::size_t> rows_where(std::span<const std::string> groups,
+                                                  std::string_view value);
+
+}  // namespace mphpc::data

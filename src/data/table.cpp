@@ -1,0 +1,130 @@
+#include "data/table.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mphpc::data {
+
+void Table::add_numeric_column(std::string name, std::vector<double> values) {
+  MPHPC_EXPECTS(!has_column(name));
+  MPHPC_EXPECTS(order_.empty() || values.size() == num_rows_);
+  if (order_.empty()) num_rows_ = values.size();
+  order_.emplace_back(name, ColumnRef{ColumnType::kNumeric, numeric_.size()});
+  numeric_.push_back({std::move(name), std::move(values)});
+}
+
+void Table::add_text_column(std::string name, std::vector<std::string> values) {
+  MPHPC_EXPECTS(!has_column(name));
+  MPHPC_EXPECTS(order_.empty() || values.size() == num_rows_);
+  if (order_.empty()) num_rows_ = values.size();
+  order_.emplace_back(name, ColumnRef{ColumnType::kText, text_.size()});
+  text_.push_back({std::move(name), std::move(values)});
+}
+
+std::vector<std::string> Table::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(order_.size());
+  for (const auto& [name, ref] : order_) names.push_back(name);
+  return names;
+}
+
+bool Table::has_column(std::string_view name) const noexcept {
+  for (const auto& [n, ref] : order_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const Table::ColumnRef& Table::find(std::string_view name) const {
+  for (const auto& [n, ref] : order_) {
+    if (n == name) return ref;
+  }
+  throw LookupError("no such column: '" + std::string(name) + "'");
+}
+
+ColumnType Table::column_type(std::string_view name) const { return find(name).type; }
+
+const std::vector<double>& Table::numeric(std::string_view name) const {
+  const ColumnRef& ref = find(name);
+  if (ref.type != ColumnType::kNumeric) {
+    throw LookupError("column is not numeric: '" + std::string(name) + "'");
+  }
+  return numeric_[ref.index].values;
+}
+
+std::vector<double>& Table::numeric(std::string_view name) {
+  return const_cast<std::vector<double>&>(std::as_const(*this).numeric(name));
+}
+
+const std::vector<std::string>& Table::text(std::string_view name) const {
+  const ColumnRef& ref = find(name);
+  if (ref.type != ColumnType::kText) {
+    throw LookupError("column is not text: '" + std::string(name) + "'");
+  }
+  return text_[ref.index].values;
+}
+
+std::vector<std::string>& Table::text(std::string_view name) {
+  return const_cast<std::vector<std::string>&>(std::as_const(*this).text(name));
+}
+
+void Table::append_row(std::span<const double> numbers,
+                       std::span<const std::string> strings) {
+  MPHPC_EXPECTS(numbers.size() == numeric_.size());
+  MPHPC_EXPECTS(strings.size() == text_.size());
+  for (std::size_t i = 0; i < numbers.size(); ++i) {
+    numeric_[i].values.push_back(numbers[i]);
+  }
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    text_[i].values.push_back(strings[i]);
+  }
+  ++num_rows_;
+}
+
+Table Table::select_rows(std::span<const std::size_t> rows) const {
+  for (const std::size_t r : rows) MPHPC_EXPECTS(r < num_rows_);
+  Table out;
+  for (const auto& [name, ref] : order_) {
+    if (ref.type == ColumnType::kNumeric) {
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (const std::size_t r : rows) values.push_back(numeric_[ref.index].values[r]);
+      out.add_numeric_column(name, std::move(values));
+    } else {
+      std::vector<std::string> values;
+      values.reserve(rows.size());
+      for (const std::size_t r : rows) values.push_back(text_[ref.index].values[r]);
+      out.add_text_column(name, std::move(values));
+    }
+  }
+  return out;
+}
+
+Table Table::select_columns(std::span<const std::string> names) const {
+  Table out;
+  for (const auto& name : names) {
+    const ColumnRef& ref = find(name);
+    if (ref.type == ColumnType::kNumeric) {
+      out.add_numeric_column(name, numeric_[ref.index].values);
+    } else {
+      out.add_text_column(name, text_[ref.index].values);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Table::to_row_major(std::span<const std::string> names) const {
+  std::vector<const std::vector<double>*> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) cols.push_back(&numeric(name));
+  std::vector<double> out(num_rows_ * names.size());
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      out[r * names.size() + c] = (*cols[c])[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace mphpc::data

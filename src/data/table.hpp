@@ -1,0 +1,111 @@
+// A column-typed, dataframe-lite table.
+//
+// The MP-HPC dataset is tabular: numeric feature/target columns plus a few
+// text metadata columns (application, system, scale class) used for
+// grouping and ablation splits. Table stores columns contiguously
+// (column-major) because both training and standardization sweep columns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mphpc::data {
+
+enum class ColumnType { kNumeric, kText };
+
+class Table {
+ public:
+  Table() = default;
+
+  // --- Schema ---
+
+  /// Appends an empty (or pre-filled) numeric column. Name must be unique;
+  /// a pre-filled column must match the current row count (or be the first
+  /// column). Throws ContractViolation otherwise.
+  void add_numeric_column(std::string name, std::vector<double> values = {});
+
+  /// Appends an empty (or pre-filled) text column, same rules.
+  void add_text_column(std::string name, std::vector<std::string> values = {});
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return num_rows_; }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return order_.size(); }
+
+  /// Column names in insertion order.
+  [[nodiscard]] std::vector<std::string> column_names() const;
+
+  [[nodiscard]] bool has_column(std::string_view name) const noexcept;
+
+  /// Type of a column; throws LookupError if absent.
+  [[nodiscard]] ColumnType column_type(std::string_view name) const;
+
+  // --- Access ---
+
+  /// Numeric column data; throws LookupError if absent or not numeric.
+  [[nodiscard]] const std::vector<double>& numeric(std::string_view name) const;
+  [[nodiscard]] std::vector<double>& numeric(std::string_view name);
+
+  /// Text column data; throws LookupError if absent or not text.
+  [[nodiscard]] const std::vector<std::string>& text(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string>& text(std::string_view name);
+
+  // --- Row operations ---
+
+  /// Appends one row given values for every column in insertion order;
+  /// numeric cells are parsed from the matching variant.
+  struct Cell {
+    double number = 0.0;
+    std::string string;
+  };
+
+  /// Appends a row: `numbers` must supply one value per numeric column (in
+  /// insertion order) and `strings` one per text column (same).
+  void append_row(std::span<const double> numbers,
+                  std::span<const std::string> strings);
+
+  /// New table containing the given rows (in the given order).
+  [[nodiscard]] Table select_rows(std::span<const std::size_t> rows) const;
+
+  /// New table containing only the named columns (in the given order).
+  [[nodiscard]] Table select_columns(std::span<const std::string> names) const;
+
+  /// Row indices where `pred(row)` is true.
+  template <typename Pred>
+  [[nodiscard]] std::vector<std::size_t> filter(Pred&& pred) const {
+    std::vector<std::size_t> rows;
+    for (std::size_t r = 0; r < num_rows_; ++r) {
+      if (pred(r)) rows.push_back(r);
+    }
+    return rows;
+  }
+
+  /// Packs the named numeric columns into a row-major matrix
+  /// (num_rows x names.size()), the layout the ML models consume.
+  [[nodiscard]] std::vector<double> to_row_major(
+      std::span<const std::string> names) const;
+
+ private:
+  struct NumericColumn {
+    std::string name;
+    std::vector<double> values;
+  };
+  struct TextColumn {
+    std::string name;
+    std::vector<std::string> values;
+  };
+  struct ColumnRef {
+    ColumnType type;
+    std::size_t index;  // into numeric_ or text_
+  };
+
+  [[nodiscard]] const ColumnRef& find(std::string_view name) const;
+
+  std::vector<NumericColumn> numeric_;
+  std::vector<TextColumn> text_;
+  std::vector<std::pair<std::string, ColumnRef>> order_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace mphpc::data

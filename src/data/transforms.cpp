@@ -1,0 +1,65 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc::data {
+
+void Standardizer::fit(std::span<const double> values) {
+  MPHPC_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  mean_ = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - mean_) * (v - mean_);
+  const double var = sq / static_cast<double>(values.size());
+  std_ = var > 0.0 ? std::sqrt(var) : 1.0;
+  fitted_ = true;
+}
+
+void Standardizer::transform(std::span<double> values) const {
+  MPHPC_EXPECTS(fitted_);
+  for (double& v : values) v = (v - mean_) / std_;
+}
+
+void Standardizer::inverse_transform(std::span<double> values) const {
+  MPHPC_EXPECTS(fitted_);
+  for (double& v : values) v = v * std_ + mean_;
+}
+
+std::string Standardizer::serialize() const {
+  MPHPC_EXPECTS(fitted_);
+  return format_double(mean_) + " " + format_double(std_);
+}
+
+Standardizer Standardizer::deserialize(std::string_view text) {
+  const auto parts = split(text, ' ');
+  if (parts.size() != 2) throw ParseError("standardizer: expected 'mean std'");
+  Standardizer s;
+  s.mean_ = parse_double(parts[0]);
+  s.std_ = parse_double(parts[1]);
+  s.fitted_ = true;
+  return s;
+}
+
+std::vector<std::vector<double>> one_hot(std::span<const std::string> labels,
+                                         std::span<const std::string> vocabulary) {
+  std::vector<std::vector<double>> columns(
+      vocabulary.size(), std::vector<double>(labels.size(), 0.0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    bool found = false;
+    for (std::size_t v = 0; v < vocabulary.size(); ++v) {
+      if (labels[i] == vocabulary[v]) {
+        columns[v][i] = 1.0;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw LookupError("one_hot: label '" + labels[i] + "' not in vocabulary");
+  }
+  return columns;
+}
+
+}  // namespace mphpc::data

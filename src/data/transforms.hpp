@@ -1,0 +1,47 @@
+// Feature transforms used to prepare the final dataset (paper §V-D):
+// z-score standardization with persisted statistics (so a deployed model
+// can transform new samples identically) and a helper for one-hot columns.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mphpc::data {
+
+/// Z-score standardizer: x -> (x - mean) / std. Columns with zero variance
+/// map to 0 (std is clamped to 1 for the transform, as scikit-learn does).
+class Standardizer {
+ public:
+  Standardizer() = default;
+
+  /// Fits mean/std to the values (population std).
+  void fit(std::span<const double> values);
+
+  /// Transforms in place. Must be fitted.
+  void transform(std::span<double> values) const;
+
+  /// Inverse transform (for reporting in original units).
+  void inverse_transform(std::span<double> values) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return std_; }
+
+  /// Serialization: "mean std" text, round-trippable.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static Standardizer deserialize(std::string_view text);
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// One-hot encodes `labels` against the ordered `vocabulary`; returns
+/// vocabulary.size() columns of 0/1 values. Labels outside the vocabulary
+/// throw mphpc::LookupError.
+[[nodiscard]] std::vector<std::vector<double>> one_hot(
+    std::span<const std::string> labels, std::span<const std::string> vocabulary);
+
+}  // namespace mphpc::data

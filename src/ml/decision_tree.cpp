@@ -1,0 +1,281 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::ml {
+
+namespace {
+
+/// Best split candidate for one node (from one feature sweep).
+struct SplitCandidate {
+  double gain = 0.0;
+  double threshold = 0.0;
+  int feature = -1;
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit_rows(x, y, rows, pool);
+}
+
+void DecisionTree::fit_rows(const Matrix& x, const Matrix& y,
+                            std::span<const std::size_t> rows, ThreadPool* pool) {
+  MPHPC_EXPECTS(x.rows() == y.rows() && !rows.empty() && x.cols() > 0 && y.cols() > 0);
+  MPHPC_EXPECTS(options_.max_depth >= 1 && options_.min_samples_leaf >= 1);
+
+  const std::size_t n = rows.size();
+  const std::size_t n_feat = x.cols();
+  const std::size_t n_out = y.cols();
+  n_features_ = n_feat;
+  nodes_.clear();
+  gain_per_feature_.assign(n_feat, 0.0);
+
+  // Gather the targets of the row multiset once (positions 0..n-1).
+  std::vector<double> ys(n * n_out);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto src = y.row(rows[p]);
+    std::copy(src.begin(), src.end(), ys.begin() + static_cast<std::ptrdiff_t>(p * n_out));
+  }
+
+  // Pre-sort positions by each feature's value, once per tree.
+  std::vector<std::vector<std::uint32_t>> sorted(n_feat);
+  const auto sort_feature = [&](std::size_t f) {
+    auto& order = sorted[f];
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::uint32_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return x(rows[a], f) < x(rows[b], f);
+                     });
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, n_feat, sort_feature);
+  } else {
+    for (std::size_t f = 0; f < n_feat; ++f) sort_feature(f);
+  }
+
+  nodes_.push_back(TreeNode{});
+  std::vector<std::int32_t> node_of(n, 0);
+  std::vector<std::int32_t> level_nodes = {0};
+  Rng feature_rng(options_.seed);
+
+  for (int depth = 0; depth < options_.max_depth && !level_nodes.empty(); ++depth) {
+    // --- Per-node statistics for this level. ---
+    std::vector<std::int32_t> dense_of(nodes_.size(), -1);
+    std::vector<std::int32_t> splittable;
+    for (const std::int32_t node : level_nodes) splittable.push_back(node);
+    for (std::size_t d = 0; d < splittable.size(); ++d) dense_of[splittable[d]] = static_cast<std::int32_t>(d);
+    const std::size_t n_dense = splittable.size();
+
+    std::vector<double> count(n_dense, 0.0);
+    std::vector<double> sum(n_dense * n_out, 0.0);
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::int32_t d = dense_of[node_of[p]];
+      if (d < 0) continue;
+      count[static_cast<std::size_t>(d)] += 1.0;
+      const double* yp = &ys[p * n_out];
+      double* s = &sum[static_cast<std::size_t>(d) * n_out];
+      for (std::size_t k = 0; k < n_out; ++k) s[k] += yp[k];
+    }
+
+    // Parent scores sum_k S^2/n, and which nodes may split.
+    std::vector<double> parent_score(n_dense, 0.0);
+    std::vector<std::uint8_t> may_split(n_dense, 0);
+    for (std::size_t d = 0; d < n_dense; ++d) {
+      const double* s = &sum[d * n_out];
+      for (std::size_t k = 0; k < n_out; ++k) parent_score[d] += s[k] * s[k] / count[d];
+      may_split[d] = count[d] >= options_.min_samples_split ? 1 : 0;
+    }
+
+    // Per-node feature subsets (mtry), drawn in node order.
+    std::vector<std::uint8_t> mask;
+    const bool subsample_features =
+        options_.max_features > 0 &&
+        static_cast<std::size_t>(options_.max_features) < n_feat;
+    if (subsample_features) {
+      mask.assign(n_dense * n_feat, 0);
+      for (std::size_t d = 0; d < n_dense; ++d) {
+        if (!may_split[d]) continue;
+        for (const std::size_t f : sample_without_replacement(
+                 feature_rng, n_feat, static_cast<std::size_t>(options_.max_features))) {
+          mask[d * n_feat + f] = 1;
+        }
+      }
+    }
+
+    // --- One sweep per feature, parallel; reduce in feature order. ---
+    std::vector<SplitCandidate> bests(n_feat * n_dense);
+    const double min_leaf = static_cast<double>(options_.min_samples_leaf);
+
+    const auto sweep = [&](std::size_t f) {
+      std::vector<double> cnt_l(n_dense, 0.0);
+      std::vector<double> sum_l(n_dense * n_out, 0.0);
+      std::vector<double> prev(n_dense, 0.0);
+      std::vector<std::uint8_t> has_prev(n_dense, 0);
+      SplitCandidate* best = &bests[f * n_dense];
+
+      for (const std::uint32_t p : sorted[f]) {
+        const std::int32_t d32 = dense_of[node_of[p]];
+        if (d32 < 0) continue;
+        const auto d = static_cast<std::size_t>(d32);
+        if (!may_split[d]) continue;
+        if (subsample_features && !mask[d * n_feat + f]) continue;
+        const double v = x(rows[p], f);
+
+        if (has_prev[d] && v > prev[d] && cnt_l[d] >= min_leaf &&
+            count[d] - cnt_l[d] >= min_leaf) {
+          const double nl = cnt_l[d];
+          const double nr = count[d] - nl;
+          double child_score = 0.0;
+          const double* sl = &sum_l[d * n_out];
+          const double* st = &sum[d * n_out];
+          for (std::size_t k = 0; k < n_out; ++k) {
+            const double sr = st[k] - sl[k];
+            child_score += sl[k] * sl[k] / nl + sr * sr / nr;
+          }
+          const double gain = child_score - parent_score[d];
+          if (gain > best[d].gain) {
+            best[d] = {gain, 0.5 * (prev[d] + v), static_cast<int>(f)};
+          }
+        }
+
+        cnt_l[d] += 1.0;
+        const double* yp = &ys[static_cast<std::size_t>(p) * n_out];
+        double* sl = &sum_l[d * n_out];
+        for (std::size_t k = 0; k < n_out; ++k) sl[k] += yp[k];
+        prev[d] = v;
+        has_prev[d] = 1;
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, n_feat, sweep);
+    } else {
+      for (std::size_t f = 0; f < n_feat; ++f) sweep(f);
+    }
+
+    // Deterministic reduction: lowest feature index wins ties.
+    std::vector<SplitCandidate> winner(n_dense);
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      for (std::size_t d = 0; d < n_dense; ++d) {
+        const SplitCandidate& c = bests[f * n_dense + d];
+        if (c.feature >= 0 && c.gain > winner[d].gain) winner[d] = c;
+      }
+    }
+
+    // --- Apply winning splits, creating the next level. ---
+    std::vector<std::int32_t> next_level;
+    bool any_split = false;
+    for (std::size_t d = 0; d < n_dense; ++d) {
+      const SplitCandidate& w = winner[d];
+      if (w.feature < 0 || w.gain <= options_.min_gain) continue;
+      const std::int32_t node = splittable[d];
+      nodes_[static_cast<std::size_t>(node)].feature = w.feature;
+      nodes_[static_cast<std::size_t>(node)].threshold = w.threshold;
+      nodes_[static_cast<std::size_t>(node)].left = static_cast<int>(nodes_.size());
+      nodes_[static_cast<std::size_t>(node)].right = static_cast<int>(nodes_.size() + 1);
+      next_level.push_back(static_cast<std::int32_t>(nodes_.size()));
+      next_level.push_back(static_cast<std::int32_t>(nodes_.size() + 1));
+      nodes_.emplace_back();
+      nodes_.emplace_back();
+      gain_per_feature_[static_cast<std::size_t>(w.feature)] += w.gain;
+      any_split = true;
+    }
+    if (!any_split) break;
+
+    // Re-partition positions into children.
+    for (std::size_t p = 0; p < n; ++p) {
+      const TreeNode& node = nodes_[static_cast<std::size_t>(node_of[p])];
+      if (node.is_leaf()) continue;
+      node_of[p] = x(rows[p], static_cast<std::size_t>(node.feature)) <= node.threshold
+                       ? node.left
+                       : node.right;
+    }
+    level_nodes = std::move(next_level);
+  }
+
+  // --- Leaf values: mean target vector of each leaf's rows. ---
+  std::vector<double> leaf_count(nodes_.size(), 0.0);
+  std::vector<double> leaf_sum(nodes_.size() * n_out, 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto node = static_cast<std::size_t>(node_of[p]);
+    leaf_count[node] += 1.0;
+    const double* yp = &ys[p * n_out];
+    double* s = &leaf_sum[node * n_out];
+    for (std::size_t k = 0; k < n_out; ++k) s[k] += yp[k];
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_leaf()) continue;
+    nodes_[i].value.resize(n_out);
+    MPHPC_ENSURES(leaf_count[i] > 0.0);
+    for (std::size_t k = 0; k < n_out; ++k) {
+      nodes_[i].value[k] = leaf_sum[i * n_out + k] / leaf_count[i];
+    }
+  }
+}
+
+std::span<const double> DecisionTree::predict_one(std::span<const double> x) const {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(x.size() == n_features_);
+  std::size_t i = 0;
+  while (!nodes_[i].is_leaf()) {
+    const TreeNode& node = nodes_[i];
+    i = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(node.feature)] <= node.threshold ? node.left
+                                                                    : node.right);
+  }
+  return nodes_[i].value;
+}
+
+Matrix DecisionTree::predict(const Matrix& x) const {
+  MPHPC_EXPECTS(fitted());
+  // Find any leaf to size the output (the root may be internal).
+  std::size_t out_dim = 0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf()) {
+      out_dim = node.value.size();
+      break;
+    }
+  }
+  Matrix out(x.rows(), out_dim);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto value = predict_one(x.row(r));
+    std::copy(value.begin(), value.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> DecisionTree::feature_importances() const {
+  if (!fitted()) return std::nullopt;
+  std::vector<double> imp = gain_per_feature_;
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the explicit node array.
+  std::vector<std::size_t> depth_of(nodes_.size(), 0);
+  std::size_t max_depth = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf()) {
+      max_depth = std::max(max_depth, depth_of[i]);
+    } else {
+      depth_of[static_cast<std::size_t>(nodes_[i].left)] = depth_of[i] + 1;
+      depth_of[static_cast<std::size_t>(nodes_[i].right)] = depth_of[i] + 1;
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace mphpc::ml

@@ -1,0 +1,425 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc::ml {
+
+double GbtTree::predict(std::span<const double> x) const noexcept {
+  std::size_t i = 0;
+  while (!nodes[i].is_leaf()) {
+    const GbtNode& n = nodes[i];
+    i = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right);
+  }
+  return nodes[i].weight;
+}
+
+namespace {
+
+struct SplitCandidate {
+  double gain = 0.0;
+  double threshold = 0.0;
+  int feature = -1;
+};
+
+/// Per-fit shared context: global feature pre-sort and scratch arrays.
+struct BuildContext {
+  const Matrix& x;
+  std::vector<std::vector<std::uint32_t>> sorted;  ///< [feature] row order
+
+  explicit BuildContext(const Matrix& matrix) : x(matrix) {
+    const std::size_t n = x.rows();
+    sorted.resize(x.cols());
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      auto& order = sorted[f];
+      order.resize(n);
+      std::iota(order.begin(), order.end(), std::uint32_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&, f](std::uint32_t a, std::uint32_t b) {
+                         return x(a, f) < x(b, f);
+                       });
+    }
+  }
+};
+
+/// Builds one boosted tree on the in-sample rows with gradients g and
+/// hessians h, accumulating split gains into `gain_sum`/`split_count`.
+GbtTree build_tree(const BuildContext& ctx, const GbtOptions& opt,
+                   std::span<const double> g, std::span<const double> h,
+                   std::span<const std::uint8_t> in_sample,
+                   std::span<const std::uint8_t> in_cols,
+                   std::span<double> gain_sum, std::span<double> split_count) {
+  const Matrix& x = ctx.x;
+  const std::size_t n = x.rows();
+  const std::size_t n_feat = x.cols();
+
+  GbtTree tree;
+  tree.nodes.emplace_back();
+
+  // node_of[row] = current node, or -1 if the row is out-of-sample.
+  std::vector<std::int32_t> node_of(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!in_sample[r]) node_of[r] = -1;
+  }
+
+  std::vector<std::int32_t> level_nodes = {0};
+  // Per-node G/H, indexed by node id (grows as nodes are added).
+  std::vector<double> node_g = {0.0};
+  std::vector<double> node_h = {0.0};
+  for (std::size_t r = 0; r < n; ++r) {
+    if (node_of[r] == 0) {
+      node_g[0] += g[r];
+      node_h[0] += h[r];
+    }
+  }
+
+  for (int depth = 0; depth < opt.max_depth && !level_nodes.empty(); ++depth) {
+    const std::size_t n_dense = level_nodes.size();
+    std::vector<std::int32_t> dense_of(tree.nodes.size(), -1);
+    for (std::size_t d = 0; d < n_dense; ++d) {
+      dense_of[static_cast<std::size_t>(level_nodes[d])] = static_cast<std::int32_t>(d);
+    }
+
+    std::vector<double> parent_score(n_dense);
+    std::vector<std::uint8_t> may_split(n_dense);
+    for (std::size_t d = 0; d < n_dense; ++d) {
+      const auto node = static_cast<std::size_t>(level_nodes[d]);
+      parent_score[d] = node_g[node] * node_g[node] / (node_h[node] + opt.lambda);
+      may_split[d] = node_h[node] >= 2.0 * opt.min_child_weight ? 1 : 0;
+    }
+
+    // Sweep every active feature; keep the per-feature best per node and
+    // reduce in feature order for determinism.
+    std::vector<SplitCandidate> bests(n_feat * n_dense);
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      if (!in_cols[f]) continue;
+      std::vector<double> gl(n_dense, 0.0);
+      std::vector<double> hl(n_dense, 0.0);
+      std::vector<double> prev(n_dense, 0.0);
+      std::vector<std::uint8_t> has_prev(n_dense, 0);
+      SplitCandidate* best = &bests[f * n_dense];
+
+      for (const std::uint32_t r : ctx.sorted[f]) {
+        const std::int32_t node = node_of[r];
+        if (node < 0) continue;
+        const std::int32_t d32 = dense_of[static_cast<std::size_t>(node)];
+        if (d32 < 0) continue;
+        const auto d = static_cast<std::size_t>(d32);
+        if (!may_split[d]) continue;
+        const double v = x(r, f);
+        const auto nid = static_cast<std::size_t>(node);
+
+        if (has_prev[d] && v > prev[d] && hl[d] >= opt.min_child_weight &&
+            node_h[nid] - hl[d] >= opt.min_child_weight) {
+          const double gr = node_g[nid] - gl[d];
+          const double hr = node_h[nid] - hl[d];
+          const double gain = 0.5 * (gl[d] * gl[d] / (hl[d] + opt.lambda) +
+                                     gr * gr / (hr + opt.lambda) - parent_score[d]) -
+                              opt.gamma;
+          if (gain > best[d].gain) {
+            best[d] = {gain, 0.5 * (prev[d] + v), static_cast<int>(f)};
+          }
+        }
+        gl[d] += g[r];
+        hl[d] += h[r];
+        prev[d] = v;
+        has_prev[d] = 1;
+      }
+    }
+
+    std::vector<SplitCandidate> winner(n_dense);
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      for (std::size_t d = 0; d < n_dense; ++d) {
+        const SplitCandidate& c = bests[f * n_dense + d];
+        if (c.feature >= 0 && c.gain > winner[d].gain) winner[d] = c;
+      }
+    }
+
+    std::vector<std::int32_t> next_level;
+    bool any_split = false;
+    for (std::size_t d = 0; d < n_dense; ++d) {
+      const SplitCandidate& w = winner[d];
+      if (w.feature < 0 || w.gain <= 0.0) continue;
+      const auto node = static_cast<std::size_t>(level_nodes[d]);
+      tree.nodes[node].feature = w.feature;
+      tree.nodes[node].threshold = w.threshold;
+      tree.nodes[node].left = static_cast<int>(tree.nodes.size());
+      tree.nodes[node].right = static_cast<int>(tree.nodes.size() + 1);
+      next_level.push_back(static_cast<std::int32_t>(tree.nodes.size()));
+      next_level.push_back(static_cast<std::int32_t>(tree.nodes.size() + 1));
+      tree.nodes.emplace_back();
+      tree.nodes.emplace_back();
+      node_g.resize(tree.nodes.size(), 0.0);
+      node_h.resize(tree.nodes.size(), 0.0);
+      gain_sum[static_cast<std::size_t>(w.feature)] += w.gain;
+      split_count[static_cast<std::size_t>(w.feature)] += 1.0;
+      any_split = true;
+    }
+    if (!any_split) break;
+
+    // Re-partition rows and accumulate child G/H.
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::int32_t node = node_of[r];
+      if (node < 0) continue;
+      const GbtNode& parent = tree.nodes[static_cast<std::size_t>(node)];
+      if (parent.is_leaf()) continue;
+      const std::int32_t child =
+          x(r, static_cast<std::size_t>(parent.feature)) <= parent.threshold
+              ? parent.left
+              : parent.right;
+      node_of[r] = child;
+      node_g[static_cast<std::size_t>(child)] += g[r];
+      node_h[static_cast<std::size_t>(child)] += h[r];
+    }
+    level_nodes = std::move(next_level);
+  }
+
+  // Leaf weights: w* = -G/(H+lambda), shrunk by the learning rate.
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    if (!tree.nodes[i].is_leaf()) continue;
+    tree.nodes[i].weight =
+        -node_g[i] / (node_h[i] + opt.lambda) * opt.learning_rate;
+  }
+  return tree;
+}
+
+/// Gradient/hessian of the objective at residual r = pred - y.
+inline void gradients(GbtObjective objective, double delta, double pred, double y,
+                      double& g, double& h) noexcept {
+  const double r = pred - y;
+  if (objective == GbtObjective::kSquaredError) {
+    g = r;
+    h = 1.0;
+    return;
+  }
+  // Pseudo-Huber: L = delta^2 (sqrt(1+(r/delta)^2) - 1); smooth |r|.
+  const double s = 1.0 + (r / delta) * (r / delta);
+  const double sq = std::sqrt(s);
+  g = r / sq;
+  h = 1.0 / (s * sq);
+}
+
+}  // namespace
+
+void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
+  MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 0 && x.cols() > 0 && y.cols() > 0);
+  MPHPC_EXPECTS(options_.n_rounds >= 1 && options_.max_depth >= 1);
+  MPHPC_EXPECTS(options_.subsample > 0.0 && options_.subsample <= 1.0);
+  MPHPC_EXPECTS(options_.colsample > 0.0 && options_.colsample <= 1.0);
+
+  const std::size_t n = x.rows();
+  const std::size_t n_feat = x.cols();
+  const std::size_t n_out = y.cols();
+  n_features_ = n_feat;
+
+  const BuildContext ctx(x);
+
+  ensembles_.assign(n_out, {});
+  base_score_.assign(n_out, 0.0);
+  // Per-output gain accumulators, merged after the parallel loop so the
+  // result does not depend on scheduling.
+  std::vector<std::vector<double>> gain_by_output(n_out,
+                                                  std::vector<double>(n_feat, 0.0));
+  std::vector<std::vector<double>> count_by_output(n_out,
+                                                   std::vector<double>(n_feat, 0.0));
+
+  const auto n_cols_sampled = static_cast<std::size_t>(std::max(
+      1.0, std::round(options_.colsample * static_cast<double>(n_feat))));
+  const auto n_rows_sampled = static_cast<std::size_t>(
+      std::max(1.0, std::round(options_.subsample * static_cast<double>(n))));
+
+  const auto fit_output = [&](std::size_t k) {
+    // Base score: mean target of this output.
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += y(r, k);
+    mean /= static_cast<double>(n);
+    base_score_[k] = mean;
+
+    std::vector<double> pred(n, mean);
+    std::vector<double> g(n);
+    std::vector<double> h(n);
+    std::vector<std::uint8_t> in_sample(n);
+    std::vector<std::uint8_t> in_cols(n_feat);
+    auto& ensemble = ensembles_[k];
+    ensemble.reserve(static_cast<std::size_t>(options_.n_rounds));
+    Rng rng(derive_seed(options_.seed, "output", static_cast<std::uint64_t>(k)));
+
+    for (int round = 0; round < options_.n_rounds; ++round) {
+      for (std::size_t r = 0; r < n; ++r) {
+        gradients(options_.objective, options_.huber_delta, pred[r], y(r, k), g[r],
+                  h[r]);
+      }
+
+      // Row subsampling without replacement.
+      if (n_rows_sampled < n) {
+        std::fill(in_sample.begin(), in_sample.end(), std::uint8_t{0});
+        for (const std::size_t r : sample_without_replacement(rng, n, n_rows_sampled)) {
+          in_sample[r] = 1;
+        }
+      } else {
+        std::fill(in_sample.begin(), in_sample.end(), std::uint8_t{1});
+      }
+      // Column subsampling per tree.
+      if (n_cols_sampled < n_feat) {
+        std::fill(in_cols.begin(), in_cols.end(), std::uint8_t{0});
+        for (const std::size_t f :
+             sample_without_replacement(rng, n_feat, n_cols_sampled)) {
+          in_cols[f] = 1;
+        }
+      } else {
+        std::fill(in_cols.begin(), in_cols.end(), std::uint8_t{1});
+      }
+
+      GbtTree tree = build_tree(ctx, options_, g, h, in_sample, in_cols,
+                                gain_by_output[k], count_by_output[k]);
+      for (std::size_t r = 0; r < n; ++r) pred[r] += tree.predict(x.row(r));
+      ensemble.push_back(std::move(tree));
+    }
+  };
+
+  if (pool != nullptr && n_out > 1) {
+    pool->parallel_for(0, n_out, fit_output);
+  } else {
+    for (std::size_t k = 0; k < n_out; ++k) fit_output(k);
+  }
+
+  // Merge importances in fixed output order.
+  gain_sum_.assign(n_feat, 0.0);
+  split_count_.assign(n_feat, 0.0);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    for (std::size_t f = 0; f < n_feat; ++f) {
+      gain_sum_[f] += gain_by_output[k][f];
+      split_count_[f] += count_by_output[k][f];
+    }
+  }
+}
+
+Matrix GbtRegressor::predict(const Matrix& x) const {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(x.cols() == n_features_);
+  const std::size_t n_out = ensembles_.size();
+  Matrix out(x.rows(), n_out);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xr = x.row(r);
+    for (std::size_t k = 0; k < n_out; ++k) {
+      double v = base_score_[k];
+      for (const GbtTree& tree : ensembles_[k]) v += tree.predict(xr);
+      out(r, k) = v;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> GbtRegressor::feature_importances() const {
+  if (!fitted()) return std::nullopt;
+  std::vector<double> imp(n_features_, 0.0);
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    if (split_count_[f] > 0.0) imp[f] = gain_sum_[f] / split_count_[f];
+  }
+  const double total = std::accumulate(imp.begin(), imp.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+std::string GbtRegressor::serialize() const {
+  MPHPC_EXPECTS(fitted());
+  std::string out = "gbt " + std::to_string(ensembles_.size()) + " " +
+                    std::to_string(n_features_) + "\n";
+  out += "base";
+  for (const double b : base_score_) out += " " + format_double(b);
+  out += "\n";
+  out += "importance_gain";
+  for (const double v : gain_sum_) out += " " + format_double(v);
+  out += "\n";
+  out += "importance_count";
+  for (const double v : split_count_) out += " " + format_double(v);
+  out += "\n";
+  for (std::size_t k = 0; k < ensembles_.size(); ++k) {
+    for (const GbtTree& tree : ensembles_[k]) {
+      out += "tree " + std::to_string(k) + " " + std::to_string(tree.nodes.size()) + "\n";
+      for (const GbtNode& node : tree.nodes) {
+        out += std::to_string(node.feature) + " " + format_double(node.threshold) +
+               " " + std::to_string(node.left) + " " + std::to_string(node.right) +
+               " " + format_double(node.weight) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+GbtRegressor GbtRegressor::deserialize(std::string_view text) {
+  const auto lines = split(text, '\n');
+  std::size_t i = 0;
+  const auto next_line = [&]() -> std::string_view {
+    while (i < lines.size() && trim(lines[i]).empty()) ++i;
+    if (i >= lines.size()) throw ParseError("gbt: truncated model");
+    return trim(lines[i++]);
+  };
+
+  const auto header = split(next_line(), ' ');
+  if (header.size() != 3 || header[0] != "gbt") throw ParseError("gbt: bad header");
+  const auto n_out = static_cast<std::size_t>(parse_int(header[1]));
+  const auto n_feat = static_cast<std::size_t>(parse_int(header[2]));
+
+  GbtRegressor model;
+  model.n_features_ = n_feat;
+
+  const auto base = split(next_line(), ' ');
+  if (base.size() != n_out + 1 || base[0] != "base") throw ParseError("gbt: bad base");
+  for (std::size_t k = 0; k < n_out; ++k) {
+    model.base_score_.push_back(parse_double(base[k + 1]));
+  }
+  const auto gains = split(next_line(), ' ');
+  if (gains.size() != n_feat + 1 || gains[0] != "importance_gain") {
+    throw ParseError("gbt: bad importance_gain");
+  }
+  const auto counts = split(next_line(), ' ');
+  if (counts.size() != n_feat + 1 || counts[0] != "importance_count") {
+    throw ParseError("gbt: bad importance_count");
+  }
+  for (std::size_t f = 0; f < n_feat; ++f) {
+    model.gain_sum_.push_back(parse_double(gains[f + 1]));
+    model.split_count_.push_back(parse_double(counts[f + 1]));
+  }
+
+  model.ensembles_.assign(n_out, {});
+  while (true) {
+    while (i < lines.size() && trim(lines[i]).empty()) ++i;
+    if (i >= lines.size()) break;
+    const auto tree_header = split(trim(lines[i++]), ' ');
+    if (tree_header.size() != 3 || tree_header[0] != "tree") {
+      throw ParseError("gbt: bad tree header");
+    }
+    const auto output = static_cast<std::size_t>(parse_int(tree_header[1]));
+    const auto n_nodes = static_cast<std::size_t>(parse_int(tree_header[2]));
+    if (output >= n_out) throw ParseError("gbt: tree output out of range");
+    GbtTree tree;
+    tree.nodes.reserve(n_nodes);
+    for (std::size_t node = 0; node < n_nodes; ++node) {
+      const auto parts = split(next_line(), ' ');
+      if (parts.size() != 5) throw ParseError("gbt: bad node");
+      GbtNode gn;
+      gn.feature = static_cast<int>(parse_int(parts[0]));
+      gn.threshold = parse_double(parts[1]);
+      gn.left = static_cast<int>(parse_int(parts[2]));
+      gn.right = static_cast<int>(parse_int(parts[3]));
+      gn.weight = parse_double(parts[4]);
+      tree.nodes.push_back(gn);
+    }
+    model.ensembles_[output].push_back(std::move(tree));
+  }
+  for (const auto& ensemble : model.ensembles_) {
+    if (ensemble.empty()) throw ParseError("gbt: missing ensemble for an output");
+  }
+  return model;
+}
+
+}  // namespace mphpc::ml

@@ -1,0 +1,63 @@
+#include "ml/knn_regressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mphpc::ml {
+
+void KnnRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* /*pool*/) {
+  MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 0 && x.cols() > 0 && y.cols() > 0);
+  MPHPC_EXPECTS(options_.k >= 1);
+  MPHPC_EXPECTS(options_.weight_power >= 0.0);
+  x_ = x;
+  y_ = y;
+}
+
+void KnnRegressor::predict_one(std::span<const double> x,
+                               std::span<double> out) const {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(x.size() == x_.cols() && out.size() == y_.cols());
+
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(options_.k), x_.rows());
+
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, std::size_t>> dist(x_.rows());
+  for (std::size_t r = 0; r < x_.rows(); ++r) {
+    const auto row = x_.row(r);
+    double d2 = 0.0;
+    for (std::size_t c = 0; c < x.size(); ++c) {
+      const double d = row[c] - x[c];
+      d2 += d * d;
+    }
+    dist[r] = {d2, r};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist.end());
+
+  std::fill(out.begin(), out.end(), 0.0);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = std::sqrt(dist[i].first);
+    // Exact matches dominate: give them overwhelming (but finite) weight.
+    const double w = options_.weight_power == 0.0
+                         ? 1.0
+                         : 1.0 / std::pow(std::max(d, 1e-12), options_.weight_power);
+    const auto yr = y_.row(dist[i].second);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += w * yr[c];
+    weight_sum += w;
+  }
+  for (double& v : out) v /= weight_sum;
+}
+
+Matrix KnnRegressor::predict(const Matrix& x) const {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(x.cols() == x_.cols());
+  Matrix out(x.rows(), y_.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    predict_one(x.row(r), out.row(r));
+  }
+  return out;
+}
+
+}  // namespace mphpc::ml

@@ -1,0 +1,42 @@
+// k-nearest-neighbours regressor (distance-weighted average of the k
+// closest training samples, Euclidean metric over the standardized
+// feature space). Included as an additional comparator: the paper's
+// related work uses k-NN for similar performance-modelling tasks.
+//
+// Brute-force search: the MP-HPC dataset is ~10^4 rows x 21 features, for
+// which a scan beats tree indices; queries are parallelized by the pool.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/model.hpp"
+
+namespace mphpc::ml {
+
+struct KnnOptions {
+  int k = 8;
+  /// Inverse-distance weighting exponent; 0 = uniform average.
+  double weight_power = 1.0;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions options = {}) : options_(options) {}
+
+  void fit(const Matrix& x, const Matrix& y, ThreadPool* pool = nullptr) override;
+  [[nodiscard]] Matrix predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "knn"; }
+  [[nodiscard]] bool fitted() const noexcept override { return !x_.empty(); }
+
+  /// Prediction for one sample.
+  void predict_one(std::span<const double> x, std::span<double> out) const;
+
+  [[nodiscard]] const KnnOptions& options() const noexcept { return options_; }
+
+ private:
+  KnnOptions options_;
+  Matrix x_;
+  Matrix y_;
+};
+
+}  // namespace mphpc::ml

@@ -1,0 +1,127 @@
+#include "ml/linear_regressor.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace mphpc::ml {
+
+void cholesky_solve_in_place(Matrix& a, Matrix& b) {
+  const std::size_t n = a.rows();
+  MPHPC_EXPECTS(a.cols() == n && b.rows() == n);
+
+  // Factor A = L L^T, storing L in the lower triangle of A.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    MPHPC_EXPECTS(diag > 0.0);
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k);
+      a(i, j) = v / ljj;
+    }
+  }
+
+  const std::size_t k_cols = b.cols();
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < k_cols; ++c) {
+      double v = b(i, c);
+      for (std::size_t k = 0; k < i; ++k) v -= a(i, k) * b(k, c);
+      b(i, c) = v / a(i, i);
+    }
+  }
+  // Back substitution: L^T x = z.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    for (std::size_t c = 0; c < k_cols; ++c) {
+      double v = b(i, c);
+      for (std::size_t k = i + 1; k < n; ++k) v -= a(k, i) * b(k, c);
+      b(i, c) = v / a(i, i);
+    }
+  }
+}
+
+void LinearRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* /*pool*/) {
+  MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 0 && x.cols() > 0 && y.cols() > 0);
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  const std::size_t p = f + 1;  // + intercept column
+
+  // Gram matrix G = [X 1]^T [X 1] and moment matrix M = [X 1]^T Y.
+  Matrix gram(p, p);
+  Matrix moment(p, y.cols());
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto xr = x.row(r);
+    for (std::size_t i = 0; i < f; ++i) {
+      for (std::size_t j = i; j < f; ++j) gram(i, j) += xr[i] * xr[j];
+      gram(i, f) += xr[i];
+      for (std::size_t c = 0; c < y.cols(); ++c) moment(i, c) += xr[i] * y(r, c);
+    }
+    gram(f, f) += 1.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) moment(f, c) += y(r, c);
+  }
+  // Mirror the upper triangle and apply the ridge penalty (intercept
+  // unpenalized).
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  for (std::size_t i = 0; i < f; ++i) gram(i, i) += options_.l2;
+
+  cholesky_solve_in_place(gram, moment);
+  weights_ = std::move(moment);
+}
+
+Matrix LinearRegressor::predict(const Matrix& x) const {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(x.cols() + 1 == weights_.rows());
+  const std::size_t outputs = weights_.cols();
+  Matrix out(x.rows(), outputs);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto xr = x.row(r);
+    for (std::size_t c = 0; c < outputs; ++c) {
+      double v = weights_(x.cols(), c);  // intercept
+      for (std::size_t i = 0; i < x.cols(); ++i) v += xr[i] * weights_(i, c);
+      out(r, c) = v;
+    }
+  }
+  return out;
+}
+
+std::string LinearRegressor::serialize() const {
+  MPHPC_EXPECTS(fitted());
+  std::string out = std::to_string(weights_.rows()) + " " +
+                    std::to_string(weights_.cols()) + "\n";
+  for (std::size_t r = 0; r < weights_.rows(); ++r) {
+    std::vector<std::string> parts;
+    parts.reserve(weights_.cols());
+    for (std::size_t c = 0; c < weights_.cols(); ++c) {
+      parts.push_back(format_double(weights_(r, c)));
+    }
+    out += join(parts, " ") + "\n";
+  }
+  return out;
+}
+
+LinearRegressor LinearRegressor::deserialize(std::string_view text) {
+  const auto lines = split(text, '\n');
+  if (lines.empty()) throw ParseError("linear regressor: empty");
+  const auto dims = split(trim(lines[0]), ' ');
+  if (dims.size() != 2) throw ParseError("linear regressor: bad header");
+  const auto rows = static_cast<std::size_t>(parse_int(dims[0]));
+  const auto cols = static_cast<std::size_t>(parse_int(dims[1]));
+  if (lines.size() < rows + 1) throw ParseError("linear regressor: truncated");
+  Matrix w(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto parts = split(trim(lines[r + 1]), ' ');
+    if (parts.size() != cols) throw ParseError("linear regressor: bad row");
+    for (std::size_t c = 0; c < cols; ++c) w(r, c) = parse_double(parts[c]);
+  }
+  LinearRegressor model;
+  model.weights_ = std::move(w);
+  return model;
+}
+
+}  // namespace mphpc::ml

@@ -1,0 +1,39 @@
+// Multi-output ridge regression solved by the normal equations with a
+// Cholesky factorization: W = (X^T X + lambda I)^-1 X^T Y, with an
+// unpenalized intercept via column augmentation.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace mphpc::ml {
+
+struct LinearOptions {
+  double l2 = 1e-6;  ///< ridge penalty (keeps the normal equations well-posed)
+};
+
+class LinearRegressor final : public Regressor {
+ public:
+  explicit LinearRegressor(LinearOptions options = {}) : options_(options) {}
+
+  void fit(const Matrix& x, const Matrix& y, ThreadPool* pool = nullptr) override;
+  [[nodiscard]] Matrix predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+  [[nodiscard]] bool fitted() const noexcept override { return !weights_.empty(); }
+
+  /// Fitted weights: (features+1) x outputs; the last row is the intercept.
+  [[nodiscard]] const Matrix& weights() const noexcept { return weights_; }
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static LinearRegressor deserialize(std::string_view text);
+
+ private:
+  LinearOptions options_;
+  Matrix weights_;
+};
+
+/// Solves A x = b for symmetric positive-definite A (in-place Cholesky).
+/// A is n x n row-major, b has n rows and k columns; the solution
+/// overwrites b. Throws ContractViolation if A is not positive definite.
+void cholesky_solve_in_place(Matrix& a, Matrix& b);
+
+}  // namespace mphpc::ml

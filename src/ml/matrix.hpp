@@ -1,0 +1,83 @@
+// Row-major owning matrix used as the data interchange type of the ML
+// stack: X is (samples x features), Y is (samples x outputs).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mphpc::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Adopts row-major `data` (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    MPHPC_EXPECTS(data_.size() == rows_ * cols_);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws ContractViolation).
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    MPHPC_EXPECTS(r < rows_ && c < cols_);
+    return (*this)(r, c);
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    MPHPC_EXPECTS(r < rows_ && c < cols_);
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// Extracts one column as a vector.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const {
+    MPHPC_EXPECTS(c < cols_);
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  /// New matrix containing the given rows.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> rows) const {
+    Matrix out(rows.size(), cols_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      MPHPC_EXPECTS(rows[i] < rows_);
+      const auto src = row(rows[i]);
+      std::copy(src.begin(), src.end(), out.row(i).begin());
+    }
+    return out;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace mphpc::ml

@@ -1,0 +1,42 @@
+#include "ml/mean_regressor.hpp"
+
+#include "common/strings.hpp"
+
+namespace mphpc::ml {
+
+void MeanRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* /*pool*/) {
+  MPHPC_EXPECTS(x.rows() == y.rows() && y.rows() > 0 && y.cols() > 0);
+  mean_.assign(y.cols(), 0.0);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) mean_[c] += y(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(y.rows());
+}
+
+Matrix MeanRegressor::predict(const Matrix& x) const {
+  MPHPC_EXPECTS(fitted());
+  Matrix out(x.rows(), mean_.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < mean_.size(); ++c) out(r, c) = mean_[c];
+  }
+  return out;
+}
+
+std::string MeanRegressor::serialize() const {
+  MPHPC_EXPECTS(fitted());
+  std::vector<std::string> parts;
+  parts.reserve(mean_.size());
+  for (const double m : mean_) parts.push_back(format_double(m));
+  return join(parts, " ");
+}
+
+MeanRegressor MeanRegressor::deserialize(std::string_view text) {
+  MeanRegressor model;
+  for (const auto& part : split(text, ' ')) {
+    if (!trim(part).empty()) model.mean_.push_back(parse_double(part));
+  }
+  if (model.mean_.empty()) throw ParseError("mean regressor: no values");
+  return model;
+}
+
+}  // namespace mphpc::ml

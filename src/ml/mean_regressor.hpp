@@ -1,0 +1,27 @@
+// Mean-prediction baseline (paper §VI-A): predicts the training set's mean
+// output vector for every sample. The reference point the learned models
+// are measured against (the paper's XGBoost improves on it by ~82% MAE).
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace mphpc::ml {
+
+class MeanRegressor final : public Regressor {
+ public:
+  void fit(const Matrix& x, const Matrix& y, ThreadPool* pool = nullptr) override;
+  [[nodiscard]] Matrix predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "mean"; }
+  [[nodiscard]] bool fitted() const noexcept override { return !mean_.empty(); }
+
+  [[nodiscard]] const std::vector<double>& mean() const noexcept { return mean_; }
+
+  /// Text serialization (single line of output means).
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static MeanRegressor deserialize(std::string_view text);
+
+ private:
+  std::vector<double> mean_;
+};
+
+}  // namespace mphpc::ml

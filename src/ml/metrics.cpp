@@ -1,0 +1,96 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mphpc::ml {
+
+namespace {
+
+void check_shapes(const Matrix& truth, const Matrix& pred) {
+  MPHPC_EXPECTS(truth.rows() == pred.rows() && truth.cols() == pred.cols());
+  MPHPC_EXPECTS(truth.rows() > 0 && truth.cols() > 0);
+}
+
+}  // namespace
+
+double mean_absolute_error(const Matrix& truth, const Matrix& pred) {
+  check_shapes(truth, pred);
+  const auto t = truth.flat();
+  const auto p = pred.flat();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sum += std::abs(t[i] - p[i]);
+  return sum / static_cast<double>(t.size());
+}
+
+double root_mean_squared_error(const Matrix& truth, const Matrix& pred) {
+  check_shapes(truth, pred);
+  const auto t = truth.flat();
+  const auto p = pred.flat();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const double d = t[i] - p[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(t.size()));
+}
+
+double r2_score(const Matrix& truth, const Matrix& pred) {
+  check_shapes(truth, pred);
+  double r2_sum = 0.0;
+  for (std::size_t c = 0; c < truth.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < truth.rows(); ++r) mean += truth(r, c);
+    mean /= static_cast<double>(truth.rows());
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t r = 0; r < truth.rows(); ++r) {
+      const double dr = truth(r, c) - pred(r, c);
+      const double dt = truth(r, c) - mean;
+      ss_res += dr * dr;
+      ss_tot += dt * dt;
+    }
+    // Constant-truth columns: perfect prediction scores 1, otherwise 0
+    // (scikit-learn convention).
+    if (ss_tot == 0.0) {
+      r2_sum += ss_res == 0.0 ? 1.0 : 0.0;
+    } else {
+      r2_sum += 1.0 - ss_res / ss_tot;
+    }
+  }
+  return r2_sum / static_cast<double>(truth.cols());
+}
+
+namespace {
+
+// Rank vector of `v` with ties broken by index (stable).
+std::vector<std::size_t> ranking(std::span<const double> v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<std::size_t> rank(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) rank[idx[i]] = i;
+  return rank;
+}
+
+}  // namespace
+
+bool same_order(std::span<const double> a, std::span<const double> b) {
+  MPHPC_EXPECTS(a.size() == b.size());
+  return ranking(a) == ranking(b);
+}
+
+double same_order_score(const Matrix& truth, const Matrix& pred) {
+  check_shapes(truth, pred);
+  std::size_t matches = 0;
+  for (std::size_t r = 0; r < truth.rows(); ++r) {
+    if (same_order(truth.row(r), pred.row(r))) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(truth.rows());
+}
+
+}  // namespace mphpc::ml

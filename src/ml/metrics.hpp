@@ -1,0 +1,29 @@
+// Evaluation metrics (paper §VI-C): mean absolute error over all vector
+// components, the Same Order Score over predicted relative-performance
+// vectors, plus RMSE and R^2 for completeness.
+#pragma once
+
+#include "ml/matrix.hpp"
+
+namespace mphpc::ml {
+
+/// Mean absolute error across every (row, output) cell. Shapes must match.
+[[nodiscard]] double mean_absolute_error(const Matrix& truth, const Matrix& pred);
+
+/// Root-mean-squared error across every cell.
+[[nodiscard]] double root_mean_squared_error(const Matrix& truth, const Matrix& pred);
+
+/// Coefficient of determination, averaged over outputs (uniform average,
+/// as scikit-learn's default multi-output R^2).
+[[nodiscard]] double r2_score(const Matrix& truth, const Matrix& pred);
+
+/// True if `a` and `b` have identical rank orderings (the i-th element of
+/// each is the n-th largest in its own vector, for every i). Ties are
+/// broken by index so the comparison is total.
+[[nodiscard]] bool same_order(std::span<const double> a, std::span<const double> b);
+
+/// Fraction of rows whose predicted vector preserves the true vector's
+/// architecture ordering (paper's SOS metric).
+[[nodiscard]] double same_order_score(const Matrix& truth, const Matrix& pred);
+
+}  // namespace mphpc::ml

@@ -1,0 +1,40 @@
+// The common regressor interface. All models are multi-output
+// (Y: samples x outputs) to match the relative-performance-vector task.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "ml/matrix.hpp"
+
+namespace mphpc::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fits the model to (X, Y). X: samples x features, Y: samples x outputs,
+  /// same row count, both non-empty. Refitting replaces the previous fit.
+  /// `pool` (optional) parallelizes training where the model supports it.
+  virtual void fit(const Matrix& x, const Matrix& y, ThreadPool* pool = nullptr) = 0;
+
+  /// Predicts outputs for X (samples x features, feature count must match
+  /// the fit). Requires a prior fit.
+  [[nodiscard]] virtual Matrix predict(const Matrix& x) const = 0;
+
+  /// Short model family name ("xgboost", "decision forest", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual bool fitted() const noexcept = 0;
+
+  /// Per-feature importances (average split gain) for models that expose
+  /// them; nullopt otherwise. Only valid after fit().
+  [[nodiscard]] virtual std::optional<std::vector<double>> feature_importances() const {
+    return std::nullopt;
+  }
+};
+
+}  // namespace mphpc::ml

@@ -1,0 +1,16 @@
+// File-level save/load helpers for serialized models, so a trained
+// predictor can be exported and reused without retraining (the paper's
+// "model is exported and used in downstream tasks" workflow).
+#pragma once
+
+#include <string>
+
+namespace mphpc::ml {
+
+/// Writes text to a file; throws std::runtime_error on failure.
+void save_text(const std::string& text, const std::string& path);
+
+/// Reads an entire file; throws std::runtime_error on failure.
+[[nodiscard]] std::string load_text(const std::string& path);
+
+}  // namespace mphpc::ml

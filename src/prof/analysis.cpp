@@ -1,0 +1,43 @@
+#include "prof/analysis.hpp"
+
+#include <algorithm>
+
+#include "prof/dataframe.hpp"
+
+namespace mphpc::prof {
+
+PhaseBreakdown phase_breakdown(const CallingContextTree& tree) {
+  const auto by_kind = time_by_kind(tree);
+  double total = 0.0;
+  for (const double t : by_kind) total += t;
+  PhaseBreakdown out;
+  if (total <= 0.0) return out;
+  out.driver = (by_kind[static_cast<std::size_t>(FrameKind::kRoot)] +
+                by_kind[static_cast<std::size_t>(FrameKind::kDriver)]) /
+               total;
+  out.compute = by_kind[static_cast<std::size_t>(FrameKind::kCompute)] / total;
+  out.comm = by_kind[static_cast<std::size_t>(FrameKind::kComm)] / total;
+  out.io = by_kind[static_cast<std::size_t>(FrameKind::kIo)] / total;
+  out.gpu_launch = by_kind[static_cast<std::size_t>(FrameKind::kGpuLaunch)] / total;
+  return out;
+}
+
+sim::CounterValues aggregate_counters(const CallingContextTree& tree) {
+  sim::CounterValues out{};
+  for (const CctNode& node : tree.nodes()) {
+    for (std::size_t k = 0; k < out.size(); ++k) out[k] += node.counters[k];
+  }
+  return out;
+}
+
+double hot_kernel_share(const CallingContextTree& tree) {
+  const double total = tree.total_time();
+  if (total <= 0.0) return 0.0;
+  double hottest = 0.0;
+  for (const CctNode& node : tree.nodes()) {
+    if (node.kind == FrameKind::kCompute) hottest = std::max(hottest, node.time_s);
+  }
+  return hottest / total;
+}
+
+}  // namespace mphpc::prof

@@ -1,0 +1,30 @@
+// Run-level analyses over calling-context trees — the role Hatchet plays
+// in the paper's pipeline: turning a structured profile back into the
+// per-run quantities the dataset needs.
+#pragma once
+
+#include "prof/cct.hpp"
+#include "sim/counter_synth.hpp"
+
+namespace mphpc::prof {
+
+/// Fraction of wall time per phase; fractions sum to 1 for non-empty trees.
+struct PhaseBreakdown {
+  double compute = 0.0;
+  double comm = 0.0;
+  double io = 0.0;
+  double driver = 0.0;     ///< setup/control (incl. root)
+  double gpu_launch = 0.0;
+};
+
+[[nodiscard]] PhaseBreakdown phase_breakdown(const CallingContextTree& tree);
+
+/// Aggregates the tree's exclusive counters — recovers exactly the per-run
+/// counter vector the profiler recorded (build_cct partitions it).
+[[nodiscard]] sim::CounterValues aggregate_counters(const CallingContextTree& tree);
+
+/// Share of total time spent in the single hottest compute frame
+/// (a common kernel-dominance diagnostic).
+[[nodiscard]] double hot_kernel_share(const CallingContextTree& tree);
+
+}  // namespace mphpc::prof

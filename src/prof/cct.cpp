@@ -1,0 +1,147 @@
+#include "prof/cct.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc::prof {
+
+std::string_view to_string(FrameKind kind) noexcept {
+  switch (kind) {
+    case FrameKind::kRoot: return "root";
+    case FrameKind::kDriver: return "driver";
+    case FrameKind::kCompute: return "compute";
+    case FrameKind::kComm: return "comm";
+    case FrameKind::kIo: return "io";
+    case FrameKind::kGpuLaunch: return "gpu-launch";
+  }
+  return "unknown";
+}
+
+CallingContextTree::CallingContextTree() {
+  CctNode root;
+  root.name = "main";
+  root.kind = FrameKind::kRoot;
+  nodes_.push_back(std::move(root));
+}
+
+int CallingContextTree::add_child(int parent, std::string name, FrameKind kind) {
+  MPHPC_EXPECTS(parent >= 0 && parent < static_cast<int>(nodes_.size()));
+  const int index = static_cast<int>(nodes_.size());
+  CctNode node;
+  node.name = std::move(name);
+  node.kind = kind;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(index);
+  return index;
+}
+
+int CallingContextTree::depth(int index) const {
+  MPHPC_EXPECTS(index >= 0 && index < static_cast<int>(nodes_.size()));
+  int d = 0;
+  while (nodes_[static_cast<std::size_t>(index)].parent >= 0) {
+    index = nodes_[static_cast<std::size_t>(index)].parent;
+    ++d;
+  }
+  return d;
+}
+
+int CallingContextTree::max_depth() const {
+  int best = 0;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    best = std::max(best, depth(i));
+  }
+  return best;
+}
+
+double CallingContextTree::inclusive_time(int index) const {
+  const CctNode& n = node(index);
+  double total = n.time_s;
+  for (const int child : n.children) total += inclusive_time(child);
+  return total;
+}
+
+double CallingContextTree::inclusive_counter(int index, arch::CounterKind kind) const {
+  const CctNode& n = node(index);
+  double total = n.counters[static_cast<std::size_t>(kind)];
+  for (const int child : n.children) total += inclusive_counter(child, kind);
+  return total;
+}
+
+std::vector<int> CallingContextTree::find(std::string_view name) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].name == name) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> CallingContextTree::find(FrameKind kind) const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> CallingContextTree::hot_path() const {
+  std::vector<int> path = {root()};
+  int current = root();
+  while (!node(current).children.empty()) {
+    int best = -1;
+    double best_time = -1.0;
+    for (const int child : node(current).children) {
+      const double t = inclusive_time(child);
+      if (t > best_time) {
+        best_time = t;
+        best = child;
+      }
+    }
+    path.push_back(best);
+    current = best;
+  }
+  return path;
+}
+
+double CallingContextTree::total_time() const {
+  double total = 0.0;
+  for (const CctNode& n : nodes_) total += n.time_s;
+  return total;
+}
+
+double CallingContextTree::total_counter(arch::CounterKind kind) const {
+  double total = 0.0;
+  for (const CctNode& n : nodes_) total += n.counters[static_cast<std::size_t>(kind)];
+  return total;
+}
+
+std::string CallingContextTree::render(int max_display_depth) const {
+  std::string out;
+  const double total = total_time();
+  // Depth-first, preserving child order.
+  std::vector<std::pair<int, int>> stack = {{root(), 0}};
+  while (!stack.empty()) {
+    const auto [index, d] = stack.back();
+    stack.pop_back();
+    if (d > max_display_depth) continue;
+    const CctNode& n = node(index);
+    const double inclusive = inclusive_time(index);
+    out.append(static_cast<std::size_t>(2 * d), ' ');
+    out += n.name;
+    out += " [" + std::string(to_string(n.kind)) + "] ";
+    out += format_fixed(inclusive, 3) + "s inclusive";
+    if (total > 0.0) {
+      out += " (" + format_fixed(100.0 * inclusive / total, 1) + "%)";
+    }
+    out += '\n';
+    // Push children in reverse so the first child renders first.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.emplace_back(*it, d + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace mphpc::prof

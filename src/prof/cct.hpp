@@ -1,0 +1,97 @@
+// Calling-context trees (the HPCToolkit profile format the paper's
+// pipeline consumes through Hatchet).
+//
+// HPCToolkit attributes sampled metrics to nodes of a calling-context
+// tree (CCT); Hatchet then exposes the tree as a dataframe for
+// programmatic analysis. This module provides both halves for the
+// simulated runs: the CCT itself (this header), a builder that
+// synthesizes realistic trees from a run profile (cct_builder.hpp), and
+// Hatchet-style dataframe operations (dataframe.hpp).
+//
+// Metrics on a node are EXCLUSIVE (the node's own samples); inclusive
+// values are computed on demand by subtree aggregation, mirroring
+// HPCToolkit's "(I)" and "(E)" metric variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/counter_synth.hpp"
+
+namespace mphpc::prof {
+
+/// Frame classification, used by analyses to attribute time to phases.
+enum class FrameKind : std::uint8_t {
+  kRoot = 0,
+  kDriver,    ///< setup / control logic
+  kCompute,   ///< numeric kernels (CPU or device)
+  kComm,      ///< MPI communication
+  kIo,        ///< filesystem traffic
+  kGpuLaunch, ///< host-side kernel launch / staging
+};
+
+[[nodiscard]] std::string_view to_string(FrameKind kind) noexcept;
+
+struct CctNode {
+  std::string name;                 ///< frame name, e.g. "hypre_CG_solve"
+  FrameKind kind = FrameKind::kDriver;
+  int parent = -1;                  ///< -1 for the root
+  std::vector<int> children;
+  double time_s = 0.0;              ///< exclusive wall time attributed here
+  sim::CounterValues counters{};    ///< exclusive counter values
+};
+
+class CallingContextTree {
+ public:
+  /// Creates a tree with a root frame called "main".
+  CallingContextTree();
+
+  /// Adds a child frame under `parent`; returns the new node index.
+  int add_child(int parent, std::string name, FrameKind kind);
+
+  [[nodiscard]] const std::vector<CctNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] CctNode& node(int index) { return nodes_.at(static_cast<std::size_t>(index)); }
+  [[nodiscard]] const CctNode& node(int index) const {
+    return nodes_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] static constexpr int root() noexcept { return 0; }
+
+  /// Depth of a node (root = 0).
+  [[nodiscard]] int depth(int index) const;
+
+  /// Maximum node depth in the tree.
+  [[nodiscard]] int max_depth() const;
+
+  /// Inclusive wall time of a subtree.
+  [[nodiscard]] double inclusive_time(int index) const;
+
+  /// Inclusive value of one counter over a subtree.
+  [[nodiscard]] double inclusive_counter(int index, arch::CounterKind kind) const;
+
+  /// All node indices whose frame name equals `name`.
+  [[nodiscard]] std::vector<int> find(std::string_view name) const;
+
+  /// All node indices of the given kind.
+  [[nodiscard]] std::vector<int> find(FrameKind kind) const;
+
+  /// The hot path: from the root, repeatedly descend into the child with
+  /// the largest inclusive time. Returns the node indices root-first.
+  [[nodiscard]] std::vector<int> hot_path() const;
+
+  /// Sum of exclusive times over all nodes (== total run time).
+  [[nodiscard]] double total_time() const;
+
+  /// Sum of one exclusive counter over all nodes.
+  [[nodiscard]] double total_counter(arch::CounterKind kind) const;
+
+  /// Renders an indented tree with times, hpcviewer-style.
+  [[nodiscard]] std::string render(int max_display_depth = 8) const;
+
+ private:
+  std::vector<CctNode> nodes_;
+};
+
+}  // namespace mphpc::prof

@@ -1,0 +1,166 @@
+#include "prof/cct_builder.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::prof {
+
+std::vector<std::string> kernel_names(std::string_view app_name) {
+  struct Entry {
+    std::string_view app;
+    std::array<std::string_view, 3> kernels;
+  };
+  static constexpr Entry kTable[] = {
+      {"AMG", {"hypre_BoomerAMGSolve", "hypre_CSRMatvec", "hypre_Relax"}},
+      {"CANDLE", {"dense_forward", "dense_backward", "optimizer_step"}},
+      {"CoMD", {"computeForceLJ", "updateLinkCells", "advanceVelocity"}},
+      {"CosmoFlow", {"conv3d_forward", "conv3d_backward", "batchnorm_update"}},
+      {"CRADL", {"lagrange_step", "remap_advect", "eos_update"}},
+      {"Ember", {"halo3d_pack", "sweep3d_recv", "incast_send"}},
+      {"ExaMiniMD", {"force_lj_compute", "neighbor_build", "integrate_verlet"}},
+      {"Laghos", {"mass_pa_mult", "force_pa_mult", "qupdate"}},
+      {"miniFE", {"cg_matvec", "cg_dot", "waxpby"}},
+      {"miniGAN", {"generator_forward", "discriminator_forward", "gan_backward"}},
+      {"miniQMC", {"spline_eval", "jastrow_ratio", "det_update"}},
+      {"miniTri", {"set_intersect", "triangle_count", "degree_scan"}},
+      {"miniVite", {"louvain_iterate", "community_update", "modularity_reduce"}},
+      {"DeepCam", {"segnet_forward", "segnet_backward", "loss_reduce"}},
+      {"Nekbone", {"ax_local", "glsc3_dot", "add2s2"}},
+      {"PICSARLite", {"particle_push", "current_deposit", "field_gather"}},
+      {"SW4lite", {"rhs4_stencil", "supergrid_damp", "boundary_update"}},
+      {"SWFFT", {"fft_z_pencil", "fft_transpose", "fft_xy_pencil"}},
+      {"Thornado-mini", {"moment_solve", "opacity_update", "flux_limiter"}},
+      {"XSBench", {"xs_lookup", "grid_search", "macro_accumulate"}},
+  };
+  for (const Entry& e : kTable) {
+    if (e.app == app_name) {
+      return {std::string(e.kernels[0]), std::string(e.kernels[1]),
+              std::string(e.kernels[2])};
+    }
+  }
+  return {"kernel_a", "kernel_b", "kernel_c"};
+}
+
+namespace {
+
+using arch::CounterKind;
+
+/// Adds `share` of every counter in `total` (except the I/O byte counters,
+/// which are attributed to the I/O frames explicitly) to node `index`.
+void assign_counters(CctNode& node, const sim::CounterValues& total, double share) {
+  for (std::size_t k = 0; k < total.size(); ++k) {
+    const auto kind = static_cast<CounterKind>(k);
+    if (kind == CounterKind::kIoBytesRead || kind == CounterKind::kIoBytesWritten) {
+      continue;
+    }
+    node.counters[k] += total[k] * share;
+  }
+}
+
+}  // namespace
+
+CallingContextTree build_cct(const sim::RunProfile& profile,
+                             const workload::AppSignature& app) {
+  MPHPC_EXPECTS(profile.app == app.name);
+  CallingContextTree tree;
+  const sim::TimeBreakdown& tb = profile.breakdown;
+  // Distribute the measured wall time with the breakdown's proportions.
+  const double time_scale = tb.total_s() > 0.0 ? profile.time_s / tb.total_s() : 1.0;
+
+  Rng rng(derive_seed(fnv1a(profile.app), "cct",
+                      static_cast<std::uint64_t>(profile.input_index)));
+
+  // --- I/O frames. ---
+  const double io_total = profile.counters[static_cast<std::size_t>(
+                              CounterKind::kIoBytesRead)] +
+                          profile.counters[static_cast<std::size_t>(
+                              CounterKind::kIoBytesWritten)];
+  const double read_frac =
+      io_total > 0.0 ? profile.counters[static_cast<std::size_t>(
+                           CounterKind::kIoBytesRead)] /
+                           io_total
+                     : 0.5;
+  const int read_input = tree.add_child(tree.root(), "read_input", FrameKind::kIo);
+  tree.node(read_input).time_s = tb.io_s * read_frac * time_scale;
+  tree.node(read_input).counters[static_cast<std::size_t>(CounterKind::kIoBytesRead)] =
+      profile.counters[static_cast<std::size_t>(CounterKind::kIoBytesRead)];
+
+  // --- Initialization (the serial/driver portion). ---
+  const int initialize = tree.add_child(tree.root(), "initialize", FrameKind::kDriver);
+  tree.node(initialize).time_s = tb.serial_s * 0.9 * time_scale;
+  assign_counters(tree.node(initialize), profile.counters, 0.04);
+
+  // --- Timestep loop with app-specific kernels. ---
+  const int loop = tree.add_child(tree.root(), "timestep_loop", FrameKind::kDriver);
+  tree.node(loop).time_s = 0.0;
+  assign_counters(tree.node(loop), profile.counters, 0.01);
+
+  // Kernel weights: deterministic, skewed (one dominant kernel).
+  const auto kernels = kernel_names(profile.app);
+  std::array<double, 3> weights{};
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 0.15 + rng.uniform();
+    weight_sum += weights[i];
+  }
+  for (double& w : weights) w /= weight_sum;
+
+  const double kernel_time =
+      (tb.compute_s + tb.memory_s + tb.branch_s + tb.gpu_s + tb.overhead_s) *
+      time_scale;
+  const double kernel_counter_share = 0.92;  // rest went to driver/comm frames
+  const bool gpu_run = profile.device == arch::Device::kGpu;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (gpu_run) {
+      // Host launch frame over the device kernel, as GPU traces show.
+      const int launch =
+          tree.add_child(loop, "launch_" + kernels[i], FrameKind::kGpuLaunch);
+      tree.node(launch).time_s = tb.overhead_s * weights[i] * time_scale;
+      const int device = tree.add_child(launch, kernels[i] + "_device",
+                                        FrameKind::kCompute);
+      tree.node(device).time_s =
+          (kernel_time - tb.overhead_s * time_scale) * weights[i];
+      assign_counters(tree.node(device), profile.counters,
+                      kernel_counter_share * weights[i]);
+    } else {
+      const int kernel = tree.add_child(loop, kernels[i], FrameKind::kCompute);
+      tree.node(kernel).time_s = kernel_time * weights[i];
+      assign_counters(tree.node(kernel), profile.counters,
+                      kernel_counter_share * weights[i]);
+    }
+  }
+
+  // --- Communication frames (only in multi-rank runs). ---
+  if (profile.config.ranks > 1) {
+    const int exchange =
+        tree.add_child(loop, app.comm_latency_bound > 0.5 ? "MPI_Isend" : "MPI_Waitall",
+                       FrameKind::kComm);
+    tree.node(exchange).time_s = tb.comm_s * 0.7 * time_scale;
+    assign_counters(tree.node(exchange), profile.counters, 0.02);
+    const int reduce = tree.add_child(loop, "MPI_Allreduce", FrameKind::kComm);
+    tree.node(reduce).time_s = tb.comm_s * 0.3 * time_scale;
+    assign_counters(tree.node(reduce), profile.counters, 0.01);
+  } else {
+    // The counter share comm frames would have taken stays on the loop.
+    assign_counters(tree.node(loop), profile.counters, 0.03);
+  }
+
+  // --- Output + finalize. ---
+  const int write_output = tree.add_child(tree.root(), "write_output", FrameKind::kIo);
+  tree.node(write_output).time_s = tb.io_s * (1.0 - read_frac) * time_scale;
+  tree.node(write_output)
+      .counters[static_cast<std::size_t>(CounterKind::kIoBytesWritten)] =
+      profile.counters[static_cast<std::size_t>(CounterKind::kIoBytesWritten)];
+
+  const int finalize = tree.add_child(tree.root(), "finalize", FrameKind::kDriver);
+  tree.node(finalize).time_s = tb.serial_s * 0.1 * time_scale;
+  // The root keeps no time; give finalize the leftover counter share so
+  // exclusive counters sum exactly to the profile's totals.
+  // Shares so far: 0.04 (init) + 0.01 (loop) + 0.92 (kernels) + 0.03
+  // (comm or loop) = 1.00; finalize gets none beyond rounding.
+  return tree;
+}
+
+}  // namespace mphpc::prof

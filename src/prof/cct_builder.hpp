@@ -1,0 +1,26 @@
+// Synthesizes a calling-context tree for a profiled run — the shape
+// HPCToolkit would record: an application-specific set of solver kernels
+// under a timestep loop, MPI frames for communication, I/O frames for
+// input/output, and (on GPU runs) host-side launch frames over device
+// kernels. Region times come from the run's noise-free breakdown; region
+// counters partition the run's measured counters, so subtree aggregation
+// reproduces the per-run totals exactly (tested).
+#pragma once
+
+#include "prof/cct.hpp"
+#include "sim/profiler.hpp"
+#include "workload/app_signature.hpp"
+
+namespace mphpc::prof {
+
+/// Builds the CCT of one run. `app` must be the (effective) signature of
+/// the profiled application; the tree's kernel decomposition is
+/// deterministic in (app, input_index).
+[[nodiscard]] CallingContextTree build_cct(const sim::RunProfile& profile,
+                                           const workload::AppSignature& app);
+
+/// The plausible kernel frame names used for an application (3 per app;
+/// generic names for apps without a curated list).
+[[nodiscard]] std::vector<std::string> kernel_names(std::string_view app_name);
+
+}  // namespace mphpc::prof

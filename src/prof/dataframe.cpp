@@ -1,0 +1,170 @@
+#include "prof/dataframe.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mphpc::prof {
+
+data::Table to_table(const CallingContextTree& tree) {
+  data::Table table;
+  const std::size_t n = tree.size();
+
+  std::vector<double> node_idx(n);
+  std::vector<double> parent_idx(n);
+  std::vector<std::string> names(n);
+  std::vector<std::string> kinds(n);
+  std::vector<double> depths(n);
+  std::vector<double> time_ex(n);
+  std::vector<double> time_inc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CctNode& node = tree.node(static_cast<int>(i));
+    node_idx[i] = static_cast<double>(i);
+    parent_idx[i] = static_cast<double>(node.parent);
+    names[i] = node.name;
+    kinds[i] = std::string(to_string(node.kind));
+    depths[i] = static_cast<double>(tree.depth(static_cast<int>(i)));
+    time_ex[i] = node.time_s;
+    time_inc[i] = tree.inclusive_time(static_cast<int>(i));
+  }
+  table.add_numeric_column("node", std::move(node_idx));
+  table.add_numeric_column("parent", std::move(parent_idx));
+  table.add_text_column("name", std::move(names));
+  table.add_text_column("kind", std::move(kinds));
+  table.add_numeric_column("depth", std::move(depths));
+  table.add_numeric_column("time_s", std::move(time_ex));
+  table.add_numeric_column("time_inc_s", std::move(time_inc));
+
+  for (const arch::CounterKind kind : arch::kAllCounterKinds) {
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = tree.node(static_cast<int>(i))
+                      .counters[static_cast<std::size_t>(kind)];
+    }
+    table.add_numeric_column(std::string(arch::to_string(kind)), std::move(values));
+  }
+  return table;
+}
+
+CallingContextTree filter_squash(const CallingContextTree& tree,
+                                 const std::function<bool(const CctNode&)>& keep) {
+  const int n = static_cast<int>(tree.size());
+  // Nearest kept ancestor for every node (root is always kept).
+  std::vector<int> kept_ancestor(static_cast<std::size_t>(n), -1);
+  std::vector<bool> kept(static_cast<std::size_t>(n), false);
+  kept[0] = true;
+
+  // Nodes are stored in creation order, so parents precede children.
+  for (int i = 1; i < n; ++i) {
+    kept[static_cast<std::size_t>(i)] = keep(tree.node(i));
+  }
+  kept_ancestor[0] = 0;
+  for (int i = 1; i < n; ++i) {
+    const int parent = tree.node(i).parent;
+    kept_ancestor[static_cast<std::size_t>(i)] =
+        kept[static_cast<std::size_t>(parent)]
+            ? parent
+            : kept_ancestor[static_cast<std::size_t>(parent)];
+  }
+
+  CallingContextTree out;
+  std::vector<int> new_index(static_cast<std::size_t>(n), -1);
+  new_index[0] = CallingContextTree::root();
+  out.node(CallingContextTree::root()).time_s = tree.node(0).time_s;
+  out.node(CallingContextTree::root()).counters = tree.node(0).counters;
+
+  for (int i = 1; i < n; ++i) {
+    const CctNode& node = tree.node(i);
+    if (kept[static_cast<std::size_t>(i)]) {
+      // Parent in the squashed tree: nearest kept ancestor (which may be
+      // the direct parent).
+      const int ancestor = kept[static_cast<std::size_t>(node.parent)]
+                               ? node.parent
+                               : kept_ancestor[static_cast<std::size_t>(i)];
+      const int mapped = new_index[static_cast<std::size_t>(ancestor)];
+      MPHPC_ENSURES(mapped >= 0);
+      const int idx = out.add_child(mapped, node.name, node.kind);
+      out.node(idx).time_s = node.time_s;
+      out.node(idx).counters = node.counters;
+      new_index[static_cast<std::size_t>(i)] = idx;
+    } else {
+      // Fold the removed node's exclusive metrics into its kept ancestor
+      // so tree totals are preserved.
+      const int ancestor = kept_ancestor[static_cast<std::size_t>(i)];
+      const int mapped = new_index[static_cast<std::size_t>(ancestor)];
+      MPHPC_ENSURES(mapped >= 0);
+      out.node(mapped).time_s += node.time_s;
+      for (std::size_t k = 0; k < node.counters.size(); ++k) {
+        out.node(mapped).counters[k] += node.counters[k];
+      }
+    }
+  }
+  return out;
+}
+
+data::Table flat_profile(const CallingContextTree& tree) {
+  struct Agg {
+    double calls = 0.0;
+    double time_s = 0.0;
+    sim::CounterValues counters{};
+  };
+  std::map<std::string, Agg> by_name;
+  for (const CctNode& node : tree.nodes()) {
+    Agg& agg = by_name[node.name];
+    agg.calls += 1.0;
+    agg.time_s += node.time_s;
+    for (std::size_t k = 0; k < node.counters.size(); ++k) {
+      agg.counters[k] += node.counters[k];
+    }
+  }
+
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.time_s > b.second.time_s;
+  });
+
+  data::Table table;
+  std::vector<std::string> names;
+  std::vector<double> calls;
+  std::vector<double> times;
+  for (const auto& [name, agg] : rows) {
+    names.push_back(name);
+    calls.push_back(agg.calls);
+    times.push_back(agg.time_s);
+  }
+  table.add_text_column("name", std::move(names));
+  table.add_numeric_column("calls", std::move(calls));
+  table.add_numeric_column("time_s", std::move(times));
+  for (const arch::CounterKind kind : arch::kAllCounterKinds) {
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const auto& [name, agg] : rows) {
+      values.push_back(agg.counters[static_cast<std::size_t>(kind)]);
+    }
+    table.add_numeric_column(std::string(arch::to_string(kind)), std::move(values));
+  }
+  return table;
+}
+
+std::vector<std::pair<std::string, double>> top_frames(const CallingContextTree& tree,
+                                                       std::size_t n) {
+  const data::Table profile = flat_profile(tree);
+  std::vector<std::pair<std::string, double>> out;
+  const auto& names = profile.text("name");
+  const auto& times = profile.numeric("time_s");
+  for (std::size_t i = 0; i < profile.num_rows() && i < n; ++i) {
+    out.emplace_back(names[i], times[i]);
+  }
+  return out;
+}
+
+std::array<double, 6> time_by_kind(const CallingContextTree& tree) {
+  std::array<double, 6> out{};
+  for (const CctNode& node : tree.nodes()) {
+    out[static_cast<std::size_t>(node.kind)] += node.time_s;
+  }
+  return out;
+}
+
+}  // namespace mphpc::prof

@@ -1,0 +1,43 @@
+// Hatchet-style programmatic analysis of calling-context trees (paper
+// §II-A: "Hatchet ... provides extensive functionality for calling
+// context tree pruning and analysis through pandas DataFrame
+// operations"). The operations here mirror Hatchet's core verbs:
+//   to_table      — the CCT as a dataframe (one row per node)
+//   filter_squash — prune by predicate, reconnecting surviving children
+//                   to their nearest surviving ancestor
+//   flat_profile  — aggregate exclusive metrics by frame name
+//   time_by_kind  — phase attribution (compute/comm/io/...)
+#pragma once
+
+#include <array>
+#include <functional>
+#include <utility>
+
+#include "data/table.hpp"
+#include "prof/cct.hpp"
+
+namespace mphpc::prof {
+
+/// One row per node: node/parent indices, name, kind, depth, exclusive
+/// and inclusive time, and every exclusive counter column.
+[[nodiscard]] data::Table to_table(const CallingContextTree& tree);
+
+/// Hatchet filter+squash: keeps the root and every node where
+/// `keep(node)` is true; children of removed nodes are re-parented to
+/// their nearest kept ancestor. Exclusive metrics of removed nodes are
+/// folded into that ancestor so totals are preserved.
+[[nodiscard]] CallingContextTree filter_squash(
+    const CallingContextTree& tree, const std::function<bool(const CctNode&)>& keep);
+
+/// Aggregates exclusive time and counters by frame name; rows sorted by
+/// descending time. Columns: name, calls (node count), time_s, counters.
+[[nodiscard]] data::Table flat_profile(const CallingContextTree& tree);
+
+/// The `n` hottest frames by exclusive time: (name, seconds), descending.
+[[nodiscard]] std::vector<std::pair<std::string, double>> top_frames(
+    const CallingContextTree& tree, std::size_t n);
+
+/// Total exclusive time per frame kind, indexed by FrameKind.
+[[nodiscard]] std::array<double, 6> time_by_kind(const CallingContextTree& tree);
+
+}  // namespace mphpc::prof

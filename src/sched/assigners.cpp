@@ -1,0 +1,77 @@
+#include "sched/assigners.hpp"
+
+#include <algorithm>
+
+namespace mphpc::sched {
+
+namespace {
+
+constexpr std::array<arch::SystemId, 2> kCpuSystems = {arch::SystemId::kQuartz,
+                                                       arch::SystemId::kRuby};
+constexpr std::array<arch::SystemId, 2> kGpuSystems = {arch::SystemId::kLassen,
+                                                       arch::SystemId::kCorona};
+
+/// Fastest-first machine order from a predicted or true RPV.
+template <typename TimeOf>
+std::array<arch::SystemId, arch::kNumSystems> fastest_order(TimeOf&& time_of) {
+  std::array<std::size_t, arch::kNumSystems> idx{};
+  for (std::size_t k = 0; k < idx.size(); ++k) idx[k] = k;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return time_of(static_cast<arch::SystemId>(a)) <
+           time_of(static_cast<arch::SystemId>(b));
+  });
+  std::array<arch::SystemId, arch::kNumSystems> order{};
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    order[k] = static_cast<arch::SystemId>(idx[k]);
+  }
+  return order;
+}
+
+/// Picks the first non-full machine in `order`; if every machine is full,
+/// returns order[0] (the job reserves/waits there) — Algorithm 2.
+arch::SystemId pick_with_fallback(
+    const std::array<arch::SystemId, arch::kNumSystems>& order, const Job& job,
+    const ClusterView& view) {
+  for (const arch::SystemId m : order) {
+    if (!view.is_full(m, job.nodes_required)) return m;
+  }
+  return order[0];
+}
+
+}  // namespace
+
+arch::SystemId RoundRobinAssigner::assign(const Job& /*job*/, std::size_t started_index,
+                                          const ClusterView& view) {
+  const auto& machines = view.machines();
+  return machines[started_index % machines.size()].id;
+}
+
+arch::SystemId RandomAssigner::assign(const Job& /*job*/, std::size_t /*started_index*/,
+                                      const ClusterView& view) {
+  return view.machines()[rng_.below(view.machines().size())].id;
+}
+
+arch::SystemId UserRoundRobinAssigner::assign(const Job& job,
+                                              std::size_t /*started_index*/,
+                                              const ClusterView& /*view*/) {
+  if (job.gpu_capable) {
+    return kGpuSystems[gpu_next_++ % kGpuSystems.size()];
+  }
+  return kCpuSystems[cpu_next_++ % kCpuSystems.size()];
+}
+
+arch::SystemId ModelBasedAssigner::assign(const Job& job, std::size_t /*started_index*/,
+                                          const ClusterView& view) {
+  const auto order =
+      fastest_order([&](arch::SystemId m) { return job.predicted.time_ratio(m); });
+  return pick_with_fallback(order, job, view);
+}
+
+arch::SystemId OracleAssigner::assign(const Job& job, std::size_t /*started_index*/,
+                                      const ClusterView& view) {
+  const auto order = fastest_order(
+      [&](arch::SystemId m) { return job.runtime[static_cast<std::size_t>(m)]; });
+  return pick_with_fallback(order, job, view);
+}
+
+}  // namespace mphpc::sched

@@ -1,0 +1,81 @@
+// Machine-assignment strategies (paper §VII): Round-Robin, Random,
+// User+RR (GPU apps to GPU machines, round-robin within the class), and
+// the Model-based strategy of Algorithm 2, which places each job on its
+// predicted-fastest machine, falling back to the next-fastest while the
+// preferred machine is full.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sched/job.hpp"
+#include "sched/machine.hpp"
+
+namespace mphpc::sched {
+
+/// Strategy interface: `Machine(j, i, M)` in the paper's notation, where
+/// `started_index` is the count of jobs started so far (the paper's i).
+class MachineAssigner {
+ public:
+  virtual ~MachineAssigner() = default;
+
+  [[nodiscard]] virtual arch::SystemId assign(const Job& job,
+                                              std::size_t started_index,
+                                              const ClusterView& view) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Rotates through the machines for each consecutive job.
+class RoundRobinAssigner final : public MachineAssigner {
+ public:
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "Round-Robin"; }
+};
+
+/// Uniformly random machine.
+class RandomAssigner final : public MachineAssigner {
+ public:
+  explicit RandomAssigner(std::uint64_t seed) noexcept : rng_(seed) {}
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Mimics typical user behaviour: GPU-enabled apps round-robin over the
+/// GPU systems, CPU-only apps round-robin over the CPU systems.
+class UserRoundRobinAssigner final : public MachineAssigner {
+ public:
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "User+RR"; }
+
+ private:
+  std::size_t gpu_next_ = 0;
+  std::size_t cpu_next_ = 0;
+};
+
+/// Algorithm 2: predicted-fastest machine, skipping full machines; if all
+/// machines are full, the overall predicted-fastest (the job waits there).
+class ModelBasedAssigner final : public MachineAssigner {
+ public:
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "Model-based"; }
+};
+
+/// An upper-bound variant used in ablations: like Model-based but with
+/// oracle knowledge of the true fastest machine.
+class OracleAssigner final : public MachineAssigner {
+ public:
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "Oracle"; }
+};
+
+}  // namespace mphpc::sched

@@ -1,0 +1,185 @@
+#include "sched/easy_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace mphpc::sched {
+
+namespace {
+
+constexpr double kNoEvent = std::numeric_limits<double>::infinity();
+
+/// Running-job ledger of one machine, ordered by completion time.
+struct MachineState {
+  int total = 0;
+  int free = 0;
+  std::multimap<double, int> running;  ///< end time -> nodes
+
+  /// Earliest time at which `nodes` can be free, and the projected free
+  /// node count at that time.
+  [[nodiscard]] std::pair<double, int> earliest_fit(double now, int nodes) const {
+    if (free >= nodes) return {now, free};
+    int projected = free;
+    for (const auto& [end, n] : running) {
+      projected += n;
+      if (projected >= nodes) return {end, projected};
+    }
+    // Unreachable when nodes <= total (checked by the caller).
+    return {kNoEvent, projected};
+  }
+
+  [[nodiscard]] double next_completion() const noexcept {
+    return running.empty() ? kNoEvent : running.begin()->first;
+  }
+};
+
+}  // namespace
+
+SimulationResult simulate(const std::vector<Job>& jobs,
+                          const std::vector<Machine>& machines,
+                          MachineAssigner& assigner, const SchedulerOptions& options) {
+  MPHPC_EXPECTS(!machines.empty());
+  MPHPC_EXPECTS(options.backfill_depth >= 0);
+  const int depth_limit = options.backfill_depth == 0 ? std::numeric_limits<int>::max()
+                                                      : options.backfill_depth;
+
+  std::array<MachineState, arch::kNumSystems> state{};
+  std::array<int, arch::kNumSystems> free_nodes{};
+  for (const Machine& m : machines) {
+    auto& s = state[static_cast<std::size_t>(m.id)];
+    s.total = m.total_nodes;
+    s.free = m.total_nodes;
+    free_nodes[static_cast<std::size_t>(m.id)] = m.total_nodes;
+  }
+  for (const Job& job : jobs) {
+    for (const Machine& m : machines) {
+      MPHPC_EXPECTS(job.nodes_required <= m.total_nodes);
+    }
+    MPHPC_EXPECTS(job.nodes_required >= 1);
+  }
+
+  SimulationResult result;
+  result.outcomes.resize(jobs.size());
+
+  std::list<std::size_t> queue;
+  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push_back(i);
+
+  std::size_t started_count = 0;
+  const ClusterView view(machines, free_nodes);
+
+  const auto start_job = [&](std::size_t job_index, arch::SystemId m, double now) {
+    const Job& job = jobs[job_index];
+    auto& s = state[static_cast<std::size_t>(m)];
+    const double runtime = job.runtime[static_cast<std::size_t>(m)];
+    MPHPC_EXPECTS(runtime > 0.0 && s.free >= job.nodes_required);
+    s.free -= job.nodes_required;
+    free_nodes[static_cast<std::size_t>(m)] = s.free;
+    s.running.emplace(now + runtime, job.nodes_required);
+    result.outcomes[job_index] = {m, now, now + runtime};
+    result.node_seconds[static_cast<std::size_t>(m)] +=
+        runtime * static_cast<double>(job.nodes_required);
+    ++started_count;
+  };
+
+  // One scheduling pass at time `now` (Algorithm 1 body).
+  const auto schedule_pass = [&](double now) {
+    while (!queue.empty()) {
+      const std::size_t head = queue.front();
+      const arch::SystemId m = assigner.assign(jobs[head], started_count, view);
+      const auto mi = static_cast<std::size_t>(m);
+      if (state[mi].free >= jobs[head].nodes_required) {
+        start_job(head, m, now);
+        queue.pop_front();
+        continue;
+      }
+
+      // Head is blocked: reserve it at the shadow time on its machine.
+      const auto [shadow_time, projected_free] =
+          state[mi].earliest_fit(now, jobs[head].nodes_required);
+      // Nodes left over at the shadow time once the head's reservation is
+      // honoured; backfills running past the shadow may consume these.
+      int shadow_spare = projected_free - jobs[head].nodes_required;
+
+      // Nothing can backfill while no machine has a free node.
+      int max_free = 0;
+      for (const auto& s : state) max_free = std::max(max_free, s.free);
+      if (max_free == 0) break;
+
+      int scanned = 0;
+      for (auto it = std::next(queue.begin());
+           it != queue.end() && scanned < depth_limit; ++scanned) {
+        const std::size_t cand = *it;
+        const Job& job = jobs[cand];
+        const arch::SystemId cm = assigner.assign(job, started_count, view);
+        const auto ci = static_cast<std::size_t>(cm);
+        if (state[ci].free < job.nodes_required) {
+          ++it;
+          continue;
+        }
+        if (cm != m) {
+          start_job(cand, cm, now);
+          it = queue.erase(it);
+          continue;
+        }
+        // Same machine as the reservation: must not delay the head.
+        const double end = now + job.runtime[ci];
+        if (end <= shadow_time) {
+          start_job(cand, cm, now);
+          it = queue.erase(it);
+        } else if (shadow_spare >= job.nodes_required) {
+          shadow_spare -= job.nodes_required;
+          start_job(cand, cm, now);
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;  // head stays blocked until the next event
+    }
+  };
+
+  double now = 0.0;
+  schedule_pass(now);
+  while (true) {
+    double next = kNoEvent;
+    for (const auto& s : state) next = std::min(next, s.next_completion());
+    if (next == kNoEvent) break;
+    now = next;
+    for (std::size_t mi = 0; mi < state.size(); ++mi) {
+      auto& s = state[mi];
+      while (!s.running.empty() && s.running.begin()->first <= now) {
+        s.free += s.running.begin()->second;
+        s.running.erase(s.running.begin());
+      }
+      free_nodes[mi] = s.free;
+    }
+    schedule_pass(now);
+  }
+  MPHPC_ENSURES(queue.empty());
+
+  for (const JobOutcome& o : result.outcomes) {
+    result.makespan_s = std::max(result.makespan_s, o.end_s);
+    result.avg_wait_s += o.wait_s();
+  }
+  result.avg_wait_s /= static_cast<double>(jobs.empty() ? 1 : jobs.size());
+  result.avg_bounded_slowdown = average_bounded_slowdown(result.outcomes);
+  return result;
+}
+
+double average_bounded_slowdown(const std::vector<JobOutcome>& outcomes, double tau) {
+  MPHPC_EXPECTS(tau > 0.0);
+  if (outcomes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JobOutcome& o : outcomes) {
+    const double run = o.run_s();
+    const double slowdown = (o.wait_s() + run) / std::max(run, tau);
+    sum += std::max(slowdown, 1.0);
+  }
+  return sum / static_cast<double>(outcomes.size());
+}
+
+}  // namespace mphpc::sched

@@ -1,0 +1,31 @@
+// Jobs for the multi-resource scheduling simulation (paper §VII): each job
+// is one dataset row (an application-input at a resource scale) carrying
+// its observed runtime on every system and the model's predicted RPV.
+#pragma once
+
+#include <string>
+
+#include "core/rpv.hpp"
+
+namespace mphpc::sched {
+
+struct Job {
+  int id = 0;
+  std::string app;
+  bool gpu_capable = false;  ///< app has a GPU code path (drives User+RR)
+  int nodes_required = 1;    ///< whole-node allocation (1 or 2 in the study)
+  core::SystemTimes runtime{};  ///< observed execution time per system
+  core::Rpv predicted;          ///< model-predicted RPV (time ratios)
+};
+
+/// Where and when a job ran in the simulation.
+struct JobOutcome {
+  arch::SystemId machine = arch::SystemId::kQuartz;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  [[nodiscard]] double wait_s() const noexcept { return start_s; }  // submit at t=0
+  [[nodiscard]] double run_s() const noexcept { return end_s - start_s; }
+};
+
+}  // namespace mphpc::sched

@@ -1,0 +1,14 @@
+#include "sched/machine.hpp"
+
+namespace mphpc::sched {
+
+std::vector<Machine> default_cluster(const arch::SystemCatalog& catalog) {
+  std::vector<Machine> machines;
+  machines.reserve(arch::kNumSystems);
+  for (const arch::SystemId id : arch::kAllSystems) {
+    machines.push_back({id, catalog.get(id).nodes});
+  }
+  return machines;
+}
+
+}  // namespace mphpc::sched

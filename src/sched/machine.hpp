@@ -1,0 +1,49 @@
+// Machine inventories and the read-only cluster view strategies see.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "arch/system_catalog.hpp"
+
+namespace mphpc::sched {
+
+/// One schedulable machine: a system with a node inventory.
+struct Machine {
+  arch::SystemId id = arch::SystemId::kQuartz;
+  int total_nodes = 0;
+};
+
+/// The default four-machine cluster with the real systems' node counts.
+[[nodiscard]] std::vector<Machine> default_cluster(const arch::SystemCatalog& catalog);
+
+/// Read-only occupancy snapshot passed to assignment strategies.
+class ClusterView {
+ public:
+  ClusterView(const std::vector<Machine>& machines,
+              const std::array<int, arch::kNumSystems>& free_nodes) noexcept
+      : machines_(&machines), free_(&free_nodes) {}
+
+  [[nodiscard]] const std::vector<Machine>& machines() const noexcept {
+    return *machines_;
+  }
+  [[nodiscard]] int free_nodes(arch::SystemId id) const noexcept {
+    return (*free_)[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int total_nodes(arch::SystemId id) const noexcept {
+    for (const Machine& m : *machines_) {
+      if (m.id == id) return m.total_nodes;
+    }
+    return 0;
+  }
+  /// True if the machine cannot start `nodes` more nodes right now.
+  [[nodiscard]] bool is_full(arch::SystemId id, int nodes) const noexcept {
+    return free_nodes(id) < nodes;
+  }
+
+ private:
+  const std::vector<Machine>* machines_;
+  const std::array<int, arch::kNumSystems>* free_;
+};
+
+}  // namespace mphpc::sched

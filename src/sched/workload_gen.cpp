@@ -1,0 +1,40 @@
+#include "sched/workload_gen.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::sched {
+
+std::vector<Job> sample_jobs(const core::Dataset& dataset,
+                             const ml::Matrix& predictions,
+                             const workload::AppCatalog& apps, std::size_t count,
+                             std::uint64_t seed) {
+  MPHPC_EXPECTS(predictions.rows() == dataset.num_rows());
+  MPHPC_EXPECTS(predictions.cols() == arch::kNumSystems);
+  MPHPC_EXPECTS(dataset.num_rows() > 0);
+
+  const auto& app_names = dataset.apps();
+  const auto& scale_names = dataset.scales();
+
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t row = rng.below(dataset.num_rows());
+    Job job;
+    job.id = static_cast<int>(j);
+    job.app = app_names[row];
+    job.gpu_capable = apps.get(job.app).gpu_support;
+    job.nodes_required = scale_names[row] == "2node" ? 2 : 1;
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+      job.runtime[k] = dataset.time_on(row, static_cast<arch::SystemId>(k));
+    }
+    std::array<double, arch::kNumSystems> predicted{};
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) predicted[k] = predictions(row, k);
+    job.predicted = core::Rpv(predicted);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace mphpc::sched

@@ -1,0 +1,25 @@
+// Scheduling-workload generation (paper §VII): samples N jobs from the
+// MP-HPC dataset with replacement, attaching each job's observed per-system
+// runtimes (the simulation ground truth) and the trained model's predicted
+// RPV (what the Model-based strategy acts on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/predictor.hpp"
+#include "sched/job.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::sched {
+
+/// Samples `count` jobs (rows with replacement) from the dataset.
+/// `predictions` must hold the model's predicted RPV entries for every
+/// dataset row (rows x 4), e.g. `predictor.predict(dataset.features())`.
+[[nodiscard]] std::vector<Job> sample_jobs(const core::Dataset& dataset,
+                                           const ml::Matrix& predictions,
+                                           const workload::AppCatalog& apps,
+                                           std::size_t count, std::uint64_t seed);
+
+}  // namespace mphpc::sched

@@ -1,0 +1,121 @@
+#include "sim/counter_synth.hpp"
+
+#include <cmath>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+
+namespace mphpc::sim {
+
+using arch::CounterKind;
+using arch::Device;
+using arch::SystemId;
+
+double counter_noise_sigma(SystemId system, Device device) noexcept {
+  if (device == Device::kCpu) {
+    switch (system) {
+      case SystemId::kQuartz: return 0.020;
+      case SystemId::kRuby: return 0.015;
+      case SystemId::kLassen: return 0.030;  // PAPI on Power9 less exercised
+      case SystemId::kCorona: return 0.030;
+    }
+    return 0.02;
+  }
+  // GPU stacks: CUPTI reasonably mature, rocprofiler support newer.
+  return system == SystemId::kCorona ? 0.12 : 0.07;
+}
+
+Device counter_device(const workload::RunConfig& rc) noexcept {
+  return rc.uses_gpu ? Device::kGpu : Device::kCpu;
+}
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGpuClockGhz = 1.3;
+constexpr double kGpuMlp = 32.0;
+constexpr double kGpuMissLatencyCycles = 400.0;
+
+// Applies multiplicative measurement jitter. Averaging over more ranks
+// suppresses the independent part of the error but not the systematic
+// part, hence the floor at half the single-rank sigma.
+double jittered(Rng& rng, double value, double sigma, int ranks) noexcept {
+  const double eff =
+      sigma * (0.5 + 0.5 / std::sqrt(static_cast<double>(std::max(1, ranks))));
+  return value * lognormal_factor(rng, eff);
+}
+
+}  // namespace
+
+CounterValues synthesize_counters(const workload::AppSignature& app, double scale,
+                                  const workload::RunConfig& rc,
+                                  const arch::ArchitectureSpec& sys,
+                                  const TimeBreakdown& breakdown, Rng& rng) {
+  const Device device = counter_device(rc);
+  CounterValues v{};
+
+  const double w_total = total_instructions(app, scale);
+  const double alpha = offload_fraction(app, rc);
+
+  double insts = 0.0;                      // instructions per rank/device
+  workload::InstructionMix mix;            // mix of the recorded device
+  MemoryBehavior mem;                      // cache behaviour of that device
+  double stall_cycles = 0.0;
+  double total_cycles = 0.0;
+
+  if (device == Device::kGpu) {
+    MPHPC_EXPECTS(rc.gpus > 0);
+    insts = w_total * alpha / rc.gpus;
+    mix = app.gpu_mix;
+    mem = gpu_memory_behavior(app, scale, rc, sys);
+    const double dram_accesses =
+        insts * mix.load * mem.l1_load_miss_rate * mem.l2_load_miss_rate +
+        insts * mix.store * mem.l1_store_miss_rate * mem.l2_store_miss_rate;
+    stall_cycles = dram_accesses * kGpuMissLatencyCycles / kGpuMlp;
+    total_cycles = (breakdown.gpu_s + breakdown.overhead_s) * kGpuClockGhz * 1e9;
+  } else {
+    insts = w_total * (1.0 - alpha) / rc.ranks;
+    mix = app.cpu_mix;
+    mem = cpu_memory_behavior(app, scale, rc, sys);
+    stall_cycles = breakdown.memory_s * sys.cpu.clock_ghz * 1e9;
+    total_cycles = breakdown.total_s() * sys.cpu.clock_ghz * 1e9;
+  }
+
+  const double n_load = insts * mix.load;
+  const double n_store = insts * mix.store;
+
+  set(v, CounterKind::kTotalInstructions, insts);
+  set(v, CounterKind::kBranchInstructions, insts * mix.branch);
+  set(v, CounterKind::kStoreInstructions, n_store);
+  set(v, CounterKind::kLoadInstructions, n_load);
+  set(v, CounterKind::kSpFpInstructions, insts * mix.sp_fp);
+  set(v, CounterKind::kDpFpInstructions, insts * mix.dp_fp);
+  set(v, CounterKind::kIntArithInstructions, insts * mix.int_arith);
+
+  const double l1_load_miss = n_load * mem.l1_load_miss_rate;
+  const double l1_store_miss = n_store * mem.l1_store_miss_rate;
+  set(v, CounterKind::kL1LoadMisses, l1_load_miss);
+  set(v, CounterKind::kL1StoreMisses, l1_store_miss);
+  set(v, CounterKind::kL2LoadMisses, l1_load_miss * mem.l2_load_miss_rate);
+  set(v, CounterKind::kL2StoreMisses, l1_store_miss * mem.l2_store_miss_rate);
+
+  const double io_scale = std::pow(scale, app.io_exponent);
+  set(v, CounterKind::kIoBytesRead, app.io_read_mib * io_scale * kMiB / rc.ranks);
+  set(v, CounterKind::kIoBytesWritten, app.io_write_mib * io_scale * kMiB / rc.ranks);
+
+  // Extended-page-table size tracks the resident working set (8-byte
+  // entries over 4 KiB pages), measured host-side for every run.
+  const double host_ws_mib =
+      cpu_memory_behavior(app, scale, rc, sys).working_set_mib_per_rank;
+  set(v, CounterKind::kPageTableSize, host_ws_mib * kMiB / 4096.0 * 8.0);
+
+  set(v, CounterKind::kMemStallCycles, stall_cycles);
+  set(v, CounterKind::kTotalCycles, total_cycles);
+
+  // Measurement jitter, one independent draw per counter.
+  const double sigma = counter_noise_sigma(sys.id, device);
+  for (double& value : v) value = jittered(rng, value, sigma, rc.ranks);
+  return v;
+}
+
+}  // namespace mphpc::sim

@@ -1,0 +1,52 @@
+// Hardware-counter synthesis.
+//
+// Produces the per-rank mean raw counter values a real HPCToolkit+PAPI /
+// CUPTI / rocprofiler collection would record for a run, consistent with
+// the execution-time model (same instruction mix and cache-miss model).
+// Per the paper's collection protocol, GPU-capable apps on GPU systems
+// record *only* device counters; everything else records CPU counters.
+//
+// Counters carry measurement jitter whose magnitude depends on the
+// collection stack: CPU PAPI counters are mature and tight, CUPTI is
+// noisier, and rocprofiler (new in HPCToolkit at the time of the study)
+// is noisier still — this is what reproduces the paper's Fig. 3 finding
+// that CPU-sourced counters yield better predictions.
+#pragma once
+
+#include <array>
+
+#include "arch/counter_names.hpp"
+#include "common/rng.hpp"
+#include "sim/perf_model.hpp"
+
+namespace mphpc::sim {
+
+using CounterValues = std::array<double, arch::kNumCounterKinds>;
+
+/// Convenience accessor.
+[[nodiscard]] inline double get(const CounterValues& v, arch::CounterKind k) noexcept {
+  return v[static_cast<std::size_t>(k)];
+}
+
+inline void set(CounterValues& v, arch::CounterKind k, double value) noexcept {
+  v[static_cast<std::size_t>(k)] = value;
+}
+
+/// Log-space measurement noise of the collection stack for this
+/// system/device combination.
+[[nodiscard]] double counter_noise_sigma(arch::SystemId system,
+                                         arch::Device device) noexcept;
+
+/// Which device's counters a run records (paper §V-B protocol).
+[[nodiscard]] arch::Device counter_device(const workload::RunConfig& rc) noexcept;
+
+/// Synthesizes the mean-across-ranks raw counters for one run. `rng` is
+/// the run's measurement-noise stream; the caller owns seeding.
+[[nodiscard]] CounterValues synthesize_counters(const workload::AppSignature& app,
+                                                double scale,
+                                                const workload::RunConfig& rc,
+                                                const arch::ArchitectureSpec& sys,
+                                                const TimeBreakdown& breakdown,
+                                                Rng& rng);
+
+}  // namespace mphpc::sim

@@ -1,0 +1,83 @@
+// Analytic execution-time model.
+//
+// Substitutes the paper's physical systems: given an application signature
+// (behaviour), an input scale (work), a run configuration (resources) and
+// an architecture (machine), produces a deterministic execution-time
+// breakdown. Run-to-run noise is applied separately by the profiler so the
+// same deterministic model can also serve as the "true" oracle in tests.
+//
+// The model is roofline-flavoured:
+//   - compute time from instruction mix, issue rates, and SIMD efficiency
+//   - memory time from a two-level cache miss model (working set vs
+//     capacity, application locality), bandwidth- and latency-limited
+//   - branch time from misprediction rate x pipeline penalty
+//   - GPU path with offload fraction, divergence penalty, occupancy,
+//     kernel-launch and host<->device transfer overheads
+//   - Amdahl serial fraction + load-imbalance scaling, communication from
+//     per-rank volume split into latency- and bandwidth-bound parts, and
+//     parallel-filesystem I/O.
+#pragma once
+
+#include "arch/architecture.hpp"
+#include "workload/app_signature.hpp"
+#include "workload/run_config.hpp"
+
+namespace mphpc::sim {
+
+/// Deterministic per-run time decomposition, in seconds.
+struct TimeBreakdown {
+  double compute_s = 0.0;   ///< arithmetic issue time (critical rank)
+  double memory_s = 0.0;    ///< DRAM bandwidth/latency time
+  double branch_s = 0.0;    ///< branch misprediction stalls
+  double gpu_s = 0.0;       ///< device kernel time (GPU runs)
+  double overhead_s = 0.0;  ///< kernel launches + host<->device transfers
+  double serial_s = 0.0;    ///< Amdahl non-parallel portion
+  double comm_s = 0.0;      ///< MPI communication
+  double io_s = 0.0;        ///< filesystem I/O
+
+  /// End-to-end wall time (noise-free).
+  [[nodiscard]] double total_s() const noexcept {
+    return compute_s + memory_s + branch_s + gpu_s + overhead_s + serial_s +
+           comm_s + io_s;
+  }
+};
+
+/// Intermediate cache behaviour shared with the counter synthesizer so
+/// counters and times are mutually consistent.
+struct MemoryBehavior {
+  double l1_load_miss_rate = 0.0;   ///< fraction of loads missing L1
+  double l1_store_miss_rate = 0.0;  ///< fraction of stores missing L1
+  double l2_load_miss_rate = 0.0;   ///< fraction of L1 load misses missing L2/LLC
+  double l2_store_miss_rate = 0.0;  ///< fraction of L1 store misses missing L2/LLC
+  double working_set_mib_per_rank = 0.0;
+};
+
+/// The fraction of total work executing on the device for this run
+/// (0 when the run does not use a GPU).
+[[nodiscard]] double offload_fraction(const workload::AppSignature& app,
+                                      const workload::RunConfig& rc) noexcept;
+
+/// Total instructions (all ranks, both host and device) for the given
+/// app/input scale.
+[[nodiscard]] double total_instructions(const workload::AppSignature& app,
+                                        double scale) noexcept;
+
+/// Cache behaviour of the CPU portion of the run on this architecture.
+[[nodiscard]] MemoryBehavior cpu_memory_behavior(const workload::AppSignature& app,
+                                                 double scale,
+                                                 const workload::RunConfig& rc,
+                                                 const arch::ArchitectureSpec& sys);
+
+/// Cache behaviour of the device portion of the run (GPU runs only).
+[[nodiscard]] MemoryBehavior gpu_memory_behavior(const workload::AppSignature& app,
+                                                 double scale,
+                                                 const workload::RunConfig& rc,
+                                                 const arch::ArchitectureSpec& sys);
+
+/// The deterministic execution-time breakdown of one run.
+[[nodiscard]] TimeBreakdown predict_time(const workload::AppSignature& app,
+                                         double scale,
+                                         const workload::RunConfig& rc,
+                                         const arch::ArchitectureSpec& sys);
+
+}  // namespace mphpc::sim

@@ -1,0 +1,51 @@
+#include "sim/profiler.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+
+namespace mphpc::sim {
+
+std::string RunProfile::id() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/i%02d@", input_index);
+  return app + buf + std::string(arch::to_string(system)) + "/" +
+         std::string(workload::to_string(config.scale_class));
+}
+
+RunProfile Profiler::profile(const workload::AppSignature& base,
+                             const workload::InputConfig& input,
+                             workload::ScaleClass scale,
+                             const arch::ArchitectureSpec& sys) const {
+  MPHPC_EXPECTS(base.name == input.app);
+
+  const workload::AppSignature sig = workload::effective_signature(base, input);
+  const workload::RunConfig rc = workload::make_run_config(sig, sys, scale);
+  const TimeBreakdown tb = predict_time(sig, input.scale, rc, sys);
+
+  RunProfile p;
+  p.app = sig.name;
+  p.input_index = input.index;
+  p.input_scale = input.scale;
+  p.system = sys.id;
+  p.config = rc;
+  p.device = counter_device(rc);
+  p.breakdown = tb;
+  p.model_time_s = tb.total_s();
+
+  Rng rng(derive_seed(seed_, sig.name, static_cast<std::uint64_t>(input.index),
+                      arch::to_string(sys.id), workload::to_string(scale)));
+
+  // Run-to-run wall-time noise: app variability plus system OS noise,
+  // combined in quadrature (independent log-space contributions).
+  const double sigma = std::sqrt(sig.noise_sigma * sig.noise_sigma +
+                                 sys.os_noise_sigma * sys.os_noise_sigma);
+  p.time_s = p.model_time_s * lognormal_factor(rng, sigma);
+
+  p.counters = synthesize_counters(sig, input.scale, rc, sys, tb, rng);
+  return p;
+}
+
+}  // namespace mphpc::sim

@@ -1,0 +1,58 @@
+// The profiling layer: executes one run in the simulator and records what
+// the paper's HPCToolkit-based pipeline would keep — the wall time and the
+// mean-across-ranks raw counters — plus the noise-free model breakdown,
+// which tests use as ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/counter_names.hpp"
+#include "arch/system_catalog.hpp"
+#include "sim/counter_synth.hpp"
+#include "sim/perf_model.hpp"
+#include "workload/input_config.hpp"
+#include "workload/run_config.hpp"
+
+namespace mphpc::sim {
+
+/// One row of raw collected data: a single run of an (app, input) pair at
+/// one scale on one system.
+struct RunProfile {
+  std::string app;
+  int input_index = 0;
+  double input_scale = 1.0;
+  arch::SystemId system = arch::SystemId::kQuartz;
+  workload::RunConfig config;
+  arch::Device device = arch::Device::kCpu;  ///< which counters were recorded
+
+  double time_s = 0.0;        ///< measured wall time (includes run noise)
+  double model_time_s = 0.0;  ///< noise-free model time (ground truth)
+  TimeBreakdown breakdown;    ///< noise-free decomposition
+  CounterValues counters{};   ///< mean-across-ranks raw counters (jittered)
+
+  /// Stable identifier "App/iNN@system/scale" for logs and joins.
+  [[nodiscard]] std::string id() const;
+};
+
+/// Deterministic profiler: the same (seed, app, input, system, scale)
+/// always produces the same RunProfile.
+class Profiler {
+ public:
+  explicit Profiler(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Profiles one run. `base` must be the catalog signature for
+  /// `input.app`; the input's behavioural perturbation is applied here.
+  [[nodiscard]] RunProfile profile(const workload::AppSignature& base,
+                                   const workload::InputConfig& input,
+                                   workload::ScaleClass scale,
+                                   const arch::ArchitectureSpec& sys) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace mphpc::sim

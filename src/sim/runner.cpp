@@ -1,0 +1,61 @@
+#include "sim/runner.hpp"
+
+#include "common/error.hpp"
+
+namespace mphpc::sim {
+
+std::vector<RunProfile> run_input(const workload::AppSignature& app,
+                                  const workload::InputConfig& input,
+                                  const arch::SystemCatalog& systems,
+                                  const Profiler& profiler) {
+  std::vector<RunProfile> profiles;
+  profiles.reserve(arch::kNumSystems * workload::kNumScaleClasses);
+  for (const arch::SystemId id : arch::kAllSystems) {
+    const arch::ArchitectureSpec& sys = systems.get(id);
+    for (const workload::ScaleClass scale : workload::kAllScaleClasses) {
+      profiles.push_back(profiler.profile(app, input, scale, sys));
+    }
+  }
+  return profiles;
+}
+
+std::vector<RunProfile> run_campaign(const workload::AppCatalog& apps,
+                                     const arch::SystemCatalog& systems,
+                                     const CampaignOptions& options,
+                                     ThreadPool* pool) {
+  MPHPC_EXPECTS(options.inputs_per_app > 0);
+
+  // Enumerate (app, input) work items up front so the parallel loop writes
+  // into pre-sized slots and the output order is independent of timing.
+  struct WorkItem {
+    const workload::AppSignature* app;
+    workload::InputConfig input;
+  };
+  std::vector<WorkItem> items;
+  items.reserve(apps.size() * static_cast<std::size_t>(options.inputs_per_app));
+  for (const auto& app : apps.all()) {
+    for (auto& input : workload::make_inputs(app, options.inputs_per_app, options.seed)) {
+      items.push_back({&app, std::move(input)});
+    }
+  }
+
+  const std::size_t per_item = arch::kNumSystems * workload::kNumScaleClasses;
+  std::vector<RunProfile> all(items.size() * per_item);
+  const Profiler profiler(options.seed);
+
+  const auto process = [&](std::size_t i) {
+    auto profiles = run_input(*items[i].app, items[i].input, systems, profiler);
+    for (std::size_t j = 0; j < per_item; ++j) {
+      all[i * per_item + j] = std::move(profiles[j]);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, items.size(), process);
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) process(i);
+  }
+  return all;
+}
+
+}  // namespace mphpc::sim

@@ -1,0 +1,37 @@
+// Campaign runner: sweeps the full (application x input x system x scale)
+// space — the paper's data-collection phase — in parallel, producing the
+// flat list of RunProfiles the dataset is built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/system_catalog.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/profiler.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::sim {
+
+/// Options for a data-collection campaign.
+struct CampaignOptions {
+  int inputs_per_app = 47;    ///< ~47 inputs x 20 apps x 3 scales x 4 systems
+                              ///  ~= the paper's 11,312 rows
+  std::uint64_t seed = 2024;  ///< master seed for inputs + measurement noise
+};
+
+/// Runs the full campaign. Profiles are ordered deterministically:
+/// app-major, then input, then system (Table I order), then scale.
+/// If `pool` is non-null, inputs are profiled in parallel.
+[[nodiscard]] std::vector<RunProfile> run_campaign(
+    const workload::AppCatalog& apps, const arch::SystemCatalog& systems,
+    const CampaignOptions& options, ThreadPool* pool = nullptr);
+
+/// Profiles one (app, input) pair on every system at every scale
+/// (kNumSystems x kNumScaleClasses profiles, system-major order).
+[[nodiscard]] std::vector<RunProfile> run_input(const workload::AppSignature& app,
+                                                const workload::InputConfig& input,
+                                                const arch::SystemCatalog& systems,
+                                                const Profiler& profiler);
+
+}  // namespace mphpc::sim

@@ -1,0 +1,573 @@
+#include "workload/app_catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace mphpc::workload {
+
+namespace {
+
+// Signature construction helpers. Each maker fixes the behavioural knobs
+// for one application class; values are hand-chosen to reflect the public
+// characterisations of these proxy apps (instruction mixes, boundedness,
+// scaling behaviour), not fitted to any proprietary data.
+
+AppSignature amg() {
+  AppSignature a;
+  a.name = "AMG";
+  a.description = "Algebraic multigrid solver";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.10, .load = 0.32, .store = 0.10,
+               .sp_fp = 0.01, .dp_fp = 0.16, .int_arith = 0.14};
+  a.gpu_mix = {.branch = 0.06, .load = 0.34, .store = 0.11,
+               .sp_fp = 0.01, .dp_fp = 0.20, .int_arith = 0.12};
+  a.base_ginsts = 40.0;
+  a.work_exponent = 1.1;
+  a.working_set_mib = 600.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.45;  // sparse, irregular accesses
+  a.vector_efficiency = 0.35;
+  a.branch_entropy = 0.40;
+  a.gpu_offload = 0.85;
+  a.gpu_saturation = 0.55;  // bandwidth-bound, kernels don't fill compute
+  a.serial_fraction = 0.025;
+  a.imbalance = 0.06;
+  a.comm_mib_per_ginst = 4.0;
+  a.comm_latency_bound = 0.5;  // many small halo messages on coarse grids
+  a.io_read_mib = 80.0;
+  a.io_write_mib = 40.0;
+  a.noise_sigma = 0.015;
+  return a;
+}
+
+AppSignature candle() {
+  AppSignature a;
+  a.name = "CANDLE";
+  a.description = "Deep learning models for cancer studies";
+  a.gpu_support = true;
+  a.python_stack = true;
+  a.cpu_mix = {.branch = 0.07, .load = 0.28, .store = 0.12,
+               .sp_fp = 0.22, .dp_fp = 0.01, .int_arith = 0.12};
+  a.gpu_mix = {.branch = 0.02, .load = 0.26, .store = 0.12,
+               .sp_fp = 0.38, .dp_fp = 0.00, .int_arith = 0.08};
+  a.base_ginsts = 120.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 2000.0;
+  a.ws_exponent = 0.9;
+  a.locality = 0.75;  // dense GEMM-dominated
+  a.vector_efficiency = 0.85;
+  a.branch_entropy = 0.10;
+  a.gpu_offload = 0.95;
+  a.gpu_saturation = 0.85;
+  a.serial_fraction = 0.08;  // Python driver + input pipeline
+  a.imbalance = 0.03;
+  a.comm_mib_per_ginst = 2.0;
+  a.comm_latency_bound = 0.15;  // allreduce, bandwidth bound
+  a.io_read_mib = 800.0;  // training data
+  a.io_write_mib = 100.0;
+  a.io_exponent = 0.8;
+  a.noise_sigma = 0.110;  // framework / Python stack variability
+  return a;
+}
+
+AppSignature comd() {
+  AppSignature a;
+  a.name = "CoMD";
+  a.description = "Molecular dynamics and materials science algorithms";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.09, .load = 0.30, .store = 0.08,
+               .sp_fp = 0.02, .dp_fp = 0.20, .int_arith = 0.12};
+  a.gpu_mix = {.branch = 0.05, .load = 0.30, .store = 0.08,
+               .sp_fp = 0.02, .dp_fp = 0.26, .int_arith = 0.10};
+  a.base_ginsts = 60.0;
+  a.work_exponent = 1.05;
+  a.working_set_mib = 150.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.70;  // cell lists give decent locality
+  a.vector_efficiency = 0.45;
+  a.branch_entropy = 0.30;
+  a.gpu_offload = 0.90;
+  a.gpu_saturation = 0.70;
+  a.serial_fraction = 0.02;
+  a.imbalance = 0.05;
+  a.comm_mib_per_ginst = 1.5;
+  a.comm_latency_bound = 0.4;
+  a.io_read_mib = 20.0;
+  a.io_write_mib = 60.0;
+  a.noise_sigma = 0.013;
+  return a;
+}
+
+AppSignature cosmoflow() {
+  AppSignature a;
+  a.name = "CosmoFlow";
+  a.description = "3D convolutional neural network for astrophysical studies";
+  a.gpu_support = true;
+  a.python_stack = true;
+  a.cpu_mix = {.branch = 0.06, .load = 0.30, .store = 0.13,
+               .sp_fp = 0.24, .dp_fp = 0.00, .int_arith = 0.11};
+  a.gpu_mix = {.branch = 0.02, .load = 0.28, .store = 0.13,
+               .sp_fp = 0.40, .dp_fp = 0.00, .int_arith = 0.07};
+  a.base_ginsts = 160.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 3500.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.70;
+  a.vector_efficiency = 0.88;
+  a.branch_entropy = 0.08;
+  a.gpu_offload = 0.95;
+  a.gpu_saturation = 0.80;
+  a.serial_fraction = 0.09;  // data pipeline on host
+  a.imbalance = 0.04;
+  a.comm_mib_per_ginst = 2.5;
+  a.comm_latency_bound = 0.1;
+  a.io_read_mib = 2000.0;  // volumetric training data
+  a.io_write_mib = 80.0;
+  a.io_exponent = 0.9;
+  a.noise_sigma = 0.130;
+  return a;
+}
+
+AppSignature cradl() {
+  AppSignature a;
+  a.name = "CRADL";
+  a.description = "Multiphysics and ALE hydrodynamics";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.11, .load = 0.31, .store = 0.11,
+               .sp_fp = 0.02, .dp_fp = 0.15, .int_arith = 0.12};
+  a.gpu_mix = {.branch = 0.08, .load = 0.32, .store = 0.12,
+               .sp_fp = 0.02, .dp_fp = 0.18, .int_arith = 0.10};
+  a.base_ginsts = 90.0;
+  a.work_exponent = 1.1;
+  a.working_set_mib = 900.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.55;
+  a.vector_efficiency = 0.40;
+  a.branch_entropy = 0.45;  // material interfaces, remap logic
+  a.gpu_offload = 0.70;
+  a.gpu_saturation = 0.50;
+  a.serial_fraction = 0.03;
+  a.imbalance = 0.10;  // ALE mesh motion imbalances
+  a.comm_mib_per_ginst = 3.0;
+  a.comm_latency_bound = 0.45;
+  a.io_read_mib = 100.0;
+  a.io_write_mib = 400.0;  // dump-heavy
+  a.io_exponent = 0.8;
+  a.noise_sigma = 0.020;
+  return a;
+}
+
+AppSignature ember() {
+  AppSignature a;
+  a.name = "Ember";
+  a.description = "Communication patterns";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.12, .load = 0.26, .store = 0.09,
+               .sp_fp = 0.00, .dp_fp = 0.04, .int_arith = 0.22};
+  a.base_ginsts = 4.0;
+  a.work_exponent = 0.9;
+  a.working_set_mib = 40.0;
+  a.ws_exponent = 0.8;
+  a.locality = 0.80;  // small buffers
+  a.vector_efficiency = 0.15;
+  a.branch_entropy = 0.20;
+  a.serial_fraction = 0.01;
+  a.imbalance = 0.02;
+  a.comm_mib_per_ginst = 800.0;  // communication benchmark
+  a.comm_latency_bound = 0.7;
+  a.io_read_mib = 1.0;
+  a.io_write_mib = 2.0;
+  a.noise_sigma = 0.025;  // network-dominated runs vary more
+  return a;
+}
+
+AppSignature examinimd() {
+  AppSignature a;
+  a.name = "ExaMiniMD";
+  a.description = "Molecular dynamics simulations";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.08, .load = 0.31, .store = 0.08,
+               .sp_fp = 0.03, .dp_fp = 0.21, .int_arith = 0.11};
+  a.gpu_mix = {.branch = 0.04, .load = 0.31, .store = 0.08,
+               .sp_fp = 0.03, .dp_fp = 0.27, .int_arith = 0.09};
+  a.base_ginsts = 70.0;
+  a.work_exponent = 1.05;
+  a.working_set_mib = 200.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.68;
+  a.vector_efficiency = 0.55;  // Kokkos kernels vectorize better
+  a.branch_entropy = 0.28;
+  a.gpu_offload = 0.92;
+  a.gpu_saturation = 0.75;
+  a.serial_fraction = 0.02;
+  a.imbalance = 0.05;
+  a.comm_mib_per_ginst = 1.2;
+  a.comm_latency_bound = 0.4;
+  a.io_read_mib = 15.0;
+  a.io_write_mib = 50.0;
+  a.noise_sigma = 0.013;
+  return a;
+}
+
+AppSignature laghos() {
+  AppSignature a;
+  a.name = "Laghos";
+  a.description = "FEM for compressible gas dynamics";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.07, .load = 0.30, .store = 0.10,
+               .sp_fp = 0.01, .dp_fp = 0.24, .int_arith = 0.10};
+  a.gpu_mix = {.branch = 0.04, .load = 0.29, .store = 0.10,
+               .sp_fp = 0.01, .dp_fp = 0.30, .int_arith = 0.08};
+  a.base_ginsts = 110.0;
+  a.work_exponent = 1.15;
+  a.working_set_mib = 500.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.65;  // dense element matrices, partial assembly
+  a.vector_efficiency = 0.60;
+  a.branch_entropy = 0.18;
+  a.gpu_offload = 0.88;
+  a.gpu_saturation = 0.72;
+  a.serial_fraction = 0.025;
+  a.imbalance = 0.04;
+  a.comm_mib_per_ginst = 2.0;
+  a.comm_latency_bound = 0.35;
+  a.io_read_mib = 40.0;
+  a.io_write_mib = 120.0;
+  a.noise_sigma = 0.015;
+  return a;
+}
+
+AppSignature minife() {
+  AppSignature a;
+  a.name = "miniFE";
+  a.description = "Unstructured implicit FEM codes";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.08, .load = 0.33, .store = 0.09,
+               .sp_fp = 0.01, .dp_fp = 0.17, .int_arith = 0.13};
+  a.gpu_mix = {.branch = 0.05, .load = 0.34, .store = 0.09,
+               .sp_fp = 0.01, .dp_fp = 0.21, .int_arith = 0.11};
+  a.base_ginsts = 50.0;
+  a.work_exponent = 1.1;
+  a.working_set_mib = 700.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.40;  // SpMV-dominated CG solve
+  a.vector_efficiency = 0.30;
+  a.branch_entropy = 0.25;
+  a.gpu_offload = 0.85;
+  a.gpu_saturation = 0.60;
+  a.serial_fraction = 0.02;
+  a.imbalance = 0.03;
+  a.comm_mib_per_ginst = 2.5;
+  a.comm_latency_bound = 0.5;  // dot products -> allreduce latency
+  a.io_read_mib = 10.0;
+  a.io_write_mib = 20.0;
+  a.noise_sigma = 0.013;
+  return a;
+}
+
+AppSignature minigan() {
+  AppSignature a;
+  a.name = "miniGAN";
+  a.description = "Generative adversarial neural network training";
+  a.gpu_support = true;
+  a.python_stack = true;
+  a.cpu_mix = {.branch = 0.06, .load = 0.29, .store = 0.13,
+               .sp_fp = 0.23, .dp_fp = 0.00, .int_arith = 0.11};
+  a.gpu_mix = {.branch = 0.02, .load = 0.27, .store = 0.13,
+               .sp_fp = 0.39, .dp_fp = 0.00, .int_arith = 0.07};
+  a.base_ginsts = 100.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 1500.0;
+  a.ws_exponent = 0.9;
+  a.locality = 0.72;
+  a.vector_efficiency = 0.85;
+  a.branch_entropy = 0.10;
+  a.gpu_offload = 0.93;
+  a.gpu_saturation = 0.78;
+  a.serial_fraction = 0.08;
+  a.imbalance = 0.04;
+  a.comm_mib_per_ginst = 2.2;
+  a.comm_latency_bound = 0.12;
+  a.io_read_mib = 500.0;
+  a.io_write_mib = 150.0;
+  a.io_exponent = 0.8;
+  a.noise_sigma = 0.120;
+  return a;
+}
+
+AppSignature miniqmc() {
+  AppSignature a;
+  a.name = "miniQMC";
+  a.description = "Real space quantum Monte Carlo";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.09, .load = 0.29, .store = 0.09,
+               .sp_fp = 0.06, .dp_fp = 0.18, .int_arith = 0.12};
+  a.base_ginsts = 80.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 350.0;
+  a.ws_exponent = 0.9;
+  a.locality = 0.60;
+  a.vector_efficiency = 0.50;
+  a.branch_entropy = 0.35;  // stochastic acceptance branches
+  a.serial_fraction = 0.005;
+  a.imbalance = 0.02;  // embarrassingly parallel walkers
+  a.comm_mib_per_ginst = 0.3;
+  a.comm_latency_bound = 0.3;
+  a.io_read_mib = 30.0;
+  a.io_write_mib = 30.0;
+  a.noise_sigma = 0.015;
+  return a;
+}
+
+AppSignature minitri() {
+  AppSignature a;
+  a.name = "miniTri";
+  a.description = "Triangle-based graph analytics (Monte Carlo algorithms)";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.15, .load = 0.34, .store = 0.07,
+               .sp_fp = 0.00, .dp_fp = 0.02, .int_arith = 0.24};
+  a.base_ginsts = 30.0;
+  a.work_exponent = 1.2;
+  a.working_set_mib = 800.0;
+  a.ws_exponent = 1.1;
+  a.locality = 0.25;  // pointer-chasing over graph structure
+  a.vector_efficiency = 0.05;
+  a.branch_entropy = 0.60;
+  a.serial_fraction = 0.03;
+  a.imbalance = 0.15;  // power-law degree imbalance
+  a.comm_mib_per_ginst = 5.0;
+  a.comm_latency_bound = 0.6;
+  a.io_read_mib = 200.0;
+  a.io_write_mib = 5.0;
+  a.noise_sigma = 0.020;
+  return a;
+}
+
+AppSignature minivite() {
+  AppSignature a;
+  a.name = "miniVite";
+  a.description = "Graph community detection";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.14, .load = 0.35, .store = 0.08,
+               .sp_fp = 0.00, .dp_fp = 0.05, .int_arith = 0.21};
+  a.base_ginsts = 35.0;
+  a.work_exponent = 1.15;
+  a.working_set_mib = 1000.0;
+  a.ws_exponent = 1.05;
+  a.locality = 0.22;
+  a.vector_efficiency = 0.05;
+  a.branch_entropy = 0.55;
+  a.serial_fraction = 0.025;
+  a.imbalance = 0.12;
+  a.comm_mib_per_ginst = 6.0;
+  a.comm_latency_bound = 0.55;
+  a.io_read_mib = 300.0;
+  a.io_write_mib = 10.0;
+  a.noise_sigma = 0.022;
+  return a;
+}
+
+AppSignature deepcam() {
+  AppSignature a;
+  a.name = "DeepCam";
+  a.description = "Climate segmentation benchmark";
+  a.gpu_support = true;
+  a.python_stack = true;
+  a.cpu_mix = {.branch = 0.06, .load = 0.30, .store = 0.13,
+               .sp_fp = 0.25, .dp_fp = 0.00, .int_arith = 0.10};
+  a.gpu_mix = {.branch = 0.02, .load = 0.28, .store = 0.13,
+               .sp_fp = 0.41, .dp_fp = 0.00, .int_arith = 0.06};
+  a.base_ginsts = 200.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 5000.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.68;
+  a.vector_efficiency = 0.88;
+  a.branch_entropy = 0.08;
+  a.gpu_offload = 0.96;
+  a.gpu_saturation = 0.82;
+  a.serial_fraction = 0.10;  // heavy input pipeline
+  a.imbalance = 0.05;
+  a.comm_mib_per_ginst = 3.0;
+  a.comm_latency_bound = 0.1;
+  a.io_read_mib = 4000.0;
+  a.io_write_mib = 200.0;
+  a.io_exponent = 0.95;
+  a.noise_sigma = 0.140;
+  return a;
+}
+
+AppSignature nekbone() {
+  AppSignature a;
+  a.name = "Nekbone";
+  a.description = "Navier-Stokes solver (spectral element kernels)";
+  a.gpu_support = false;
+  a.rank_constraint = RankConstraint::kPowerOfTwo;
+  a.cpu_mix = {.branch = 0.05, .load = 0.28, .store = 0.09,
+               .sp_fp = 0.01, .dp_fp = 0.30, .int_arith = 0.09};
+  a.base_ginsts = 100.0;
+  a.work_exponent = 1.1;
+  a.working_set_mib = 300.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.78;  // small dense element tensors stay in cache
+  a.vector_efficiency = 0.75;
+  a.branch_entropy = 0.10;
+  a.serial_fraction = 0.008;
+  a.imbalance = 0.02;
+  a.comm_mib_per_ginst = 1.8;
+  a.comm_latency_bound = 0.5;
+  a.io_read_mib = 5.0;
+  a.io_write_mib = 10.0;
+  a.noise_sigma = 0.010;
+  return a;
+}
+
+AppSignature picsarlite() {
+  AppSignature a;
+  a.name = "PICSARLite";
+  a.description = "Particle-in-Cell simulation";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.09, .load = 0.31, .store = 0.12,
+               .sp_fp = 0.02, .dp_fp = 0.19, .int_arith = 0.12};
+  a.base_ginsts = 85.0;
+  a.work_exponent = 1.05;
+  a.working_set_mib = 1200.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.50;  // particle scatter/gather
+  a.vector_efficiency = 0.40;
+  a.branch_entropy = 0.32;
+  a.serial_fraction = 0.012;
+  a.imbalance = 0.12;  // particle clustering
+  a.comm_mib_per_ginst = 2.2;
+  a.comm_latency_bound = 0.4;
+  a.io_read_mib = 50.0;
+  a.io_write_mib = 150.0;
+  a.io_exponent = 0.7;
+  a.noise_sigma = 0.018;
+  return a;
+}
+
+AppSignature sw4lite() {
+  AppSignature a;
+  a.name = "SW4lite";
+  a.description = "Seismic wave simulation";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.04, .load = 0.33, .store = 0.12,
+               .sp_fp = 0.01, .dp_fp = 0.26, .int_arith = 0.09};
+  a.base_ginsts = 130.0;
+  a.work_exponent = 1.2;
+  a.working_set_mib = 1500.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.58;  // stencil streams, partial reuse
+  a.vector_efficiency = 0.80;
+  a.branch_entropy = 0.06;
+  a.serial_fraction = 0.006;
+  a.imbalance = 0.03;
+  a.comm_mib_per_ginst = 2.8;
+  a.comm_latency_bound = 0.25;  // halo exchange, bandwidth bound
+  a.io_read_mib = 60.0;
+  a.io_write_mib = 250.0;
+  a.io_exponent = 0.8;
+  a.noise_sigma = 0.013;
+  return a;
+}
+
+AppSignature swfft() {
+  AppSignature a;
+  a.name = "SWFFT";
+  a.description = "Distributed-memory parallel 3D FFT";
+  a.gpu_support = false;
+  a.rank_constraint = RankConstraint::kPowerOfTwo;
+  a.cpu_mix = {.branch = 0.05, .load = 0.30, .store = 0.14,
+               .sp_fp = 0.02, .dp_fp = 0.24, .int_arith = 0.10};
+  a.base_ginsts = 45.0;
+  a.work_exponent = 1.15;
+  a.working_set_mib = 2000.0;
+  a.ws_exponent = 1.0;
+  a.locality = 0.45;  // strided butterfly accesses
+  a.vector_efficiency = 0.70;
+  a.branch_entropy = 0.08;
+  a.serial_fraction = 0.01;
+  a.imbalance = 0.02;
+  a.comm_mib_per_ginst = 12.0;  // all-to-all transposes
+  a.comm_latency_bound = 0.2;
+  a.io_read_mib = 20.0;
+  a.io_write_mib = 20.0;
+  a.noise_sigma = 0.020;
+  return a;
+}
+
+AppSignature thornado_mini() {
+  AppSignature a;
+  a.name = "Thornado-mini";
+  a.description = "Radiative transfer solver in multi-group two-moment approximation";
+  a.gpu_support = false;
+  a.cpu_mix = {.branch = 0.06, .load = 0.29, .store = 0.10,
+               .sp_fp = 0.01, .dp_fp = 0.28, .int_arith = 0.09};
+  a.base_ginsts = 95.0;
+  a.work_exponent = 1.1;
+  a.working_set_mib = 400.0;
+  a.ws_exponent = 0.95;
+  a.locality = 0.72;  // dense small-block solves per zone
+  a.vector_efficiency = 0.65;
+  a.branch_entropy = 0.12;
+  a.serial_fraction = 0.01;
+  a.imbalance = 0.04;
+  a.comm_mib_per_ginst = 1.5;
+  a.comm_latency_bound = 0.35;
+  a.io_read_mib = 30.0;
+  a.io_write_mib = 80.0;
+  a.noise_sigma = 0.013;
+  return a;
+}
+
+AppSignature xsbench() {
+  AppSignature a;
+  a.name = "XSBench";
+  a.description = "Monte Carlo neutron transport cross-section lookups";
+  a.gpu_support = true;
+  a.cpu_mix = {.branch = 0.12, .load = 0.36, .store = 0.05,
+               .sp_fp = 0.01, .dp_fp = 0.10, .int_arith = 0.18};
+  a.gpu_mix = {.branch = 0.08, .load = 0.38, .store = 0.05,
+               .sp_fp = 0.01, .dp_fp = 0.12, .int_arith = 0.16};
+  a.base_ginsts = 55.0;
+  a.work_exponent = 1.0;
+  a.working_set_mib = 5500.0;  // cross-section tables exceed caches
+  a.ws_exponent = 0.9;
+  a.locality = 0.12;  // random lookups, latency bound
+  a.vector_efficiency = 0.10;
+  a.branch_entropy = 0.50;
+  a.gpu_offload = 0.90;
+  a.gpu_saturation = 0.45;  // memory-latency limited on GPU too
+  a.serial_fraction = 0.015;
+  a.imbalance = 0.02;
+  a.comm_mib_per_ginst = 0.2;
+  a.comm_latency_bound = 0.3;
+  a.io_read_mib = 250.0;  // cross-section data load
+  a.io_write_mib = 2.0;
+  a.noise_sigma = 0.015;
+  return a;
+}
+
+}  // namespace
+
+AppCatalog::AppCatalog()
+    : apps_{amg(),       candle(),     comd(),      cosmoflow(),  cradl(),
+            ember(),     examinimd(),  laghos(),    minife(),     minigan(),
+            miniqmc(),   minitri(),    minivite(),  deepcam(),    nekbone(),
+            picsarlite(), sw4lite(),   swfft(),     thornado_mini(), xsbench()} {}
+
+const AppSignature& AppCatalog::get(std::string_view name) const {
+  for (const auto& app : apps_) {
+    if (app.name == name) return app;
+  }
+  throw LookupError("unknown application: '" + std::string(name) + "'");
+}
+
+bool AppCatalog::contains(std::string_view name) const noexcept {
+  for (const auto& app : apps_) {
+    if (app.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace mphpc::workload

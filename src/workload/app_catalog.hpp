@@ -1,0 +1,33 @@
+// The 20-application suite of the study (paper Table II).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "workload/app_signature.hpp"
+
+namespace mphpc::workload {
+
+/// Value-type catalog of the 20 applications used to build the MP-HPC
+/// dataset. Eleven applications have GPU support, four are ML/Python
+/// workloads, matching the paper's suite composition.
+class AppCatalog {
+ public:
+  /// Builds the default Table II catalog.
+  AppCatalog();
+
+  [[nodiscard]] const std::vector<AppSignature>& all() const noexcept { return apps_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return apps_.size(); }
+
+  /// Lookup by application name; throws mphpc::LookupError if unknown.
+  [[nodiscard]] const AppSignature& get(std::string_view name) const;
+
+  /// True if the catalog contains an app with this name.
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+
+ private:
+  std::vector<AppSignature> apps_;
+};
+
+}  // namespace mphpc::workload

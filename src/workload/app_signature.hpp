@@ -1,0 +1,85 @@
+// Behavioural application signatures (paper Table II substitute).
+//
+// The paper profiles 20 ECP/E4S proxy applications. The ML model never
+// sees source code — only hardware counters — so for reproduction each
+// application is replaced by a *signature*: a compact behavioural model
+// (instruction mix, locality, vectorizability, GPU suitability, scaling,
+// communication and I/O behaviour) from which the simulator derives both
+// execution times and counters. Signatures are chosen per application
+// class (MD, FEM, FFT, ML training, graph analytics, ...) so the dataset
+// has the qualitative diversity the paper's model learns from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mphpc::workload {
+
+/// Fractions of total executed instructions per class. The remainder
+/// (1 - sum of the six classes) is address arithmetic / moves / other.
+struct InstructionMix {
+  double branch = 0.0;
+  double load = 0.0;
+  double store = 0.0;
+  double sp_fp = 0.0;
+  double dp_fp = 0.0;
+  double int_arith = 0.0;
+
+  [[nodiscard]] double sum() const noexcept {
+    return branch + load + store + sp_fp + dp_fp + int_arith;
+  }
+  [[nodiscard]] double other() const noexcept { return 1.0 - sum(); }
+  [[nodiscard]] bool valid() const noexcept {
+    const auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+    return in01(branch) && in01(load) && in01(store) && in01(sp_fp) &&
+           in01(dp_fp) && in01(int_arith) && sum() <= 1.0;
+  }
+};
+
+/// MPI rank-count constraints some proxy apps impose (paper §V-B).
+enum class RankConstraint : std::uint8_t { kNone = 0, kPowerOfTwo, kSquare };
+
+/// The full behavioural description of one application.
+struct AppSignature {
+  std::string name;
+  std::string description;
+  bool gpu_support = false;   ///< has a GPU code path (11 of 20 apps)
+  bool python_stack = false;  ///< ML/Python-framework app: noisier runs (Fig. 5)
+  RankConstraint rank_constraint = RankConstraint::kNone;
+
+  InstructionMix cpu_mix;  ///< instruction mix of the CPU code path
+  InstructionMix gpu_mix;  ///< instruction mix of the offloaded kernels
+
+  // Work model: total instructions = base_ginsts * scale^work_exponent (1e9).
+  double base_ginsts = 10.0;
+  double work_exponent = 1.0;
+
+  // Memory model: per-process working set = working_set_mib * scale^ws_exponent.
+  double working_set_mib = 100.0;
+  double ws_exponent = 1.0;
+  double locality = 0.7;  ///< 0..1, higher = more cache-friendly access stream
+
+  double vector_efficiency = 0.6;  ///< fraction of FP work that vectorizes
+  double branch_entropy = 0.3;     ///< 0..1, how unpredictable branches are
+
+  // GPU suitability (used only when gpu_support and the system has GPUs).
+  double gpu_offload = 0.0;     ///< fraction of work offloaded to the device
+  double gpu_saturation = 0.0;  ///< 0..1, how well kernels fill the device
+
+  // Parallel scaling.
+  double serial_fraction = 0.02;  ///< Amdahl serial fraction
+  double imbalance = 0.05;        ///< load imbalance overhead per doubling
+
+  // Communication: MiB exchanged per rank per giga-instruction of work.
+  double comm_mib_per_ginst = 1.0;
+  double comm_latency_bound = 0.3;  ///< 0..1 weight of latency- vs bw-bound comm
+
+  // I/O per run at scale 1 (grows with scale^io_exponent).
+  double io_read_mib = 50.0;
+  double io_write_mib = 20.0;
+  double io_exponent = 0.5;
+
+  double noise_sigma = 0.03;  ///< app-specific log-space runtime noise
+};
+
+}  // namespace mphpc::workload

@@ -1,0 +1,100 @@
+#include "workload/input_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::workload {
+
+std::string InputConfig::id() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "/i%02d", index);
+  return app + buf;
+}
+
+std::vector<InputConfig> make_inputs(const AppSignature& app, int count,
+                                     std::uint64_t base_seed) {
+  MPHPC_EXPECTS(count > 0);
+  std::vector<InputConfig> inputs;
+  inputs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    InputConfig in;
+    in.app = app.name;
+    in.index = i;
+    in.seed = derive_seed(base_seed, app.name, "input", static_cast<std::uint64_t>(i));
+    Rng rng(in.seed);
+    // Log-spaced sizes over a 4x range with multiplicative jitter so
+    // inputs don't fall on an exact grid. Proxy-app default problems are
+    // sized for single-node runs, so the sweep stays in that regime.
+    const double t = count > 1 ? static_cast<double>(i) / (count - 1) : 0.5;
+    const double base_scale = 0.6 * std::pow(4.0, t);
+    in.scale = base_scale * lognormal_factor(rng, 0.12);
+    char cli[64];
+    std::snprintf(cli, sizeof cli, "--problem %d --size %.3f", i, in.scale);
+    in.cli = cli;
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+namespace {
+
+// Multiplies v by a factor in [1-rel, 1+rel] drawn from rng, clamped to
+// [lo, hi].
+double jitter(Rng& rng, double v, double rel, double lo, double hi) {
+  return std::clamp(v * (1.0 + rel * (2.0 * rng.uniform() - 1.0)), lo, hi);
+}
+
+void perturb_mix(Rng& rng, InstructionMix& mix) {
+  // Branch behaviour varies strongly with the input problem (mesh shape,
+  // table sizes, convergence paths), more than the other classes do.
+  mix.branch = jitter(rng, mix.branch, 0.45, 0.0, 0.30);
+  mix.load = jitter(rng, mix.load, 0.12, 0.0, 0.45);
+  mix.store = jitter(rng, mix.store, 0.15, 0.0, 0.25);
+  mix.sp_fp = jitter(rng, mix.sp_fp, 0.20, 0.0, 0.50);
+  mix.dp_fp = jitter(rng, mix.dp_fp, 0.20, 0.0, 0.50);
+  mix.int_arith = jitter(rng, mix.int_arith, 0.15, 0.0, 0.40);
+  // Renormalize if the perturbation pushed the classes past 100%.
+  const double s = mix.sum();
+  if (s > 0.95) {
+    const double f = 0.95 / s;
+    mix.branch *= f;
+    mix.load *= f;
+    mix.store *= f;
+    mix.sp_fp *= f;
+    mix.dp_fp *= f;
+    mix.int_arith *= f;
+  }
+}
+
+}  // namespace
+
+AppSignature effective_signature(const AppSignature& base, const InputConfig& input) {
+  MPHPC_EXPECTS(base.name == input.app);
+  AppSignature sig = base;
+  Rng rng(derive_seed(input.seed, "signature"));
+  perturb_mix(rng, sig.cpu_mix);
+  perturb_mix(rng, sig.gpu_mix);
+  sig.locality = jitter(rng, sig.locality, 0.15, 0.02, 0.98);
+  sig.branch_entropy = jitter(rng, sig.branch_entropy, 0.10, 0.01, 0.95);
+  sig.vector_efficiency = jitter(rng, sig.vector_efficiency, 0.15, 0.02, 0.95);
+  sig.comm_mib_per_ginst = jitter(rng, sig.comm_mib_per_ginst, 0.25, 0.0, 1e3);
+  sig.imbalance = jitter(rng, sig.imbalance, 0.30, 0.0, 0.5);
+  // I/O volume and memory footprint depend heavily on the input problem's
+  // content, not just its size.
+  sig.io_read_mib = jitter(rng, sig.io_read_mib, 0.50, 0.0, 1e5);
+  sig.io_write_mib = jitter(rng, sig.io_write_mib, 0.50, 0.0, 1e5);
+  sig.working_set_mib = jitter(rng, sig.working_set_mib, 0.30, 1.0, 1e5);
+  if (sig.gpu_support) {
+    sig.gpu_saturation = jitter(rng, sig.gpu_saturation, 0.12, 0.05, 0.95);
+    sig.gpu_offload = jitter(rng, sig.gpu_offload, 0.05, 0.1, 0.99);
+  }
+  MPHPC_ENSURES(sig.cpu_mix.valid() && sig.gpu_mix.valid());
+  return sig;
+}
+
+}  // namespace mphpc::workload

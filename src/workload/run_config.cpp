@@ -1,0 +1,75 @@
+#include "workload/run_config.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mphpc::workload {
+
+std::string_view to_string(ScaleClass s) noexcept {
+  switch (s) {
+    case ScaleClass::kOneCore: return "1core";
+    case ScaleClass::kOneNode: return "1node";
+    case ScaleClass::kTwoNodes: return "2node";
+  }
+  return "unknown";
+}
+
+int round_down_pow2(int n) noexcept {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+int round_down_square(int n) noexcept {
+  const int r = static_cast<int>(std::sqrt(static_cast<double>(n)));
+  return r * r;
+}
+
+namespace {
+
+int apply_constraint(int ranks, RankConstraint constraint) noexcept {
+  switch (constraint) {
+    case RankConstraint::kNone: return ranks;
+    case RankConstraint::kPowerOfTwo: return round_down_pow2(ranks);
+    case RankConstraint::kSquare: return round_down_square(ranks);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+RunConfig make_run_config(const AppSignature& app,
+                          const arch::ArchitectureSpec& system, ScaleClass scale) {
+  MPHPC_EXPECTS(system.cpu.cores_per_node > 0);
+  RunConfig rc;
+  rc.scale_class = scale;
+  rc.uses_gpu = app.gpu_support && system.has_gpu();
+
+  const int nodes = scale == ScaleClass::kTwoNodes ? 2 : 1;
+  rc.nodes = nodes;
+
+  if (scale == ScaleClass::kOneCore) {
+    rc.ranks = 1;
+    rc.cores = 1;
+    rc.gpus = rc.uses_gpu ? 1 : 0;
+    return rc;
+  }
+
+  if (rc.uses_gpu) {
+    // GPU runs launch one rank per device, the standard proxy-app layout.
+    const int gpus = system.gpu->per_node * nodes;
+    rc.ranks = apply_constraint(gpus, app.rank_constraint);
+    rc.gpus = rc.ranks;
+    rc.cores = rc.ranks;
+  } else {
+    const int cores = system.cpu.cores_per_node * nodes;
+    rc.ranks = apply_constraint(cores, app.rank_constraint);
+    rc.gpus = 0;
+    rc.cores = rc.ranks;
+  }
+  MPHPC_ENSURES(rc.ranks >= 1);
+  return rc;
+}
+
+}  // namespace mphpc::workload

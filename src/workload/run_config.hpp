@@ -1,0 +1,52 @@
+// Run configurations: each (app, input) pair runs at three scales per
+// system (paper §V-B) — one core, one full node, and two nodes — with MPI
+// rank counts rounded down for apps that require power-of-two or square
+// rank counts, and one rank per GPU for offloaded apps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "arch/architecture.hpp"
+#include "workload/app_signature.hpp"
+
+namespace mphpc::workload {
+
+/// The three resource scales every run is executed at.
+enum class ScaleClass : std::uint8_t { kOneCore = 0, kOneNode = 1, kTwoNodes = 2 };
+
+inline constexpr std::size_t kNumScaleClasses = 3;
+
+inline constexpr std::array<ScaleClass, kNumScaleClasses> kAllScaleClasses = {
+    ScaleClass::kOneCore, ScaleClass::kOneNode, ScaleClass::kTwoNodes};
+
+/// Stable identifier ("1core", "1node", "2node").
+[[nodiscard]] std::string_view to_string(ScaleClass s) noexcept;
+
+/// The concrete resources one run uses on one system.
+struct RunConfig {
+  ScaleClass scale_class = ScaleClass::kOneNode;
+  int nodes = 1;  ///< nodes occupied
+  int ranks = 1;  ///< MPI ranks
+  int cores = 1;  ///< total cores in use (== ranks for our pure-MPI runs)
+  int gpus = 0;   ///< total GPU devices in use
+  bool uses_gpu = false;  ///< whether the GPU code path (and GPU counters) engage
+};
+
+/// Largest power of two <= n (n >= 1).
+[[nodiscard]] int round_down_pow2(int n) noexcept;
+
+/// Largest perfect square <= n (n >= 1).
+[[nodiscard]] int round_down_square(int n) noexcept;
+
+/// Builds the run configuration for `app` at `scale` on `system`:
+///  - one core: 1 rank (plus 1 GPU if the app offloads and the system has GPUs)
+///  - one node: one rank per core for CPU runs, one rank per GPU for GPU runs,
+///    rounded down to satisfy the app's rank constraint
+///  - two nodes: double the one-node resources, again rounded.
+[[nodiscard]] RunConfig make_run_config(const AppSignature& app,
+                                        const arch::ArchitectureSpec& system,
+                                        ScaleClass scale);
+
+}  // namespace mphpc::workload

@@ -1,0 +1,153 @@
+// Tests for src/arch: system catalog (Table I), counter name tables.
+#include <gtest/gtest.h>
+
+#include "arch/counter_names.hpp"
+#include "arch/system_catalog.hpp"
+#include "common/error.hpp"
+
+namespace mphpc::arch {
+namespace {
+
+TEST(SystemId, ToStringRoundTrips) {
+  for (const SystemId id : kAllSystems) {
+    const auto parsed = parse_system(to_string(id));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(SystemId, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_system("Quartz"), SystemId::kQuartz);
+  EXPECT_EQ(parse_system("LASSEN"), SystemId::kLassen);
+}
+
+TEST(SystemId, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_system("summit").has_value());
+  EXPECT_FALSE(parse_system("").has_value());
+}
+
+TEST(SystemCatalog, TableOneCpuParameters) {
+  const SystemCatalog catalog;
+  // Paper Table I values.
+  EXPECT_EQ(catalog.get(SystemId::kQuartz).cpu.cores_per_node, 36);
+  EXPECT_DOUBLE_EQ(catalog.get(SystemId::kQuartz).cpu.clock_ghz, 2.1);
+  EXPECT_EQ(catalog.get(SystemId::kRuby).cpu.cores_per_node, 56);
+  EXPECT_DOUBLE_EQ(catalog.get(SystemId::kRuby).cpu.clock_ghz, 2.2);
+  EXPECT_EQ(catalog.get(SystemId::kLassen).cpu.cores_per_node, 44);
+  EXPECT_DOUBLE_EQ(catalog.get(SystemId::kLassen).cpu.clock_ghz, 3.5);
+  EXPECT_EQ(catalog.get(SystemId::kCorona).cpu.cores_per_node, 48);
+  EXPECT_DOUBLE_EQ(catalog.get(SystemId::kCorona).cpu.clock_ghz, 2.8);
+}
+
+TEST(SystemCatalog, TableOneGpuConfiguration) {
+  const SystemCatalog catalog;
+  EXPECT_FALSE(catalog.get(SystemId::kQuartz).has_gpu());
+  EXPECT_FALSE(catalog.get(SystemId::kRuby).has_gpu());
+  ASSERT_TRUE(catalog.get(SystemId::kLassen).has_gpu());
+  ASSERT_TRUE(catalog.get(SystemId::kCorona).has_gpu());
+  EXPECT_EQ(catalog.get(SystemId::kLassen).gpu->per_node, 4);
+  EXPECT_EQ(catalog.get(SystemId::kLassen).gpu->model, "NVIDIA V100");
+  EXPECT_EQ(catalog.get(SystemId::kCorona).gpu->per_node, 8);
+  EXPECT_EQ(catalog.get(SystemId::kCorona).gpu->model, "AMD MI50");
+}
+
+TEST(SystemCatalog, LookupByName) {
+  const SystemCatalog catalog;
+  EXPECT_EQ(catalog.get("lassen").id, SystemId::kLassen);
+  EXPECT_THROW(catalog.get("frontier"), LookupError);
+}
+
+TEST(SystemCatalog, NamesMatchIds) {
+  const SystemCatalog catalog;
+  for (const SystemId id : kAllSystems) {
+    EXPECT_EQ(catalog.get(id).name, to_string(id));
+    EXPECT_EQ(catalog.get(id).id, id);
+  }
+}
+
+TEST(SystemCatalog, AllSystemsHaveNodes) {
+  const SystemCatalog catalog;
+  for (const auto& sys : catalog.all()) {
+    EXPECT_GE(sys.nodes, 2) << sys.name;
+    EXPECT_GT(sys.cpu.mem_bw_gbs, 0.0) << sys.name;
+    EXPECT_GT(sys.io_bw_gbs, 0.0) << sys.name;
+  }
+}
+
+TEST(ArchitectureSpec, PeakFlopsMath) {
+  const SystemCatalog catalog;
+  const auto& quartz = catalog.get(SystemId::kQuartz);
+  EXPECT_NEAR(quartz.cpu.peak_dp_gflops(), 36 * 2.1 * 16.0, 1e-9);
+  // GPU systems' node peak includes devices.
+  const auto& lassen = catalog.get(SystemId::kLassen);
+  EXPECT_GT(lassen.peak_node_dp_gflops(),
+            lassen.cpu.peak_dp_gflops() + 4 * 7.8e3 - 1.0);
+}
+
+TEST(CounterKind, ToStringRoundTrips) {
+  for (const CounterKind kind : kAllCounterKinds) {
+    const auto parsed = parse_counter_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(CounterKind, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_counter_kind("bogus_counter").has_value());
+}
+
+TEST(CounterNames, CpuUsesPapiPresets) {
+  for (const SystemId id : kAllSystems) {
+    EXPECT_EQ(counter_source_name(id, Device::kCpu, CounterKind::kBranchInstructions),
+              "PAPI_BR_INS");
+    EXPECT_EQ(counter_source_name(id, Device::kCpu, CounterKind::kLoadInstructions),
+              "PAPI_LD_INS");
+    EXPECT_EQ(counter_source_name(id, Device::kCpu, CounterKind::kMemStallCycles),
+              "PAPI_MEM_SCY");
+  }
+}
+
+TEST(CounterNames, ArithCounterIsPerMicroarchitecture) {
+  EXPECT_EQ(counter_source_name(SystemId::kQuartz, Device::kCpu,
+                                CounterKind::kIntArithInstructions),
+            "bdw::ARITH");
+  EXPECT_EQ(counter_source_name(SystemId::kRuby, Device::kCpu,
+                                CounterKind::kIntArithInstructions),
+            "clx::ARITH");
+}
+
+TEST(CounterNames, LassenGpuUsesCupti) {
+  EXPECT_EQ(counter_source_name(SystemId::kLassen, Device::kGpu,
+                                CounterKind::kBranchInstructions),
+            "cf_executed");
+  EXPECT_EQ(counter_source_name(SystemId::kLassen, Device::kGpu,
+                                CounterKind::kSpFpInstructions),
+            "flop_count_sp");
+}
+
+TEST(CounterNames, CoronaGpuUsesRocprofiler) {
+  EXPECT_EQ(counter_source_name(SystemId::kCorona, Device::kGpu,
+                                CounterKind::kMemStallCycles),
+            "MemUnitStalled");
+  EXPECT_NE(std::string(counter_source_name(SystemId::kCorona, Device::kGpu,
+                                            CounterKind::kL2LoadMisses))
+                .find("TCC_MISS"),
+            std::string::npos);
+}
+
+TEST(CounterNames, CpuOnlySystemsHaveNoGpuCounters) {
+  EXPECT_EQ(counter_source_name(SystemId::kQuartz, Device::kGpu,
+                                CounterKind::kBranchInstructions),
+            "-");
+  EXPECT_EQ(counter_source_name(SystemId::kRuby, Device::kGpu,
+                                CounterKind::kTotalInstructions),
+            "-");
+}
+
+TEST(Device, ToString) {
+  EXPECT_EQ(to_string(Device::kCpu), "cpu");
+  EXPECT_EQ(to_string(Device::kGpu), "gpu");
+}
+
+}  // namespace
+}  // namespace mphpc::arch

@@ -1,0 +1,404 @@
+// Tests for src/core: RPVs, feature pipeline, dataset assembly, the
+// predictor, model selection, importance reporting.
+#include <gtest/gtest.h>
+
+#include "arch/system_catalog.hpp"
+#include "core/dataset.hpp"
+#include "ml/mean_regressor.hpp"
+#include "core/feature_pipeline.hpp"
+#include "core/importance.hpp"
+#include "core/model_selection.hpp"
+#include "core/predictor.hpp"
+#include "core/rpv.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::core {
+namespace {
+
+using arch::SystemId;
+
+// ------------------------------------------------------------------- rpv ----
+
+TEST(Rpv, PaperWorkedExample) {
+  // TestApp on X=10 min, Y=8 min, Z=21 min -> relative to X: [1.0, 0.8, 2.1].
+  // Our vectors have four entries; use a fourth system at 15 min.
+  const SystemTimes times = {10.0, 8.0, 21.0, 15.0};
+  const Rpv rpv = Rpv::relative_to(times, SystemId::kQuartz);
+  EXPECT_DOUBLE_EQ(rpv[0], 1.0);
+  EXPECT_DOUBLE_EQ(rpv[1], 0.8);
+  EXPECT_DOUBLE_EQ(rpv[2], 2.1);
+  EXPECT_DOUBLE_EQ(rpv[3], 1.5);
+}
+
+TEST(Rpv, ReferenceEntryIsAlwaysOne) {
+  const SystemTimes times = {3.0, 7.0, 2.0, 11.0};
+  for (const SystemId ref : arch::kAllSystems) {
+    EXPECT_DOUBLE_EQ(Rpv::relative_to(times, ref).time_ratio(ref), 1.0);
+  }
+}
+
+TEST(Rpv, RelativeToMinAllEntriesAtMostOne) {
+  // "min" = lowest performance = largest time.
+  const SystemTimes times = {3.0, 7.0, 2.0, 11.0};
+  const Rpv rpv = Rpv::relative_to_min(times);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_LE(rpv[k], 1.0);
+  EXPECT_DOUBLE_EQ(rpv.time_ratio(SystemId::kCorona), 1.0);
+}
+
+TEST(Rpv, RelativeToMaxAllEntriesAtLeastOne) {
+  const SystemTimes times = {3.0, 7.0, 2.0, 11.0};
+  const Rpv rpv = Rpv::relative_to_max(times);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_GE(rpv[k], 1.0);
+  EXPECT_DOUBLE_EQ(rpv.time_ratio(SystemId::kLassen), 1.0);
+}
+
+TEST(Rpv, FastestAndSlowest) {
+  const SystemTimes times = {3.0, 7.0, 2.0, 11.0};
+  const Rpv rpv = Rpv::relative_to(times, SystemId::kQuartz);
+  EXPECT_EQ(rpv.fastest(), SystemId::kLassen);
+  EXPECT_EQ(rpv.slowest(), SystemId::kCorona);
+}
+
+TEST(Rpv, OrderIsSorted) {
+  const SystemTimes times = {3.0, 7.0, 2.0, 11.0};
+  const auto order = Rpv::relative_to(times, SystemId::kRuby).order();
+  EXPECT_EQ(order[0], SystemId::kLassen);
+  EXPECT_EQ(order[1], SystemId::kQuartz);
+  EXPECT_EQ(order[2], SystemId::kRuby);
+  EXPECT_EQ(order[3], SystemId::kCorona);
+}
+
+TEST(Rpv, SpeedupIsReciprocal) {
+  const SystemTimes times = {10.0, 5.0, 20.0, 10.0};
+  const Rpv rpv = Rpv::relative_to(times, SystemId::kQuartz);
+  EXPECT_DOUBLE_EQ(rpv.speedup(SystemId::kRuby), 2.0);
+  EXPECT_DOUBLE_EQ(rpv.speedup(SystemId::kLassen), 0.5);
+}
+
+TEST(Rpv, RejectsNonPositiveTimes) {
+  const SystemTimes times = {1.0, 0.0, 1.0, 1.0};
+  EXPECT_THROW(Rpv::relative_to(times, SystemId::kQuartz), ContractViolation);
+}
+
+// ------------------------------------------------------ feature pipeline ----
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  workload::AppCatalog apps_;
+  arch::SystemCatalog systems_;
+  sim::Profiler profiler_{123};
+
+  sim::RunProfile profile(const char* app, const char* system,
+                          workload::ScaleClass scale) {
+    const auto& sig = apps_.get(app);
+    const auto inputs = workload::make_inputs(sig, 1, 123);
+    return profiler_.profile(sig, inputs[0], scale, systems_.get(system));
+  }
+};
+
+TEST_F(PipelineTest, TwentyOneFeatures) {
+  EXPECT_EQ(FeaturePipeline::kNumFeatures, 21u);  // paper §V-D
+  EXPECT_EQ(FeaturePipeline::feature_names().size(), 21u);
+}
+
+TEST_F(PipelineTest, IntensitiesAreRatios) {
+  const auto p = profile("CoMD", "quartz", workload::ScaleClass::kOneNode);
+  const auto f = FeaturePipeline::raw_features(p);
+  double intensity_sum = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(f[i], 0.0);
+    EXPECT_LE(f[i], 1.0);
+    intensity_sum += f[i];
+  }
+  EXPECT_LE(intensity_sum, 1.05);  // jitter can nudge past the exact mix sum
+}
+
+TEST_F(PipelineTest, OneHotMatchesSourceSystem) {
+  const auto p = profile("CoMD", "lassen", workload::ScaleClass::kOneNode);
+  const auto f = FeaturePipeline::raw_features(p);
+  EXPECT_EQ(f[17], 0.0);  // quartz
+  EXPECT_EQ(f[18], 0.0);  // ruby
+  EXPECT_EQ(f[19], 1.0);  // lassen
+  EXPECT_EQ(f[20], 0.0);  // corona
+}
+
+TEST_F(PipelineTest, UsesGpuFlag) {
+  const auto gpu = profile("CoMD", "lassen", workload::ScaleClass::kOneNode);
+  EXPECT_EQ(FeaturePipeline::raw_features(gpu)[16], 1.0);
+  const auto cpu = profile("SW4lite", "lassen", workload::ScaleClass::kOneNode);
+  EXPECT_EQ(FeaturePipeline::raw_features(cpu)[16], 0.0);
+}
+
+TEST_F(PipelineTest, NodesAndCores) {
+  const auto p = profile("miniVite", "ruby", workload::ScaleClass::kTwoNodes);
+  const auto f = FeaturePipeline::raw_features(p);
+  EXPECT_EQ(f[14], 2.0);    // nodes
+  EXPECT_EQ(f[15], 112.0);  // cores = 2 x 56
+}
+
+TEST_F(PipelineTest, StandardizationZeroesMeans) {
+  // Fit over a batch of raw rows, then check the standardized columns.
+  std::vector<double> raw;
+  std::vector<sim::RunProfile> profiles;
+  for (const auto app : {"CoMD", "AMG", "SWFFT", "XSBench"}) {
+    for (const auto sys : {"quartz", "ruby", "lassen", "corona"}) {
+      profiles.push_back(profile(app, sys, workload::ScaleClass::kOneNode));
+    }
+  }
+  for (const auto& p : profiles) {
+    const auto f = FeaturePipeline::raw_features(p);
+    raw.insert(raw.end(), f.begin(), f.end());
+  }
+  FeaturePipeline pipeline;
+  pipeline.fit(raw, profiles.size());
+  double sum = 0.0;
+  for (const auto& p : profiles) {
+    sum += pipeline.features(p)[FeaturePipeline::kFirstStandardized];
+  }
+  EXPECT_NEAR(sum / static_cast<double>(profiles.size()), 0.0, 1e-9);
+}
+
+TEST_F(PipelineTest, SerializeRoundTrips) {
+  std::vector<double> raw;
+  const auto p1 = profile("CoMD", "quartz", workload::ScaleClass::kOneCore);
+  const auto p2 = profile("AMG", "corona", workload::ScaleClass::kOneNode);
+  for (const auto* p : {&p1, &p2}) {
+    const auto f = FeaturePipeline::raw_features(*p);
+    raw.insert(raw.end(), f.begin(), f.end());
+  }
+  FeaturePipeline pipeline;
+  pipeline.fit(raw, 2);
+  const FeaturePipeline restored = FeaturePipeline::deserialize(pipeline.serialize());
+  const auto a = pipeline.features(p1);
+  const auto b = restored.features(p1);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST_F(PipelineTest, UnfittedTransformThrows) {
+  const FeaturePipeline pipeline;
+  FeaturePipeline::FeatureVector f{};
+  EXPECT_THROW(pipeline.transform(f), ContractViolation);
+}
+
+// ---------------------------------------------------------------- dataset ----
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static const Dataset& dataset() {
+    static const Dataset ds = [] {
+      const workload::AppCatalog apps;
+      const arch::SystemCatalog systems;
+      sim::CampaignOptions options;
+      options.inputs_per_app = 3;
+      return build_dataset(sim::run_campaign(apps, systems, options));
+    }();
+    return ds;
+  }
+};
+
+TEST_F(DatasetTest, RowCountMatchesCampaign) {
+  EXPECT_EQ(dataset().num_rows(), 20u * 3u * 4u * 3u);
+}
+
+TEST_F(DatasetTest, HasAllColumns) {
+  const auto& table = dataset().table();
+  for (const auto& name : Dataset::feature_column_names()) {
+    EXPECT_TRUE(table.has_column(name)) << name;
+  }
+  for (const auto& name : Dataset::target_column_names()) {
+    EXPECT_TRUE(table.has_column(name)) << name;
+  }
+  for (const auto& name : Dataset::time_column_names()) {
+    EXPECT_TRUE(table.has_column(name)) << name;
+  }
+}
+
+TEST_F(DatasetTest, SourceSystemTargetIsOne) {
+  // rpv entry for the row's own system is exactly 1 by construction.
+  const auto& ds = dataset();
+  const auto y = ds.targets();
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    const auto source = arch::parse_system(ds.systems()[r]);
+    ASSERT_TRUE(source.has_value());
+    EXPECT_DOUBLE_EQ(y(r, static_cast<std::size_t>(*source)), 1.0);
+  }
+}
+
+TEST_F(DatasetTest, TrueRpvMatchesTargets) {
+  const auto& ds = dataset();
+  const auto y = ds.targets();
+  for (const std::size_t r : {std::size_t{0}, std::size_t{100}, std::size_t{500}}) {
+    const Rpv rpv = ds.true_rpv(r);
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(rpv[k], y(r, k));
+  }
+}
+
+TEST_F(DatasetTest, FeatureMatrixShape) {
+  const auto x = dataset().features();
+  EXPECT_EQ(x.rows(), dataset().num_rows());
+  EXPECT_EQ(x.cols(), FeaturePipeline::kNumFeatures);
+}
+
+TEST_F(DatasetTest, RowSelection) {
+  const std::vector<std::size_t> rows = {1, 5, 9};
+  const auto x = dataset().features(rows);
+  EXPECT_EQ(x.rows(), 3u);
+}
+
+TEST_F(DatasetTest, TimesArePositive) {
+  const auto& ds = dataset();
+  for (std::size_t r = 0; r < ds.num_rows(); r += 37) {
+    for (const SystemId id : arch::kAllSystems) EXPECT_GT(ds.time_on(r, id), 0.0);
+  }
+}
+
+TEST(DatasetBuild, RejectsIncompleteGroups) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  sim::CampaignOptions options;
+  options.inputs_per_app = 1;
+  auto profiles = sim::run_campaign(apps, systems, options);
+  profiles.pop_back();  // drop one run -> a group is incomplete
+  EXPECT_THROW(build_dataset(profiles), ContractViolation);
+}
+
+// -------------------------------------------------------------- predictor ----
+
+TEST_F(DatasetTest, PredictorTrainsAndPredicts) {
+  CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 30;
+  options.gbt.max_depth = 4;
+  CrossArchPredictor predictor(options);
+  predictor.train(dataset());
+  ASSERT_TRUE(predictor.trained());
+
+  // Predict for a freshly profiled run.
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const sim::Profiler profiler(321);
+  const auto& app = apps.get("CoMD");
+  const auto inputs = workload::make_inputs(app, 1, 321);
+  const auto profile = profiler.profile(app, inputs[0], workload::ScaleClass::kOneNode,
+                                        systems.get("quartz"));
+  const Rpv rpv = predictor.predict(profile);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_GT(rpv[k], 0.0);
+  // The source-system entry should be near 1.
+  EXPECT_NEAR(rpv.time_ratio(SystemId::kQuartz), 1.0, 0.2);
+}
+
+TEST_F(DatasetTest, PredictorSaveLoadRoundTrips) {
+  CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 20;
+  options.gbt.max_depth = 3;
+  CrossArchPredictor predictor(options);
+  predictor.train(dataset());
+  const std::string path = ::testing::TempDir() + "/predictor.mphpc";
+  predictor.save(path);
+  const CrossArchPredictor restored = CrossArchPredictor::load(path);
+  const auto x = dataset().features();
+  const auto a = predictor.predict(x);
+  const auto b = restored.predict(x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(Predictor, UntrainedUseThrows) {
+  const CrossArchPredictor predictor;
+  EXPECT_THROW(predictor.predict(ml::Matrix(1, 21)), ContractViolation);
+}
+
+// --------------------------------------------------------- model selection ----
+
+TEST(ModelSelection, FactoryProducesAllKinds) {
+  for (const ModelKind kind : kAllModelKinds) {
+    const auto model = make_model(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_FALSE(model->fitted());
+  }
+  EXPECT_EQ(make_model(ModelKind::kXgboost)->name(), "xgboost");
+  EXPECT_EQ(make_model(ModelKind::kForest)->name(), "decision forest");
+}
+
+TEST(ModelSelection, ToStringNames) {
+  EXPECT_EQ(to_string(ModelKind::kMean), "mean");
+  EXPECT_EQ(to_string(ModelKind::kLinear), "linear");
+}
+
+TEST_F(DatasetTest, CompareModelsRanksXgboostAboveMean) {
+  const auto x = dataset().features();
+  const auto y = dataset().targets();
+  ComparisonOptions options;
+  options.run_cv = false;
+  const std::array<ModelKind, 2> kinds = {ModelKind::kMean, ModelKind::kXgboost};
+  // Use a light XGB config through the factory defaults; the full-size
+  // comparison lives in the fig2 bench.
+  const auto results = compare_models(x, y, kinds, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[1].test.mae, results[0].test.mae);
+  EXPECT_GT(results[1].test.sos, results[0].test.sos);
+}
+
+TEST_F(DatasetTest, CrossValidationRuns) {
+  const auto x = dataset().features();
+  const auto y = dataset().targets();
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < 200; ++r) rows.push_back(r);
+  const double cv = cross_validated_mae(ModelKind::kLinear, x, y, rows, 5, 1);
+  EXPECT_GT(cv, 0.0);
+}
+
+TEST(Evaluate, ComputesAllMetrics) {
+  const ml::Matrix truth(2, 2, {1, 2, 3, 4});
+  const ml::Matrix pred(2, 2, {1, 2, 3, 4});
+  const EvalMetrics m = evaluate(truth, pred);
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.sos, 1.0);
+  EXPECT_EQ(m.r2, 1.0);
+}
+
+// -------------------------------------------------------------- importance ----
+
+TEST(Importance, ReportSortedDescending) {
+  // A fitted GBT on synthetic data exposes importances.
+  ml::Matrix x(100, 3);
+  ml::Matrix y(100, 1);
+  Rng rng(5);
+  for (std::size_t r = 0; r < 100; ++r) {
+    x(r, 0) = rng.uniform();
+    x(r, 1) = rng.uniform();
+    x(r, 2) = rng.uniform();
+    y(r, 0) = 5.0 * x(r, 0);
+  }
+  ml::GbtOptions options;
+  options.n_rounds = 20;
+  options.max_depth = 3;
+  ml::GbtRegressor model(options);
+  model.fit(x, y);
+  const std::vector<std::string> names = {"relevant", "noise1", "noise2"};
+  const auto report = importance_report(model, names);
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_EQ(report[0].feature, "relevant");
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_GE(report[i - 1].importance, report[i].importance);
+  }
+  const auto top = top_k_features(report, 2);
+  EXPECT_EQ(top[0], "relevant");
+  const auto idx = top_k_feature_indices(report, names, 1);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0}));
+}
+
+TEST(Importance, ModelWithoutImportancesThrows) {
+  ml::MeanRegressor model;
+  ml::Matrix x(10, 2);
+  ml::Matrix y(10, 1);
+  for (std::size_t r = 0; r < 10; ++r) y(r, 0) = 1.0;
+  model.fit(x, y);
+  const std::vector<std::string> names = {"a", "b"};
+  EXPECT_THROW(importance_report(model, names), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mphpc::core

@@ -1,0 +1,151 @@
+// Tests for the extension features: the k-NN comparator model and
+// permutation feature importance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/permutation_importance.hpp"
+#include "ml/gbt.hpp"
+#include "ml/knn_regressor.hpp"
+#include "ml/metrics.hpp"
+
+namespace mphpc {
+namespace {
+
+struct Problem {
+  ml::Matrix x;
+  ml::Matrix y;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  ml::Matrix x(n, 3);
+  ml::Matrix y(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) x(r, c) = rng.uniform();
+    y(r, 0) = 4.0 * x(r, 0) + noise * (rng.uniform() - 0.5);
+    y(r, 1) = std::sin(5.0 * x(r, 1)) + noise * (rng.uniform() - 0.5);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+// ------------------------------------------------------------------ k-NN ----
+
+TEST(Knn, ExactNeighborDominatesPrediction) {
+  const Problem p = make_problem(200, 1);
+  ml::KnnRegressor model;
+  model.fit(p.x, p.y);
+  // Query with a training point: the inverse-distance weighting makes the
+  // exact match dominate.
+  const ml::Matrix pred = model.predict(p.x);
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_NEAR(pred(r, 0), p.y(r, 0), 1e-6);
+    EXPECT_NEAR(pred(r, 1), p.y(r, 1), 1e-6);
+  }
+}
+
+TEST(Knn, SmoothFunctionApproximation) {
+  const Problem train = make_problem(800, 2);
+  const Problem test = make_problem(100, 3);
+  ml::KnnRegressor model;
+  model.fit(train.x, train.y);
+  const double mae = ml::mean_absolute_error(test.y, model.predict(test.x));
+  EXPECT_LT(mae, 0.25);
+}
+
+TEST(Knn, KOneIsNearestNeighbor) {
+  ml::KnnOptions options;
+  options.k = 1;
+  ml::KnnRegressor model(options);
+  ml::Matrix x(2, 1, {0.0, 10.0});
+  ml::Matrix y(2, 1, {1.0, 2.0});
+  model.fit(x, y);
+  const ml::Matrix q(1, 1, {3.0});
+  EXPECT_DOUBLE_EQ(model.predict(q)(0, 0), 1.0);
+}
+
+TEST(Knn, UniformWeightsAverageNeighbors) {
+  ml::KnnOptions options;
+  options.k = 2;
+  options.weight_power = 0.0;
+  ml::KnnRegressor model(options);
+  ml::Matrix x(2, 1, {0.0, 1.0});
+  ml::Matrix y(2, 1, {0.0, 10.0});
+  model.fit(x, y);
+  const ml::Matrix q(1, 1, {0.2});
+  EXPECT_DOUBLE_EQ(model.predict(q)(0, 0), 5.0);
+}
+
+TEST(Knn, KLargerThanTrainingSetClamps) {
+  ml::KnnOptions options;
+  options.k = 100;
+  ml::KnnRegressor model(options);
+  const Problem p = make_problem(10, 4);
+  model.fit(p.x, p.y);
+  EXPECT_NO_THROW(model.predict(p.x));
+}
+
+TEST(Knn, UnfittedAndBadInputsThrow) {
+  const ml::KnnRegressor model;
+  EXPECT_THROW(model.predict(ml::Matrix(1, 3)), ContractViolation);
+  ml::KnnOptions bad;
+  bad.k = 0;
+  ml::KnnRegressor invalid(bad);
+  const Problem p = make_problem(10, 5);
+  EXPECT_THROW(invalid.fit(p.x, p.y), ContractViolation);
+}
+
+// --------------------------------------------- permutation importance ----
+
+TEST(PermutationImportance, RelevantFeaturesScoreHigher) {
+  const Problem p = make_problem(400, 6);
+  ml::GbtOptions options;
+  options.n_rounds = 40;
+  options.max_depth = 4;
+  ml::GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  const auto importances = core::permutation_importances(model, p.x, p.y);
+  ASSERT_EQ(importances.size(), 3u);
+  // x0 and x1 drive the outputs; x2 is noise.
+  EXPECT_GT(importances[0], importances[2]);
+  EXPECT_GT(importances[1], importances[2]);
+  EXPECT_NEAR(importances[2], 0.0, 0.05);
+}
+
+TEST(PermutationImportance, ReportSortedAndNamed) {
+  const Problem p = make_problem(300, 7);
+  ml::GbtOptions options;
+  options.n_rounds = 30;
+  options.max_depth = 4;
+  ml::GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  const std::vector<std::string> names = {"x0", "x1", "noise"};
+  const auto report = core::permutation_report(model, p.x, p.y, names);
+  ASSERT_EQ(report.size(), 3u);
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_GE(report[i - 1].importance, report[i].importance);
+  }
+  EXPECT_EQ(report[2].feature, "noise");
+}
+
+TEST(PermutationImportance, Deterministic) {
+  const Problem p = make_problem(200, 8);
+  ml::GbtOptions options;
+  options.n_rounds = 20;
+  options.max_depth = 3;
+  ml::GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  const auto a = core::permutation_importances(model, p.x, p.y);
+  const auto b = core::permutation_importances(model, p.x, p.y);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PermutationImportance, UnfittedModelThrows) {
+  const ml::GbtRegressor model;
+  const Problem p = make_problem(20, 9);
+  EXPECT_THROW(core::permutation_importances(model, p.x, p.y), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mphpc

@@ -1,0 +1,476 @@
+// Tests for src/ml: metrics, the model zoo, and training behaviour on
+// synthetic problems with known structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/linear_regressor.hpp"
+#include "ml/mean_regressor.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace mphpc::ml {
+namespace {
+
+// Builds a synthetic regression problem: y0 = 3*x0 - 2*x1 + 1,
+// y1 = step(x0 > 0.5) * 4 (nonlinear), with optional noise.
+struct Problem {
+  Matrix x;
+  Matrix y;
+};
+
+Problem make_problem(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 3);
+  Matrix y(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const double x2 = rng.uniform();  // irrelevant feature
+    x(r, 0) = x0;
+    x(r, 1) = x1;
+    x(r, 2) = x2;
+    y(r, 0) = 3.0 * x0 - 2.0 * x1 + 1.0 + noise * (rng.uniform() - 0.5);
+    y(r, 1) = (x0 > 0.5 ? 4.0 : 0.0) + noise * (rng.uniform() - 0.5);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+// ---------------------------------------------------------------- matrix ----
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+}
+
+TEST(Matrix, AdoptsData) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix(2, 2, {1.0}), ContractViolation);
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> rows = {2, 0};
+  const Matrix s = m.select_rows(rows);
+  EXPECT_EQ(s(0, 0), 5.0);
+  EXPECT_EQ(s(1, 1), 2.0);
+}
+
+TEST(Matrix, Column) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.column(1), (std::vector<double>{2, 4}));
+}
+
+// --------------------------------------------------------------- metrics ----
+
+TEST(Metrics, MaeExactValues) {
+  const Matrix truth(2, 2, {1, 2, 3, 4});
+  const Matrix pred(2, 2, {1, 3, 3, 2});
+  EXPECT_DOUBLE_EQ(mean_absolute_error(truth, pred), (0 + 1 + 0 + 2) / 4.0);
+}
+
+TEST(Metrics, MaeZeroOnPerfect) {
+  const Matrix m(3, 1, {1, 2, 3});
+  EXPECT_EQ(mean_absolute_error(m, m), 0.0);
+  EXPECT_EQ(root_mean_squared_error(m, m), 0.0);
+}
+
+TEST(Metrics, RmseExact) {
+  const Matrix truth(1, 2, {0, 0});
+  const Matrix pred(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(root_mean_squared_error(truth, pred), std::sqrt(12.5));
+}
+
+TEST(Metrics, R2PerfectIsOne) {
+  const Matrix m(4, 1, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(r2_score(m, m), 1.0);
+}
+
+TEST(Metrics, R2MeanPredictionIsZero) {
+  const Matrix truth(4, 1, {1, 2, 3, 4});
+  const Matrix pred(4, 1, {2.5, 2.5, 2.5, 2.5});
+  EXPECT_NEAR(r2_score(truth, pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  const Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(mean_absolute_error(a, b), ContractViolation);
+}
+
+TEST(SameOrder, DetectsMatchingOrder) {
+  const std::vector<double> a = {1.0, 0.8, 2.1, 1.5};
+  const std::vector<double> b = {1.1, 0.7, 3.0, 1.2};  // same ranking
+  EXPECT_TRUE(same_order(a, b));
+  const std::vector<double> c = {1.1, 0.7, 1.0, 1.2};  // different ranking
+  EXPECT_FALSE(same_order(a, c));
+}
+
+TEST(SameOrder, SingleElementAlwaysMatches) {
+  const std::vector<double> a = {5.0};
+  const std::vector<double> b = {-1.0};
+  EXPECT_TRUE(same_order(a, b));
+}
+
+TEST(SameOrderScore, CountsMatchingRows) {
+  const Matrix truth(2, 3, {1, 2, 3,  3, 2, 1});
+  const Matrix pred(2, 3, {10, 20, 30,  1, 2, 3});  // first matches, second not
+  EXPECT_DOUBLE_EQ(same_order_score(truth, pred), 0.5);
+}
+
+// ---------------------------------------------------------------- models ----
+
+TEST(MeanRegressor, PredictsColumnMeans) {
+  const Problem p = make_problem(100, 0.0, 1);
+  MeanRegressor model;
+  model.fit(p.x, p.y);
+  const Matrix pred = model.predict(p.x);
+  for (std::size_t c = 0; c < p.y.cols(); ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < p.y.rows(); ++r) mean += p.y(r, c);
+    mean /= static_cast<double>(p.y.rows());
+    EXPECT_NEAR(pred(0, c), mean, 1e-12);
+    EXPECT_EQ(pred(0, c), pred(99, c));
+  }
+}
+
+TEST(MeanRegressor, SerializeRoundTrips) {
+  const Problem p = make_problem(50, 0.0, 2);
+  MeanRegressor model;
+  model.fit(p.x, p.y);
+  const MeanRegressor restored = MeanRegressor::deserialize(model.serialize());
+  EXPECT_EQ(restored.mean(), model.mean());
+}
+
+TEST(MeanRegressor, UnfittedPredictThrows) {
+  const MeanRegressor model;
+  EXPECT_THROW(model.predict(Matrix(1, 1)), ContractViolation);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+  Matrix a(2, 2, {4, 2, 2, 3});
+  Matrix b(2, 1, {10, 8});
+  cholesky_solve_in_place(a, b);
+  EXPECT_NEAR(b(0, 0), 1.75, 1e-12);
+  EXPECT_NEAR(b(1, 0), 1.5, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  Matrix b(2, 1, {1, 1});
+  EXPECT_THROW(cholesky_solve_in_place(a, b), ContractViolation);
+}
+
+TEST(LinearRegressor, RecoversLinearFunction) {
+  const Problem p = make_problem(500, 0.0, 3);
+  LinearRegressor model;
+  model.fit(p.x, p.y);
+  // Output 0 is exactly linear: weights 3, -2, 0, intercept 1.
+  EXPECT_NEAR(model.weights()(0, 0), 3.0, 1e-6);
+  EXPECT_NEAR(model.weights()(1, 0), -2.0, 1e-6);
+  EXPECT_NEAR(model.weights()(2, 0), 0.0, 1e-6);
+  EXPECT_NEAR(model.weights()(3, 0), 1.0, 1e-6);
+  const Matrix pred = model.predict(p.x);
+  double max_err = 0.0;
+  for (std::size_t r = 0; r < p.x.rows(); ++r) {
+    max_err = std::max(max_err, std::abs(pred(r, 0) - p.y(r, 0)));
+  }
+  EXPECT_LT(max_err, 1e-6);
+}
+
+TEST(LinearRegressor, SerializeRoundTrips) {
+  const Problem p = make_problem(100, 0.1, 4);
+  LinearRegressor model;
+  model.fit(p.x, p.y);
+  const LinearRegressor restored = LinearRegressor::deserialize(model.serialize());
+  const Matrix a = model.predict(p.x);
+  const Matrix b = restored.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(LinearRegressor, DeserializeRejectsGarbage) {
+  EXPECT_THROW(LinearRegressor::deserialize(""), ParseError);
+  EXPECT_THROW(LinearRegressor::deserialize("2 2\n1 2\n"), ParseError);
+}
+
+// --------------------------------------------------------- decision tree ----
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  const Problem p = make_problem(400, 0.0, 5);
+  DecisionTree tree;
+  tree.fit(p.x, p.y);
+  const Matrix pred = tree.predict(p.x);
+  // Output 1 is a step on x0: a tree should nail it.
+  for (std::size_t r = 0; r < p.x.rows(); ++r) {
+    EXPECT_NEAR(pred(r, 1), p.y(r, 1), 1e-9);
+  }
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const Problem p = make_problem(400, 0.0, 6);
+  TreeOptions options;
+  options.max_depth = 3;
+  DecisionTree tree(options);
+  tree.fit(p.x, p.y);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  const Problem p = make_problem(100, 0.5, 7);
+  TreeOptions options;
+  options.min_samples_leaf = 10;
+  DecisionTree tree(options);
+  tree.fit(p.x, p.y);
+  // Count rows per leaf via prediction paths.
+  std::vector<int> count(tree.nodes().size(), 0);
+  for (std::size_t r = 0; r < p.x.rows(); ++r) {
+    std::size_t i = 0;
+    while (!tree.nodes()[i].is_leaf()) {
+      const auto& node = tree.nodes()[i];
+      i = static_cast<std::size_t>(
+          p.x(r, static_cast<std::size_t>(node.feature)) <= node.threshold
+              ? node.left
+              : node.right);
+    }
+    count[i]++;
+  }
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    if (tree.nodes()[i].is_leaf()) EXPECT_GE(count[i], 10);
+  }
+}
+
+TEST(DecisionTree, PredictionsWithinTargetRange) {
+  // Regression-tree leaves are means, so predictions stay in [min, max].
+  const Problem p = make_problem(300, 1.0, 8);
+  DecisionTree tree;
+  tree.fit(p.x, p.y);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const double v : p.y.flat()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const Matrix pred = tree.predict(p.x);
+  for (const double v : pred.flat()) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST(DecisionTree, ImportancesIdentifyRelevantFeatures) {
+  const Problem p = make_problem(500, 0.0, 9);
+  DecisionTree tree;
+  tree.fit(p.x, p.y);
+  const auto imp = tree.feature_importances();
+  ASSERT_TRUE(imp.has_value());
+  ASSERT_EQ(imp->size(), 3u);
+  EXPECT_NEAR((*imp)[0] + (*imp)[1] + (*imp)[2], 1.0, 1e-9);
+  // x2 is irrelevant; x0 drives both outputs.
+  EXPECT_GT((*imp)[0], (*imp)[2]);
+  EXPECT_LT((*imp)[2], 0.05);
+}
+
+TEST(DecisionTree, DeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(300, 0.3, 10);
+  DecisionTree serial;
+  serial.fit(p.x, p.y, nullptr);
+  ThreadPool pool(4);
+  DecisionTree parallel;
+  parallel.fit(p.x, p.y, &pool);
+  const Matrix a = serial.predict(p.x);
+  const Matrix b = parallel.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) EXPECT_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(DecisionTree, FitRowsSubset) {
+  const Problem p = make_problem(200, 0.0, 11);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < 100; ++r) rows.push_back(r);
+  DecisionTree tree;
+  tree.fit_rows(p.x, p.y, rows);
+  EXPECT_TRUE(tree.fitted());
+}
+
+// ---------------------------------------------------------------- forest ----
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  const Problem train = make_problem(600, 2.0, 12);
+  const Problem test = make_problem(200, 0.0, 13);  // noise-free ground truth
+  TreeOptions tree_options;
+  DecisionTree tree(tree_options);
+  tree.fit(train.x, train.y);
+  ForestOptions forest_options;
+  forest_options.n_trees = 50;
+  RandomForest forest(forest_options);
+  forest.fit(train.x, train.y);
+  const double tree_mae = mean_absolute_error(test.y, tree.predict(test.x));
+  const double forest_mae = mean_absolute_error(test.y, forest.predict(test.x));
+  EXPECT_LT(forest_mae, tree_mae);
+}
+
+TEST(RandomForest, DeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(200, 0.5, 14);
+  ForestOptions options;
+  options.n_trees = 10;
+  RandomForest serial(options);
+  serial.fit(p.x, p.y, nullptr);
+  ThreadPool pool(3);
+  RandomForest parallel(options);
+  parallel.fit(p.x, p.y, &pool);
+  const Matrix a = serial.predict(p.x);
+  const Matrix b = parallel.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) EXPECT_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(RandomForest, ImportancesNormalized) {
+  const Problem p = make_problem(300, 0.2, 15);
+  ForestOptions options;
+  options.n_trees = 20;
+  RandomForest forest(options);
+  forest.fit(p.x, p.y);
+  const auto imp = forest.feature_importances();
+  ASSERT_TRUE(imp.has_value());
+  double sum = 0.0;
+  for (const double v : *imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- gbt ----
+
+GbtOptions small_gbt() {
+  GbtOptions o;
+  o.n_rounds = 40;
+  o.max_depth = 4;
+  return o;
+}
+
+TEST(Gbt, FitsLinearFunction) {
+  const Problem p = make_problem(500, 0.0, 16);
+  GbtRegressor model(small_gbt());
+  model.fit(p.x, p.y);
+  const double mae = mean_absolute_error(p.y, model.predict(p.x));
+  EXPECT_LT(mae, 0.15);
+}
+
+TEST(Gbt, MoreRoundsFitBetter) {
+  const Problem p = make_problem(400, 0.0, 17);
+  GbtOptions few = small_gbt();
+  few.n_rounds = 5;
+  GbtOptions many = small_gbt();
+  many.n_rounds = 80;
+  GbtRegressor a(few);
+  a.fit(p.x, p.y);
+  GbtRegressor b(many);
+  b.fit(p.x, p.y);
+  EXPECT_LT(mean_absolute_error(p.y, b.predict(p.x)),
+            mean_absolute_error(p.y, a.predict(p.x)));
+}
+
+TEST(Gbt, PseudoHuberObjectiveAlsoFits) {
+  const Problem p = make_problem(400, 0.0, 18);
+  GbtOptions options = small_gbt();
+  options.objective = GbtObjective::kPseudoHuber;
+  options.huber_delta = 1.0;
+  options.n_rounds = 120;
+  GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  EXPECT_LT(mean_absolute_error(p.y, model.predict(p.x)), 0.3);
+}
+
+TEST(Gbt, ImportancesFavorRelevantFeatures) {
+  const Problem p = make_problem(500, 0.0, 19);
+  GbtRegressor model(small_gbt());
+  model.fit(p.x, p.y);
+  const auto imp = model.feature_importances();
+  ASSERT_TRUE(imp.has_value());
+  EXPECT_GT((*imp)[0], (*imp)[2]);
+  EXPECT_GT((*imp)[1], (*imp)[2]);
+}
+
+TEST(Gbt, SerializeRoundTripsPredictions) {
+  const Problem p = make_problem(300, 0.2, 20);
+  GbtRegressor model(small_gbt());
+  model.fit(p.x, p.y);
+  const GbtRegressor restored = GbtRegressor::deserialize(model.serialize());
+  const Matrix a = model.predict(p.x);
+  const Matrix b = restored.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+  // Importances survive the round trip too.
+  EXPECT_EQ(*restored.feature_importances(), *model.feature_importances());
+}
+
+TEST(Gbt, DeserializeRejectsGarbage) {
+  EXPECT_THROW(GbtRegressor::deserialize(""), ParseError);
+  EXPECT_THROW(GbtRegressor::deserialize("not-a-model 1 2\n"), ParseError);
+}
+
+TEST(Gbt, DeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(250, 0.4, 21);
+  GbtRegressor serial(small_gbt());
+  serial.fit(p.x, p.y, nullptr);
+  ThreadPool pool(4);
+  GbtRegressor parallel(small_gbt());
+  parallel.fit(p.x, p.y, &pool);
+  const Matrix a = serial.predict(p.x);
+  const Matrix b = parallel.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) EXPECT_EQ(a.flat()[i], b.flat()[i]);
+}
+
+TEST(Gbt, PredictRejectsWrongFeatureCount) {
+  const Problem p = make_problem(100, 0.0, 22);
+  GbtRegressor model(small_gbt());
+  model.fit(p.x, p.y);
+  EXPECT_THROW(model.predict(Matrix(5, 2)), ContractViolation);
+}
+
+TEST(Gbt, RejectsInvalidOptions) {
+  GbtOptions bad = small_gbt();
+  bad.subsample = 0.0;
+  GbtRegressor model(bad);
+  const Problem p = make_problem(50, 0.0, 23);
+  EXPECT_THROW(model.fit(p.x, p.y), ContractViolation);
+}
+
+// Parameterized noise sweep: learned models should always beat the mean
+// baseline on structured data, at every noise level.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, LearnedModelsBeatMeanBaseline) {
+  const double noise = GetParam();
+  const Problem train = make_problem(500, noise, 24);
+  const Problem test = make_problem(200, noise, 25);
+
+  MeanRegressor mean;
+  mean.fit(train.x, train.y);
+  const double mean_mae = mean_absolute_error(test.y, mean.predict(test.x));
+
+  GbtRegressor gbt(small_gbt());
+  gbt.fit(train.x, train.y);
+  EXPECT_LT(mean_absolute_error(test.y, gbt.predict(test.x)), mean_mae);
+
+  ForestOptions fo;
+  fo.n_trees = 30;
+  RandomForest forest(fo);
+  forest.fit(train.x, train.y);
+  EXPECT_LT(mean_absolute_error(test.y, forest.predict(test.x)), mean_mae);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, NoiseSweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace mphpc::ml

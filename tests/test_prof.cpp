@@ -1,0 +1,293 @@
+// Tests for src/prof: calling-context trees, the CCT builder, and the
+// Hatchet-style dataframe operations.
+#include <gtest/gtest.h>
+
+#include "arch/system_catalog.hpp"
+#include "common/error.hpp"
+#include "prof/analysis.hpp"
+#include "prof/cct.hpp"
+#include "prof/cct_builder.hpp"
+#include "prof/dataframe.hpp"
+#include "sim/profiler.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::prof {
+namespace {
+
+using arch::CounterKind;
+
+CallingContextTree small_tree() {
+  // main -> {setup, loop -> {kernel, MPI_Allreduce}}
+  CallingContextTree tree;
+  const int setup = tree.add_child(tree.root(), "setup", FrameKind::kDriver);
+  const int loop = tree.add_child(tree.root(), "loop", FrameKind::kDriver);
+  const int kernel = tree.add_child(loop, "kernel", FrameKind::kCompute);
+  const int reduce = tree.add_child(loop, "MPI_Allreduce", FrameKind::kComm);
+  tree.node(setup).time_s = 1.0;
+  tree.node(loop).time_s = 0.5;
+  tree.node(kernel).time_s = 6.0;
+  tree.node(reduce).time_s = 2.5;
+  tree.node(kernel).counters[static_cast<std::size_t>(CounterKind::kTotalInstructions)] =
+      1000.0;
+  tree.node(reduce).counters[static_cast<std::size_t>(CounterKind::kTotalInstructions)] =
+      200.0;
+  return tree;
+}
+
+// ------------------------------------------------------------------ CCT ----
+
+TEST(Cct, RootIsMain) {
+  const CallingContextTree tree;
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.node(CallingContextTree::root()).name, "main");
+  EXPECT_EQ(tree.node(0).parent, -1);
+}
+
+TEST(Cct, AddChildLinksBothWays) {
+  CallingContextTree tree;
+  const int child = tree.add_child(tree.root(), "solve", FrameKind::kCompute);
+  EXPECT_EQ(tree.node(child).parent, tree.root());
+  ASSERT_EQ(tree.node(tree.root()).children.size(), 1u);
+  EXPECT_EQ(tree.node(tree.root()).children[0], child);
+}
+
+TEST(Cct, AddChildRejectsBadParent) {
+  CallingContextTree tree;
+  EXPECT_THROW(tree.add_child(7, "x", FrameKind::kDriver), ContractViolation);
+}
+
+TEST(Cct, DepthComputation) {
+  const CallingContextTree tree = small_tree();
+  EXPECT_EQ(tree.depth(0), 0);
+  EXPECT_EQ(tree.depth(1), 1);
+  EXPECT_EQ(tree.depth(3), 2);  // kernel under loop
+  EXPECT_EQ(tree.max_depth(), 2);
+}
+
+TEST(Cct, InclusiveTimeAggregatesSubtree) {
+  const CallingContextTree tree = small_tree();
+  EXPECT_DOUBLE_EQ(tree.inclusive_time(tree.root()), 10.0);
+  const int loop = tree.find("loop")[0];
+  EXPECT_DOUBLE_EQ(tree.inclusive_time(loop), 9.0);
+}
+
+TEST(Cct, InclusiveCounterAggregatesSubtree) {
+  const CallingContextTree tree = small_tree();
+  EXPECT_DOUBLE_EQ(
+      tree.inclusive_counter(tree.root(), CounterKind::kTotalInstructions), 1200.0);
+}
+
+TEST(Cct, FindByNameAndKind) {
+  const CallingContextTree tree = small_tree();
+  EXPECT_EQ(tree.find("kernel").size(), 1u);
+  EXPECT_TRUE(tree.find("nonexistent").empty());
+  EXPECT_EQ(tree.find(FrameKind::kComm).size(), 1u);
+  EXPECT_EQ(tree.find(FrameKind::kDriver).size(), 2u);
+}
+
+TEST(Cct, HotPathDescendsByInclusiveTime) {
+  const CallingContextTree tree = small_tree();
+  const auto path = tree.hot_path();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(tree.node(path[0]).name, "main");
+  EXPECT_EQ(tree.node(path[1]).name, "loop");    // 9.0 > setup's 1.0
+  EXPECT_EQ(tree.node(path[2]).name, "kernel");  // 6.0 > reduce's 2.5
+}
+
+TEST(Cct, RenderContainsFramesAndPercentages) {
+  const CallingContextTree tree = small_tree();
+  const std::string out = tree.render();
+  EXPECT_NE(out.find("main"), std::string::npos);
+  EXPECT_NE(out.find("kernel"), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- builder ----
+
+class CctBuilderTest : public ::testing::Test {
+ protected:
+  workload::AppCatalog apps_;
+  arch::SystemCatalog systems_;
+  sim::Profiler profiler_{55};
+
+  std::pair<sim::RunProfile, workload::AppSignature> run(const char* app_name,
+                                                         const char* system,
+                                                         workload::ScaleClass scale) {
+    const auto& base = apps_.get(app_name);
+    const auto inputs = workload::make_inputs(base, 1, 55);
+    auto profile = profiler_.profile(base, inputs[0], scale, systems_.get(system));
+    return {std::move(profile), workload::effective_signature(base, inputs[0])};
+  }
+};
+
+TEST_F(CctBuilderTest, TreeTimeMatchesMeasuredWallTime) {
+  const auto [profile, sig] = run("AMG", "quartz", workload::ScaleClass::kOneNode);
+  const auto tree = build_cct(profile, sig);
+  EXPECT_NEAR(tree.total_time(), profile.time_s, 1e-6 * profile.time_s);
+}
+
+TEST_F(CctBuilderTest, TreeCountersMatchProfileCounters) {
+  for (const char* app : {"CoMD", "SWFFT", "XSBench"}) {
+    const auto [profile, sig] = run(app, "ruby", workload::ScaleClass::kOneNode);
+    const auto tree = build_cct(profile, sig);
+    const auto totals = aggregate_counters(tree);
+    for (std::size_t k = 0; k < totals.size(); ++k) {
+      EXPECT_NEAR(totals[k], profile.counters[k],
+                  1e-9 * std::max(1.0, profile.counters[k]))
+          << app << " counter " << k;
+    }
+  }
+}
+
+TEST_F(CctBuilderTest, GpuRunsHaveLaunchAndDeviceFrames) {
+  const auto [profile, sig] = run("CoMD", "lassen", workload::ScaleClass::kOneNode);
+  ASSERT_EQ(profile.device, arch::Device::kGpu);
+  const auto tree = build_cct(profile, sig);
+  EXPECT_FALSE(tree.find(FrameKind::kGpuLaunch).empty());
+  // Device kernels are children of launch frames.
+  for (const int launch : tree.find(FrameKind::kGpuLaunch)) {
+    ASSERT_EQ(tree.node(launch).children.size(), 1u);
+    EXPECT_EQ(tree.node(tree.node(launch).children[0]).kind, FrameKind::kCompute);
+  }
+}
+
+TEST_F(CctBuilderTest, CpuRunsHaveNoLaunchFrames) {
+  const auto [profile, sig] = run("SW4lite", "corona", workload::ScaleClass::kOneNode);
+  const auto tree = build_cct(profile, sig);
+  EXPECT_TRUE(tree.find(FrameKind::kGpuLaunch).empty());
+}
+
+TEST_F(CctBuilderTest, SingleRankRunsHaveNoCommFrames) {
+  const auto [profile, sig] = run("CoMD", "quartz", workload::ScaleClass::kOneCore);
+  const auto tree = build_cct(profile, sig);
+  EXPECT_TRUE(tree.find(FrameKind::kComm).empty());
+}
+
+TEST_F(CctBuilderTest, KernelNamesAreAppSpecific) {
+  EXPECT_EQ(kernel_names("AMG")[0], "hypre_BoomerAMGSolve");
+  EXPECT_EQ(kernel_names("XSBench")[0], "xs_lookup");
+  EXPECT_EQ(kernel_names("UnknownApp")[0], "kernel_a");
+  const auto [profile, sig] = run("miniFE", "quartz", workload::ScaleClass::kOneNode);
+  const auto tree = build_cct(profile, sig);
+  EXPECT_FALSE(tree.find("cg_matvec").empty());
+}
+
+TEST_F(CctBuilderTest, DeterministicPerRun) {
+  const auto [profile, sig] = run("Laghos", "corona", workload::ScaleClass::kTwoNodes);
+  const auto a = build_cct(profile, sig);
+  const auto b = build_cct(profile, sig);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(static_cast<int>(i)).time_s, b.node(static_cast<int>(i)).time_s);
+  }
+}
+
+// -------------------------------------------------------------- dataframe ----
+
+TEST(DataFrame, ToTableShape) {
+  const auto tree = small_tree();
+  const auto table = to_table(tree);
+  EXPECT_EQ(table.num_rows(), tree.size());
+  EXPECT_TRUE(table.has_column("name"));
+  EXPECT_TRUE(table.has_column("time_inc_s"));
+  EXPECT_TRUE(table.has_column("total_instructions"));
+  // Inclusive time of the root row equals the tree total.
+  EXPECT_DOUBLE_EQ(table.numeric("time_inc_s")[0], 10.0);
+}
+
+TEST(DataFrame, FilterSquashPreservesTotals) {
+  const auto tree = small_tree();
+  // Keep only compute frames (plus the root).
+  const auto squashed = filter_squash(
+      tree, [](const CctNode& n) { return n.kind == FrameKind::kCompute; });
+  EXPECT_DOUBLE_EQ(squashed.total_time(), tree.total_time());
+  EXPECT_DOUBLE_EQ(squashed.total_counter(CounterKind::kTotalInstructions),
+                   tree.total_counter(CounterKind::kTotalInstructions));
+}
+
+TEST(DataFrame, FilterSquashReparentsToKeptAncestor) {
+  const auto tree = small_tree();
+  const auto squashed = filter_squash(
+      tree, [](const CctNode& n) { return n.kind == FrameKind::kCompute; });
+  // Only root + kernel survive; kernel's parent ("loop") was removed, so
+  // kernel re-parents to main.
+  EXPECT_EQ(squashed.size(), 2u);
+  EXPECT_EQ(squashed.node(1).name, "kernel");
+  EXPECT_EQ(squashed.node(1).parent, CallingContextTree::root());
+}
+
+TEST(DataFrame, FilterSquashFoldsRemovedMetricsUpward) {
+  const auto tree = small_tree();
+  const auto squashed = filter_squash(
+      tree, [](const CctNode& n) { return n.kind == FrameKind::kCompute; });
+  // setup (1.0) + loop (0.5) + reduce (2.5) fold into main.
+  EXPECT_DOUBLE_EQ(squashed.node(0).time_s, 4.0);
+  EXPECT_DOUBLE_EQ(squashed.node(1).time_s, 6.0);
+}
+
+TEST(DataFrame, FlatProfileSortsByTime) {
+  const auto tree = small_tree();
+  const auto flat = flat_profile(tree);
+  EXPECT_EQ(flat.text("name")[0], "kernel");
+  const auto& times = flat.numeric("time_s");
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LE(times[i], times[i - 1]);
+}
+
+TEST(DataFrame, FlatProfileAggregatesDuplicateNames) {
+  CallingContextTree tree;
+  const int a = tree.add_child(tree.root(), "kernel", FrameKind::kCompute);
+  const int b = tree.add_child(tree.root(), "kernel", FrameKind::kCompute);
+  tree.node(a).time_s = 2.0;
+  tree.node(b).time_s = 3.0;
+  const auto flat = flat_profile(tree);
+  const auto& names = flat.text("name");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "kernel") {
+      EXPECT_DOUBLE_EQ(flat.numeric("time_s")[i], 5.0);
+      EXPECT_DOUBLE_EQ(flat.numeric("calls")[i], 2.0);
+    }
+  }
+}
+
+TEST(DataFrame, TopFrames) {
+  const auto tree = small_tree();
+  const auto top = top_frames(tree, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "kernel");
+  EXPECT_DOUBLE_EQ(top[0].second, 6.0);
+}
+
+// --------------------------------------------------------------- analysis ----
+
+TEST(Analysis, PhaseBreakdownSumsToOne) {
+  const auto tree = small_tree();
+  const auto phases = phase_breakdown(tree);
+  EXPECT_NEAR(phases.compute + phases.comm + phases.io + phases.driver +
+                  phases.gpu_launch,
+              1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(phases.compute, 0.6);
+  EXPECT_DOUBLE_EQ(phases.comm, 0.25);
+}
+
+TEST(Analysis, HotKernelShare) {
+  const auto tree = small_tree();
+  EXPECT_DOUBLE_EQ(hot_kernel_share(tree), 0.6);
+}
+
+TEST(Analysis, CommBoundAppShowsCommPhase) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const sim::Profiler profiler(77);
+  const auto& base = apps.get("Ember");
+  const auto inputs = workload::make_inputs(base, 1, 77);
+  const auto profile = profiler.profile(base, inputs[0],
+                                        workload::ScaleClass::kTwoNodes,
+                                        systems.get("quartz"));
+  const auto tree =
+      build_cct(profile, workload::effective_signature(base, inputs[0]));
+  const auto phases = phase_breakdown(tree);
+  EXPECT_GT(phases.comm, 0.15);  // a communication benchmark communicates
+}
+
+}  // namespace
+}  // namespace mphpc::prof

@@ -1,0 +1,346 @@
+// Tests for src/sched: assigners, the FCFS+EASY scheduler, metrics.
+#include <gtest/gtest.h>
+
+#include "arch/system_catalog.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sched/assigners.hpp"
+#include "sched/easy_scheduler.hpp"
+#include "sched/machine.hpp"
+
+namespace mphpc::sched {
+namespace {
+
+using arch::SystemId;
+
+Job make_job(int id, double q, double r, double l, double c, int nodes = 1,
+             bool gpu = false) {
+  Job job;
+  job.id = id;
+  job.app = "TestApp";
+  job.gpu_capable = gpu;
+  job.nodes_required = nodes;
+  job.runtime = {q, r, l, c};
+  job.predicted = core::Rpv::relative_to(job.runtime, SystemId::kQuartz);
+  return job;
+}
+
+std::vector<Machine> tiny_cluster(int q = 2, int r = 2, int l = 2, int c = 2) {
+  return {{SystemId::kQuartz, q},
+          {SystemId::kRuby, r},
+          {SystemId::kLassen, l},
+          {SystemId::kCorona, c}};
+}
+
+// ---------------------------------------------------------------- cluster ----
+
+TEST(Machine, DefaultClusterMatchesSystemCatalog) {
+  const arch::SystemCatalog catalog;
+  const auto machines = default_cluster(catalog);
+  ASSERT_EQ(machines.size(), 4u);
+  for (const auto& m : machines) {
+    EXPECT_EQ(m.total_nodes, catalog.get(m.id).nodes);
+  }
+}
+
+TEST(ClusterView, ReportsOccupancy) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 0, 1, 2};
+  const ClusterView view(machines, free);
+  EXPECT_EQ(view.free_nodes(SystemId::kQuartz), 2);
+  EXPECT_TRUE(view.is_full(SystemId::kRuby, 1));
+  EXPECT_FALSE(view.is_full(SystemId::kLassen, 1));
+  EXPECT_TRUE(view.is_full(SystemId::kLassen, 2));
+  EXPECT_EQ(view.total_nodes(SystemId::kCorona), 2);
+}
+
+// --------------------------------------------------------------- assigners ----
+
+TEST(RoundRobinAssigner, CyclesThroughMachines) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  RoundRobinAssigner assigner;
+  const Job job = make_job(0, 1, 1, 1, 1);
+  EXPECT_EQ(assigner.assign(job, 0, view), SystemId::kQuartz);
+  EXPECT_EQ(assigner.assign(job, 1, view), SystemId::kRuby);
+  EXPECT_EQ(assigner.assign(job, 2, view), SystemId::kLassen);
+  EXPECT_EQ(assigner.assign(job, 3, view), SystemId::kCorona);
+  EXPECT_EQ(assigner.assign(job, 4, view), SystemId::kQuartz);
+}
+
+TEST(RandomAssigner, CoversAllMachinesDeterministically) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  RandomAssigner a(7);
+  RandomAssigner b(7);
+  std::array<int, 4> hits{};
+  const Job job = make_job(0, 1, 1, 1, 1);
+  for (int i = 0; i < 400; ++i) {
+    const SystemId ma = a.assign(job, 0, view);
+    EXPECT_EQ(ma, b.assign(job, 0, view));  // same seed, same stream
+    hits[static_cast<std::size_t>(ma)]++;
+  }
+  for (const int h : hits) EXPECT_GT(h, 50);
+}
+
+TEST(UserRoundRobinAssigner, SeparatesGpuAndCpuJobs) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  UserRoundRobinAssigner assigner;
+  const Job gpu_job = make_job(0, 1, 1, 1, 1, 1, /*gpu=*/true);
+  const Job cpu_job = make_job(1, 1, 1, 1, 1, 1, /*gpu=*/false);
+  EXPECT_EQ(assigner.assign(gpu_job, 0, view), SystemId::kLassen);
+  EXPECT_EQ(assigner.assign(gpu_job, 1, view), SystemId::kCorona);
+  EXPECT_EQ(assigner.assign(gpu_job, 2, view), SystemId::kLassen);
+  EXPECT_EQ(assigner.assign(cpu_job, 3, view), SystemId::kQuartz);
+  EXPECT_EQ(assigner.assign(cpu_job, 4, view), SystemId::kRuby);
+}
+
+TEST(ModelBasedAssigner, PicksPredictedFastest) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  ModelBasedAssigner assigner;
+  const Job job = make_job(0, 10.0, 5.0, 2.0, 8.0);  // lassen fastest
+  EXPECT_EQ(assigner.assign(job, 0, view), SystemId::kLassen);
+}
+
+TEST(ModelBasedAssigner, FallsBackWhenFull) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 0, 2};  // lassen full
+  const ClusterView view(machines, free);
+  ModelBasedAssigner assigner;
+  const Job job = make_job(0, 10.0, 5.0, 2.0, 8.0);  // lassen > ruby > corona > quartz
+  EXPECT_EQ(assigner.assign(job, 0, view), SystemId::kRuby);
+}
+
+TEST(ModelBasedAssigner, AllFullReturnsFastest) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {0, 0, 0, 0};
+  const ClusterView view(machines, free);
+  ModelBasedAssigner assigner;
+  const Job job = make_job(0, 10.0, 5.0, 2.0, 8.0);
+  EXPECT_EQ(assigner.assign(job, 0, view), SystemId::kLassen);
+}
+
+TEST(OracleAssigner, UsesTrueRuntimes) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  OracleAssigner assigner;
+  Job job = make_job(0, 1.0, 5.0, 2.0, 8.0);
+  // Mislead the prediction; the oracle must ignore it.
+  job.predicted = core::Rpv({5.0, 0.1, 2.0, 3.0});
+  EXPECT_EQ(assigner.assign(job, 0, view), SystemId::kQuartz);
+}
+
+// --------------------------------------------------------------- scheduler ----
+
+TEST(EasyScheduler, SingleJobRunsImmediately) {
+  const auto machines = tiny_cluster();
+  RoundRobinAssigner assigner;
+  const std::vector<Job> jobs = {make_job(0, 10, 10, 10, 10)};
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 10.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start_s, 0.0);
+  EXPECT_EQ(result.outcomes[0].machine, SystemId::kQuartz);
+}
+
+TEST(EasyScheduler, SerializesWhenMachineSaturated) {
+  // One machine with one node; all jobs forced onto quartz.
+  const std::vector<Machine> machines = {{SystemId::kQuartz, 1},
+                                         {SystemId::kRuby, 1},
+                                         {SystemId::kLassen, 1},
+                                         {SystemId::kCorona, 1}};
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  } assigner;
+  const std::vector<Job> jobs = {make_job(0, 5, 5, 5, 5), make_job(1, 7, 7, 7, 7),
+                                 make_job(2, 3, 3, 3, 3)};
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 15.0);  // 5 + 7 + 3 in order
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start_s, 5.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start_s, 12.0);
+}
+
+TEST(EasyScheduler, BackfillsShortJobBehindBlockedHead) {
+  // quartz has 2 nodes. Job0 (2 nodes, runs 10) occupies it. Job1 needs 2
+  // nodes -> blocked, reserved at t=10. Job2 (1 node, runs 5) fits in the
+  // spare-free window? No free nodes -> cannot. Instead: Job0 uses 1 node,
+  // leaving 1 free; Job1 needs 2 (blocked); Job2 needs 1 and runs 5 <= 10.
+  const std::vector<Machine> machines = {{SystemId::kQuartz, 2},
+                                         {SystemId::kRuby, 2},
+                                         {SystemId::kLassen, 2},
+                                         {SystemId::kCorona, 2}};
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  } assigner;
+  std::vector<Job> jobs = {make_job(0, 10, 10, 10, 10, 1),
+                           make_job(1, 4, 4, 4, 4, 2),
+                           make_job(2, 5, 5, 5, 5, 1)};
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start_s, 0.0);
+  // Head job 1 is blocked until job 0 finishes at t=10.
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start_s, 10.0);
+  // Job 2 backfills at t=0 (ends at 5 <= shadow time 10, fits in 1 node).
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 14.0);
+}
+
+TEST(EasyScheduler, BackfillDoesNotDelayReservation) {
+  // Same setup, but the backfill candidate runs 20 s: starting it would
+  // push job 1 past its reservation, so it must NOT backfill.
+  const std::vector<Machine> machines = {{SystemId::kQuartz, 2},
+                                         {SystemId::kRuby, 2},
+                                         {SystemId::kLassen, 2},
+                                         {SystemId::kCorona, 2}};
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  } assigner;
+  std::vector<Job> jobs = {make_job(0, 10, 10, 10, 10, 1),
+                           make_job(1, 4, 4, 4, 4, 2),
+                           make_job(2, 20, 20, 20, 20, 1)};
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_DOUBLE_EQ(result.outcomes[1].start_s, 10.0);
+  EXPECT_GE(result.outcomes[2].start_s, 10.0);  // had to wait
+}
+
+TEST(EasyScheduler, CrossMachineBackfillAllowed) {
+  // Head blocked on quartz; a later job assigned to ruby starts right away.
+  const std::vector<Machine> machines = {{SystemId::kQuartz, 1},
+                                         {SystemId::kRuby, 1},
+                                         {SystemId::kLassen, 1},
+                                         {SystemId::kCorona, 1}};
+  class Alternate final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job& job, std::size_t, const ClusterView&) override {
+      return job.id == 2 ? SystemId::kRuby : SystemId::kQuartz;
+    }
+    std::string name() const override { return "alternate"; }
+  } assigner;
+  std::vector<Job> jobs = {make_job(0, 10, 10, 10, 10), make_job(1, 4, 4, 4, 4),
+                           make_job(2, 6, 6, 6, 6)};
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_DOUBLE_EQ(result.outcomes[2].start_s, 0.0);
+  EXPECT_EQ(result.outcomes[2].machine, SystemId::kRuby);
+}
+
+TEST(EasyScheduler, AllJobsComplete) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  RoundRobinAssigner assigner;
+  std::vector<Job> jobs;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 20), rng.uniform(1, 20),
+                            rng.uniform(1, 20), rng.uniform(1, 20),
+                            rng.bernoulli(0.3) ? 2 : 1));
+  }
+  const auto result = simulate(jobs, machines, assigner);
+  EXPECT_EQ(result.outcomes.size(), jobs.size());
+  for (const auto& o : result.outcomes) {
+    EXPECT_GE(o.start_s, 0.0);
+    EXPECT_GT(o.end_s, o.start_s);
+  }
+  EXPECT_GT(result.makespan_s, 0.0);
+}
+
+TEST(EasyScheduler, NodeCapacityNeverExceeded) {
+  const auto machines = tiny_cluster(2, 2, 2, 2);
+  RoundRobinAssigner assigner;
+  std::vector<Job> jobs;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 10), rng.uniform(1, 10),
+                            rng.uniform(1, 10), rng.uniform(1, 10),
+                            rng.bernoulli(0.4) ? 2 : 1));
+  }
+  const auto result = simulate(jobs, machines, assigner);
+  // Sweep events per machine and verify concurrent node usage <= capacity.
+  for (const auto& machine : machines) {
+    std::vector<std::pair<double, int>> events;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (result.outcomes[j].machine != machine.id) continue;
+      events.emplace_back(result.outcomes[j].start_s, jobs[j].nodes_required);
+      events.emplace_back(result.outcomes[j].end_s, -jobs[j].nodes_required);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                // Releases before acquisitions at the same instant.
+                return a.first != b.first ? a.first < b.first : a.second < b.second;
+              });
+    int in_use = 0;
+    for (const auto& [t, delta] : events) {
+      in_use += delta;
+      EXPECT_LE(in_use, machine.total_nodes);
+      EXPECT_GE(in_use, 0);
+    }
+  }
+}
+
+TEST(EasyScheduler, Deterministic) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  std::vector<Job> jobs;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 9), rng.uniform(1, 9),
+                            rng.uniform(1, 9), rng.uniform(1, 9)));
+  }
+  RandomAssigner a1(3);
+  RandomAssigner a2(3);
+  const auto r1 = simulate(jobs, machines, a1);
+  const auto r2 = simulate(jobs, machines, a2);
+  EXPECT_EQ(r1.makespan_s, r2.makespan_s);
+  EXPECT_EQ(r1.avg_bounded_slowdown, r2.avg_bounded_slowdown);
+}
+
+TEST(EasyScheduler, OracleBeatsWorstCasePlacement) {
+  // Jobs are 10x faster on lassen; an informed assigner must beat one that
+  // always picks quartz.
+  const auto machines = tiny_cluster(2, 2, 2, 2);
+  std::vector<Job> jobs;
+  for (int i = 0; i < 40; ++i) jobs.push_back(make_job(i, 20, 18, 2, 16));
+  OracleAssigner oracle;
+  const auto fast = simulate(jobs, machines, oracle);
+  RoundRobinAssigner rr;
+  const auto slow = simulate(jobs, machines, rr);
+  EXPECT_LT(fast.makespan_s, slow.makespan_s);
+}
+
+TEST(BoundedSlowdown, ComputesBoundedRatio) {
+  std::vector<JobOutcome> outcomes;
+  // wait 10, run 10 -> slowdown 2.
+  outcomes.push_back({SystemId::kQuartz, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown(outcomes), 2.0);
+  // Very short job: bound by tau=10 -> (90 + 1)/10 = 9.1.
+  outcomes.clear();
+  outcomes.push_back({SystemId::kQuartz, 90.0, 91.0});
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown(outcomes), 9.1);
+}
+
+TEST(BoundedSlowdown, NeverBelowOne) {
+  std::vector<JobOutcome> outcomes;
+  outcomes.push_back({SystemId::kQuartz, 0.0, 1.0});  // no wait, short run
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown(outcomes), 1.0);
+}
+
+TEST(BoundedSlowdown, RejectsBadTau) {
+  EXPECT_THROW(average_bounded_slowdown({}, 0.0), mphpc::ContractViolation);
+}
+
+}  // namespace
+}  // namespace mphpc::sched

@@ -1,0 +1,308 @@
+// Tests for src/workload: the Table II catalog, inputs, run configs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "arch/system_catalog.hpp"
+#include "common/error.hpp"
+#include "workload/app_catalog.hpp"
+#include "workload/input_config.hpp"
+#include "workload/run_config.hpp"
+
+namespace mphpc::workload {
+namespace {
+
+TEST(AppCatalog, HasTwentyApplications) {
+  const AppCatalog catalog;
+  EXPECT_EQ(catalog.size(), 20u);
+}
+
+TEST(AppCatalog, ElevenAppsHaveGpuSupport) {
+  const AppCatalog catalog;
+  int gpu = 0;
+  for (const auto& app : catalog.all()) gpu += app.gpu_support ? 1 : 0;
+  EXPECT_EQ(gpu, 11);  // paper: eleven of twenty
+}
+
+TEST(AppCatalog, MlAppsAreMarkedPython) {
+  const AppCatalog catalog;
+  for (const auto name : {"CANDLE", "CosmoFlow", "miniGAN", "DeepCam"}) {
+    EXPECT_TRUE(catalog.get(name).python_stack) << name;
+  }
+  EXPECT_FALSE(catalog.get("CoMD").python_stack);
+}
+
+TEST(AppCatalog, NamesAreUnique) {
+  const AppCatalog catalog;
+  std::set<std::string> names;
+  for (const auto& app : catalog.all()) names.insert(app.name);
+  EXPECT_EQ(names.size(), catalog.size());
+}
+
+TEST(AppCatalog, AllMixesValid) {
+  const AppCatalog catalog;
+  for (const auto& app : catalog.all()) {
+    EXPECT_TRUE(app.cpu_mix.valid()) << app.name;
+    EXPECT_TRUE(app.gpu_mix.valid()) << app.name;
+    EXPECT_GT(app.base_ginsts, 0.0) << app.name;
+    EXPECT_GT(app.working_set_mib, 0.0) << app.name;
+    EXPECT_GE(app.locality, 0.0) << app.name;
+    EXPECT_LE(app.locality, 1.0) << app.name;
+  }
+}
+
+TEST(AppCatalog, GpuAppsHaveOffloadParameters) {
+  const AppCatalog catalog;
+  for (const auto& app : catalog.all()) {
+    if (app.gpu_support) {
+      EXPECT_GT(app.gpu_offload, 0.0) << app.name;
+      EXPECT_GT(app.gpu_saturation, 0.0) << app.name;
+      EXPECT_GT(app.gpu_mix.sum(), 0.0) << app.name;
+    }
+  }
+}
+
+TEST(AppCatalog, PythonAppsAreNoisier) {
+  const AppCatalog catalog;
+  double min_python = 1e9;
+  double max_native = 0.0;
+  for (const auto& app : catalog.all()) {
+    if (app.python_stack) {
+      min_python = std::min(min_python, app.noise_sigma);
+    } else {
+      max_native = std::max(max_native, app.noise_sigma);
+    }
+  }
+  EXPECT_GT(min_python, max_native);  // the Fig. 5 effect's source
+}
+
+TEST(AppCatalog, LookupErrors) {
+  const AppCatalog catalog;
+  EXPECT_THROW(catalog.get("HPL"), LookupError);
+  EXPECT_TRUE(catalog.contains("XSBench"));
+  EXPECT_FALSE(catalog.contains("HPL"));
+}
+
+TEST(InstructionMix, SumAndOther) {
+  const InstructionMix mix{.branch = 0.1, .load = 0.3, .store = 0.1,
+                           .sp_fp = 0.1, .dp_fp = 0.1, .int_arith = 0.1};
+  EXPECT_NEAR(mix.sum(), 0.8, 1e-12);
+  EXPECT_NEAR(mix.other(), 0.2, 1e-12);
+  EXPECT_TRUE(mix.valid());
+}
+
+TEST(InstructionMix, InvalidWhenOverOne) {
+  const InstructionMix mix{.branch = 0.5, .load = 0.6, .store = 0.0,
+                           .sp_fp = 0.0, .dp_fp = 0.0, .int_arith = 0.0};
+  EXPECT_FALSE(mix.valid());
+}
+
+// ----------------------------------------------------------- input gen ----
+
+TEST(InputConfig, GeneratesRequestedCount) {
+  const AppCatalog catalog;
+  const auto inputs = make_inputs(catalog.get("CoMD"), 47, 2024);
+  EXPECT_EQ(inputs.size(), 47u);
+}
+
+TEST(InputConfig, Deterministic) {
+  const AppCatalog catalog;
+  const auto a = make_inputs(catalog.get("AMG"), 10, 1);
+  const auto b = make_inputs(catalog.get("AMG"), 10, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scale, b[i].scale);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(InputConfig, DifferentSeedsDiffer) {
+  const AppCatalog catalog;
+  const auto a = make_inputs(catalog.get("AMG"), 5, 1);
+  const auto b = make_inputs(catalog.get("AMG"), 5, 2);
+  EXPECT_NE(a[0].scale, b[0].scale);
+}
+
+TEST(InputConfig, ScalesSpanWideRange) {
+  const AppCatalog catalog;
+  const auto inputs = make_inputs(catalog.get("Laghos"), 47, 2024);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const auto& in : inputs) {
+    lo = std::min(lo, in.scale);
+    hi = std::max(hi, in.scale);
+    EXPECT_GT(in.scale, 0.0);
+  }
+  EXPECT_GT(hi / lo, 3.0);  // roughly a 4x sweep with jitter
+}
+
+TEST(InputConfig, IdFormat) {
+  const AppCatalog catalog;
+  const auto inputs = make_inputs(catalog.get("CoMD"), 3, 1);
+  EXPECT_EQ(inputs[2].id(), "CoMD/i02");
+}
+
+TEST(EffectiveSignature, DeterministicPerturbation) {
+  const AppCatalog catalog;
+  const auto& base = catalog.get("miniFE");
+  const auto inputs = make_inputs(base, 3, 7);
+  const AppSignature a = effective_signature(base, inputs[1]);
+  const AppSignature b = effective_signature(base, inputs[1]);
+  EXPECT_EQ(a.cpu_mix.branch, b.cpu_mix.branch);
+  EXPECT_EQ(a.locality, b.locality);
+}
+
+TEST(EffectiveSignature, StaysValidAndBounded) {
+  const AppCatalog catalog;
+  for (const auto& app : catalog.all()) {
+    for (const auto& input : make_inputs(app, 20, 99)) {
+      const AppSignature sig = effective_signature(app, input);
+      EXPECT_TRUE(sig.cpu_mix.valid()) << sig.name;
+      EXPECT_TRUE(sig.gpu_mix.valid()) << sig.name;
+      EXPECT_GE(sig.locality, 0.0);
+      EXPECT_LE(sig.locality, 1.0);
+      EXPECT_GE(sig.branch_entropy, 0.0);
+      EXPECT_LE(sig.branch_entropy, 1.0);
+    }
+  }
+}
+
+TEST(EffectiveSignature, PerturbsDifferentInputsDifferently) {
+  const AppCatalog catalog;
+  const auto& base = catalog.get("XSBench");
+  const auto inputs = make_inputs(base, 2, 7);
+  const AppSignature a = effective_signature(base, inputs[0]);
+  const AppSignature b = effective_signature(base, inputs[1]);
+  EXPECT_NE(a.cpu_mix.branch, b.cpu_mix.branch);
+}
+
+TEST(EffectiveSignature, RejectsMismatchedApp) {
+  const AppCatalog catalog;
+  const auto inputs = make_inputs(catalog.get("CoMD"), 1, 7);
+  EXPECT_THROW(effective_signature(catalog.get("AMG"), inputs[0]),
+               ContractViolation);
+}
+
+// --------------------------------------------------------- run configs ----
+
+TEST(RoundDown, PowerOfTwo) {
+  EXPECT_EQ(round_down_pow2(1), 1);
+  EXPECT_EQ(round_down_pow2(2), 2);
+  EXPECT_EQ(round_down_pow2(3), 2);
+  EXPECT_EQ(round_down_pow2(36), 32);
+  EXPECT_EQ(round_down_pow2(56), 32);
+  EXPECT_EQ(round_down_pow2(64), 64);
+  EXPECT_EQ(round_down_pow2(127), 64);
+}
+
+TEST(RoundDown, Square) {
+  EXPECT_EQ(round_down_square(1), 1);
+  EXPECT_EQ(round_down_square(3), 1);
+  EXPECT_EQ(round_down_square(4), 4);
+  EXPECT_EQ(round_down_square(36), 36);
+  EXPECT_EQ(round_down_square(48), 36);
+  EXPECT_EQ(round_down_square(99), 81);
+}
+
+class RoundDownProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundDownProperty, Pow2Invariants) {
+  const int n = GetParam();
+  const int p = round_down_pow2(n);
+  EXPECT_LE(p, n);
+  EXPECT_GT(2 * p, n);  // largest such power
+  EXPECT_EQ(p & (p - 1), 0);  // actually a power of two
+}
+
+TEST_P(RoundDownProperty, SquareInvariants) {
+  const int n = GetParam();
+  const int s = round_down_square(n);
+  EXPECT_LE(s, n);
+  const int r = static_cast<int>(std::sqrt(static_cast<double>(s)) + 0.5);
+  EXPECT_EQ(r * r, s);
+  EXPECT_GT((r + 1) * (r + 1), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepSmallCounts, RoundDownProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 36, 44, 48,
+                                           56, 88, 96, 100, 112, 121));
+
+TEST(RunConfig, OneCoreUsesOneRank) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig rc = make_run_config(apps.get("CoMD"), systems.get("quartz"),
+                                       ScaleClass::kOneCore);
+  EXPECT_EQ(rc.ranks, 1);
+  EXPECT_EQ(rc.nodes, 1);
+  EXPECT_EQ(rc.cores, 1);
+  EXPECT_FALSE(rc.uses_gpu);  // quartz has no GPUs
+}
+
+TEST(RunConfig, OneCoreGpuAppGetsOneGpu) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig rc = make_run_config(apps.get("CoMD"), systems.get("lassen"),
+                                       ScaleClass::kOneCore);
+  EXPECT_EQ(rc.ranks, 1);
+  EXPECT_EQ(rc.gpus, 1);
+  EXPECT_TRUE(rc.uses_gpu);
+}
+
+TEST(RunConfig, OneNodeCpuRunUsesAllCores) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig rc = make_run_config(apps.get("miniVite"), systems.get("ruby"),
+                                       ScaleClass::kOneNode);
+  EXPECT_EQ(rc.ranks, 56);
+  EXPECT_EQ(rc.nodes, 1);
+  EXPECT_EQ(rc.gpus, 0);
+}
+
+TEST(RunConfig, TwoNodeCpuRunDoubles) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig rc = make_run_config(apps.get("miniVite"), systems.get("quartz"),
+                                       ScaleClass::kTwoNodes);
+  EXPECT_EQ(rc.ranks, 72);
+  EXPECT_EQ(rc.nodes, 2);
+}
+
+TEST(RunConfig, GpuRunUsesOneRankPerDevice) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig one = make_run_config(apps.get("CoMD"), systems.get("lassen"),
+                                        ScaleClass::kOneNode);
+  EXPECT_EQ(one.ranks, 4);
+  EXPECT_EQ(one.gpus, 4);
+  const RunConfig two = make_run_config(apps.get("CoMD"), systems.get("corona"),
+                                        ScaleClass::kTwoNodes);
+  EXPECT_EQ(two.ranks, 16);
+  EXPECT_EQ(two.gpus, 16);
+}
+
+TEST(RunConfig, PowerOfTwoConstraintRoundsRanks) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  ASSERT_EQ(apps.get("SWFFT").rank_constraint, RankConstraint::kPowerOfTwo);
+  const RunConfig rc = make_run_config(apps.get("SWFFT"), systems.get("quartz"),
+                                       ScaleClass::kOneNode);
+  EXPECT_EQ(rc.ranks, 32);  // 36 cores -> 32 ranks
+}
+
+TEST(RunConfig, CpuOnlyAppOnGpuSystemUsesCpus) {
+  const AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const RunConfig rc = make_run_config(apps.get("SW4lite"), systems.get("lassen"),
+                                       ScaleClass::kOneNode);
+  EXPECT_FALSE(rc.uses_gpu);
+  EXPECT_EQ(rc.ranks, 44);
+}
+
+TEST(ScaleClass, ToString) {
+  EXPECT_EQ(to_string(ScaleClass::kOneCore), "1core");
+  EXPECT_EQ(to_string(ScaleClass::kOneNode), "1node");
+  EXPECT_EQ(to_string(ScaleClass::kTwoNodes), "2node");
+}
+
+}  // namespace
+}  // namespace mphpc::workload

@@ -1,0 +1,255 @@
+// mphpc — command-line front end to the library.
+//
+//   mphpc dataset  [--inputs N] [--out FILE.csv]
+//   mphpc train    [--inputs N] [--out MODEL] [--rounds N] [--depth N]
+//   mphpc evaluate [--inputs N] [--model MODEL]
+//   mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]
+//                  [--model MODEL]
+//   mphpc schedule [--jobs N] [--inputs N] [--strategy all|rr|random|user|model|oracle]
+//
+// Every command is deterministic for a given set of flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "arch/system_catalog.hpp"
+#include "common/strings.hpp"
+#include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "core/dataset.hpp"
+#include "core/model_selection.hpp"
+#include "core/predictor.hpp"
+#include "data/csv.hpp"
+#include "data/split.hpp"
+#include "sched/easy_scheduler.hpp"
+#include "sched/workload_gen.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace {
+
+using namespace mphpc;
+
+/// Minimal `--flag value` parser; flags without a value are "true".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+core::Dataset build_dataset(int inputs) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  sim::CampaignOptions options;
+  options.inputs_per_app = inputs;
+  std::printf("building dataset (%d inputs/app)...\n", inputs);
+  return core::build_dataset(
+      sim::run_campaign(apps, systems, options, &ThreadPool::shared()));
+}
+
+core::CrossArchPredictor train_predictor(const core::Dataset& dataset,
+                                         const Args& args) {
+  core::CrossArchPredictor::Options options;
+  options.gbt.n_rounds = args.get_int("rounds", 200);
+  options.gbt.max_depth = args.get_int("depth", 7);
+  core::CrossArchPredictor predictor(options);
+  Timer timer;
+  predictor.train(dataset, {}, &ThreadPool::shared());
+  std::printf("trained in %.1f s (%d rounds, depth %d)\n", timer.seconds(),
+              options.gbt.n_rounds, options.gbt.max_depth);
+  return predictor;
+}
+
+int cmd_dataset(const Args& args) {
+  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const std::string out = args.get("out", "mphpc_dataset.csv");
+  data::write_csv_file(dataset.table(), out);
+  std::printf("wrote %zu rows x %zu columns to %s\n", dataset.num_rows(),
+              dataset.table().num_columns(), out.c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto predictor = train_predictor(dataset, args);
+  const std::string out = args.get("out", "mphpc_model.txt");
+  predictor.save(out);
+  std::printf("model saved to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto split = data::train_test_split(dataset.num_rows(), 0.10, 42);
+  const auto x_test = dataset.features(split.test);
+  const auto y_test = dataset.targets(split.test);
+
+  core::EvalMetrics metrics;
+  if (args.has("model")) {
+    const auto predictor = core::CrossArchPredictor::load(args.get("model", ""));
+    metrics = core::evaluate(y_test, predictor.predict(x_test));
+  } else {
+    core::CrossArchPredictor::Options options;
+    options.gbt.n_rounds = args.get_int("rounds", 200);
+    options.gbt.max_depth = args.get_int("depth", 7);
+    core::CrossArchPredictor predictor(options);
+    predictor.train(dataset, split.train, &ThreadPool::shared());
+    metrics = core::evaluate(y_test, predictor.predict(x_test));
+  }
+  std::printf("test MAE  = %.4f (paper: 0.11)\n", metrics.mae);
+  std::printf("test SOS  = %.4f (paper: 0.86)\n", metrics.sos);
+  std::printf("test RMSE = %.4f, R^2 = %.4f\n", metrics.rmse, metrics.r2);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const std::string app_name = args.get("app", "");
+  if (app_name.empty() || !apps.contains(app_name)) {
+    std::fprintf(stderr, "predict requires --app with one of the 20 catalog apps\n");
+    return 2;
+  }
+  const std::string system = args.get("system", "quartz");
+  if (!arch::parse_system(system)) {
+    std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
+    return 2;
+  }
+  const std::string scale_name = args.get("scale", "1node");
+  workload::ScaleClass scale = workload::ScaleClass::kOneNode;
+  if (scale_name == "1core") scale = workload::ScaleClass::kOneCore;
+  else if (scale_name == "2node") scale = workload::ScaleClass::kTwoNodes;
+  else if (scale_name != "1node") {
+    std::fprintf(stderr, "unknown scale '%s' (1core|1node|2node)\n",
+                 scale_name.c_str());
+    return 2;
+  }
+
+  core::CrossArchPredictor predictor = [&] {
+    if (args.has("model")) {
+      return core::CrossArchPredictor::load(args.get("model", ""));
+    }
+    const auto dataset = build_dataset(args.get_int("inputs", 12));
+    return train_predictor(dataset, args);
+  }();
+
+  const auto& base = apps.get(app_name);
+  const auto inputs = workload::make_inputs(base, 1, 2027);
+  const sim::Profiler profiler(2027);
+  const auto profile = profiler.profile(base, inputs[0], scale, systems.get(system));
+  const core::Rpv rpv = predictor.predict(profile);
+
+  std::printf("\n%s (%s scale) profiled on %s, %.1f s wall time\n",
+              app_name.c_str(), scale_name.c_str(), system.c_str(), profile.time_s);
+  TablePrinter table({"system", "predicted time ratio", "predicted speedup"});
+  for (const arch::SystemId id : arch::kAllSystems) {
+    table.add_row({std::string(arch::to_string(id)),
+                   format_fixed(rpv.time_ratio(id), 3),
+                   format_fixed(rpv.speedup(id), 2) + "x"});
+  }
+  table.print();
+  std::printf("predicted fastest: %s\n",
+              std::string(arch::to_string(rpv.fastest())).c_str());
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto predictor = train_predictor(dataset, args);
+  const auto predictions = predictor.predict(dataset.features());
+  const auto jobs =
+      sched::sample_jobs(dataset, predictions, apps,
+                         static_cast<std::size_t>(args.get_int("jobs", 10000)), 7);
+  const auto machines = sched::default_cluster(systems);
+
+  const std::string which = args.get("strategy", "all");
+  std::vector<std::pair<std::string, std::unique_ptr<sched::MachineAssigner>>> all;
+  const auto want = [&](const char* key) { return which == "all" || which == key; };
+  if (want("rr")) all.emplace_back("Round-Robin",
+                                   std::make_unique<sched::RoundRobinAssigner>());
+  if (want("random")) all.emplace_back("Random",
+                                       std::make_unique<sched::RandomAssigner>(11));
+  if (want("user")) all.emplace_back("User+RR",
+                                     std::make_unique<sched::UserRoundRobinAssigner>());
+  if (want("model")) all.emplace_back("Model-based",
+                                      std::make_unique<sched::ModelBasedAssigner>());
+  if (want("oracle")) all.emplace_back("Oracle",
+                                       std::make_unique<sched::OracleAssigner>());
+  if (all.empty()) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", which.c_str());
+    return 2;
+  }
+
+  TablePrinter table({"strategy", "makespan (h)", "avg bounded slowdown"});
+  for (auto& [label, assigner] : all) {
+    const auto result = sched::simulate(jobs, machines, *assigner);
+    table.add_row({label, format_fixed(result.makespan_s / 3600.0, 3),
+                   format_fixed(result.avg_bounded_slowdown, 2)});
+  }
+  table.print();
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "mphpc — cross-architecture performance prediction toolkit\n\n"
+      "  mphpc dataset  [--inputs N] [--out FILE.csv]\n"
+      "  mphpc train    [--inputs N] [--rounds N] [--depth N] [--out MODEL]\n"
+      "  mphpc evaluate [--inputs N] [--model MODEL]\n"
+      "  mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]\n"
+      "                 [--model MODEL]\n"
+      "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "dataset") return cmd_dataset(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "schedule") return cmd_schedule(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
