@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_app_holdout.dir/bench_fig5_app_holdout.cpp.o"
+  "CMakeFiles/bench_fig5_app_holdout.dir/bench_fig5_app_holdout.cpp.o.d"
+  "bench_fig5_app_holdout"
+  "bench_fig5_app_holdout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_app_holdout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

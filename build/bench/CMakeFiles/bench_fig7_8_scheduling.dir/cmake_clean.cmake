@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_scheduling.dir/bench_fig7_8_scheduling.cpp.o"
+  "CMakeFiles/bench_fig7_8_scheduling.dir/bench_fig7_8_scheduling.cpp.o.d"
+  "bench_fig7_8_scheduling"
+  "bench_fig7_8_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_collection.dir/counter_collection.cpp.o"
+  "CMakeFiles/counter_collection.dir/counter_collection.cpp.o.d"
+  "counter_collection"
+  "counter_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

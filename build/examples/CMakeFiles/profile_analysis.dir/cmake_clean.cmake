@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_analysis.dir/profile_analysis.cpp.o"
+  "CMakeFiles/profile_analysis.dir/profile_analysis.cpp.o.d"
+  "profile_analysis"
+  "profile_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

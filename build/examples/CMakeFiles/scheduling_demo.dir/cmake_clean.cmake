@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_demo.dir/scheduling_demo.cpp.o"
+  "CMakeFiles/scheduling_demo.dir/scheduling_demo.cpp.o.d"
+  "scheduling_demo"
+  "scheduling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

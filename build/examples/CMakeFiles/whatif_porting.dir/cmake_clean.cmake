@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_porting.dir/whatif_porting.cpp.o"
+  "CMakeFiles/whatif_porting.dir/whatif_porting.cpp.o.d"
+  "whatif_porting"
+  "whatif_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/architecture.cpp" "src/arch/CMakeFiles/mphpc_arch.dir/architecture.cpp.o" "gcc" "src/arch/CMakeFiles/mphpc_arch.dir/architecture.cpp.o.d"
+  "/root/repo/src/arch/counter_names.cpp" "src/arch/CMakeFiles/mphpc_arch.dir/counter_names.cpp.o" "gcc" "src/arch/CMakeFiles/mphpc_arch.dir/counter_names.cpp.o.d"
+  "/root/repo/src/arch/system_catalog.cpp" "src/arch/CMakeFiles/mphpc_arch.dir/system_catalog.cpp.o" "gcc" "src/arch/CMakeFiles/mphpc_arch.dir/system_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_arch.dir/architecture.cpp.o"
+  "CMakeFiles/mphpc_arch.dir/architecture.cpp.o.d"
+  "CMakeFiles/mphpc_arch.dir/counter_names.cpp.o"
+  "CMakeFiles/mphpc_arch.dir/counter_names.cpp.o.d"
+  "CMakeFiles/mphpc_arch.dir/system_catalog.cpp.o"
+  "CMakeFiles/mphpc_arch.dir/system_catalog.cpp.o.d"
+  "libmphpc_arch.a"
+  "libmphpc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_common.dir/json_writer.cpp.o"
+  "CMakeFiles/mphpc_common.dir/json_writer.cpp.o.d"
+  "CMakeFiles/mphpc_common.dir/strings.cpp.o"
+  "CMakeFiles/mphpc_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mphpc_common.dir/table_printer.cpp.o"
+  "CMakeFiles/mphpc_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/mphpc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mphpc_common.dir/thread_pool.cpp.o.d"
+  "libmphpc_common.a"
+  "libmphpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/mphpc_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/feature_pipeline.cpp" "src/core/CMakeFiles/mphpc_core.dir/feature_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/feature_pipeline.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/core/CMakeFiles/mphpc_core.dir/importance.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/importance.cpp.o.d"
+  "/root/repo/src/core/model_selection.cpp" "src/core/CMakeFiles/mphpc_core.dir/model_selection.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/model_selection.cpp.o.d"
+  "/root/repo/src/core/permutation_importance.cpp" "src/core/CMakeFiles/mphpc_core.dir/permutation_importance.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/permutation_importance.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/mphpc_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/rpv.cpp" "src/core/CMakeFiles/mphpc_core.dir/rpv.cpp.o" "gcc" "src/core/CMakeFiles/mphpc_core.dir/rpv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mphpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mphpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mphpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mphpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mphpc_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

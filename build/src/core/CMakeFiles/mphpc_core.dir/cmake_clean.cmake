@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_core.dir/dataset.cpp.o"
+  "CMakeFiles/mphpc_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/feature_pipeline.cpp.o"
+  "CMakeFiles/mphpc_core.dir/feature_pipeline.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/importance.cpp.o"
+  "CMakeFiles/mphpc_core.dir/importance.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/model_selection.cpp.o"
+  "CMakeFiles/mphpc_core.dir/model_selection.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/permutation_importance.cpp.o"
+  "CMakeFiles/mphpc_core.dir/permutation_importance.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/predictor.cpp.o"
+  "CMakeFiles/mphpc_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/mphpc_core.dir/rpv.cpp.o"
+  "CMakeFiles/mphpc_core.dir/rpv.cpp.o.d"
+  "libmphpc_core.a"
+  "libmphpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_data.dir/csv.cpp.o"
+  "CMakeFiles/mphpc_data.dir/csv.cpp.o.d"
+  "CMakeFiles/mphpc_data.dir/split.cpp.o"
+  "CMakeFiles/mphpc_data.dir/split.cpp.o.d"
+  "CMakeFiles/mphpc_data.dir/table.cpp.o"
+  "CMakeFiles/mphpc_data.dir/table.cpp.o.d"
+  "CMakeFiles/mphpc_data.dir/transforms.cpp.o"
+  "CMakeFiles/mphpc_data.dir/transforms.cpp.o.d"
+  "libmphpc_data.a"
+  "libmphpc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

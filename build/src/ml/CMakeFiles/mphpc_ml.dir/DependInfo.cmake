@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/gbt.cpp.o.d"
+  "/root/repo/src/ml/knn_regressor.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/knn_regressor.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/knn_regressor.cpp.o.d"
+  "/root/repo/src/ml/linear_regressor.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/linear_regressor.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/linear_regressor.cpp.o.d"
+  "/root/repo/src/ml/mean_regressor.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/mean_regressor.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/mean_regressor.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/mphpc_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/mphpc_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/gbt.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/knn_regressor.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/knn_regressor.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/linear_regressor.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/linear_regressor.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/mean_regressor.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/mean_regressor.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/metrics.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/mphpc_ml.dir/serialize.cpp.o"
+  "CMakeFiles/mphpc_ml.dir/serialize.cpp.o.d"
+  "libmphpc_ml.a"
+  "libmphpc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

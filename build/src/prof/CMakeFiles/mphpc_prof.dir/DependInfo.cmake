@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/analysis.cpp" "src/prof/CMakeFiles/mphpc_prof.dir/analysis.cpp.o" "gcc" "src/prof/CMakeFiles/mphpc_prof.dir/analysis.cpp.o.d"
+  "/root/repo/src/prof/cct.cpp" "src/prof/CMakeFiles/mphpc_prof.dir/cct.cpp.o" "gcc" "src/prof/CMakeFiles/mphpc_prof.dir/cct.cpp.o.d"
+  "/root/repo/src/prof/cct_builder.cpp" "src/prof/CMakeFiles/mphpc_prof.dir/cct_builder.cpp.o" "gcc" "src/prof/CMakeFiles/mphpc_prof.dir/cct_builder.cpp.o.d"
+  "/root/repo/src/prof/dataframe.cpp" "src/prof/CMakeFiles/mphpc_prof.dir/dataframe.cpp.o" "gcc" "src/prof/CMakeFiles/mphpc_prof.dir/dataframe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mphpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mphpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mphpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mphpc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

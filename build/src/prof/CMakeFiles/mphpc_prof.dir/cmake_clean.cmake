@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_prof.dir/analysis.cpp.o"
+  "CMakeFiles/mphpc_prof.dir/analysis.cpp.o.d"
+  "CMakeFiles/mphpc_prof.dir/cct.cpp.o"
+  "CMakeFiles/mphpc_prof.dir/cct.cpp.o.d"
+  "CMakeFiles/mphpc_prof.dir/cct_builder.cpp.o"
+  "CMakeFiles/mphpc_prof.dir/cct_builder.cpp.o.d"
+  "CMakeFiles/mphpc_prof.dir/dataframe.cpp.o"
+  "CMakeFiles/mphpc_prof.dir/dataframe.cpp.o.d"
+  "libmphpc_prof.a"
+  "libmphpc_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/assigners.cpp" "src/sched/CMakeFiles/mphpc_sched.dir/assigners.cpp.o" "gcc" "src/sched/CMakeFiles/mphpc_sched.dir/assigners.cpp.o.d"
+  "/root/repo/src/sched/easy_scheduler.cpp" "src/sched/CMakeFiles/mphpc_sched.dir/easy_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mphpc_sched.dir/easy_scheduler.cpp.o.d"
+  "/root/repo/src/sched/machine.cpp" "src/sched/CMakeFiles/mphpc_sched.dir/machine.cpp.o" "gcc" "src/sched/CMakeFiles/mphpc_sched.dir/machine.cpp.o.d"
+  "/root/repo/src/sched/workload_gen.cpp" "src/sched/CMakeFiles/mphpc_sched.dir/workload_gen.cpp.o" "gcc" "src/sched/CMakeFiles/mphpc_sched.dir/workload_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mphpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mphpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mphpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mphpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mphpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mphpc_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

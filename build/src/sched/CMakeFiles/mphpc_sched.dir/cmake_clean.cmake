@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_sched.dir/assigners.cpp.o"
+  "CMakeFiles/mphpc_sched.dir/assigners.cpp.o.d"
+  "CMakeFiles/mphpc_sched.dir/easy_scheduler.cpp.o"
+  "CMakeFiles/mphpc_sched.dir/easy_scheduler.cpp.o.d"
+  "CMakeFiles/mphpc_sched.dir/machine.cpp.o"
+  "CMakeFiles/mphpc_sched.dir/machine.cpp.o.d"
+  "CMakeFiles/mphpc_sched.dir/workload_gen.cpp.o"
+  "CMakeFiles/mphpc_sched.dir/workload_gen.cpp.o.d"
+  "libmphpc_sched.a"
+  "libmphpc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/counter_synth.cpp" "src/sim/CMakeFiles/mphpc_sim.dir/counter_synth.cpp.o" "gcc" "src/sim/CMakeFiles/mphpc_sim.dir/counter_synth.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/mphpc_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/mphpc_sim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/sim/profiler.cpp" "src/sim/CMakeFiles/mphpc_sim.dir/profiler.cpp.o" "gcc" "src/sim/CMakeFiles/mphpc_sim.dir/profiler.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/mphpc_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/mphpc_sim.dir/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mphpc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mphpc_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_sim.dir/counter_synth.cpp.o"
+  "CMakeFiles/mphpc_sim.dir/counter_synth.cpp.o.d"
+  "CMakeFiles/mphpc_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/mphpc_sim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mphpc_sim.dir/profiler.cpp.o"
+  "CMakeFiles/mphpc_sim.dir/profiler.cpp.o.d"
+  "CMakeFiles/mphpc_sim.dir/runner.cpp.o"
+  "CMakeFiles/mphpc_sim.dir/runner.cpp.o.d"
+  "libmphpc_sim.a"
+  "libmphpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_catalog.cpp" "src/workload/CMakeFiles/mphpc_workload.dir/app_catalog.cpp.o" "gcc" "src/workload/CMakeFiles/mphpc_workload.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/workload/input_config.cpp" "src/workload/CMakeFiles/mphpc_workload.dir/input_config.cpp.o" "gcc" "src/workload/CMakeFiles/mphpc_workload.dir/input_config.cpp.o.d"
+  "/root/repo/src/workload/run_config.cpp" "src/workload/CMakeFiles/mphpc_workload.dir/run_config.cpp.o" "gcc" "src/workload/CMakeFiles/mphpc_workload.dir/run_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mphpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mphpc_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

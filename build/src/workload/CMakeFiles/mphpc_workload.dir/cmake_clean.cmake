@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_workload.dir/app_catalog.cpp.o"
+  "CMakeFiles/mphpc_workload.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/mphpc_workload.dir/input_config.cpp.o"
+  "CMakeFiles/mphpc_workload.dir/input_config.cpp.o.d"
+  "CMakeFiles/mphpc_workload.dir/run_config.cpp.o"
+  "CMakeFiles/mphpc_workload.dir/run_config.cpp.o.d"
+  "libmphpc_workload.a"
+  "libmphpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

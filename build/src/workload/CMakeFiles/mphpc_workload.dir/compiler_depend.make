@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mphpc_workload.
+# This may be replaced when dependencies are built.

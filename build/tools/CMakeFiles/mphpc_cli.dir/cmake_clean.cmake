@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mphpc_cli.dir/mphpc.cpp.o"
+  "CMakeFiles/mphpc_cli.dir/mphpc.cpp.o.d"
+  "mphpc"
+  "mphpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mphpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
