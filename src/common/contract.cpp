@@ -1,0 +1,39 @@
+#include "common/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mphpc::detail {
+
+#if MPHPC_CONTRACT_LEVEL >= 1
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const std::source_location& loc) {
+#if MPHPC_CONTRACT_LEVEL >= 2
+  // Abort mode: report on stderr and die. Used by the death-test /
+  // sanitizer-hardened lane, where unwinding would blur the stack trace.
+  std::fprintf(stderr, "mphpc: %s failed: (%s) at %s:%u in %s\n", kind, expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()),
+               loc.function_name());
+  std::abort();
+#else
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          loc.file_name() + ":" + std::to_string(loc.line()) +
+                          " in " + loc.function_name());
+#endif
+}
+
+#else
+
+// Level 0 keeps the symbol defined so mixed-level object files still link.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const std::source_location& loc) {
+  std::fprintf(stderr, "mphpc: %s failed: (%s) at %s:%u\n", kind, expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()));
+  std::abort();
+}
+
+#endif
+
+}  // namespace mphpc::detail

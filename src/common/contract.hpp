@@ -1,0 +1,88 @@
+// Contract macros for preconditions, postconditions, invariants, and
+// unreachable code. This is the single correctness substrate every mphpc
+// subsystem is written against; the sanitizer lanes and `mphpc_lint` are
+// layered on top of it (see DESIGN.md "Correctness toolchain").
+//
+// Four macros:
+//   MPHPC_EXPECTS(cond)      precondition at a public entry point
+//   MPHPC_ENSURES(cond)      postcondition before returning a result
+//   MPHPC_ASSERT(cond)       internal invariant inside an implementation
+//   MPHPC_UNREACHABLE(msg)   control flow that must never be reached
+//
+// Behavior is selected at compile time with MPHPC_CONTRACT_LEVEL (the
+// CMake cache variable MPHPC_CONTRACT_MODE maps onto it):
+//
+//   level 2 ("abort")  — check and abort with a message on stderr. The
+//     death-test and sanitizer-hardened lane: aborting produces the
+//     cleanest stacks under ASan/TSan and cannot unwind through noexcept.
+//   level 1 ("throw")  — check and throw mphpc::ContractViolation. The
+//     default in every build type, so tests can assert misuse with
+//     EXPECT_THROW and release binaries fail loudly instead of silently
+//     corrupting results.
+//   level 0 ("assume") — no checks; conditions become optimizer
+//     assumptions ([[assume]]-style via __builtin_unreachable) and
+//     MPHPC_UNREACHABLE compiles to __builtin_unreachable(). The
+//     benchmarking lane only: violating a contract is undefined behavior
+//     here, so never run it on unvalidated inputs.
+#pragma once
+
+#include <source_location>
+
+#include "common/error.hpp"
+
+#ifndef MPHPC_CONTRACT_LEVEL
+#define MPHPC_CONTRACT_LEVEL 1
+#endif
+
+/// 1 when contract conditions are evaluated and violations reported.
+#define MPHPC_CONTRACTS_CHECKED (MPHPC_CONTRACT_LEVEL >= 1)
+
+namespace mphpc::detail {
+
+/// Reports a failed contract according to the active contract level:
+/// throws ContractViolation at level 1, prints and aborts at level 2.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const std::source_location& loc);
+
+}  // namespace mphpc::detail
+
+#if MPHPC_CONTRACT_LEVEL >= 1
+
+#define MPHPC_CONTRACT_CHECK_(kind, cond)                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mphpc::detail::contract_fail(kind, #cond,                       \
+                                     std::source_location::current()); \
+    }                                                                   \
+  } while (false)
+
+/// Precondition at a public entry point.
+#define MPHPC_EXPECTS(cond) MPHPC_CONTRACT_CHECK_("precondition", cond)
+/// Postcondition on a computed result.
+#define MPHPC_ENSURES(cond) MPHPC_CONTRACT_CHECK_("postcondition", cond)
+/// Internal invariant inside an implementation.
+#define MPHPC_ASSERT(cond) MPHPC_CONTRACT_CHECK_("assertion", cond)
+/// Marks control flow that must never execute.
+#define MPHPC_UNREACHABLE(msg)                                         \
+  ::mphpc::detail::contract_fail("unreachable", msg,                   \
+                                 std::source_location::current())
+
+#else  // MPHPC_CONTRACT_LEVEL == 0: optimizer assumptions, no checks.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MPHPC_CONTRACT_ASSUME_(cond) \
+  do {                               \
+    if (!(cond)) __builtin_unreachable(); \
+  } while (false)
+#define MPHPC_CONTRACT_UNREACHABLE_() __builtin_unreachable()
+#else
+#define MPHPC_CONTRACT_ASSUME_(cond) ((void)0)
+#define MPHPC_CONTRACT_UNREACHABLE_() ((void)0)
+#endif
+
+#define MPHPC_EXPECTS(cond) MPHPC_CONTRACT_ASSUME_(cond)
+#define MPHPC_ENSURES(cond) MPHPC_CONTRACT_ASSUME_(cond)
+#define MPHPC_ASSERT(cond) MPHPC_CONTRACT_ASSUME_(cond)
+#define MPHPC_UNREACHABLE(msg) MPHPC_CONTRACT_UNREACHABLE_()
+
+#endif  // MPHPC_CONTRACT_LEVEL

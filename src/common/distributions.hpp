@@ -11,7 +11,7 @@
 #include <span>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc {

@@ -1,19 +1,20 @@
-// Contract-checking and error types shared across all mphpc modules.
+// Error types shared across all mphpc modules.
 //
 // Programming-contract violations (precondition/postcondition failures)
 // throw `ContractViolation` so that tests can assert on misuse and so that
-// release builds fail loudly instead of corrupting results. Recoverable
-// conditions (bad input files, unknown names) use dedicated exception
-// types below or std::optional returns at the call site.
+// release builds fail loudly instead of corrupting results; the macros
+// that raise it live in common/contract.hpp. Recoverable conditions (bad
+// input files, unknown names) use the dedicated exception types below or
+// std::optional returns at the call site.
 #pragma once
 
-#include <source_location>
 #include <stdexcept>
 #include <string>
 
 namespace mphpc {
 
-/// Thrown when an MPHPC_EXPECTS / MPHPC_ENSURES contract check fails.
+/// Thrown when an MPHPC_EXPECTS / MPHPC_ENSURES / MPHPC_ASSERT contract
+/// check fails (contract level "throw"; see common/contract.hpp).
 class ContractViolation : public std::logic_error {
  public:
   explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
@@ -31,33 +32,4 @@ class LookupError : public std::runtime_error {
   explicit LookupError(const std::string& what) : std::runtime_error(what) {}
 };
 
-namespace detail {
-
-[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
-                                       const std::source_location& loc) {
-  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
-                          loc.file_name() + ":" + std::to_string(loc.line()) +
-                          " in " + loc.function_name());
-}
-
-}  // namespace detail
-
 }  // namespace mphpc
-
-/// Precondition check: throws mphpc::ContractViolation when `cond` is false.
-#define MPHPC_EXPECTS(cond)                                            \
-  do {                                                                 \
-    if (!(cond)) {                                                     \
-      ::mphpc::detail::contract_fail("precondition", #cond,            \
-                                     std::source_location::current()); \
-    }                                                                  \
-  } while (false)
-
-/// Postcondition check: throws mphpc::ContractViolation when `cond` is false.
-#define MPHPC_ENSURES(cond)                                             \
-  do {                                                                  \
-    if (!(cond)) {                                                      \
-      ::mphpc::detail::contract_fail("postcondition", #cond,            \
-                                     std::source_location::current());  \
-    }                                                                   \
-  } while (false)

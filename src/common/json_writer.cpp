@@ -2,7 +2,7 @@
 
 #include <cstdio>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc {

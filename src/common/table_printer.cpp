@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc {

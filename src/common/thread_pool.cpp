@@ -1,9 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc {
 
@@ -86,7 +85,11 @@ std::size_t ThreadPool::parallel_chunks(
     return std::pair{lo, lo + len};
   };
 
-  std::atomic<std::size_t> remaining{chunks - 1};
+  // `remaining` is guarded by done_mutex (not an atomic): the last worker
+  // must still hold the mutex when the count reaches zero, otherwise a
+  // spurious wakeup could let the caller observe zero, return, and destroy
+  // done_mutex/done_cv while that worker is about to lock them.
+  std::size_t remaining = chunks - 1;
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -94,10 +97,8 @@ std::size_t ThreadPool::parallel_chunks(
     submit([&, c] {
       const auto [lo, hi] = bounds(c);
       body(c, lo, hi);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::lock_guard lock(done_mutex);
-        done_cv.notify_one();
-      }
+      const std::lock_guard lock(done_mutex);
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
 
@@ -106,7 +107,7 @@ std::size_t ThreadPool::parallel_chunks(
   body(0, lo0, hi0);
 
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
   return chunks;
 }
 

@@ -2,7 +2,7 @@
 
 #include <map>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::core {
 

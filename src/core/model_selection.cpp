@@ -1,6 +1,6 @@
 #include "core/model_selection.hpp"
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 #include "ml/gbt.hpp"
 #include "ml/linear_regressor.hpp"

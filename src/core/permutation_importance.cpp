@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/distributions.hpp"
 #include "common/rng.hpp"
 #include "ml/metrics.hpp"

@@ -1,6 +1,6 @@
 #include "core/predictor.hpp"
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 #include "ml/serialize.hpp"
 

@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc::data {
@@ -158,6 +158,9 @@ Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {
       table.add_numeric_column(header[c], std::move(values));
     }
   }
+  // Table/CSV consistency: one column per header cell, rectangular rows.
+  MPHPC_ENSURES(table.num_columns() == header.size());
+  MPHPC_ENSURES(table.num_rows() == records.size());
   return table;
 }
 

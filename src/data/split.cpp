@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/distributions.hpp"
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc::data {

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::data {
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc::data {

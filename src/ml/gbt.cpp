@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/contract.hpp"
 #include "common/distributions.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -419,6 +420,12 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
   for (const auto& ensemble : model.ensembles_) {
     if (ensemble.empty()) throw ParseError("gbt: missing ensemble for an output");
   }
+  // Round-trip invariant: a deserialized model is immediately usable and
+  // re-serializes to an equivalent model (predict needs these to hold).
+  MPHPC_ENSURES(model.fitted());
+  MPHPC_ENSURES(model.base_score_.size() == model.ensembles_.size());
+  MPHPC_ENSURES(model.gain_sum_.size() == model.n_features_ &&
+                model.split_count_.size() == model.n_features_);
   return model;
 }
 

@@ -1,5 +1,7 @@
 #include "ml/knn_regressor.hpp"
 
+#include "common/contract.hpp"
+
 #include <algorithm>
 #include <cmath>
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc::ml {

@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::ml {
 

@@ -1,5 +1,6 @@
 #include "ml/mean_regressor.hpp"
 
+#include "common/contract.hpp"
 #include "common/strings.hpp"
 
 namespace mphpc::ml {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::ml {
 

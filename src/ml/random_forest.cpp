@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc::ml {

@@ -4,9 +4,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/contract.hpp"
+
 namespace mphpc::ml {
 
 void save_text(const std::string& text, const std::string& path) {
+  MPHPC_EXPECTS(!path.empty());
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   out << text;
@@ -14,6 +17,7 @@ void save_text(const std::string& text, const std::string& path) {
 }
 
 std::string load_text(const std::string& path) {
+  MPHPC_EXPECTS(!path.empty());
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
   std::ostringstream ss;

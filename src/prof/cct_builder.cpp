@@ -2,7 +2,7 @@
 
 #include <array>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc::prof {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <map>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::prof {
 

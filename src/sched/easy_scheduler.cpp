@@ -5,7 +5,7 @@
 #include <list>
 #include <map>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::sched {
 
@@ -162,6 +162,9 @@ SimulationResult simulate(const std::vector<Job>& jobs,
   MPHPC_ENSURES(queue.empty());
 
   for (const JobOutcome& o : result.outcomes) {
+    // Job state-machine invariant: queued at t=0 -> started -> completed,
+    // so every outcome runs forward in time on a real machine.
+    MPHPC_ENSURES(o.start_s >= 0.0 && o.end_s > o.start_s);
     result.makespan_s = std::max(result.makespan_s, o.end_s);
     result.avg_wait_s += o.wait_s();
   }

@@ -1,5 +1,7 @@
 #include "sched/machine.hpp"
 
+#include "common/contract.hpp"
+
 namespace mphpc::sched {
 
 std::vector<Machine> default_cluster(const arch::SystemCatalog& catalog) {
@@ -7,6 +9,7 @@ std::vector<Machine> default_cluster(const arch::SystemCatalog& catalog) {
   machines.reserve(arch::kNumSystems);
   for (const arch::SystemId id : arch::kAllSystems) {
     machines.push_back({id, catalog.get(id).nodes});
+    MPHPC_ENSURES(machines.back().total_nodes > 0);
   }
   return machines;
 }

@@ -1,6 +1,6 @@
 #include "sched/workload_gen.hpp"
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc::sched {

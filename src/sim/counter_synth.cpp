@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/distributions.hpp"
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::sim {
 
@@ -51,6 +51,8 @@ CounterValues synthesize_counters(const workload::AppSignature& app, double scal
                                   const workload::RunConfig& rc,
                                   const arch::ArchitectureSpec& sys,
                                   const TimeBreakdown& breakdown, Rng& rng) {
+  MPHPC_EXPECTS(scale > 0.0);
+  MPHPC_EXPECTS(breakdown.total_s() > 0.0);
   const Device device = counter_device(rc);
   CounterValues v{};
 
@@ -115,6 +117,9 @@ CounterValues synthesize_counters(const workload::AppSignature& app, double scal
   // Measurement jitter, one independent draw per counter.
   const double sigma = counter_noise_sigma(sys.id, device);
   for (double& value : v) value = jittered(rng, value, sigma, rc.ranks);
+  // Counter-vector invariant: one finite, non-negative value per counter
+  // kind — downstream feature extraction indexes the full kNumCounterKinds.
+  for (const double value : v) MPHPC_ENSURES(std::isfinite(value) && value >= 0.0);
   return v;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::sim {
 

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "common/distributions.hpp"
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::sim {
 

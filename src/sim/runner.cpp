@@ -1,6 +1,6 @@
 #include "sim/runner.hpp"
 
-#include "common/error.hpp"
+#include "common/contract.hpp"
 
 namespace mphpc::sim {
 
@@ -55,6 +55,10 @@ std::vector<RunProfile> run_campaign(const workload::AppCatalog& apps,
   } else {
     for (std::size_t i = 0; i < items.size(); ++i) process(i);
   }
+  // Campaign invariant: every (app, input, system, scale) slot was filled
+  // with a positive observed runtime.
+  MPHPC_ENSURES(all.size() == items.size() * per_item);
+  for (const RunProfile& p : all) MPHPC_ENSURES(p.time_s > 0.0);
   return all;
 }
 

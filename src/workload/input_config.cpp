@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "common/distributions.hpp"
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/rng.hpp"
 
 namespace mphpc::workload {

@@ -7,7 +7,7 @@
 #include <set>
 
 #include "common/distributions.hpp"
-#include "common/error.hpp"
+#include "common/contract.hpp"
 #include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"

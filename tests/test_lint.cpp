@@ -1,0 +1,250 @@
+// Tests for tools/mphpc_lint.cpp: fixture files with known violations
+// must produce exactly the expected rule hits, suppressions must silence
+// them, and the shipped source tree must lint clean.
+//
+// The lint binary path and the repo root come in via compile definitions
+// (MPHPC_LINT_BIN, MPHPC_SOURCE_ROOT) set in tests/CMakeLists.txt.
+// Fixtures are generated at runtime under the test temp directory — they
+// are never part of the repository, so the real-tree lint pass (the
+// `lint.mphpc` ctest) cannot trip over them.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+
+  [[nodiscard]] int count(const std::string& needle) const {
+    int n = 0;
+    std::size_t pos = 0;
+    while ((pos = output.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  }
+};
+
+/// Runs `mphpc_lint <root> <extra_args>` and captures stdout+stderr.
+LintResult run_lint(const fs::path& root, const std::string& extra_args = "") {
+  const fs::path out_path = root / "lint_output.txt";
+  const std::string cmd = std::string(MPHPC_LINT_BIN) + " " + extra_args + " \"" +
+                          root.string() + "\" > \"" + out_path.string() +
+                          "\" 2>&1";
+  const int status = std::system(cmd.c_str());
+  LintResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  result.output = ss.str();
+  return result;
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  fs::path root_;
+
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) / "mphpc_lint_fixtures" /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src");
+    fs::create_directories(root_ / "tools");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) const {
+    std::ofstream out(root_ / rel);
+    out << content;
+  }
+};
+
+TEST_F(LintTest, CleanFixtureExitsZero) {
+  write("src/clean.hpp",
+        "#pragma once\n"
+        "namespace demo {\n"
+        "inline double twice(double v) { return 2.0 * v; }\n"
+        "}  // namespace demo\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.count("violation"), 1);  // the "0 violation(s)" summary line
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, FlagsBannedNondeterminism) {
+  write("src/bad_rng.cpp",
+        "#include <cstdlib>\n"
+        "#include <random>\n"
+        "int noisy() {\n"
+        "  std::random_device rd;\n"
+        "  srand(42);\n"
+        "  return rand() + static_cast<int>(rd());\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[nondeterminism]"), 3) << r.output;
+  EXPECT_NE(r.output.find("bad_rng.cpp:4:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad_rng.cpp:5:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("bad_rng.cpp:6:"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, FlagsUnorderedIteration) {
+  write("src/bad_iter.cpp",
+        "#include <string>\n"
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "std::vector<std::string> keys(\n"
+        "    const std::unordered_map<std::string, int>& index) {\n"
+        "  std::vector<std::string> out;\n"
+        "  for (const auto& entry : index) out.push_back(entry.first);\n"
+        "  return out;\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[unordered-iteration]"), 1) << r.output;
+  EXPECT_NE(r.output.find("bad_iter.cpp:7:"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, FlagsIoInLibraryButNotInTools) {
+  const std::string io_code =
+      "#include <cstdio>\n"
+      "#include <iostream>\n"
+      "void report(int n) {\n"
+      "  std::cout << n;\n"
+      "  printf(\"%d\", n);\n"
+      "}\n";
+  write("src/bad_io.cpp", io_code);
+  write("tools/cli_io.cpp", io_code);  // tools/ owns process output
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[io-in-lib]"), 2) << r.output;
+  EXPECT_EQ(r.count("cli_io.cpp"), 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsRawNewAndDelete) {
+  write("src/bad_own.cpp",
+        "struct Blob { int v = 0; };\n"
+        "int leaky() {\n"
+        "  Blob* b = new Blob;\n"
+        "  const int v = b->v;\n"
+        "  delete b;\n"
+        "  return v;\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[raw-new]"), 2) << r.output;
+}
+
+TEST_F(LintTest, DeletedFunctionsAreNotRawDelete) {
+  write("src/fine.hpp",
+        "#pragma once\n"
+        "class NoCopy {\n"
+        " public:\n"
+        "  NoCopy(const NoCopy&) = delete;\n"
+        "  NoCopy& operator=(const NoCopy&) = delete;\n"
+        "};\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsMissingPragmaOnce) {
+  write("src/guardless.hpp", "namespace demo { inline int one() { return 1; } }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[pragma-once]"), 1) << r.output;
+}
+
+TEST_F(LintTest, FlagsFloat) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[no-float]"), 1) << r.output;  // one line, one report
+}
+
+TEST_F(LintTest, FlagsOversizedFunction) {
+  std::string body = "int big() {\n  int acc = 0;\n";
+  for (int i = 0; i < 40; ++i) body += "  acc += " + std::to_string(i) + ";\n";
+  body += "  return acc;\n}\n";
+  write("src/big_fn.cpp", body);
+  const LintResult strict = run_lint(root_, "--max-function-lines=20");
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_EQ(strict.count("[function-size]"), 1) << strict.output;
+  const LintResult lax = run_lint(root_, "--max-function-lines=100");
+  EXPECT_EQ(lax.exit_code, 0) << lax.output;
+}
+
+TEST_F(LintTest, CommentsAndStringsDoNotTrip) {
+  write("src/quoted.cpp",
+        "#include <string>\n"
+        "// rand() in a comment is fine, as is float and new\n"
+        "/* std::cout << delete */\n"
+        "std::string doc() { return \"call rand() and printf() on a float\"; }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, LineSuppressionSilencesOneRule) {
+  write("src/suppressed.cpp",
+        "#include <cstdlib>\n"
+        "int seeded() {\n"
+        "  return rand();  // lint:allow nondeterminism -- fixture exception\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FileSuppressionSilencesWholeFile) {
+  write("src/legacy.cpp",
+        "// lint:allow-file raw-new,no-float\n"
+        "float* make() { return new float(0.0f); }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, SuppressionOfOneRuleKeepsOthers) {
+  write("src/partial.cpp",
+        "#include <cstdlib>\n"
+        "// lint:allow-file nondeterminism\n"
+        "int chaos() { return rand() + static_cast<int>(3.5f); }\n"
+        "float narrow() { return 1.0f; }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[nondeterminism]"), 0) << r.output;
+  EXPECT_EQ(r.count("[no-float]"), 1) << r.output;
+}
+
+TEST_F(LintTest, ListRulesEnumeratesAll) {
+  const fs::path out_path = root_ / "rules.txt";
+  const std::string cmd = std::string(MPHPC_LINT_BIN) + " --list-rules > \"" +
+                          out_path.string() + "\"";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::ifstream in(out_path);
+  std::vector<std::string> rules;
+  std::string line;
+  while (std::getline(in, line)) rules.push_back(line);
+  const std::vector<std::string> expected = {
+      "nondeterminism", "unordered-iteration", "io-in-lib", "raw-new",
+      "pragma-once",    "no-float",            "function-size"};
+  EXPECT_EQ(rules, expected);
+}
+
+TEST_F(LintTest, RealTreeLintsClean) {
+  const LintResult r = run_lint(fs::path(MPHPC_SOURCE_ROOT));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -247,7 +247,9 @@ TEST(DecisionTree, RespectsMinSamplesLeaf) {
     count[i]++;
   }
   for (std::size_t i = 0; i < count.size(); ++i) {
-    if (tree.nodes()[i].is_leaf()) EXPECT_GE(count[i], 10);
+    if (tree.nodes()[i].is_leaf()) {
+      EXPECT_GE(count[i], 10);
+    }
   }
 }
 

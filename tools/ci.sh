@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-command pre-PR gate for mphpc: builds and tests every correctness
+# lane. Run from anywhere inside the repo:
+#
+#   tools/ci.sh            # dev lane + asan/ubsan lane + lint
+#   tools/ci.sh --with-tsan   # additionally run the ThreadSanitizer lane
+#   tools/ci.sh --fast        # dev lane only (tier-1 verify + lint)
+#
+# Lanes (CMake presets, see CMakePresets.json):
+#   dev    RelWithDebInfo, -Werror, contracts throw  -> full ctest (tier 1)
+#   asan   AddressSanitizer + UndefinedBehaviorSanitizer -> full ctest
+#   tsan   ThreadSanitizer (opt-in: slow)            -> full ctest
+# The lint pass (`ctest -R lint.mphpc`) runs inside every lane's suite;
+# the dev lane is the canonical one.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+with_tsan=0
+fast=0
+for arg in "$@"; do
+  case "${arg}" in
+    --with-tsan) with_tsan=1 ;;
+    --fast) fast=1 ;;
+    *)
+      echo "usage: tools/ci.sh [--with-tsan] [--fast]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run_lane() {
+  local preset="$1"
+  echo "==== [${preset}] configure + build + test ===="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+run_lane dev
+if [[ "${fast}" -eq 0 ]]; then
+  run_lane asan
+  if [[ "${with_tsan}" -eq 1 ]]; then
+    run_lane tsan
+  fi
+fi
+
+echo "==== ci.sh: all requested lanes passed ===="

@@ -1,0 +1,530 @@
+// mphpc-lint: repo-specific static analysis for the mphpc tree.
+//
+// Enforces the project's correctness conventions (DESIGN.md "Correctness
+// toolchain") without libclang: files are tokenized just enough to strip
+// comments and string/char literals, then scanned line-by-line by each
+// rule. Registered as the `lint.mphpc` ctest, so `ctest` fails when a
+// banned pattern is introduced.
+//
+// Rules (ids are what the suppression syntax refers to):
+//   nondeterminism      rand()/srand()/std::random_device outside
+//                       common/rng.hpp — all randomness must flow through
+//                       the seeded mphpc::Rng streams
+//   unordered-iteration range-for over a std::unordered_{map,set} variable
+//                       — iteration order is unspecified and feeds
+//                       nondeterminism into anything order-sensitive
+//   io-in-lib           std::cout/std::cerr/printf in src/ — library code
+//                       reports through return values and exceptions;
+//                       only tools/ and bench/ own process output
+//   raw-new             raw new/delete — ownership is vector/unique_ptr
+//   pragma-once         every header starts with #pragma once
+//   no-float            float where the repo-wide numeric type is double
+//   function-size       function bodies over the line budget
+//
+// Suppressions:
+//   // lint:allow rule1,rule2        suppress on that source line
+//   // lint:allow-file rule1,rule2   suppress for the whole file
+//
+// Usage: mphpc_lint [--max-function-lines=N] [--list-rules] <root>
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kAllRules[] = {
+    "nondeterminism", "unordered-iteration", "io-in-lib", "raw-new",
+    "pragma-once",    "no-float",            "function-size"};
+
+struct Violation {
+  std::string file;  // path relative to the scan root
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileContext {
+  std::string rel_path;             // relative to scan root, '/' separators
+  std::vector<std::string> raw;     // original lines
+  std::vector<std::string> code;    // comments and literals stripped
+  std::set<std::string> file_allow; // rules suppressed file-wide
+  // line number (1-based) -> rules suppressed on that line
+  std::map<std::size_t, std::set<std::string>> line_allow;
+};
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `needle` occurs in `line` as a whole word (no identifier
+/// character on either side).
+bool contains_word(std::string_view line, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Strips //, /* */, "..."/'...' and raw-string literals, preserving line
+/// structure so rule hits report real line numbers. Stripped spans become
+/// spaces (keeps column-ish alignment and word boundaries intact).
+std::vector<std::string> strip_comments_and_literals(
+    const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for raw strings: the ")delim" terminator
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+          } else if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+                     (i == 0 || !is_word_char(line[i - 1]))) {
+            // Raw string literal: R"delim( ... )delim"
+            std::size_t open = line.find('(', i + 2);
+            if (open == std::string::npos) {
+              i = line.size();  // malformed; bail on this line
+            } else {
+              raw_delim = ")" + line.substr(i + 2, open - (i + 2)) + "\"";
+              state = State::kRawString;
+              i = open + 1;
+            }
+          } else if (c == '"') {
+            state = State::kString;
+            ++i;
+          } else if (c == '\'') {
+            state = State::kChar;
+            ++i;
+          } else {
+            code[i] = c;
+            ++i;
+          }
+          break;
+        }
+        case State::kBlockComment: {
+          const std::size_t close = line.find("*/", i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + 2;
+          }
+          break;
+        }
+        case State::kRawString: {
+          const std::size_t close = line.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+        case State::kString:
+        case State::kChar: {
+          const char quote = state == State::kString ? '"' : '\'';
+          if (c == '\\') {
+            i += 2;
+          } else if (c == quote) {
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated ordinary string/char at end of line: treat as closed
+    // (the compiler would reject it anyway; multiline continuation via
+    // backslash is not used in this tree).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+std::vector<std::string> split_rule_list(std::string_view s) {
+  std::vector<std::string> rules;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!cur.empty()) rules.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) rules.push_back(std::move(cur));
+  return rules;
+}
+
+/// Parses `// lint:allow ...` and `// lint:allow-file ...` markers from
+/// the raw lines (they live in comments, which the code view strips).
+void parse_suppressions(FileContext& ctx) {
+  for (std::size_t ln = 0; ln < ctx.raw.size(); ++ln) {
+    const std::string& line = ctx.raw[ln];
+    const std::size_t file_pos = line.find("lint:allow-file");
+    if (file_pos != std::string::npos) {
+      for (auto& r : split_rule_list(
+               std::string_view(line).substr(file_pos + 15))) {
+        ctx.file_allow.insert(std::move(r));
+      }
+      continue;
+    }
+    const std::size_t pos = line.find("lint:allow");
+    if (pos != std::string::npos) {
+      for (auto& r :
+           split_rule_list(std::string_view(line).substr(pos + 10))) {
+        ctx.line_allow[ln + 1].insert(std::move(r));
+      }
+    }
+  }
+}
+
+bool suppressed(const FileContext& ctx, const std::string& rule,
+                std::size_t line) {
+  if (ctx.file_allow.count(rule) > 0) return true;
+  const auto it = ctx.line_allow.find(line);
+  return it != ctx.line_allow.end() && it->second.count(rule) > 0;
+}
+
+void report(std::vector<Violation>& out, const FileContext& ctx,
+            std::size_t line, const char* rule, std::string message) {
+  if (!suppressed(ctx, rule, line)) {
+    out.push_back({ctx.rel_path, line, rule, std::move(message)});
+  }
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool in_dir(const FileContext& ctx, std::string_view dir) {
+  return starts_with(ctx.rel_path, std::string(dir) + "/");
+}
+
+// ---------------------------------------------------------------- rules
+
+void rule_nondeterminism(const FileContext& ctx, std::vector<Violation>& out) {
+  // The seeded-Rng header is the one place allowed to talk about raw
+  // entropy sources (it documents why it does not use them).
+  if (ctx.rel_path.size() >= 14 &&
+      ctx.rel_path.compare(ctx.rel_path.size() - 14, 14, "common/rng.hpp") == 0) {
+    return;
+  }
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    const std::string& line = ctx.code[ln];
+    if (contains_word(line, "rand") || contains_word(line, "srand")) {
+      report(out, ctx, ln + 1, "nondeterminism",
+             "rand()/srand() is banned; use mphpc::Rng with a derived seed");
+    }
+    if (line.find("random_device") != std::string::npos) {
+      report(out, ctx, ln + 1, "nondeterminism",
+             "std::random_device is banned outside common/rng.hpp; "
+             "experiments must be bit-reproducible");
+    }
+  }
+}
+
+void rule_unordered_iteration(const FileContext& ctx,
+                              std::vector<Violation>& out) {
+  // Pass 1: names of variables/members declared with an unordered
+  // container type in this file.
+  std::set<std::string> unordered_names;
+  for (const std::string& line : ctx.code) {
+    for (const char* kind : {"unordered_map", "unordered_set"}) {
+      std::size_t pos = line.find(kind);
+      while (pos != std::string::npos) {
+        // Skip the template argument list by matching angle brackets.
+        std::size_t i = pos + std::string_view(kind).size();
+        if (i < line.size() && line[i] == '<') {
+          int depth = 0;
+          for (; i < line.size(); ++i) {
+            if (line[i] == '<') ++depth;
+            if (line[i] == '>' && --depth == 0) {
+              ++i;
+              break;
+            }
+          }
+          while (i < line.size() &&
+                 (line[i] == ' ' || line[i] == '&' || line[i] == '*')) {
+            ++i;
+          }
+          std::string name;
+          while (i < line.size() && is_word_char(line[i])) name += line[i++];
+          if (!name.empty()) unordered_names.insert(std::move(name));
+        }
+        pos = line.find(kind, pos + 1);
+      }
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for statements whose range expression is such a name.
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    const std::string& line = ctx.code[ln];
+    const std::size_t for_pos = line.find("for ");
+    const std::size_t colon = line.find(" : ");
+    if (for_pos == std::string::npos || colon == std::string::npos) continue;
+    std::size_t i = colon + 3;
+    std::string name;
+    while (i < line.size() && is_word_char(line[i])) name += line[i++];
+    if (unordered_names.count(name) > 0) {
+      report(out, ctx, ln + 1, "unordered-iteration",
+             "range-for over unordered container '" + name +
+                 "' has unspecified order; iterate a sorted copy or an "
+                 "ordered container when the result feeds output");
+    }
+  }
+}
+
+void rule_io_in_lib(const FileContext& ctx, std::vector<Violation>& out) {
+  if (!in_dir(ctx, "src")) return;  // tools/, bench/, tests/ own their output
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    const std::string& line = ctx.code[ln];
+    if (line.find("std::cout") != std::string::npos ||
+        line.find("std::cerr") != std::string::npos) {
+      report(out, ctx, ln + 1, "io-in-lib",
+             "std::cout/std::cerr in library code; take a std::ostream& or "
+             "return data to the caller");
+    }
+    if (contains_word(line, "printf") || contains_word(line, "puts")) {
+      report(out, ctx, ln + 1, "io-in-lib",
+             "printf-family I/O in library code; format with "
+             "common/strings.hpp helpers instead");
+    }
+  }
+}
+
+void rule_raw_new(const FileContext& ctx, std::vector<Violation>& out) {
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    const std::string& line = ctx.code[ln];
+    if (contains_word(line, "new")) {
+      report(out, ctx, ln + 1, "raw-new",
+             "raw 'new' is banned; use containers, std::make_unique, or "
+             "value semantics");
+    }
+    if (contains_word(line, "delete")) {
+      // "= delete" declarations are idiomatic and allowed.
+      const std::size_t pos = line.find("delete");
+      std::size_t j = pos;
+      while (j > 0 && line[j - 1] == ' ') --j;
+      if (j > 0 && line[j - 1] == '=') continue;
+      report(out, ctx, ln + 1, "raw-new",
+             "raw 'delete' is banned; ownership must be RAII-managed");
+    }
+  }
+}
+
+void rule_pragma_once(const FileContext& ctx, std::vector<Violation>& out) {
+  if (ctx.rel_path.size() < 4 ||
+      ctx.rel_path.compare(ctx.rel_path.size() - 4, 4, ".hpp") != 0) {
+    return;
+  }
+  for (const std::string& line : ctx.raw) {
+    if (line.find("#pragma once") != std::string::npos) return;
+  }
+  report(out, ctx, 1, "pragma-once", "header is missing #pragma once");
+}
+
+void rule_no_float(const FileContext& ctx, std::vector<Violation>& out) {
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    if (contains_word(ctx.code[ln], "float")) {
+      report(out, ctx, ln + 1, "no-float",
+             "'float' is banned; the repo-wide numeric type is double "
+             "(counter values span 12 orders of magnitude)");
+    }
+  }
+}
+
+/// Function-size heuristic: a '{' whose statement "head" (text since the
+/// previous ';', '{' or '}') looks like a function signature opens a
+/// body; the body's line span is checked against the budget. Control
+/// statements, aggregates ('=') and type definitions are excluded.
+void rule_function_size(const FileContext& ctx, std::size_t budget,
+                        std::vector<Violation>& out) {
+  static const char* kNotAFunction[] = {"if",     "for",   "while", "switch",
+                                        "catch",  "class", "struct", "enum",
+                                        "union",  "namespace", "do", "else",
+                                        "return"};
+  struct Open {
+    bool is_function = false;
+    std::size_t start_line = 0;
+    std::string head;
+  };
+  std::vector<Open> stack;
+  std::string head;
+
+  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
+    for (const char c : ctx.code[ln]) {
+      if (c == '{') {
+        Open open;
+        open.start_line = ln + 1;
+        open.head = head;
+        const bool has_call_syntax =
+            head.find('(') != std::string::npos &&
+            head.find(')') != std::string::npos;
+        bool keyword = head.find('=') != std::string::npos;
+        for (const char* kw : kNotAFunction) {
+          // Match the keyword as the first word or after whitespace.
+          const std::size_t pos = head.find(kw);
+          if (pos != std::string::npos && contains_word(head, kw)) {
+            keyword = true;
+            break;
+          }
+        }
+        open.is_function = has_call_syntax && !keyword;
+        stack.push_back(std::move(open));
+        head.clear();
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          const Open open = stack.back();
+          stack.pop_back();
+          if (open.is_function) {
+            const std::size_t body_lines = ln + 1 - open.start_line + 1;
+            if (body_lines > budget) {
+              report(out, ctx, open.start_line, "function-size",
+                     "function body spans " + std::to_string(body_lines) +
+                         " lines (budget " + std::to_string(budget) +
+                         "); extract helpers");
+            }
+          }
+        }
+        head.clear();
+      } else if (c == ';') {
+        head.clear();
+      } else {
+        head += c;
+      }
+    }
+    head += ' ';  // line break acts as whitespace in the statement head
+  }
+}
+
+// ------------------------------------------------------------- driver
+
+std::vector<fs::path> collect_files(const fs::path& root) {
+  std::vector<fs::path> files;
+  std::vector<fs::path> scan_dirs;
+  for (const char* dir : {"src", "tests", "bench", "tools"}) {
+    if (fs::is_directory(root / dir)) scan_dirs.push_back(root / dir);
+  }
+  if (scan_dirs.empty()) scan_dirs.push_back(root);  // standalone mode
+  for (const fs::path& dir : scan_dirs) {
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool lint_file(const fs::path& root, const fs::path& path,
+               std::size_t function_budget, std::vector<Violation>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mphpc_lint: cannot read " << path.string() << "\n";
+    return false;
+  }
+  FileContext ctx;
+  ctx.rel_path = fs::relative(path, root).generic_string();
+  std::string line;
+  while (std::getline(in, line)) ctx.raw.push_back(line);
+  ctx.code = strip_comments_and_literals(ctx.raw);
+  parse_suppressions(ctx);
+
+  rule_nondeterminism(ctx, out);
+  rule_unordered_iteration(ctx, out);
+  rule_io_in_lib(ctx, out);
+  rule_raw_new(ctx, out);
+  rule_pragma_once(ctx, out);
+  rule_no_float(ctx, out);
+  rule_function_size(ctx, function_budget, out);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t function_budget = 150;
+  fs::path root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const char* rule : kAllRules) std::cout << rule << "\n";
+      return 0;
+    }
+    if (starts_with(arg, "--max-function-lines=")) {
+      function_budget = static_cast<std::size_t>(
+          std::stoul(std::string(arg.substr(21))));
+      continue;
+    }
+    if (starts_with(arg, "--")) {
+      std::cerr << "mphpc_lint: unknown option " << arg << "\n";
+      return 2;
+    }
+    if (!root.empty()) {
+      std::cerr << "mphpc_lint: multiple roots given\n";
+      return 2;
+    }
+    root = fs::path(std::string(arg));
+  }
+  if (root.empty()) {
+    std::cerr << "usage: mphpc_lint [--max-function-lines=N] [--list-rules] "
+                 "<root>\n";
+    return 2;
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "mphpc_lint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+
+  const std::vector<fs::path> files = collect_files(root);
+  std::vector<Violation> violations;
+  bool io_ok = true;
+  for (const fs::path& f : files) {
+    io_ok = lint_file(root, f, function_budget, violations) && io_ok;
+  }
+
+  for (const Violation& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "mphpc_lint: " << violations.size() << " violation(s) in "
+            << files.size() << " file(s) scanned\n";
+  if (!io_ok) return 2;
+  return violations.empty() ? 0 : 1;
+}
