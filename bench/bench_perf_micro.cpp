@@ -4,6 +4,7 @@
 
 #include "arch/system_catalog.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/dataset.hpp"
 #include "core/predictor.hpp"
 #include "ml/gbt.hpp"
@@ -92,6 +93,49 @@ void BM_GbtFit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
 }
 BENCHMARK(BM_GbtFit)->Arg(20)->Arg(50)->Unit(benchmark::kMillisecond);
+
+// Split-search method comparison on the full counter feature set: the
+// paper-scale fit (200 rounds, default depth/subsampling) is the tracked
+// configuration for the histogram-vs-exact trajectory (BENCH_gbt.json).
+struct MethodFixture {
+  ml::Matrix x;
+  ml::Matrix y;
+
+  static const MethodFixture& get() {
+    static const MethodFixture f = [] {
+      sim::CampaignOptions options;
+      options.inputs_per_app = 24;
+      const auto ds = core::build_dataset(
+          run_campaign(apps(), systems(), options, &ThreadPool::shared()));
+      return MethodFixture{ds.features(), ds.targets()};
+    }();
+    return f;
+  }
+};
+
+void gbt_fit_method(benchmark::State& state, ml::GbtTreeMethod method) {
+  const auto& f = MethodFixture::get();
+  ml::GbtOptions options;
+  options.n_rounds = static_cast<int>(state.range(0));
+  options.tree_method = method;
+  for (auto _ : state) {
+    ml::GbtRegressor model(options);
+    model.fit(f.x, f.y, &ThreadPool::shared());
+    benchmark::DoNotOptimize(model.fitted());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(f.y.cols()));
+}
+
+void BM_GbtFitExact(benchmark::State& state) {
+  gbt_fit_method(state, ml::GbtTreeMethod::kExact);
+}
+BENCHMARK(BM_GbtFitExact)->Arg(20)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_GbtFitHist(benchmark::State& state) {
+  gbt_fit_method(state, ml::GbtTreeMethod::kHist);
+}
+BENCHMARK(BM_GbtFitHist)->Arg(20)->Arg(200)->Unit(benchmark::kMillisecond);
 
 void BM_GbtPredict(benchmark::State& state) {
   const auto& f = FitFixture::get();

@@ -40,6 +40,24 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+bool ThreadPool::try_run_one_task() {
+  std::function<void()> task;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+    ++active_;
+  }
+  task();
+  {
+    const std::lock_guard lock(mutex_);
+    --active_;
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -106,9 +124,21 @@ std::size_t ThreadPool::parallel_chunks(
   const auto [lo0, hi0] = bounds(0);
   body(0, lo0, hi0);
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  return chunks;
+  // Help-drain while waiting: when called from inside a pool task, this
+  // caller's chunks may sit behind occupied workers — blocking here would
+  // deadlock. Running queued tasks (ours or anyone's) guarantees progress;
+  // we only sleep once the queue is empty, at which point every remaining
+  // chunk is already executing on some thread and will signal done_cv.
+  for (;;) {
+    {
+      const std::lock_guard lock(done_mutex);
+      if (remaining == 0) return chunks;
+    }
+    if (try_run_one_task()) continue;
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    return chunks;
+  }
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -47,6 +47,11 @@ class ThreadPool {
   /// of [begin, end) into at most size()+1 chunks. Useful when the caller
   /// wants per-chunk accumulators reduced in fixed order afterwards.
   /// Returns the number of chunks used.
+  ///
+  /// Safe to call from inside a pool task (nested parallelism): while its
+  /// own chunks are outstanding the caller helps drain the shared queue
+  /// instead of blocking, so a worker that issues a nested parallel region
+  /// cannot deadlock behind occupied workers.
   std::size_t parallel_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
@@ -56,6 +61,11 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// Pops and runs one queued task on the calling thread. Returns false if
+  /// the queue was empty. Used by waiting parallel_chunks callers to make
+  /// progress instead of blocking (nested-parallelism deadlock avoidance).
+  bool try_run_one_task();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

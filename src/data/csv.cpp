@@ -31,7 +31,9 @@ void write_cell(std::ostream& out, std::string_view cell) {
 
 /// Splits one CSV record honoring quotes. `line` must be a full record
 /// (we do not support embedded newlines on read; the writer never emits
-/// them for this dataset).
+/// them for this dataset). Per RFC 4180 a quote only has meaning at the
+/// start of a cell; a stray `"` inside an unquoted cell (`ab"cd`) is kept
+/// as a literal character rather than silently opening a quoted section.
 std::vector<std::string> parse_record(std::string_view line) {
   std::vector<std::string> cells;
   std::string cell;
@@ -49,7 +51,7 @@ std::vector<std::string> parse_record(std::string_view line) {
       } else {
         cell += c;
       }
-    } else if (c == '"') {
+    } else if (c == '"' && cell.empty()) {
       in_quotes = true;
     } else if (c == ',') {
       cells.push_back(std::move(cell));
@@ -125,14 +127,25 @@ Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {
   if (!std::getline(in, line)) throw ParseError("empty CSV input");
   const std::vector<std::string> header = parse_record(line);
 
-  // Gather all records first so we can infer types from the first row.
+  // Gather all records first so column types can be inferred from every
+  // row, not just the first: a text column whose first cell happens to
+  // look numeric (a job id like "123") must still load as text.
   std::vector<std::vector<std::string>> records;
+  std::size_t line_no = 1;  // the header was line 1
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    auto cells = parse_record(line);
+    std::vector<std::string> cells;
+    try {
+      cells = parse_record(line);
+    } catch (const ParseError& e) {
+      throw ParseError(std::string(e.what()) + " (CSV line " +
+                       std::to_string(line_no) + ")");
+    }
     if (cells.size() != header.size()) {
-      throw ParseError("CSV row has " + std::to_string(cells.size()) +
-                       " cells, expected " + std::to_string(header.size()));
+      throw ParseError("CSV line " + std::to_string(line_no) + " has " +
+                       std::to_string(cells.size()) + " cells, expected " +
+                       std::to_string(header.size()));
     }
     records.push_back(std::move(cells));
   }
@@ -141,7 +154,11 @@ Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {
     for (const auto& name : text_columns) {
       if (name == header[c]) return true;
     }
-    return !records.empty() && !parses_as_double(records[0][c]);
+    if (records.empty()) return false;
+    for (const auto& rec : records) {
+      if (!parses_as_double(rec[c])) return true;
+    }
+    return false;
   };
 
   Table table;
@@ -154,7 +171,16 @@ Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {
     } else {
       std::vector<double> values;
       values.reserve(records.size());
-      for (const auto& rec : records) values.push_back(parse_double(rec[c]));
+      for (std::size_t r = 0; r < records.size(); ++r) {
+        try {
+          values.push_back(parse_double(records[r][c]));
+        } catch (const ParseError& e) {
+          // Unreachable while inference scans every row; kept so a future
+          // forced-numeric path still reports where the bad cell is.
+          throw ParseError(std::string(e.what()) + " (column '" + header[c] +
+                           "', data row " + std::to_string(r + 1) + ")");
+        }
+      }
       table.add_numeric_column(header[c], std::move(values));
     }
   }

@@ -4,10 +4,13 @@
 #include <cmath>
 #include <numeric>
 
+#include <optional>
+
 #include "common/contract.hpp"
 #include "common/distributions.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "ml/binning.hpp"
 
 namespace mphpc::ml {
 
@@ -27,14 +30,24 @@ struct SplitCandidate {
   double gain = 0.0;
   double threshold = 0.0;
   int feature = -1;
+  int bin = -1;  ///< kHist: last bin going left (codes <= bin)
 };
 
-/// Per-fit shared context: global feature pre-sort and scratch arrays.
+/// Per-fit shared context: the method-specific view of X (global feature
+/// pre-sort for kExact, quantile bin codes for kHist) plus the pool used
+/// for in-tree per-feature parallelism.
 struct BuildContext {
   const Matrix& x;
-  std::vector<std::vector<std::uint32_t>> sorted;  ///< [feature] row order
+  std::vector<std::vector<std::uint32_t>> sorted;  ///< kExact: [feature] order
+  std::optional<BinnedMatrix> binned;              ///< kHist: uint8 codes
+  ThreadPool* pool = nullptr;
 
-  explicit BuildContext(const Matrix& matrix) : x(matrix) {
+  BuildContext(const Matrix& matrix, const GbtOptions& opt, ThreadPool* p)
+      : x(matrix), pool(p) {
+    if (opt.tree_method == GbtTreeMethod::kHist) {
+      binned.emplace(BinnedMatrix::build(x, opt.max_bins, pool));
+      return;
+    }
     const std::size_t n = x.rows();
     sorted.resize(x.cols());
     for (std::size_t f = 0; f < x.cols(); ++f) {
@@ -49,9 +62,28 @@ struct BuildContext {
   }
 };
 
-/// Builds one boosted tree on the in-sample rows with gradients g and
-/// hessians h, accumulating split gains into `gain_sum`/`split_count`.
-GbtTree build_tree(const BuildContext& ctx, const GbtOptions& opt,
+/// Runs fn(f) for every active feature, distributing whole features over
+/// the pool. Each feature's work is self-contained and internally serial,
+/// so the result does not depend on the chunking or the thread count.
+void for_each_active_feature(const BuildContext& ctx,
+                             std::span<const std::uint8_t> in_cols,
+                             const std::function<void(std::size_t)>& fn) {
+  const std::size_t n_feat = ctx.x.cols();
+  if (ctx.pool != nullptr && n_feat > 1) {
+    ctx.pool->parallel_for(0, n_feat, [&](std::size_t f) {
+      if (in_cols[f]) fn(f);
+    });
+    return;
+  }
+  for (std::size_t f = 0; f < n_feat; ++f) {
+    if (in_cols[f]) fn(f);
+  }
+}
+
+/// Builds one boosted tree with exact-greedy splits on the in-sample rows
+/// with gradients g and hessians h, accumulating split gains into
+/// `gain_sum`/`split_count`. Reference implementation for kHist.
+GbtTree build_tree_exact(const BuildContext& ctx, const GbtOptions& opt,
                    std::span<const double> g, std::span<const double> h,
                    std::span<const std::uint8_t> in_sample,
                    std::span<const std::uint8_t> in_cols,
@@ -190,6 +222,290 @@ GbtTree build_tree(const BuildContext& ctx, const GbtOptions& opt,
   return tree;
 }
 
+// ---------------------------------------------------------------- kHist ----
+
+/// Per-node histogram: interleaved (G, H) per (feature, bin), laid out
+/// raggedly — feature f's slice starts at 2 * offsets[f] and holds its
+/// actual bin count, so near-constant features (one-hots, flags) cost a
+/// few cells instead of a full max_bins stride.
+using Histogram = std::vector<double>;
+
+/// Per-fit ragged layout: offsets[f] is the cell index (in (G,H) pairs) of
+/// feature f's first bin; offsets[n_feat] is the total cell count.
+std::vector<std::size_t> histogram_offsets(const BinnedMatrix& bm) {
+  std::vector<std::size_t> offsets(bm.features() + 1, 0);
+  for (std::size_t f = 0; f < bm.features(); ++f) {
+    offsets[f + 1] = offsets[f] + static_cast<std::size_t>(bm.bins(f).n_bins());
+  }
+  return offsets;
+}
+
+/// Accumulates rows `node_rows` of one feature into its histogram slice.
+void accumulate_feature(const std::uint8_t* codes, double* slice,
+                        std::span<const std::uint32_t> node_rows,
+                        std::span<const double> g, std::span<const double> h) {
+  for (const std::uint32_t r : node_rows) {
+    const auto b = static_cast<std::size_t>(codes[r]);
+    slice[2 * b] += g[r];
+    slice[2 * b + 1] += h[r];
+  }
+}
+
+/// Sweeps the bin boundaries of feature f in `hist` and records the best
+/// split for a node with totals (sum_g, sum_h). The cumulative left sums
+/// accumulate in ascending bin order, so re-summing bins [0, best.bin]
+/// later reproduces the winning child sums bit-for-bit.
+void best_bin_split(const BinnedMatrix& bm, std::size_t f,
+                    std::span<const std::size_t> offsets, const Histogram& hist,
+                    double sum_g, double sum_h, const GbtOptions& opt,
+                    SplitCandidate& best) {
+  const FeatureBins& fb = bm.bins(f);
+  const int nb = fb.n_bins();
+  const double* slice = hist.data() + 2 * offsets[f];
+  const double parent_score = sum_g * sum_g / (sum_h + opt.lambda);
+  double gl = 0.0;
+  double hl = 0.0;
+  for (int b = 0; b + 1 < nb; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    gl += slice[2 * bi];
+    hl += slice[2 * bi + 1];
+    if (hl < opt.min_child_weight) continue;
+    const double hr = sum_h - hl;
+    if (hr < opt.min_child_weight) break;  // hl only grows, hr only shrinks
+    const double gr = sum_g - gl;
+    const double gain = 0.5 * (gl * gl / (hl + opt.lambda) +
+                               gr * gr / (hr + opt.lambda) - parent_score) -
+                        opt.gamma;
+    if (gain > best.gain) {
+      best = {gain, fb.thresholds[bi], static_cast<int>(f), b};
+    }
+  }
+}
+
+/// One split pair during histogram construction: the smaller child gets a
+/// fresh accumulated histogram, the larger one is derived by subtracting
+/// it from the parent's (which its Histogram slot starts out holding).
+struct SiblingPair {
+  std::size_t parent_dense = 0;  ///< dense index of the parent in its level
+  std::size_t small_dense = 0;   ///< next-level dense index of the small child
+  std::size_t big_dense = 0;
+};
+
+/// Bookkeeping for one tree level: dense node ids and their histograms.
+struct HistLevel {
+  std::vector<std::int32_t> nodes;  ///< tree node id per dense index
+  std::vector<Histogram> hists;     ///< per dense index
+};
+
+/// Level-wise histogram tree builder (kHist). One instance builds one
+/// boosted tree; shared per-tree state lives here so each level step stays
+/// small. In-sample rows are kept in one ascending array, stably
+/// partitioned so that every node owns a contiguous range and row order
+/// inside a node never depends on the split schedule.
+struct HistTreeBuilder {
+  const GbtOptions& opt;
+  const BuildContext& ctx;
+  const BinnedMatrix& bm;
+  std::span<const double> g;
+  std::span<const double> h;
+  std::span<const std::uint8_t> in_cols;
+  std::span<double> gain_sum;
+  std::span<double> split_count;
+  std::vector<std::size_t> offsets;  ///< ragged histogram layout
+  std::size_t cells = 0;
+
+  std::vector<std::uint32_t> rows;     ///< in-sample rows, node-partitioned
+  std::vector<std::uint32_t> scratch;  ///< partition staging buffer
+  GbtTree tree;
+  std::vector<std::size_t> node_begin;  ///< per node id, range into `rows`
+  std::vector<std::size_t> node_end;
+  std::vector<double> node_g;  ///< per node id, gradient/hessian totals
+  std::vector<double> node_h;
+
+  HistTreeBuilder(const BuildContext& context, const GbtOptions& options,
+                  std::span<const double> grad, std::span<const double> hess,
+                  std::span<const std::uint8_t> in_sample,
+                  std::span<const std::uint8_t> cols,
+                  std::span<double> gains, std::span<double> counts)
+      : opt(options), ctx(context), bm(*context.binned), g(grad), h(hess),
+        in_cols(cols), gain_sum(gains), split_count(counts),
+        offsets(histogram_offsets(bm)), cells(2 * offsets.back()) {
+    rows.reserve(ctx.x.rows());
+    for (std::size_t r = 0; r < ctx.x.rows(); ++r) {
+      if (in_sample[r]) rows.push_back(static_cast<std::uint32_t>(r));
+    }
+    scratch.resize(rows.size());
+    tree.nodes.emplace_back();
+    node_begin = {0};
+    node_end = {rows.size()};
+    node_g = {0.0};
+    node_h = {0.0};
+    for (const std::uint32_t r : rows) {
+      node_g[0] += g[r];
+      node_h[0] += h[r];
+    }
+  }
+
+  /// Records feature f's best bin split for tree node nid, provided the
+  /// node has enough hessian mass for two children.
+  void sweep_node(std::size_t f, const Histogram& hist, std::size_t nid,
+                  SplitCandidate& best) const {
+    if (node_h[nid] < 2.0 * opt.min_child_weight) return;
+    best_bin_split(bm, f, offsets, hist, node_g[nid], node_h[nid], opt, best);
+  }
+
+  /// Applies the winning split of dense node d: writes the parent's split,
+  /// appends the two children, stably partitions the parent's row range by
+  /// bin code, and derives child G/H sums (left by re-summing the winning
+  /// histogram prefix — the same additions the sweep performed, so the
+  /// totals match it bit-for-bit — right by subtraction).
+  void apply_split(const HistLevel& level, std::size_t d, const SplitCandidate& w,
+                   HistLevel& next, std::vector<SiblingPair>& pairs) {
+    const auto nid = static_cast<std::size_t>(level.nodes[d]);
+    const auto left_id = static_cast<int>(tree.nodes.size());
+    tree.nodes[nid].feature = w.feature;
+    tree.nodes[nid].threshold = w.threshold;
+    tree.nodes[nid].left = left_id;
+    tree.nodes[nid].right = left_id + 1;
+    tree.nodes.emplace_back();
+    tree.nodes.emplace_back();
+
+    const std::uint8_t* codes = bm.codes(static_cast<std::size_t>(w.feature));
+    const std::size_t lo = node_begin[nid];
+    const std::size_t hi = node_end[nid];
+    std::size_t out = lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (static_cast<int>(codes[rows[i]]) <= w.bin) scratch[out++] = rows[i];
+    }
+    const std::size_t mid = out;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (static_cast<int>(codes[rows[i]]) > w.bin) scratch[out++] = rows[i];
+    }
+    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+              scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+              rows.begin() + static_cast<std::ptrdiff_t>(lo));
+
+    const double* slice = level.hists[d].data() +
+                          2 * offsets[static_cast<std::size_t>(w.feature)];
+    double gl = 0.0;
+    double hl = 0.0;
+    for (int b = 0; b <= w.bin; ++b) {
+      gl += slice[2 * static_cast<std::size_t>(b)];
+      hl += slice[2 * static_cast<std::size_t>(b) + 1];
+    }
+    node_begin.insert(node_begin.end(), {lo, mid});
+    node_end.insert(node_end.end(), {mid, hi});
+    node_g.insert(node_g.end(), {gl, node_g[nid] - gl});
+    node_h.insert(node_h.end(), {hl, node_h[nid] - hl});
+
+    const std::size_t left_dense = next.nodes.size();
+    next.nodes.push_back(left_id);
+    next.nodes.push_back(left_id + 1);
+    const bool left_small = mid - lo <= hi - mid;
+    pairs.push_back(left_small ? SiblingPair{d, left_dense, left_dense + 1}
+                               : SiblingPair{d, left_dense + 1, left_dense});
+    gain_sum[static_cast<std::size_t>(w.feature)] += w.gain;
+    split_count[static_cast<std::size_t>(w.feature)] += 1.0;
+  }
+
+  /// Builds the next level's histograms and, fused into the same pass,
+  /// that level's per-feature split candidates: each pair's smaller child
+  /// is accumulated from its rows, the larger derived by subtracting it
+  /// from the parent's histogram (whose buffer it inherits), and both are
+  /// swept while still cache-hot. Each feature's work is self-contained;
+  /// the candidate reduction happens later in fixed feature order.
+  std::vector<SplitCandidate> make_child_level(
+      HistLevel& level, HistLevel& next, const std::vector<SiblingPair>& pairs) {
+    const std::size_t n_next = next.nodes.size();
+    next.hists.resize(n_next);
+    for (const SiblingPair& pair : pairs) {
+      next.hists[pair.small_dense].assign(cells, 0.0);
+      next.hists[pair.big_dense] = std::move(level.hists[pair.parent_dense]);
+    }
+    std::vector<SplitCandidate> bests(ctx.x.cols() * n_next);
+    for_each_active_feature(ctx, in_cols, [&](std::size_t f) {
+      const std::uint8_t* codes = bm.codes(f);
+      const std::size_t lo_cell = 2 * offsets[f];
+      const std::size_t f_cells = 2 * (offsets[f + 1] - offsets[f]);
+      for (const SiblingPair& pair : pairs) {
+        Histogram& small = next.hists[pair.small_dense];
+        Histogram& big = next.hists[pair.big_dense];
+        const auto small_nid =
+            static_cast<std::size_t>(next.nodes[pair.small_dense]);
+        const std::span<const std::uint32_t> node_rows{
+            rows.data() + node_begin[small_nid],
+            node_end[small_nid] - node_begin[small_nid]};
+        accumulate_feature(codes, small.data() + lo_cell, node_rows, g, h);
+        double* bs = big.data() + lo_cell;
+        const double* ss = small.data() + lo_cell;
+        for (std::size_t i = 0; i < f_cells; ++i) bs[i] -= ss[i];
+        sweep_node(f, small, small_nid, bests[f * n_next + pair.small_dense]);
+        sweep_node(f, big, static_cast<std::size_t>(next.nodes[pair.big_dense]),
+                   bests[f * n_next + pair.big_dense]);
+      }
+    });
+    return bests;
+  }
+
+  GbtTree build() {
+    const std::size_t n_feat = ctx.x.cols();
+    HistLevel level;
+    level.nodes = {0};
+    level.hists.emplace_back(cells, 0.0);
+    std::vector<SplitCandidate> bests(n_feat);
+    for_each_active_feature(ctx, in_cols, [&](std::size_t f) {
+      accumulate_feature(bm.codes(f), level.hists[0].data() + 2 * offsets[f],
+                         rows, g, h);
+      sweep_node(f, level.hists[0], 0, bests[f]);
+    });
+
+    for (int depth = 0; depth < opt.max_depth && !level.nodes.empty(); ++depth) {
+      const std::size_t n_dense = level.nodes.size();
+      // Reduce the carried per-feature candidates in fixed feature order.
+      std::vector<SplitCandidate> winner(n_dense);
+      for (std::size_t f = 0; f < n_feat; ++f) {
+        for (std::size_t d = 0; d < n_dense; ++d) {
+          const SplitCandidate& c = bests[f * n_dense + d];
+          if (c.feature >= 0 && c.gain > winner[d].gain) winner[d] = c;
+        }
+      }
+      HistLevel next;
+      std::vector<SiblingPair> pairs;
+      for (std::size_t d = 0; d < n_dense; ++d) {
+        if (winner[d].feature >= 0 && winner[d].gain > 0.0) {
+          apply_split(level, d, winner[d], next, pairs);
+        }
+      }
+      if (next.nodes.empty()) break;
+      // Children at max depth become leaves; no histograms needed.
+      if (depth + 1 < opt.max_depth) {
+        bests = make_child_level(level, next, pairs);
+      }
+      level = std::move(next);
+    }
+
+    // Leaf weights: w* = -G/(H+lambda), shrunk by the learning rate.
+    for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+      if (!tree.nodes[i].is_leaf()) continue;
+      tree.nodes[i].weight =
+          -node_g[i] / (node_h[i] + opt.lambda) * opt.learning_rate;
+    }
+    return tree;
+  }
+};
+
+/// Builds one boosted tree using per-node gradient histograms over the
+/// pre-binned features (see the header comment in gbt.hpp).
+GbtTree build_tree_hist(const BuildContext& ctx, const GbtOptions& opt,
+                        std::span<const double> g, std::span<const double> h,
+                        std::span<const std::uint8_t> in_sample,
+                        std::span<const std::uint8_t> in_cols,
+                        std::span<double> gain_sum, std::span<double> split_count) {
+  return HistTreeBuilder(ctx, opt, g, h, in_sample, in_cols, gain_sum,
+                         split_count)
+      .build();
+}
+
 /// Gradient/hessian of the objective at residual r = pred - y.
 inline void gradients(GbtObjective objective, double delta, double pred, double y,
                       double& g, double& h) noexcept {
@@ -206,6 +522,35 @@ inline void gradients(GbtObjective objective, double delta, double pred, double 
   h = 1.0 / (s * sq);
 }
 
+/// Structural validation of an untrusted (deserialized) tree. GbtTree::
+/// predict indexes nodes unchecked and follows child links in a loop, so a
+/// corrupt model could otherwise read out of bounds or cycle forever:
+/// every internal node must reference a real feature and strictly-forward
+/// in-range children (forward links make the node graph acyclic), and
+/// leaves must not carry children.
+void validate_tree_topology(const GbtTree& tree, std::size_t n_feat) {
+  const auto n_nodes = static_cast<long long>(tree.nodes.size());
+  for (std::size_t node = 0; node < tree.nodes.size(); ++node) {
+    const GbtNode& gn = tree.nodes[node];
+    const std::string at = "gbt: node " + std::to_string(node);
+    if (gn.is_leaf()) {
+      if (gn.left != -1 || gn.right != -1) {
+        throw ParseError(at + ": leaf has child links");
+      }
+      continue;
+    }
+    if (static_cast<std::size_t>(gn.feature) >= n_feat) {
+      throw ParseError(at + ": feature " + std::to_string(gn.feature) +
+                       " out of range");
+    }
+    const auto self = static_cast<long long>(node);
+    if (gn.left <= self || gn.left >= n_nodes || gn.right <= self ||
+        gn.right >= n_nodes) {
+      throw ParseError(at + ": child links must point forward and in range");
+    }
+  }
+}
+
 }  // namespace
 
 void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
@@ -213,13 +558,15 @@ void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
   MPHPC_EXPECTS(options_.n_rounds >= 1 && options_.max_depth >= 1);
   MPHPC_EXPECTS(options_.subsample > 0.0 && options_.subsample <= 1.0);
   MPHPC_EXPECTS(options_.colsample > 0.0 && options_.colsample <= 1.0);
+  MPHPC_EXPECTS(options_.tree_method == GbtTreeMethod::kExact ||
+                (options_.max_bins >= 2 && options_.max_bins <= BinnedMatrix::kMaxBins));
 
   const std::size_t n = x.rows();
   const std::size_t n_feat = x.cols();
   const std::size_t n_out = y.cols();
   n_features_ = n_feat;
 
-  const BuildContext ctx(x);
+  const BuildContext ctx(x, options_, pool);
 
   ensembles_.assign(n_out, {});
   base_score_.assign(n_out, 0.0);
@@ -277,8 +624,12 @@ void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
         std::fill(in_cols.begin(), in_cols.end(), std::uint8_t{1});
       }
 
-      GbtTree tree = build_tree(ctx, options_, g, h, in_sample, in_cols,
-                                gain_by_output[k], count_by_output[k]);
+      GbtTree tree =
+          options_.tree_method == GbtTreeMethod::kHist
+              ? build_tree_hist(ctx, options_, g, h, in_sample, in_cols,
+                                gain_by_output[k], count_by_output[k])
+              : build_tree_exact(ctx, options_, g, h, in_sample, in_cols,
+                                 gain_by_output[k], count_by_output[k]);
       for (std::size_t r = 0; r < n; ++r) pred[r] += tree.predict(x.row(r));
       ensemble.push_back(std::move(tree));
     }
@@ -334,6 +685,9 @@ std::string GbtRegressor::serialize() const {
   MPHPC_EXPECTS(fitted());
   std::string out = "gbt " + std::to_string(ensembles_.size()) + " " +
                     std::to_string(n_features_) + "\n";
+  out += std::string("method ") +
+         (options_.tree_method == GbtTreeMethod::kHist ? "hist" : "exact") + " " +
+         std::to_string(options_.max_bins) + "\n";
   out += "base";
   for (const double b : base_score_) out += " " + format_double(b);
   out += "\n";
@@ -367,13 +721,36 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
 
   const auto header = split(next_line(), ' ');
   if (header.size() != 3 || header[0] != "gbt") throw ParseError("gbt: bad header");
-  const auto n_out = static_cast<std::size_t>(parse_int(header[1]));
-  const auto n_feat = static_cast<std::size_t>(parse_int(header[2]));
+  const long long n_out_raw = parse_int(header[1]);
+  const long long n_feat_raw = parse_int(header[2]);
+  if (n_out_raw < 1 || n_feat_raw < 1) {
+    throw ParseError("gbt: header output/feature counts must be positive");
+  }
+  const auto n_out = static_cast<std::size_t>(n_out_raw);
+  const auto n_feat = static_cast<std::size_t>(n_feat_raw);
 
   GbtRegressor model;
   model.n_features_ = n_feat;
 
-  const auto base = split(next_line(), ' ');
+  // Optional method line (older serialized models omit it).
+  auto base_or_method = split(next_line(), ' ');
+  if (!base_or_method.empty() && base_or_method[0] == "method") {
+    if (base_or_method.size() != 3) throw ParseError("gbt: bad method line");
+    if (base_or_method[1] == "hist") {
+      model.options_.tree_method = GbtTreeMethod::kHist;
+    } else if (base_or_method[1] == "exact") {
+      model.options_.tree_method = GbtTreeMethod::kExact;
+    } else {
+      throw ParseError("gbt: unknown tree method '" + base_or_method[1] + "'");
+    }
+    const long long bins = parse_int(base_or_method[2]);
+    if (bins < 2 || bins > BinnedMatrix::kMaxBins) {
+      throw ParseError("gbt: max_bins out of range");
+    }
+    model.options_.max_bins = static_cast<int>(bins);
+    base_or_method = split(next_line(), ' ');
+  }
+  const auto& base = base_or_method;
   if (base.size() != n_out + 1 || base[0] != "base") throw ParseError("gbt: bad base");
   for (std::size_t k = 0; k < n_out; ++k) {
     model.base_score_.push_back(parse_double(base[k + 1]));
@@ -399,9 +776,19 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
     if (tree_header.size() != 3 || tree_header[0] != "tree") {
       throw ParseError("gbt: bad tree header");
     }
-    const auto output = static_cast<std::size_t>(parse_int(tree_header[1]));
-    const auto n_nodes = static_cast<std::size_t>(parse_int(tree_header[2]));
-    if (output >= n_out) throw ParseError("gbt: tree output out of range");
+    const long long output_raw = parse_int(tree_header[1]);
+    const long long n_nodes_raw = parse_int(tree_header[2]);
+    if (output_raw < 0 || static_cast<std::size_t>(output_raw) >= n_out) {
+      throw ParseError("gbt: tree output out of range");
+    }
+    // Every node takes one line, so a sane node count cannot exceed the
+    // remaining input (guards reserve() against absurd corrupt headers).
+    if (n_nodes_raw < 1 ||
+        static_cast<std::size_t>(n_nodes_raw) > lines.size() - i) {
+      throw ParseError("gbt: bad tree node count " + std::to_string(n_nodes_raw));
+    }
+    const auto output = static_cast<std::size_t>(output_raw);
+    const auto n_nodes = static_cast<std::size_t>(n_nodes_raw);
     GbtTree tree;
     tree.nodes.reserve(n_nodes);
     for (std::size_t node = 0; node < n_nodes; ++node) {
@@ -415,6 +802,7 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
       gn.weight = parse_double(parts[4]);
       tree.nodes.push_back(gn);
     }
+    validate_tree_topology(tree, n_feat);
     model.ensembles_[output].push_back(std::move(tree));
   }
   for (const auto& ensemble : model.ensembles_) {

@@ -246,6 +246,52 @@ TEST(ThreadPoolStress, ConcurrentCallersShareOnePool) {
   }
 }
 
+// Regression: parallel_chunks used to deadlock when called from a worker
+// thread — the blocked caller waited on done_cv while its chunks sat behind
+// occupied workers. Every outer chunk here issues a nested parallel region
+// on the same (tiny) pool, so without help-draining all workers end up
+// blocked inside inner waits with the inner chunks still queued.
+TEST(ThreadPoolStress, NestedParallelChunksFromWorkers) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 500;
+  for (int round = 0; round < 25; ++round) {
+    std::vector<double> outer(kOuter, 0.0);
+    pool.parallel_for(0, kOuter, [&](std::size_t i) {
+      std::vector<double> partial(pool.size() + 1, 0.0);
+      const std::size_t chunks = pool.parallel_chunks(
+          0, kInner, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+              partial[c] += static_cast<double>(j);
+            }
+          });
+      for (std::size_t c = 0; c < chunks; ++c) outer[i] += partial[c];
+    });
+    for (const double v : outer) {
+      ASSERT_EQ(v, static_cast<double>(kInner * (kInner - 1) / 2));
+    }
+  }
+}
+
+// Two levels of nesting (output loop -> per-tree loop -> per-feature loop is
+// the shape the histogram GBT trainer creates) must also make progress.
+TEST(ThreadPoolStress, DoublyNestedParallelFor) {
+  ThreadPool pool(3);
+  std::vector<long> totals(4, 0);
+  pool.parallel_for(0, totals.size(), [&](std::size_t i) {
+    std::vector<long> mid(4, 0);
+    pool.parallel_for(0, mid.size(), [&](std::size_t m) {
+      std::vector<long> leaf(64, 0);
+      pool.parallel_for(0, leaf.size(), [&](std::size_t j) {
+        leaf[j] = static_cast<long>(j);
+      });
+      mid[m] = std::accumulate(leaf.begin(), leaf.end(), 0L);
+    });
+    totals[i] = std::accumulate(mid.begin(), mid.end(), 0L);
+  });
+  for (const long t : totals) EXPECT_EQ(t, 4L * (64L * 63L / 2L));
+}
+
 TEST(ThreadPoolStress, SubmitWaitIdleChurn) {
   for (int round = 0; round < 50; ++round) {
     ThreadPool pool(3);

@@ -151,14 +151,64 @@ TEST(Csv, ExplicitTextColumnsOverrideInference) {
   EXPECT_EQ(t.text("id")[0], "1");
 }
 
+TEST(Csv, TypeInferenceScansAllRows) {
+  // A text column whose first cell looks numeric (a job id) must still
+  // load as text — first-row-only inference used to throw on "j-17".
+  std::istringstream in("id,value\n123,1.5\nj-17,2.5\n");
+  const Table t = read_csv(in);
+  EXPECT_EQ(t.column_type("id"), ColumnType::kText);
+  EXPECT_EQ(t.text("id"), (std::vector<std::string>{"123", "j-17"}));
+  EXPECT_EQ(t.column_type("value"), ColumnType::kNumeric);
+}
+
+TEST(Csv, StrayQuoteInUnquotedCellIsLiteral) {
+  // RFC 4180: a quote only opens a quoted section at cell start; ab"cd
+  // used to drop the quote and merge cells across the comma.
+  std::istringstream in("s,t\nab\"cd,x\"y\n");
+  const Table t = read_csv(in);
+  EXPECT_EQ(t.text("s")[0], "ab\"cd");
+  EXPECT_EQ(t.text("t")[0], "x\"y");
+}
+
+TEST(Csv, StrayQuoteRoundTrips) {
+  Table t;
+  t.add_text_column("s", {"ab\"cd", "\"quoted\"", "tail\""});
+  std::ostringstream out;
+  write_csv(t, out);
+  std::istringstream in(out.str());
+  const Table r = read_csv(in);
+  EXPECT_EQ(r.text("s"), t.text("s"));
+}
+
 TEST(Csv, MalformedRowThrows) {
   std::istringstream in("a,b\n1\n");
   EXPECT_THROW(read_csv(in), ParseError);
 }
 
+TEST(Csv, MalformedRowReportsLineNumber) {
+  std::istringstream in("a,b\n1,2\n\n3\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    // Line 4 of the input: header, good row, blank line, bad row.
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Csv, UnterminatedQuoteThrows) {
   std::istringstream in("a\n\"unterminated\n");
   EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(Csv, UnterminatedQuoteReportsLineNumber) {
+  std::istringstream in("a\nok\n\"unterminated\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Csv, EmptyInputThrows) {

@@ -422,10 +422,13 @@ TEST(Gbt, DeserializeRejectsGarbage) {
 
 TEST(Gbt, DeterministicAcrossThreadCounts) {
   const Problem p = make_problem(250, 0.4, 21);
-  GbtRegressor serial(small_gbt());
+  // Exact mode; the histogram default has its own 1/2/8-thread test below.
+  GbtOptions options = small_gbt();
+  options.tree_method = GbtTreeMethod::kExact;
+  GbtRegressor serial(options);
   serial.fit(p.x, p.y, nullptr);
   ThreadPool pool(4);
-  GbtRegressor parallel(small_gbt());
+  GbtRegressor parallel(options);
   parallel.fit(p.x, p.y, &pool);
   const Matrix a = serial.predict(p.x);
   const Matrix b = parallel.predict(p.x);
@@ -445,6 +448,205 @@ TEST(Gbt, RejectsInvalidOptions) {
   GbtRegressor model(bad);
   const Problem p = make_problem(50, 0.0, 23);
   EXPECT_THROW(model.fit(p.x, p.y), ContractViolation);
+}
+
+TEST(Gbt, RejectsInvalidMaxBins) {
+  GbtOptions bad = small_gbt();
+  bad.tree_method = GbtTreeMethod::kHist;
+  bad.max_bins = 1;
+  GbtRegressor model(bad);
+  const Problem p = make_problem(50, 0.0, 23);
+  EXPECT_THROW(model.fit(p.x, p.y), ContractViolation);
+}
+
+// --------------------------------------------------- gbt: hist vs exact ----
+
+GbtOptions gbt_with(GbtTreeMethod method) {
+  GbtOptions o = small_gbt();
+  o.tree_method = method;
+  return o;
+}
+
+// Mirrors the counter-dataset regime the histogram method targets: the
+// discontinuous target sits on a low-cardinality feature (lossless to
+// bin), while the smooth targets ride on continuous features where
+// quantile quantization only perturbs thresholds slightly. A step target
+// on a continuous feature is deliberately excluded — a bin-width sliver
+// next to the step takes the full jump as error, which is an inherent
+// histogram-method property, not a parity bug.
+Problem make_binnable_problem(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 3);
+  Matrix y(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x0 = std::floor(rng.uniform() * 40.0) / 40.0;  // 40 levels
+    const double x1 = rng.uniform();
+    x(r, 0) = x0;
+    x(r, 1) = x1;
+    x(r, 2) = rng.uniform();  // irrelevant feature
+    y(r, 0) = 3.0 * x0 - 2.0 * x1 + 1.0 + noise * (rng.uniform() - 0.5);
+    y(r, 1) = (x0 > 0.5 ? 4.0 : 0.0) + noise * (rng.uniform() - 0.5);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(Gbt, HistMatchesExactAccuracy) {
+  const Problem train = make_binnable_problem(600, 0.1, 26);
+  const Problem test = make_binnable_problem(250, 0.1, 27);
+  GbtRegressor exact(gbt_with(GbtTreeMethod::kExact));
+  exact.fit(train.x, train.y);
+  GbtRegressor hist(gbt_with(GbtTreeMethod::kHist));
+  hist.fit(train.x, train.y);
+
+  const Matrix pe = exact.predict(test.x);
+  const Matrix ph = hist.predict(test.x);
+  const double rmse_e = root_mean_squared_error(test.y, pe);
+  const double rmse_h = root_mean_squared_error(test.y, ph);
+  EXPECT_LT(std::abs(rmse_h - rmse_e), 0.02 * rmse_e);
+  const double r2_e = r2_score(test.y, pe);
+  const double r2_h = r2_score(test.y, ph);
+  EXPECT_LT(std::abs(r2_h - r2_e), 0.02 * std::abs(r2_e));
+}
+
+TEST(Gbt, HistSerializeRoundTripsPredictionsAndOptions) {
+  const Problem p = make_problem(300, 0.2, 28);
+  GbtOptions options = gbt_with(GbtTreeMethod::kHist);
+  options.max_bins = 32;
+  GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  const GbtRegressor restored = GbtRegressor::deserialize(model.serialize());
+  EXPECT_EQ(restored.options().tree_method, GbtTreeMethod::kHist);
+  EXPECT_EQ(restored.options().max_bins, 32);
+  const Matrix a = model.predict(p.x);
+  const Matrix b = restored.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flat()[i], b.flat()[i]);
+  }
+}
+
+TEST(Gbt, HistDeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(250, 0.4, 29);
+  const GbtOptions options = gbt_with(GbtTreeMethod::kHist);
+  GbtRegressor serial(options);
+  serial.fit(p.x, p.y, nullptr);
+  const Matrix a = serial.predict(p.x);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    GbtRegressor parallel(options);
+    parallel.fit(p.x, p.y, &pool);
+    const Matrix b = parallel.predict(p.x);
+    for (std::size_t i = 0; i < a.flat().size(); ++i) {
+      EXPECT_EQ(a.flat()[i], b.flat()[i]) << "threads=" << threads;
+    }
+  }
+}
+
+// ----------------------------------------------- gbt: corrupt model text ----
+
+// Minimal well-formed model text (1 output, 2 features, one 3-node tree)
+// whose nodes block the corruption tests below replace.
+std::string model_text(const std::string& tree_block) {
+  return "gbt 1 2\n"
+         "method hist 64\n"
+         "base 0\n"
+         "importance_gain 0 0\n"
+         "importance_count 0 0\n" +
+         tree_block;
+}
+
+const char kGoodTree[] =
+    "tree 0 3\n"
+    "0 0.5 1 2 0\n"
+    "-1 0 -1 -1 0.25\n"
+    "-1 0 -1 -1 -0.25\n";
+
+TEST(Gbt, DeserializeAcceptsMinimalModel) {
+  const GbtRegressor model = GbtRegressor::deserialize(model_text(kGoodTree));
+  EXPECT_TRUE(model.fitted());
+  Matrix x(1, 2);
+  x(0, 0) = 0.0;
+  EXPECT_DOUBLE_EQ(model.predict(x)(0, 0), 0.25);
+}
+
+TEST(Gbt, DeserializeRejectsFeatureOutOfRange) {
+  const std::string bad = model_text(
+      "tree 0 3\n"
+      "7 0.5 1 2 0\n"  // feature 7 but the model has 2 features
+      "-1 0 -1 -1 0.25\n"
+      "-1 0 -1 -1 -0.25\n");
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsBackwardChildLink) {
+  const std::string bad = model_text(
+      "tree 0 3\n"
+      "0 0.5 1 2 0\n"
+      "1 0.5 0 2 0\n"  // left points back at the root: a cycle
+      "-1 0 -1 -1 -0.25\n");
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsChildIndexOutOfRange) {
+  const std::string bad = model_text(
+      "tree 0 3\n"
+      "0 0.5 1 9 0\n"  // right child 9 in a 3-node tree
+      "-1 0 -1 -1 0.25\n"
+      "-1 0 -1 -1 -0.25\n");
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsLeafWithChildren) {
+  const std::string bad = model_text(
+      "tree 0 3\n"
+      "0 0.5 1 2 0\n"
+      "-1 0 1 2 0.25\n"  // leaf (feature -1) carrying child links
+      "-1 0 -1 -1 -0.25\n");
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsBadTreeNodeCount) {
+  // Zero nodes and a count larger than the remaining input both fail
+  // before any allocation happens.
+  EXPECT_THROW(GbtRegressor::deserialize(model_text("tree 0 0\n")), ParseError);
+  EXPECT_THROW(GbtRegressor::deserialize(model_text("tree 0 999999999\n"
+                                                    "-1 0 -1 -1 0\n")),
+               ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsTruncatedNodes) {
+  const std::string bad = model_text(
+      "tree 0 3\n"
+      "0 0.5 1 2 0\n"
+      "-1 0 -1 -1 0.25\n");  // header promises 3 nodes, only 2 present
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+TEST(Gbt, DeserializeRejectsBadMethodLine) {
+  auto with_method = [](const std::string& method_line) {
+    return "gbt 1 2\n" + method_line +
+           "base 0\n"
+           "importance_gain 0 0\n"
+           "importance_count 0 0\n" +
+           std::string(kGoodTree);
+  };
+  EXPECT_THROW(GbtRegressor::deserialize(with_method("method sketchy 64\n")),
+               ParseError);
+  EXPECT_THROW(GbtRegressor::deserialize(with_method("method hist 1\n")),
+               ParseError);
+  EXPECT_THROW(GbtRegressor::deserialize(with_method("method hist 9999\n")),
+               ParseError);
+  // Models serialized before the method line existed still load.
+  const GbtRegressor legacy = GbtRegressor::deserialize(with_method(""));
+  EXPECT_TRUE(legacy.fitted());
+}
+
+TEST(Gbt, DeserializeRejectsTreeForUnknownOutput) {
+  const std::string bad = model_text(
+      "tree 4 3\n"  // output 4 but the model has 1 output
+      "0 0.5 1 2 0\n"
+      "-1 0 -1 -1 0.25\n"
+      "-1 0 -1 -1 -0.25\n");
+  EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
 }
 
 // Parameterized noise sweep: learned models should always beat the mean

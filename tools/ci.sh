@@ -40,6 +40,15 @@ run_lane() {
 }
 
 run_lane dev
+
+# GBT fit smoke: both split-search methods must train end-to-end on the
+# paper-shaped dataset (catches fit regressions that unit-sized problems
+# miss; the tracked timings live in results/BENCH_gbt.json).
+echo "==== [dev] GBT fit smoke (exact + hist) ===="
+./build-dev/bench/bench_perf_micro \
+  --benchmark_filter='BM_GbtFit(Exact|Hist)/20$' \
+  --benchmark_min_time=0.01
+
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   if [[ "${with_tsan}" -eq 1 ]]; then
