@@ -57,4 +57,46 @@ CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
   return predictor;
 }
 
+GuardedPredictor::GuardedPredictor(CrossArchPredictor predictor,
+                                   const RpvGuardOptions& bounds)
+    : predictor_(std::move(predictor)), bounds_(bounds) {
+  MPHPC_EXPECTS(bounds.min_ratio > 0.0 && bounds.min_ratio < bounds.max_ratio);
+  healthy_ = predictor_.trained();
+  if (!healthy_) last_error_ = "predictor is untrained";
+}
+
+GuardedPredictor GuardedPredictor::load(const std::string& path,
+                                        const RpvGuardOptions& bounds) {
+  MPHPC_EXPECTS(bounds.min_ratio > 0.0 && bounds.min_ratio < bounds.max_ratio);
+  try {
+    return GuardedPredictor(CrossArchPredictor::load(path), bounds);
+  } catch (const std::exception& e) {
+    GuardedPredictor degraded;
+    degraded.bounds_ = bounds;
+    degraded.last_error_ = e.what();
+    return degraded;
+  }
+}
+
+Rpv GuardedPredictor::predict(const sim::RunProfile& profile) {
+  if (!healthy_) {
+    ++fallbacks_;
+    return neutral_rpv();
+  }
+  Rpv rpv;
+  try {
+    rpv = predictor_.predict(profile);
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    ++fallbacks_;
+    return neutral_rpv();
+  }
+  if (!plausible(rpv)) {
+    last_error_ = "predicted RPV outside plausibility bounds";
+    ++fallbacks_;
+    return neutral_rpv();
+  }
+  return rpv;
+}
+
 }  // namespace mphpc::core

@@ -52,4 +52,48 @@ class CrossArchPredictor {
   ml::GbtRegressor model_;
 };
 
+/// Degradation wrapper around CrossArchPredictor for use inside long
+/// simulations and services: predict() never throws on model trouble.
+/// Every predicted RPV is validated (finite, positive, within
+/// RpvGuardOptions plausibility bounds); on a violation — or when the
+/// wrapped model is untrained, failed to load, or throws — it returns the
+/// neutral RPV and increments a fallback counter instead of taking the
+/// caller down mid-run.
+class GuardedPredictor {
+ public:
+  /// Degraded from the start: every predict() falls back.
+  GuardedPredictor() = default;
+
+  explicit GuardedPredictor(CrossArchPredictor predictor,
+                            const RpvGuardOptions& bounds = {});
+
+  /// Loads a persisted model; on *any* load failure (missing file,
+  /// truncated or corrupt model text) returns a degraded predictor whose
+  /// last_error() explains why, rather than throwing.
+  [[nodiscard]] static GuardedPredictor load(const std::string& path,
+                                             const RpvGuardOptions& bounds = {});
+
+  /// Predicts the RPV of a profiled run; neutral RPV on any failure.
+  [[nodiscard]] Rpv predict(const sim::RunProfile& profile);
+
+  /// Validates an already-computed RPV against this guard's bounds.
+  [[nodiscard]] bool plausible(const Rpv& rpv) const noexcept {
+    return is_plausible_rpv(rpv, bounds_);
+  }
+
+  /// True when a trained model is available (predictions may still fall
+  /// back individually if they land outside the plausibility bounds).
+  [[nodiscard]] bool healthy() const noexcept { return healthy_; }
+  [[nodiscard]] long long fallback_count() const noexcept { return fallbacks_; }
+  [[nodiscard]] const std::string& last_error() const noexcept { return last_error_; }
+  [[nodiscard]] const RpvGuardOptions& bounds() const noexcept { return bounds_; }
+
+ private:
+  CrossArchPredictor predictor_;
+  RpvGuardOptions bounds_{};
+  bool healthy_ = false;
+  long long fallbacks_ = 0;
+  std::string last_error_;
+};
+
 }  // namespace mphpc::core

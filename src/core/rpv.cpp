@@ -1,6 +1,7 @@
 #include "core/rpv.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/contract.hpp"
 
@@ -54,6 +55,22 @@ std::array<arch::SystemId, arch::kNumSystems> Rpv::order() const {
     out[k] = static_cast<arch::SystemId>(idx[k]);
   }
   return out;
+}
+
+bool is_plausible_rpv(const Rpv& rpv, const RpvGuardOptions& bounds) noexcept {
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+    const double ratio = rpv[k];
+    if (!std::isfinite(ratio) || ratio < bounds.min_ratio || ratio > bounds.max_ratio) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Rpv neutral_rpv() noexcept {
+  std::array<double, arch::kNumSystems> ones{};
+  ones.fill(1.0);
+  return Rpv(ones);
 }
 
 }  // namespace mphpc::core

@@ -71,4 +71,23 @@ class Rpv {
   std::array<double, arch::kNumSystems> ratios_{};
 };
 
+/// Plausibility bounds for predicted RPV entries. Observed cross-system
+/// time ratios in the study span roughly [1/16, 16]; the defaults leave
+/// generous slack while still rejecting wild extrapolations (and, via
+/// min_ratio > 0, non-positive entries).
+struct RpvGuardOptions {
+  double min_ratio = 1e-3;
+  double max_ratio = 1e3;
+};
+
+/// True when every entry of `rpv` is finite, positive, and within
+/// [bounds.min_ratio, bounds.max_ratio]. The gate a predicted RPV must
+/// pass before a scheduler may act on it.
+[[nodiscard]] bool is_plausible_rpv(const Rpv& rpv,
+                                    const RpvGuardOptions& bounds = {}) noexcept;
+
+/// The degraded-mode RPV: all systems tied (ratio 1), so consumers that
+/// sort by it fall back to inventory order instead of acting on garbage.
+[[nodiscard]] Rpv neutral_rpv() noexcept;
+
 }  // namespace mphpc::core

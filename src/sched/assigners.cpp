@@ -74,4 +74,16 @@ arch::SystemId OracleAssigner::assign(const Job& job, std::size_t /*started_inde
   return pick_with_fallback(order, job, view);
 }
 
+arch::SystemId GuardedModelBasedAssigner::assign(const Job& job,
+                                                 std::size_t started_index,
+                                                 const ClusterView& view) {
+  if (!core::is_plausible_rpv(job.predicted, bounds_)) {
+    ++fallbacks_;
+    return fallback_.assign(job, started_index, view);
+  }
+  const auto order =
+      fastest_order([&](arch::SystemId m) { return job.predicted.time_ratio(m); });
+  return pick_with_fallback(order, job, view);
+}
+
 }  // namespace mphpc::sched

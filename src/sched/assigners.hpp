@@ -78,4 +78,30 @@ class OracleAssigner final : public MachineAssigner {
   [[nodiscard]] std::string name() const override { return "Oracle"; }
 };
 
+/// Degraded-mode Algorithm 2: validates each job's predicted RPV before
+/// acting on it (finite, positive, within core::RpvGuardOptions bounds).
+/// Implausible predictions — NaN/inf from a corrupt model, negative or
+/// wildly out-of-range ratios — never reach the placement logic; the job
+/// is placed by the user-preference heuristic instead and a fallback
+/// counter is incremented, so one poisoned prediction cannot crash or
+/// steer a long scheduling run.
+class GuardedModelBasedAssigner final : public MachineAssigner {
+ public:
+  GuardedModelBasedAssigner() = default;
+  explicit GuardedModelBasedAssigner(const core::RpvGuardOptions& bounds) noexcept
+      : bounds_(bounds) {}
+
+  [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
+                                      const ClusterView& view) override;
+  [[nodiscard]] std::string name() const override { return "Model-based (guarded)"; }
+
+  /// Jobs placed by the fallback heuristic instead of the model.
+  [[nodiscard]] long long fallbacks() const noexcept { return fallbacks_; }
+
+ private:
+  core::RpvGuardOptions bounds_{};
+  UserRoundRobinAssigner fallback_;
+  long long fallbacks_ = 0;
+};
+
 }  // namespace mphpc::sched

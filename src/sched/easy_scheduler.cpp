@@ -1,11 +1,15 @@
 #include "sched/easy_scheduler.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <list>
 #include <map>
+#include <queue>
+#include <tuple>
 
 #include "common/contract.hpp"
+#include "common/rng.hpp"
 
 namespace mphpc::sched {
 
@@ -13,28 +17,364 @@ namespace {
 
 constexpr double kNoEvent = std::numeric_limits<double>::infinity();
 
-/// Running-job ledger of one machine, ordered by completion time.
+/// One running attempt in a machine's ledger.
+struct RunningJob {
+  std::size_t job = 0;
+  int nodes = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Running-job ledger of one machine, ordered by completion time, plus
+/// the fault bookkeeping (down nodes and offline node-seconds).
 struct MachineState {
   int total = 0;
   int free = 0;
-  std::multimap<double, int> running;  ///< end time -> nodes
+  int down = 0;
+  double down_last_change = 0.0;
+  double down_node_seconds = 0.0;
+  std::multimap<double, RunningJob> running;  ///< end time -> attempt
 
   /// Earliest time at which `nodes` can be free, and the projected free
-  /// node count at that time.
+  /// node count at that time. With nodes down this can be unreachable
+  /// (kNoEvent) until a repair restores capacity.
   [[nodiscard]] std::pair<double, int> earliest_fit(double now, int nodes) const {
     if (free >= nodes) return {now, free};
     int projected = free;
-    for (const auto& [end, n] : running) {
-      projected += n;
+    for (const auto& [end, rj] : running) {
+      projected += rj.nodes;
       if (projected >= nodes) return {end, projected};
     }
-    // Unreachable when nodes <= total (checked by the caller).
     return {kNoEvent, projected};
   }
 
   [[nodiscard]] double next_completion() const noexcept {
     return running.empty() ? kNoEvent : running.begin()->first;
   }
+
+  /// Accrues offline node-seconds up to `t`; call before `down` changes.
+  void settle_downtime(double t) noexcept {
+    down_node_seconds += (t - down_last_change) * static_cast<double>(down);
+    down_last_change = t;
+  }
+};
+
+/// Where a job's running ledger entry lives, when it is running.
+struct RunningRef {
+  bool active = false;
+  std::size_t machine = 0;
+  std::multimap<double, RunningJob>::iterator where;
+};
+
+/// The event-loop engine behind simulate(). One instance per call; with
+/// FaultTrace::none() the event stream degenerates to job completions and
+/// the loop reproduces the fault-free Algorithm 1 simulation exactly.
+class SimEngine {
+ public:
+  SimEngine(const std::vector<Job>& jobs, const std::vector<Machine>& machines,
+            MachineAssigner& assigner, const FaultTrace& faults,
+            const SchedulerOptions& options)
+      : jobs_(jobs),
+        assigner_(assigner),
+        faults_(faults),
+        depth_limit_(options.backfill_depth == 0 ? std::numeric_limits<int>::max()
+                                                 : options.backfill_depth),
+        view_(machines, free_nodes_) {
+    MPHPC_EXPECTS(!machines.empty());
+    MPHPC_EXPECTS(options.backfill_depth >= 0);
+    MPHPC_EXPECTS(faults.retry.max_attempts >= 1);
+    MPHPC_EXPECTS(faults.kill_probability >= 0.0 && faults.kill_probability <= 1.0);
+    for (const Machine& m : machines) {
+      auto& s = state_[static_cast<std::size_t>(m.id)];
+      s.total = m.total_nodes;
+      s.free = m.total_nodes;
+      free_nodes_[static_cast<std::size_t>(m.id)] = m.total_nodes;
+    }
+    for (const Job& job : jobs_) {
+      for (const Machine& m : machines) {
+        MPHPC_EXPECTS(job.nodes_required <= m.total_nodes);
+      }
+      MPHPC_EXPECTS(job.nodes_required >= 1);
+      MPHPC_EXPECTS(job.submit_s >= 0.0);
+    }
+  }
+
+  [[nodiscard]] SimulationResult run() {
+    result_.outcomes.resize(jobs_.size());
+    attempts_.assign(jobs_.size(), 0);
+    running_ref_.resize(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i].submit_s <= 0.0) {
+        queue_.push_back(i);
+      } else {
+        pending_.emplace(jobs_[i].submit_s, i);
+      }
+    }
+
+    double now = 0.0;
+    schedule_pass(now);
+    while (finalized_ < jobs_.size()) {
+      const double next = next_event_time();
+      // Repairs are paired with failures, so capacity (and thus progress)
+      // always returns; an infinite next event would be an engine bug.
+      MPHPC_ASSERT(next != kNoEvent);
+      now = next;
+      process_completions(now);
+      process_kills(now);
+      process_node_events(now);
+      release_pending(now);
+      schedule_pass(now);
+    }
+    finalize_result();
+    return std::move(result_);
+  }
+
+ private:
+  void start_job(std::size_t job_index, arch::SystemId m, double now) {
+    const Job& job = jobs_[job_index];
+    const auto mi = static_cast<std::size_t>(m);
+    auto& s = state_[mi];
+    const double runtime = job.runtime[mi];
+    MPHPC_EXPECTS(runtime > 0.0 && s.free >= job.nodes_required);
+    s.free -= job.nodes_required;
+    free_nodes_[mi] = s.free;
+    const int attempt = ++attempts_[job_index];
+    const auto it = s.running.emplace(
+        now + runtime, RunningJob{job_index, job.nodes_required, now, now + runtime});
+    running_ref_[job_index] = {true, mi, it};
+    result_.outcomes[job_index] = {m, now, now + runtime, job.submit_s, attempt, false};
+    if (faults_.kill_probability > 0.0) {
+      // Per-attempt draw from its own derived stream, so kill decisions
+      // are independent of scheduling order and machine choice.
+      Rng rng(derive_seed(faults_.seed, "job-kill",
+                          static_cast<std::uint64_t>(job.id),
+                          static_cast<std::uint64_t>(attempt)));
+      if (rng.bernoulli(faults_.kill_probability)) {
+        kills_.emplace(now + rng.uniform() * runtime, job_index, attempt);
+      }
+    }
+    ++started_count_;
+  }
+
+  // One scheduling pass at time `now` (Algorithm 1 body).
+  void schedule_pass(double now) {
+    while (!queue_.empty()) {
+      const std::size_t head = queue_.front();
+      const arch::SystemId m = assigner_.assign(jobs_[head], started_count_, view_);
+      const auto mi = static_cast<std::size_t>(m);
+      if (state_[mi].free >= jobs_[head].nodes_required) {
+        start_job(head, m, now);
+        queue_.pop_front();
+        continue;
+      }
+
+      // Head is blocked: reserve it at the shadow time on its machine.
+      const auto [shadow_time, projected_free] =
+          state_[mi].earliest_fit(now, jobs_[head].nodes_required);
+      // Nodes left over at the shadow time once the head's reservation is
+      // honoured; backfills running past the shadow may consume these.
+      int shadow_spare = projected_free - jobs_[head].nodes_required;
+
+      // Nothing can backfill while no machine has a free node.
+      int max_free = 0;
+      for (const auto& s : state_) max_free = std::max(max_free, s.free);
+      if (max_free == 0) break;
+
+      int scanned = 0;
+      for (auto it = std::next(queue_.begin());
+           it != queue_.end() && scanned < depth_limit_; ++scanned) {
+        const std::size_t cand = *it;
+        const Job& job = jobs_[cand];
+        const arch::SystemId cm = assigner_.assign(job, started_count_, view_);
+        const auto ci = static_cast<std::size_t>(cm);
+        if (state_[ci].free < job.nodes_required) {
+          ++it;
+          continue;
+        }
+        if (cm != m) {
+          start_job(cand, cm, now);
+          it = queue_.erase(it);
+          continue;
+        }
+        // Same machine as the reservation: must not delay the head.
+        const double end = now + job.runtime[ci];
+        if (end <= shadow_time) {
+          start_job(cand, cm, now);
+          it = queue_.erase(it);
+        } else if (shadow_spare >= job.nodes_required) {
+          shadow_spare -= job.nodes_required;
+          start_job(cand, cm, now);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;  // head stays blocked until the next event
+    }
+  }
+
+  [[nodiscard]] double next_event_time() const {
+    double next = kNoEvent;
+    for (const auto& s : state_) next = std::min(next, s.next_completion());
+    if (!kills_.empty()) next = std::min(next, std::get<0>(kills_.top()));
+    if (trace_pos_ < faults_.events.size()) {
+      next = std::min(next, faults_.events[trace_pos_].time_s);
+    }
+    if (!pending_.empty()) next = std::min(next, pending_.top().first);
+    return next;
+  }
+
+  void process_completions(double now) {
+    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
+      auto& s = state_[mi];
+      while (!s.running.empty() && s.running.begin()->first <= now) {
+        const RunningJob rj = s.running.begin()->second;
+        s.free += rj.nodes;
+        s.running.erase(s.running.begin());
+        running_ref_[rj.job].active = false;
+        result_.node_seconds[mi] += (rj.end - rj.start) * static_cast<double>(rj.nodes);
+        ++result_.completed_jobs;
+        ++finalized_;
+      }
+      free_nodes_[mi] = s.free;
+    }
+  }
+
+  /// Kills the running attempt of `job_index` at time `t`, returning its
+  /// nodes to the free pool and either resubmitting the job with backoff
+  /// or abandoning it once the retry budget is spent.
+  void kill_running_job(std::size_t job_index, double t) {
+    RunningRef& ref = running_ref_[job_index];
+    MPHPC_ASSERT(ref.active);
+    auto& s = state_[ref.machine];
+    const RunningJob rj = ref.where->second;
+    result_.lost_node_seconds[ref.machine] +=
+        (t - rj.start) * static_cast<double>(rj.nodes);
+    s.running.erase(ref.where);
+    ref.active = false;
+    s.free += rj.nodes;
+    free_nodes_[ref.machine] = s.free;
+    ++result_.jobs_killed;
+
+    JobOutcome& outcome = result_.outcomes[job_index];
+    outcome.end_s = t;
+    if (attempts_[job_index] >= faults_.retry.max_attempts) {
+      outcome.abandoned = true;
+      ++result_.abandoned_jobs;
+      ++finalized_;
+      return;
+    }
+    Rng rng(derive_seed(faults_.seed, "retry-jitter",
+                        static_cast<std::uint64_t>(jobs_[job_index].id),
+                        static_cast<std::uint64_t>(attempts_[job_index])));
+    const double delay = faults_.retry.delay_s(attempts_[job_index], rng.uniform());
+    pending_.emplace(t + delay, job_index);
+    ++result_.total_retries;
+  }
+
+  void process_kills(double now) {
+    while (!kills_.empty() && std::get<0>(kills_.top()) <= now) {
+      const auto [t, job_index, attempt] = kills_.top();
+      kills_.pop();
+      // Stale entries: the attempt already completed, or was killed first
+      // by a node failure (possibly restarted since).
+      if (!running_ref_[job_index].active || attempts_[job_index] != attempt) continue;
+      kill_running_job(job_index, t);
+    }
+  }
+
+  void process_node_events(double now) {
+    while (trace_pos_ < faults_.events.size() &&
+           faults_.events[trace_pos_].time_s <= now) {
+      const NodeEvent& event = faults_.events[trace_pos_++];
+      const auto mi = static_cast<std::size_t>(event.machine);
+      auto& s = state_[mi];
+      if (event.delta < 0) {
+        if (s.free == 0) {
+          if (s.running.empty()) continue;  // machine already fully down
+          // No idle node to take: the failure lands on an allocated one.
+          // Kill the latest-finishing attempt (it has the least work to
+          // lose per remaining second); its nodes return to the pool.
+          kill_running_job(std::prev(s.running.end())->second.job, event.time_s);
+        }
+        MPHPC_ASSERT(s.free > 0);
+        s.settle_downtime(event.time_s);
+        ++s.down;
+        --s.free;
+      } else {
+        MPHPC_ASSERT(s.down > 0);
+        s.settle_downtime(event.time_s);
+        --s.down;
+        ++s.free;
+      }
+      free_nodes_[mi] = s.free;
+    }
+  }
+
+  void release_pending(double now) {
+    while (!pending_.empty() && pending_.top().first <= now) {
+      // Resubmissions join the back of the FCFS queue: a killed job loses
+      // its queue position, as in production schedulers.
+      queue_.push_back(pending_.top().second);
+      pending_.pop();
+    }
+  }
+
+  void finalize_result() {
+    MPHPC_ENSURES(queue_.empty());
+    std::size_t completed = 0;
+    for (const JobOutcome& o : result_.outcomes) {
+      // Job state-machine invariant: submitted -> started -> finalized, so
+      // every outcome runs forward in time on a real machine (an abandoned
+      // attempt may be killed the instant it starts).
+      MPHPC_ENSURES(o.start_s >= 0.0 &&
+                    (o.abandoned ? o.end_s >= o.start_s : o.end_s > o.start_s));
+      result_.makespan_s = std::max(result_.makespan_s, o.end_s);
+      if (!o.abandoned) {
+        result_.avg_wait_s += o.wait_s();
+        ++completed;
+      }
+    }
+    result_.avg_wait_s /= static_cast<double>(completed == 0 ? 1 : completed);
+    result_.avg_bounded_slowdown = average_bounded_slowdown(result_.outcomes);
+    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
+      auto& s = state_[mi];
+      if (result_.makespan_s > s.down_last_change) {
+        s.settle_downtime(result_.makespan_s);
+      }
+      result_.downtime_node_seconds[mi] = s.down_node_seconds;
+    }
+    MPHPC_ENSURES(result_.completed_jobs + result_.abandoned_jobs == jobs_.size());
+  }
+
+  const std::vector<Job>& jobs_;
+  MachineAssigner& assigner_;
+  const FaultTrace& faults_;
+  const int depth_limit_;
+
+  std::array<MachineState, arch::kNumSystems> state_{};
+  std::array<int, arch::kNumSystems> free_nodes_{};
+  const ClusterView view_;
+
+  std::list<std::size_t> queue_;
+  /// (release time, job) resubmissions and deferred submits, time-ordered;
+  /// ties release in job-index order for determinism.
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>,
+                      std::greater<>>
+      pending_;
+  /// (kill time, job, attempt) pre-drawn random kills; stale entries are
+  /// skipped when the attempt no longer runs.
+  std::priority_queue<std::tuple<double, std::size_t, int>,
+                      std::vector<std::tuple<double, std::size_t, int>>,
+                      std::greater<>>
+      kills_;
+  std::vector<int> attempts_;
+  std::vector<RunningRef> running_ref_;
+  std::size_t trace_pos_ = 0;
+  std::size_t started_count_ = 0;
+  std::size_t finalized_ = 0;
+  SimulationResult result_;
 };
 
 }  // namespace
@@ -42,147 +382,30 @@ struct MachineState {
 SimulationResult simulate(const std::vector<Job>& jobs,
                           const std::vector<Machine>& machines,
                           MachineAssigner& assigner, const SchedulerOptions& options) {
-  MPHPC_EXPECTS(!machines.empty());
-  MPHPC_EXPECTS(options.backfill_depth >= 0);
-  const int depth_limit = options.backfill_depth == 0 ? std::numeric_limits<int>::max()
-                                                      : options.backfill_depth;
+  return simulate(jobs, machines, assigner, FaultTrace::none(), options);
+}
 
-  std::array<MachineState, arch::kNumSystems> state{};
-  std::array<int, arch::kNumSystems> free_nodes{};
-  for (const Machine& m : machines) {
-    auto& s = state[static_cast<std::size_t>(m.id)];
-    s.total = m.total_nodes;
-    s.free = m.total_nodes;
-    free_nodes[static_cast<std::size_t>(m.id)] = m.total_nodes;
-  }
-  for (const Job& job : jobs) {
-    for (const Machine& m : machines) {
-      MPHPC_EXPECTS(job.nodes_required <= m.total_nodes);
-    }
-    MPHPC_EXPECTS(job.nodes_required >= 1);
-  }
-
-  SimulationResult result;
-  result.outcomes.resize(jobs.size());
-
-  std::list<std::size_t> queue;
-  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push_back(i);
-
-  std::size_t started_count = 0;
-  const ClusterView view(machines, free_nodes);
-
-  const auto start_job = [&](std::size_t job_index, arch::SystemId m, double now) {
-    const Job& job = jobs[job_index];
-    auto& s = state[static_cast<std::size_t>(m)];
-    const double runtime = job.runtime[static_cast<std::size_t>(m)];
-    MPHPC_EXPECTS(runtime > 0.0 && s.free >= job.nodes_required);
-    s.free -= job.nodes_required;
-    free_nodes[static_cast<std::size_t>(m)] = s.free;
-    s.running.emplace(now + runtime, job.nodes_required);
-    result.outcomes[job_index] = {m, now, now + runtime};
-    result.node_seconds[static_cast<std::size_t>(m)] +=
-        runtime * static_cast<double>(job.nodes_required);
-    ++started_count;
-  };
-
-  // One scheduling pass at time `now` (Algorithm 1 body).
-  const auto schedule_pass = [&](double now) {
-    while (!queue.empty()) {
-      const std::size_t head = queue.front();
-      const arch::SystemId m = assigner.assign(jobs[head], started_count, view);
-      const auto mi = static_cast<std::size_t>(m);
-      if (state[mi].free >= jobs[head].nodes_required) {
-        start_job(head, m, now);
-        queue.pop_front();
-        continue;
-      }
-
-      // Head is blocked: reserve it at the shadow time on its machine.
-      const auto [shadow_time, projected_free] =
-          state[mi].earliest_fit(now, jobs[head].nodes_required);
-      // Nodes left over at the shadow time once the head's reservation is
-      // honoured; backfills running past the shadow may consume these.
-      int shadow_spare = projected_free - jobs[head].nodes_required;
-
-      // Nothing can backfill while no machine has a free node.
-      int max_free = 0;
-      for (const auto& s : state) max_free = std::max(max_free, s.free);
-      if (max_free == 0) break;
-
-      int scanned = 0;
-      for (auto it = std::next(queue.begin());
-           it != queue.end() && scanned < depth_limit; ++scanned) {
-        const std::size_t cand = *it;
-        const Job& job = jobs[cand];
-        const arch::SystemId cm = assigner.assign(job, started_count, view);
-        const auto ci = static_cast<std::size_t>(cm);
-        if (state[ci].free < job.nodes_required) {
-          ++it;
-          continue;
-        }
-        if (cm != m) {
-          start_job(cand, cm, now);
-          it = queue.erase(it);
-          continue;
-        }
-        // Same machine as the reservation: must not delay the head.
-        const double end = now + job.runtime[ci];
-        if (end <= shadow_time) {
-          start_job(cand, cm, now);
-          it = queue.erase(it);
-        } else if (shadow_spare >= job.nodes_required) {
-          shadow_spare -= job.nodes_required;
-          start_job(cand, cm, now);
-          it = queue.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      break;  // head stays blocked until the next event
-    }
-  };
-
-  double now = 0.0;
-  schedule_pass(now);
-  while (true) {
-    double next = kNoEvent;
-    for (const auto& s : state) next = std::min(next, s.next_completion());
-    if (next == kNoEvent) break;
-    now = next;
-    for (std::size_t mi = 0; mi < state.size(); ++mi) {
-      auto& s = state[mi];
-      while (!s.running.empty() && s.running.begin()->first <= now) {
-        s.free += s.running.begin()->second;
-        s.running.erase(s.running.begin());
-      }
-      free_nodes[mi] = s.free;
-    }
-    schedule_pass(now);
-  }
-  MPHPC_ENSURES(queue.empty());
-
-  for (const JobOutcome& o : result.outcomes) {
-    // Job state-machine invariant: queued at t=0 -> started -> completed,
-    // so every outcome runs forward in time on a real machine.
-    MPHPC_ENSURES(o.start_s >= 0.0 && o.end_s > o.start_s);
-    result.makespan_s = std::max(result.makespan_s, o.end_s);
-    result.avg_wait_s += o.wait_s();
-  }
-  result.avg_wait_s /= static_cast<double>(jobs.empty() ? 1 : jobs.size());
-  result.avg_bounded_slowdown = average_bounded_slowdown(result.outcomes);
-  return result;
+SimulationResult simulate(const std::vector<Job>& jobs,
+                          const std::vector<Machine>& machines,
+                          MachineAssigner& assigner, const FaultTrace& faults,
+                          const SchedulerOptions& options) {
+  SimEngine engine(jobs, machines, assigner, faults, options);
+  return engine.run();
 }
 
 double average_bounded_slowdown(const std::vector<JobOutcome>& outcomes, double tau) {
   MPHPC_EXPECTS(tau > 0.0);
-  if (outcomes.empty()) return 0.0;
   double sum = 0.0;
+  std::size_t completed = 0;
   for (const JobOutcome& o : outcomes) {
+    if (o.abandoned) continue;  // never finished: slowdown is undefined
     const double run = o.run_s();
     const double slowdown = (o.wait_s() + run) / std::max(run, tau);
     sum += std::max(slowdown, 1.0);
+    ++completed;
   }
-  return sum / static_cast<double>(outcomes.size());
+  if (completed == 0) return 0.0;  // e.g. faults abandoned every job
+  return sum / static_cast<double>(completed);
 }
 
 }  // namespace mphpc::sched

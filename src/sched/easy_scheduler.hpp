@@ -1,8 +1,9 @@
 // Event-driven multi-resource FCFS + EASY-backfilling scheduler
-// (paper Algorithm 1).
+// (paper Algorithm 1), with optional fault injection.
 //
 // All jobs are submitted at t = 0 (a batch workload, as in the paper's
-// 50,000-job experiment). At every event time the scheduler:
+// 50,000-job experiment) unless Job::submit_s says otherwise. At every
+// event time the scheduler:
 //   1. starts queue-head jobs while their assigned machine has room;
 //   2. if the head is blocked, reserves it at the earliest time its
 //      assigned machine can fit it (the shadow time);
@@ -13,11 +14,20 @@
 //      as production schedulers do.
 // Runtime estimates are exact (the simulation knows each job's runtime),
 // which is the paper's setting: observed runtimes drive the simulation.
+//
+// With a FaultTrace (sched/faults.hpp) the event loop additionally
+// replays node-down/node-up events (a down shrinks the machine's free
+// pool, killing the latest-finishing running job when no node is idle)
+// and per-attempt random job kills. Killed jobs are resubmitted with
+// capped exponential backoff until RetryPolicy::max_attempts is
+// exhausted, after which they are abandoned. Replaying FaultTrace::none()
+// reproduces the fault-free simulation bit-identically.
 #pragma once
 
 #include <vector>
 
 #include "sched/assigners.hpp"
+#include "sched/faults.hpp"
 #include "sched/job.hpp"
 #include "sched/machine.hpp"
 
@@ -31,23 +41,44 @@ struct SchedulerOptions {
 };
 
 struct SimulationResult {
+  /// Time the last job finalized (completed, or was abandoned).
   double makespan_s = 0.0;
-  double avg_bounded_slowdown = 0.0;  ///< bound tau = 10 s
-  double avg_wait_s = 0.0;
-  /// Node-seconds of work executed per machine (utilization numerator).
+  double avg_bounded_slowdown = 0.0;  ///< bound tau = 10 s; completed jobs
+  double avg_wait_s = 0.0;            ///< completed jobs only
+  /// Node-seconds of work committed per machine (utilization numerator;
+  /// completed attempts only).
   std::array<double, arch::kNumSystems> node_seconds{};
+  /// Node-seconds of partial work discarded by kills, per machine.
+  std::array<double, arch::kNumSystems> lost_node_seconds{};
+  /// Node-seconds of capacity offline (failed, not yet repaired), per
+  /// machine, accumulated over [0, makespan_s].
+  std::array<double, arch::kNumSystems> downtime_node_seconds{};
+  long long jobs_killed = 0;     ///< kill events (node failures + random)
+  long long total_retries = 0;   ///< resubmissions after kills
+  std::size_t completed_jobs = 0;
+  std::size_t abandoned_jobs = 0;
   std::vector<JobOutcome> outcomes;  ///< indexed like the input jobs
 };
 
-/// Runs the simulation. Jobs must all fit on at least the machine each
-/// strategy assigns them to (every machine in the default cluster has
-/// >= 2 nodes, so any 1-2 node job fits eventually).
+/// Runs the fault-free simulation. Jobs must all fit on at least the
+/// machine each strategy assigns them to (every machine in the default
+/// cluster has >= 2 nodes, so any 1-2 node job fits eventually).
 [[nodiscard]] SimulationResult simulate(const std::vector<Job>& jobs,
                                         const std::vector<Machine>& machines,
                                         MachineAssigner& assigner,
                                         const SchedulerOptions& options = {});
 
-/// Average bounded slowdown of a set of outcomes, bound tau (seconds).
+/// Runs the simulation replaying `faults`. Passing FaultTrace::none()
+/// is exactly the overload above.
+[[nodiscard]] SimulationResult simulate(const std::vector<Job>& jobs,
+                                        const std::vector<Machine>& machines,
+                                        MachineAssigner& assigner,
+                                        const FaultTrace& faults,
+                                        const SchedulerOptions& options = {});
+
+/// Average bounded slowdown over the *completed* outcomes, bound tau
+/// (seconds). Abandoned jobs are excluded; returns 0 when no job
+/// completed (e.g. faults abandoned every job).
 [[nodiscard]] double average_bounded_slowdown(const std::vector<JobOutcome>& outcomes,
                                               double tau = 10.0);
 

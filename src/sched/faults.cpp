@@ -1,0 +1,100 @@
+#include "sched/faults.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "common/contract.hpp"
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+
+namespace mphpc::sched {
+
+double RetryPolicy::delay_s(int attempt, double u) const {
+  MPHPC_EXPECTS(attempt >= 1);
+  MPHPC_EXPECTS(u >= 0.0 && u < 1.0);
+  MPHPC_EXPECTS(base_delay_s >= 0.0 && multiplier >= 1.0 && max_delay_s >= 0.0);
+  MPHPC_EXPECTS(jitter >= 0.0 && jitter < 1.0);
+  // Multiply iteratively (not std::pow) so the backoff sequence is exact
+  // and clamping cannot overflow for large attempt counts.
+  double delay = base_delay_s;
+  for (int k = 1; k < attempt && delay < max_delay_s; ++k) delay *= multiplier;
+  delay = std::min(delay, max_delay_s);
+  const double jittered = delay * (1.0 + jitter * (2.0 * u - 1.0));
+  MPHPC_ENSURES(jittered >= 0.0);
+  return jittered;
+}
+
+FaultModel::FaultModel(const std::array<FaultRates, arch::kNumSystems>& rates,
+                       double kill_probability, const RetryPolicy& retry,
+                       std::uint64_t seed)
+    : rates_(rates), kill_probability_(kill_probability), retry_(retry), seed_(seed) {
+  MPHPC_EXPECTS(kill_probability >= 0.0 && kill_probability <= 1.0);
+  MPHPC_EXPECTS(retry.max_attempts >= 1);
+  for (const FaultRates& r : rates_) {
+    MPHPC_EXPECTS(r.node_mtbf_s <= 0.0 || r.mttr_s > 0.0);
+  }
+}
+
+FaultModel FaultModel::uniform(double node_mtbf_s, double mttr_s,
+                               double kill_probability, const RetryPolicy& retry,
+                               std::uint64_t seed) {
+  std::array<FaultRates, arch::kNumSystems> rates{};
+  rates.fill({node_mtbf_s, mttr_s});
+  return FaultModel(rates, kill_probability, retry, seed);
+}
+
+bool FaultModel::enabled() const noexcept {
+  if (kill_probability_ > 0.0) return true;
+  return std::any_of(rates_.begin(), rates_.end(),
+                     [](const FaultRates& r) { return r.node_mtbf_s > 0.0; });
+}
+
+FaultTrace FaultModel::generate(const std::vector<Machine>& machines,
+                                double horizon_s) const {
+  MPHPC_EXPECTS(horizon_s >= 0.0);
+  FaultTrace trace;
+  trace.kill_probability = kill_probability_;
+  trace.retry = retry_;
+  trace.seed = seed_;
+
+  for (const Machine& machine : machines) {
+    const FaultRates& rates = rates_[static_cast<std::size_t>(machine.id)];
+    if (rates.node_mtbf_s <= 0.0 || machine.total_nodes <= 0) continue;
+
+    // Independent per-machine stream: the trace of one machine does not
+    // shift when another machine's rates change.
+    Rng rng(derive_seed(seed_, "fault-trace",
+                        static_cast<std::uint64_t>(machine.id)));
+    const double arrival_rate =
+        static_cast<double>(machine.total_nodes) / rates.node_mtbf_s;
+    const double repair_rate = 1.0 / rates.mttr_s;
+
+    // Min-heap of pending repair completions, to bound concurrent downs.
+    std::priority_queue<double, std::vector<double>, std::greater<>> repairs;
+    double t = 0.0;
+    while (true) {
+      t += exponential(rng, arrival_rate);
+      if (t >= horizon_s) break;
+      while (!repairs.empty() && repairs.top() <= t) repairs.pop();
+      if (repairs.size() >= static_cast<std::size_t>(machine.total_nodes)) {
+        continue;  // whole machine already down: drop this arrival
+      }
+      const double up = t + exponential(rng, repair_rate);
+      trace.events.push_back({t, machine.id, -1});
+      trace.events.push_back({up, machine.id, +1});
+      repairs.push(up);
+    }
+  }
+
+  // Deterministic global order: time, then downs before ups, then machine.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const NodeEvent& a, const NodeEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.delta != b.delta) return a.delta < b.delta;
+              return a.machine < b.machine;
+            });
+  return trace;
+}
+
+}  // namespace mphpc::sched

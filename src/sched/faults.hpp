@@ -1,0 +1,110 @@
+// Fault-injection substrate for the scheduling simulation.
+//
+// Real clusters lose nodes and kill jobs; the paper's §VII experiment
+// assumes neither. This layer pre-generates a deterministic, seeded
+// FaultTrace — per-machine node-down/node-up events drawn from
+// exponential MTBF/MTTR processes — plus per-attempt job-kill draws, so
+// `simulate()` can replay identical failures at any thread count and a
+// fixed seed yields bit-identical results. A trace is generated once up
+// front against a horizon (open-loop: failures do not depend on the
+// simulation state), which is what makes the replay reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/architecture.hpp"
+#include "sched/machine.hpp"
+
+namespace mphpc::sched {
+
+/// Capped exponential backoff for killed-job resubmission. A job killed on
+/// its k-th attempt (1-based) is resubmitted after
+///   min(base_delay_s * multiplier^(k-1), max_delay_s) * (1 ± jitter)
+/// unless k == max_attempts, in which case it is abandoned.
+struct RetryPolicy {
+  int max_attempts = 4;        ///< total attempts, including the first
+  double base_delay_s = 30.0;  ///< delay after the first kill
+  double multiplier = 2.0;     ///< backoff growth per further kill
+  double max_delay_s = 3600.0; ///< cap on the uncapped backoff term
+  double jitter = 0.25;        ///< symmetric fraction of the delay, in [0, 1)
+
+  /// Backoff delay after the `attempt`-th attempt was killed (attempt >= 1).
+  /// `u` is a uniform draw in [0, 1) supplying the jitter.
+  [[nodiscard]] double delay_s(int attempt, double u) const;
+};
+
+/// One node going down (delta = -1) or coming back (delta = +1).
+struct NodeEvent {
+  double time_s = 0.0;
+  arch::SystemId machine = arch::SystemId::kQuartz;
+  int delta = 0;
+};
+
+/// A pre-generated, replayable fault schedule. `events` is sorted by
+/// (time, delta, machine); every down event has a matching later up event,
+/// and no machine ever has more nodes concurrently down than it owns.
+struct FaultTrace {
+  std::vector<NodeEvent> events;
+  double kill_probability = 0.0;  ///< per-attempt random job-kill chance
+  RetryPolicy retry{};
+  std::uint64_t seed = 0;  ///< drives kill draws and retry jitter
+
+  /// True when the trace can affect a simulation at all.
+  [[nodiscard]] bool enabled() const noexcept {
+    return !events.empty() || kill_probability > 0.0;
+  }
+
+  /// The no-fault trace: replaying it reproduces the fault-free
+  /// simulation bit-identically.
+  [[nodiscard]] static FaultTrace none() noexcept { return {}; }
+};
+
+/// Per-system failure/repair rates. node_mtbf_s <= 0 disables failures on
+/// that system.
+struct FaultRates {
+  double node_mtbf_s = 0.0;  ///< mean time between failures, per node
+  double mttr_s = 3600.0;    ///< mean time to repair a failed node
+};
+
+/// Generates FaultTraces. Failure arrivals on a machine form a Poisson
+/// process at rate total_nodes / node_mtbf_s; each arrival takes one node
+/// down for an exponential(1 / mttr_s) repair interval. Arrivals that
+/// would exceed the machine's inventory are dropped at generation time,
+/// so a trace is always consistent with the cluster it was built for.
+class FaultModel {
+ public:
+  /// No faults on any system.
+  FaultModel() = default;
+
+  FaultModel(const std::array<FaultRates, arch::kNumSystems>& rates,
+             double kill_probability, const RetryPolicy& retry,
+             std::uint64_t seed);
+
+  /// The disabled model; generate() returns FaultTrace::none().
+  [[nodiscard]] static FaultModel none() noexcept { return {}; }
+
+  /// Same rates on every system.
+  [[nodiscard]] static FaultModel uniform(double node_mtbf_s, double mttr_s,
+                                          double kill_probability,
+                                          const RetryPolicy& retry,
+                                          std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Pre-generates the failure schedule for `machines` over
+  /// [0, horizon_s). Repairs of failures inside the horizon may complete
+  /// after it. Deterministic: same model + machines + horizon => the same
+  /// trace, independent of call site or thread count.
+  [[nodiscard]] FaultTrace generate(const std::vector<Machine>& machines,
+                                    double horizon_s) const;
+
+ private:
+  std::array<FaultRates, arch::kNumSystems> rates_{};
+  double kill_probability_ = 0.0;
+  RetryPolicy retry_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace mphpc::sched

@@ -22,7 +22,13 @@ class ClusterView {
  public:
   ClusterView(const std::vector<Machine>& machines,
               const std::array<int, arch::kNumSystems>& free_nodes) noexcept
-      : machines_(&machines), free_(&free_nodes) {}
+      : machines_(&machines), free_(&free_nodes) {
+    // Precomputed: assigners query totals inside hot scheduling loops, so
+    // total_nodes() must not scan the machine list per call.
+    for (const Machine& m : machines) {
+      totals_[static_cast<std::size_t>(m.id)] = m.total_nodes;
+    }
+  }
 
   [[nodiscard]] const std::vector<Machine>& machines() const noexcept {
     return *machines_;
@@ -31,10 +37,7 @@ class ClusterView {
     return (*free_)[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] int total_nodes(arch::SystemId id) const noexcept {
-    for (const Machine& m : *machines_) {
-      if (m.id == id) return m.total_nodes;
-    }
-    return 0;
+    return totals_[static_cast<std::size_t>(id)];
   }
   /// True if the machine cannot start `nodes` more nodes right now.
   [[nodiscard]] bool is_full(arch::SystemId id, int nodes) const noexcept {
@@ -44,6 +47,7 @@ class ClusterView {
  private:
   const std::vector<Machine>* machines_;
   const std::array<int, arch::kNumSystems>* free_;
+  std::array<int, arch::kNumSystems> totals_{};
 };
 
 }  // namespace mphpc::sched

@@ -2,7 +2,12 @@
 // predictor, model selection, importance reporting.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <limits>
+#include <string>
+
 #include "arch/system_catalog.hpp"
+#include "common/error.hpp"
 #include "core/dataset.hpp"
 #include "ml/mean_regressor.hpp"
 #include "core/feature_pipeline.hpp"
@@ -36,6 +41,25 @@ TEST(Rpv, ReferenceEntryIsAlwaysOne) {
   for (const SystemId ref : arch::kAllSystems) {
     EXPECT_DOUBLE_EQ(Rpv::relative_to(times, ref).time_ratio(ref), 1.0);
   }
+}
+
+TEST(Rpv, PlausibilityGuard) {
+  const RpvGuardOptions bounds;  // defaults: [1e-3, 1e3]
+  EXPECT_TRUE(is_plausible_rpv(Rpv({1.0, 0.8, 2.1, 1.5}), bounds));
+  EXPECT_TRUE(is_plausible_rpv(Rpv({1e-3, 1e3, 1.0, 1.0}), bounds));  // inclusive
+  EXPECT_FALSE(is_plausible_rpv(
+      Rpv({std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0, 1.0}), bounds));
+  EXPECT_FALSE(is_plausible_rpv(
+      Rpv({std::numeric_limits<double>::infinity(), 1.0, 1.0, 1.0}), bounds));
+  EXPECT_FALSE(is_plausible_rpv(Rpv({1.0, -0.5, 1.0, 1.0}), bounds));
+  EXPECT_FALSE(is_plausible_rpv(Rpv({1.0, 0.0, 1.0, 1.0}), bounds));
+  EXPECT_FALSE(is_plausible_rpv(Rpv({1.0, 1.0, 1e9, 1.0}), bounds));
+}
+
+TEST(Rpv, NeutralRpvIsAllOnes) {
+  const Rpv rpv = neutral_rpv();
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  EXPECT_TRUE(is_plausible_rpv(rpv, {}));
 }
 
 TEST(Rpv, RelativeToMinAllEntriesAtMostOne) {
@@ -307,6 +331,140 @@ TEST_F(DatasetTest, PredictorSaveLoadRoundTrips) {
 TEST(Predictor, UntrainedUseThrows) {
   const CrossArchPredictor predictor;
   EXPECT_THROW(predictor.predict(ml::Matrix(1, 21)), ContractViolation);
+}
+
+// -------------------------------------------------- predictor load failures ----
+
+CrossArchPredictor small_predictor(const Dataset& dataset) {
+  CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 20;
+  options.gbt.max_depth = 3;
+  CrossArchPredictor predictor(options);
+  predictor.train(dataset);
+  return predictor;
+}
+
+/// The serialized text of a small trained predictor.
+std::string saved_predictor_text(const Dataset& dataset, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "/predictor_" + tag + ".mphpc";
+  small_predictor(dataset).save(path);
+  std::ifstream in(path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::string write_temp(const std::string& tag, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/corrupt_" + tag + ".mphpc";
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(Predictor, LoadMissingFileThrows) {
+  EXPECT_THROW(CrossArchPredictor::load("/nonexistent/model.mphpc"),
+               std::runtime_error);
+}
+
+TEST_F(DatasetTest, LoadRejectsFileWithoutSectionMarker) {
+  const std::string text = saved_predictor_text(dataset(), "nomarker");
+  const std::size_t marker = text.find("=== model ===");
+  ASSERT_NE(marker, std::string::npos);
+  // Everything before the marker is a valid pipeline but not a predictor.
+  const std::string path = write_temp("nomarker", text.substr(0, marker));
+  EXPECT_THROW(CrossArchPredictor::load(path), ParseError);
+}
+
+TEST_F(DatasetTest, LoadRejectsTruncatedPipelineSection) {
+  const std::string text = saved_predictor_text(dataset(), "truncpipe");
+  // Keep only the first pipeline line, then the marker and model: the
+  // pipeline deserializer must reject the truncation.
+  const std::size_t first_newline = text.find('\n');
+  const std::size_t marker = text.find("=== model ===");
+  ASSERT_NE(first_newline, std::string::npos);
+  ASSERT_NE(marker, std::string::npos);
+  ASSERT_LT(first_newline, marker);
+  const std::string path = write_temp(
+      "truncpipe", text.substr(0, first_newline + 1) + text.substr(marker));
+  EXPECT_THROW(CrossArchPredictor::load(path), ParseError);
+}
+
+TEST_F(DatasetTest, LoadRejectsCorruptModelSection) {
+  const std::string text = saved_predictor_text(dataset(), "badmodel");
+  const std::size_t marker = text.find("=== model ===");
+  ASSERT_NE(marker, std::string::npos);
+  const std::string path =
+      write_temp("badmodel", text.substr(0, marker) + "=== model ===\nnot a model\n");
+  EXPECT_THROW(CrossArchPredictor::load(path), ParseError);
+}
+
+// ------------------------------------------------------- guarded predictor ----
+
+sim::RunProfile sample_profile() {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const sim::Profiler profiler(321);
+  const auto& app = apps.get("CoMD");
+  const auto inputs = workload::make_inputs(app, 1, 321);
+  return profiler.profile(app, inputs[0], workload::ScaleClass::kOneNode,
+                          systems.get("quartz"));
+}
+
+TEST(GuardedPredictor, DefaultConstructedIsDegraded) {
+  GuardedPredictor guarded;
+  EXPECT_FALSE(guarded.healthy());
+  const Rpv rpv = guarded.predict(sample_profile());
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  EXPECT_EQ(guarded.fallback_count(), 1);
+}
+
+TEST(GuardedPredictor, LoadFailureDegradesInsteadOfThrowing) {
+  GuardedPredictor guarded = GuardedPredictor::load("/nonexistent/model.mphpc", {});
+  EXPECT_FALSE(guarded.healthy());
+  EXPECT_FALSE(guarded.last_error().empty());
+  const Rpv rpv = guarded.predict(sample_profile());
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  EXPECT_EQ(guarded.fallback_count(), 1);
+}
+
+TEST_F(DatasetTest, GuardedPredictorLoadOfCorruptFileDegrades) {
+  const std::string text = saved_predictor_text(dataset(), "guarded");
+  const std::size_t marker = text.find("=== model ===");
+  ASSERT_NE(marker, std::string::npos);
+  const std::string path =
+      write_temp("guarded", text.substr(0, marker) + "=== model ===\ngarbage\n");
+  GuardedPredictor guarded = GuardedPredictor::load(path, {});
+  EXPECT_FALSE(guarded.healthy());
+  EXPECT_FALSE(guarded.last_error().empty());
+  const Rpv rpv = guarded.predict(sample_profile());
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+}
+
+TEST_F(DatasetTest, GuardedPredictorPassesThroughPlausiblePredictions) {
+  GuardedPredictor guarded(small_predictor(dataset()), {});
+  ASSERT_TRUE(guarded.healthy());
+  const auto profile = sample_profile();
+  const Rpv rpv = guarded.predict(profile);
+  EXPECT_TRUE(is_plausible_rpv(rpv, guarded.bounds()));
+  EXPECT_EQ(guarded.fallback_count(), 0);
+  // Same numbers as the unguarded predictor.
+  const Rpv direct = small_predictor(dataset()).predict(profile);
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+    EXPECT_DOUBLE_EQ(rpv[k], direct[k]);
+  }
+}
+
+TEST_F(DatasetTest, GuardedPredictorRejectsOutOfBoundsPredictions) {
+  // Bounds so tight no real cross-architecture RPV can satisfy them: the
+  // guard must fall back to the neutral vector rather than let the value
+  // through.
+  RpvGuardOptions bounds;
+  bounds.min_ratio = 0.999;
+  bounds.max_ratio = 1.001;
+  GuardedPredictor guarded(small_predictor(dataset()), bounds);
+  ASSERT_TRUE(guarded.healthy());
+  const Rpv rpv = guarded.predict(sample_profile());
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  EXPECT_EQ(guarded.fallback_count(), 1);
+  EXPECT_FALSE(guarded.last_error().empty());
 }
 
 // --------------------------------------------------------- model selection ----

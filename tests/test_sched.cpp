@@ -1,11 +1,17 @@
-// Tests for src/sched: assigners, the FCFS+EASY scheduler, metrics.
+// Tests for src/sched: assigners, the FCFS+EASY scheduler, fault
+// injection, metrics.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
 
 #include "arch/system_catalog.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sched/assigners.hpp"
 #include "sched/easy_scheduler.hpp"
+#include "sched/faults.hpp"
 #include "sched/machine.hpp"
 
 namespace mphpc::sched {
@@ -340,6 +346,323 @@ TEST(BoundedSlowdown, NeverBelowOne) {
 
 TEST(BoundedSlowdown, RejectsBadTau) {
   EXPECT_THROW(average_bounded_slowdown({}, 0.0), mphpc::ContractViolation);
+}
+
+TEST(BoundedSlowdown, EmptyAndAllAbandonedReturnZero) {
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown({}), 0.0);
+  std::vector<JobOutcome> outcomes;
+  outcomes.push_back({SystemId::kQuartz, 10.0, 20.0, 0.0, 4, /*abandoned=*/true});
+  outcomes.push_back({SystemId::kRuby, 5.0, 6.0, 0.0, 4, /*abandoned=*/true});
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown(outcomes), 0.0);
+}
+
+TEST(BoundedSlowdown, SkipsAbandonedOutcomes) {
+  std::vector<JobOutcome> outcomes;
+  outcomes.push_back({SystemId::kQuartz, 10.0, 20.0});  // slowdown 2
+  outcomes.push_back({SystemId::kRuby, 500.0, 501.0, 0.0, 4, /*abandoned=*/true});
+  EXPECT_DOUBLE_EQ(average_bounded_slowdown(outcomes), 2.0);
+}
+
+// ------------------------------------------------------------ guarded RPV ----
+
+TEST(GuardedModelBasedAssigner, FollowsModelWhenPlausible) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  GuardedModelBasedAssigner guarded;
+  ModelBasedAssigner plain;
+  const Job job = make_job(0, 10.0, 5.0, 2.0, 8.0);
+  EXPECT_EQ(guarded.assign(job, 0, view), plain.assign(job, 0, view));
+  EXPECT_EQ(guarded.fallbacks(), 0);
+}
+
+TEST(GuardedModelBasedAssigner, FallsBackOnImplausiblePredictions) {
+  const auto machines = tiny_cluster();
+  std::array<int, 4> free = {2, 2, 2, 2};
+  const ClusterView view(machines, free);
+  GuardedModelBasedAssigner assigner;
+
+  Job nan_job = make_job(0, 10.0, 5.0, 2.0, 8.0);
+  nan_job.predicted =
+      core::Rpv({std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0, 1.0});
+  // CPU-only job: the user-preference fallback starts at quartz.
+  EXPECT_EQ(assigner.assign(nan_job, 0, view), SystemId::kQuartz);
+  EXPECT_EQ(assigner.fallbacks(), 1);
+
+  Job negative_job = make_job(1, 10.0, 5.0, 2.0, 8.0);
+  negative_job.predicted = core::Rpv({1.0, -0.5, 1.0, 1.0});
+  EXPECT_EQ(assigner.assign(negative_job, 1, view), SystemId::kRuby);
+  EXPECT_EQ(assigner.fallbacks(), 2);
+
+  Job huge_job = make_job(2, 10.0, 5.0, 2.0, 8.0, 1, /*gpu=*/true);
+  huge_job.predicted = core::Rpv({1.0, 1.0, 1e9, 1.0});  // above max_ratio
+  EXPECT_EQ(assigner.assign(huge_job, 2, view), SystemId::kLassen);
+  EXPECT_EQ(assigner.fallbacks(), 3);
+
+  // A plausible job afterwards goes back through the model path.
+  const Job good_job = make_job(3, 10.0, 5.0, 2.0, 8.0);
+  EXPECT_EQ(assigner.assign(good_job, 3, view), SystemId::kLassen);
+  EXPECT_EQ(assigner.fallbacks(), 3);
+}
+
+// ------------------------------------------------------------ fault traces ----
+
+TEST(FaultModel, GenerateIsDeterministicPerSeed) {
+  const auto machines = tiny_cluster(8, 8, 8, 8);
+  const RetryPolicy retry;
+  const auto model_a = FaultModel::uniform(3600.0, 600.0, 0.1, retry, 42);
+  const auto model_b = FaultModel::uniform(3600.0, 600.0, 0.1, retry, 42);
+  const auto model_c = FaultModel::uniform(3600.0, 600.0, 0.1, retry, 43);
+  const auto a = model_a.generate(machines, 50'000.0);
+  const auto b = model_b.generate(machines, 50'000.0);
+  const auto c = model_c.generate(machines, 50'000.0);
+
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_GT(a.events.size(), 0u);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time_s, b.events[i].time_s);
+    EXPECT_EQ(a.events[i].machine, b.events[i].machine);
+    EXPECT_EQ(a.events[i].delta, b.events[i].delta);
+  }
+  // A different seed must produce a different trace.
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].time_s != c.events[i].time_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultModel, TraceIsWellFormed) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto model = FaultModel::uniform(1800.0, 900.0, 0.0, {}, 9);
+  const auto trace = model.generate(machines, 40'000.0);
+  ASSERT_GT(trace.events.size(), 0u);
+  EXPECT_EQ(trace.events.size() % 2, 0u);  // downs pair with ups
+
+  std::array<int, arch::kNumSystems> down{};
+  double last_t = 0.0;
+  for (const NodeEvent& e : trace.events) {
+    EXPECT_GE(e.time_s, last_t);  // sorted
+    last_t = e.time_s;
+    auto& d = down[static_cast<std::size_t>(e.machine)];
+    d -= e.delta;
+    EXPECT_GE(d, 0);  // never repair a node that is not down
+    EXPECT_LE(d, 3);  // never exceed the machine's inventory
+  }
+  for (const int d : down) EXPECT_EQ(d, 0);  // every down has its up
+}
+
+TEST(FaultModel, DisabledModelGeneratesEmptyTrace) {
+  const auto machines = tiny_cluster();
+  EXPECT_FALSE(FaultModel::none().enabled());
+  const auto trace = FaultModel::none().generate(machines, 1e6);
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_TRUE(trace.events.empty());
+}
+
+// -------------------------------------------------------- faulty scheduling ----
+
+/// Field-by-field equality of two simulation results (bit-identical
+/// doubles; == is exact).
+void expect_results_identical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.avg_bounded_slowdown, b.avg_bounded_slowdown);
+  EXPECT_EQ(a.avg_wait_s, b.avg_wait_s);
+  EXPECT_EQ(a.node_seconds, b.node_seconds);
+  EXPECT_EQ(a.lost_node_seconds, b.lost_node_seconds);
+  EXPECT_EQ(a.downtime_node_seconds, b.downtime_node_seconds);
+  EXPECT_EQ(a.jobs_killed, b.jobs_killed);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.completed_jobs, b.completed_jobs);
+  EXPECT_EQ(a.abandoned_jobs, b.abandoned_jobs);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t j = 0; j < a.outcomes.size(); ++j) {
+    EXPECT_EQ(a.outcomes[j].machine, b.outcomes[j].machine);
+    EXPECT_EQ(a.outcomes[j].start_s, b.outcomes[j].start_s);
+    EXPECT_EQ(a.outcomes[j].end_s, b.outcomes[j].end_s);
+    EXPECT_EQ(a.outcomes[j].attempts, b.outcomes[j].attempts);
+    EXPECT_EQ(a.outcomes[j].abandoned, b.outcomes[j].abandoned);
+  }
+}
+
+std::vector<Job> random_workload(int n, std::uint64_t seed) {
+  std::vector<Job> jobs;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 30), rng.uniform(1, 30),
+                            rng.uniform(1, 30), rng.uniform(1, 30),
+                            rng.bernoulli(0.3) ? 2 : 1, rng.bernoulli(0.4)));
+  }
+  return jobs;
+}
+
+TEST(FaultyScheduler, NoneTraceReproducesFaultFreeRunBitIdentically) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(150, 21);
+  RandomAssigner a1(3);
+  RandomAssigner a2(3);
+  const auto fault_free = simulate(jobs, machines, a1);
+  const auto with_none = simulate(jobs, machines, a2, FaultTrace::none());
+  expect_results_identical(fault_free, with_none);
+  EXPECT_EQ(with_none.jobs_killed, 0);
+  EXPECT_EQ(with_none.total_retries, 0);
+  EXPECT_EQ(with_none.completed_jobs, jobs.size());
+  EXPECT_EQ(with_none.abandoned_jobs, 0u);
+}
+
+TEST(FaultyScheduler, NodeFailureKillsAndReschedulesJob) {
+  // quartz has 2 nodes; one 2-node job runs [0, 100). A node goes down at
+  // t=10 (no idle node -> the job is killed) and is repaired at t=50.
+  // With base delay 5 and no jitter the retry is queued at t=15, but the
+  // machine cannot fit 2 nodes until the repair, so attempt 2 runs
+  // [50, 150).
+  const auto machines = tiny_cluster();
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  } assigner;
+
+  FaultTrace trace;
+  trace.events = {{10.0, SystemId::kQuartz, -1}, {50.0, SystemId::kQuartz, +1}};
+  trace.retry = {/*max_attempts=*/4, /*base_delay_s=*/5.0, /*multiplier=*/2.0,
+                 /*max_delay_s=*/3600.0, /*jitter=*/0.0};
+
+  const std::vector<Job> jobs = {make_job(0, 100, 100, 100, 100, /*nodes=*/2)};
+  const auto result = simulate(jobs, machines, assigner, trace);
+
+  EXPECT_EQ(result.jobs_killed, 1);
+  EXPECT_EQ(result.total_retries, 1);
+  EXPECT_EQ(result.completed_jobs, 1u);
+  EXPECT_EQ(result.abandoned_jobs, 0u);
+  EXPECT_EQ(result.outcomes[0].attempts, 2);
+  EXPECT_FALSE(result.outcomes[0].abandoned);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start_s, 50.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].end_s, 150.0);
+  EXPECT_DOUBLE_EQ(result.makespan_s, 150.0);
+  const auto q = static_cast<std::size_t>(SystemId::kQuartz);
+  EXPECT_DOUBLE_EQ(result.lost_node_seconds[q], 20.0);      // 2 nodes x 10 s
+  EXPECT_DOUBLE_EQ(result.downtime_node_seconds[q], 40.0);  // 1 node, [10, 50)
+  EXPECT_DOUBLE_EQ(result.node_seconds[q], 200.0);          // 2 nodes x 100 s
+}
+
+TEST(FaultyScheduler, CertainKillsAbandonEveryJob) {
+  const auto machines = tiny_cluster();
+  RoundRobinAssigner assigner;
+  const auto jobs = random_workload(20, 33);
+
+  FaultTrace trace;
+  trace.kill_probability = 1.0;  // every attempt dies mid-run
+  trace.retry.max_attempts = 3;
+  trace.seed = 5;
+
+  const auto result = simulate(jobs, machines, assigner, trace);
+  EXPECT_EQ(result.completed_jobs, 0u);
+  EXPECT_EQ(result.abandoned_jobs, jobs.size());
+  EXPECT_EQ(result.jobs_killed, static_cast<long long>(jobs.size()) * 3);
+  EXPECT_EQ(result.total_retries, static_cast<long long>(jobs.size()) * 2);
+  EXPECT_DOUBLE_EQ(result.avg_bounded_slowdown, 0.0);
+  for (const JobOutcome& o : result.outcomes) {
+    EXPECT_TRUE(o.abandoned);
+    EXPECT_EQ(o.attempts, 3);
+    EXPECT_GE(o.end_s, o.start_s);
+  }
+}
+
+TEST(FaultyScheduler, NodeSecondsReconcile) {
+  // Committed + lost + downtime + idle node-seconds must equal
+  // makespan x capacity on every machine, with idle >= 0.
+  const auto machines = tiny_cluster(4, 4, 4, 4);
+  const auto jobs = random_workload(200, 8);
+  const auto model = FaultModel::uniform(2000.0, 300.0, 0.15, {}, 17);
+  const auto trace = model.generate(machines, 50'000.0);
+  ASSERT_TRUE(trace.enabled());
+  RoundRobinAssigner assigner;
+  const auto result = simulate(jobs, machines, assigner, trace);
+  EXPECT_GT(result.jobs_killed, 0);
+
+  for (const Machine& machine : machines) {
+    const auto k = static_cast<std::size_t>(machine.id);
+    const double capacity = result.makespan_s * machine.total_nodes;
+    const double used = result.node_seconds[k] + result.lost_node_seconds[k] +
+                        result.downtime_node_seconds[k];
+    EXPECT_GE(result.node_seconds[k], 0.0);
+    EXPECT_GE(result.lost_node_seconds[k], 0.0);
+    EXPECT_GE(result.downtime_node_seconds[k], 0.0);
+    EXPECT_LE(used, capacity + 1e-6);  // idle = capacity - used >= 0
+  }
+}
+
+TEST(FaultyScheduler, EveryKilledJobIsRescheduledOrAbandoned) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(150, 12);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.base_delay_s = 2.0;
+  const auto model = FaultModel::uniform(1500.0, 400.0, 0.2, retry, 99);
+  const auto trace = model.generate(machines, 100'000.0);
+  RoundRobinAssigner assigner;
+  const auto result = simulate(jobs, machines, assigner, trace);
+
+  EXPECT_GT(result.jobs_killed, 0);
+  EXPECT_EQ(result.completed_jobs + result.abandoned_jobs, jobs.size());
+  long long extra_attempts = 0;
+  for (const JobOutcome& o : result.outcomes) {
+    EXPECT_GE(o.attempts, 1);
+    EXPECT_LE(o.attempts, retry.max_attempts);
+    if (o.abandoned) {
+      EXPECT_EQ(o.attempts, retry.max_attempts);
+    }
+    extra_attempts += o.attempts - 1;
+  }
+  // Each retry is exactly one extra attempt by some job.
+  EXPECT_EQ(result.total_retries, extra_attempts);
+}
+
+TEST(FaultyScheduler, DeterministicAcrossThreadConfigs) {
+  // The simulation must be bit-identical no matter how many pool threads
+  // exist or how many simulations run concurrently (exercised under TSan).
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(120, 4);
+  const auto model = FaultModel::uniform(2500.0, 500.0, 0.1, {}, 31);
+  const auto trace = model.generate(machines, 50'000.0);
+
+  RoundRobinAssigner reference_assigner;
+  const auto reference = simulate(jobs, machines, reference_assigner, trace);
+  EXPECT_GT(reference.jobs_killed, 0);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<SimulationResult> results(threads);
+    pool.parallel_for(0, threads, [&](std::size_t i) {
+      RoundRobinAssigner assigner;
+      results[i] = simulate(jobs, machines, assigner, trace);
+    });
+    for (const auto& result : results) {
+      expect_results_identical(reference, result);
+    }
+  }
+}
+
+TEST(RetryPolicy, BackoffIsCappedAndJittered) {
+  RetryPolicy policy;
+  policy.base_delay_s = 10.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_s = 60.0;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(policy.delay_s(1, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(policy.delay_s(2, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(policy.delay_s(3, 0.5), 40.0);
+  EXPECT_DOUBLE_EQ(policy.delay_s(4, 0.5), 60.0);   // capped
+  EXPECT_DOUBLE_EQ(policy.delay_s(50, 0.5), 60.0);  // stays capped
+
+  policy.jitter = 0.5;
+  EXPECT_DOUBLE_EQ(policy.delay_s(1, 0.0), 5.0);   // -50 %
+  EXPECT_DOUBLE_EQ(policy.delay_s(1, 0.5), 10.0);  // midpoint
+  EXPECT_GT(policy.delay_s(1, 0.999), 14.9);       // approx +50 %
+  EXPECT_THROW(policy.delay_s(0, 0.5), mphpc::ContractViolation);
 }
 
 }  // namespace

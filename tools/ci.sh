@@ -49,10 +49,34 @@ echo "==== [dev] GBT fit smoke (exact + hist) ===="
   --benchmark_filter='BM_GbtFit(Exact|Hist)/20$' \
   --benchmark_min_time=0.01
 
+# Fault-injection smoke: the sched-faults subcommand must complete a small
+# degraded-mode strategy comparison end-to-end and emit parseable JSON in
+# which at least one strategy actually exercised the retry path.
+echo "==== [dev] fault-injection smoke (sched-faults) ===="
+./build-dev/tools/mphpc sched-faults \
+  --jobs 400 --inputs 2 --rounds 20 --depth 3 \
+  --node-mtbf-h 50 --mttr-h 1 --kill-prob 0.05 --seed 7 \
+  --out build-dev/sched_faults_smoke.json
+python3 - <<'EOF'
+import json
+report = json.load(open("build-dev/sched_faults_smoke.json"))
+assert report["config"]["node_events"] > 0, "fault trace generated no node events"
+assert any(s["total_retries"] > 0 for s in report["strategies"]), \
+    "no strategy exercised the retry path"
+for s in report["strategies"]:
+    assert s["completed_jobs"] + s["abandoned_jobs"] == report["config"]["jobs"], \
+        f"{s['strategy']}: jobs not reconciled"
+print("sched-faults smoke: ok")
+EOF
+
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   if [[ "${with_tsan}" -eq 1 ]]; then
+    # The full suite already ran under TSan above; this re-run asserts the
+    # fault/determinism tests (the ones most likely to surface scheduler
+    # races) still exist — --no-tests=error fails the lane if they vanish.
     run_lane tsan
+    ctest --preset tsan -R 'Fault|Determinism' --no-tests=error --output-on-failure
   fi
 fi
 

@@ -6,16 +6,23 @@
 //   mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]
 //                  [--model MODEL]
 //   mphpc schedule [--jobs N] [--inputs N] [--strategy all|rr|random|user|model|oracle]
+//   mphpc sched-faults [--jobs N] [--inputs N] [--node-mtbf-h H] [--mttr-h H]
+//                  [--kill-prob P] [--max-attempts K] [--seed S] [--out FILE.json]
 //
 // Every command is deterministic for a given set of flags.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "arch/system_catalog.hpp"
+#include "common/json_writer.hpp"
 #include "common/strings.hpp"
 #include "common/table_printer.hpp"
 #include "common/thread_pool.hpp"
@@ -26,6 +33,7 @@
 #include "data/csv.hpp"
 #include "data/split.hpp"
 #include "sched/easy_scheduler.hpp"
+#include "sched/faults.hpp"
 #include "sched/workload_gen.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
@@ -58,6 +66,10 @@ class Args {
   [[nodiscard]] int get_int(const std::string& key, int fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
   [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
 
@@ -220,6 +232,123 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
+/// Reruns the §VII strategy comparison under fault injection: a fault-free
+/// baseline per strategy fixes the fault-trace horizon, then each strategy
+/// replays the same seeded trace. Emits a JSON report alongside the table.
+int cmd_sched_faults(const Args& args) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto predictor = train_predictor(dataset, args);
+  const auto predictions = predictor.predict(dataset.features());
+  const auto jobs =
+      sched::sample_jobs(dataset, predictions, apps,
+                         static_cast<std::size_t>(args.get_int("jobs", 10000)), 7);
+  const auto machines = sched::default_cluster(systems);
+
+  const double node_mtbf_h = args.get_double("node-mtbf-h", 200.0);
+  const double mttr_h = args.get_double("mttr-h", 2.0);
+  const double kill_prob = args.get_double("kill-prob", 0.02);
+  sched::RetryPolicy retry;
+  retry.max_attempts = args.get_int("max-attempts", retry.max_attempts);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  using AssignerFactory = std::function<std::unique_ptr<sched::MachineAssigner>()>;
+  const std::vector<std::pair<std::string, AssignerFactory>> strategies = {
+      {"Round-Robin", [] { return std::make_unique<sched::RoundRobinAssigner>(); }},
+      {"Random", [] { return std::make_unique<sched::RandomAssigner>(11); }},
+      {"User+RR", [] { return std::make_unique<sched::UserRoundRobinAssigner>(); }},
+      {"Model-based (guarded)",
+       [] { return std::make_unique<sched::GuardedModelBasedAssigner>(); }},
+      {"Oracle", [] { return std::make_unique<sched::OracleAssigner>(); }},
+  };
+
+  // Fault-free baselines; the longest one sizes the trace horizon with
+  // headroom for retries pushing the faulty makespan out.
+  std::vector<sched::SimulationResult> baselines;
+  double max_makespan_s = 0.0;
+  for (const auto& [label, factory] : strategies) {
+    auto assigner = factory();
+    baselines.push_back(sched::simulate(jobs, machines, *assigner));
+    max_makespan_s = std::max(max_makespan_s, baselines.back().makespan_s);
+  }
+  const double horizon_s = 4.0 * max_makespan_s;
+
+  const auto model = sched::FaultModel::uniform(node_mtbf_h * 3600.0, mttr_h * 3600.0,
+                                                kill_prob, retry, seed);
+  const auto trace = model.generate(machines, horizon_s);
+  std::printf("fault trace: %zu node events over %.1f h horizon\n",
+              trace.events.size(), horizon_s / 3600.0);
+
+  JsonWriter json;
+  json.begin_object();
+  json.begin_object("config");
+  json.field("jobs", jobs.size());
+  json.field("node_mtbf_h", node_mtbf_h);
+  json.field("mttr_h", mttr_h);
+  json.field("kill_probability", kill_prob);
+  json.field("max_attempts", retry.max_attempts);
+  json.field("seed", static_cast<long long>(seed));
+  json.field("horizon_h", horizon_s / 3600.0);
+  json.field("node_events", trace.events.size());
+  json.end_object();
+
+  TablePrinter table({"strategy", "makespan (h)", "baseline (h)", "slowdown",
+                      "abandoned", "kills", "retries"});
+  json.begin_array("strategies");
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const auto& [label, factory] = strategies[s];
+    auto assigner = factory();
+    const auto result = sched::simulate(jobs, machines, *assigner, trace);
+    double lost = 0.0;
+    double downtime = 0.0;
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+      lost += result.lost_node_seconds[k];
+      downtime += result.downtime_node_seconds[k];
+    }
+    long long fallbacks = 0;
+    if (const auto* guarded =
+            dynamic_cast<const sched::GuardedModelBasedAssigner*>(assigner.get())) {
+      fallbacks = guarded->fallbacks();
+    }
+    json.begin_object();
+    json.field("strategy", label);
+    json.field("makespan_h", result.makespan_s / 3600.0);
+    json.field("baseline_makespan_h", baselines[s].makespan_s / 3600.0);
+    json.field("avg_bounded_slowdown", result.avg_bounded_slowdown);
+    json.field("avg_wait_h", result.avg_wait_s / 3600.0);
+    json.field("completed_jobs", result.completed_jobs);
+    json.field("abandoned_jobs", result.abandoned_jobs);
+    json.field("jobs_killed", result.jobs_killed);
+    json.field("total_retries", result.total_retries);
+    json.field("lost_node_seconds", lost);
+    json.field("downtime_node_seconds", downtime);
+    json.field("predictor_fallbacks", fallbacks);
+    json.end_object();
+    table.add_row({label, format_fixed(result.makespan_s / 3600.0, 3),
+                   format_fixed(baselines[s].makespan_s / 3600.0, 3),
+                   format_fixed(result.avg_bounded_slowdown, 2),
+                   std::to_string(result.abandoned_jobs),
+                   std::to_string(result.jobs_killed),
+                   std::to_string(result.total_retries)});
+  }
+  json.end_array();
+  json.end_object();
+  table.print();
+
+  const std::string out = args.get("out", "results/sched_faults.json");
+  const auto parent = std::filesystem::path(out).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  file << json.str() << "\n";
+  std::printf("report written to %s\n", out.c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
       "mphpc — cross-architecture performance prediction toolkit\n\n"
@@ -228,7 +357,10 @@ void usage() {
       "  mphpc evaluate [--inputs N] [--model MODEL]\n"
       "  mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]\n"
       "                 [--model MODEL]\n"
-      "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n");
+      "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n"
+      "  mphpc sched-faults [--jobs N] [--node-mtbf-h H] [--mttr-h H]\n"
+      "                 [--kill-prob P] [--max-attempts K] [--seed S]\n"
+      "                 [--out FILE.json]\n");
 }
 
 }  // namespace
@@ -246,6 +378,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "predict") return cmd_predict(args);
     if (command == "schedule") return cmd_schedule(args);
+    if (command == "sched-faults") return cmd_sched_faults(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
