@@ -1,5 +1,8 @@
 #include "core/predictor.hpp"
 
+#include <filesystem>
+
+#include "common/atomic_file.hpp"
 #include "common/contract.hpp"
 #include "common/strings.hpp"
 #include "ml/serialize.hpp"
@@ -14,6 +17,72 @@ void CrossArchPredictor::train(const Dataset& dataset,
   const ml::Matrix x = dataset.features(rows);
   const ml::Matrix y = dataset.targets(rows);
   model_.fit(x, y, pool);
+}
+
+namespace {
+
+/// Everything that must match for a checkpoint to continue the *same*
+/// fit: the GBT configuration and the training matrix shape. Stored as
+/// the manifest's full contents and compared verbatim on resume.
+std::string train_fingerprint(const ml::GbtOptions& o, std::size_t rows,
+                              std::size_t cols) {
+  std::string s = "mphpc-train-checkpoint v1\n";
+  s += "rows " + std::to_string(rows) + "\n";
+  s += "features " + std::to_string(cols) + "\n";
+  s += "options " + std::to_string(o.n_rounds) + " " + std::to_string(o.max_depth) +
+       " " + format_double(o.learning_rate) + " " + format_double(o.lambda) + " " +
+       format_double(o.gamma) + " " + format_double(o.min_child_weight) + " " +
+       format_double(o.subsample) + " " + format_double(o.colsample) + " " +
+       std::to_string(static_cast<int>(o.objective)) + " " +
+       format_double(o.huber_delta) + " " +
+       std::to_string(static_cast<int>(o.tree_method)) + " " +
+       std::to_string(o.max_bins) + " " + std::to_string(o.seed) + "\n";
+  return s;
+}
+
+}  // namespace
+
+void CrossArchPredictor::train_checkpointed(const Dataset& dataset,
+                                            const TrainCheckpoint& ckpt,
+                                            std::span<const std::size_t> rows,
+                                            ThreadPool* pool) {
+  MPHPC_EXPECTS(dataset.num_rows() > 0);
+  MPHPC_EXPECTS(!ckpt.path.empty() && ckpt.every >= 0);
+  pipeline_ = dataset.pipeline();
+  const ml::Matrix x = dataset.features(rows);
+  const ml::Matrix y = dataset.targets(rows);
+  const std::string manifest_path = ckpt.path + ".manifest";
+  const std::string fingerprint = train_fingerprint(options_.gbt, x.rows(), x.cols());
+
+  model_ = ml::GbtRegressor(options_.gbt);
+  if (ckpt.resume && std::filesystem::exists(ckpt.path) &&
+      std::filesystem::exists(manifest_path)) {
+    // A checkpoint trained under different options (or data) would resume
+    // into a silently different model — refuse rather than guess.
+    if (ml::load_text(manifest_path) != fingerprint) {
+      throw std::runtime_error("checkpoint manifest does not match the training "
+                               "configuration: " + manifest_path);
+    }
+    CrossArchPredictor partial = load(ckpt.path);
+    model_ = std::move(partial.model_);
+    model_.set_options(options_.gbt);
+  }
+
+  if (ckpt.every > 0) {
+    // The manifest is pure configuration, so it is written once up front;
+    // each checkpoint write then atomically replaces the model file. A
+    // crash at any point leaves a (manifest, model) pair that resumes
+    // correctly or no checkpoint at all — never a torn state.
+    atomic_write_text(manifest_path, fingerprint);
+  }
+  const ml::GbtRegressor::ProgressFn on_checkpoint = [&](int) { save(ckpt.path); };
+  model_.fit_resumable(x, y, ckpt.every,
+                       ckpt.every > 0 ? on_checkpoint : ml::GbtRegressor::ProgressFn{},
+                       pool);
+
+  std::error_code ec;  // best-effort cleanup; the final model is what matters
+  std::filesystem::remove(ckpt.path, ec);
+  std::filesystem::remove(manifest_path, ec);
 }
 
 Rpv CrossArchPredictor::predict(const sim::RunProfile& profile) const {

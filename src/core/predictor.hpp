@@ -31,6 +31,26 @@ class CrossArchPredictor {
   void train(const Dataset& dataset, std::span<const std::size_t> rows = {},
              ThreadPool* pool = nullptr);
 
+  /// Crash-safe training: persist the partial model to `path` every
+  /// `every` boosting rounds (atomically), alongside a `path + ".manifest"`
+  /// fingerprint of the training configuration and data shape.
+  struct TrainCheckpoint {
+    std::string path;     ///< checkpoint file (a loadable predictor)
+    int every = 0;        ///< rounds between checkpoints (0 = no checkpoints)
+    bool resume = false;  ///< continue from `path` when present
+  };
+
+  /// train() with periodic checkpointing. With `resume`, a compatible
+  /// checkpoint at `ckpt.path` seeds the fit and training continues from
+  /// the interrupted round, producing a final model bit-identical to an
+  /// uninterrupted train() (see GbtRegressor::fit_resumable); a
+  /// checkpoint whose manifest does not match the current configuration
+  /// is an error, and a missing checkpoint trains from scratch. The
+  /// checkpoint and manifest are removed once training completes.
+  void train_checkpointed(const Dataset& dataset, const TrainCheckpoint& ckpt,
+                          std::span<const std::size_t> rows = {},
+                          ThreadPool* pool = nullptr);
+
   /// Predicts the RPV of a freshly profiled run from its raw counters.
   [[nodiscard]] Rpv predict(const sim::RunProfile& profile) const;
 

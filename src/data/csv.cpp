@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/contract.hpp"
 #include "common/strings.hpp"
 
@@ -116,10 +117,11 @@ void write_csv(const Table& table, std::ostream& out) {
 }
 
 void write_csv_file(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Render in memory, then atomically replace the destination so an
+  // interrupted dataset dump never leaves a truncated CSV behind.
+  std::ostringstream out;
   write_csv(table, out);
-  if (!out) throw std::runtime_error("write failed: " + path);
+  atomic_write_text(path, out.str());
 }
 
 Table read_csv(std::istream& in, const std::vector<std::string>& text_columns) {

@@ -553,101 +553,194 @@ void validate_tree_topology(const GbtTree& tree, std::size_t n_feat) {
 
 }  // namespace
 
+int resolve_max_bins(int configured, std::size_t rows) noexcept {
+  if (configured != 0) return configured;
+  const auto scaled = static_cast<int>(rows / 64);
+  return std::clamp(scaled, 32, BinnedMatrix::kMaxBins);
+}
+
 void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
+  // fit() always starts fresh — drop any previous (or partial) state so
+  // fit_resumable does not mistake it for a checkpoint to resume.
+  ensembles_.clear();
+  base_score_.clear();
+  gain_sum_.clear();
+  split_count_.clear();
+  gain_by_output_.clear();
+  count_by_output_.clear();
+  fit_resumable(x, y, 0, nullptr, pool);
+}
+
+void GbtRegressor::fit_resumable(const Matrix& x, const Matrix& y,
+                                 int checkpoint_every,
+                                 const ProgressFn& on_checkpoint, ThreadPool* pool) {
   MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 0 && x.cols() > 0 && y.cols() > 0);
   MPHPC_EXPECTS(options_.n_rounds >= 1 && options_.max_depth >= 1);
   MPHPC_EXPECTS(options_.subsample > 0.0 && options_.subsample <= 1.0);
   MPHPC_EXPECTS(options_.colsample > 0.0 && options_.colsample <= 1.0);
-  MPHPC_EXPECTS(options_.tree_method == GbtTreeMethod::kExact ||
+  MPHPC_EXPECTS(options_.tree_method == GbtTreeMethod::kExact || options_.max_bins == 0 ||
                 (options_.max_bins >= 2 && options_.max_bins <= BinnedMatrix::kMaxBins));
+  MPHPC_EXPECTS(checkpoint_every >= 0);
 
   const std::size_t n = x.rows();
   const std::size_t n_feat = x.cols();
   const std::size_t n_out = y.cols();
-  n_features_ = n_feat;
 
-  const BuildContext ctx(x, options_, pool);
+  const int start_round = begin_fit(n_feat, n_out);
 
-  ensembles_.assign(n_out, {});
-  base_score_.assign(n_out, 0.0);
-  // Per-output gain accumulators, merged after the parallel loop so the
-  // result does not depend on scheduling.
-  std::vector<std::vector<double>> gain_by_output(n_out,
-                                                  std::vector<double>(n_feat, 0.0));
-  std::vector<std::vector<double>> count_by_output(n_out,
-                                                   std::vector<double>(n_feat, 0.0));
+  GbtOptions build_opt = options_;
+  build_opt.max_bins = resolve_max_bins(options_.max_bins, n);
+  const BuildContext ctx(x, build_opt, pool);
 
   const auto n_cols_sampled = static_cast<std::size_t>(std::max(
       1.0, std::round(options_.colsample * static_cast<double>(n_feat))));
   const auto n_rows_sampled = static_cast<std::size_t>(
       std::max(1.0, std::round(options_.subsample * static_cast<double>(n))));
 
-  const auto fit_output = [&](std::size_t k) {
-    // Base score: mean target of this output.
+  // Per-output training state, carried across checkpoint blocks so block
+  // boundaries never change the arithmetic.
+  struct OutputState {
+    std::vector<double> pred;
+    std::vector<double> g;
+    std::vector<double> h;
+    std::vector<std::uint8_t> in_sample;
+    std::vector<std::uint8_t> in_cols;
+    Rng rng{0};
+  };
+  std::vector<OutputState> states(n_out);
+
+  const auto init_output = [&](std::size_t k) {
+    OutputState& st = states[k];
+    // Base score: mean target of this output (recomputed identically on
+    // resume — the data is the same fit's data).
     double mean = 0.0;
     for (std::size_t r = 0; r < n; ++r) mean += y(r, k);
     mean /= static_cast<double>(n);
     base_score_[k] = mean;
 
-    std::vector<double> pred(n, mean);
-    std::vector<double> g(n);
-    std::vector<double> h(n);
-    std::vector<std::uint8_t> in_sample(n);
-    std::vector<std::uint8_t> in_cols(n_feat);
-    auto& ensemble = ensembles_[k];
-    ensemble.reserve(static_cast<std::size_t>(options_.n_rounds));
-    Rng rng(derive_seed(options_.seed, "output", static_cast<std::uint64_t>(k)));
+    st.pred.assign(n, mean);
+    st.g.resize(n);
+    st.h.resize(n);
+    st.in_sample.resize(n);
+    st.in_cols.resize(n_feat);
+    st.rng = Rng(derive_seed(options_.seed, "output", static_cast<std::uint64_t>(k)));
+    ensembles_[k].reserve(static_cast<std::size_t>(options_.n_rounds));
 
-    for (int round = 0; round < options_.n_rounds; ++round) {
+    // Resume burn-in: replay the completed rounds' sampling draws so the
+    // RNG stream continues exactly where the interrupted fit stopped,
+    // and rebuild pred by re-adding the checkpointed trees in round
+    // order — the same additions the original fit performed.
+    for (int round = 0; round < start_round; ++round) {
+      if (n_rows_sampled < n) {
+        (void)sample_without_replacement(st.rng, n, n_rows_sampled);
+      }
+      if (n_cols_sampled < n_feat) {
+        (void)sample_without_replacement(st.rng, n_feat, n_cols_sampled);
+      }
+    }
+    for (int round = 0; round < start_round; ++round) {
+      const GbtTree& tree = ensembles_[k][static_cast<std::size_t>(round)];
+      for (std::size_t r = 0; r < n; ++r) st.pred[r] += tree.predict(x.row(r));
+    }
+  };
+
+  const auto fit_rounds = [&](std::size_t k, int from, int to) {
+    OutputState& st = states[k];
+    auto& ensemble = ensembles_[k];
+    for (int round = from; round < to; ++round) {
       for (std::size_t r = 0; r < n; ++r) {
-        gradients(options_.objective, options_.huber_delta, pred[r], y(r, k), g[r],
-                  h[r]);
+        gradients(options_.objective, options_.huber_delta, st.pred[r], y(r, k),
+                  st.g[r], st.h[r]);
       }
 
       // Row subsampling without replacement.
       if (n_rows_sampled < n) {
-        std::fill(in_sample.begin(), in_sample.end(), std::uint8_t{0});
-        for (const std::size_t r : sample_without_replacement(rng, n, n_rows_sampled)) {
-          in_sample[r] = 1;
+        std::fill(st.in_sample.begin(), st.in_sample.end(), std::uint8_t{0});
+        for (const std::size_t r :
+             sample_without_replacement(st.rng, n, n_rows_sampled)) {
+          st.in_sample[r] = 1;
         }
       } else {
-        std::fill(in_sample.begin(), in_sample.end(), std::uint8_t{1});
+        std::fill(st.in_sample.begin(), st.in_sample.end(), std::uint8_t{1});
       }
       // Column subsampling per tree.
       if (n_cols_sampled < n_feat) {
-        std::fill(in_cols.begin(), in_cols.end(), std::uint8_t{0});
+        std::fill(st.in_cols.begin(), st.in_cols.end(), std::uint8_t{0});
         for (const std::size_t f :
-             sample_without_replacement(rng, n_feat, n_cols_sampled)) {
-          in_cols[f] = 1;
+             sample_without_replacement(st.rng, n_feat, n_cols_sampled)) {
+          st.in_cols[f] = 1;
         }
       } else {
-        std::fill(in_cols.begin(), in_cols.end(), std::uint8_t{1});
+        std::fill(st.in_cols.begin(), st.in_cols.end(), std::uint8_t{1});
       }
 
       GbtTree tree =
           options_.tree_method == GbtTreeMethod::kHist
-              ? build_tree_hist(ctx, options_, g, h, in_sample, in_cols,
-                                gain_by_output[k], count_by_output[k])
-              : build_tree_exact(ctx, options_, g, h, in_sample, in_cols,
-                                 gain_by_output[k], count_by_output[k]);
-      for (std::size_t r = 0; r < n; ++r) pred[r] += tree.predict(x.row(r));
+              ? build_tree_hist(ctx, build_opt, st.g, st.h, st.in_sample,
+                                st.in_cols, gain_by_output_[k], count_by_output_[k])
+              : build_tree_exact(ctx, build_opt, st.g, st.h, st.in_sample,
+                                 st.in_cols, gain_by_output_[k], count_by_output_[k]);
+      for (std::size_t r = 0; r < n; ++r) st.pred[r] += tree.predict(x.row(r));
       ensemble.push_back(std::move(tree));
     }
   };
 
-  if (pool != nullptr && n_out > 1) {
-    pool->parallel_for(0, n_out, fit_output);
-  } else {
-    for (std::size_t k = 0; k < n_out; ++k) fit_output(k);
+  const auto over_outputs = [&](const std::function<void(std::size_t)>& fn) {
+    if (pool != nullptr && n_out > 1) {
+      pool->parallel_for(0, n_out, fn);
+    } else {
+      for (std::size_t k = 0; k < n_out; ++k) fn(k);
+    }
+  };
+
+  over_outputs(init_output);
+
+  const int block = checkpoint_every > 0 ? checkpoint_every : options_.n_rounds;
+  for (int from = start_round; from < options_.n_rounds; from += block) {
+    const int to = std::min(options_.n_rounds, from + block);
+    over_outputs([&](std::size_t k) { fit_rounds(k, from, to); });
+    if (on_checkpoint && to < options_.n_rounds) {
+      // Keep the merged importances consistent before the caller
+      // serializes the partial model.
+      merge_importances();
+      on_checkpoint(to);
+    }
   }
 
-  // Merge importances in fixed output order.
-  gain_sum_.assign(n_feat, 0.0);
-  split_count_.assign(n_feat, 0.0);
-  for (std::size_t k = 0; k < n_out; ++k) {
-    for (std::size_t f = 0; f < n_feat; ++f) {
-      gain_sum_[f] += gain_by_output[k][f];
-      split_count_[f] += count_by_output[k][f];
+  merge_importances();
+}
+
+int GbtRegressor::begin_fit(std::size_t n_feat, std::size_t n_out) {
+  if (fitted()) {
+    // Resume: the model holds the first rounds_completed() trees of the
+    // very fit being continued. The shapes must match the data, and the
+    // per-output importance accumulators must have survived the
+    // round-trip (they are required to keep FP accumulation order).
+    MPHPC_EXPECTS(n_features_ == n_feat && ensembles_.size() == n_out);
+    const int start_round = rounds_completed();
+    for (const auto& ensemble : ensembles_) {
+      MPHPC_EXPECTS(ensemble.size() == static_cast<std::size_t>(start_round));
+    }
+    MPHPC_EXPECTS(start_round <= options_.n_rounds);
+    MPHPC_EXPECTS(gain_by_output_.size() == n_out &&
+                  count_by_output_.size() == n_out);
+    return start_round;
+  }
+  n_features_ = n_feat;
+  ensembles_.assign(n_out, {});
+  base_score_.assign(n_out, 0.0);
+  gain_by_output_.assign(n_out, std::vector<double>(n_feat, 0.0));
+  count_by_output_.assign(n_out, std::vector<double>(n_feat, 0.0));
+  return 0;
+}
+
+void GbtRegressor::merge_importances() {
+  gain_sum_.assign(n_features_, 0.0);
+  split_count_.assign(n_features_, 0.0);
+  for (std::size_t k = 0; k < gain_by_output_.size(); ++k) {
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      gain_sum_[f] += gain_by_output_[k][f];
+      split_count_[f] += count_by_output_[k][f];
     }
   }
 }
@@ -697,6 +790,19 @@ std::string GbtRegressor::serialize() const {
   out += "importance_count";
   for (const double v : split_count_) out += " " + format_double(v);
   out += "\n";
+  // Per-output accumulators (checkpoint resume needs them to continue
+  // the exact FP accumulation order). Older models without them still
+  // load; they just cannot seed a resumed fit.
+  if (gain_by_output_.size() == ensembles_.size()) {
+    for (std::size_t k = 0; k < ensembles_.size(); ++k) {
+      out += "importance_gain_out " + std::to_string(k);
+      for (const double v : gain_by_output_[k]) out += " " + format_double(v);
+      out += "\n";
+      out += "importance_count_out " + std::to_string(k);
+      for (const double v : count_by_output_[k]) out += " " + format_double(v);
+      out += "\n";
+    }
+  }
   for (std::size_t k = 0; k < ensembles_.size(); ++k) {
     for (const GbtTree& tree : ensembles_[k]) {
       out += "tree " + std::to_string(k) + " " + std::to_string(tree.nodes.size()) + "\n";
@@ -744,7 +850,8 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
       throw ParseError("gbt: unknown tree method '" + base_or_method[1] + "'");
     }
     const long long bins = parse_int(base_or_method[2]);
-    if (bins < 2 || bins > BinnedMatrix::kMaxBins) {
+    // 0 is the auto sentinel (resolve_max_bins scales with the fit's rows).
+    if (bins != 0 && (bins < 2 || bins > BinnedMatrix::kMaxBins)) {
       throw ParseError("gbt: max_bins out of range");
     }
     model.options_.max_bins = static_cast<int>(bins);
@@ -766,6 +873,33 @@ GbtRegressor GbtRegressor::deserialize(std::string_view text) {
   for (std::size_t f = 0; f < n_feat; ++f) {
     model.gain_sum_.push_back(parse_double(gains[f + 1]));
     model.split_count_.push_back(parse_double(counts[f + 1]));
+  }
+
+  // Optional per-output accumulator lines (models serialized before the
+  // checkpoint format omit them).
+  const auto peek_line = [&]() -> std::string_view {
+    while (i < lines.size() && trim(lines[i]).empty()) ++i;
+    return i < lines.size() ? trim(lines[i]) : std::string_view{};
+  };
+  if (peek_line().starts_with("importance_gain_out")) {
+    model.gain_by_output_.assign(n_out, {});
+    model.count_by_output_.assign(n_out, {});
+    for (std::size_t k = 0; k < n_out; ++k) {
+      const auto gout = split(next_line(), ' ');
+      if (gout.size() != n_feat + 2 || gout[0] != "importance_gain_out" ||
+          parse_int(gout[1]) != static_cast<long long>(k)) {
+        throw ParseError("gbt: bad importance_gain_out");
+      }
+      const auto cout_line = split(next_line(), ' ');
+      if (cout_line.size() != n_feat + 2 || cout_line[0] != "importance_count_out" ||
+          parse_int(cout_line[1]) != static_cast<long long>(k)) {
+        throw ParseError("gbt: bad importance_count_out");
+      }
+      for (std::size_t f = 0; f < n_feat; ++f) {
+        model.gain_by_output_[k].push_back(parse_double(gout[f + 2]));
+        model.count_by_output_[k].push_back(parse_double(cout_line[f + 2]));
+      }
+    }
   }
 
   model.ensembles_.assign(n_out, {});

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 #include "ml/model.hpp"
@@ -33,6 +34,10 @@
 namespace mphpc::ml {
 
 enum class GbtObjective : std::uint8_t { kSquaredError = 0, kPseudoHuber = 1 };
+
+/// Histogram bin count actually used by a fit: `configured` when nonzero,
+/// otherwise auto-scaled with the row count as clamp(rows / 64, 32, 256).
+[[nodiscard]] int resolve_max_bins(int configured, std::size_t rows) noexcept;
 
 /// Split search strategy: exact-greedy over pre-sorted raw values, or
 /// histogram sweeps over quantile-binned values (faster, near-identical
@@ -56,8 +61,10 @@ struct GbtOptions {
   GbtTreeMethod tree_method = GbtTreeMethod::kHist;
   /// Histogram bins per feature (2..256, kHist). 64 quantile bins resolve
   /// the counter datasets' split structure to well under the exact-greedy
-  /// noise floor while keeping per-node histograms cache-resident; raise
-  /// toward 256 for much larger row counts.
+  /// noise floor while keeping per-node histograms cache-resident — the
+  /// right default for paper-sized campaigns. 0 means auto: scale with
+  /// the row count as clamp(rows / 64, 32, 256) (resolve_max_bins), so
+  /// much larger sweeps get finer quantization without retuning.
   int max_bins = 64;
   std::uint64_t seed = 13;
 };
@@ -85,6 +92,35 @@ class GbtRegressor final : public Regressor {
   explicit GbtRegressor(GbtOptions options = {}) : options_(options) {}
 
   void fit(const Matrix& x, const Matrix& y, ThreadPool* pool = nullptr) override;
+
+  /// Called after every completed checkpoint block with the number of
+  /// boosting rounds finished so far (per output).
+  using ProgressFn = std::function<void(int rounds_done)>;
+
+  /// Checkpointable fit. Fresh (unfitted) models train from round 0; a
+  /// model holding a partial ensemble (deserialized from a checkpoint,
+  /// options restored via set_options) continues from where it stopped
+  /// and produces a final model bit-identical to an uninterrupted fit —
+  /// the RNG streams are replayed past the completed rounds and the
+  /// per-output importance accumulators are carried in the serialized
+  /// state. `on_checkpoint` fires every `checkpoint_every` rounds
+  /// (0 = never) while rounds remain, so the caller can persist
+  /// serialize() plus a manifest. fit() is exactly this with a cleared
+  /// model and no checkpoints.
+  void fit_resumable(const Matrix& x, const Matrix& y, int checkpoint_every,
+                     const ProgressFn& on_checkpoint, ThreadPool* pool = nullptr);
+
+  /// Boosting rounds present per output (0 when unfitted; a partial
+  /// checkpoint holds fewer than options().n_rounds).
+  [[nodiscard]] int rounds_completed() const noexcept {
+    return ensembles_.empty() ? 0 : static_cast<int>(ensembles_.front().size());
+  }
+
+  /// Restores the full training options on a deserialized model before
+  /// resuming (serialize() only stores the method/bins subset). Resuming
+  /// with options that differ from the interrupted run's is undefined.
+  void set_options(const GbtOptions& options) { options_ = options; }
+
   [[nodiscard]] Matrix predict(const Matrix& x) const override;
   [[nodiscard]] std::string name() const override { return "xgboost"; }
   [[nodiscard]] bool fitted() const noexcept override { return !ensembles_.empty(); }
@@ -104,11 +140,24 @@ class GbtRegressor final : public Regressor {
   [[nodiscard]] static GbtRegressor deserialize(std::string_view text);
 
  private:
+  /// Recomputes the merged importance accumulators from the per-output
+  /// ones in fixed output order (deterministic, idempotent).
+  /// Validates a resumed model (or initializes a fresh one) against the
+  /// training-matrix shape; returns the round to continue from.
+  int begin_fit(std::size_t n_feat, std::size_t n_out);
+
+  void merge_importances();
+
   GbtOptions options_;
   std::vector<std::vector<GbtTree>> ensembles_;  ///< [output][round]
   std::vector<double> base_score_;               ///< per-output prior
   std::vector<double> gain_sum_;                 ///< per-feature total gain
   std::vector<double> split_count_;              ///< per-feature split count
+  /// Per-output importance accumulators, kept (and serialized) so a
+  /// resumed fit continues the exact same FP addition sequence instead of
+  /// restarting from the merged sums.
+  std::vector<std::vector<double>> gain_by_output_;   ///< [output][feature]
+  std::vector<std::vector<double>> count_by_output_;  ///< [output][feature]
   std::size_t n_features_ = 0;
 };
 

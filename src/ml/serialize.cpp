@@ -4,16 +4,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
 #include "common/contract.hpp"
 
 namespace mphpc::ml {
 
 void save_text(const std::string& text, const std::string& path) {
   MPHPC_EXPECTS(!path.empty());
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  out << text;
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Atomic replace: a crash mid-save leaves the previous model intact
+  // instead of a torn file.
+  atomic_write_text(path, text);
 }
 
 std::string load_text(const std::string& path) {

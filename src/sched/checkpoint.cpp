@@ -1,0 +1,81 @@
+#include "sched/checkpoint.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace mphpc::sched {
+
+long long CheckpointPolicy::checkpoints_during(double work_s) const noexcept {
+  if (!enabled() || work_s <= interval_s) return 0;
+  // Largest k with k * interval strictly below the attempt's work. The
+  // floor can land one high when work is an exact multiple (floating
+  // division rounding up); the correction keeps the "no checkpoint at
+  // completion" rule exact.
+  auto k = static_cast<long long>(std::floor(work_s / interval_s));
+  while (k > 0 && static_cast<double>(k) * interval_s >= work_s) --k;
+  return k;
+}
+
+double CheckpointPolicy::attempt_duration(double work_s) const noexcept {
+  if (!enabled()) return work_s;  // bit-identical to the no-checkpoint path
+  return work_s +
+         static_cast<double>(checkpoints_during(work_s)) * overhead_s;
+}
+
+CheckpointPolicy::KillAccount CheckpointPolicy::account_kill(double elapsed_s,
+                                                             double work_s) const {
+  MPHPC_EXPECTS(elapsed_s >= 0.0 && work_s > 0.0);
+  KillAccount account;
+  if (!enabled()) {
+    account.lost_work_s = elapsed_s;  // restart-from-zero: everything is lost
+    return account;
+  }
+  const long long total = checkpoints_during(work_s);
+  // The attempt alternates `interval` of work with `overhead` of writing;
+  // checkpoint j completes at wall offset j * (interval + overhead).
+  const double cycle = interval_s + overhead_s;
+  auto done = static_cast<long long>(std::floor(elapsed_s / cycle));
+  while (done > 0 && static_cast<double>(done) * cycle > elapsed_s) --done;
+  if (done > total) done = total;
+  const double into_cycle = elapsed_s - static_cast<double>(done) * cycle;
+  account.checkpoints = done;
+  account.saved_work_s = static_cast<double>(done) * interval_s;
+  account.overhead_paid_s = static_cast<double>(done) * overhead_s;
+  if (done >= total) {
+    // Past the last write: the remainder is the final uncheckpointed
+    // stretch of work.
+    account.lost_work_s = into_cycle;
+  } else if (into_cycle <= interval_s) {
+    account.lost_work_s = into_cycle;  // mid-work, nothing of it saved yet
+  } else {
+    // Mid-write: the full interval being written is not yet durable, and
+    // the partial write counts as overhead.
+    account.lost_work_s = interval_s;
+    account.overhead_paid_s += into_cycle - interval_s;
+  }
+  return account;
+}
+
+double young_daly_interval(double overhead_s, double mtbf_s) {
+  MPHPC_EXPECTS(overhead_s > 0.0 && mtbf_s > 0.0);
+  return std::sqrt(2.0 * overhead_s * mtbf_s);
+}
+
+double trace_node_mtbf_s(const FaultTrace& trace,
+                         const std::vector<Machine>& machines, double horizon_s) {
+  MPHPC_EXPECTS(horizon_s > 0.0);
+  long long failures = 0;
+  for (const NodeEvent& event : trace.events) {
+    if (event.time_s >= horizon_s) break;  // events are time-sorted
+    if (event.delta < 0) ++failures;
+  }
+  long long nodes = 0;
+  for (const Machine& m : machines) nodes += m.total_nodes;
+  MPHPC_EXPECTS(nodes > 0);
+  if (failures == 0) return std::numeric_limits<double>::infinity();
+  return horizon_s * static_cast<double>(nodes) / static_cast<double>(failures);
+}
+
+}  // namespace mphpc::sched

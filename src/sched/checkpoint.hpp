@@ -1,0 +1,73 @@
+// Checkpoint/restart model for the scheduling simulation.
+//
+// Without checkpointing, a killed attempt loses all of its partial work
+// and the job restarts from zero (sched/faults.hpp). A CheckpointPolicy
+// makes attempts durable: after every `interval_s` seconds of *work* the
+// job spends `overhead_s` seconds of wall time writing a checkpoint, and
+// a later kill resumes the job with
+//   remaining = runtime - work saved by the last completed checkpoint
+// instead of from scratch. The policy is a pure arithmetic model — it
+// adds no randomness — so simulations stay bit-reproducible, and a
+// zero-interval (disabled) policy leaves every code path's arithmetic
+// exactly as the restart-from-zero scheduler (golden-tested).
+//
+// The classic interval choice is Young/Daly: for per-checkpoint cost C
+// and mean time between failures M, the loss-minimising interval is
+// approximately sqrt(2 C M). `young_daly_interval` implements it and
+// `trace_node_mtbf_s` recovers the effective per-node MTBF of a
+// pre-generated FaultTrace so the two can be composed.
+#pragma once
+
+#include <vector>
+
+#include "sched/faults.hpp"
+#include "sched/machine.hpp"
+
+namespace mphpc::sched {
+
+/// Fixed-interval checkpointing with a constant per-checkpoint write cost.
+/// interval_s counts *work* seconds (checkpoint writes do not advance the
+/// job); interval_s == 0 disables checkpointing entirely.
+struct CheckpointPolicy {
+  double interval_s = 0.0;  ///< work seconds between checkpoint writes
+  double overhead_s = 0.0;  ///< wall seconds per checkpoint write
+
+  [[nodiscard]] bool enabled() const noexcept { return interval_s > 0.0; }
+
+  /// Completed checkpoint writes during an attempt doing `work_s` seconds
+  /// of work: one per full interval strictly before the attempt finishes
+  /// (a checkpoint exactly at completion would save nothing).
+  [[nodiscard]] long long checkpoints_during(double work_s) const noexcept;
+
+  /// Wall-clock duration of an attempt doing `work_s` seconds of work:
+  /// the work plus every checkpoint write. Returns `work_s` unchanged
+  /// (same bits) when the policy is disabled.
+  [[nodiscard]] double attempt_duration(double work_s) const noexcept;
+
+  /// How a kill at `elapsed_s` wall seconds into an attempt of `work_s`
+  /// seconds of work splits the occupied time. Always reconciles:
+  /// saved + lost + overhead == elapsed (and lost <= interval_s when the
+  /// policy is enabled).
+  struct KillAccount {
+    double saved_work_s = 0.0;     ///< durably checkpointed (recoverable)
+    double lost_work_s = 0.0;      ///< executed but not yet checkpointed
+    double overhead_paid_s = 0.0;  ///< wall spent writing checkpoints
+    long long checkpoints = 0;     ///< completed checkpoint writes
+  };
+  [[nodiscard]] KillAccount account_kill(double elapsed_s, double work_s) const;
+};
+
+/// Young/Daly optimal checkpoint interval sqrt(2 * overhead_s * mtbf_s)
+/// (the first-order optimum for overhead << MTBF). Requires both positive.
+[[nodiscard]] double young_daly_interval(double overhead_s, double mtbf_s);
+
+/// Effective per-node MTBF of a fault trace over [0, horizon_s): total
+/// node-time divided by the number of node-failure events inside the
+/// horizon. Random per-attempt job kills (trace.kill_probability) are not
+/// time-based and are excluded. Returns +infinity when the trace has no
+/// failures in the horizon.
+[[nodiscard]] double trace_node_mtbf_s(const FaultTrace& trace,
+                                       const std::vector<Machine>& machines,
+                                       double horizon_s);
+
+}  // namespace mphpc::sched

@@ -23,6 +23,9 @@ struct RunningJob {
   int nodes = 0;
   double start = 0.0;
   double end = 0.0;
+  /// Work seconds this attempt performs (runtime minus checkpointed
+  /// progress); end - start additionally includes checkpoint overhead.
+  double work = 0.0;
 };
 
 /// Running-job ledger of one machine, ordered by completion time, plus
@@ -77,11 +80,14 @@ class SimEngine {
       : jobs_(jobs),
         assigner_(assigner),
         faults_(faults),
+        checkpoint_(options.checkpoint),
         depth_limit_(options.backfill_depth == 0 ? std::numeric_limits<int>::max()
                                                  : options.backfill_depth),
         view_(machines, free_nodes_) {
     MPHPC_EXPECTS(!machines.empty());
     MPHPC_EXPECTS(options.backfill_depth >= 0);
+    MPHPC_EXPECTS(options.checkpoint.interval_s >= 0.0);
+    MPHPC_EXPECTS(options.checkpoint.overhead_s >= 0.0);
     MPHPC_EXPECTS(faults.retry.max_attempts >= 1);
     MPHPC_EXPECTS(faults.kill_probability >= 0.0 && faults.kill_probability <= 1.0);
     for (const Machine& m : machines) {
@@ -102,6 +108,7 @@ class SimEngine {
   [[nodiscard]] SimulationResult run() {
     result_.outcomes.resize(jobs_.size());
     attempts_.assign(jobs_.size(), 0);
+    saved_fraction_.assign(jobs_.size(), 0.0);
     running_ref_.resize(jobs_.size());
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
       if (jobs_[i].submit_s <= 0.0) {
@@ -136,13 +143,26 @@ class SimEngine {
     auto& s = state_[mi];
     const double runtime = job.runtime[mi];
     MPHPC_EXPECTS(runtime > 0.0 && s.free >= job.nodes_required);
+    // A resumed attempt only redoes the work past its last checkpoint.
+    // Progress is tracked as a fraction of the job so a retry assigned to
+    // a *different* machine (different runtime) resumes proportionally.
+    // Checkpoints never land exactly at completion, so the saved fraction
+    // is strictly below 1 and `work` stays positive. Disabled policy:
+    // work == runtime, duration == work with the same bits — the
+    // restart-from-zero arithmetic is untouched.
+    const double work = checkpoint_.enabled()
+                            ? runtime * (1.0 - saved_fraction_[job_index])
+                            : runtime;
+    MPHPC_ASSERT(work > 0.0);
+    const double duration = checkpoint_.attempt_duration(work);
     s.free -= job.nodes_required;
     free_nodes_[mi] = s.free;
     const int attempt = ++attempts_[job_index];
     const auto it = s.running.emplace(
-        now + runtime, RunningJob{job_index, job.nodes_required, now, now + runtime});
+        now + duration,
+        RunningJob{job_index, job.nodes_required, now, now + duration, work});
     running_ref_[job_index] = {true, mi, it};
-    result_.outcomes[job_index] = {m, now, now + runtime, job.submit_s, attempt, false};
+    result_.outcomes[job_index] = {m, now, now + duration, job.submit_s, attempt, false};
     if (faults_.kill_probability > 0.0) {
       // Per-attempt draw from its own derived stream, so kill decisions
       // are independent of scheduling order and machine choice.
@@ -150,7 +170,7 @@ class SimEngine {
                           static_cast<std::uint64_t>(job.id),
                           static_cast<std::uint64_t>(attempt)));
       if (rng.bernoulli(faults_.kill_probability)) {
-        kills_.emplace(now + rng.uniform() * runtime, job_index, attempt);
+        kills_.emplace(now + rng.uniform() * duration, job_index, attempt);
       }
     }
     ++started_count_;
@@ -232,7 +252,18 @@ class SimEngine {
         s.free += rj.nodes;
         s.running.erase(s.running.begin());
         running_ref_[rj.job].active = false;
-        result_.node_seconds[mi] += (rj.end - rj.start) * static_cast<double>(rj.nodes);
+        if (checkpoint_.enabled()) {
+          // Split the occupied span into committed work and checkpoint
+          // overhead so utilization counts real progress only.
+          const long long written = checkpoint_.checkpoints_during(rj.work);
+          result_.node_seconds[mi] += rj.work * static_cast<double>(rj.nodes);
+          result_.checkpoint_overhead_node_seconds[mi] +=
+              static_cast<double>(written) * checkpoint_.overhead_s *
+              static_cast<double>(rj.nodes);
+          result_.checkpoints_written += written;
+        } else {
+          result_.node_seconds[mi] += (rj.end - rj.start) * static_cast<double>(rj.nodes);
+        }
         ++result_.completed_jobs;
         ++finalized_;
       }
@@ -248,8 +279,20 @@ class SimEngine {
     MPHPC_ASSERT(ref.active);
     auto& s = state_[ref.machine];
     const RunningJob rj = ref.where->second;
-    result_.lost_node_seconds[ref.machine] +=
-        (t - rj.start) * static_cast<double>(rj.nodes);
+    if (checkpoint_.enabled()) {
+      const auto account = checkpoint_.account_kill(t - rj.start, rj.work);
+      saved_fraction_[job_index] +=
+          account.saved_work_s / jobs_[job_index].runtime[ref.machine];
+      const auto nodes = static_cast<double>(rj.nodes);
+      result_.recovered_node_seconds[ref.machine] += account.saved_work_s * nodes;
+      result_.lost_node_seconds[ref.machine] += account.lost_work_s * nodes;
+      result_.checkpoint_overhead_node_seconds[ref.machine] +=
+          account.overhead_paid_s * nodes;
+      result_.checkpoints_written += account.checkpoints;
+    } else {
+      result_.lost_node_seconds[ref.machine] +=
+          (t - rj.start) * static_cast<double>(rj.nodes);
+    }
     s.running.erase(ref.where);
     ref.active = false;
     s.free += rj.nodes;
@@ -350,6 +393,7 @@ class SimEngine {
   const std::vector<Job>& jobs_;
   MachineAssigner& assigner_;
   const FaultTrace& faults_;
+  const CheckpointPolicy checkpoint_;
   const int depth_limit_;
 
   std::array<MachineState, arch::kNumSystems> state_{};
@@ -370,6 +414,11 @@ class SimEngine {
                       std::greater<>>
       kills_;
   std::vector<int> attempts_;
+  /// Per-job fraction of total progress durably checkpointed across
+  /// killed attempts; the next attempt on machine m resumes with
+  /// runtime[m] * (1 - saved_fraction_) of work remaining (a fraction,
+  /// not seconds, so resuming on a different machine scales correctly).
+  std::vector<double> saved_fraction_;
   std::vector<RunningRef> running_ref_;
   std::size_t trace_pos_ = 0;
   std::size_t started_count_ = 0;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sched/assigners.hpp"
+#include "sched/checkpoint.hpp"
 #include "sched/faults.hpp"
 #include "sched/job.hpp"
 #include "sched/machine.hpp"
@@ -38,6 +39,9 @@ struct SchedulerOptions {
   /// Algorithm 1 scans the whole queue; production schedulers often cap
   /// the scan. 0 means unlimited (the default, matching the paper).
   int backfill_depth = 0;
+  /// Per-job checkpoint/restart policy. The default (interval 0) keeps
+  /// the restart-from-zero behaviour bit-identically.
+  CheckpointPolicy checkpoint{};
 };
 
 struct SimulationResult {
@@ -46,13 +50,24 @@ struct SimulationResult {
   double avg_bounded_slowdown = 0.0;  ///< bound tau = 10 s; completed jobs
   double avg_wait_s = 0.0;            ///< completed jobs only
   /// Node-seconds of work committed per machine (utilization numerator;
-  /// completed attempts only).
+  /// completed attempts only). With checkpointing enabled this counts
+  /// pure work; checkpoint writes land in
+  /// checkpoint_overhead_node_seconds instead.
   std::array<double, arch::kNumSystems> node_seconds{};
-  /// Node-seconds of partial work discarded by kills, per machine.
+  /// Node-seconds of partial work discarded by kills, per machine. With
+  /// checkpointing enabled each kill loses at most one interval of work.
   std::array<double, arch::kNumSystems> lost_node_seconds{};
   /// Node-seconds of capacity offline (failed, not yet repaired), per
   /// machine, accumulated over [0, makespan_s].
   std::array<double, arch::kNumSystems> downtime_node_seconds{};
+  /// Node-seconds spent writing checkpoints, per machine (both completed
+  /// and killed attempts). Zero when the policy is disabled.
+  std::array<double, arch::kNumSystems> checkpoint_overhead_node_seconds{};
+  /// Node-seconds of killed-attempt work preserved by checkpoints, per
+  /// machine: occupied time that later attempts did not have to redo.
+  /// Zero when the policy is disabled.
+  std::array<double, arch::kNumSystems> recovered_node_seconds{};
+  long long checkpoints_written = 0;  ///< completed checkpoint writes
   long long jobs_killed = 0;     ///< kill events (node failures + random)
   long long total_retries = 0;   ///< resubmissions after kills
   std::size_t completed_jobs = 0;

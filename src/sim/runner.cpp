@@ -1,8 +1,137 @@
 #include "sim/runner.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
 #include "common/contract.hpp"
+#include "common/strings.hpp"
 
 namespace mphpc::sim {
+
+namespace {
+
+// ---------------------------------------------------- campaign shards ----
+//
+// One shard file per (app, input) work item, written atomically after the
+// item is profiled. Layout:
+//   mphpc-shard v1
+//   app <name>
+//   input <index>
+//   profiles <count>
+//   p <35 numeric fields per profile>
+// Anything that fails to parse — wrong header, wrong count, out-of-range
+// enum, non-positive time — invalidates the whole shard and the item is
+// re-profiled; a stale or tampered cache can never poison the campaign
+// silently, it is just slower.
+
+std::string shard_path(const std::string& dir, const std::string& app, int input) {
+  return dir + "/" + app + "_i" + std::to_string(input) + ".shard";
+}
+
+std::string serialize_shard(const std::string& app, int input,
+                            const RunProfile* profiles, std::size_t count) {
+  std::string out = "mphpc-shard v1\napp " + app + "\ninput " +
+                    std::to_string(input) + "\nprofiles " + std::to_string(count) +
+                    "\n";
+  for (std::size_t j = 0; j < count; ++j) {
+    const RunProfile& p = profiles[j];
+    out += "p " + format_double(p.input_scale) + " " +
+           std::to_string(static_cast<int>(p.system)) + " " +
+           std::to_string(static_cast<int>(p.device)) + " " +
+           std::to_string(static_cast<int>(p.config.scale_class)) + " " +
+           std::to_string(p.config.nodes) + " " + std::to_string(p.config.ranks) +
+           " " + std::to_string(p.config.cores) + " " +
+           std::to_string(p.config.gpus) + " " +
+           std::to_string(p.config.uses_gpu ? 1 : 0) + " " +
+           format_double(p.time_s) + " " + format_double(p.model_time_s);
+    const double breakdown[] = {p.breakdown.compute_s,  p.breakdown.memory_s,
+                                p.breakdown.branch_s,   p.breakdown.gpu_s,
+                                p.breakdown.overhead_s, p.breakdown.serial_s,
+                                p.breakdown.comm_s,     p.breakdown.io_s};
+    for (const double v : breakdown) out += " " + format_double(v);
+    for (const double v : p.counters) out += " " + format_double(v);
+    out += "\n";
+  }
+  return out;
+}
+
+/// Parses one shard file back into profiles. Returns nullopt on any
+/// structural or range problem (the caller re-profiles the item).
+std::optional<std::vector<RunProfile>> load_shard(const std::string& path,
+                                                  const std::string& app, int input,
+                                                  std::size_t expected_count) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto lines = split(text, '\n');
+  std::size_t i = 0;
+  const auto next = [&]() -> std::string_view {
+    while (i < lines.size() && trim(lines[i]).empty()) ++i;
+    return i < lines.size() ? trim(lines[i++]) : std::string_view{};
+  };
+  try {
+    if (next() != "mphpc-shard v1") return std::nullopt;
+    if (next() != "app " + app) return std::nullopt;
+    if (next() != "input " + std::to_string(input)) return std::nullopt;
+    if (next() != "profiles " + std::to_string(expected_count)) return std::nullopt;
+
+    std::vector<RunProfile> profiles(expected_count);
+    for (std::size_t j = 0; j < expected_count; ++j) {
+      const auto parts = split(next(), ' ');
+      if (parts.size() != 36 || parts[0] != "p") return std::nullopt;
+      RunProfile& p = profiles[j];
+      p.app = app;
+      p.input_index = input;
+      p.input_scale = parse_double(parts[1]);
+      const long long system = parse_int(parts[2]);
+      const long long device = parse_int(parts[3]);
+      const long long scale = parse_int(parts[4]);
+      if (system < 0 || system >= static_cast<long long>(arch::kNumSystems) ||
+          device < 0 || device > 1 || scale < 0 ||
+          scale >= static_cast<long long>(workload::kNumScaleClasses)) {
+        return std::nullopt;
+      }
+      p.system = static_cast<arch::SystemId>(system);
+      p.device = static_cast<arch::Device>(device);
+      p.config.scale_class = static_cast<workload::ScaleClass>(scale);
+      p.config.nodes = static_cast<int>(parse_int(parts[5]));
+      p.config.ranks = static_cast<int>(parse_int(parts[6]));
+      p.config.cores = static_cast<int>(parse_int(parts[7]));
+      p.config.gpus = static_cast<int>(parse_int(parts[8]));
+      p.config.uses_gpu = parse_int(parts[9]) != 0;
+      p.time_s = parse_double(parts[10]);
+      p.model_time_s = parse_double(parts[11]);
+      double* breakdown[] = {&p.breakdown.compute_s,  &p.breakdown.memory_s,
+                             &p.breakdown.branch_s,   &p.breakdown.gpu_s,
+                             &p.breakdown.overhead_s, &p.breakdown.serial_s,
+                             &p.breakdown.comm_s,     &p.breakdown.io_s};
+      for (std::size_t b = 0; b < 8; ++b) *breakdown[b] = parse_double(parts[12 + b]);
+      for (std::size_t c = 0; c < arch::kNumCounterKinds; ++c) {
+        p.counters[c] = parse_double(parts[20 + c]);
+      }
+      if (!(p.time_s > 0.0) || p.config.nodes < 1 || p.config.ranks < 1 ||
+          p.config.cores < 1 || p.config.gpus < 0) {
+        return std::nullopt;
+      }
+    }
+    return profiles;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+std::string campaign_fingerprint(const CampaignOptions& options) {
+  return "mphpc-campaign v1\nseed " + std::to_string(options.seed) +
+         "\ninputs_per_app " + std::to_string(options.inputs_per_app) + "\n";
+}
+
+}  // namespace
 
 std::vector<RunProfile> run_input(const workload::AppSignature& app,
                                   const workload::InputConfig& input,
@@ -43,8 +172,40 @@ std::vector<RunProfile> run_campaign(const workload::AppCatalog& apps,
   std::vector<RunProfile> all(items.size() * per_item);
   const Profiler profiler(options.seed);
 
+  // Interruptible campaigns: shards from a previous run of the *same*
+  // campaign (manifest match) are reused; otherwise the manifest is
+  // rewritten and every item re-profiles (overwriting stale shards).
+  const std::string& dir = options.checkpoint_dir;
+  bool reuse_shards = false;
+  if (!dir.empty()) {
+    std::filesystem::create_directories(dir);
+    const std::string manifest_path = dir + "/manifest.txt";
+    const std::string fingerprint = campaign_fingerprint(options);
+    std::ifstream manifest(manifest_path);
+    std::ostringstream existing;
+    existing << manifest.rdbuf();
+    reuse_shards = manifest.good() && existing.str() == fingerprint;
+    if (!reuse_shards) atomic_write_text(manifest_path, fingerprint);
+  }
+
   const auto process = [&](std::size_t i) {
+    const std::string& app_name = items[i].app->name;
+    const int input = items[i].input.index;
+    const std::string shard =
+        dir.empty() ? std::string{} : shard_path(dir, app_name, input);
+    if (reuse_shards) {
+      if (auto cached = load_shard(shard, app_name, input, per_item)) {
+        for (std::size_t j = 0; j < per_item; ++j) {
+          all[i * per_item + j] = std::move((*cached)[j]);
+        }
+        return;
+      }
+    }
     auto profiles = run_input(*items[i].app, items[i].input, systems, profiler);
+    if (!shard.empty()) {
+      atomic_write_text(shard,
+                        serialize_shard(app_name, input, profiles.data(), per_item));
+    }
     for (std::size_t j = 0; j < per_item; ++j) {
       all[i * per_item + j] = std::move(profiles[j]);
     }

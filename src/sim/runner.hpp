@@ -18,6 +18,13 @@ struct CampaignOptions {
   int inputs_per_app = 47;    ///< ~47 inputs x 20 apps x 3 scales x 4 systems
                               ///  ~= the paper's 11,312 rows
   std::uint64_t seed = 2024;  ///< master seed for inputs + measurement noise
+  /// When non-empty, the campaign is interruptible: each profiled
+  /// (app, input) shard is persisted atomically under this directory and
+  /// a re-run skips shards that are already on disk, as long as the
+  /// directory's manifest matches (seed, inputs_per_app). A manifest
+  /// mismatch or a corrupt/truncated shard simply re-profiles. The
+  /// returned profiles are bit-identical with or without the cache.
+  std::string checkpoint_dir;
 };
 
 /// Runs the full campaign. Profiles are ordered deterministically:

@@ -2,6 +2,15 @@
 // checking the qualitative findings of the paper hold on a reduced-size run.
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
 #include "arch/system_catalog.hpp"
 #include "common/thread_pool.hpp"
 #include "core/dataset.hpp"
@@ -166,6 +175,102 @@ TEST_F(EndToEnd, CountersFromCpuSourcesPredictNoWorseThanGpu) {
   const double ruby = eval_source("ruby");
   const double corona = eval_source("corona");
   EXPECT_LT(ruby, corona * 1.3);  // CPU source competitive-or-better
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(EndToEnd, TrainResumeAfterSigkillIsBitIdentical) {
+  // Crash-safe training end to end: a child process is SIGKILLed mid-fit
+  // (no destructors, no cleanup — the honest crash), then a resumed train
+  // in this process must produce the byte-identical model file an
+  // uninterrupted train writes.
+  const auto& s = state();
+  const std::string dir = ::testing::TempDir();
+  const std::string reference_path = dir + "/mphpc_resume_reference.model";
+  const std::string model_path = dir + "/mphpc_resume.model";
+  const std::string ckpt_path = model_path + ".ckpt";
+  for (const auto& p : {reference_path, model_path, ckpt_path,
+                        ckpt_path + ".manifest"}) {
+    std::filesystem::remove(p);
+  }
+
+  core::CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 160;
+  options.gbt.max_depth = 6;
+
+  core::CrossArchPredictor reference(options);
+  reference.train(s.dataset, s.split.train);
+  reference.save(reference_path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: checkpoint every 2 rounds until killed. SIGKILL gives no
+    // chance to flush anything — only completed atomic renames survive.
+    core::CrossArchPredictor victim(options);
+    victim.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, false},
+                              s.split.train);
+    victim.save(model_path);
+    _exit(0);
+  }
+  // Parent: the checkpoint file appearing (atomic rename) proves the
+  // child is mid-fit with at least 2 rounds on disk; kill it then.
+  while (!std::filesystem::exists(ckpt_path)) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, WNOHANG), 0)
+        << "child finished before it could be killed; raise n_rounds";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_FALSE(std::filesystem::exists(model_path));  // really interrupted
+  ASSERT_TRUE(std::filesystem::exists(ckpt_path + ".manifest"));
+
+  core::CrossArchPredictor resumed(options);
+  resumed.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true},
+                             s.split.train);
+  resumed.save(model_path);
+
+  const std::string expected = read_file(reference_path);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(read_file(model_path), expected);
+  // Successful completion cleans up the checkpoint pair.
+  EXPECT_FALSE(std::filesystem::exists(ckpt_path));
+  EXPECT_FALSE(std::filesystem::exists(ckpt_path + ".manifest"));
+}
+
+TEST_F(EndToEnd, TrainResumeRejectsForeignCheckpoint) {
+  // A checkpoint from a different configuration must not silently seed
+  // the fit.
+  const auto& s = state();
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt_path = dir + "/mphpc_foreign.model.ckpt";
+
+  core::CrossArchPredictor::Options options;
+  options.gbt.n_rounds = 20;
+  options.gbt.max_depth = 4;
+  core::CrossArchPredictor donor(options);
+  donor.train(s.dataset, s.split.train);
+  donor.save(ckpt_path);
+  {
+    std::ofstream manifest(ckpt_path + ".manifest");
+    manifest << "mphpc-train-checkpoint v1\nrows 1\nfeatures 1\noptions bogus\n";
+  }
+
+  core::CrossArchPredictor resumed(options);
+  EXPECT_THROW(resumed.train_checkpointed(
+                   s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true},
+                   s.split.train),
+               std::runtime_error);
+  std::filesystem::remove(ckpt_path);
+  std::filesystem::remove(ckpt_path + ".manifest");
 }
 
 }  // namespace

@@ -38,8 +38,10 @@ struct LintResult {
 };
 
 /// Runs `mphpc_lint <root> <extra_args>` and captures stdout+stderr.
+/// The capture file lives under the gtest temp dir — never under `root`,
+/// which for RealTreeLintsClean is the actual source tree.
 LintResult run_lint(const fs::path& root, const std::string& extra_args = "") {
-  const fs::path out_path = root / "lint_output.txt";
+  const fs::path out_path = fs::path(::testing::TempDir()) / "lint_capture.txt";
   const std::string cmd = std::string(MPHPC_LINT_BIN) + " " + extra_args + " \"" +
                           root.string() + "\" > \"" + out_path.string() +
                           "\" 2>&1";
@@ -240,6 +242,19 @@ TEST_F(LintTest, ListRulesEnumeratesAll) {
       "nondeterminism", "unordered-iteration", "io-in-lib", "raw-new",
       "pragma-once",    "no-float",            "function-size"};
   EXPECT_EQ(rules, expected);
+}
+
+TEST_F(LintTest, ReportFlagDuplicatesFindingsToFile) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const fs::path report = root_ / "report.txt";
+  const LintResult r = run_lint(root_, "--report=\"" + report.string() + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("[no-float]"), std::string::npos) << ss.str();
+  EXPECT_NE(ss.str().find("1 violation(s)"), std::string::npos) << ss.str();
 }
 
 TEST_F(LintTest, RealTreeLintsClean) {

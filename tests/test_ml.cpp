@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/binning.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
 #include "ml/linear_regressor.hpp"
@@ -457,6 +459,84 @@ TEST(Gbt, RejectsInvalidMaxBins) {
   GbtRegressor model(bad);
   const Problem p = make_problem(50, 0.0, 23);
   EXPECT_THROW(model.fit(p.x, p.y), ContractViolation);
+}
+
+TEST(Gbt, ResolveMaxBinsAutoScalesWithRows) {
+  // 0 is the auto sentinel: clamp(rows / 64, 32, kMaxBins).
+  EXPECT_EQ(resolve_max_bins(0, 100), 32);       // small data -> floor
+  EXPECT_EQ(resolve_max_bins(0, 64 * 100), 100); // scales linearly
+  EXPECT_EQ(resolve_max_bins(0, 1'000'000), BinnedMatrix::kMaxBins);
+  // A configured value passes through untouched.
+  EXPECT_EQ(resolve_max_bins(64, 10), 64);
+  EXPECT_EQ(resolve_max_bins(200, 1'000'000), 200);
+}
+
+TEST(Gbt, AutoMaxBinsFitsAndRoundTrips) {
+  const Problem p = make_problem(300, 0.2, 24);
+  GbtOptions options = small_gbt();
+  options.tree_method = GbtTreeMethod::kHist;
+  options.max_bins = 0;  // auto
+  GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  EXPECT_LT(mean_absolute_error(p.y, model.predict(p.x)), 0.3);
+  // Serialization keeps the sentinel and the restored model predicts
+  // identically.
+  const GbtRegressor restored = GbtRegressor::deserialize(model.serialize());
+  EXPECT_EQ(restored.options().max_bins, 0);
+  const Matrix a = model.predict(p.x);
+  const Matrix b = restored.predict(p.x);
+  for (std::size_t i = 0; i < a.flat().size(); ++i) EXPECT_EQ(a.flat()[i], b.flat()[i]);
+}
+
+// ------------------------------------------------------ gbt: resumability ----
+
+TEST(Gbt, ResumedFitIsBitIdenticalToStraightFit) {
+  // Interrupt-and-resume must reproduce the uninterrupted model exactly:
+  // serialize a checkpoint mid-fit, reload it, continue, and compare the
+  // final serialized bytes. Row/column sampling is active so the RNG
+  // burn-in on resume is exercised too.
+  const Problem p = make_problem(300, 0.2, 25);
+  GbtOptions options = small_gbt();
+  options.subsample = 0.8;
+  options.colsample = 0.8;
+
+  GbtRegressor straight(options);
+  straight.fit(p.x, p.y);
+
+  std::string checkpoint_text;
+  GbtRegressor first(options);
+  first.fit_resumable(p.x, p.y, /*checkpoint_every=*/7, [&](int rounds_done) {
+    if (rounds_done == 21) checkpoint_text = first.serialize();
+  });
+  ASSERT_FALSE(checkpoint_text.empty());
+  // Checkpointing itself must not perturb the fit.
+  EXPECT_EQ(first.serialize(), straight.serialize());
+
+  GbtRegressor resumed = GbtRegressor::deserialize(checkpoint_text);
+  EXPECT_EQ(resumed.rounds_completed(), 21);
+  resumed.set_options(options);  // deserialize round-trips them, but be explicit
+  ThreadPool pool(4);            // continuation under a pool stays identical
+  resumed.fit_resumable(p.x, p.y, 0, nullptr, &pool);
+  EXPECT_EQ(resumed.rounds_completed(), options.n_rounds);
+  EXPECT_EQ(resumed.serialize(), straight.serialize());
+}
+
+TEST(Gbt, ResumeRejectsMismatchedShape) {
+  const Problem p = make_problem(200, 0.0, 26);
+  GbtOptions options = small_gbt();
+  GbtRegressor model(options);
+  std::string checkpoint_text;
+  model.fit_resumable(p.x, p.y, 10, [&](int rounds_done) {
+    if (checkpoint_text.empty() && rounds_done >= 10) {
+      checkpoint_text = model.serialize();
+    }
+  });
+  ASSERT_FALSE(checkpoint_text.empty());
+  GbtRegressor resumed = GbtRegressor::deserialize(checkpoint_text);
+  const Problem other = make_problem(200, 0.0, 27);
+  Matrix narrow(other.x.rows(), 2);  // wrong feature count
+  EXPECT_THROW(resumed.fit_resumable(narrow, other.y, 0, nullptr),
+               ContractViolation);
 }
 
 // --------------------------------------------------- gbt: hist vs exact ----

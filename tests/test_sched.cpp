@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sched/assigners.hpp"
+#include "sched/checkpoint.hpp"
 #include "sched/easy_scheduler.hpp"
 #include "sched/faults.hpp"
 #include "sched/machine.hpp"
@@ -471,6 +472,9 @@ void expect_results_identical(const SimulationResult& a, const SimulationResult&
   EXPECT_EQ(a.node_seconds, b.node_seconds);
   EXPECT_EQ(a.lost_node_seconds, b.lost_node_seconds);
   EXPECT_EQ(a.downtime_node_seconds, b.downtime_node_seconds);
+  EXPECT_EQ(a.checkpoint_overhead_node_seconds, b.checkpoint_overhead_node_seconds);
+  EXPECT_EQ(a.recovered_node_seconds, b.recovered_node_seconds);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
   EXPECT_EQ(a.jobs_killed, b.jobs_killed);
   EXPECT_EQ(a.total_retries, b.total_retries);
   EXPECT_EQ(a.completed_jobs, b.completed_jobs);
@@ -642,6 +646,224 @@ TEST(FaultyScheduler, DeterministicAcrossThreadConfigs) {
     });
     for (const auto& result : results) {
       expect_results_identical(reference, result);
+    }
+  }
+}
+
+// ------------------------------------------------------ checkpoint/restart ----
+
+TEST(CheckpointPolicy, DisabledPolicyIsPassThrough) {
+  const CheckpointPolicy off;
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.checkpoints_during(1e6), 0);
+  // Bit-identical, not just approximately equal: the disabled policy must
+  // not perturb the restart-from-zero arithmetic.
+  EXPECT_EQ(off.attempt_duration(123.456), 123.456);
+  const auto account = off.account_kill(50.0, 100.0);
+  EXPECT_EQ(account.saved_work_s, 0.0);
+  EXPECT_EQ(account.lost_work_s, 50.0);
+  EXPECT_EQ(account.overhead_paid_s, 0.0);
+  EXPECT_EQ(account.checkpoints, 0);
+}
+
+TEST(CheckpointPolicy, CountsWritesStrictlyBeforeCompletion) {
+  const CheckpointPolicy policy{30.0, 5.0};
+  ASSERT_TRUE(policy.enabled());
+  EXPECT_EQ(policy.checkpoints_during(100.0), 3);  // at work 30, 60, 90
+  EXPECT_EQ(policy.checkpoints_during(90.0), 2);   // none at completion
+  EXPECT_EQ(policy.checkpoints_during(30.0), 0);
+  EXPECT_EQ(policy.checkpoints_during(30.5), 1);
+  EXPECT_DOUBLE_EQ(policy.attempt_duration(100.0), 115.0);  // 100 + 3 x 5
+  EXPECT_DOUBLE_EQ(policy.attempt_duration(90.0), 100.0);   // 90 + 2 x 5
+}
+
+TEST(CheckpointPolicy, KillAccountingSplitsElapsedExactly) {
+  const CheckpointPolicy policy{30.0, 5.0};  // cycle = 35 wall seconds
+  // Killed at wall 50 of a 100 s-work attempt: checkpoint 1 completed at
+  // wall 35, then 15 s into the second interval.
+  auto account = policy.account_kill(50.0, 100.0);
+  EXPECT_EQ(account.checkpoints, 1);
+  EXPECT_DOUBLE_EQ(account.saved_work_s, 30.0);
+  EXPECT_DOUBLE_EQ(account.overhead_paid_s, 5.0);
+  EXPECT_DOUBLE_EQ(account.lost_work_s, 15.0);
+
+  // Killed mid-write at wall 33: the interval being written is not yet
+  // durable (lost), the partial write counts as overhead.
+  account = policy.account_kill(33.0, 100.0);
+  EXPECT_EQ(account.checkpoints, 0);
+  EXPECT_DOUBLE_EQ(account.saved_work_s, 0.0);
+  EXPECT_DOUBLE_EQ(account.lost_work_s, 30.0);
+  EXPECT_DOUBLE_EQ(account.overhead_paid_s, 3.0);
+
+  // Killed past the last write (wall 110 of a 115 s attempt): only the
+  // final uncheckpointed stretch is lost.
+  account = policy.account_kill(110.0, 100.0);
+  EXPECT_EQ(account.checkpoints, 3);
+  EXPECT_DOUBLE_EQ(account.saved_work_s, 90.0);
+  EXPECT_DOUBLE_EQ(account.overhead_paid_s, 15.0);
+  EXPECT_DOUBLE_EQ(account.lost_work_s, 5.0);
+
+  // Invariants: the split always reconciles and a kill never loses more
+  // than one interval of work.
+  for (const double elapsed : {0.0, 10.0, 30.0, 34.9, 35.0, 69.0, 100.0, 114.0}) {
+    const auto a = policy.account_kill(elapsed, 100.0);
+    EXPECT_DOUBLE_EQ(a.saved_work_s + a.lost_work_s + a.overhead_paid_s, elapsed);
+    EXPECT_LE(a.lost_work_s, policy.interval_s);
+  }
+}
+
+TEST(CheckpointPolicy, YoungDalyInterval) {
+  EXPECT_DOUBLE_EQ(young_daly_interval(50.0, 100.0), 100.0);  // sqrt(2*50*100)
+  EXPECT_DOUBLE_EQ(young_daly_interval(60.0, 30.0 * 24.0 * 3600.0),
+                   std::sqrt(2.0 * 60.0 * 30.0 * 24.0 * 3600.0));
+  EXPECT_THROW(young_daly_interval(0.0, 100.0), mphpc::ContractViolation);
+  EXPECT_THROW(young_daly_interval(10.0, 0.0), mphpc::ContractViolation);
+}
+
+TEST(CheckpointPolicy, TraceNodeMtbfCountsFailuresInHorizon) {
+  const auto machines = tiny_cluster(2, 2, 2, 2);  // 8 nodes
+  FaultTrace trace;
+  trace.events = {{100.0, SystemId::kQuartz, -1}, {200.0, SystemId::kQuartz, +1},
+                  {300.0, SystemId::kRuby, -1},   {400.0, SystemId::kRuby, +1},
+                  {500.0, SystemId::kLassen, -1}, {600.0, SystemId::kLassen, +1},
+                  {700.0, SystemId::kCorona, -1}, {800.0, SystemId::kCorona, +1},
+                  {1500.0, SystemId::kQuartz, -1}};  // outside the horizon
+  // 4 failures in [0, 1000) over 8 node-kiloseconds -> MTBF 2000 s.
+  EXPECT_DOUBLE_EQ(trace_node_mtbf_s(trace, machines, 1000.0), 2000.0);
+  // No failures in a tiny horizon -> infinite MTBF.
+  EXPECT_TRUE(std::isinf(trace_node_mtbf_s(trace, machines, 50.0)));
+}
+
+TEST(CheckpointedScheduler, KillResumesFromLastCheckpoint) {
+  // Mirror of NodeFailureKillsAndReschedulesJob with a {4 s, 1 s} policy.
+  // Attempt 1 does 100 s of work -> 24 writes -> 124 s wall; the kill at
+  // wall 10 lands exactly after write 2 (cycle 5), so 8 s of work is
+  // durable. Attempt 2 resumes with 92 s remaining (22 writes, 114 s wall)
+  // at the t=50 repair and ends at 164.
+  const auto machines = tiny_cluster();
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  } assigner;
+
+  FaultTrace trace;
+  trace.events = {{10.0, SystemId::kQuartz, -1}, {50.0, SystemId::kQuartz, +1}};
+  trace.retry = {/*max_attempts=*/4, /*base_delay_s=*/5.0, /*multiplier=*/2.0,
+                 /*max_delay_s=*/3600.0, /*jitter=*/0.0};
+
+  SchedulerOptions options;
+  options.checkpoint = {4.0, 1.0};
+  const std::vector<Job> jobs = {make_job(0, 100, 100, 100, 100, /*nodes=*/2)};
+  const auto result = simulate(jobs, machines, assigner, trace, options);
+
+  EXPECT_EQ(result.jobs_killed, 1);
+  EXPECT_EQ(result.completed_jobs, 1u);
+  EXPECT_EQ(result.outcomes[0].attempts, 2);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].start_s, 50.0);
+  EXPECT_DOUBLE_EQ(result.outcomes[0].end_s, 164.0);
+  const auto q = static_cast<std::size_t>(SystemId::kQuartz);
+  EXPECT_DOUBLE_EQ(result.node_seconds[q], 184.0);       // 92 s work x 2 nodes
+  EXPECT_DOUBLE_EQ(result.recovered_node_seconds[q], 16.0);  // 8 s x 2 nodes
+  EXPECT_DOUBLE_EQ(result.lost_node_seconds[q], 0.0);    // kill right at a write
+  // Kill: 2 writes paid; completion: 22 writes -> (2 + 22) x 1 s x 2 nodes.
+  EXPECT_DOUBLE_EQ(result.checkpoint_overhead_node_seconds[q], 48.0);
+  EXPECT_EQ(result.checkpoints_written, 24);
+  EXPECT_DOUBLE_EQ(result.downtime_node_seconds[q], 40.0);
+}
+
+TEST(CheckpointedScheduler, NodeSecondsReconcileWithCheckpointing) {
+  // committed + lost + recovered + overhead + downtime + idle == capacity
+  // per machine, and each kill loses at most one interval of work.
+  const auto machines = tiny_cluster(4, 4, 4, 4);
+  const auto jobs = random_workload(200, 8);
+  const auto model = FaultModel::uniform(2000.0, 300.0, 0.15, {}, 17);
+  const auto trace = model.generate(machines, 50'000.0);
+  ASSERT_TRUE(trace.enabled());
+  RoundRobinAssigner assigner;
+  SchedulerOptions options;
+  options.checkpoint = {5.0, 0.5};
+  const auto result = simulate(jobs, machines, assigner, trace, options);
+  EXPECT_GT(result.jobs_killed, 0);
+  EXPECT_GT(result.checkpoints_written, 0);
+
+  double total_recovered = 0.0;
+  double total_lost = 0.0;
+  for (const Machine& machine : machines) {
+    const auto k = static_cast<std::size_t>(machine.id);
+    const double capacity = result.makespan_s * machine.total_nodes;
+    const double used = result.node_seconds[k] + result.lost_node_seconds[k] +
+                        result.recovered_node_seconds[k] +
+                        result.checkpoint_overhead_node_seconds[k] +
+                        result.downtime_node_seconds[k];
+    EXPECT_GE(result.node_seconds[k], 0.0);
+    EXPECT_GE(result.lost_node_seconds[k], 0.0);
+    EXPECT_GE(result.recovered_node_seconds[k], 0.0);
+    EXPECT_GE(result.checkpoint_overhead_node_seconds[k], 0.0);
+    EXPECT_LE(used, capacity + 1e-6);  // idle = capacity - used >= 0
+    total_recovered += result.recovered_node_seconds[k];
+    total_lost += result.lost_node_seconds[k];
+  }
+  EXPECT_GT(total_recovered, 0.0);
+  // Jobs take at most 2 nodes, so each kill loses <= interval x 2.
+  EXPECT_LE(total_lost, static_cast<double>(result.jobs_killed) *
+                            options.checkpoint.interval_s * 2.0);
+}
+
+TEST(CheckpointedScheduler, CheckpointingRecoversWorkUnderIdenticalTrace) {
+  // The acceptance property: under the same fault trace, checkpointing
+  // turns lost node-seconds into recovered ones and cannot lose more per
+  // kill than restart-from-zero.
+  const auto machines = tiny_cluster(4, 4, 4, 4);
+  const auto jobs = random_workload(200, 8);
+  const auto model = FaultModel::uniform(2000.0, 300.0, 0.15, {}, 17);
+  const auto trace = model.generate(machines, 50'000.0);
+  RoundRobinAssigner a1;
+  const auto without = simulate(jobs, machines, a1, trace);
+  RoundRobinAssigner a2;
+  SchedulerOptions options;
+  options.checkpoint = {5.0, 0.5};
+  const auto with = simulate(jobs, machines, a2, trace, options);
+
+  const auto total = [](const std::array<double, arch::kNumSystems>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return s;
+  };
+  EXPECT_GT(total(without.lost_node_seconds), 0.0);
+  EXPECT_GT(total(with.recovered_node_seconds), 0.0);
+  EXPECT_LT(total(with.lost_node_seconds), total(without.lost_node_seconds));
+  EXPECT_EQ(total(without.recovered_node_seconds), 0.0);
+  EXPECT_EQ(without.checkpoints_written, 0);
+}
+
+TEST(CheckpointedScheduler, ZeroIntervalGoldenIdenticalToNoPolicy) {
+  // A disabled policy (interval 0, even with a nonzero overhead setting)
+  // must be bit-identical to the scheduler without any policy, across
+  // thread configurations (exercised under TSan).
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(120, 4);
+  const auto model = FaultModel::uniform(2500.0, 500.0, 0.1, {}, 31);
+  const auto trace = model.generate(machines, 50'000.0);
+
+  RoundRobinAssigner reference_assigner;
+  const auto reference = simulate(jobs, machines, reference_assigner, trace);
+  EXPECT_GT(reference.jobs_killed, 0);
+
+  SchedulerOptions zero;
+  zero.checkpoint = {0.0, 5.0};  // interval 0 -> disabled
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<SimulationResult> results(threads);
+    pool.parallel_for(0, threads, [&](std::size_t i) {
+      RoundRobinAssigner assigner;
+      results[i] = simulate(jobs, machines, assigner, trace, zero);
+    });
+    for (const auto& result : results) {
+      expect_results_identical(reference, result);
+      EXPECT_EQ(result.checkpoints_written, 0);
     }
   }
 }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "arch/system_catalog.hpp"
 #include "common/error.hpp"
@@ -345,6 +348,166 @@ TEST(Runner, CampaignParallelMatchesSerial) {
     EXPECT_EQ(serial[i].app, parallel[i].app);
     EXPECT_EQ(serial[i].counters, parallel[i].counters);
   }
+}
+
+// ----------------------------------------------------- campaign shards ----
+
+/// Exact per-profile equality (bit-identical doubles).
+void expect_profiles_identical(const std::vector<RunProfile>& a,
+                               const std::vector<RunProfile>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].app, b[i].app);
+    EXPECT_EQ(a[i].input_index, b[i].input_index);
+    EXPECT_EQ(a[i].input_scale, b[i].input_scale);
+    EXPECT_EQ(a[i].system, b[i].system);
+    EXPECT_EQ(a[i].device, b[i].device);
+    EXPECT_EQ(a[i].config.scale_class, b[i].config.scale_class);
+    EXPECT_EQ(a[i].config.nodes, b[i].config.nodes);
+    EXPECT_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].model_time_s, b[i].model_time_s);
+    EXPECT_EQ(a[i].breakdown.compute_s, b[i].breakdown.compute_s);
+    EXPECT_EQ(a[i].breakdown.comm_s, b[i].breakdown.comm_s);
+    EXPECT_EQ(a[i].counters, b[i].counters);
+  }
+}
+
+class CampaignCheckpointTest : public ::testing::Test {
+ protected:
+  std::filesystem::path dir_;
+
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) / "mphpc_campaign_ckpt" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+};
+
+TEST_F(CampaignCheckpointTest, CacheReproducesProfilesBitIdentically) {
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions plain;
+  plain.inputs_per_app = 2;
+  const auto reference = run_campaign(apps, systems, plain);
+
+  CampaignOptions cached = plain;
+  cached.checkpoint_dir = dir_.string();
+  const auto first = run_campaign(apps, systems, cached);   // writes shards
+  const auto second = run_campaign(apps, systems, cached);  // reads shards
+  expect_profiles_identical(reference, first);
+  expect_profiles_identical(reference, second);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "manifest.txt"));
+}
+
+TEST_F(CampaignCheckpointTest, SecondRunActuallyReadsShards) {
+  // Prove the reuse path is taken: tamper with one cached value and watch
+  // it propagate into the next run's output.
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions options;
+  options.inputs_per_app = 1;
+  options.checkpoint_dir = dir_.string();
+  const auto first = run_campaign(apps, systems, options);
+
+  // Patch one shard: change its first profile's time field to 999.25
+  // (parseable, positive, and unmistakable).
+  std::filesystem::path shard;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".shard") {
+      shard = entry.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(shard.empty());
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(shard);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  for (auto& line : lines) {
+    if (line.rfind("p ", 0) == 0) {
+      std::istringstream ss(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      ASSERT_GE(tokens.size(), 11u);
+      tokens[10] = "999.25";  // time_s
+      line.clear();
+      for (std::size_t t = 0; t < tokens.size(); ++t) {
+        line += (t == 0 ? "" : " ") + tokens[t];
+      }
+      break;  // first profile of this shard only
+    }
+  }
+  std::string patched;
+  for (const auto& line : lines) patched += line + "\n";
+  { std::ofstream out(shard); out << patched; }
+
+  const auto second = run_campaign(apps, systems, options);
+  bool saw_patched = false;
+  for (const auto& profile : second) saw_patched |= profile.time_s == 999.25;
+  EXPECT_TRUE(saw_patched);  // the cache, not the profiler, produced this
+}
+
+TEST_F(CampaignCheckpointTest, CorruptShardIsReProfiledNotTrusted) {
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions options;
+  options.inputs_per_app = 1;
+  options.checkpoint_dir = dir_.string();
+  const auto first = run_campaign(apps, systems, options);
+
+  // Truncate every shard; the next run must silently re-profile and still
+  // return the exact same results.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".shard") {
+      std::ofstream out(entry.path());
+      out << "mphpc-shard v1\ngarbage\n";
+    }
+  }
+  const auto second = run_campaign(apps, systems, options);
+  expect_profiles_identical(first, second);
+}
+
+TEST_F(CampaignCheckpointTest, ManifestMismatchInvalidatesCache) {
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions options;
+  options.inputs_per_app = 1;
+  options.seed = 5;
+  options.checkpoint_dir = dir_.string();
+  (void)run_campaign(apps, systems, options);
+
+  // Different seed -> different campaign; stale shards must not be read.
+  CampaignOptions changed = options;
+  changed.seed = 6;
+  const auto fresh = run_campaign(apps, systems, changed);
+  CampaignOptions plain = changed;
+  plain.checkpoint_dir.clear();
+  const auto reference = run_campaign(apps, systems, plain);
+  expect_profiles_identical(reference, fresh);
+
+  // And the manifest now reflects the new campaign: a rerun of the *old*
+  // campaign re-profiles rather than reading the new shards.
+  const auto old_again = run_campaign(apps, systems, options);
+  CampaignOptions old_plain = options;
+  old_plain.checkpoint_dir.clear();
+  expect_profiles_identical(run_campaign(apps, systems, old_plain), old_again);
+}
+
+TEST_F(CampaignCheckpointTest, ParallelCampaignUsesCacheIdentically) {
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions options;
+  options.inputs_per_app = 2;
+  options.checkpoint_dir = dir_.string();
+  const auto serial = run_campaign(apps, systems, options);
+  ThreadPool pool(4);
+  const auto parallel = run_campaign(apps, systems, options, &pool);
+  expect_profiles_identical(serial, parallel);
 }
 
 TEST(Runner, DefaultCampaignMatchesPaperRowCount) {

@@ -51,11 +51,13 @@ echo "==== [dev] GBT fit smoke (exact + hist) ===="
 
 # Fault-injection smoke: the sched-faults subcommand must complete a small
 # degraded-mode strategy comparison end-to-end and emit parseable JSON in
-# which at least one strategy actually exercised the retry path.
+# which at least one strategy actually exercised the retry path, and the
+# checkpoint/restart comparison must show checkpointing recovering work.
 echo "==== [dev] fault-injection smoke (sched-faults) ===="
 ./build-dev/tools/mphpc sched-faults \
   --jobs 400 --inputs 2 --rounds 20 --depth 3 \
   --node-mtbf-h 50 --mttr-h 1 --kill-prob 0.05 --seed 7 \
+  --checkpoint-interval-s 120 --checkpoint-overhead-s 10 \
   --out build-dev/sched_faults_smoke.json
 python3 - <<'EOF'
 import json
@@ -66,17 +68,58 @@ assert any(s["total_retries"] > 0 for s in report["strategies"]), \
 for s in report["strategies"]:
     assert s["completed_jobs"] + s["abandoned_jobs"] == report["config"]["jobs"], \
         f"{s['strategy']}: jobs not reconciled"
+cs = report["checkpoint_strategies"]
+assert [c["policy"] for c in cs] == ["none", "fixed", "optimal"]
+none = cs[0]
+assert none["checkpoints_written"] == 0 and none["recovered_node_seconds"] == 0.0
+guarded = next(s for s in report["strategies"] if "Model-based" in s["strategy"])
+assert none["makespan_h"] == guarded["makespan_h"], \
+    "no-checkpoint run must be the headline guarded run, bit-identical"
+assert any(c["recovered_node_seconds"] > 0 for c in cs[1:]), \
+    "checkpointing recovered no node-seconds"
 print("sched-faults smoke: ok")
 EOF
+
+# Kill-and-resume train smoke: SIGKILL mphpc train mid-fit, resume from
+# the on-disk checkpoint, and require the final model to be byte-identical
+# to an uninterrupted train.
+echo "==== [dev] kill-and-resume train smoke ===="
+rm -f build-dev/train_smoke_ref.model build-dev/train_smoke.model \
+  build-dev/train_smoke.model.ckpt build-dev/train_smoke.model.ckpt.manifest
+train_args=(--inputs 4 --rounds 600 --depth 6)
+./build-dev/tools/mphpc train "${train_args[@]}" \
+  --out build-dev/train_smoke_ref.model
+./build-dev/tools/mphpc train "${train_args[@]}" --checkpoint-every 2 \
+  --out build-dev/train_smoke.model &
+train_pid=$!
+while [[ ! -e build-dev/train_smoke.model.ckpt ]]; do
+  if ! kill -0 "${train_pid}" 2>/dev/null; then
+    echo "train finished before it could be killed; enlarge the fit" >&2
+    exit 1
+  fi
+  sleep 0.02
+done
+kill -9 "${train_pid}"
+wait "${train_pid}" 2>/dev/null || true
+if [[ -e build-dev/train_smoke.model ]]; then
+  echo "final model exists despite SIGKILL; smoke inconclusive" >&2
+  exit 1
+fi
+./build-dev/tools/mphpc train "${train_args[@]}" --checkpoint-every 2 --resume \
+  --out build-dev/train_smoke.model
+cmp build-dev/train_smoke_ref.model build-dev/train_smoke.model
+echo "kill-and-resume train smoke: ok (models bit-identical)"
 
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   if [[ "${with_tsan}" -eq 1 ]]; then
     # The full suite already ran under TSan above; this re-run asserts the
-    # fault/determinism tests (the ones most likely to surface scheduler
-    # races) still exist — --no-tests=error fails the lane if they vanish.
+    # fault/determinism/checkpoint tests (the ones most likely to surface
+    # scheduler races) still exist — --no-tests=error fails the lane if
+    # they vanish.
     run_lane tsan
-    ctest --preset tsan -R 'Fault|Determinism' --no-tests=error --output-on-failure
+    ctest --preset tsan -R 'Fault|Determinism|Checkpoint|Resum' \
+      --no-tests=error --output-on-failure
   fi
 fi
 

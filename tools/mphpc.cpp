@@ -1,27 +1,31 @@
 // mphpc — command-line front end to the library.
 //
-//   mphpc dataset  [--inputs N] [--out FILE.csv]
-//   mphpc train    [--inputs N] [--out MODEL] [--rounds N] [--depth N]
+//   mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]
+//   mphpc train    [--inputs N] [--out MODEL] [--rounds N] [--depth N] [--bins B]
+//                  [--checkpoint-every K] [--resume]
 //   mphpc evaluate [--inputs N] [--model MODEL]
 //   mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]
 //                  [--model MODEL]
 //   mphpc schedule [--jobs N] [--inputs N] [--strategy all|rr|random|user|model|oracle]
 //   mphpc sched-faults [--jobs N] [--inputs N] [--node-mtbf-h H] [--mttr-h H]
-//                  [--kill-prob P] [--max-attempts K] [--seed S] [--out FILE.json]
+//                  [--kill-prob P] [--max-attempts K] [--seed S]
+//                  [--checkpoint-overhead-s C] [--checkpoint-interval-s I]
+//                  [--out FILE.json]
 //
 // Every command is deterministic for a given set of flags.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "arch/system_catalog.hpp"
+#include "common/atomic_file.hpp"
 #include "common/json_writer.hpp"
 #include "common/strings.hpp"
 #include "common/table_printer.hpp"
@@ -77,21 +81,31 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-core::Dataset build_dataset(int inputs) {
+core::Dataset build_dataset(const Args& args) {
+  const int inputs = args.get_int("inputs", 12);
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
   sim::CampaignOptions options;
   options.inputs_per_app = inputs;
+  // With --campaign-dir the collection campaign is interruptible: each
+  // profiled (app, input) shard persists there and re-runs skip it.
+  options.checkpoint_dir = args.get("campaign-dir", "");
   std::printf("building dataset (%d inputs/app)...\n", inputs);
   return core::build_dataset(
       sim::run_campaign(apps, systems, options, &ThreadPool::shared()));
 }
 
-core::CrossArchPredictor train_predictor(const core::Dataset& dataset,
-                                         const Args& args) {
+core::CrossArchPredictor::Options predictor_options(const Args& args) {
   core::CrossArchPredictor::Options options;
   options.gbt.n_rounds = args.get_int("rounds", 200);
   options.gbt.max_depth = args.get_int("depth", 7);
+  options.gbt.max_bins = args.get_int("bins", options.gbt.max_bins);
+  return options;
+}
+
+core::CrossArchPredictor train_predictor(const core::Dataset& dataset,
+                                         const Args& args) {
+  const auto options = predictor_options(args);
   core::CrossArchPredictor predictor(options);
   Timer timer;
   predictor.train(dataset, {}, &ThreadPool::shared());
@@ -101,7 +115,7 @@ core::CrossArchPredictor train_predictor(const core::Dataset& dataset,
 }
 
 int cmd_dataset(const Args& args) {
-  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto dataset = build_dataset(args);
   const std::string out = args.get("out", "mphpc_dataset.csv");
   data::write_csv_file(dataset.table(), out);
   std::printf("wrote %zu rows x %zu columns to %s\n", dataset.num_rows(),
@@ -110,16 +124,31 @@ int cmd_dataset(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto dataset = build_dataset(args.get_int("inputs", 12));
-  const auto predictor = train_predictor(dataset, args);
+  const auto dataset = build_dataset(args);
   const std::string out = args.get("out", "mphpc_model.txt");
+  const int every = args.get_int("checkpoint-every", 0);
+  const bool resume = args.has("resume");
+  const auto options = predictor_options(args);
+  core::CrossArchPredictor predictor(options);
+  Timer timer;
+  if (every > 0 || resume) {
+    core::CrossArchPredictor::TrainCheckpoint ckpt;
+    ckpt.path = out + ".ckpt";
+    ckpt.every = every;
+    ckpt.resume = resume;
+    predictor.train_checkpointed(dataset, ckpt, {}, &ThreadPool::shared());
+  } else {
+    predictor.train(dataset, {}, &ThreadPool::shared());
+  }
+  std::printf("trained in %.1f s (%d rounds, depth %d)\n", timer.seconds(),
+              options.gbt.n_rounds, options.gbt.max_depth);
   predictor.save(out);
   std::printf("model saved to %s\n", out.c_str());
   return 0;
 }
 
 int cmd_evaluate(const Args& args) {
-  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto dataset = build_dataset(args);
   const auto split = data::train_test_split(dataset.num_rows(), 0.10, 42);
   const auto x_test = dataset.features(split.test);
   const auto y_test = dataset.targets(split.test);
@@ -169,7 +198,7 @@ int cmd_predict(const Args& args) {
     if (args.has("model")) {
       return core::CrossArchPredictor::load(args.get("model", ""));
     }
-    const auto dataset = build_dataset(args.get_int("inputs", 12));
+    const auto dataset = build_dataset(args);
     return train_predictor(dataset, args);
   }();
 
@@ -196,7 +225,7 @@ int cmd_predict(const Args& args) {
 int cmd_schedule(const Args& args) {
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
-  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto dataset = build_dataset(args);
   const auto predictor = train_predictor(dataset, args);
   const auto predictions = predictor.predict(dataset.features());
   const auto jobs =
@@ -232,13 +261,83 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
+double sum_over_machines(const std::array<double, arch::kNumSystems>& values) {
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total;
+}
+
+/// Checkpoint-strategy comparison under the identical fault trace, run on
+/// the guarded model-based assigner. "none" IS the headline faulty run
+/// (a zero-interval policy is bit-identical to no policy, so rerunning
+/// would be wasted work); "fixed" uses --checkpoint-interval-s; "optimal"
+/// uses the Young/Daly interval derived from the trace MTBF.
+void report_checkpoint_comparison(const std::vector<sched::Job>& jobs,
+                                  const std::vector<sched::Machine>& machines,
+                                  const sched::FaultTrace& trace,
+                                  sched::SimulationResult no_checkpoint,
+                                  double fixed_interval_s, double optimal_interval_s,
+                                  double overhead_s, JsonWriter& json) {
+  struct CheckpointEntry {
+    std::string policy;
+    sched::CheckpointPolicy checkpoint;
+    sched::SimulationResult result;
+  };
+  std::vector<CheckpointEntry> ckpt_runs;
+  ckpt_runs.push_back({"none", {}, std::move(no_checkpoint)});
+  ckpt_runs.push_back({"fixed", {fixed_interval_s, overhead_s}, {}});
+  ckpt_runs.push_back({"optimal", {optimal_interval_s, overhead_s}, {}});
+  for (std::size_t c = 1; c < ckpt_runs.size(); ++c) {
+    sched::GuardedModelBasedAssigner assigner;
+    sched::SchedulerOptions options;
+    options.checkpoint = ckpt_runs[c].checkpoint;
+    ckpt_runs[c].result = sched::simulate(jobs, machines, assigner, trace, options);
+  }
+
+  TablePrinter ckpt_table({"checkpointing", "interval (s)", "makespan (h)",
+                           "lost node-h", "recovered node-h", "overhead node-h",
+                           "abandoned"});
+  json.begin_array("checkpoint_strategies");
+  for (const CheckpointEntry& entry : ckpt_runs) {
+    const auto& result = entry.result;
+    const double lost = sum_over_machines(result.lost_node_seconds);
+    const double recovered = sum_over_machines(result.recovered_node_seconds);
+    const double overhead =
+        sum_over_machines(result.checkpoint_overhead_node_seconds);
+    json.begin_object();
+    json.field("policy", entry.policy);
+    json.field("interval_s", entry.checkpoint.interval_s);
+    json.field("overhead_s", entry.checkpoint.overhead_s);
+    json.field("makespan_h", result.makespan_s / 3600.0);
+    json.field("avg_bounded_slowdown", result.avg_bounded_slowdown);
+    json.field("completed_jobs", result.completed_jobs);
+    json.field("abandoned_jobs", result.abandoned_jobs);
+    json.field("jobs_killed", result.jobs_killed);
+    json.field("total_retries", result.total_retries);
+    json.field("lost_node_seconds", lost);
+    json.field("recovered_node_seconds", recovered);
+    json.field("checkpoint_overhead_node_seconds", overhead);
+    json.field("checkpoints_written", result.checkpoints_written);
+    json.end_object();
+    ckpt_table.add_row({entry.policy, format_fixed(entry.checkpoint.interval_s, 0),
+                        format_fixed(result.makespan_s / 3600.0, 3),
+                        format_fixed(lost / 3600.0, 1),
+                        format_fixed(recovered / 3600.0, 1),
+                        format_fixed(overhead / 3600.0, 1),
+                        std::to_string(result.abandoned_jobs)});
+  }
+  json.end_array();
+  std::printf("\ncheckpoint/restart comparison (guarded model-based strategy):\n");
+  ckpt_table.print();
+}
+
 /// Reruns the §VII strategy comparison under fault injection: a fault-free
 /// baseline per strategy fixes the fault-trace horizon, then each strategy
 /// replays the same seeded trace. Emits a JSON report alongside the table.
 int cmd_sched_faults(const Args& args) {
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
-  const auto dataset = build_dataset(args.get_int("inputs", 12));
+  const auto dataset = build_dataset(args);
   const auto predictor = train_predictor(dataset, args);
   const auto predictions = predictor.predict(dataset.features());
   const auto jobs =
@@ -252,6 +351,8 @@ int cmd_sched_faults(const Args& args) {
   sched::RetryPolicy retry;
   retry.max_attempts = args.get_int("max-attempts", retry.max_attempts);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const double ckpt_overhead_s = args.get_double("checkpoint-overhead-s", 60.0);
+  const double ckpt_interval_s = args.get_double("checkpoint-interval-s", 3600.0);
 
   using AssignerFactory = std::function<std::unique_ptr<sched::MachineAssigner>()>;
   const std::vector<std::pair<std::string, AssignerFactory>> strategies = {
@@ -280,6 +381,16 @@ int cmd_sched_faults(const Args& args) {
   std::printf("fault trace: %zu node events over %.1f h horizon\n",
               trace.events.size(), horizon_s / 3600.0);
 
+  // Checkpoint strategies: the observed per-node MTBF of this very trace
+  // feeds the Young/Daly optimal interval. No failures in the horizon
+  // makes checkpointing pointless — the "optimal" policy degenerates to
+  // disabled.
+  const double trace_mtbf_s = sched::trace_node_mtbf_s(trace, machines, horizon_s);
+  const double optimal_interval_s =
+      std::isfinite(trace_mtbf_s) && ckpt_overhead_s > 0.0
+          ? sched::young_daly_interval(ckpt_overhead_s, trace_mtbf_s)
+          : 0.0;
+
   JsonWriter json;
   json.begin_object();
   json.begin_object("config");
@@ -291,25 +402,26 @@ int cmd_sched_faults(const Args& args) {
   json.field("seed", static_cast<long long>(seed));
   json.field("horizon_h", horizon_s / 3600.0);
   json.field("node_events", trace.events.size());
+  json.field("checkpoint_overhead_s", ckpt_overhead_s);
+  json.field("checkpoint_interval_s", ckpt_interval_s);
+  json.field("trace_node_mtbf_h",
+             std::isfinite(trace_mtbf_s) ? trace_mtbf_s / 3600.0 : 0.0);
+  json.field("young_daly_interval_s", optimal_interval_s);
   json.end_object();
 
   TablePrinter table({"strategy", "makespan (h)", "baseline (h)", "slowdown",
                       "abandoned", "kills", "retries"});
   json.begin_array("strategies");
+  sched::SimulationResult guarded_faulty;  ///< reused as the no-checkpoint run
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     const auto& [label, factory] = strategies[s];
     auto assigner = factory();
     const auto result = sched::simulate(jobs, machines, *assigner, trace);
-    double lost = 0.0;
-    double downtime = 0.0;
-    for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
-      lost += result.lost_node_seconds[k];
-      downtime += result.downtime_node_seconds[k];
-    }
     long long fallbacks = 0;
     if (const auto* guarded =
             dynamic_cast<const sched::GuardedModelBasedAssigner*>(assigner.get())) {
       fallbacks = guarded->fallbacks();
+      guarded_faulty = result;
     }
     json.begin_object();
     json.field("strategy", label);
@@ -321,8 +433,14 @@ int cmd_sched_faults(const Args& args) {
     json.field("abandoned_jobs", result.abandoned_jobs);
     json.field("jobs_killed", result.jobs_killed);
     json.field("total_retries", result.total_retries);
-    json.field("lost_node_seconds", lost);
-    json.field("downtime_node_seconds", downtime);
+    json.field("lost_node_seconds", sum_over_machines(result.lost_node_seconds));
+    json.field("downtime_node_seconds",
+               sum_over_machines(result.downtime_node_seconds));
+    json.field("recovered_node_seconds",
+               sum_over_machines(result.recovered_node_seconds));
+    json.field("checkpoint_overhead_node_seconds",
+               sum_over_machines(result.checkpoint_overhead_node_seconds));
+    json.field("checkpoints_written", result.checkpoints_written);
     json.field("predictor_fallbacks", fallbacks);
     json.end_object();
     table.add_row({label, format_fixed(result.makespan_s / 3600.0, 3),
@@ -333,18 +451,17 @@ int cmd_sched_faults(const Args& args) {
                    std::to_string(result.total_retries)});
   }
   json.end_array();
-  json.end_object();
   table.print();
+
+  report_checkpoint_comparison(jobs, machines, trace, std::move(guarded_faulty),
+                               ckpt_interval_s, optimal_interval_s,
+                               ckpt_overhead_s, json);
+  json.end_object();
 
   const std::string out = args.get("out", "results/sched_faults.json");
   const auto parent = std::filesystem::path(out).parent_path();
   if (!parent.empty()) std::filesystem::create_directories(parent);
-  std::ofstream file(out);
-  if (!file) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
-    return 1;
-  }
-  file << json.str() << "\n";
+  atomic_write_text(out, json.str() + "\n");
   std::printf("report written to %s\n", out.c_str());
   return 0;
 }
@@ -352,14 +469,16 @@ int cmd_sched_faults(const Args& args) {
 void usage() {
   std::printf(
       "mphpc — cross-architecture performance prediction toolkit\n\n"
-      "  mphpc dataset  [--inputs N] [--out FILE.csv]\n"
-      "  mphpc train    [--inputs N] [--rounds N] [--depth N] [--out MODEL]\n"
+      "  mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]\n"
+      "  mphpc train    [--inputs N] [--rounds N] [--depth N] [--bins B]\n"
+      "                 [--checkpoint-every K] [--resume] [--out MODEL]\n"
       "  mphpc evaluate [--inputs N] [--model MODEL]\n"
       "  mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]\n"
       "                 [--model MODEL]\n"
       "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n"
       "  mphpc sched-faults [--jobs N] [--node-mtbf-h H] [--mttr-h H]\n"
       "                 [--kill-prob P] [--max-attempts K] [--seed S]\n"
+      "                 [--checkpoint-overhead-s C] [--checkpoint-interval-s I]\n"
       "                 [--out FILE.json]\n");
 }
 

@@ -25,8 +25,11 @@
 //   // lint:allow rule1,rule2        suppress on that source line
 //   // lint:allow-file rule1,rule2   suppress for the whole file
 //
-// Usage: mphpc_lint [--max-function-lines=N] [--list-rules] <root>
+// Usage: mphpc_lint [--max-function-lines=N] [--report=FILE] [--list-rules]
+//        <root>
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+// --report=FILE duplicates the findings into FILE (the `lint.mphpc` ctest
+// points this at the build directory so the source tree stays clean).
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -481,6 +484,7 @@ bool lint_file(const fs::path& root, const fs::path& path,
 int main(int argc, char** argv) {
   std::size_t function_budget = 150;
   fs::path root;
+  fs::path report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -490,6 +494,10 @@ int main(int argc, char** argv) {
     if (starts_with(arg, "--max-function-lines=")) {
       function_budget = static_cast<std::size_t>(
           std::stoul(std::string(arg.substr(21))));
+      continue;
+    }
+    if (starts_with(arg, "--report=")) {
+      report_path = fs::path(std::string(arg.substr(9)));
       continue;
     }
     if (starts_with(arg, "--")) {
@@ -503,8 +511,8 @@ int main(int argc, char** argv) {
     root = fs::path(std::string(arg));
   }
   if (root.empty()) {
-    std::cerr << "usage: mphpc_lint [--max-function-lines=N] [--list-rules] "
-                 "<root>\n";
+    std::cerr << "usage: mphpc_lint [--max-function-lines=N] [--report=FILE] "
+                 "[--list-rules] <root>\n";
     return 2;
   }
   if (!fs::is_directory(root)) {
@@ -519,12 +527,23 @@ int main(int argc, char** argv) {
     io_ok = lint_file(root, f, function_budget, violations) && io_ok;
   }
 
+  std::ostringstream report;
   for (const Violation& v : violations) {
-    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
+    report << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
+           << "\n";
   }
-  std::cout << "mphpc_lint: " << violations.size() << " violation(s) in "
-            << files.size() << " file(s) scanned\n";
+  report << "mphpc_lint: " << violations.size() << " violation(s) in "
+         << files.size() << " file(s) scanned\n";
+  std::cout << report.str();
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << report.str();
+    if (!out) {
+      std::cerr << "mphpc_lint: cannot write report " << report_path.string()
+                << "\n";
+      return 2;
+    }
+  }
   if (!io_ok) return 2;
   return violations.empty() ? 0 : 1;
 }
