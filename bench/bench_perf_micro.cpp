@@ -2,11 +2,15 @@
 // dataset assembly, model fit/predict throughput, scheduler event rate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+
 #include "arch/system_catalog.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/dataset.hpp"
 #include "core/predictor.hpp"
+#include "ml/compiled_ensemble.hpp"
 #include "ml/gbt.hpp"
 #include "ml/random_forest.hpp"
 #include "sched/easy_scheduler.hpp"
@@ -151,6 +155,89 @@ void BM_GbtPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GbtPredict)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------- compiled batch inference ----
+// Reference node-walking predict vs the flattened SoA engine
+// (ml/compiled_ensemble.hpp) on the same model and a 4096-row batch.
+// Single-threaded on both sides so the ratio is the per-core speedup.
+
+ml::Matrix tiled_rows(const ml::Matrix& src, std::size_t rows) {
+  ml::Matrix out(rows, src.cols());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto s = src.row(r % src.rows());
+    std::copy(s.begin(), s.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+const ml::GbtRegressor& predict_gbt_model() {
+  static const ml::GbtRegressor model = [] {
+    const auto& f = FitFixture::get();
+    ml::GbtOptions options;
+    options.n_rounds = 50;
+    options.max_depth = 6;
+    ml::GbtRegressor m(options);
+    m.fit(f.x, f.y);
+    return m;
+  }();
+  return model;
+}
+
+void BM_GbtPredictRef(benchmark::State& state) {
+  const auto& model = predict_gbt_model();
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_GbtPredictRef)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_GbtPredictCompiled(benchmark::State& state) {
+  const auto compiled = ml::CompiledEnsemble::compile(predict_gbt_model());
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_GbtPredictCompiled)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+const ml::RandomForest& predict_forest_model() {
+  static const ml::RandomForest model = [] {
+    const auto& f = FitFixture::get();
+    ml::ForestOptions options;
+    options.n_trees = 25;
+    ml::RandomForest m(options);
+    m.fit(f.x, f.y);
+    return m;
+  }();
+  return model;
+}
+
+void BM_ForestPredictRef(benchmark::State& state) {
+  const auto& model = predict_forest_model();
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_ForestPredictRef)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictCompiled(benchmark::State& state) {
+  const auto compiled = ml::CompiledEnsemble::compile(predict_forest_model());
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_ForestPredictCompiled)->Arg(4096)->Unit(benchmark::kMillisecond);
+
 void BM_ForestFit(benchmark::State& state) {
   const auto& f = FitFixture::get();
   ml::ForestOptions options;
@@ -162,6 +249,82 @@ void BM_ForestFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestFit)->Arg(10)->Arg(25)->Unit(benchmark::kMillisecond);
+
+// Forest split-search comparison: exact pre-sorted sweeps vs histogram
+// bins over one shared BinnedMatrix (the kHist payoff at forest scale).
+void forest_fit_method(benchmark::State& state, ml::TreeMethod method) {
+  const auto& f = MethodFixture::get();
+  ml::ForestOptions options;
+  options.n_trees = 25;
+  options.method = method;
+  for (auto _ : state) {
+    ml::RandomForest model(options);
+    model.fit(f.x, f.y, &ThreadPool::shared());
+    benchmark::DoNotOptimize(model.fitted());
+  }
+  state.SetItemsProcessed(state.iterations() * options.n_trees);
+}
+
+void BM_ForestFitExact(benchmark::State& state) {
+  forest_fit_method(state, ml::TreeMethod::kExact);
+}
+BENCHMARK(BM_ForestFitExact)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFitHist(benchmark::State& state) {
+  forest_fit_method(state, ml::TreeMethod::kHist);
+}
+BENCHMARK(BM_ForestFitHist)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------ assignment-path micro ----
+// One Model-based assign() per queued job against an empty cluster: the
+// per-job machine order is either memoized once by prime() (what the
+// simulation engine now does) or re-derived on every call.
+
+struct SchedFixture {
+  std::vector<sched::Job> jobs;
+  std::vector<sched::Machine> machines;
+
+  static const SchedFixture& get() {
+    static const SchedFixture f = [] {
+      sim::CampaignOptions options;
+      options.inputs_per_app = 4;
+      const auto ds = core::build_dataset(run_campaign(apps(), systems(), options));
+      core::CrossArchPredictor::Options popt;
+      popt.gbt.n_rounds = 30;
+      popt.gbt.max_depth = 4;
+      core::CrossArchPredictor predictor(popt);
+      predictor.train(ds);
+      const auto predictions = predictor.predict(ds.features());
+      return SchedFixture{sched::sample_jobs(ds, predictions, apps(), 4096, 3),
+                          sched::default_cluster(systems())};
+    }();
+    return f;
+  }
+};
+
+void assign_micro(benchmark::State& state, bool primed) {
+  const auto& f = SchedFixture::get();
+  std::array<int, arch::kNumSystems> free_nodes{};
+  for (const auto& m : f.machines) {
+    free_nodes[static_cast<std::size_t>(m.id)] = m.total_nodes;
+  }
+  const sched::ClusterView view(f.machines, free_nodes);
+  sched::ModelBasedAssigner assigner;
+  if (primed) assigner.prime(f.jobs);
+  for (auto _ : state) {
+    for (const auto& job : f.jobs) {
+      benchmark::DoNotOptimize(assigner.assign(job, 0, view));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.jobs.size()));
+}
+
+void BM_AssignModelBased(benchmark::State& state) { assign_micro(state, false); }
+BENCHMARK(BM_AssignModelBased)->Unit(benchmark::kMicrosecond);
+
+void BM_AssignModelBasedPrimed(benchmark::State& state) { assign_micro(state, true); }
+BENCHMARK(BM_AssignModelBasedPrimed)->Unit(benchmark::kMicrosecond);
 
 void BM_SchedulerSimulate(benchmark::State& state) {
   sim::CampaignOptions options;

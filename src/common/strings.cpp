@@ -79,4 +79,23 @@ long long parse_int(std::string_view s) {
   return value;
 }
 
+std::uint64_t fnv1a_64(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string format_hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
 }  // namespace mphpc

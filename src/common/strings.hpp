@@ -1,6 +1,7 @@
 // Small string utilities used by CSV I/O, serialization, and reporting.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,5 +35,13 @@ namespace mphpc {
 
 /// Parses a non-negative integer; throws mphpc::ParseError on failure.
 [[nodiscard]] long long parse_int(std::string_view s);
+
+/// FNV-1a 64-bit hash of a byte string — a content checksum for cache
+/// manifests (not cryptographic: detects corruption and staleness, not
+/// adversaries).
+[[nodiscard]] std::uint64_t fnv1a_64(std::string_view s) noexcept;
+
+/// Formats a 64-bit value as 16 lowercase hex digits.
+[[nodiscard]] std::string format_hex64(std::uint64_t v);
 
 }  // namespace mphpc

@@ -17,6 +17,12 @@ void CrossArchPredictor::train(const Dataset& dataset,
   const ml::Matrix x = dataset.features(rows);
   const ml::Matrix y = dataset.targets(rows);
   model_.fit(x, y, pool);
+  recompile();
+}
+
+void CrossArchPredictor::recompile() {
+  compiled_ = model_.fitted() ? ml::CompiledEnsemble::compile(model_)
+                              : ml::CompiledEnsemble{};
 }
 
 namespace {
@@ -79,6 +85,7 @@ void CrossArchPredictor::train_checkpointed(const Dataset& dataset,
   model_.fit_resumable(x, y, ckpt.every,
                        ckpt.every > 0 ? on_checkpoint : ml::GbtRegressor::ProgressFn{},
                        pool);
+  recompile();
 
   std::error_code ec;  // best-effort cleanup; the final model is what matters
   std::filesystem::remove(ckpt.path, ec);
@@ -88,17 +95,35 @@ void CrossArchPredictor::train_checkpointed(const Dataset& dataset,
 Rpv CrossArchPredictor::predict(const sim::RunProfile& profile) const {
   MPHPC_EXPECTS(trained());
   const FeaturePipeline::FeatureVector f = pipeline_.features(profile);
-  ml::Matrix x(1, FeaturePipeline::kNumFeatures,
-               std::vector<double>(f.begin(), f.end()));
-  const ml::Matrix y = model_.predict(x);
   std::array<double, arch::kNumSystems> ratios{};
-  for (std::size_t k = 0; k < arch::kNumSystems; ++k) ratios[k] = y(0, k);
+  compiled_.predict_row(f, ratios);
   return Rpv(ratios);
 }
 
-ml::Matrix CrossArchPredictor::predict(const ml::Matrix& features) const {
+std::vector<Rpv> CrossArchPredictor::predict_rpvs(
+    std::span<const sim::RunProfile> profiles, ThreadPool* pool) const {
   MPHPC_EXPECTS(trained());
-  return model_.predict(features);
+  std::vector<Rpv> out;
+  if (profiles.empty()) return out;
+  ml::Matrix x(profiles.size(), FeaturePipeline::kNumFeatures);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const FeaturePipeline::FeatureVector f = pipeline_.features(profiles[i]);
+    std::copy(f.begin(), f.end(), x.row(i).begin());
+  }
+  const ml::Matrix y = compiled_.predict(x, pool);
+  out.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    std::array<double, arch::kNumSystems> ratios{};
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) ratios[k] = y(i, k);
+    out.emplace_back(ratios);
+  }
+  return out;
+}
+
+ml::Matrix CrossArchPredictor::predict(const ml::Matrix& features,
+                                       ThreadPool* pool) const {
+  MPHPC_EXPECTS(trained());
+  return compiled_.predict(features, pool);
 }
 
 namespace {
@@ -123,6 +148,7 @@ CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
   predictor.pipeline_ = FeaturePipeline::deserialize(text.substr(0, pos));
   predictor.model_ =
       ml::GbtRegressor::deserialize(text.substr(pos + kSectionMarker.size()));
+  predictor.recompile();
   return predictor;
 }
 
@@ -166,6 +192,30 @@ Rpv GuardedPredictor::predict(const sim::RunProfile& profile) {
     return neutral_rpv();
   }
   return rpv;
+}
+
+std::vector<Rpv> GuardedPredictor::predict_rpvs(
+    std::span<const sim::RunProfile> profiles, ThreadPool* pool) {
+  if (!healthy_) {
+    fallbacks_ += static_cast<long long>(profiles.size());
+    return std::vector<Rpv>(profiles.size(), neutral_rpv());
+  }
+  std::vector<Rpv> rpvs;
+  try {
+    rpvs = predictor_.predict_rpvs(profiles, pool);
+  } catch (const std::exception& e) {
+    last_error_ = e.what();
+    fallbacks_ += static_cast<long long>(profiles.size());
+    return std::vector<Rpv>(profiles.size(), neutral_rpv());
+  }
+  for (Rpv& rpv : rpvs) {
+    if (!plausible(rpv)) {
+      last_error_ = "predicted RPV outside plausibility bounds";
+      ++fallbacks_;
+      rpv = neutral_rpv();
+    }
+  }
+  return rpvs;
 }
 
 }  // namespace mphpc::core

@@ -9,10 +9,12 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/dataset.hpp"
 #include "core/rpv.hpp"
+#include "ml/compiled_ensemble.hpp"
 #include "ml/gbt.hpp"
 
 namespace mphpc::core {
@@ -54,12 +56,23 @@ class CrossArchPredictor {
   /// Predicts the RPV of a freshly profiled run from its raw counters.
   [[nodiscard]] Rpv predict(const sim::RunProfile& profile) const;
 
+  /// Batch RPV prediction: featurizes every profile and runs one compiled
+  /// batch predict (bit-identical to calling predict() per profile).
+  /// `pool` distributes row chunks; results do not depend on it.
+  [[nodiscard]] std::vector<Rpv> predict_rpvs(
+      std::span<const sim::RunProfile> profiles, ThreadPool* pool = nullptr) const;
+
   /// Batch prediction over already-standardized feature rows (as produced
-  /// by Dataset::features).
-  [[nodiscard]] ml::Matrix predict(const ml::Matrix& features) const;
+  /// by Dataset::features). `pool` distributes row chunks.
+  [[nodiscard]] ml::Matrix predict(const ml::Matrix& features,
+                                   ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] bool trained() const noexcept { return model_.fitted(); }
   [[nodiscard]] const ml::GbtRegressor& model() const noexcept { return model_; }
+  /// The flattened inference engine (compiled at train/load time).
+  [[nodiscard]] const ml::CompiledEnsemble& compiled() const noexcept {
+    return compiled_;
+  }
   [[nodiscard]] const FeaturePipeline& pipeline() const noexcept { return pipeline_; }
 
   /// Persists pipeline + model to a single file; load() restores it.
@@ -67,9 +80,15 @@ class CrossArchPredictor {
   [[nodiscard]] static CrossArchPredictor load(const std::string& path);
 
  private:
+  /// Rebuilds the compiled engine from model_ (called whenever the model
+  /// changes: train, checkpointed train, load). The compile-on-load
+  /// contract: whenever trained() holds, compiled_ serves predictions.
+  void recompile();
+
   Options options_;
   FeaturePipeline pipeline_;
   ml::GbtRegressor model_;
+  ml::CompiledEnsemble compiled_;
 };
 
 /// Degradation wrapper around CrossArchPredictor for use inside long
@@ -95,6 +114,14 @@ class GuardedPredictor {
 
   /// Predicts the RPV of a profiled run; neutral RPV on any failure.
   [[nodiscard]] Rpv predict(const sim::RunProfile& profile);
+
+  /// Batch form of predict(): one compiled batch inference, then per-row
+  /// plausibility guarding — row i falls back to the neutral RPV (and
+  /// bumps the fallback counter) independently of the others. Degraded
+  /// predictors return all-neutral; a batch-wide exception degrades every
+  /// row. Equivalent to calling predict() per profile.
+  [[nodiscard]] std::vector<Rpv> predict_rpvs(
+      std::span<const sim::RunProfile> profiles, ThreadPool* pool = nullptr);
 
   /// Validates an already-computed RPV against this guard's bounds.
   [[nodiscard]] bool plausible(const Rpv& rpv) const noexcept {

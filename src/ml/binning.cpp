@@ -6,6 +6,12 @@
 
 namespace mphpc::ml {
 
+int resolve_max_bins(int configured, std::size_t rows) noexcept {
+  if (configured != 0) return configured;
+  const auto scaled = static_cast<int>(rows / 64);
+  return std::clamp(scaled, 32, BinnedMatrix::kMaxBins);
+}
+
 std::uint8_t FeatureBins::bin_of(double v) const noexcept {
   const auto it = std::lower_bound(thresholds.begin(), thresholds.end(), v);
   return static_cast<std::uint8_t>(it - thresholds.begin());

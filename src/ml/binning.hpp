@@ -21,6 +21,15 @@
 
 namespace mphpc::ml {
 
+/// Split search strategy shared by every tree trainer: exact-greedy over
+/// pre-sorted raw values, or histogram sweeps over quantile-binned values
+/// (faster, near-identical accuracy).
+enum class TreeMethod : std::uint8_t { kExact = 0, kHist = 1 };
+
+/// Histogram bin count actually used by a fit: `configured` when nonzero,
+/// otherwise auto-scaled with the row count as clamp(rows / 64, 32, 256).
+[[nodiscard]] int resolve_max_bins(int configured, std::size_t rows) noexcept;
+
 /// Binning of one feature: `thresholds` has n_bins-1 ascending cut points;
 /// a value x belongs to the first bin b with x <= thresholds[b], or to the
 /// last bin when it exceeds every threshold. Splitting "after bin b" means

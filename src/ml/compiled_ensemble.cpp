@@ -1,0 +1,321 @@
+#include "ml/compiled_ensemble.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbt.hpp"
+#include "ml/random_forest.hpp"
+
+namespace mphpc::ml {
+
+namespace {
+
+/// Output width of a fitted CART tree: the value size of any leaf.
+std::size_t tree_output_width(const DecisionTree& tree) {
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) return node.value.size();
+  }
+  MPHPC_UNREACHABLE("fitted tree has no leaf");
+}
+
+/// Longest root-to-leaf edge count — the fixed walk length of a tree.
+template <typename Node>
+std::int32_t tree_depth(const std::vector<Node>& nodes) {
+  std::int32_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::int32_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(i)];
+    if (node.is_leaf()) {
+      max_depth = std::max(max_depth, d);
+      continue;
+    }
+    stack.push_back({node.left, d + 1});
+    stack.push_back({node.right, d + 1});
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+CompiledEnsemble CompiledEnsemble::compile(const GbtRegressor& model) {
+  MPHPC_EXPECTS(model.fitted());
+  CompiledEnsemble ce;
+  ce.kind_ = Kind::kGbt;
+  ce.n_features_ = model.n_features();
+  ce.n_outputs_ = model.n_outputs();
+
+  std::size_t total_nodes = 0;
+  std::size_t total_trees = 0;
+  for (std::size_t k = 0; k < model.n_outputs(); ++k) {
+    total_trees += model.ensemble(k).size();
+    for (const GbtTree& tree : model.ensemble(k)) total_nodes += tree.nodes.size();
+  }
+  MPHPC_EXPECTS(total_nodes <
+                static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()));
+  ce.feature_.reserve(total_nodes);
+  ce.threshold_.reserve(total_nodes);
+  ce.left_.reserve(total_nodes);
+  ce.right_.reserve(total_nodes);
+  ce.roots_.reserve(total_trees);
+  ce.depth_.reserve(total_trees);
+
+  ce.output_begin_ = {0};
+  for (std::size_t k = 0; k < model.n_outputs(); ++k) {
+    ce.base_.push_back(model.base_score(k));
+    for (const GbtTree& tree : model.ensemble(k)) {
+      const auto origin = static_cast<std::int32_t>(ce.feature_.size());
+      ce.roots_.push_back(origin);
+      ce.depth_.push_back(tree_depth(tree.nodes));
+      std::int32_t local = 0;
+      for (const GbtNode& node : tree.nodes) {
+        if (node.is_leaf()) {
+          // Self-loop leaf: extra walk steps are no-ops; the scalar leaf
+          // weight rides in the threshold slot.
+          ce.feature_.push_back(0);
+          ce.threshold_.push_back(node.weight);
+          ce.left_.push_back(origin + local);
+          ce.right_.push_back(origin + local);
+        } else {
+          ce.feature_.push_back(node.feature);
+          ce.threshold_.push_back(node.threshold);
+          ce.left_.push_back(origin + node.left);
+          ce.right_.push_back(origin + node.right);
+        }
+        ++local;
+      }
+    }
+    ce.output_begin_.push_back(static_cast<std::int32_t>(ce.roots_.size()));
+  }
+  MPHPC_ENSURES(ce.compiled());
+  return ce;
+}
+
+namespace {
+
+/// Appends one CART tree's nodes to the SoA pool, inlining leaf value
+/// vectors into `values`; shared by the forest and single-tree compilers.
+void append_cart_tree(const DecisionTree& tree, std::vector<std::int32_t>& feature,
+                      std::vector<double>& threshold, std::vector<std::int32_t>& left,
+                      std::vector<std::int32_t>& right, std::vector<std::int32_t>& roots,
+                      std::vector<std::int32_t>& depth, std::vector<double>& values) {
+  const auto origin = static_cast<std::int32_t>(feature.size());
+  roots.push_back(origin);
+  depth.push_back(tree_depth(tree.nodes()));
+  std::int32_t local = 0;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      // Self-loop leaf; the threshold slot holds the offset of the leaf's
+      // value vector in `values` (exact in a double far beyond any pool).
+      feature.push_back(0);
+      threshold.push_back(static_cast<double>(values.size()));
+      left.push_back(origin + local);
+      right.push_back(origin + local);
+      values.insert(values.end(), node.value.begin(), node.value.end());
+    } else {
+      feature.push_back(node.feature);
+      threshold.push_back(node.threshold);
+      left.push_back(origin + node.left);
+      right.push_back(origin + node.right);
+    }
+    ++local;
+  }
+}
+
+}  // namespace
+
+CompiledEnsemble CompiledEnsemble::compile(const RandomForest& model) {
+  MPHPC_EXPECTS(model.fitted());
+  CompiledEnsemble ce;
+  ce.kind_ = Kind::kForestMean;
+  ce.n_outputs_ = tree_output_width(model.trees().front());
+  ce.value_width_ = ce.n_outputs_;
+  ce.n_trees_ = static_cast<double>(model.trees().size());
+
+  std::size_t total_nodes = 0;
+  for (const DecisionTree& tree : model.trees()) {
+    MPHPC_EXPECTS(tree.fitted());
+    total_nodes += tree.nodes().size();
+  }
+  MPHPC_EXPECTS(total_nodes <
+                static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()));
+  ce.feature_.reserve(total_nodes);
+  ce.threshold_.reserve(total_nodes);
+  ce.left_.reserve(total_nodes);
+  ce.right_.reserve(total_nodes);
+  ce.roots_.reserve(model.trees().size());
+  ce.depth_.reserve(model.trees().size());
+
+  for (const DecisionTree& tree : model.trees()) {
+    append_cart_tree(tree, ce.feature_, ce.threshold_, ce.left_, ce.right_,
+                     ce.roots_, ce.depth_, ce.values_);
+  }
+  // Every fitted tree saw the same X, so any tree's feature count works.
+  ce.n_features_ = model.trees().front().n_features();
+  MPHPC_ENSURES(ce.compiled());
+  return ce;
+}
+
+CompiledEnsemble CompiledEnsemble::compile(const DecisionTree& model) {
+  MPHPC_EXPECTS(model.fitted());
+  CompiledEnsemble ce;
+  ce.kind_ = Kind::kSingleTree;
+  ce.n_outputs_ = tree_output_width(model);
+  ce.value_width_ = ce.n_outputs_;
+  ce.n_features_ = model.n_features();
+  MPHPC_EXPECTS(model.nodes().size() <
+                static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()));
+  append_cart_tree(model, ce.feature_, ce.threshold_, ce.left_, ce.right_,
+                   ce.roots_, ce.depth_, ce.values_);
+  MPHPC_ENSURES(ce.compiled());
+  return ce;
+}
+
+void CompiledEnsemble::predict_tile(const Matrix& x, std::size_t lo,
+                                    std::size_t hi, Matrix& out) const {
+  // Mask-and-blend select: a ternary here is if-converted to cmov in some
+  // inlining contexts but lowered to a data-dependent branch in others,
+  // and balanced splits mispredict ~50% of the time. The arithmetic form
+  // cannot be turned back into a jump.
+  const auto step = [this](std::int32_t node, const double* xr) noexcept {
+    const auto i = static_cast<std::size_t>(node);
+    const std::int32_t go_left = left_[i];
+    const std::int32_t go_right = right_[i];
+    const std::int32_t take_left = -static_cast<std::int32_t>(
+        xr[static_cast<std::size_t>(feature_[i])] <= threshold_[i]);
+    return (go_left & take_left) | (go_right & ~take_left);
+  };
+  // Lanes per lock-step walk: enough independent cmov chains to saturate
+  // the load ports, few enough that lane state stays in registers.
+  constexpr std::size_t kLanes = 8;
+  const auto walk_lanes = [&](std::int32_t root, std::int32_t steps,
+                              const std::array<const double*, kLanes>& xr,
+                              std::array<std::int32_t, kLanes>& n) {
+    n.fill(root);
+    for (std::int32_t s = 0; s < steps; ++s) {
+      for (std::size_t l = 0; l < kLanes; ++l) n[l] = step(n[l], xr[l]);
+    }
+  };
+  if (kind_ == Kind::kGbt) {
+    // Lane group outer, trees inner: the group's row pointers and running
+    // sums live in registers across the whole ensemble, so per-tree cost
+    // is the walk plus one add — not a round trip through `out`. One
+    // output's trees (~tens of KB of nodes) stay L1/L2-resident per sweep.
+    // Accumulation order per (row, output) is base + trees in boosting
+    // order, exactly the reference order.
+    for (std::size_t k = 0; k < n_outputs_; ++k) {
+      const auto t_begin = static_cast<std::size_t>(output_begin_[k]);
+      const auto t_end = static_cast<std::size_t>(output_begin_[k + 1]);
+      std::size_t r = lo;
+      std::array<const double*, kLanes> xr;
+      std::array<std::int32_t, kLanes> n;
+      std::array<double, kLanes> acc;
+      for (; r + kLanes <= hi; r += kLanes) {
+        for (std::size_t l = 0; l < kLanes; ++l) xr[l] = x.row(r + l).data();
+        acc.fill(base_[k]);
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          walk_lanes(roots_[t], depth_[t], xr, n);
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            acc[l] += threshold_[static_cast<std::size_t>(n[l])];
+          }
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) out(r + l, k) = acc[l];
+      }
+      for (; r < hi; ++r) {
+        double sum = base_[k];
+        const double* xr1 = x.row(r).data();
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const std::int32_t leaf = walk(roots_[t], depth_[t], xr1);
+          sum += threshold_[static_cast<std::size_t>(leaf)];
+        }
+        out(r, k) = sum;
+      }
+    }
+    return;
+  }
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const std::int32_t root = roots_[t];
+    const std::int32_t steps = depth_[t];
+    const auto add_leaf = [&](std::size_t r, std::int32_t leaf) {
+      const double* v =
+          values_.data() +
+          static_cast<std::size_t>(threshold_[static_cast<std::size_t>(leaf)]);
+      double* dst = out.row(r).data();
+      for (std::size_t k = 0; k < value_width_; ++k) dst[k] += v[k];
+    };
+    std::size_t r = lo;
+    std::array<const double*, kLanes> xr;
+    std::array<std::int32_t, kLanes> n;
+    for (; r + kLanes <= hi; r += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) xr[l] = x.row(r + l).data();
+      walk_lanes(root, steps, xr, n);
+      for (std::size_t l = 0; l < kLanes; ++l) add_leaf(r + l, n[l]);
+    }
+    for (; r < hi; ++r) add_leaf(r, walk(root, steps, x.row(r).data()));
+  }
+  if (kind_ == Kind::kForestMean) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      for (double& v : out.row(r)) v /= n_trees_;
+    }
+  }
+}
+
+Matrix CompiledEnsemble::predict(const Matrix& x, ThreadPool* pool) const {
+  MPHPC_EXPECTS(compiled());
+  MPHPC_EXPECTS(x.cols() == n_features_);
+  Matrix out(x.rows(), n_outputs_);
+  const auto run_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t lo = row_begin; lo < row_end; lo += kTile) {
+      predict_tile(x, lo, std::min(row_end, lo + kTile), out);
+    }
+  };
+  if (pool != nullptr && x.rows() > 1) {
+    // Chunks are contiguous row ranges; every (row, output) accumulator is
+    // owned by exactly one chunk, so the partition cannot change results.
+    pool->parallel_chunks(0, x.rows(),
+                          [&](std::size_t, std::size_t b, std::size_t e) {
+                            run_rows(b, e);
+                          });
+  } else {
+    run_rows(0, x.rows());
+  }
+  return out;
+}
+
+void CompiledEnsemble::predict_row(std::span<const double> x,
+                                   std::span<double> out) const {
+  MPHPC_EXPECTS(compiled());
+  MPHPC_EXPECTS(out.size() == n_outputs_);
+  MPHPC_EXPECTS(x.size() == n_features_);
+  if (kind_ == Kind::kGbt) {
+    for (std::size_t k = 0; k < n_outputs_; ++k) {
+      double acc = base_[k];
+      const auto t_begin = static_cast<std::size_t>(output_begin_[k]);
+      const auto t_end = static_cast<std::size_t>(output_begin_[k + 1]);
+      for (std::size_t t = t_begin; t < t_end; ++t) {
+        const std::int32_t leaf = walk(roots_[t], depth_[t], x.data());
+        acc += threshold_[static_cast<std::size_t>(leaf)];
+      }
+      out[k] = acc;
+    }
+    return;
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const std::int32_t leaf = walk(roots_[t], depth_[t], x.data());
+    const double* v =
+        values_.data() +
+        static_cast<std::size_t>(threshold_[static_cast<std::size_t>(leaf)]);
+    for (std::size_t k = 0; k < value_width_; ++k) out[k] += v[k];
+  }
+  if (kind_ == Kind::kForestMean) {
+    for (double& v : out) v /= n_trees_;
+  }
+}
+
+}  // namespace mphpc::ml

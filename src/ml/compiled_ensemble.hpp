@@ -1,0 +1,117 @@
+// Compiled batched inference over fitted tree ensembles.
+//
+// The reference predictors (GbtTree::predict, DecisionTree::predict_one)
+// walk per-tree node vectors one row at a time — pointer chasing through
+// scattered allocations, re-touching every tree's nodes for every row.
+// CompiledEnsemble flattens a fitted GbtRegressor, RandomForest, or
+// DecisionTree into one contiguous structure-of-arrays node pool
+// (feature / threshold / child-index arrays; leaf payloads inlined) and
+// predicts blockwise: rows are processed in small tiles with the tree loop
+// outside the row loop, so one tree's nodes stay cache-resident while a
+// whole tile streams through them, and row tiles fan out across a
+// ThreadPool.
+//
+// Traversals are branch-free and fixed-length: leaves are compiled as
+// self-loops (left == right == self), so walking any row for exactly
+// depth(tree) steps lands on its leaf with no per-step leaf test — every
+// step is one conditional-move, and a lane group of rows walks in
+// lock-step to hide the node-fetch latency behind independent loads. For
+// GBT the lane group's running sums stay in registers across the whole
+// ensemble, so each tree costs a walk plus one add.
+//
+// Determinism contract: predictions are bit-identical to the reference
+// walking path at any thread count. Every (row, output) accumulator sums
+// leaf contributions in exactly the reference tree order, rows are
+// partitioned into chunks that never split a (row, output) pair, and no
+// cross-row arithmetic exists — so chunking and tiling cannot change a
+// single result bit.
+//
+// Compile once at train/load time (CrossArchPredictor does); compilation
+// is cheap (one pass over the nodes) and the compiled form is immutable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_pool.hpp"
+#include "ml/matrix.hpp"
+
+namespace mphpc::ml {
+
+class DecisionTree;
+class GbtRegressor;
+class RandomForest;
+
+class CompiledEnsemble {
+ public:
+  /// Default-constructed engines are empty (compiled() == false).
+  CompiledEnsemble() = default;
+
+  /// Flattens a fitted model. The model can be dropped afterwards for
+  /// inference-only serving; keep it for serialization or importances.
+  [[nodiscard]] static CompiledEnsemble compile(const GbtRegressor& model);
+  [[nodiscard]] static CompiledEnsemble compile(const RandomForest& model);
+  [[nodiscard]] static CompiledEnsemble compile(const DecisionTree& model);
+
+  [[nodiscard]] bool compiled() const noexcept { return !roots_.empty(); }
+  [[nodiscard]] std::size_t n_features() const noexcept { return n_features_; }
+  [[nodiscard]] std::size_t n_outputs() const noexcept { return n_outputs_; }
+  [[nodiscard]] std::size_t n_nodes() const noexcept { return feature_.size(); }
+
+  /// Batched prediction, bit-identical to the source model's predict().
+  /// `pool` distributes row chunks; results do not depend on it.
+  [[nodiscard]] Matrix predict(const Matrix& x, ThreadPool* pool = nullptr) const;
+
+  /// Single-row prediction into `out` (size n_outputs()).
+  void predict_row(std::span<const double> x, std::span<double> out) const;
+
+ private:
+  enum class Kind : std::uint8_t { kGbt = 0, kForestMean = 1, kSingleTree = 2 };
+
+  /// Rows per tile: big enough to amortize per-tree loop overhead, small
+  /// enough that a tile's accumulators and one tree's hot nodes share L1.
+  static constexpr std::size_t kTile = 512;
+
+  void predict_tile(const Matrix& x, std::size_t lo, std::size_t hi,
+                    Matrix& out) const;
+
+  /// Walks one tree for one row: exactly `steps` branch-free iterations
+  /// (leaves self-loop, so overshooting is a no-op); returns the leaf.
+  [[nodiscard]] std::int32_t walk(std::int32_t root, std::int32_t steps,
+                                  const double* xr) const noexcept {
+    std::int32_t node = root;
+    for (std::int32_t s = 0; s < steps; ++s) {
+      const auto i = static_cast<std::size_t>(node);
+      // Mask-and-blend keeps the walk branch-free; a ternary may be
+      // lowered to an unpredictable data-dependent jump.
+      const std::int32_t take_left = -static_cast<std::int32_t>(
+          xr[static_cast<std::size_t>(feature_[i])] <= threshold_[i]);
+      node = (left_[i] & take_left) | (right_[i] & ~take_left);
+    }
+    return node;
+  }
+
+  Kind kind_ = Kind::kGbt;
+  // SoA node pool over every tree. Leaves are self-loops (left_ ==
+  // right_ == self, feature_ == 0) carrying their payload in threshold_:
+  // the scalar leaf weight for GBT, the offset of the leaf's value vector
+  // in values_ for forest/tree.
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::int32_t> roots_;  ///< node index of each tree's root
+  std::vector<std::int32_t> depth_;  ///< per-tree walk length (max depth)
+  // kGbt: trees [output_begin_[k], output_begin_[k+1]) belong to output k,
+  // in boosting-round order; base_[k] is the per-output prior.
+  std::vector<std::int32_t> output_begin_;
+  std::vector<double> base_;
+  // kForestMean / kSingleTree: flat leaf payloads, value_width_ doubles
+  // per leaf (== n_outputs_).
+  std::vector<double> values_;
+  std::size_t value_width_ = 0;
+  std::size_t n_features_ = 0;
+  std::size_t n_outputs_ = 0;
+  double n_trees_ = 1.0;  ///< kForestMean: mean divisor (reference divides)
+};
+
+}  // namespace mphpc::ml

@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "ml/binning.hpp"
+#include "ml/hist_common.hpp"
 
 namespace mphpc::ml {
 
@@ -225,20 +226,10 @@ GbtTree build_tree_exact(const BuildContext& ctx, const GbtOptions& opt,
 // ---------------------------------------------------------------- kHist ----
 
 /// Per-node histogram: interleaved (G, H) per (feature, bin), laid out
-/// raggedly — feature f's slice starts at 2 * offsets[f] and holds its
-/// actual bin count, so near-constant features (one-hots, flags) cost a
-/// few cells instead of a full max_bins stride.
+/// raggedly via hist::Layout (width 2) so near-constant features (one-hots,
+/// flags) cost a few cells instead of a full max_bins stride.
 using Histogram = std::vector<double>;
-
-/// Per-fit ragged layout: offsets[f] is the cell index (in (G,H) pairs) of
-/// feature f's first bin; offsets[n_feat] is the total cell count.
-std::vector<std::size_t> histogram_offsets(const BinnedMatrix& bm) {
-  std::vector<std::size_t> offsets(bm.features() + 1, 0);
-  for (std::size_t f = 0; f < bm.features(); ++f) {
-    offsets[f + 1] = offsets[f] + static_cast<std::size_t>(bm.bins(f).n_bins());
-  }
-  return offsets;
-}
+using hist::SiblingPair;
 
 /// Accumulates rows `node_rows` of one feature into its histogram slice.
 void accumulate_feature(const std::uint8_t* codes, double* slice,
@@ -256,12 +247,12 @@ void accumulate_feature(const std::uint8_t* codes, double* slice,
 /// accumulate in ascending bin order, so re-summing bins [0, best.bin]
 /// later reproduces the winning child sums bit-for-bit.
 void best_bin_split(const BinnedMatrix& bm, std::size_t f,
-                    std::span<const std::size_t> offsets, const Histogram& hist,
+                    const hist::Layout& layout, const Histogram& hist,
                     double sum_g, double sum_h, const GbtOptions& opt,
                     SplitCandidate& best) {
   const FeatureBins& fb = bm.bins(f);
   const int nb = fb.n_bins();
-  const double* slice = hist.data() + 2 * offsets[f];
+  const double* slice = hist.data() + layout.begin_cell(f);
   const double parent_score = sum_g * sum_g / (sum_h + opt.lambda);
   double gl = 0.0;
   double hl = 0.0;
@@ -282,15 +273,6 @@ void best_bin_split(const BinnedMatrix& bm, std::size_t f,
   }
 }
 
-/// One split pair during histogram construction: the smaller child gets a
-/// fresh accumulated histogram, the larger one is derived by subtracting
-/// it from the parent's (which its Histogram slot starts out holding).
-struct SiblingPair {
-  std::size_t parent_dense = 0;  ///< dense index of the parent in its level
-  std::size_t small_dense = 0;   ///< next-level dense index of the small child
-  std::size_t big_dense = 0;
-};
-
 /// Bookkeeping for one tree level: dense node ids and their histograms.
 struct HistLevel {
   std::vector<std::int32_t> nodes;  ///< tree node id per dense index
@@ -299,9 +281,9 @@ struct HistLevel {
 
 /// Level-wise histogram tree builder (kHist). One instance builds one
 /// boosted tree; shared per-tree state lives here so each level step stays
-/// small. In-sample rows are kept in one ascending array, stably
-/// partitioned so that every node owns a contiguous range and row order
-/// inside a node never depends on the split schedule.
+/// small. In-sample rows live in a hist::NodePartition: one ascending
+/// array, stably partitioned so that every node owns a contiguous range
+/// and row order inside a node never depends on the split schedule.
 struct HistTreeBuilder {
   const GbtOptions& opt;
   const BuildContext& ctx;
@@ -311,14 +293,10 @@ struct HistTreeBuilder {
   std::span<const std::uint8_t> in_cols;
   std::span<double> gain_sum;
   std::span<double> split_count;
-  std::vector<std::size_t> offsets;  ///< ragged histogram layout
-  std::size_t cells = 0;
+  hist::Layout layout;  ///< ragged (G, H) histogram layout
 
-  std::vector<std::uint32_t> rows;     ///< in-sample rows, node-partitioned
-  std::vector<std::uint32_t> scratch;  ///< partition staging buffer
+  hist::NodePartition part;  ///< in-sample rows, node-partitioned
   GbtTree tree;
-  std::vector<std::size_t> node_begin;  ///< per node id, range into `rows`
-  std::vector<std::size_t> node_end;
   std::vector<double> node_g;  ///< per node id, gradient/hessian totals
   std::vector<double> node_h;
 
@@ -329,18 +307,17 @@ struct HistTreeBuilder {
                   std::span<double> gains, std::span<double> counts)
       : opt(options), ctx(context), bm(*context.binned), g(grad), h(hess),
         in_cols(cols), gain_sum(gains), split_count(counts),
-        offsets(histogram_offsets(bm)), cells(2 * offsets.back()) {
+        layout(hist::Layout::make(bm, 2)) {
+    std::vector<std::uint32_t> rows;
     rows.reserve(ctx.x.rows());
     for (std::size_t r = 0; r < ctx.x.rows(); ++r) {
       if (in_sample[r]) rows.push_back(static_cast<std::uint32_t>(r));
     }
-    scratch.resize(rows.size());
+    part.reset(std::move(rows));
     tree.nodes.emplace_back();
-    node_begin = {0};
-    node_end = {rows.size()};
     node_g = {0.0};
     node_h = {0.0};
-    for (const std::uint32_t r : rows) {
+    for (const std::uint32_t r : part.items(0)) {
       node_g[0] += g[r];
       node_h[0] += h[r];
     }
@@ -351,7 +328,7 @@ struct HistTreeBuilder {
   void sweep_node(std::size_t f, const Histogram& hist, std::size_t nid,
                   SplitCandidate& best) const {
     if (node_h[nid] < 2.0 * opt.min_child_weight) return;
-    best_bin_split(bm, f, offsets, hist, node_g[nid], node_h[nid], opt, best);
+    best_bin_split(bm, f, layout, hist, node_g[nid], node_h[nid], opt, best);
   }
 
   /// Applies the winning split of dense node d: writes the parent's split,
@@ -371,37 +348,24 @@ struct HistTreeBuilder {
     tree.nodes.emplace_back();
 
     const std::uint8_t* codes = bm.codes(static_cast<std::size_t>(w.feature));
-    const std::size_t lo = node_begin[nid];
-    const std::size_t hi = node_end[nid];
-    std::size_t out = lo;
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (static_cast<int>(codes[rows[i]]) <= w.bin) scratch[out++] = rows[i];
-    }
-    const std::size_t mid = out;
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (static_cast<int>(codes[rows[i]]) > w.bin) scratch[out++] = rows[i];
-    }
-    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
-              scratch.begin() + static_cast<std::ptrdiff_t>(hi),
-              rows.begin() + static_cast<std::ptrdiff_t>(lo));
+    const std::size_t left_count = part.split(nid, codes, w.bin);
 
     const double* slice = level.hists[d].data() +
-                          2 * offsets[static_cast<std::size_t>(w.feature)];
+                          layout.begin_cell(static_cast<std::size_t>(w.feature));
     double gl = 0.0;
     double hl = 0.0;
     for (int b = 0; b <= w.bin; ++b) {
       gl += slice[2 * static_cast<std::size_t>(b)];
       hl += slice[2 * static_cast<std::size_t>(b) + 1];
     }
-    node_begin.insert(node_begin.end(), {lo, mid});
-    node_end.insert(node_end.end(), {mid, hi});
     node_g.insert(node_g.end(), {gl, node_g[nid] - gl});
     node_h.insert(node_h.end(), {hl, node_h[nid] - hl});
 
     const std::size_t left_dense = next.nodes.size();
     next.nodes.push_back(left_id);
     next.nodes.push_back(left_id + 1);
-    const bool left_small = mid - lo <= hi - mid;
+    const bool left_small =
+        left_count <= part.count(static_cast<std::size_t>(left_id) + 1);
     pairs.push_back(left_small ? SiblingPair{d, left_dense, left_dense + 1}
                                : SiblingPair{d, left_dense + 1, left_dense});
     gain_sum[static_cast<std::size_t>(w.feature)] += w.gain;
@@ -419,26 +383,23 @@ struct HistTreeBuilder {
     const std::size_t n_next = next.nodes.size();
     next.hists.resize(n_next);
     for (const SiblingPair& pair : pairs) {
-      next.hists[pair.small_dense].assign(cells, 0.0);
+      next.hists[pair.small_dense].assign(layout.cells(), 0.0);
       next.hists[pair.big_dense] = std::move(level.hists[pair.parent_dense]);
     }
     std::vector<SplitCandidate> bests(ctx.x.cols() * n_next);
     for_each_active_feature(ctx, in_cols, [&](std::size_t f) {
       const std::uint8_t* codes = bm.codes(f);
-      const std::size_t lo_cell = 2 * offsets[f];
-      const std::size_t f_cells = 2 * (offsets[f + 1] - offsets[f]);
+      const std::size_t lo_cell = layout.begin_cell(f);
+      const std::size_t f_cells = layout.feature_cells(f);
       for (const SiblingPair& pair : pairs) {
         Histogram& small = next.hists[pair.small_dense];
         Histogram& big = next.hists[pair.big_dense];
         const auto small_nid =
             static_cast<std::size_t>(next.nodes[pair.small_dense]);
-        const std::span<const std::uint32_t> node_rows{
-            rows.data() + node_begin[small_nid],
-            node_end[small_nid] - node_begin[small_nid]};
-        accumulate_feature(codes, small.data() + lo_cell, node_rows, g, h);
-        double* bs = big.data() + lo_cell;
-        const double* ss = small.data() + lo_cell;
-        for (std::size_t i = 0; i < f_cells; ++i) bs[i] -= ss[i];
+        accumulate_feature(codes, small.data() + lo_cell, part.items(small_nid),
+                           g, h);
+        hist::subtract_sibling(big.data() + lo_cell, small.data() + lo_cell,
+                               f_cells);
         sweep_node(f, small, small_nid, bests[f * n_next + pair.small_dense]);
         sweep_node(f, big, static_cast<std::size_t>(next.nodes[pair.big_dense]),
                    bests[f * n_next + pair.big_dense]);
@@ -451,11 +412,12 @@ struct HistTreeBuilder {
     const std::size_t n_feat = ctx.x.cols();
     HistLevel level;
     level.nodes = {0};
-    level.hists.emplace_back(cells, 0.0);
+    level.hists.emplace_back(layout.cells(), 0.0);
     std::vector<SplitCandidate> bests(n_feat);
     for_each_active_feature(ctx, in_cols, [&](std::size_t f) {
-      accumulate_feature(bm.codes(f), level.hists[0].data() + 2 * offsets[f],
-                         rows, g, h);
+      accumulate_feature(bm.codes(f),
+                         level.hists[0].data() + layout.begin_cell(f),
+                         part.items(0), g, h);
       sweep_node(f, level.hists[0], 0, bests[f]);
     });
 
@@ -552,12 +514,6 @@ void validate_tree_topology(const GbtTree& tree, std::size_t n_feat) {
 }
 
 }  // namespace
-
-int resolve_max_bins(int configured, std::size_t rows) noexcept {
-  if (configured != 0) return configured;
-  const auto scaled = static_cast<int>(rows / 64);
-  return std::clamp(scaled, 32, BinnedMatrix::kMaxBins);
-}
 
 void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
   // fit() always starts fresh — drop any previous (or partial) state so
@@ -782,24 +738,41 @@ std::string GbtRegressor::serialize() const {
          (options_.tree_method == GbtTreeMethod::kHist ? "hist" : "exact") + " " +
          std::to_string(options_.max_bins) + "\n";
   out += "base";
-  for (const double b : base_score_) out += " " + format_double(b);
+  for (const double b : base_score_) {
+    out += ' ';
+    out += format_double(b);
+  }
   out += "\n";
   out += "importance_gain";
-  for (const double v : gain_sum_) out += " " + format_double(v);
+  for (const double v : gain_sum_) {
+    out += ' ';
+    out += format_double(v);
+  }
   out += "\n";
   out += "importance_count";
-  for (const double v : split_count_) out += " " + format_double(v);
+  for (const double v : split_count_) {
+    out += ' ';
+    out += format_double(v);
+  }
   out += "\n";
   // Per-output accumulators (checkpoint resume needs them to continue
   // the exact FP accumulation order). Older models without them still
   // load; they just cannot seed a resumed fit.
   if (gain_by_output_.size() == ensembles_.size()) {
     for (std::size_t k = 0; k < ensembles_.size(); ++k) {
-      out += "importance_gain_out " + std::to_string(k);
-      for (const double v : gain_by_output_[k]) out += " " + format_double(v);
+      out += "importance_gain_out ";
+      out += std::to_string(k);
+      for (const double v : gain_by_output_[k]) {
+        out += ' ';
+        out += format_double(v);
+      }
       out += "\n";
-      out += "importance_count_out " + std::to_string(k);
-      for (const double v : count_by_output_[k]) out += " " + format_double(v);
+      out += "importance_count_out ";
+      out += std::to_string(k);
+      for (const double v : count_by_output_[k]) {
+        out += ' ';
+        out += format_double(v);
+      }
       out += "\n";
     }
   }

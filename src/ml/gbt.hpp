@@ -29,20 +29,17 @@
 #include <functional>
 #include <string_view>
 
+#include "ml/binning.hpp"
 #include "ml/model.hpp"
 
 namespace mphpc::ml {
 
 enum class GbtObjective : std::uint8_t { kSquaredError = 0, kPseudoHuber = 1 };
 
-/// Histogram bin count actually used by a fit: `configured` when nonzero,
-/// otherwise auto-scaled with the row count as clamp(rows / 64, 32, 256).
-[[nodiscard]] int resolve_max_bins(int configured, std::size_t rows) noexcept;
-
-/// Split search strategy: exact-greedy over pre-sorted raw values, or
-/// histogram sweeps over quantile-binned values (faster, near-identical
-/// accuracy; see the header comment).
-enum class GbtTreeMethod : std::uint8_t { kExact = 0, kHist = 1 };
+/// Split search strategy (ml/binning.hpp): exact-greedy over pre-sorted raw
+/// values, or histogram sweeps over quantile-binned values (faster,
+/// near-identical accuracy; see the header comment).
+using GbtTreeMethod = TreeMethod;
 
 struct GbtOptions {
   int n_rounds = 400;          ///< boosting rounds per output
@@ -134,6 +131,11 @@ class GbtRegressor final : public Regressor {
   [[nodiscard]] const std::vector<GbtTree>& ensemble(std::size_t output) const {
     return ensembles_.at(output);
   }
+  /// Per-output prior added before the ensemble sum.
+  [[nodiscard]] double base_score(std::size_t output) const {
+    return base_score_.at(output);
+  }
+  [[nodiscard]] std::size_t n_features() const noexcept { return n_features_; }
 
   /// Text serialization (round-trippable; see serialize.hpp for files).
   [[nodiscard]] std::string serialize() const;

@@ -21,6 +21,12 @@ struct ForestOptions {
   /// Bootstrap sample fraction of the training rows per tree.
   double subsample = 1.0;
   std::uint64_t seed = 7;
+  /// Split search for every tree (ml/binning.hpp). kHist bins the training
+  /// matrix once and shares it across all trees, replacing the per-tree
+  /// feature sorts. Opt-in: kExact keeps existing fits bit-stable.
+  TreeMethod method = TreeMethod::kExact;
+  /// Histogram bins per feature (kHist; 0 = auto, see resolve_max_bins).
+  int max_bins = 64;
 };
 
 class RandomForest final : public Regressor {

@@ -40,6 +40,44 @@ arch::SystemId pick_with_fallback(
 
 }  // namespace
 
+void JobOrderCache::prime(
+    std::span<const Job> jobs,
+    const std::function<std::optional<Order>(const Job&)>& order_of) {
+  orders_.clear();
+  states_.clear();
+  if (jobs.empty()) return;
+  int max_id = -1;
+  for (const Job& job : jobs) {
+    if (job.id < 0) return;  // ids unusable as dense keys — stay disabled
+    max_id = std::max(max_id, job.id);
+  }
+  // Ids far sparser than the job count would bloat the dense tables; the
+  // assigner simply recomputes per call in that case.
+  const std::size_t slots = static_cast<std::size_t>(max_id) + 1;
+  if (slots > 4 * jobs.size() + 1024) return;
+  orders_.assign(slots, Order{});
+  states_.assign(slots, State::kUnknown);
+  for (const Job& job : jobs) {
+    const auto id = static_cast<std::size_t>(job.id);
+    if (const std::optional<Order> order = order_of(job)) {
+      orders_[id] = *order;
+      states_[id] = State::kOrdered;
+    } else {
+      states_[id] = State::kNoOrder;
+    }
+  }
+}
+
+JobOrderCache::State JobOrderCache::lookup(const Job& job,
+                                           const Order** order) const noexcept {
+  *order = nullptr;
+  if (job.id < 0) return State::kUnknown;
+  const auto id = static_cast<std::size_t>(job.id);
+  if (id >= states_.size()) return State::kUnknown;
+  if (states_[id] == State::kOrdered) *order = &orders_[id];
+  return states_[id];
+}
+
 arch::SystemId RoundRobinAssigner::assign(const Job& /*job*/, std::size_t started_index,
                                           const ClusterView& view) {
   const auto& machines = view.machines();
@@ -60,23 +98,68 @@ arch::SystemId UserRoundRobinAssigner::assign(const Job& job,
   return kCpuSystems[cpu_next_++ % kCpuSystems.size()];
 }
 
+void ModelBasedAssigner::prime(std::span<const Job> jobs) {
+  cache_.prime(jobs, [](const Job& job) {
+    return fastest_order([&](arch::SystemId m) { return job.predicted.time_ratio(m); });
+  });
+}
+
 arch::SystemId ModelBasedAssigner::assign(const Job& job, std::size_t /*started_index*/,
                                           const ClusterView& view) {
+  const JobOrderCache::Order* cached = nullptr;
+  if (cache_.lookup(job, &cached) == JobOrderCache::State::kOrdered) {
+    return pick_with_fallback(*cached, job, view);
+  }
   const auto order =
       fastest_order([&](arch::SystemId m) { return job.predicted.time_ratio(m); });
   return pick_with_fallback(order, job, view);
 }
 
+void OracleAssigner::prime(std::span<const Job> jobs) {
+  cache_.prime(jobs, [](const Job& job) {
+    return fastest_order(
+        [&](arch::SystemId m) { return job.runtime[static_cast<std::size_t>(m)]; });
+  });
+}
+
 arch::SystemId OracleAssigner::assign(const Job& job, std::size_t /*started_index*/,
                                       const ClusterView& view) {
+  const JobOrderCache::Order* cached = nullptr;
+  if (cache_.lookup(job, &cached) == JobOrderCache::State::kOrdered) {
+    return pick_with_fallback(*cached, job, view);
+  }
   const auto order = fastest_order(
       [&](arch::SystemId m) { return job.runtime[static_cast<std::size_t>(m)]; });
   return pick_with_fallback(order, job, view);
 }
 
+void GuardedModelBasedAssigner::prime(std::span<const Job> jobs) {
+  cache_.prime(jobs,
+               [this](const Job& job) -> std::optional<JobOrderCache::Order> {
+                 if (!core::is_plausible_rpv(job.predicted, bounds_)) {
+                   return std::nullopt;
+                 }
+                 return fastest_order(
+                     [&](arch::SystemId m) { return job.predicted.time_ratio(m); });
+               });
+}
+
 arch::SystemId GuardedModelBasedAssigner::assign(const Job& job,
                                                  std::size_t started_index,
                                                  const ClusterView& view) {
+  const JobOrderCache::Order* cached = nullptr;
+  switch (cache_.lookup(job, &cached)) {
+    case JobOrderCache::State::kOrdered:
+      return pick_with_fallback(*cached, job, view);
+    case JobOrderCache::State::kNoOrder:
+      // Only the plausibility verdict is memoized, never the placement:
+      // the User+RR fallback is stateful and must advance on every call
+      // so results stay identical to the un-primed assigner.
+      ++fallbacks_;
+      return fallback_.assign(job, started_index, view);
+    case JobOrderCache::State::kUnknown:
+      break;
+  }
   if (!core::is_plausible_rpv(job.predicted, bounds_)) {
     ++fallbacks_;
     return fallback_.assign(job, started_index, view);

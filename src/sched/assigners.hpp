@@ -5,9 +5,14 @@
 // preferred machine is full.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "sched/job.hpp"
@@ -24,7 +29,47 @@ class MachineAssigner {
   [[nodiscard]] virtual arch::SystemId assign(const Job& job,
                                               std::size_t started_index,
                                               const ClusterView& view) = 0;
+
+  /// Called once by the simulation engine with the full job list before
+  /// any assign() call. Assigners whose per-job preference is a pure
+  /// function of the job (Model-based, Oracle) memoize it here, so
+  /// repeated backfill passes replay a cached ordering instead of
+  /// re-deriving it. Default: no-op.
+  virtual void prime(std::span<const Job> jobs) { (void)jobs; }
+
   [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Memoized per-job machine orderings. A job's predicted RPV and observed
+/// runtimes never change during a simulation, so its fastest-first order
+/// can be computed once at prime() time and replayed on every scheduling
+/// and backfill pass. Jobs are keyed densely by Job::id; when ids are
+/// negative or far sparser than the job count the cache stays disabled
+/// (lookup() returns kUnknown) and the assigner computes per call — the
+/// cache can only change cost, never results.
+class JobOrderCache {
+ public:
+  using Order = std::array<arch::SystemId, arch::kNumSystems>;
+
+  enum class State : std::uint8_t {
+    kUnknown = 0,  ///< not primed / id outside the cache — compute per call
+    kOrdered = 1,  ///< cached fastest-first order available
+    kNoOrder = 2,  ///< primed, but this job bypasses the model path
+  };
+
+  /// Rebuilds the cache from a job list. `order_of` maps a job to its
+  /// machine order, or nullopt for jobs that take a non-model path (e.g.
+  /// an implausible RPV under the guarded assigner).
+  void prime(std::span<const Job> jobs,
+             const std::function<std::optional<Order>(const Job&)>& order_of);
+
+  /// Looks up a job; on kOrdered, `*order` points at the cached order
+  /// (valid until the next prime()).
+  [[nodiscard]] State lookup(const Job& job, const Order** order) const noexcept;
+
+ private:
+  std::vector<Order> orders_;
+  std::vector<State> states_;
 };
 
 /// Rotates through the machines for each consecutive job.
@@ -66,7 +111,11 @@ class ModelBasedAssigner final : public MachineAssigner {
  public:
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
+  void prime(std::span<const Job> jobs) override;
   [[nodiscard]] std::string name() const override { return "Model-based"; }
+
+ private:
+  JobOrderCache cache_;
 };
 
 /// An upper-bound variant used in ablations: like Model-based but with
@@ -75,7 +124,11 @@ class OracleAssigner final : public MachineAssigner {
  public:
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
+  void prime(std::span<const Job> jobs) override;
   [[nodiscard]] std::string name() const override { return "Oracle"; }
+
+ private:
+  JobOrderCache cache_;
 };
 
 /// Degraded-mode Algorithm 2: validates each job's predicted RPV before
@@ -93,6 +146,7 @@ class GuardedModelBasedAssigner final : public MachineAssigner {
 
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
+  void prime(std::span<const Job> jobs) override;
   [[nodiscard]] std::string name() const override { return "Model-based (guarded)"; }
 
   /// Jobs placed by the fallback heuristic instead of the model.
@@ -102,6 +156,7 @@ class GuardedModelBasedAssigner final : public MachineAssigner {
   core::RpvGuardOptions bounds_{};
   UserRoundRobinAssigner fallback_;
   long long fallbacks_ = 0;
+  JobOrderCache cache_;
 };
 
 }  // namespace mphpc::sched

@@ -106,6 +106,9 @@ class SimEngine {
   }
 
   [[nodiscard]] SimulationResult run() {
+    // One pass over the job list lets order-memoizing assigners cache
+    // each job's machine preference before any scheduling decision.
+    assigner_.prime(jobs_);
     result_.outcomes.resize(jobs_.size());
     attempts_.assign(jobs_.size(), 0);
     saved_fraction_.assign(jobs_.size(), 0.0);

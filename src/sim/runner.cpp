@@ -1,7 +1,10 @@
 #include "sim/runner.hpp"
 
+#include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 
@@ -51,24 +54,33 @@ std::string serialize_shard(const std::string& app, int input,
                                 p.breakdown.branch_s,   p.breakdown.gpu_s,
                                 p.breakdown.overhead_s, p.breakdown.serial_s,
                                 p.breakdown.comm_s,     p.breakdown.io_s};
-    for (const double v : breakdown) out += " " + format_double(v);
-    for (const double v : p.counters) out += " " + format_double(v);
+    for (const double v : breakdown) {
+      out += ' ';
+      out += format_double(v);
+    }
+    for (const double v : p.counters) {
+      out += ' ';
+      out += format_double(v);
+    }
     out += "\n";
   }
   return out;
 }
 
-/// Parses one shard file back into profiles. Returns nullopt on any
-/// structural or range problem (the caller re-profiles the item).
-std::optional<std::vector<RunProfile>> load_shard(const std::string& path,
-                                                  const std::string& app, int input,
-                                                  std::size_t expected_count) {
+/// Reads a whole file; nullopt when it cannot be opened.
+std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string text = buffer.str();
+  return buffer.str();
+}
 
+/// Parses one shard's text back into profiles. Returns nullopt on any
+/// structural or range problem (the caller re-profiles the item).
+std::optional<std::vector<RunProfile>> parse_shard(const std::string& text,
+                                                   const std::string& app, int input,
+                                                   std::size_t expected_count) {
   const auto lines = split(text, '\n');
   std::size_t i = 0;
   const auto next = [&]() -> std::string_view {
@@ -126,9 +138,47 @@ std::optional<std::vector<RunProfile>> load_shard(const std::string& path,
   }
 }
 
+// Manifest v2 header: identifies the campaign configuration. Followed by
+// one `shard <app> <input> <fnv1a64-hex>` line per completed work item
+// recording the content hash of its shard file. A v1 (or otherwise
+// mismatched) manifest never matches the header, so the whole campaign
+// re-profiles — hash lines only ever tighten reuse.
 std::string campaign_fingerprint(const CampaignOptions& options) {
-  return "mphpc-campaign v1\nseed " + std::to_string(options.seed) +
+  return "mphpc-campaign v2\nseed " + std::to_string(options.seed) +
          "\ninputs_per_app " + std::to_string(options.inputs_per_app) + "\n";
+}
+
+/// Recorded shard hashes from a manifest whose header matched, keyed by
+/// "<app> <input>". Lines that fail to parse are skipped (their items
+/// fall back to parse-only shard validation).
+std::map<std::string, std::uint64_t> parse_manifest_hashes(const std::string& text) {
+  std::map<std::string, std::uint64_t> hashes;
+  for (const std::string& line : split(text, '\n')) {
+    const auto parts = split(std::string(trim(line)), ' ');
+    if (parts.size() != 4 || parts[0] != "shard") continue;
+    try {
+      std::uint64_t hash = 0;
+      const std::string& hex = parts[3];
+      if (hex.size() != 16) continue;
+      for (const char c : hex) {
+        const auto lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        std::uint64_t digit = 0;
+        if (lower >= '0' && lower <= '9') {
+          digit = static_cast<std::uint64_t>(lower - '0');
+        } else if (lower >= 'a' && lower <= 'f') {
+          digit = static_cast<std::uint64_t>(lower - 'a') + 10;
+        } else {
+          throw ParseError("bad hex digit");
+        }
+        hash = (hash << 4) | digit;
+      }
+      (void)parse_int(parts[2]);  // input index must at least be numeric
+      hashes[parts[1] + " " + parts[2]] = hash;
+    } catch (const ParseError&) {
+      continue;
+    }
+  }
+  return hashes;
 }
 
 }  // namespace
@@ -173,38 +223,55 @@ std::vector<RunProfile> run_campaign(const workload::AppCatalog& apps,
   const Profiler profiler(options.seed);
 
   // Interruptible campaigns: shards from a previous run of the *same*
-  // campaign (manifest match) are reused; otherwise the manifest is
-  // rewritten and every item re-profiles (overwriting stale shards).
+  // campaign (manifest header match) are reused. A shard whose content
+  // hash is recorded in the manifest must hash-match byte-for-byte (a
+  // silently edited cache re-profiles); a shard with no recorded hash —
+  // the previous run was interrupted before the final manifest write —
+  // is accepted on parse alone, preserving partial-campaign resume.
   const std::string& dir = options.checkpoint_dir;
+  const std::string manifest_path = dir.empty() ? std::string{} : dir + "/manifest.txt";
+  const std::string fingerprint = campaign_fingerprint(options);
   bool reuse_shards = false;
+  std::map<std::string, std::uint64_t> recorded;
   if (!dir.empty()) {
     std::filesystem::create_directories(dir);
-    const std::string manifest_path = dir + "/manifest.txt";
-    const std::string fingerprint = campaign_fingerprint(options);
-    std::ifstream manifest(manifest_path);
-    std::ostringstream existing;
-    existing << manifest.rdbuf();
-    reuse_shards = manifest.good() && existing.str() == fingerprint;
+    if (const auto existing = read_file(manifest_path)) {
+      reuse_shards = starts_with(*existing, fingerprint);
+      if (reuse_shards) recorded = parse_manifest_hashes(*existing);
+    }
+    // Header-only manifest up front: a crash mid-campaign leaves a valid
+    // header plus whatever shards completed, so the next run resumes.
     if (!reuse_shards) atomic_write_text(manifest_path, fingerprint);
   }
 
+  std::vector<std::uint64_t> shard_hashes(items.size(), 0);
   const auto process = [&](std::size_t i) {
     const std::string& app_name = items[i].app->name;
     const int input = items[i].input.index;
     const std::string shard =
         dir.empty() ? std::string{} : shard_path(dir, app_name, input);
     if (reuse_shards) {
-      if (auto cached = load_shard(shard, app_name, input, per_item)) {
-        for (std::size_t j = 0; j < per_item; ++j) {
-          all[i * per_item + j] = std::move((*cached)[j]);
+      const auto it = recorded.find(app_name + " " + std::to_string(input));
+      if (const auto text = read_file(shard)) {
+        const std::uint64_t hash = fnv1a_64(*text);
+        const bool hash_ok = it == recorded.end() || it->second == hash;
+        if (hash_ok) {
+          if (auto cached = parse_shard(*text, app_name, input, per_item)) {
+            for (std::size_t j = 0; j < per_item; ++j) {
+              all[i * per_item + j] = std::move((*cached)[j]);
+            }
+            shard_hashes[i] = hash;
+            return;
+          }
         }
-        return;
       }
     }
     auto profiles = run_input(*items[i].app, items[i].input, systems, profiler);
     if (!shard.empty()) {
-      atomic_write_text(shard,
-                        serialize_shard(app_name, input, profiles.data(), per_item));
+      const std::string text =
+          serialize_shard(app_name, input, profiles.data(), per_item);
+      atomic_write_text(shard, text);
+      shard_hashes[i] = fnv1a_64(text);
     }
     for (std::size_t j = 0; j < per_item; ++j) {
       all[i * per_item + j] = std::move(profiles[j]);
@@ -215,6 +282,18 @@ std::vector<RunProfile> run_campaign(const workload::AppCatalog& apps,
     pool->parallel_for(0, items.size(), process);
   } else {
     for (std::size_t i = 0; i < items.size(); ++i) process(i);
+  }
+
+  if (!dir.empty()) {
+    // Full manifest only after every shard is on disk: header + one
+    // content-hash line per item, in deterministic item order.
+    std::string manifest = fingerprint;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      manifest += "shard " + items[i].app->name + " " +
+                  std::to_string(items[i].input.index) + " " +
+                  format_hex64(shard_hashes[i]) + "\n";
+    }
+    atomic_write_text(manifest_path, manifest);
   }
   // Campaign invariant: every (app, input, system, scale) slot was filled
   // with a positive observed runtime.

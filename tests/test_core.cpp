@@ -467,6 +467,85 @@ TEST_F(DatasetTest, GuardedPredictorRejectsOutOfBoundsPredictions) {
   EXPECT_FALSE(guarded.last_error().empty());
 }
 
+// --------------------------------------------------------- batch prediction ----
+
+std::vector<sim::RunProfile> varied_profiles() {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const sim::Profiler profiler(77);
+  std::vector<sim::RunProfile> out;
+  for (const auto* app : {"CoMD", "AMG", "SWFFT", "XSBench"}) {
+    const auto& sig = apps.get(app);
+    const auto inputs = workload::make_inputs(sig, 2, 77);
+    for (const auto* sys : {"quartz", "ruby", "lassen", "corona"}) {
+      for (const auto& input : inputs) {
+        out.push_back(profiler.profile(sig, input, workload::ScaleClass::kOneNode,
+                                       systems.get(sys)));
+      }
+    }
+  }
+  return out;
+}
+
+TEST_F(DatasetTest, PredictRpvsMatchesPerProfilePredict) {
+  const CrossArchPredictor predictor = small_predictor(dataset());
+  const auto profiles = varied_profiles();
+  ThreadPool pool(4);
+  const std::vector<Rpv> batch = predictor.predict_rpvs(profiles, &pool);
+  const std::vector<Rpv> serial = predictor.predict_rpvs(profiles);
+  ASSERT_EQ(batch.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const Rpv one = predictor.predict(profiles[i]);
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+      EXPECT_EQ(batch[i][k], one[k]) << "profile " << i;
+      EXPECT_EQ(serial[i][k], one[k]) << "profile " << i;
+    }
+  }
+}
+
+TEST_F(DatasetTest, GuardedPredictRpvsMatchesPerProfilePredict) {
+  GuardedPredictor batch_guard(small_predictor(dataset()), {});
+  GuardedPredictor serial_guard(small_predictor(dataset()), {});
+  const auto profiles = varied_profiles();
+  const std::vector<Rpv> batch = batch_guard.predict_rpvs(profiles);
+  ASSERT_EQ(batch.size(), profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const Rpv one = serial_guard.predict(profiles[i]);
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+      EXPECT_EQ(batch[i][k], one[k]) << "profile " << i;
+    }
+  }
+  EXPECT_EQ(batch_guard.fallback_count(), serial_guard.fallback_count());
+}
+
+TEST_F(DatasetTest, GuardedPredictRpvsCountsPerRowFallbacks) {
+  // Bounds no real RPV satisfies: every row degrades independently to the
+  // neutral vector and bumps the counter.
+  RpvGuardOptions bounds;
+  bounds.min_ratio = 0.999;
+  bounds.max_ratio = 1.001;
+  GuardedPredictor guarded(small_predictor(dataset()), bounds);
+  ASSERT_TRUE(guarded.healthy());
+  const auto profiles = varied_profiles();
+  const std::vector<Rpv> batch = guarded.predict_rpvs(profiles);
+  for (const Rpv& rpv : batch) {
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  }
+  EXPECT_EQ(guarded.fallback_count(),
+            static_cast<long long>(profiles.size()));
+}
+
+TEST(GuardedPredictor, DegradedPredictRpvsIsAllNeutral) {
+  GuardedPredictor guarded;
+  const auto profiles = varied_profiles();
+  const std::vector<Rpv> batch = guarded.predict_rpvs(profiles);
+  ASSERT_EQ(batch.size(), profiles.size());
+  for (const Rpv& rpv : batch) {
+    for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  }
+  EXPECT_EQ(guarded.fallback_count(), static_cast<long long>(profiles.size()));
+}
+
 // --------------------------------------------------------- model selection ----
 
 TEST(ModelSelection, FactoryProducesAllKinds) {

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/binning.hpp"
+#include "ml/compiled_ensemble.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
 #include "ml/linear_regressor.hpp"
@@ -727,6 +728,208 @@ TEST(Gbt, DeserializeRejectsTreeForUnknownOutput) {
       "-1 0 -1 -1 0.25\n"
       "-1 0 -1 -1 -0.25\n");
   EXPECT_THROW(GbtRegressor::deserialize(bad), ParseError);
+}
+
+// --------------------------------------------- tree/forest: hist vs exact ----
+
+// Like make_binnable_problem, but every feature is low-cardinality: with
+// bins >= levels the quantile binning is lossless, which is the regime
+// where a *single* tree (no ensemble averaging to absorb a shifted early
+// split) can honestly promise near-exact accuracy.
+Problem make_discrete_problem(std::size_t n, double noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 3);
+  Matrix y(n, 2);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x0 = std::floor(rng.uniform() * 40.0) / 40.0;
+    const double x1 = std::floor(rng.uniform() * 40.0) / 40.0;
+    x(r, 0) = x0;
+    x(r, 1) = x1;
+    x(r, 2) = std::floor(rng.uniform() * 40.0) / 40.0;  // irrelevant feature
+    y(r, 0) = 3.0 * x0 - 2.0 * x1 + 1.0 + noise * (rng.uniform() - 0.5);
+    y(r, 1) = (x0 > 0.5 ? 4.0 : 0.0) + noise * (rng.uniform() - 0.5);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(DecisionTree, HistMatchesExactAccuracy) {
+  const Problem train = make_discrete_problem(800, 0.1, 40);
+  const Problem test = make_discrete_problem(300, 0.1, 41);
+  TreeOptions options;
+  options.max_depth = 8;
+  options.max_bins = 64;  // >= the 40 feature levels: lossless binning
+  DecisionTree exact(options);
+  exact.fit(train.x, train.y);
+  options.method = TreeMethod::kHist;
+  DecisionTree hist(options);
+  hist.fit(train.x, train.y);
+  const double rmse_e = root_mean_squared_error(test.y, exact.predict(test.x));
+  const double rmse_h = root_mean_squared_error(test.y, hist.predict(test.x));
+  EXPECT_LT(std::abs(rmse_h - rmse_e), 0.02 * rmse_e);
+}
+
+TEST(DecisionTree, HistDeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(300, 0.3, 42);
+  TreeOptions options;
+  options.method = TreeMethod::kHist;
+  DecisionTree serial(options);
+  serial.fit(p.x, p.y, nullptr);
+  const Matrix a = serial.predict(p.x);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    DecisionTree parallel(options);
+    parallel.fit(p.x, p.y, &pool);
+    const Matrix b = parallel.predict(p.x);
+    for (std::size_t i = 0; i < a.flat().size(); ++i) {
+      EXPECT_EQ(a.flat()[i], b.flat()[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(RandomForest, HistMatchesExactAccuracy) {
+  const Problem train = make_binnable_problem(800, 0.1, 43);
+  const Problem test = make_binnable_problem(300, 0.1, 44);
+  ForestOptions options;
+  options.n_trees = 30;
+  RandomForest exact(options);
+  exact.fit(train.x, train.y);
+  options.method = TreeMethod::kHist;
+  RandomForest hist(options);
+  hist.fit(train.x, train.y);
+  const double rmse_e = root_mean_squared_error(test.y, exact.predict(test.x));
+  const double rmse_h = root_mean_squared_error(test.y, hist.predict(test.x));
+  EXPECT_LT(std::abs(rmse_h - rmse_e), 0.02 * rmse_e);
+}
+
+TEST(RandomForest, HistDeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(300, 0.3, 45);
+  ForestOptions options;
+  options.n_trees = 12;
+  options.method = TreeMethod::kHist;
+  RandomForest serial(options);
+  serial.fit(p.x, p.y, nullptr);
+  const Matrix a = serial.predict(p.x);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    RandomForest parallel(options);
+    parallel.fit(p.x, p.y, &pool);
+    const Matrix b = parallel.predict(p.x);
+    for (std::size_t i = 0; i < a.flat().size(); ++i) {
+      EXPECT_EQ(a.flat()[i], b.flat()[i]) << "threads=" << threads;
+    }
+  }
+}
+
+// ------------------------------------------------ compiled ensemble parity ----
+
+void expect_matrices_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    EXPECT_EQ(a.flat()[i], b.flat()[i]) << "flat index " << i;
+  }
+}
+
+/// predict_row must agree bit-for-bit with the reference predictions too.
+void expect_row_parity(const CompiledEnsemble& compiled, const Matrix& x,
+                       const Matrix& reference) {
+  std::vector<double> row(compiled.n_outputs());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    compiled.predict_row(x.row(r), row);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      EXPECT_EQ(row[k], reference(r, k)) << "row " << r << " output " << k;
+    }
+  }
+}
+
+TEST(CompiledParity, GbtExactBitIdentical) {
+  const Problem p = make_problem(300, 0.3, 50);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kExact));
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model);
+  const Matrix reference = model.predict(p.x);
+  expect_matrices_identical(compiled.predict(p.x), reference);
+  expect_row_parity(compiled, p.x, reference);
+}
+
+TEST(CompiledParity, GbtHistBitIdentical) {
+  const Problem p = make_problem(300, 0.3, 51);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model);
+  expect_matrices_identical(compiled.predict(p.x), model.predict(p.x));
+}
+
+TEST(CompiledParity, RandomForestBitIdentical) {
+  const Problem p = make_problem(300, 0.3, 52);
+  for (const TreeMethod method : {TreeMethod::kExact, TreeMethod::kHist}) {
+    ForestOptions options;
+    options.n_trees = 15;
+    options.method = method;
+    RandomForest model(options);
+    model.fit(p.x, p.y);
+    const auto compiled = CompiledEnsemble::compile(model);
+    const Matrix reference = model.predict(p.x);
+    expect_matrices_identical(compiled.predict(p.x), reference);
+    expect_row_parity(compiled, p.x, reference);
+  }
+}
+
+TEST(CompiledParity, DecisionTreeBitIdentical) {
+  const Problem p = make_problem(300, 0.3, 53);
+  DecisionTree model;
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model);
+  const Matrix reference = model.predict(p.x);
+  expect_matrices_identical(compiled.predict(p.x), reference);
+  expect_row_parity(compiled, p.x, reference);
+}
+
+TEST(CompiledParity, StumpBitIdentical) {
+  const Problem p = make_problem(200, 0.3, 54);
+  TreeOptions options;
+  options.max_depth = 1;  // a single split: root plus two leaves
+  DecisionTree model(options);
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model);
+  expect_matrices_identical(compiled.predict(p.x), model.predict(p.x));
+}
+
+TEST(CompiledParity, SingleLeafConstantTargetBitIdentical) {
+  // A constant target collapses every tree to one leaf (walk length 0).
+  const Problem base = make_problem(100, 0.0, 55);
+  Matrix y(base.y.rows(), base.y.cols());
+  for (double& v : y.flat()) v = 2.75;
+  DecisionTree tree;
+  tree.fit(base.x, y);
+  expect_matrices_identical(CompiledEnsemble::compile(tree).predict(base.x),
+                            tree.predict(base.x));
+  GbtRegressor gbt(small_gbt());
+  gbt.fit(base.x, y);
+  expect_matrices_identical(CompiledEnsemble::compile(gbt).predict(base.x),
+                            gbt.predict(base.x));
+}
+
+TEST(CompiledParity, SerializedModelRecompilesIdentically) {
+  const Problem p = make_problem(300, 0.3, 56);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const GbtRegressor restored = GbtRegressor::deserialize(model.serialize());
+  expect_matrices_identical(CompiledEnsemble::compile(restored).predict(p.x),
+                            CompiledEnsemble::compile(model).predict(p.x));
+}
+
+TEST(CompiledParity, DeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(700, 0.3, 57);
+  GbtRegressor model(small_gbt());
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model);
+  const Matrix reference = model.predict(p.x);
+  expect_matrices_identical(compiled.predict(p.x, nullptr), reference);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    expect_matrices_identical(compiled.predict(p.x, &pool), reference);
+  }
 }
 
 // Parameterized noise sweep: learned models should always beat the mean

@@ -406,6 +406,81 @@ TEST(GuardedModelBasedAssigner, FallsBackOnImplausiblePredictions) {
   EXPECT_EQ(assigner.fallbacks(), 3);
 }
 
+// ------------------------------------------ assigner order memoization ----
+
+void expect_results_identical(const SimulationResult& a, const SimulationResult& b);
+
+// Re-keys a workload with ids far sparser than the job count, which keeps
+// the JobOrderCache disabled (see assigners.hpp): the same jobs then take
+// the compute-per-call path. Fault-free scheduling is otherwise
+// id-independent, so memoized and unmemoized runs must agree exactly.
+std::vector<Job> with_sparse_ids(std::vector<Job> jobs) {
+  for (auto& job : jobs) job.id = job.id * 1'000'000 + 17;
+  return jobs;
+}
+
+TEST(ModelBasedAssigner, PrimedAssignMatchesUnprimed) {
+  const auto machines = tiny_cluster();
+  std::vector<Job> jobs;
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 9), rng.uniform(1, 9),
+                            rng.uniform(1, 9), rng.uniform(1, 9)));
+  }
+  ModelBasedAssigner primed;
+  primed.prime(jobs);
+  ModelBasedAssigner fresh;
+  const std::array<std::array<int, 4>, 4> patterns = {
+      {{2, 2, 2, 2}, {0, 2, 2, 2}, {2, 0, 0, 2}, {0, 0, 0, 0}}};
+  for (const auto& free_nodes : patterns) {
+    auto free = free_nodes;
+    const ClusterView view(machines, free);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(primed.assign(jobs[i], i, view), fresh.assign(jobs[i], i, view));
+    }
+  }
+}
+
+TEST(ModelBasedAssigner, MemoizedSimulationGolden) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  std::vector<Job> jobs;
+  Rng rng(32);
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 30), rng.uniform(1, 30),
+                            rng.uniform(1, 30), rng.uniform(1, 30),
+                            rng.bernoulli(0.3) ? 2 : 1));
+  }
+  ModelBasedAssigner memoized;
+  ModelBasedAssigner per_call;
+  const auto a = simulate(jobs, machines, memoized);
+  const auto b = simulate(with_sparse_ids(jobs), machines, per_call);
+  expect_results_identical(a, b);
+}
+
+TEST(GuardedModelBasedAssigner, MemoizedSimulationGoldenWithFallbacks) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  std::vector<Job> jobs;
+  Rng rng(33);
+  for (int i = 0; i < 150; ++i) {
+    jobs.push_back(make_job(i, rng.uniform(1, 20), rng.uniform(1, 20),
+                            rng.uniform(1, 20), rng.uniform(1, 20), 1,
+                            rng.bernoulli(0.4)));
+    if (i % 3 == 0) {
+      // Poisoned prediction: must take the (stateful) fallback path, whose
+      // round-robin counters have to advance identically with and without
+      // the memoized plausibility verdict.
+      jobs.back().predicted = core::Rpv({1.0, 1e9, 1.0, 1.0});
+    }
+  }
+  GuardedModelBasedAssigner memoized;
+  GuardedModelBasedAssigner per_call;
+  const auto a = simulate(jobs, machines, memoized);
+  const auto b = simulate(with_sparse_ids(jobs), machines, per_call);
+  expect_results_identical(a, b);
+  EXPECT_GT(memoized.fallbacks(), 0);
+  EXPECT_EQ(memoized.fallbacks(), per_call.fallbacks());
+}
+
 // ------------------------------------------------------------ fault traces ----
 
 TEST(FaultModel, GenerateIsDeterministicPerSeed) {

@@ -403,7 +403,9 @@ TEST_F(CampaignCheckpointTest, CacheReproducesProfilesBitIdentically) {
 
 TEST_F(CampaignCheckpointTest, SecondRunActuallyReadsShards) {
   // Prove the reuse path is taken: tamper with one cached value and watch
-  // it propagate into the next run's output.
+  // it propagate into the next run's output. The manifest is reduced to
+  // its header first (as an interrupted run leaves it), because a
+  // recorded content hash would — correctly — reject the edited shard.
   const AppCatalog apps;
   const SystemCatalog systems;
   CampaignOptions options;
@@ -446,10 +448,70 @@ TEST_F(CampaignCheckpointTest, SecondRunActuallyReadsShards) {
   for (const auto& line : lines) patched += line + "\n";
   { std::ofstream out(shard); out << patched; }
 
+  // Keep only the manifest header: shards without a recorded hash are
+  // accepted on parse alone (the partial-campaign resume path).
+  {
+    std::ifstream in(dir_ / "manifest.txt");
+    std::string line;
+    std::string header;
+    for (int n = 0; n < 3 && std::getline(in, line); ++n) header += line + "\n";
+    in.close();
+    std::ofstream out(dir_ / "manifest.txt");
+    out << header;
+  }
+
   const auto second = run_campaign(apps, systems, options);
   bool saw_patched = false;
   for (const auto& profile : second) saw_patched |= profile.time_s == 999.25;
   EXPECT_TRUE(saw_patched);  // the cache, not the profiler, produced this
+}
+
+TEST_F(CampaignCheckpointTest, HashMismatchedShardIsReProfiled) {
+  // A shard whose content no longer matches the hash recorded in the
+  // manifest must be re-profiled, even though it still parses cleanly.
+  const AppCatalog apps;
+  const SystemCatalog systems;
+  CampaignOptions options;
+  options.inputs_per_app = 1;
+  options.checkpoint_dir = dir_.string();
+  const auto first = run_campaign(apps, systems, options);
+
+  std::filesystem::path shard;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".shard") {
+      shard = entry.path();
+      break;
+    }
+  }
+  ASSERT_FALSE(shard.empty());
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(shard);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  for (auto& line : lines) {
+    if (line.rfind("p ", 0) == 0) {
+      std::istringstream ss(line);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      ASSERT_GE(tokens.size(), 11u);
+      tokens[10] = "999.25";  // parseable and positive — only the hash catches it
+      line.clear();
+      for (std::size_t t = 0; t < tokens.size(); ++t) {
+        line += (t == 0 ? "" : " ") + tokens[t];
+      }
+      break;
+    }
+  }
+  std::string patched;
+  for (const auto& line : lines) patched += line + "\n";
+  { std::ofstream out(shard); out << patched; }
+
+  const auto second = run_campaign(apps, systems, options);
+  for (const auto& profile : second) EXPECT_NE(profile.time_s, 999.25);
+  expect_profiles_identical(first, second);
 }
 
 TEST_F(CampaignCheckpointTest, CorruptShardIsReProfiledNotTrusted) {

@@ -49,6 +49,14 @@ echo "==== [dev] GBT fit smoke (exact + hist) ===="
   --benchmark_filter='BM_GbtFit(Exact|Hist)/20$' \
   --benchmark_min_time=0.01
 
+# Compiled-inference smoke: the batched engine must run the predict micro
+# benchmarks end-to-end for every tree model plus the scheduler-assign
+# memoization micro (tracked timings live in results/BENCH_predict.json).
+echo "==== [dev] compiled predict smoke (gbt + forest + assign) ===="
+./build-dev/bench/bench_perf_micro \
+  --benchmark_filter='BM_(Gbt|Forest)Predict(Ref|Compiled)/4096$|BM_AssignModelBased' \
+  --benchmark_min_time=0.01
+
 # Fault-injection smoke: the sched-faults subcommand must complete a small
 # degraded-mode strategy comparison end-to-end and emit parseable JSON in
 # which at least one strategy actually exercised the retry path, and the
@@ -112,6 +120,10 @@ echo "kill-and-resume train smoke: ok (models bit-identical)"
 
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
+  # The compiled engine indexes one flat node pool with hand-built
+  # offsets; assert the exact-parity tests ran under ASan/UBSan
+  # (--no-tests=error fails the lane if they vanish).
+  ctest --preset asan -R 'CompiledParity' --no-tests=error --output-on-failure
   if [[ "${with_tsan}" -eq 1 ]]; then
     # The full suite already ran under TSan above; this re-run asserts the
     # fault/determinism/checkpoint tests (the ones most likely to surface

@@ -2,7 +2,8 @@
 //
 //   mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]
 //   mphpc train    [--inputs N] [--out MODEL] [--rounds N] [--depth N] [--bins B]
-//                  [--checkpoint-every K] [--resume]
+//                  [--tree-method exact|hist] [--checkpoint-every K] [--resume]
+//                  (checkpointed runs default --campaign-dir to MODEL.campaign)
 //   mphpc evaluate [--inputs N] [--model MODEL]
 //   mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]
 //                  [--model MODEL]
@@ -81,7 +82,8 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-core::Dataset build_dataset(const Args& args) {
+core::Dataset build_dataset(const Args& args,
+                            const std::string& default_campaign_dir = "") {
   const int inputs = args.get_int("inputs", 12);
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
@@ -89,7 +91,7 @@ core::Dataset build_dataset(const Args& args) {
   options.inputs_per_app = inputs;
   // With --campaign-dir the collection campaign is interruptible: each
   // profiled (app, input) shard persists there and re-runs skip it.
-  options.checkpoint_dir = args.get("campaign-dir", "");
+  options.checkpoint_dir = args.get("campaign-dir", default_campaign_dir);
   std::printf("building dataset (%d inputs/app)...\n", inputs);
   return core::build_dataset(
       sim::run_campaign(apps, systems, options, &ThreadPool::shared()));
@@ -100,6 +102,13 @@ core::CrossArchPredictor::Options predictor_options(const Args& args) {
   options.gbt.n_rounds = args.get_int("rounds", 200);
   options.gbt.max_depth = args.get_int("depth", 7);
   options.gbt.max_bins = args.get_int("bins", options.gbt.max_bins);
+  const std::string method = args.get("tree-method", "exact");
+  if (method == "hist") {
+    options.gbt.tree_method = ml::TreeMethod::kHist;
+  } else if (method != "exact") {
+    throw std::runtime_error("unknown --tree-method '" + method +
+                             "' (exact|hist)");
+  }
   return options;
 }
 
@@ -124,11 +133,19 @@ int cmd_dataset(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto dataset = build_dataset(args);
+  const auto options = predictor_options(args);  // validates flags up front
   const std::string out = args.get("out", "mphpc_model.txt");
   const int every = args.get_int("checkpoint-every", 0);
   const bool resume = args.has("resume");
-  const auto options = predictor_options(args);
+  // An interruptible training run implies an interruptible data campaign:
+  // without an explicit --campaign-dir, cache profiling shards next to
+  // the checkpoint so a killed `train --resume` skips completed items too.
+  const std::string default_campaign_dir =
+      (every > 0 || resume) ? out + ".campaign" : "";
+  if (!default_campaign_dir.empty() && !args.has("campaign-dir")) {
+    std::printf("campaign cache: %s\n", default_campaign_dir.c_str());
+  }
+  const auto dataset = build_dataset(args, default_campaign_dir);
   core::CrossArchPredictor predictor(options);
   Timer timer;
   if (every > 0 || resume) {
@@ -158,9 +175,7 @@ int cmd_evaluate(const Args& args) {
     const auto predictor = core::CrossArchPredictor::load(args.get("model", ""));
     metrics = core::evaluate(y_test, predictor.predict(x_test));
   } else {
-    core::CrossArchPredictor::Options options;
-    options.gbt.n_rounds = args.get_int("rounds", 200);
-    options.gbt.max_depth = args.get_int("depth", 7);
+    const auto options = predictor_options(args);
     core::CrossArchPredictor predictor(options);
     predictor.train(dataset, split.train, &ThreadPool::shared());
     metrics = core::evaluate(y_test, predictor.predict(x_test));
@@ -471,8 +486,11 @@ void usage() {
       "mphpc — cross-architecture performance prediction toolkit\n\n"
       "  mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]\n"
       "  mphpc train    [--inputs N] [--rounds N] [--depth N] [--bins B]\n"
-      "                 [--checkpoint-every K] [--resume] [--out MODEL]\n"
-      "  mphpc evaluate [--inputs N] [--model MODEL]\n"
+      "                 [--tree-method exact|hist] [--checkpoint-every K]\n"
+      "                 [--resume] [--out MODEL]\n"
+      "                 (checkpointed runs cache the campaign in MODEL.campaign\n"
+      "                  unless --campaign-dir is given)\n"
+      "  mphpc evaluate [--inputs N] [--model MODEL] [--tree-method exact|hist]\n"
       "  mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]\n"
       "                 [--model MODEL]\n"
       "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n"

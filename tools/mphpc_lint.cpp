@@ -115,7 +115,12 @@ std::vector<std::string> strip_comments_and_literals(
             if (open == std::string::npos) {
               i = line.size();  // malformed; bail on this line
             } else {
-              raw_delim = ")" + line.substr(i + 2, open - (i + 2)) + "\"";
+              const std::size_t delim_len = open - (i + 2);
+              raw_delim.clear();
+              raw_delim.reserve(delim_len + 2);
+              raw_delim.push_back(')');
+              raw_delim.append(line.data() + i + 2, delim_len);
+              raw_delim.push_back('"');
               state = State::kRawString;
               i = open + 1;
             }
