@@ -92,6 +92,7 @@ JsonWriter& JsonWriter::field(std::string_view key, std::string_view value) {
 }
 
 JsonWriter& JsonWriter::field(std::string_view key, const char* value) {
+  MPHPC_EXPECTS(value != nullptr);
   return field(key, std::string_view(value));
 }
 

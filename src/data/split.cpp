@@ -70,6 +70,7 @@ std::vector<std::size_t> rows_where(std::span<const std::string> groups,
   for (std::size_t i = 0; i < groups.size(); ++i) {
     if (groups[i] == value) rows.push_back(i);
   }
+  MPHPC_ENSURES(rows.size() <= groups.size());
   return rows;
 }
 

@@ -111,6 +111,7 @@ Table Table::select_columns(std::span<const std::string> names) const {
       out.add_text_column(name, text_[ref.index].values);
     }
   }
+  MPHPC_ENSURES(out.num_columns() == names.size());
   return out;
 }
 
@@ -124,6 +125,7 @@ std::vector<double> Table::to_row_major(std::span<const std::string> names) cons
       out[r * names.size() + c] = (*cols[c])[r];
     }
   }
+  MPHPC_ENSURES(out.size() == num_rows_ * names.size());
   return out;
 }
 

@@ -59,6 +59,7 @@ std::vector<std::vector<double>> one_hot(std::span<const std::string> labels,
     }
     if (!found) throw LookupError("one_hot: label '" + labels[i] + "' not in vocabulary");
   }
+  MPHPC_ENSURES(columns.size() == vocabulary.size());
   return columns;
 }
 

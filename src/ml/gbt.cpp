@@ -15,7 +15,8 @@
 
 namespace mphpc::ml {
 
-double GbtTree::predict(std::span<const double> x) const noexcept {
+double GbtTree::predict(std::span<const double> x) const {
+  MPHPC_EXPECTS(!nodes.empty());
   std::size_t i = 0;
   while (!nodes[i].is_leaf()) {
     const GbtNode& n = nodes[i];

@@ -81,7 +81,7 @@ struct GbtNode {
 struct GbtTree {
   std::vector<GbtNode> nodes;
 
-  [[nodiscard]] double predict(std::span<const double> x) const noexcept;
+  [[nodiscard]] double predict(std::span<const double> x) const;
 };
 
 class GbtRegressor final : public Regressor {

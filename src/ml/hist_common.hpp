@@ -77,7 +77,8 @@ struct SiblingPair {
 /// big -= small, element-wise over one feature slice (ascending index
 /// order: bit-identical regardless of caller).
 inline void subtract_sibling(double* big, const double* small,
-                             std::size_t n) noexcept {
+                             std::size_t n) {
+  MPHPC_EXPECTS(n == 0 || (big != nullptr && small != nullptr));
   for (std::size_t i = 0; i < n; ++i) big[i] -= small[i];
 }
 
@@ -106,6 +107,7 @@ class NodePartition {
   /// first), registers the two children as the next consecutive node ids
   /// (left then right), and returns the left child's item count.
   std::size_t split(std::size_t nid, const std::uint8_t* codes, int bin) {
+    MPHPC_EXPECTS(nid < begin_.size() && codes != nullptr);
     const std::size_t lo = begin_[nid];
     const std::size_t hi = end_[nid];
     std::size_t out = lo;

@@ -35,6 +35,7 @@ class MachineAssigner {
   /// function of the job (Model-based, Oracle) memoize it here, so
   /// repeated backfill passes replay a cached ordering instead of
   /// re-deriving it. Default: no-op.
+  // lint:allow-next-line contract-coverage -- no-op default has no precondition
   virtual void prime(std::span<const Job> jobs) { (void)jobs; }
 
   [[nodiscard]] virtual std::string name() const = 0;

@@ -41,7 +41,13 @@ struct LintResult {
 /// The capture file lives under the gtest temp dir — never under `root`,
 /// which for RealTreeLintsClean is the actual source tree.
 LintResult run_lint(const fs::path& root, const std::string& extra_args = "") {
-  const fs::path out_path = fs::path(::testing::TempDir()) / "lint_capture.txt";
+  // One capture file per test: ctest runs the suite with -j, and a shared
+  // path would be clobbered by concurrently running lint tests.
+  const fs::path out_path =
+      fs::path(::testing::TempDir()) /
+      (std::string("lint_capture_") +
+       ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+       ".txt");
   const std::string cmd = std::string(MPHPC_LINT_BIN) + " " + extra_args + " \"" +
                           root.string() + "\" > \"" + out_path.string() +
                           "\" 2>&1";
@@ -239,8 +245,12 @@ TEST_F(LintTest, ListRulesEnumeratesAll) {
   std::string line;
   while (std::getline(in, line)) rules.push_back(line);
   const std::vector<std::string> expected = {
-      "nondeterminism", "unordered-iteration", "io-in-lib", "raw-new",
-      "pragma-once",    "no-float",            "function-size"};
+      "nondeterminism",          "unordered-iteration",
+      "io-in-lib",               "raw-new",
+      "pragma-once",             "no-float",
+      "function-size",           "ref-capture-in-parallel",
+      "lock-held-blocking-call", "contract-coverage",
+      "raw-artifact-write",      "unordered-accumulation"};
   EXPECT_EQ(rules, expected);
 }
 
@@ -257,9 +267,405 @@ TEST_F(LintTest, ReportFlagDuplicatesFindingsToFile) {
   EXPECT_NE(ss.str().find("1 violation(s)"), std::string::npos) << ss.str();
 }
 
-TEST_F(LintTest, RealTreeLintsClean) {
-  const LintResult r = run_lint(fs::path(MPHPC_SOURCE_ROOT));
+TEST_F(LintTest, RealTreeLintsCleanAgainstBaseline) {
+  // Mirrors the lint.mphpc ctest invocation: baselined findings are
+  // warnings, anything new in the tree fails here first.
+  const fs::path baseline =
+      fs::path(MPHPC_SOURCE_ROOT) / "tools" / "lint_baseline.json";
+  const LintResult r = run_lint(fs::path(MPHPC_SOURCE_ROOT),
+                                "--baseline=\"" + baseline.string() + "\"");
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+
+TEST_F(LintTest, AllowNextLineSuppresses) {
+  write("src/next_line.cpp",
+        "#include <cstdlib>\n"
+        "int seeded() {\n"
+        "  // lint:allow-next-line nondeterminism -- fixture exception\n"
+        "  return rand();\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, AllowNextLineOnlySilencesTheNextLine) {
+  write("src/next_line_scope.cpp",
+        "#include <cstdlib>\n"
+        "int seeded() {\n"
+        "  // lint:allow-next-line nondeterminism\n"
+        "  int a = rand();\n"
+        "  int b = rand();\n"
+        "  return a + b;\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[nondeterminism]"), 1) << r.output;
+  EXPECT_NE(r.output.find("next_line_scope.cpp:5:"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, ReportCreatesParentDirectories) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const fs::path report = root_ / "nested" / "deep" / "report.txt";
+  const LintResult r = run_lint(root_, "--report=\"" + report.string() + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good()) << "report not created at " << report;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("[no-float]"), std::string::npos) << ss.str();
+}
+
+TEST_F(LintTest, ReportUnwritablePathExitsTwo) {
+  write("src/clean.hpp", "#pragma once\n");
+  // A regular file where a parent directory would have to be created.
+  write("blocker", "not a directory\n");
+  const fs::path report = root_ / "blocker" / "sub" / "report.txt";
+  const LintResult r = run_lint(root_, "--report=\"" + report.string() + "\"");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("cannot write report"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, FlagsRefCaptureInParallel) {
+  write("src/par_bad.cpp",
+        "#include <cstddef>\n"
+        "struct Pool { void parallel_chunks(int, int, int); };\n"
+        "void tally(Pool& pool, std::size_t n) {\n"
+        "  std::size_t hits = 0;\n"
+        "  pool.parallel_chunks(0, n,\n"
+        "      [&](std::size_t c, std::size_t lo, std::size_t hi) {\n"
+        "        for (std::size_t i = lo; i < hi; ++i) hits += 1;\n"
+        "      });\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[ref-capture-in-parallel]"), 1) << r.output;
+  EXPECT_NE(r.output.find("par_bad.cpp:7:"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, PerChunkCaptureIsSafe) {
+  write("src/par_ok.cpp",
+        "#include <cstddef>\n"
+        "#include <vector>\n"
+        "void tally(Pool& pool, std::size_t n) {\n"
+        "  std::vector<std::size_t> part(9, 0);\n"
+        "  pool.parallel_chunks(0, n,\n"
+        "      [&](std::size_t c, std::size_t lo, std::size_t hi) {\n"
+        "        for (std::size_t i = lo; i < hi; ++i) part[c] += 1;\n"
+        "      });\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, LockProtectedDoubleSumStillAccumulationHazard) {
+  // The lock removes the data race (so no ref-capture finding) but the
+  // summation order still depends on chunk arrival: unordered-accumulation.
+  write("src/par_sum.cpp",
+        "#include <cstddef>\n"
+        "#include <mutex>\n"
+        "void sum_all(Pool& pool, std::size_t n) {\n"
+        "  double total = 0.0;\n"
+        "  std::mutex m;\n"
+        "  pool.parallel_chunks(0, n,\n"
+        "      [&](std::size_t c, std::size_t lo, std::size_t hi) {\n"
+        "        std::lock_guard<std::mutex> g(m);\n"
+        "        total += 1.0;\n"
+        "      });\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[unordered-accumulation]"), 1) << r.output;
+  EXPECT_EQ(r.count("[ref-capture-in-parallel]"), 0) << r.output;
+}
+
+TEST_F(LintTest, IntegerAccumulatorUnderLockIsFine) {
+  write("src/par_count.cpp",
+        "#include <cstddef>\n"
+        "#include <mutex>\n"
+        "void count_all(Pool& pool, std::size_t n) {\n"
+        "  std::size_t total = 0;\n"
+        "  std::mutex m;\n"
+        "  pool.parallel_chunks(0, n,\n"
+        "      [&](std::size_t c, std::size_t lo, std::size_t hi) {\n"
+        "        std::lock_guard<std::mutex> g(m);\n"
+        "        total += 1;\n"
+        "      });\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsBlockingPoolCallUnderLock) {
+  write("src/lock_wait.cpp",
+        "#include <mutex>\n"
+        "struct Pool { void wait_idle(); };\n"
+        "void drain(Pool& pool, std::mutex& m) {\n"
+        "  std::lock_guard<std::mutex> g(m);\n"
+        "  pool.wait_idle();\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[lock-held-blocking-call]"), 1) << r.output;
+  EXPECT_NE(r.output.find("lock_wait.cpp:5:"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, LockReleasedBeforeWaitIsFine) {
+  write("src/lock_scoped.cpp",
+        "#include <mutex>\n"
+        "struct Pool { void wait_idle(); };\n"
+        "void drain(Pool& pool, std::mutex& m) {\n"
+        "  {\n"
+        "    std::lock_guard<std::mutex> g(m);\n"
+        "  }\n"
+        "  pool.wait_idle();\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, ExplicitUnlockBeforeWaitIsFine) {
+  write("src/lock_unlock.cpp",
+        "#include <mutex>\n"
+        "struct Pool { void wait_idle(); };\n"
+        "void drain(Pool& pool, std::mutex& m) {\n"
+        "  std::unique_lock<std::mutex> g(m);\n"
+        "  g.unlock();\n"
+        "  pool.wait_idle();\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsCvWaitHoldingOtherMutex) {
+  write("src/cv_wrong.cpp",
+        "#include <condition_variable>\n"
+        "#include <mutex>\n"
+        "void wait_wrong(std::condition_variable& cv, std::mutex& a,\n"
+        "                std::mutex& b) {\n"
+        "  std::unique_lock<std::mutex> la(a);\n"
+        "  std::unique_lock<std::mutex> lb(b);\n"
+        "  cv.wait(lb);\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[lock-held-blocking-call]"), 1) << r.output;
+}
+
+TEST_F(LintTest, CvWaitWithOwnLockIsFine) {
+  write("src/cv_right.cpp",
+        "#include <condition_variable>\n"
+        "#include <mutex>\n"
+        "void wait_right(std::condition_variable& cv, std::mutex& a) {\n"
+        "  std::unique_lock<std::mutex> la(a);\n"
+        "  cv.wait(la);\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsMissingContractsViaHeaderIndex) {
+  write("src/store.hpp",
+        "#pragma once\n"
+        "#include <cstddef>\n"
+        "class Store {\n"
+        " public:\n"
+        "  double sum(const double* xs, std::size_t n) const;\n"
+        "};\n"
+        "double peek(const double* xs);\n");
+  write("src/store.cpp",
+        "#include \"store.hpp\"\n"
+        "double Store::sum(const double* xs, std::size_t n) const {\n"
+        "  double acc = 0.0;\n"
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];\n"
+        "  return acc;\n"
+        "}\n"
+        "double peek(const double* xs) { return xs[0]; }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[contract-coverage]"), 2) << r.output;
+  EXPECT_NE(r.output.find("Store::sum"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("'peek'"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, ContractedDefinitionsPassCoverage) {
+  write("src/store.hpp",
+        "#pragma once\n"
+        "#include <cstddef>\n"
+        "class Store {\n"
+        " public:\n"
+        "  double sum(const double* xs, std::size_t n) const;\n"
+        "};\n");
+  write("src/store.cpp",
+        "#include \"store.hpp\"\n"
+        "double Store::sum(const double* xs, std::size_t n) const {\n"
+        "  MPHPC_EXPECTS(n == 0 || xs != nullptr);\n"
+        "  double acc = 0.0;\n"
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];\n"
+        "  return acc;\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, FlagsRawArtifactWriteInSrcOnly) {
+  const std::string writer_code =
+      "#include <fstream>\n"
+      "void dump() {\n"
+      "  std::ofstream out(\"x.json\");\n"
+      "  out << 1;\n"
+      "}\n";
+  write("src/writer.cpp", writer_code);
+  write("tools/report_writer.cpp", writer_code);  // tools/ may write directly
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[raw-artifact-write]"), 1) << r.output;
+  EXPECT_EQ(r.count("report_writer.cpp"), 0) << r.output;
+}
+
+TEST_F(LintTest, AtomicFileImplementationIsExempt) {
+  fs::create_directories(root_ / "src" / "common");
+  write("src/common/atomic_file.cpp",
+        "#include <fstream>\n"
+        "void atomic_write_text() { std::ofstream out(\"tmp\"); }\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST_F(LintTest, JsonReportMatchesSchema) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const LintResult r = run_lint(root_, "--format=json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("\"schema\":\"mphpc-lint-report-v1\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"files_scanned\":1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"errors\":1"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"warnings\":0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"per_rule\":{\"no-float\":{\"errors\":1"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"rule\":\"no-float\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"severity\":\"error\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"file\":\"src/bad_float.cpp\""), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, JsonReportFileSelectedByExtension) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const fs::path report = root_ / "lint.json";
+  const LintResult r = run_lint(root_, "--report=\"" + report.string() + "\"");
+  EXPECT_EQ(r.exit_code, 1);
+  std::ifstream in(report);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"schema\":\"mphpc-lint-report-v1\""),
+            std::string::npos)
+      << ss.str();
+}
+
+TEST_F(LintTest, BaselineTurnsKnownFindingsIntoWarnings) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  write("baseline.json",
+        "{\"schema\":\"mphpc-lint-baseline-v1\",\"entries\":["
+        "{\"file\":\"src/bad_float.cpp\",\"rule\":\"no-float\",\"count\":1}]}\n");
+  const LintResult r = run_lint(
+      root_, "--baseline=\"" + (root_ / "baseline.json").string() + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.count("warning: [no-float]"), 1) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s), 1 baselined warning(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, FindingsBeyondBaselineCountAreErrors) {
+  write("src/bad_float.cpp",
+        "float narrow(double v) { return (float)v; }\n"
+        "float widen(double v) { return (float)v; }\n");
+  write("baseline.json",
+        "{\"schema\":\"mphpc-lint-baseline-v1\",\"entries\":["
+        "{\"file\":\"src/bad_float.cpp\",\"rule\":\"no-float\",\"count\":1}]}\n");
+  const LintResult r = run_lint(
+      root_, "--baseline=\"" + (root_ / "baseline.json").string() + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("warning: [no-float]"), 1) << r.output;
+  EXPECT_NE(r.output.find("1 violation(s), 1 baselined warning(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, StaleBaselineEntryFailsTheRatchet) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  write("baseline.json",
+        "{\"schema\":\"mphpc-lint-baseline-v1\",\"entries\":["
+        "{\"file\":\"src/bad_float.cpp\",\"rule\":\"no-float\",\"count\":2}]}\n");
+  const LintResult r = run_lint(
+      root_, "--baseline=\"" + (root_ / "baseline.json").string() + "\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("[baseline-stale]"), 1) << r.output;
+  EXPECT_NE(r.output.find("may only shrink"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, WriteBaselineRoundTrips) {
+  write("src/bad_float.cpp", "float narrow(double v) { return (float)v; }\n");
+  const fs::path baseline = root_ / "generated_baseline.json";
+  const LintResult w =
+      run_lint(root_, "--write-baseline=\"" + baseline.string() + "\"");
+  EXPECT_EQ(w.exit_code, 0) << w.output;
+  EXPECT_NE(w.output.find("wrote baseline"), std::string::npos) << w.output;
+  const LintResult r =
+      run_lint(root_, "--baseline=\"" + baseline.string() + "\"");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.count("warning: [no-float]"), 1) << r.output;
+}
+
+TEST_F(LintTest, MissingBaselineFileExitsTwo) {
+  write("src/clean.hpp", "#pragma once\n");
+  const LintResult r = run_lint(
+      root_, "--baseline=\"" + (root_ / "no_such.json").string() + "\"");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("cannot read baseline"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(LintTest, OnlySelectsSingleRule) {
+  write("src/mixed.cpp",
+        "#include <cstdlib>\n"
+        "float chaos() { return (float)rand(); }\n");
+  const LintResult only = run_lint(root_, "--only=no-float");
+  EXPECT_EQ(only.exit_code, 1);
+  EXPECT_EQ(only.count("[no-float]"), 1) << only.output;
+  EXPECT_EQ(only.count("[nondeterminism]"), 0) << only.output;
+  const LintResult disabled = run_lint(root_, "--disable=no-float");
+  EXPECT_EQ(disabled.exit_code, 1);
+  EXPECT_EQ(disabled.count("[no-float]"), 0) << disabled.output;
+  EXPECT_EQ(disabled.count("[nondeterminism]"), 1) << disabled.output;
+}
+
+TEST_F(LintTest, UnknownRuleNameExitsTwo) {
+  write("src/clean.hpp", "#pragma once\n");
+  const LintResult r = run_lint(root_, "--only=definitely-not-a-rule");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown rule"), std::string::npos) << r.output;
+}
+
+TEST_F(LintTest, ParallelScanMatchesSerialScan) {
+  write("src/a_bad.cpp",
+        "#include <cstdlib>\n"
+        "int a() { return rand(); }\n");
+  write("src/b_bad.cpp", "float b() { return 1.0f; }\n");
+  write("src/c_bad.hpp", "namespace demo { inline int c() { return 1; } }\n");
+  write("src/d_bad.cpp", "int* d() { return new int(0); }\n");
+  const LintResult serial = run_lint(root_, "--jobs=1");
+  const LintResult parallel = run_lint(root_, "--jobs=4");
+  EXPECT_EQ(serial.exit_code, 1);
+  EXPECT_EQ(serial.output, parallel.output);
 }
 
 }  // namespace

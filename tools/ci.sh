@@ -37,6 +37,12 @@ run_lane() {
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}" -j "${jobs}"
+  # Per-rule findings summary + ratchet diff against the checked-in
+  # baseline (the lint.mphpc ctest already failed the lane on growth or
+  # staleness; this prints the human-readable view of the JSON report).
+  echo "---- [${preset}] lint summary ----"
+  python3 tools/lint_summary.py \
+    "build-${preset}/lint_report.json" tools/lint_baseline.json
 }
 
 run_lane dev

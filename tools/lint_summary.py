@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Per-rule findings summary + ratchet diff for an mphpc_lint JSON report.
+
+Usage: tools/lint_summary.py BUILD_DIR/lint_report.json tools/lint_baseline.json
+
+Reads the "mphpc-lint-report-v1" report the `lint.mphpc` ctest writes into
+the build tree and diffs it against the checked-in ratchet baseline:
+
+  - a per-rule table of error/warning counts,
+  - RATCHET GROWTH: findings not absorbed by the baseline (new violations),
+  - RATCHET STALE: baseline entries counting more findings than remain
+    (the baseline may only shrink; remove the fixed entries).
+
+Exit status: 0 when the ratchet is clean, 1 on growth or staleness (the
+lint.mphpc ctest fails in the same situations; this is the human-readable
+view ci.sh prints per lane).
+"""
+import collections
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    report_path, baseline_path = sys.argv[1], sys.argv[2]
+    with open(report_path) as fh:
+        report = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if report.get("schema") != "mphpc-lint-report-v1":
+        print(f"lint_summary: {report_path}: unexpected schema", file=sys.stderr)
+        return 2
+
+    per_rule = report.get("per_rule", {})
+    width = max([len(r) for r in per_rule] + [len("rule")])
+    print(f"lint: {report.get('files_scanned', 0)} file(s) scanned, "
+          f"{report.get('errors', 0)} error(s), "
+          f"{report.get('warnings', 0)} baselined warning(s)")
+    if per_rule:
+        print(f"  {'rule'.ljust(width)}  errors  baselined")
+        for rule in sorted(per_rule):
+            counts = per_rule[rule]
+            print(f"  {rule.ljust(width)}  "
+                  f"{counts.get('errors', 0):>6}  {counts.get('warnings', 0):>9}")
+
+    base = {(e["file"], e["rule"]): e["count"]
+            for e in baseline.get("entries", [])}
+    absorbed = collections.Counter()
+    growth = []
+    for f in report.get("findings", []):
+        if f["severity"] == "warning":
+            absorbed[(f["file"], f["rule"])] += 1
+        else:
+            growth.append(f)
+    stale = {k: (count, absorbed.get(k, 0))
+             for k, count in sorted(base.items())
+             if absorbed.get(k, 0) < count}
+
+    ok = True
+    for f in growth:
+        ok = False
+        print(f"RATCHET GROWTH: {f['file']}:{f['line']}: [{f['rule']}] "
+              f"{f['message']}")
+    for (path, rule), (count, remain) in stale.items():
+        ok = False
+        print(f"RATCHET STALE: {path} [{rule}]: baseline lists {count} but "
+              f"{remain} remain — shrink tools/lint_baseline.json")
+    if ok:
+        print(f"ratchet: clean ({len(base)} baseline entr"
+              f"{'y' if len(base) == 1 else 'ies'}, "
+              f"{sum(base.values())} absorbed finding(s))")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

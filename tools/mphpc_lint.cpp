@@ -1,10 +1,13 @@
 // mphpc-lint: repo-specific static analysis for the mphpc tree.
 //
 // Enforces the project's correctness conventions (DESIGN.md "Correctness
-// toolchain") without libclang: files are tokenized just enough to strip
-// comments and string/char literals, then scanned line-by-line by each
-// rule. Registered as the `lint.mphpc` ctest, so `ctest` fails when a
-// banned pattern is introduced.
+// toolchain") without libclang. v2 rebuilds the scanner around a real
+// token stream (identifier / keyword / literal / punctuator, with brace
+// and paren nesting tracked) plus a two-pass cross-file symbol index:
+// pass 1 indexes declarations in src/**/*.hpp (public functions, class
+// members, mutex/atomic fields), pass 2 runs every rule over definitions
+// with that index available. Registered as the `lint.mphpc` ctest, so
+// `ctest` fails when a banned pattern is introduced.
 //
 // Rules (ids are what the suppression syntax refers to):
 //   nondeterminism      rand()/srand()/std::random_device outside
@@ -20,19 +23,65 @@
 //   pragma-once         every header starts with #pragma once
 //   no-float            float where the repo-wide numeric type is double
 //   function-size       function bodies over the line budget
+//   ref-capture-in-parallel
+//                       a by-reference lambda handed to ThreadPool::submit
+//                       / parallel_chunks / parallel_for that writes a
+//                       captured non-atomic variable shared across chunks
+//                       (writes under a lock_guard/unique_lock scope or
+//                       through a per-chunk subscript are exempt)
+//   lock-held-blocking-call
+//                       calling ThreadPool submit/wait_idle/parallel_* or
+//                       std::condition_variable::wait while a lock_guard/
+//                       unique_lock over a *different* mutex is in scope —
+//                       lock-ordering / deadlock hazard
+//   contract-coverage   public functions declared in src/**/*.hpp whose
+//                       definitions contain no MPHPC_EXPECTS/ASSERT/ENSURES
+//                       yet take pointer/span/index parameters (the
+//                       cross-file index makes the decl->def match)
+//   raw-artifact-write  std::ofstream/fopen/freopen anywhere in src/
+//                       outside common/atomic_file.cpp — every artifact
+//                       goes through mphpc::atomic_write_text (crash-safe
+//                       write-temp -> fsync -> rename)
+//   unordered-accumulation
+//                       floating-point '+=' into a shared accumulator
+//                       inside a parallel_chunks/parallel_for body — the
+//                       summation order depends on the thread count even
+//                       when the write itself is lock-protected
 //
-// Suppressions:
-//   // lint:allow rule1,rule2        suppress on that source line
-//   // lint:allow-file rule1,rule2   suppress for the whole file
+// Suppressions (all three forms take a comma/space separated rule list):
+//   // lint:allow rule1,rule2            suppress on that source line
+//   // lint:allow-next-line rule1,rule2  suppress on the following line
+//   // lint:allow-file rule1,rule2       suppress for the whole file
 //
-// Usage: mphpc_lint [--max-function-lines=N] [--report=FILE] [--list-rules]
-//        <root>
-// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
-// --report=FILE duplicates the findings into FILE (the `lint.mphpc` ctest
-// points this at the build directory so the source tree stays clean).
+// Baseline ratchet:
+//   --baseline=FILE loads a checked-in JSON baseline (tools/
+//   lint_baseline.json). Findings covered by the baseline are reported as
+//   warnings and do not affect the exit status; findings beyond the
+//   baselined count for a (file, rule) pair are errors. A baseline entry
+//   whose findings have (partly) disappeared is itself an error
+//   ("baseline-stale"): the baseline may only shrink, so fixing a
+//   violation forces the matching entry to be removed in the same change.
+//   --write-baseline=FILE snapshots the current findings (exit 0).
+//
+// Reports:
+//   --format=text (default) or --format=json selects the stdout format.
+//   --report=FILE duplicates the report into FILE (parent directories are
+//   created; a .json extension selects the JSON form regardless of
+//   --format). The JSON schema is "mphpc-lint-report-v1":
+//     {"schema","root","files_scanned","errors","warnings",
+//      "per_rule":{rule:{"errors","warnings"}},
+//      "findings":[{"file","line","rule","severity","message"}]}
+//
+// Usage: mphpc_lint [--max-function-lines=N] [--format=text|json]
+//        [--report=FILE] [--baseline=FILE] [--write-baseline=FILE]
+//        [--only=r1,r2] [--disable=r1,r2] [--jobs=N] [--list-rules] <root>
+// Exit status: 0 clean (baselined warnings allowed), 1 errors found,
+// 2 usage/IO error. The file scan runs on a ThreadPool (--jobs=N, 0 =
+// hardware concurrency, 1 = serial); per-file results are merged in
+// sorted file order so the output is identical at any thread count.
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -43,51 +92,64 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json_writer.hpp"
+#include "common/thread_pool.hpp"
+
 namespace fs = std::filesystem;
 
 namespace {
 
 constexpr const char* kAllRules[] = {
-    "nondeterminism", "unordered-iteration", "io-in-lib", "raw-new",
-    "pragma-once",    "no-float",            "function-size"};
+    "nondeterminism",       "unordered-iteration",
+    "io-in-lib",            "raw-new",
+    "pragma-once",          "no-float",
+    "function-size",        "ref-capture-in-parallel",
+    "lock-held-blocking-call", "contract-coverage",
+    "raw-artifact-write",   "unordered-accumulation"};
 
-struct Violation {
-  std::string file;  // path relative to the scan root
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
+bool is_known_rule(std::string_view r) {
+  for (const char* rule : kAllRules) {
+    if (r == rule) return true;
+  }
+  return false;
+}
 
-struct FileContext {
-  std::string rel_path;             // relative to scan root, '/' separators
-  std::vector<std::string> raw;     // original lines
-  std::vector<std::string> code;    // comments and literals stripped
-  std::set<std::string> file_allow; // rules suppressed file-wide
-  // line number (1-based) -> rules suppressed on that line
-  std::map<std::size_t, std::set<std::string>> line_allow;
+// ---------------------------------------------------------------- tokens
+
+enum class TokKind { kIdent, kKeyword, kLiteral, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based source line
 };
 
 bool is_word_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// True when `needle` occurs in `line` as a whole word (no identifier
-/// character on either side).
-bool contains_word(std::string_view line, std::string_view needle) {
-  std::size_t pos = 0;
-  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    const std::size_t end = pos + needle.size();
-    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "alignas",  "alignof",   "auto",     "bool",      "break",
+      "case",     "catch",     "char",     "class",     "const",
+      "consteval", "constexpr", "constinit", "continue", "decltype",
+      "default",  "delete",    "do",       "double",    "else",
+      "enum",     "explicit",  "extern",   "false",     "float",
+      "for",      "friend",    "goto",     "if",        "inline",
+      "int",      "long",      "mutable",  "namespace", "new",
+      "noexcept", "nullptr",   "operator", "private",   "protected",
+      "public",   "register",  "return",   "short",     "signed",
+      "sizeof",   "static",    "struct",   "switch",    "template",
+      "this",     "throw",     "true",     "try",       "typedef",
+      "typename", "union",     "unsigned", "using",     "virtual",
+      "void",     "volatile",  "while"};
+  return kKeywords.count(s) > 0;
 }
 
 /// Strips //, /* */, "..."/'...' and raw-string literals, preserving line
 /// structure so rule hits report real line numbers. Stripped spans become
-/// spaces (keeps column-ish alignment and word boundaries intact).
+/// spaces, except that the opening quote of a string/char literal is kept
+/// as a one-character marker so the tokenizer can emit a literal token.
 std::vector<std::string> strip_comments_and_literals(
     const std::vector<std::string>& raw) {
   enum class State { kCode, kBlockComment, kString, kChar, kRawString };
@@ -121,13 +183,16 @@ std::vector<std::string> strip_comments_and_literals(
               raw_delim.push_back(')');
               raw_delim.append(line.data() + i + 2, delim_len);
               raw_delim.push_back('"');
+              code[i] = '"';  // literal marker
               state = State::kRawString;
               i = open + 1;
             }
           } else if (c == '"') {
+            code[i] = '"';  // literal marker
             state = State::kString;
             ++i;
           } else if (c == '\'') {
+            code[i] = '\'';  // literal marker
             state = State::kChar;
             ++i;
           } else {
@@ -180,6 +245,120 @@ std::vector<std::string> strip_comments_and_literals(
   return out;
 }
 
+/// Marks preprocessor lines (and their backslash continuations); those
+/// lines are excluded from the token stream so #include <...> and macro
+/// definitions cannot confuse nesting or rule patterns.
+std::vector<char> preprocessor_lines(const std::vector<std::string>& raw) {
+  std::vector<char> pp(raw.size(), 0);
+  bool continued = false;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    bool is_pp = continued;
+    if (!is_pp) {
+      for (const char c : raw[i]) {
+        if (c == ' ' || c == '\t') continue;
+        is_pp = c == '#';
+        break;
+      }
+    }
+    pp[i] = is_pp ? 1 : 0;
+    continued = is_pp && !raw[i].empty() && raw[i].back() == '\\';
+  }
+  return pp;
+}
+
+/// Greedy tokenizer over the stripped code view. Multi-character
+/// punctuators are emitted as single tokens so rules can distinguish
+/// '=' from '==' and '::' from ':'.
+std::vector<Token> tokenize(const std::vector<std::string>& code,
+                            const std::vector<char>& pp) {
+  static const char* kPunct3[] = {"<<=", ">>=", "->*", "..."};
+  static const char* kPunct2[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                  "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                  "<=", ">=", "&&", "||", "<<", ">>"};
+  std::vector<Token> toks;
+  for (std::size_t ln = 0; ln < code.size(); ++ln) {
+    if (ln < pp.size() && pp[ln] != 0) continue;
+    const std::string& s = code[ln];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      Token tok;
+      tok.line = ln + 1;
+      if (is_word_char(c) && std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        while (i < s.size() && is_word_char(s[i])) tok.text += s[i++];
+        tok.kind = is_keyword(tok.text) ? TokKind::kKeyword : TokKind::kIdent;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        // Number literal, including 1e-5 / 0x1.8p-3 exponent forms.
+        while (i < s.size() &&
+               (is_word_char(s[i]) || s[i] == '.' ||
+                ((s[i] == '+' || s[i] == '-') && i > 0 &&
+                 (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                  s[i - 1] == 'P')))) {
+          tok.text += s[i++];
+        }
+        tok.kind = TokKind::kLiteral;
+      } else if (c == '"' || c == '\'') {
+        tok.text = c;
+        tok.kind = TokKind::kLiteral;
+        ++i;
+      } else {
+        tok.kind = TokKind::kPunct;
+        bool matched = false;
+        for (const char* p : kPunct3) {
+          if (s.compare(i, 3, p) == 0) {
+            tok.text = p;
+            i += 3;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          for (const char* p : kPunct2) {
+            if (s.compare(i, 2, p) == 0) {
+              tok.text = p;
+              i += 2;
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          tok.text = c;
+          ++i;
+        }
+      }
+      toks.push_back(std::move(tok));
+    }
+  }
+  return toks;
+}
+
+// ----------------------------------------------------------- file context
+
+struct FileContext {
+  std::string rel_path;             // relative to scan root, '/' separators
+  bool in_src = false;              // under src/
+  bool is_header = false;           // .hpp/.h
+  std::vector<std::string> raw;     // original lines
+  std::vector<std::string> code;    // comments and literals stripped
+  std::vector<Token> toks;          // token stream over `code`
+  std::set<std::string> file_allow; // rules suppressed file-wide
+  // line number (1-based) -> rules suppressed on that line
+  std::map<std::size_t, std::set<std::string>> line_allow;
+};
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  bool warning = false;  // true when covered by the baseline
+};
+
 std::vector<std::string> split_rule_list(std::string_view s) {
   std::vector<std::string> rules;
   std::string cur;
@@ -195,23 +374,31 @@ std::vector<std::string> split_rule_list(std::string_view s) {
   return rules;
 }
 
-/// Parses `// lint:allow ...` and `// lint:allow-file ...` markers from
-/// the raw lines (they live in comments, which the code view strips).
+/// Parses `lint:allow`, `lint:allow-next-line` and `lint:allow-file`
+/// markers from the raw lines (they live in comments, which the code view
+/// strips). Checked longest-marker-first because they share a prefix.
 void parse_suppressions(FileContext& ctx) {
   for (std::size_t ln = 0; ln < ctx.raw.size(); ++ln) {
     const std::string& line = ctx.raw[ln];
+    const std::size_t next_pos = line.find("lint:allow-next-line");
+    if (next_pos != std::string::npos) {
+      for (auto& r :
+           split_rule_list(std::string_view(line).substr(next_pos + 20))) {
+        ctx.line_allow[ln + 2].insert(std::move(r));
+      }
+      continue;
+    }
     const std::size_t file_pos = line.find("lint:allow-file");
     if (file_pos != std::string::npos) {
-      for (auto& r : split_rule_list(
-               std::string_view(line).substr(file_pos + 15))) {
+      for (auto& r :
+           split_rule_list(std::string_view(line).substr(file_pos + 15))) {
         ctx.file_allow.insert(std::move(r));
       }
       continue;
     }
     const std::size_t pos = line.find("lint:allow");
     if (pos != std::string::npos) {
-      for (auto& r :
-           split_rule_list(std::string_view(line).substr(pos + 10))) {
+      for (auto& r : split_rule_list(std::string_view(line).substr(pos + 10))) {
         ctx.line_allow[ln + 1].insert(std::move(r));
       }
     }
@@ -225,10 +412,10 @@ bool suppressed(const FileContext& ctx, const std::string& rule,
   return it != ctx.line_allow.end() && it->second.count(rule) > 0;
 }
 
-void report(std::vector<Violation>& out, const FileContext& ctx,
+void report(std::vector<Finding>& out, const FileContext& ctx,
             std::size_t line, const char* rule, std::string message) {
   if (!suppressed(ctx, rule, line)) {
-    out.push_back({ctx.rel_path, line, rule, std::move(message)});
+    out.push_back({ctx.rel_path, line, rule, std::move(message), false});
   }
 }
 
@@ -236,27 +423,449 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
 
-bool in_dir(const FileContext& ctx, std::string_view dir) {
-  return starts_with(ctx.rel_path, std::string(dir) + "/");
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// ----------------------------------------------------- token navigation
+
+/// t[i] must be "<". Returns the index just past the matching ">",
+/// treating ">>" as two closers. Bails out (returns i + 1) when the span
+/// does not look like a template argument list after all.
+std::size_t skip_angles(const std::vector<Token>& t, std::size_t i) {
+  int depth = 0;
+  std::size_t steps = 0;
+  for (std::size_t j = i; j < t.size() && steps < 400; ++j, ++steps) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (x == ";" || x == "{") {
+      break;  // statement ended: it was a comparison, not a template list
+    }
+  }
+  return i + 1;
+}
+
+/// t[i] must be `open`. Returns the index of the matching `close`, or
+/// t.size() when unbalanced.
+std::size_t match_close(const std::vector<Token>& t, std::size_t i,
+                        const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == open) {
+      ++depth;
+    } else if (t[j].text == close && --depth == 0) {
+      return j;
+    }
+  }
+  return t.size();
+}
+
+bool tok_is(const std::vector<Token>& t, std::size_t j, const char* text) {
+  return j < t.size() && t[j].text == text;
+}
+
+/// Joins token texts over [b, e) — used for mutex expressions in messages.
+std::string join_tokens(const std::vector<Token>& t, std::size_t b,
+                        std::size_t e) {
+  std::string s;
+  for (std::size_t j = b; j < e && j < t.size(); ++j) s += t[j].text;
+  return s;
+}
+
+// ------------------------------------------------- function definitions
+
+/// A function definition found in the token stream: `cls` is the class
+/// from a `Cls::name` qualifier or the enclosing class for inline member
+/// definitions; `body_open`/`body_close` index the '{' and '}' tokens.
+struct FnDef {
+  std::string cls;
+  std::string name;
+  std::size_t line = 0;       // line of the name token (or the '{')
+  std::size_t head_begin = 0; // first token of the signature
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  std::size_t paren_open = 0;  // '(' of the parameter list (0 = unknown)
+};
+
+/// Extracts the `Cls::name (` candidate from a statement head [b, e).
+/// Returns false for heads with no callable-looking paren group (control
+/// statements are rejected separately by head_is_function).
+bool signature_name(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                    FnDef& def) {
+  int paren = 0;
+  int angle = 0;
+  for (std::size_t j = b; j < e; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& x = t[j].text;
+    if (x == "<") {
+      ++angle;
+    } else if (x == ">") {
+      angle = std::max(0, angle - 1);
+    } else if (x == ">>") {
+      angle = std::max(0, angle - 2);
+    } else if (x == "(") {
+      if (paren == 0 && angle == 0 && j > b &&
+          t[j - 1].kind == TokKind::kIdent) {
+        const bool dtor =
+            j >= b + 2 && t[j - 2].kind == TokKind::kPunct && t[j - 2].text == "~";
+        if (!dtor) {
+          def.name = t[j - 1].text;
+          def.line = t[j - 1].line;
+          def.paren_open = j;
+          def.cls.clear();
+          if (j >= b + 3 && t[j - 2].text == "::" &&
+              t[j - 3].kind == TokKind::kIdent) {
+            def.cls = t[j - 3].text;
+          }
+          return true;
+        }
+      }
+      ++paren;
+    } else if (x == ")") {
+      paren = std::max(0, paren - 1);
+    }
+  }
+  return false;
+}
+
+/// Mirrors the v1 heuristic: a head is a function signature when it has a
+/// '('/')' pair and contains neither '=' nor a control/type keyword.
+bool head_is_function(const std::vector<Token>& t, std::size_t b,
+                      std::size_t e) {
+  static const std::set<std::string> kNotAFunction = {
+      "if",    "for",   "while",     "switch", "catch", "class", "struct",
+      "enum",  "union", "namespace", "do",     "else",  "return"};
+  bool has_open = false;
+  bool has_close = false;
+  for (std::size_t j = b; j < e; ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "(") has_open = true;
+      if (tok.text == ")") has_close = true;
+      if (tok.text == "=") return false;
+    } else if (tok.kind == TokKind::kKeyword && kNotAFunction.count(tok.text) > 0) {
+      return false;
+    }
+  }
+  return has_open && has_close;
+}
+
+/// Scope classification for the brace walker.
+struct Scope {
+  enum class Kind { kOther, kFunction, kClass, kNamespace };
+  Kind kind = Kind::kOther;
+  std::string name;   // class or namespace name
+  FnDef def;          // valid when kind == kFunction
+  std::size_t open = 0;
+};
+
+/// Classifies the '{' at token index j given its statement head [head, j)
+/// and the enclosing class stack (for inline member definitions).
+Scope classify_scope(const std::vector<Token>& t, std::size_t head,
+                     std::size_t j, const std::vector<Scope>& stack) {
+  Scope s;
+  s.open = j;
+  bool saw_enum = false;
+  std::size_t class_kw = t.size();
+  bool saw_namespace = false;
+  for (std::size_t k = head; k < j; ++k) {
+    if (t[k].kind != TokKind::kKeyword) continue;
+    if (t[k].text == "enum") saw_enum = true;
+    if (t[k].text == "class" || t[k].text == "struct") class_kw = k;
+    if (t[k].text == "namespace") saw_namespace = true;
+  }
+  if (saw_namespace) {
+    s.kind = Scope::Kind::kNamespace;
+    for (std::size_t k = head; k < j; ++k) {
+      if (t[k].kind == TokKind::kKeyword && t[k].text == "namespace") {
+        // Qualified names (`namespace mphpc::detail`) keep the last
+        // component — that is the one the detail/internal exemption needs.
+        for (std::size_t q = k + 1; q < j; ++q) {
+          if (t[q].kind == TokKind::kIdent) {
+            s.name = t[q].text;
+          } else if (!tok_is(t, q, "::")) {
+            break;
+          }
+        }
+      }
+    }
+    return s;
+  }
+  if (class_kw != t.size() && !saw_enum) {
+    s.kind = Scope::Kind::kClass;
+    for (std::size_t k = class_kw + 1; k < j; ++k) {
+      if (t[k].kind == TokKind::kIdent) {
+        s.name = t[k].text;
+        break;
+      }
+      if (t[k].kind == TokKind::kPunct && t[k].text != "[" && t[k].text != "]") {
+        break;  // attributes only; ':' or similar ends the name search
+      }
+    }
+    return s;
+  }
+  if (head_is_function(t, head, j) && signature_name(t, head, j, s.def)) {
+    s.kind = Scope::Kind::kFunction;
+    s.def.head_begin = head;
+    s.def.body_open = j;
+    if (s.def.cls.empty()) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->kind == Scope::Kind::kClass) {
+          s.def.cls = it->name;
+          break;
+        }
+      }
+    }
+    return s;
+  }
+  s.kind = Scope::Kind::kOther;
+  return s;
+}
+
+/// Walks the token stream and returns every function definition (token
+/// span of the body plus the resolved Cls::name), innermost-first.
+std::vector<FnDef> find_function_defs(const FileContext& ctx) {
+  const std::vector<Token>& t = ctx.toks;
+  std::vector<FnDef> defs;
+  std::vector<Scope> stack;
+  std::size_t head = 0;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "{") {
+      stack.push_back(classify_scope(t, head, j, stack));
+      head = j + 1;
+    } else if (t[j].text == "}") {
+      if (!stack.empty()) {
+        Scope s = std::move(stack.back());
+        stack.pop_back();
+        if (s.kind == Scope::Kind::kFunction) {
+          s.def.body_close = j;
+          if (s.def.line == 0) s.def.line = t[s.open].line;
+          defs.push_back(std::move(s.def));
+        }
+      }
+      head = j + 1;
+    } else if (t[j].text == ";") {
+      head = j + 1;
+    }
+  }
+  return defs;
+}
+
+// ----------------------------------------------------------- symbol index
+
+/// A public function declared in a src/ header.
+struct PublicFn {
+  std::string file;
+  std::size_t line = 0;
+  bool wants_contracts = false;  // takes pointer/span/index parameters
+};
+
+/// Cross-file index built in pass 1 over src/**/*.hpp: public functions
+/// keyed "Cls::name" (members) or "name" (free functions), plus the names
+/// of mutex/atomic/condition_variable members and locals (used to exempt
+/// synchronized state from the capture rules).
+struct SymbolIndex {
+  std::map<std::string, PublicFn> fns;
+  std::set<std::string> sync_names;
+};
+
+/// Records every identifier declared with a synchronization type:
+/// `std::mutex m`, `std::atomic<int> n`, `std::condition_variable cv`...
+void collect_sync_names(const std::vector<Token>& t,
+                        std::set<std::string>& out) {
+  static const std::set<std::string> kSyncTypes = {
+      "mutex",       "shared_mutex",          "recursive_mutex",
+      "atomic",      "atomic_flag",           "condition_variable",
+      "condition_variable_any"};
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent || kSyncTypes.count(t[j].text) == 0) {
+      continue;
+    }
+    std::size_t k = j + 1;
+    if (tok_is(t, k, "<")) k = skip_angles(t, k);
+    if (k < t.size() && t[k].kind == TokKind::kIdent) out.insert(t[k].text);
+  }
+}
+
+/// True when the parameter list (popen .. its matching close) contains a
+/// pointer, a std::span, or a size_t parameter with an index-like name —
+/// the shapes MPHPC_EXPECTS exists to validate at entry points.
+bool params_want_contracts(const std::vector<Token>& t, std::size_t popen) {
+  const std::size_t pclose = match_close(t, popen, "(", ")");
+  bool has_size_t = false;
+  bool has_index_name = false;
+  for (std::size_t j = popen + 1; j < pclose; ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kPunct && tok.text == "*") return true;
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "span") return true;
+      if (tok.text == "size_t") has_size_t = true;
+      std::string lower = tok.text;
+      std::transform(lower.begin(), lower.end(), lower.begin(),
+                     [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                     });
+      if (lower.find("idx") != std::string::npos ||
+          lower.find("index") != std::string::npos) {
+        has_index_name = true;
+      }
+    }
+  }
+  return has_size_t && has_index_name;
+}
+
+/// Pass 1 over one src/ header: records public function declarations
+/// (both `;`-terminated prototypes and inline `{` definitions) and
+/// synchronization member names into the index.
+void index_header(const FileContext& ctx, SymbolIndex& idx) {
+  collect_sync_names(ctx.toks, idx.sync_names);
+  const std::vector<Token>& t = ctx.toks;
+
+  struct Ctx {
+    Scope::Kind kind = Scope::Kind::kOther;
+    std::string name;
+    bool access_public = true;
+  };
+  std::vector<Ctx> stack;
+  std::size_t head = 0;
+
+  const auto in_detail_namespace = [&stack]() {
+    for (const Ctx& c : stack) {
+      if (c.kind == Scope::Kind::kNamespace &&
+          (c.name == "detail" || c.name == "internal")) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto record = [&](std::size_t b, std::size_t e) {
+    // Declarations are indexable from namespace scope or a public class
+    // section. Reject heads carrying control keywords or a '=' outside
+    // parens (member initializers), but allow default arguments and the
+    // pure-virtual `= 0` tail.
+    for (const Ctx& c : stack) {
+      if (c.kind == Scope::Kind::kFunction) return;  // inside a body
+    }
+    if (!stack.empty() && stack.back().kind == Scope::Kind::kClass &&
+        !stack.back().access_public) {
+      return;
+    }
+    if (in_detail_namespace()) return;
+    int paren = 0;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t[k].kind != TokKind::kPunct) continue;
+      if (t[k].text == "(") ++paren;
+      if (t[k].text == ")") paren = std::max(0, paren - 1);
+      if (t[k].text == "=" && paren == 0) {
+        const bool pure_virtual =
+            k + 1 < e && t[k + 1].kind == TokKind::kLiteral && t[k + 1].text == "0";
+        if (!pure_virtual) return;
+      }
+    }
+    FnDef def;
+    if (!head_is_function(t, b, std::min(e, t.size())) &&
+        /* allow `= 0` heads that head_is_function rejects: re-test below */
+        true) {
+      // head_is_function rejects any '='; re-run the keyword/paren test
+      // with the `= 0` tail cut off.
+      std::size_t cut = e;
+      for (std::size_t k = b; k < e; ++k) {
+        if (t[k].kind == TokKind::kPunct && t[k].text == "=") {
+          cut = k;
+          break;
+        }
+      }
+      if (!head_is_function(t, b, cut)) return;
+      e = cut;
+    }
+    if (!signature_name(t, b, e, def)) return;
+    if (def.cls.empty() && !stack.empty() &&
+        stack.back().kind == Scope::Kind::kClass) {
+      def.cls = stack.back().name;
+    }
+    const std::string key =
+        def.cls.empty() ? def.name : def.cls + "::" + def.name;
+    PublicFn& fn = idx.fns[key];
+    if (fn.file.empty()) {
+      fn.file = ctx.rel_path;
+      fn.line = def.line;
+    }
+    fn.wants_contracts =
+        fn.wants_contracts || params_want_contracts(t, def.paren_open);
+  };
+
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kKeyword &&
+        (tok.text == "public" || tok.text == "private" ||
+         tok.text == "protected") &&
+        tok_is(t, j + 1, ":") && !stack.empty() &&
+        stack.back().kind == Scope::Kind::kClass) {
+      stack.back().access_public = tok.text == "public";
+      head = j + 2;
+      ++j;
+      continue;
+    }
+    if (tok.kind != TokKind::kPunct) continue;
+    if (tok.text == "{") {
+      // Reuse the definition classifier; also index inline definitions.
+      std::vector<Scope> dummy;
+      for (const Ctx& c : stack) {
+        Scope s;
+        s.kind = c.kind;
+        s.name = c.name;
+        dummy.push_back(std::move(s));
+      }
+      const Scope s = classify_scope(t, head, j, dummy);
+      if (s.kind == Scope::Kind::kFunction) record(head, j);
+      Ctx c;
+      c.kind = s.kind;
+      c.name = s.name;
+      c.access_public = true;
+      if (s.kind == Scope::Kind::kClass) {
+        // `class` starts private, `struct` starts public.
+        for (std::size_t k = head; k < j; ++k) {
+          if (t[k].kind == TokKind::kKeyword) {
+            if (t[k].text == "class") c.access_public = false;
+            if (t[k].text == "struct") c.access_public = true;
+          }
+        }
+      }
+      stack.push_back(std::move(c));
+      head = j + 1;
+    } else if (tok.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      head = j + 1;
+    } else if (tok.text == ";") {
+      record(head, j);
+      head = j + 1;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- rules
 
-void rule_nondeterminism(const FileContext& ctx, std::vector<Violation>& out) {
+void rule_nondeterminism(const FileContext& ctx, std::vector<Finding>& out) {
   // The seeded-Rng header is the one place allowed to talk about raw
   // entropy sources (it documents why it does not use them).
-  if (ctx.rel_path.size() >= 14 &&
-      ctx.rel_path.compare(ctx.rel_path.size() - 14, 14, "common/rng.hpp") == 0) {
-    return;
-  }
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    const std::string& line = ctx.code[ln];
-    if (contains_word(line, "rand") || contains_word(line, "srand")) {
-      report(out, ctx, ln + 1, "nondeterminism",
+  if (ends_with(ctx.rel_path, "common/rng.hpp")) return;
+  for (const Token& tok : ctx.toks) {
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "rand" || tok.text == "srand") {
+      report(out, ctx, tok.line, "nondeterminism",
              "rand()/srand() is banned; use mphpc::Rng with a derived seed");
-    }
-    if (line.find("random_device") != std::string::npos) {
-      report(out, ctx, ln + 1, "nondeterminism",
+    } else if (tok.text == "random_device") {
+      report(out, ctx, tok.line, "nondeterminism",
              "std::random_device is banned outside common/rng.hpp; "
              "experiments must be bit-reproducible");
     }
@@ -264,181 +873,793 @@ void rule_nondeterminism(const FileContext& ctx, std::vector<Violation>& out) {
 }
 
 void rule_unordered_iteration(const FileContext& ctx,
-                              std::vector<Violation>& out) {
-  // Pass 1: names of variables/members declared with an unordered
-  // container type in this file.
+                              std::vector<Finding>& out) {
+  const std::vector<Token>& t = ctx.toks;
+  // Pass 1: names declared with an unordered container type in this file.
   std::set<std::string> unordered_names;
-  for (const std::string& line : ctx.code) {
-    for (const char* kind : {"unordered_map", "unordered_set"}) {
-      std::size_t pos = line.find(kind);
-      while (pos != std::string::npos) {
-        // Skip the template argument list by matching angle brackets.
-        std::size_t i = pos + std::string_view(kind).size();
-        if (i < line.size() && line[i] == '<') {
-          int depth = 0;
-          for (; i < line.size(); ++i) {
-            if (line[i] == '<') ++depth;
-            if (line[i] == '>' && --depth == 0) {
-              ++i;
-              break;
-            }
-          }
-          while (i < line.size() &&
-                 (line[i] == ' ' || line[i] == '&' || line[i] == '*')) {
-            ++i;
-          }
-          std::string name;
-          while (i < line.size() && is_word_char(line[i])) name += line[i++];
-          if (!name.empty()) unordered_names.insert(std::move(name));
-        }
-        pos = line.find(kind, pos + 1);
-      }
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent ||
+        (t[j].text != "unordered_map" && t[j].text != "unordered_set")) {
+      continue;
+    }
+    if (!tok_is(t, j + 1, "<")) continue;
+    std::size_t k = skip_angles(t, j + 1);
+    while (k < t.size() && t[k].kind == TokKind::kPunct &&
+           (t[k].text == "&" || t[k].text == "*")) {
+      ++k;
+    }
+    if (k < t.size() && t[k].kind == TokKind::kKeyword && t[k].text == "const") {
+      ++k;
+    }
+    if (k < t.size() && t[k].kind == TokKind::kIdent) {
+      unordered_names.insert(t[k].text);
     }
   }
   if (unordered_names.empty()) return;
 
   // Pass 2: range-for statements whose range expression is such a name.
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    const std::string& line = ctx.code[ln];
-    const std::size_t for_pos = line.find("for ");
-    const std::size_t colon = line.find(" : ");
-    if (for_pos == std::string::npos || colon == std::string::npos) continue;
-    std::size_t i = colon + 3;
-    std::string name;
-    while (i < line.size() && is_word_char(line[i])) name += line[i++];
-    if (unordered_names.count(name) > 0) {
-      report(out, ctx, ln + 1, "unordered-iteration",
-             "range-for over unordered container '" + name +
-                 "' has unspecified order; iterate a sorted copy or an "
-                 "ordered container when the result feeds output");
+  for (std::size_t j = 0; j + 1 < t.size(); ++j) {
+    if (t[j].kind != TokKind::kKeyword || t[j].text != "for" ||
+        !tok_is(t, j + 1, "(")) {
+      continue;
+    }
+    const std::size_t close = match_close(t, j + 1, "(", ")");
+    int depth = 0;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (t[k].kind != TokKind::kPunct) continue;
+      if (t[k].text == "(") ++depth;
+      if (t[k].text == ")") --depth;
+      if (t[k].text == ":" && depth == 1 && k + 1 < close &&
+          t[k + 1].kind == TokKind::kIdent &&
+          unordered_names.count(t[k + 1].text) > 0) {
+        report(out, ctx, t[k + 1].line, "unordered-iteration",
+               "range-for over unordered container '" + t[k + 1].text +
+                   "' has unspecified order; iterate a sorted copy or an "
+                   "ordered container when the result feeds output");
+      }
     }
   }
 }
 
-void rule_io_in_lib(const FileContext& ctx, std::vector<Violation>& out) {
-  if (!in_dir(ctx, "src")) return;  // tools/, bench/, tests/ own their output
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    const std::string& line = ctx.code[ln];
-    if (line.find("std::cout") != std::string::npos ||
-        line.find("std::cerr") != std::string::npos) {
-      report(out, ctx, ln + 1, "io-in-lib",
+void rule_io_in_lib(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_src) return;  // tools/, bench/, tests/ own their output
+  const std::vector<Token>& t = ctx.toks;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent) continue;
+    if ((t[j].text == "cout" || t[j].text == "cerr") && j > 0 &&
+        t[j - 1].text == "::") {
+      report(out, ctx, t[j].line, "io-in-lib",
              "std::cout/std::cerr in library code; take a std::ostream& or "
              "return data to the caller");
-    }
-    if (contains_word(line, "printf") || contains_word(line, "puts")) {
-      report(out, ctx, ln + 1, "io-in-lib",
+    } else if (t[j].text == "printf" || t[j].text == "puts") {
+      report(out, ctx, t[j].line, "io-in-lib",
              "printf-family I/O in library code; format with "
              "common/strings.hpp helpers instead");
     }
   }
 }
 
-void rule_raw_new(const FileContext& ctx, std::vector<Violation>& out) {
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    const std::string& line = ctx.code[ln];
-    if (contains_word(line, "new")) {
-      report(out, ctx, ln + 1, "raw-new",
+void rule_raw_new(const FileContext& ctx, std::vector<Finding>& out) {
+  const std::vector<Token>& t = ctx.toks;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kKeyword) continue;
+    if (t[j].text == "new") {
+      report(out, ctx, t[j].line, "raw-new",
              "raw 'new' is banned; use containers, std::make_unique, or "
              "value semantics");
-    }
-    if (contains_word(line, "delete")) {
+    } else if (t[j].text == "delete") {
       // "= delete" declarations are idiomatic and allowed.
-      const std::size_t pos = line.find("delete");
-      std::size_t j = pos;
-      while (j > 0 && line[j - 1] == ' ') --j;
-      if (j > 0 && line[j - 1] == '=') continue;
-      report(out, ctx, ln + 1, "raw-new",
+      if (j > 0 && t[j - 1].kind == TokKind::kPunct && t[j - 1].text == "=") {
+        continue;
+      }
+      report(out, ctx, t[j].line, "raw-new",
              "raw 'delete' is banned; ownership must be RAII-managed");
     }
   }
 }
 
-void rule_pragma_once(const FileContext& ctx, std::vector<Violation>& out) {
-  if (ctx.rel_path.size() < 4 ||
-      ctx.rel_path.compare(ctx.rel_path.size() - 4, 4, ".hpp") != 0) {
-    return;
-  }
+void rule_pragma_once(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ends_with(ctx.rel_path, ".hpp")) return;
   for (const std::string& line : ctx.raw) {
     if (line.find("#pragma once") != std::string::npos) return;
   }
   report(out, ctx, 1, "pragma-once", "header is missing #pragma once");
 }
 
-void rule_no_float(const FileContext& ctx, std::vector<Violation>& out) {
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    if (contains_word(ctx.code[ln], "float")) {
-      report(out, ctx, ln + 1, "no-float",
+void rule_no_float(const FileContext& ctx, std::vector<Finding>& out) {
+  for (const Token& tok : ctx.toks) {
+    if (tok.kind == TokKind::kKeyword && tok.text == "float") {
+      report(out, ctx, tok.line, "no-float",
              "'float' is banned; the repo-wide numeric type is double "
              "(counter values span 12 orders of magnitude)");
     }
   }
 }
 
-/// Function-size heuristic: a '{' whose statement "head" (text since the
-/// previous ';', '{' or '}') looks like a function signature opens a
-/// body; the body's line span is checked against the budget. Control
-/// statements, aggregates ('=') and type definitions are excluded.
 void rule_function_size(const FileContext& ctx, std::size_t budget,
-                        std::vector<Violation>& out) {
-  static const char* kNotAFunction[] = {"if",     "for",   "while", "switch",
-                                        "catch",  "class", "struct", "enum",
-                                        "union",  "namespace", "do", "else",
-                                        "return"};
-  struct Open {
-    bool is_function = false;
-    std::size_t start_line = 0;
-    std::string head;
-  };
-  std::vector<Open> stack;
-  std::string head;
-
-  for (std::size_t ln = 0; ln < ctx.code.size(); ++ln) {
-    for (const char c : ctx.code[ln]) {
-      if (c == '{') {
-        Open open;
-        open.start_line = ln + 1;
-        open.head = head;
-        const bool has_call_syntax =
-            head.find('(') != std::string::npos &&
-            head.find(')') != std::string::npos;
-        bool keyword = head.find('=') != std::string::npos;
-        for (const char* kw : kNotAFunction) {
-          // Match the keyword as the first word or after whitespace.
-          const std::size_t pos = head.find(kw);
-          if (pos != std::string::npos && contains_word(head, kw)) {
-            keyword = true;
-            break;
-          }
-        }
-        open.is_function = has_call_syntax && !keyword;
-        stack.push_back(std::move(open));
-        head.clear();
-      } else if (c == '}') {
-        if (!stack.empty()) {
-          const Open open = stack.back();
-          stack.pop_back();
-          if (open.is_function) {
-            const std::size_t body_lines = ln + 1 - open.start_line + 1;
-            if (body_lines > budget) {
-              report(out, ctx, open.start_line, "function-size",
-                     "function body spans " + std::to_string(body_lines) +
-                         " lines (budget " + std::to_string(budget) +
-                         "); extract helpers");
-            }
-          }
-        }
-        head.clear();
-      } else if (c == ';') {
-        head.clear();
-      } else {
-        head += c;
-      }
+                        const std::vector<FnDef>& defs,
+                        std::vector<Finding>& out) {
+  const std::vector<Token>& t = ctx.toks;
+  for (const FnDef& def : defs) {
+    const std::size_t open_line = t[def.body_open].line;
+    const std::size_t close_line = t[def.body_close].line;
+    const std::size_t body_lines = close_line - open_line + 1;
+    if (body_lines > budget) {
+      report(out, ctx, open_line, "function-size",
+             "function body spans " + std::to_string(body_lines) +
+                 " lines (budget " + std::to_string(budget) +
+                 "); extract helpers");
     }
-    head += ' ';  // line break acts as whitespace in the statement head
   }
 }
 
-// ------------------------------------------------------------- driver
+// ----------------------------------------- parallel-lambda shared engine
+
+/// One write to a captured variable inside a lambda handed to the pool.
+struct ParWrite {
+  std::string target;
+  std::string op;        // "=", "+=", "++", ...
+  std::size_t line = 0;
+  bool locked = false;       // under an active lock_guard/unique_lock scope
+  bool captured_ref = false; // captured by reference (default or explicit)
+};
+
+/// A by-reference lambda argument of submit/parallel_chunks/parallel_for.
+struct ParLambda {
+  std::string call;  // "submit", "parallel_chunks", "parallel_for"
+  std::size_t line = 0;
+  std::vector<ParWrite> writes;
+};
+
+/// True when token j looks like a call site (not a definition signature):
+/// preceded by '.', '->', a statement boundary, or an argument separator.
+bool looks_like_call(const std::vector<Token>& t, std::size_t j) {
+  if (j == 0) return true;
+  const Token& p = t[j - 1];
+  if (p.kind != TokKind::kPunct) return false;  // `void submit(`: a signature
+  if (p.text == "::" || p.text == "~") return false;  // `Cls::submit(`: a def
+  return p.text == "." || p.text == "->" || p.text == ";" || p.text == "{" ||
+         p.text == "}" || p.text == "(" || p.text == ",";
+}
+
+/// Collects identifiers declared inside [b, e): parameters, `Type name`
+/// declarations, range-for variables, and structured bindings. Preceding
+/// '&'/'*' with a type before them count as declarations too.
+std::set<std::string> collect_locals(const std::vector<Token>& t,
+                                     std::size_t b, std::size_t e) {
+  std::set<std::string> locals;
+  const auto type_ish = [&](std::size_t k) {
+    if (t[k].kind == TokKind::kIdent) return true;
+    if (t[k].kind == TokKind::kKeyword) {
+      return t[k].text == "auto" || t[k].text == "const" ||
+             t[k].text == "double" || t[k].text == "int" ||
+             t[k].text == "bool" || t[k].text == "char" ||
+             t[k].text == "long" || t[k].text == "short" ||
+             t[k].text == "unsigned" || t[k].text == "signed";
+    }
+    return false;
+  };
+  for (std::size_t j = b; j < e && j < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent) continue;
+    // Structured binding: auto [a, b] = ...
+    if (t[j].text.empty()) continue;
+    if (j > b && t[j - 1].kind == TokKind::kPunct &&
+        (t[j - 1].text == "&" || t[j - 1].text == "*")) {
+      if (j >= b + 2 && type_ish(j - 2)) locals.insert(t[j].text);
+      continue;
+    }
+    if (j > b && type_ish(j - 1) &&
+        !(t[j - 1].kind == TokKind::kKeyword && t[j - 1].text == "return")) {
+      // `size_t i`, `double s`, `auto it` — require a declarator follow-up
+      // so plain expressions `a b` (invalid C++ anyway) don't register.
+      if (j + 1 < e && t[j + 1].kind == TokKind::kPunct &&
+          (t[j + 1].text == "=" || t[j + 1].text == ";" ||
+           t[j + 1].text == ":" || t[j + 1].text == "," ||
+           t[j + 1].text == ")" || t[j + 1].text == "{" ||
+           t[j + 1].text == "(" || t[j + 1].text == "[")) {
+        locals.insert(t[j].text);
+      }
+    }
+  }
+  // Structured bindings: idents between `auto [` ... `]`.
+  for (std::size_t j = b; j + 1 < e && j + 1 < t.size(); ++j) {
+    if (t[j].kind == TokKind::kKeyword && t[j].text == "auto" &&
+        tok_is(t, j + 1, "[")) {
+      const std::size_t close = match_close(t, j + 1, "[", "]");
+      for (std::size_t k = j + 2; k < close; ++k) {
+        if (t[k].kind == TokKind::kIdent) locals.insert(t[k].text);
+      }
+    }
+  }
+  return locals;
+}
+
+/// Marks, for every token in [b, e), whether a lock_guard/unique_lock/
+/// scoped_lock scope is active at that point (scope = from the lock
+/// declaration to the close of its enclosing brace, or to `.unlock()`).
+std::vector<char> lock_active_map(const std::vector<Token>& t, std::size_t b,
+                                  std::size_t e) {
+  static const std::set<std::string> kLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  std::vector<char> active(e > b ? e - b : 0, 0);
+  struct Lock {
+    std::string name;
+    int depth;
+  };
+  std::vector<Lock> locks;
+  int depth = 0;
+  for (std::size_t j = b; j < e && j < t.size(); ++j) {
+    if (t[j].kind == TokKind::kPunct) {
+      if (t[j].text == "{") ++depth;
+      if (t[j].text == "}") {
+        --depth;
+        while (!locks.empty() && locks.back().depth > depth) locks.pop_back();
+      }
+    } else if (t[j].kind == TokKind::kIdent) {
+      if (kLockTypes.count(t[j].text) > 0) {
+        std::size_t k = j + 1;
+        if (tok_is(t, k, "<")) k = skip_angles(t, k);
+        if (k < e && t[k].kind == TokKind::kIdent) {
+          locks.push_back({t[k].text, depth});
+        }
+      } else if (!locks.empty() && tok_is(t, j + 1, ".") &&
+                 j + 2 < e && t[j + 2].text == "unlock") {
+        for (std::size_t li = locks.size(); li > 0; --li) {
+          if (locks[li - 1].name == t[j].text) {
+            locks.erase(locks.begin() + static_cast<std::ptrdiff_t>(li - 1));
+            break;
+          }
+        }
+      }
+    }
+    active[j - b] = locks.empty() ? 0 : 1;
+  }
+  return active;
+}
+
+/// Parses the capture list [lb+1, rb) of a lambda: by-ref default (`&`),
+/// explicit `&name` captures, and by-value captures (plain names, `=`).
+struct Captures {
+  bool by_ref_default = false;
+  std::set<std::string> ref_caps;
+  std::set<std::string> value_caps;
+};
+
+Captures parse_captures(const std::vector<Token>& t, std::size_t lb,
+                        std::size_t rb) {
+  Captures c;
+  for (std::size_t j = lb + 1; j < rb; ++j) {
+    if (t[j].kind == TokKind::kPunct && t[j].text == "&") {
+      if (j + 1 < rb && t[j + 1].kind == TokKind::kIdent) {
+        c.ref_caps.insert(t[j + 1].text);
+        ++j;
+      } else {
+        c.by_ref_default = true;
+      }
+    } else if (t[j].kind == TokKind::kIdent) {
+      c.value_caps.insert(t[j].text);
+      // init captures `x = expr`: skip the initializer tokens
+      if (j + 1 < rb && t[j + 1].kind == TokKind::kPunct &&
+          t[j + 1].text == "=") {
+        while (j + 1 < rb && !tok_is(t, j + 1, ",")) ++j;
+      }
+    }
+  }
+  return c;
+}
+
+/// Whether `name` is captured by reference under `c`.
+bool captured_by_ref(const Captures& c, const std::string& name) {
+  if (c.ref_caps.count(name) > 0) return true;
+  return c.by_ref_default && c.value_caps.count(name) == 0;
+}
+
+/// Finds every by-reference lambda handed to ThreadPool::submit /
+/// parallel_chunks / parallel_for and records the writes to captured
+/// variables inside its body. Shared by ref-capture-in-parallel and
+/// unordered-accumulation.
+std::vector<ParLambda> analyze_parallel_lambdas(const FileContext& ctx,
+                                                const SymbolIndex& idx) {
+  static const std::set<std::string> kAssignOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  const std::vector<Token>& t = ctx.toks;
+  std::set<std::string> sync = idx.sync_names;
+  collect_sync_names(t, sync);
+  std::vector<ParLambda> out;
+
+  for (std::size_t j = 0; j + 1 < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent) continue;
+    if (t[j].text != "submit" && t[j].text != "parallel_chunks" &&
+        t[j].text != "parallel_for") {
+      continue;
+    }
+    if (!tok_is(t, j + 1, "(") || !looks_like_call(t, j)) continue;
+    const std::size_t call_close = match_close(t, j + 1, "(", ")");
+
+    // Locate a lambda among the arguments: '[' whose ']' is followed by a
+    // parameter list or a body brace.
+    for (std::size_t k = j + 2; k < call_close; ++k) {
+      if (!tok_is(t, k, "[")) continue;
+      const std::size_t rb = match_close(t, k, "[", "]");
+      if (rb >= call_close) break;
+      std::size_t body_open = rb + 1;
+      std::size_t params_open = 0;
+      if (tok_is(t, body_open, "(")) {
+        params_open = body_open;
+        body_open = match_close(t, body_open, "(", ")") + 1;
+      }
+      while (body_open < call_close &&
+             (t[body_open].kind == TokKind::kKeyword ||  // mutable/noexcept
+              tok_is(t, body_open, "->") ||
+              (t[body_open].kind == TokKind::kIdent &&
+               !tok_is(t, body_open, "{")))) {
+        ++body_open;  // skip trailing-return tokens until the body brace
+      }
+      if (!tok_is(t, body_open, "{")) continue;
+      const std::size_t body_close = match_close(t, body_open, "{", "}");
+
+      ParLambda lam;
+      lam.call = t[j].text;
+      lam.line = t[j].line;
+      const Captures caps = parse_captures(t, k, rb);
+      std::set<std::string> locals =
+          collect_locals(t, body_open + 1, body_close);
+      if (params_open != 0) {
+        const std::size_t pc = match_close(t, params_open, "(", ")");
+        for (std::size_t p = params_open + 1; p < pc; ++p) {
+          if (t[p].kind == TokKind::kIdent) locals.insert(t[p].text);
+        }
+      }
+      const std::vector<char> locked =
+          lock_active_map(t, body_open, body_close);
+
+      for (std::size_t w = body_open + 1; w < body_close; ++w) {
+        std::string target;
+        std::string op;
+        std::size_t target_idx = 0;
+        if (t[w].kind == TokKind::kIdent && w + 1 < body_close &&
+            t[w + 1].kind == TokKind::kPunct &&
+            kAssignOps.count(t[w + 1].text) > 0) {
+          // `x = ...` / `x += ...`: reject member access (`a.x = ...`) and
+          // subscripted per-chunk writes (`part[c] += ...` never matches —
+          // the op there follows ']').
+          if (w > body_open && t[w - 1].kind == TokKind::kPunct &&
+              (t[w - 1].text == "." || t[w - 1].text == "->" ||
+               t[w - 1].text == "::")) {
+            continue;
+          }
+          target = t[w].text;
+          op = t[w + 1].text;
+          target_idx = w;
+        } else if (t[w].kind == TokKind::kPunct &&
+                   (t[w].text == "++" || t[w].text == "--")) {
+          if (w + 1 < body_close && t[w + 1].kind == TokKind::kIdent) {
+            target = t[w + 1].text;
+            target_idx = w + 1;
+          } else if (w > body_open && t[w - 1].kind == TokKind::kIdent) {
+            target = t[w - 1].text;
+            target_idx = w - 1;
+          }
+          op = t[w].text;
+        }
+        if (target.empty() || locals.count(target) > 0 ||
+            sync.count(target) > 0) {
+          continue;
+        }
+        ParWrite pw;
+        pw.target = target;
+        pw.op = op;
+        pw.line = t[target_idx].line;
+        pw.locked = locked[target_idx - body_open] != 0;
+        pw.captured_ref = captured_by_ref(caps, target);
+        lam.writes.push_back(std::move(pw));
+      }
+      out.push_back(std::move(lam));
+      k = body_close;  // continue searching after this lambda
+    }
+    j = call_close;
+  }
+  return out;
+}
+
+/// True when `name` is declared `double` somewhere in this file.
+bool declared_double(const FileContext& ctx, const std::string& name) {
+  const std::vector<Token>& t = ctx.toks;
+  for (std::size_t j = 0; j + 1 < t.size(); ++j) {
+    if (t[j].kind == TokKind::kKeyword && t[j].text == "double") {
+      std::size_t k = j + 1;
+      if (t[k].kind == TokKind::kPunct && (t[k].text == "&" || t[k].text == "*")) {
+        ++k;
+      }
+      if (k < t.size() && t[k].kind == TokKind::kIdent && t[k].text == name) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void rule_ref_capture_in_parallel(const FileContext& ctx,
+                                  const std::vector<ParLambda>& lambdas,
+                                  std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  for (const ParLambda& lam : lambdas) {
+    for (const ParWrite& w : lam.writes) {
+      if (!w.captured_ref || w.locked) continue;
+      report(out, ctx, w.line, "ref-capture-in-parallel",
+             "lambda given to ThreadPool::" + lam.call +
+                 " writes captured '" + w.target +
+                 "' by reference; chunks race on it — make it per-chunk, "
+                 "std::atomic, or lock-protected");
+    }
+  }
+}
+
+void rule_unordered_accumulation(const FileContext& ctx,
+                                 const std::vector<ParLambda>& lambdas,
+                                 std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  for (const ParLambda& lam : lambdas) {
+    if (lam.call == "submit") continue;  // single task: no chunk ordering
+    for (const ParWrite& w : lam.writes) {
+      if (!w.captured_ref) continue;
+      if (w.op != "+=" && w.op != "-=") continue;
+      if (!declared_double(ctx, w.target)) continue;
+      report(out, ctx, w.line, "unordered-accumulation",
+             "floating-point '" + w.op + "' into shared '" + w.target +
+                 "' inside a " + lam.call +
+                 " body is ordering-dependent (even under a lock); "
+                 "accumulate per-chunk and reduce in fixed order");
+    }
+  }
+}
+
+void rule_lock_held_blocking_call(const FileContext& ctx,
+                                  const std::vector<FnDef>& defs,
+                                  std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  static const std::set<std::string> kLockTypes = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+  static const std::set<std::string> kPoolBlocking = {
+      "submit", "wait_idle", "parallel_for", "parallel_chunks"};
+  static const std::set<std::string> kCvWait = {"wait", "wait_for",
+                                                "wait_until"};
+  const std::vector<Token>& t = ctx.toks;
+  for (const FnDef& def : defs) {
+    struct Lock {
+      std::string name;
+      std::string mutex;
+      int depth;
+    };
+    std::vector<Lock> locks;
+    int depth = 0;
+    for (std::size_t j = def.body_open; j <= def.body_close && j < t.size();
+         ++j) {
+      if (t[j].kind == TokKind::kPunct) {
+        if (t[j].text == "{") ++depth;
+        if (t[j].text == "}") {
+          --depth;
+          while (!locks.empty() && locks.back().depth > depth) {
+            locks.pop_back();
+          }
+        }
+        continue;
+      }
+      if (t[j].kind != TokKind::kIdent) continue;
+      if (kLockTypes.count(t[j].text) > 0) {
+        std::size_t k = j + 1;
+        if (tok_is(t, k, "<")) k = skip_angles(t, k);
+        if (k < t.size() && t[k].kind == TokKind::kIdent &&
+            tok_is(t, k + 1, "(")) {
+          const std::size_t close = match_close(t, k + 1, "(", ")");
+          locks.push_back(
+              {t[k].text, join_tokens(t, k + 2, close), depth});
+          j = close;
+        }
+        continue;
+      }
+      if (!locks.empty() && tok_is(t, j + 1, ".") && j + 2 < t.size() &&
+          t[j + 2].text == "unlock") {
+        for (std::size_t li = locks.size(); li > 0; --li) {
+          if (locks[li - 1].name == t[j].text) {
+            locks.erase(locks.begin() + static_cast<std::ptrdiff_t>(li - 1));
+            break;
+          }
+        }
+        continue;
+      }
+      if (kPoolBlocking.count(t[j].text) > 0 && tok_is(t, j + 1, "(") &&
+          looks_like_call(t, j) && !locks.empty()) {
+        report(out, ctx, t[j].line, "lock-held-blocking-call",
+               "ThreadPool::" + t[j].text + " called while '" +
+                   locks.back().name + "' holds mutex '" +
+                   locks.back().mutex +
+                   "'; release the lock before blocking on the pool");
+        continue;
+      }
+      if (kCvWait.count(t[j].text) > 0 && j > 0 && t[j - 1].text == "." &&
+          tok_is(t, j + 1, "(") && !locks.empty()) {
+        // First argument of cv.wait(lock, ...): the lock it owns.
+        const std::size_t close = match_close(t, j + 1, "(", ")");
+        std::string own;
+        if (j + 2 < close && t[j + 2].kind == TokKind::kIdent) {
+          own = t[j + 2].text;
+        }
+        for (const Lock& l : locks) {
+          if (l.name != own) {
+            report(out, ctx, t[j].line, "lock-held-blocking-call",
+                   "condition variable wait while '" + l.name +
+                       "' holds mutex '" + l.mutex +
+                       "' (not the wait lock); waiting can deadlock or "
+                       "invert lock order — release it first");
+          }
+        }
+        j = j + 1;
+      }
+    }
+  }
+}
+
+void rule_contract_coverage(const FileContext& ctx, const SymbolIndex& idx,
+                            const std::vector<FnDef>& defs,
+                            std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  const std::vector<Token>& t = ctx.toks;
+  for (const FnDef& def : defs) {
+    if (def.name.empty()) continue;
+    const std::string key =
+        def.cls.empty() ? def.name : def.cls + "::" + def.name;
+    const auto it = idx.fns.find(key);
+    if (it == idx.fns.end() || !it->second.wants_contracts) continue;
+    // The index merges overloads under one key; only flag definitions
+    // whose own parameter list carries pointer/span/index shapes, so a
+    // field(double) overload is not blamed for field(const char*).
+    if (def.paren_open == 0 || !params_want_contracts(t, def.paren_open)) {
+      continue;
+    }
+    bool has_contract = false;
+    for (std::size_t j = def.body_open; j <= def.body_close && j < t.size();
+         ++j) {
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text == "MPHPC_EXPECTS" || t[j].text == "MPHPC_ASSERT" ||
+           t[j].text == "MPHPC_ENSURES")) {
+        has_contract = true;
+        break;
+      }
+    }
+    if (!has_contract) {
+      report(out, ctx, def.line, "contract-coverage",
+             "public function '" + key +
+                 "' takes pointer/span/index parameters but its definition "
+                 "has no MPHPC_EXPECTS/MPHPC_ASSERT (declared at " +
+                 it->second.file + ":" + std::to_string(it->second.line) +
+                 "); validate at the entry point");
+    }
+  }
+}
+
+void rule_raw_artifact_write(const FileContext& ctx,
+                             std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  if (ctx.rel_path == "src/common/atomic_file.cpp") return;
+  for (const Token& tok : ctx.toks) {
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "ofstream" || tok.text == "fopen" ||
+        tok.text == "freopen") {
+      report(out, ctx, tok.line, "raw-artifact-write",
+             "direct file write ('" + tok.text +
+                 "') in library code; route artifacts through "
+                 "mphpc::atomic_write_text (crash-safe temp+rename)");
+    }
+  }
+}
+
+// -------------------------------------------------------------- baseline
+
+/// (file, rule) -> accepted finding count.
+using BaselineMap = std::map<std::pair<std::string, std::string>, std::size_t>;
+
+std::string extract_json_string(const std::string& block,
+                                const std::string& key) {
+  const std::size_t kpos = block.find("\"" + key + "\"");
+  if (kpos == std::string::npos) return "";
+  const std::size_t colon = block.find(':', kpos);
+  if (colon == std::string::npos) return "";
+  const std::size_t open = block.find('"', colon);
+  if (open == std::string::npos) return "";
+  std::string out;
+  for (std::size_t i = open + 1; i < block.size(); ++i) {
+    if (block[i] == '\\' && i + 1 < block.size()) {
+      out += block[i + 1];
+      ++i;
+    } else if (block[i] == '"') {
+      return out;
+    } else {
+      out += block[i];
+    }
+  }
+  return "";
+}
+
+std::size_t extract_json_count(const std::string& block) {
+  const std::size_t kpos = block.find("\"count\"");
+  if (kpos == std::string::npos) return 0;
+  std::size_t i = block.find(':', kpos);
+  if (i == std::string::npos) return 0;
+  ++i;
+  while (i < block.size() &&
+         std::isspace(static_cast<unsigned char>(block[i])) != 0) {
+    ++i;
+  }
+  std::size_t n = 0;
+  while (i < block.size() &&
+         std::isdigit(static_cast<unsigned char>(block[i])) != 0) {
+    n = n * 10 + static_cast<std::size_t>(block[i] - '0');
+    ++i;
+  }
+  return n;
+}
+
+/// Parses tools/lint_baseline.json (schema mphpc-lint-baseline-v1: a flat
+/// "entries" array of {file, rule, count} objects). Tolerant of
+/// whitespace/ordering; returns false on anything that does not look like
+/// a baseline file.
+bool parse_baseline(const std::string& text, BaselineMap& out) {
+  if (text.find("mphpc-lint-baseline-v1") == std::string::npos) return false;
+  const std::size_t entries = text.find("\"entries\"");
+  if (entries == std::string::npos) return false;
+  std::size_t pos = text.find('[', entries);
+  if (pos == std::string::npos) return false;
+  const std::size_t end = text.find(']', pos);
+  while (true) {
+    const std::size_t open = text.find('{', pos);
+    if (open == std::string::npos || (end != std::string::npos && open > end)) {
+      break;
+    }
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) return false;
+    const std::string block = text.substr(open, close - open + 1);
+    const std::string file = extract_json_string(block, "file");
+    const std::string rule = extract_json_string(block, "rule");
+    const std::size_t count = extract_json_count(block);
+    if (file.empty() || rule.empty() || count == 0) return false;
+    out[{file, rule}] += count;
+    pos = close + 1;
+  }
+  return true;
+}
+
+std::string baseline_to_json(const BaselineMap& counts) {
+  mphpc::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mphpc-lint-baseline-v1");
+  w.begin_array("entries");
+  for (const auto& [key, count] : counts) {
+    w.begin_object();
+    w.field("file", key.first);
+    w.field("rule", key.second);
+    w.field("count", count);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+/// Marks the first `count` findings of each baselined (file, rule) pair —
+/// in sorted line order — as warnings. Returns the per-pair number of
+/// findings the baseline actually absorbed (for staleness detection).
+BaselineMap apply_baseline(const BaselineMap& base,
+                           std::vector<Finding>& findings) {
+  BaselineMap used;
+  for (Finding& f : findings) {
+    const auto key = std::make_pair(f.file, f.rule);
+    const auto it = base.find(key);
+    if (it != base.end() && used[key] < it->second) {
+      f.warning = true;
+      ++used[key];
+    }
+  }
+  return used;
+}
+
+// -------------------------------------------------------------- rendering
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+std::size_t count_errors(const std::vector<Finding>& findings) {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!f.warning) ++n;
+  }
+  return n;
+}
+
+std::string render_text(const std::vector<Finding>& findings,
+                        std::size_t files_scanned, bool baseline_loaded) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": ";
+    if (f.warning) out << "warning: ";
+    out << "[" << f.rule << "] " << f.message << "\n";
+  }
+  const std::size_t errors = count_errors(findings);
+  out << "mphpc_lint: " << errors << " violation(s)";
+  if (baseline_loaded) {
+    out << ", " << (findings.size() - errors) << " baselined warning(s)";
+  }
+  out << " in " << files_scanned << " file(s) scanned\n";
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const std::string& root, std::size_t files_scanned) {
+  const std::size_t errors = count_errors(findings);
+  std::map<std::string, std::pair<std::size_t, std::size_t>> per_rule;
+  for (const Finding& f : findings) {
+    auto& counts = per_rule[f.rule];
+    if (f.warning) {
+      ++counts.second;
+    } else {
+      ++counts.first;
+    }
+  }
+  mphpc::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mphpc-lint-report-v1");
+  w.field("root", root);
+  w.field("files_scanned", files_scanned);
+  w.field("errors", errors);
+  w.field("warnings", findings.size() - errors);
+  w.begin_object("per_rule");
+  for (const auto& [rule, counts] : per_rule) {
+    w.begin_object(rule);
+    w.field("errors", counts.first);
+    w.field("warnings", counts.second);
+    w.end_object();
+  }
+  w.end_object();
+  w.begin_array("findings");
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.field("file", f.file);
+    w.field("line", f.line);
+    w.field("rule", f.rule);
+    w.field("severity", f.warning ? "warning" : "error");
+    w.field("message", f.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+// ---------------------------------------------------------------- driver
+
+struct Options {
+  std::size_t budget = 150;
+  bool json = false;
+  std::size_t jobs = 0;  // 0 = hardware concurrency, 1 = serial
+  fs::path root;
+  fs::path report_path;
+  fs::path baseline_path;
+  fs::path write_baseline_path;
+  std::set<std::string> only;
+  std::set<std::string> disable;
+};
+
+bool rule_enabled(const Options& opts, const std::string& rule) {
+  if (!opts.only.empty()) return opts.only.count(rule) > 0;
+  return opts.disable.count(rule) == 0;
+}
 
 std::vector<fs::path> collect_files(const fs::path& root) {
   std::vector<fs::path> files;
@@ -460,36 +1681,199 @@ std::vector<fs::path> collect_files(const fs::path& root) {
   return files;
 }
 
-bool lint_file(const fs::path& root, const fs::path& path,
-               std::size_t function_budget, std::vector<Violation>& out) {
+bool load_file(const fs::path& root, const fs::path& path, FileContext& ctx) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "mphpc_lint: cannot read " << path.string() << "\n";
-    return false;
-  }
-  FileContext ctx;
+  if (!in) return false;
   ctx.rel_path = fs::relative(path, root).generic_string();
+  ctx.in_src = starts_with(ctx.rel_path, "src/");
+  const std::string ext = path.extension().string();
+  ctx.is_header = ext == ".hpp" || ext == ".h";
   std::string line;
-  while (std::getline(in, line)) ctx.raw.push_back(line);
+  while (std::getline(in, line)) ctx.raw.push_back(std::move(line));
   ctx.code = strip_comments_and_literals(ctx.raw);
+  ctx.toks = tokenize(ctx.code, preprocessor_lines(ctx.raw));
   parse_suppressions(ctx);
-
-  rule_nondeterminism(ctx, out);
-  rule_unordered_iteration(ctx, out);
-  rule_io_in_lib(ctx, out);
-  rule_raw_new(ctx, out);
-  rule_pragma_once(ctx, out);
-  rule_no_float(ctx, out);
-  rule_function_size(ctx, function_budget, out);
   return true;
 }
 
-}  // namespace
+/// Pass 2 over one file: every enabled rule, then per-(rule, line) dedup
+/// so token-level rules report once per source line like v1 did.
+std::vector<Finding> analyze_file(const FileContext& ctx, const Options& opts,
+                                  const SymbolIndex& idx) {
+  const auto en = [&opts](const char* rule) {
+    return rule_enabled(opts, rule);
+  };
+  std::vector<Finding> raw;
+  if (en("nondeterminism")) rule_nondeterminism(ctx, raw);
+  if (en("unordered-iteration")) rule_unordered_iteration(ctx, raw);
+  if (en("io-in-lib")) rule_io_in_lib(ctx, raw);
+  if (en("raw-new")) rule_raw_new(ctx, raw);
+  if (en("pragma-once")) rule_pragma_once(ctx, raw);
+  if (en("no-float")) rule_no_float(ctx, raw);
+  if (en("raw-artifact-write")) rule_raw_artifact_write(ctx, raw);
 
-int main(int argc, char** argv) {
-  std::size_t function_budget = 150;
-  fs::path root;
-  fs::path report_path;
+  if (en("function-size") || en("lock-held-blocking-call") ||
+      en("contract-coverage")) {
+    const std::vector<FnDef> defs = find_function_defs(ctx);
+    if (en("function-size")) rule_function_size(ctx, opts.budget, defs, raw);
+    if (en("lock-held-blocking-call")) rule_lock_held_blocking_call(ctx, defs, raw);
+    if (en("contract-coverage")) rule_contract_coverage(ctx, idx, defs, raw);
+  }
+  if (ctx.in_src &&
+      (en("ref-capture-in-parallel") || en("unordered-accumulation"))) {
+    const std::vector<ParLambda> lambdas = analyze_parallel_lambdas(ctx, idx);
+    if (en("ref-capture-in-parallel")) {
+      rule_ref_capture_in_parallel(ctx, lambdas, raw);
+    }
+    if (en("unordered-accumulation")) {
+      rule_unordered_accumulation(ctx, lambdas, raw);
+    }
+  }
+
+  std::vector<Finding> out;
+  std::set<std::pair<std::string, std::size_t>> seen;
+  for (Finding& f : raw) {
+    if (seen.insert({f.rule, f.line}).second) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+/// Duplicates the rendered report into `path`, creating parent directories
+/// first. Returns false when the path cannot be written.
+bool write_report_file(const fs::path& path, const std::string& text) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path(), ec);  // failure -> open fails
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+int run(const Options& opts) {
+  const std::vector<fs::path> files = collect_files(opts.root);
+
+  // Load + tokenize every file on the pool; slots keep sorted file order
+  // so the merged output is identical at any --jobs value.
+  std::vector<FileContext> ctxs(files.size());
+  std::vector<char> ok(files.size(), 1);
+  mphpc::ThreadPool pool(opts.jobs == 1 ? 1 : opts.jobs);
+  pool.parallel_for(0, files.size(), [&](std::size_t i) {
+    try {
+      ok[i] = load_file(opts.root, files[i], ctxs[i]) ? 1 : 0;
+    } catch (const std::exception&) {
+      ok[i] = 0;
+    }
+  });
+
+  // Pass 1 (serial, order-stable): cross-file symbol index over headers.
+  SymbolIndex idx;
+  for (const FileContext& ctx : ctxs) {
+    if (ctx.in_src && ctx.is_header) index_header(ctx, idx);
+  }
+
+  // Pass 2: rules per file, merged in sorted file order.
+  std::vector<std::vector<Finding>> slots(files.size());
+  pool.parallel_for(0, files.size(), [&](std::size_t i) {
+    try {
+      if (ok[i] != 0) slots[i] = analyze_file(ctxs[i], opts, idx);
+    } catch (const std::exception&) {
+      ok[i] = 0;
+    }
+  });
+
+  bool io_ok = true;
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (ok[i] == 0) {
+      std::cerr << "mphpc_lint: cannot read " << files[i].string() << "\n";
+      io_ok = false;
+      continue;
+    }
+    for (Finding& f : slots[i]) findings.push_back(std::move(f));
+  }
+  sort_findings(findings);
+
+  if (!opts.write_baseline_path.empty()) {
+    BaselineMap counts;
+    for (const Finding& f : findings) ++counts[{f.file, f.rule}];
+    if (!write_report_file(opts.write_baseline_path,
+                           baseline_to_json(counts))) {
+      std::cerr << "mphpc_lint: cannot write baseline "
+                << opts.write_baseline_path.string() << "\n";
+      return 2;
+    }
+    std::cout << "mphpc_lint: wrote baseline ("
+              << counts.size() << " entries, " << findings.size()
+              << " finding(s)) to " << opts.write_baseline_path.string()
+              << "\n";
+    return io_ok ? 0 : 2;
+  }
+
+  bool baseline_loaded = false;
+  if (!opts.baseline_path.empty()) {
+    std::ifstream in(opts.baseline_path);
+    if (!in) {
+      std::cerr << "mphpc_lint: cannot read baseline "
+                << opts.baseline_path.string() << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    BaselineMap base;
+    if (!parse_baseline(ss.str(), base)) {
+      std::cerr << "mphpc_lint: cannot parse baseline "
+                << opts.baseline_path.string()
+                << " (expected schema mphpc-lint-baseline-v1)\n";
+      return 2;
+    }
+    baseline_loaded = true;
+    const BaselineMap used = apply_baseline(base, findings);
+    // Ratchet: a baseline entry that over-counts the remaining findings is
+    // itself an error — the baseline may only shrink.
+    for (const auto& [key, count] : base) {
+      if (!rule_enabled(opts, key.second)) continue;
+      const auto it = used.find(key);
+      const std::size_t absorbed = it == used.end() ? 0 : it->second;
+      if (absorbed < count) {
+        findings.push_back(
+            {key.first, 0, "baseline-stale",
+             "baseline lists " + std::to_string(count) + " '" + key.second +
+                 "' finding(s) but only " + std::to_string(absorbed) +
+                 " remain; the baseline may only shrink — remove the fixed "
+                 "entries from tools/lint_baseline.json",
+             false});
+      }
+    }
+    sort_findings(findings);
+  }
+
+  const std::string text = opts.json
+                               ? render_json(findings, opts.root.string(),
+                                             files.size())
+                               : render_text(findings, files.size(),
+                                             baseline_loaded);
+  std::cout << text;
+  if (!opts.report_path.empty()) {
+    const bool report_json =
+        opts.report_path.extension() == ".json" || opts.json;
+    const std::string report_text =
+        report_json ? render_json(findings, opts.root.string(), files.size())
+                    : text;
+    if (!write_report_file(opts.report_path, report_text)) {
+      std::cerr << "mphpc_lint: cannot write report "
+                << opts.report_path.string() << "\n";
+      return 2;
+    }
+  }
+  if (!io_ok) return 2;
+  return count_errors(findings) == 0 ? 0 : 1;
+}
+
+/// Parses argv into opts. Returns -1 to proceed, otherwise the exit code.
+int parse_args(int argc, char** argv, Options& opts) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -497,58 +1881,70 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (starts_with(arg, "--max-function-lines=")) {
-      function_budget = static_cast<std::size_t>(
-          std::stoul(std::string(arg.substr(21))));
-      continue;
-    }
-    if (starts_with(arg, "--report=")) {
-      report_path = fs::path(std::string(arg.substr(9)));
-      continue;
-    }
-    if (starts_with(arg, "--")) {
+      opts.budget =
+          static_cast<std::size_t>(std::stoul(std::string(arg.substr(21))));
+    } else if (starts_with(arg, "--format=")) {
+      const std::string_view fmt = arg.substr(9);
+      if (fmt != "text" && fmt != "json") {
+        std::cerr << "mphpc_lint: unknown format '" << fmt
+                  << "' (expected text or json)\n";
+        return 2;
+      }
+      opts.json = fmt == "json";
+    } else if (starts_with(arg, "--jobs=")) {
+      opts.jobs =
+          static_cast<std::size_t>(std::stoul(std::string(arg.substr(7))));
+    } else if (starts_with(arg, "--report=")) {
+      opts.report_path = fs::path(std::string(arg.substr(9)));
+    } else if (starts_with(arg, "--baseline=")) {
+      opts.baseline_path = fs::path(std::string(arg.substr(11)));
+    } else if (starts_with(arg, "--write-baseline=")) {
+      opts.write_baseline_path = fs::path(std::string(arg.substr(17)));
+    } else if (starts_with(arg, "--only=") || starts_with(arg, "--disable=")) {
+      const bool is_only = starts_with(arg, "--only=");
+      for (const std::string& r :
+           split_rule_list(arg.substr(is_only ? 7 : 10))) {
+        if (!is_known_rule(r)) {
+          std::cerr << "mphpc_lint: unknown rule '" << r
+                    << "' (see --list-rules)\n";
+          return 2;
+        }
+        (is_only ? opts.only : opts.disable).insert(r);
+      }
+    } else if (starts_with(arg, "--")) {
       std::cerr << "mphpc_lint: unknown option " << arg << "\n";
       return 2;
-    }
-    if (!root.empty()) {
+    } else if (!opts.root.empty()) {
       std::cerr << "mphpc_lint: multiple roots given\n";
       return 2;
-    }
-    root = fs::path(std::string(arg));
-  }
-  if (root.empty()) {
-    std::cerr << "usage: mphpc_lint [--max-function-lines=N] [--report=FILE] "
-                 "[--list-rules] <root>\n";
-    return 2;
-  }
-  if (!fs::is_directory(root)) {
-    std::cerr << "mphpc_lint: not a directory: " << root.string() << "\n";
-    return 2;
-  }
-
-  const std::vector<fs::path> files = collect_files(root);
-  std::vector<Violation> violations;
-  bool io_ok = true;
-  for (const fs::path& f : files) {
-    io_ok = lint_file(root, f, function_budget, violations) && io_ok;
-  }
-
-  std::ostringstream report;
-  for (const Violation& v : violations) {
-    report << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
-           << "\n";
-  }
-  report << "mphpc_lint: " << violations.size() << " violation(s) in "
-         << files.size() << " file(s) scanned\n";
-  std::cout << report.str();
-  if (!report_path.empty()) {
-    std::ofstream out(report_path);
-    out << report.str();
-    if (!out) {
-      std::cerr << "mphpc_lint: cannot write report " << report_path.string()
-                << "\n";
-      return 2;
+    } else {
+      opts.root = fs::path(std::string(arg));
     }
   }
-  if (!io_ok) return 2;
-  return violations.empty() ? 0 : 1;
+  if (opts.root.empty()) {
+    std::cerr << "usage: mphpc_lint [--max-function-lines=N] "
+                 "[--format=text|json] [--report=FILE] [--baseline=FILE] "
+                 "[--write-baseline=FILE] [--only=r1,r2] [--disable=r1,r2] "
+                 "[--jobs=N] [--list-rules] <root>\n";
+    return 2;
+  }
+  if (!fs::is_directory(opts.root)) {
+    std::cerr << "mphpc_lint: not a directory: " << opts.root.string() << "\n";
+    return 2;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    const int parse_status = parse_args(argc, argv, opts);
+    if (parse_status >= 0) return parse_status;
+    return run(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "mphpc_lint: " << e.what() << "\n";
+    return 2;
+  }
 }
