@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
+
 namespace mphpc::sched {
 
 namespace {
@@ -43,6 +45,8 @@ arch::SystemId pick_with_fallback(
 void JobOrderCache::prime(
     std::span<const Job> jobs,
     const std::function<std::optional<Order>(const Job&)>& order_of) {
+  MPHPC_EXPECTS(jobs.empty() || jobs.data() != nullptr);
+  MPHPC_EXPECTS(static_cast<bool>(order_of));
   orders_.clear();
   states_.clear();
   if (jobs.empty()) return;
@@ -70,6 +74,7 @@ void JobOrderCache::prime(
 
 JobOrderCache::State JobOrderCache::lookup(const Job& job,
                                            const Order** order) const noexcept {
+  MPHPC_ASSERT(order != nullptr);
   *order = nullptr;
   if (job.id < 0) return State::kUnknown;
   const auto id = static_cast<std::size_t>(job.id);
@@ -81,6 +86,7 @@ JobOrderCache::State JobOrderCache::lookup(const Job& job,
 arch::SystemId RoundRobinAssigner::assign(const Job& /*job*/, std::size_t started_index,
                                           const ClusterView& view) {
   const auto& machines = view.machines();
+  MPHPC_EXPECTS(!machines.empty());
   return machines[started_index % machines.size()].id;
 }
 
@@ -99,6 +105,7 @@ arch::SystemId UserRoundRobinAssigner::assign(const Job& job,
 }
 
 void ModelBasedAssigner::prime(std::span<const Job> jobs) {
+  MPHPC_EXPECTS(jobs.empty() || jobs.data() != nullptr);
   cache_.prime(jobs, [](const Job& job) {
     return fastest_order([&](arch::SystemId m) { return job.predicted.time_ratio(m); });
   });
@@ -116,6 +123,7 @@ arch::SystemId ModelBasedAssigner::assign(const Job& job, std::size_t /*started_
 }
 
 void OracleAssigner::prime(std::span<const Job> jobs) {
+  MPHPC_EXPECTS(jobs.empty() || jobs.data() != nullptr);
   cache_.prime(jobs, [](const Job& job) {
     return fastest_order(
         [&](arch::SystemId m) { return job.runtime[static_cast<std::size_t>(m)]; });
@@ -134,19 +142,25 @@ arch::SystemId OracleAssigner::assign(const Job& job, std::size_t /*started_inde
 }
 
 void GuardedModelBasedAssigner::prime(std::span<const Job> jobs) {
+  MPHPC_EXPECTS(jobs.empty() || jobs.data() != nullptr);
+  long long implausible = 0;
   cache_.prime(jobs,
-               [this](const Job& job) -> std::optional<JobOrderCache::Order> {
+               [this, &implausible](const Job& job)
+                   -> std::optional<JobOrderCache::Order> {
                  if (!core::is_plausible_rpv(job.predicted, bounds_)) {
+                   ++implausible;
                    return std::nullopt;
                  }
                  return fastest_order(
                      [&](arch::SystemId m) { return job.predicted.time_ratio(m); });
                });
+  primed_pure_ = cache_.primed() && implausible == 0;
 }
 
 arch::SystemId GuardedModelBasedAssigner::assign(const Job& job,
                                                  std::size_t started_index,
                                                  const ClusterView& view) {
+  MPHPC_EXPECTS(!view.machines().empty());
   const JobOrderCache::Order* cached = nullptr;
   switch (cache_.lookup(job, &cached)) {
     case JobOrderCache::State::kOrdered:

@@ -38,6 +38,17 @@ class MachineAssigner {
   // lint:allow-next-line contract-coverage -- no-op default has no precondition
   virtual void prime(std::span<const Job> jobs) { (void)jobs; }
 
+  /// True when, for the job set passed to the latest prime(), assign() is
+  /// a pure function of (job, started_index, view) — no internal state
+  /// advances per call. The engine's indexed backfill path may then skip
+  /// candidates that cannot start on any machine without calling assign()
+  /// on them; stateful assigners (Random's RNG, User+RR's rotation) must
+  /// see every candidate so their state advances identically to a full
+  /// scan. Default: stateful.
+  [[nodiscard]] virtual bool stateless_assign() const noexcept {
+    return false;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -68,6 +79,10 @@ class JobOrderCache {
   /// (valid until the next prime()).
   [[nodiscard]] State lookup(const Job& job, const Order** order) const noexcept;
 
+  /// True when the latest prime() enabled the dense tables (every lookup
+  /// of a primed job resolves to kOrdered or kNoOrder).
+  [[nodiscard]] bool primed() const noexcept { return !states_.empty(); }
+
  private:
   std::vector<Order> orders_;
   std::vector<State> states_;
@@ -78,6 +93,7 @@ class RoundRobinAssigner final : public MachineAssigner {
  public:
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
+  [[nodiscard]] bool stateless_assign() const noexcept override { return true; }
   [[nodiscard]] std::string name() const override { return "Round-Robin"; }
 };
 
@@ -113,6 +129,7 @@ class ModelBasedAssigner final : public MachineAssigner {
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
   void prime(std::span<const Job> jobs) override;
+  [[nodiscard]] bool stateless_assign() const noexcept override { return true; }
   [[nodiscard]] std::string name() const override { return "Model-based"; }
 
  private:
@@ -126,6 +143,7 @@ class OracleAssigner final : public MachineAssigner {
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
   void prime(std::span<const Job> jobs) override;
+  [[nodiscard]] bool stateless_assign() const noexcept override { return true; }
   [[nodiscard]] std::string name() const override { return "Oracle"; }
 
  private:
@@ -148,6 +166,12 @@ class GuardedModelBasedAssigner final : public MachineAssigner {
   [[nodiscard]] arch::SystemId assign(const Job& job, std::size_t started_index,
                                       const ClusterView& view) override;
   void prime(std::span<const Job> jobs) override;
+  /// Pure only when every primed job took the model path: one implausible
+  /// RPV routes through the stateful User+RR fallback, whose rotation
+  /// must advance on every call.
+  [[nodiscard]] bool stateless_assign() const noexcept override {
+    return primed_pure_;
+  }
   [[nodiscard]] std::string name() const override { return "Model-based (guarded)"; }
 
   /// Jobs placed by the fallback heuristic instead of the model.
@@ -157,6 +181,7 @@ class GuardedModelBasedAssigner final : public MachineAssigner {
   core::RpvGuardOptions bounds_{};
   UserRoundRobinAssigner fallback_;
   long long fallbacks_ = 0;
+  bool primed_pure_ = false;
   JobOrderCache cache_;
 };
 

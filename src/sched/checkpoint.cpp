@@ -58,6 +58,64 @@ CheckpointPolicy::KillAccount CheckpointPolicy::account_kill(double elapsed_s,
   return account;
 }
 
+void PerAppCheckpointPlanner::set(const std::string& app,
+                                  const CheckpointPolicy& policy) {
+  MPHPC_EXPECTS(policy.interval_s >= 0.0 && policy.overhead_s >= 0.0);
+  per_app_[app] = policy;
+}
+
+CheckpointPolicy PerAppCheckpointPlanner::policy_for(const Job& job,
+                                                     double now_s) {
+  MPHPC_EXPECTS(now_s >= 0.0);
+  const auto it = per_app_.find(job.app);
+  return it == per_app_.end() ? fallback_ : it->second;
+}
+
+AdaptiveYoungDalyPlanner::AdaptiveYoungDalyPlanner(double overhead_s,
+                                                   double prior_mtbf_s,
+                                                   double prior_weight)
+    : overhead_s_(overhead_s),
+      prior_mtbf_s_(prior_mtbf_s),
+      prior_weight_(prior_weight) {
+  MPHPC_EXPECTS(overhead_s >= 0.0);
+  MPHPC_EXPECTS(prior_weight > 0.0);
+}
+
+void AdaptiveYoungDalyPlanner::begin(int total_nodes) {
+  MPHPC_EXPECTS(total_nodes > 0);
+  total_nodes_ = static_cast<double>(total_nodes);
+  failures_ = 0;
+}
+
+double AdaptiveYoungDalyPlanner::estimated_mtbf_s(double now_s) const {
+  // Blend `prior_weight_` pseudo-failures at the prior MTBF with the
+  // failures actually observed over the node-time elapsed so far:
+  //   MTBF ~ (node_time + prior_weight * prior) / (failures + prior_weight)
+  // With no prior and no observations the estimate is +infinity (nothing
+  // suggests failures happen), which disables checkpointing.
+  const double node_time = total_nodes_ * std::max(now_s, 0.0);
+  const double prior_mass =
+      prior_mtbf_s_ > 0.0 ? prior_weight_ * prior_mtbf_s_ : 0.0;
+  const double prior_count = prior_mtbf_s_ > 0.0 ? prior_weight_ : 0.0;
+  const double count = static_cast<double>(failures_) + prior_count;
+  if (count <= 0.0) return std::numeric_limits<double>::infinity();
+  return (node_time + prior_mass) / count;
+}
+
+CheckpointPolicy AdaptiveYoungDalyPlanner::policy_for(const Job& job,
+                                                      double now_s) {
+  (void)job;
+  if (overhead_s_ <= 0.0) return {};
+  const double mtbf = estimated_mtbf_s(now_s);
+  if (!std::isfinite(mtbf) || mtbf <= 0.0) return {};
+  return {young_daly_interval(overhead_s_, mtbf), overhead_s_};
+}
+
+void AdaptiveYoungDalyPlanner::observe_node_failure(double time_s) {
+  MPHPC_EXPECTS(time_s >= 0.0);
+  ++failures_;
+}
+
 double young_daly_interval(double overhead_s, double mtbf_s) {
   MPHPC_EXPECTS(overhead_s > 0.0 && mtbf_s > 0.0);
   return std::sqrt(2.0 * overhead_s * mtbf_s);

@@ -18,9 +18,12 @@
 // pre-generated FaultTrace so the two can be composed.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "sched/faults.hpp"
+#include "sched/job.hpp"
 #include "sched/machine.hpp"
 
 namespace mphpc::sched {
@@ -55,6 +58,84 @@ struct CheckpointPolicy {
     long long checkpoints = 0;     ///< completed checkpoint writes
   };
   [[nodiscard]] KillAccount account_kill(double elapsed_s, double work_s) const;
+};
+
+/// Chooses the checkpoint policy per attempt instead of one fixed policy
+/// for the whole simulation. The engine calls begin() once at simulation
+/// start, policy_for() for every attempt it starts, and
+/// observe_node_failure() for every node-failure event it replays — all
+/// strictly in simulated-time order, so a deterministic planner keeps the
+/// simulation bit-reproducible. A planner instance accumulates
+/// per-simulation state: create one per simulate() call and never share
+/// an instance across concurrent simulations.
+class CheckpointPlanner {
+ public:
+  virtual ~CheckpointPlanner() = default;
+
+  /// Simulation start; `total_nodes` is the cluster-wide node inventory.
+  virtual void begin(int total_nodes) { (void)total_nodes; }
+
+  /// Policy for the next attempt of `job`, started at simulated time
+  /// `now_s`. Must return a valid policy (non-negative interval/overhead).
+  [[nodiscard]] virtual CheckpointPolicy policy_for(const Job& job,
+                                                    double now_s) = 0;
+
+  /// A node failure was replayed at `time_s`.
+  virtual void observe_node_failure(double time_s) { (void)time_s; }
+};
+
+/// Per-application policies with a fallback for unlisted apps: long-running
+/// simulation codes can checkpoint aggressively while short jobs skip the
+/// overhead entirely.
+class PerAppCheckpointPlanner final : public CheckpointPlanner {
+ public:
+  explicit PerAppCheckpointPlanner(const CheckpointPolicy& fallback) noexcept
+      : fallback_(fallback) {}
+
+  void set(const std::string& app, const CheckpointPolicy& policy);
+
+  [[nodiscard]] CheckpointPolicy policy_for(const Job& job,
+                                            double now_s) override;
+
+ private:
+  CheckpointPolicy fallback_{};
+  std::map<std::string, CheckpointPolicy, std::less<>> per_app_;
+};
+
+/// Adaptive Young/Daly: re-estimates the cluster's per-node MTBF online
+/// from the failures observed so far and hands every new attempt the
+/// sqrt(2 * C * MTBF) interval for the current estimate. The estimate is
+/// Bayesian-flavoured: a prior MTBF with `prior_weight` pseudo-failures is
+/// blended with the observed failure count over the elapsed node-time, so
+/// early attempts are not whipsawed by the first few (or zero) failures.
+class AdaptiveYoungDalyPlanner final : public CheckpointPlanner {
+ public:
+  /// `overhead_s` is the per-checkpoint write cost (0 disables
+  /// checkpointing regardless of the estimate); `prior_mtbf_s` seeds the
+  /// estimate before any failure is seen (<= 0 means "assume no failures"
+  /// until one is observed).
+  AdaptiveYoungDalyPlanner(double overhead_s, double prior_mtbf_s,
+                           double prior_weight = 4.0);
+
+  void begin(int total_nodes) override;
+  [[nodiscard]] CheckpointPolicy policy_for(const Job& job,
+                                            double now_s) override;
+  void observe_node_failure(double time_s) override;
+
+  /// Current per-node MTBF estimate at simulated time `now_s`
+  /// (+infinity while nothing suggests failures happen at all).
+  [[nodiscard]] double estimated_mtbf_s(double now_s) const;
+
+  [[nodiscard]] long long observed_failures() const noexcept {
+    return failures_;
+  }
+
+ private:
+  double overhead_s_ = 0.0;
+  double prior_mtbf_s_ = 0.0;
+  double prior_weight_ = 4.0;
+  double total_nodes_ = 0.0;
+  long long failures_ = 0;
 };
 
 /// Young/Daly optimal checkpoint interval sqrt(2 * overhead_s * mtbf_s)

@@ -1,6 +1,7 @@
 #include "sched/easy_scheduler.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <list>
@@ -10,12 +11,20 @@
 
 #include "common/contract.hpp"
 #include "common/rng.hpp"
+#include "sched/event_queue.hpp"
 
 namespace mphpc::sched {
 
 namespace {
 
 constexpr double kNoEvent = std::numeric_limits<double>::infinity();
+
+// SimEvent::kind values. Each calendar queue carries a single kind today,
+// but keeping them distinct preserves the global (time, kind, seq, sub)
+// order — kills drain before releases at equal times, matching the event
+// loop's processing order.
+constexpr std::uint32_t kKillEvent = 0;
+constexpr std::uint32_t kReleaseEvent = 1;
 
 /// One running attempt in a machine's ledger.
 struct RunningJob {
@@ -26,6 +35,11 @@ struct RunningJob {
   /// Work seconds this attempt performs (runtime minus checkpointed
   /// progress); end - start additionally includes checkpoint overhead.
   double work = 0.0;
+  /// The checkpoint policy this attempt runs under — fixed from
+  /// SchedulerOptions, or the planner's per-attempt choice at start time.
+  /// Completion/kill accounting must use this copy: an adaptive planner
+  /// may hand later attempts a different policy.
+  CheckpointPolicy policy{};
 };
 
 /// Running-job ledger of one machine, ordered by completion time, plus
@@ -69,18 +83,122 @@ struct RunningRef {
   std::multimap<double, RunningJob>::iterator where;
 };
 
-/// The event-loop engine behind simulate(). One instance per call; with
-/// FaultTrace::none() the event stream degenerates to job completions and
-/// the loop reproduces the fault-free Algorithm 1 simulation exactly.
-class SimEngine {
+/// Intrusive FCFS queue over job indices, with one sublist per distinct
+/// job width (nodes_required). The main list is the exact FCFS order (a
+/// monotone sequence number is stamped on every push, so resubmissions
+/// re-enter at the back). The width sublists let the indexed backfill
+/// path merge only the size classes that can still start somewhere,
+/// instead of walking every queued job. A job is in the queue at most
+/// once at a time (queued -> running -> pending -> queued), which is what
+/// makes the intrusive per-job links sound.
+class FcfsQueue {
  public:
-  SimEngine(const std::vector<Job>& jobs, const std::vector<Machine>& machines,
-            MachineAssigner& assigner, const FaultTrace& faults,
-            const SchedulerOptions& options)
+  static constexpr std::size_t kNull = std::numeric_limits<std::size_t>::max();
+
+  /// Sizes the per-job link arrays and discovers the width classes.
+  void init(const std::vector<Job>& jobs) {
+    const std::size_t n = jobs.size();
+    next_.assign(n, kNull);
+    prev_.assign(n, kNull);
+    wnext_.assign(n, kNull);
+    wprev_.assign(n, kNull);
+    seq_.assign(n, 0);
+    cls_.assign(n, 0);
+    classes_.clear();
+    int max_width = 0;
+    for (const Job& job : jobs) max_width = std::max(max_width, job.nodes_required);
+    std::vector<std::size_t> slot(static_cast<std::size_t>(max_width) + 1, kNull);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto w = static_cast<std::size_t>(jobs[i].nodes_required);
+      if (slot[w] == kNull) {
+        slot[w] = classes_.size();
+        classes_.push_back({jobs[i].nodes_required, kNull, kNull});
+      }
+      cls_[i] = slot[w];
+    }
+    head_ = tail_ = kNull;
+    size_ = 0;
+    seq_counter_ = 0;
+  }
+
+  void push_back(std::size_t j) {
+    MPHPC_ASSERT(j < next_.size());
+    seq_[j] = seq_counter_++;
+    prev_[j] = tail_;
+    next_[j] = kNull;
+    if (tail_ == kNull) head_ = j; else next_[tail_] = j;
+    tail_ = j;
+    Class& c = classes_[cls_[j]];
+    wprev_[j] = c.tail;
+    wnext_[j] = kNull;
+    if (c.tail == kNull) c.head = j; else wnext_[c.tail] = j;
+    c.tail = j;
+    ++size_;
+  }
+
+  void erase(std::size_t j) {
+    MPHPC_ASSERT(j < next_.size() && size_ > 0);
+    if (prev_[j] == kNull) head_ = next_[j]; else next_[prev_[j]] = next_[j];
+    if (next_[j] == kNull) tail_ = prev_[j]; else prev_[next_[j]] = prev_[j];
+    Class& c = classes_[cls_[j]];
+    if (wprev_[j] == kNull) c.head = wnext_[j]; else wnext_[wprev_[j]] = wnext_[j];
+    if (wnext_[j] == kNull) c.tail = wprev_[j]; else wprev_[wnext_[j]] = wprev_[j];
+    --size_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t front() const noexcept { return head_; }
+  [[nodiscard]] std::size_t next(std::size_t j) const noexcept { return next_[j]; }
+  [[nodiscard]] std::uint64_t seq(std::size_t j) const noexcept { return seq_[j]; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+  [[nodiscard]] int class_width(std::size_t c) const noexcept {
+    return classes_[c].width;
+  }
+  [[nodiscard]] std::size_t class_head(std::size_t c) const noexcept {
+    return classes_[c].head;
+  }
+  [[nodiscard]] std::size_t wnext(std::size_t j) const noexcept { return wnext_[j]; }
+
+ private:
+  struct Class {
+    int width = 0;
+    std::size_t head = kNull;
+    std::size_t tail = kNull;
+  };
+
+  std::vector<std::size_t> next_, prev_;    // main FCFS list
+  std::vector<std::size_t> wnext_, wprev_;  // per-width-class list
+  std::vector<std::uint64_t> seq_;
+  std::vector<std::size_t> cls_;  // job -> class slot
+  std::vector<Class> classes_;
+  std::size_t head_ = kNull;
+  std::size_t tail_ = kNull;
+  std::size_t size_ = 0;
+  std::uint64_t seq_counter_ = 0;
+};
+
+/// Everything the two engines share: construction contracts, the event
+/// loop skeleton, job start/completion/kill accounting, node-fault
+/// replay, and result finalization. The derived engine supplies only the
+/// event containers and the backfill scan, via CRTP hooks:
+///   init_queues, queue_push_back, queue_empty, push_release, push_kill,
+///   next_kill_time, next_release_time, process_kills, release_pending,
+///   schedule_pass.
+/// Keeping the accounting here (and branching on the *attempt's* policy,
+/// not on global options) is what makes the engines bit-identical — e.g.
+/// a disabled policy must credit (end - start) node-seconds, which is not
+/// bitwise equal to `work` after the now + work round trip.
+template <typename Derived>
+class EngineBase {
+ public:
+  EngineBase(const std::vector<Job>& jobs, const std::vector<Machine>& machines,
+             MachineAssigner& assigner, const FaultTrace& faults,
+             const SchedulerOptions& options)
       : jobs_(jobs),
         assigner_(assigner),
         faults_(faults),
         checkpoint_(options.checkpoint),
+        planner_(options.planner),
         depth_limit_(options.backfill_depth == 0 ? std::numeric_limits<int>::max()
                                                  : options.backfill_depth),
         view_(machines, free_nodes_) {
@@ -109,20 +227,26 @@ class SimEngine {
     // One pass over the job list lets order-memoizing assigners cache
     // each job's machine preference before any scheduling decision.
     assigner_.prime(jobs_);
+    if (planner_ != nullptr) {
+      int total = 0;
+      for (const auto& s : state_) total += s.total;
+      planner_->begin(total);
+    }
     result_.outcomes.resize(jobs_.size());
     attempts_.assign(jobs_.size(), 0);
     saved_fraction_.assign(jobs_.size(), 0.0);
     running_ref_.resize(jobs_.size());
+    self().init_queues();
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
       if (jobs_[i].submit_s <= 0.0) {
-        queue_.push_back(i);
+        self().queue_push_back(i);
       } else {
-        pending_.emplace(jobs_[i].submit_s, i);
+        self().push_release(jobs_[i].submit_s, i);
       }
     }
 
     double now = 0.0;
-    schedule_pass(now);
+    self().schedule_pass(now);
     while (finalized_ < jobs_.size()) {
       const double next = next_event_time();
       // Repairs are paired with failures, so capacity (and thus progress)
@@ -130,40 +254,52 @@ class SimEngine {
       MPHPC_ASSERT(next != kNoEvent);
       now = next;
       process_completions(now);
-      process_kills(now);
+      self().process_kills(now);
       process_node_events(now);
-      release_pending(now);
-      schedule_pass(now);
+      self().release_pending(now);
+      self().schedule_pass(now);
     }
+    MPHPC_ENSURES(self().queue_empty());
     finalize_result();
     return std::move(result_);
   }
 
- private:
+ protected:
+  [[nodiscard]] Derived& self() noexcept { return static_cast<Derived&>(*this); }
+  [[nodiscard]] const Derived& self() const noexcept {
+    return static_cast<const Derived&>(*this);
+  }
+
   void start_job(std::size_t job_index, arch::SystemId m, double now) {
     const Job& job = jobs_[job_index];
     const auto mi = static_cast<std::size_t>(m);
     auto& s = state_[mi];
     const double runtime = job.runtime[mi];
     MPHPC_EXPECTS(runtime > 0.0 && s.free >= job.nodes_required);
+    const CheckpointPolicy policy =
+        planner_ != nullptr ? planner_->policy_for(job, now) : checkpoint_;
+    MPHPC_ASSERT(policy.interval_s >= 0.0 && policy.overhead_s >= 0.0);
     // A resumed attempt only redoes the work past its last checkpoint.
     // Progress is tracked as a fraction of the job so a retry assigned to
     // a *different* machine (different runtime) resumes proportionally.
     // Checkpoints never land exactly at completion, so the saved fraction
-    // is strictly below 1 and `work` stays positive. Disabled policy:
-    // work == runtime, duration == work with the same bits — the
-    // restart-from-zero arithmetic is untouched.
-    const double work = checkpoint_.enabled()
+    // is strictly below 1 and `work` stays positive. With no policy and no
+    // saved progress: work == runtime with the same bits — the
+    // restart-from-zero arithmetic is untouched. (The saved-fraction
+    // disjunct matters under a planner that disables checkpointing for a
+    // later attempt of a job with durable progress: that progress must
+    // still be honoured.)
+    const double work = policy.enabled() || saved_fraction_[job_index] > 0.0
                             ? runtime * (1.0 - saved_fraction_[job_index])
                             : runtime;
     MPHPC_ASSERT(work > 0.0);
-    const double duration = checkpoint_.attempt_duration(work);
+    const double duration = policy.attempt_duration(work);
     s.free -= job.nodes_required;
     free_nodes_[mi] = s.free;
     const int attempt = ++attempts_[job_index];
     const auto it = s.running.emplace(
         now + duration,
-        RunningJob{job_index, job.nodes_required, now, now + duration, work});
+        RunningJob{job_index, job.nodes_required, now, now + duration, work, policy});
     running_ref_[job_index] = {true, mi, it};
     result_.outcomes[job_index] = {m, now, now + duration, job.submit_s, attempt, false};
     if (faults_.kill_probability > 0.0) {
@@ -173,13 +309,224 @@ class SimEngine {
                           static_cast<std::uint64_t>(job.id),
                           static_cast<std::uint64_t>(attempt)));
       if (rng.bernoulli(faults_.kill_probability)) {
-        kills_.emplace(now + rng.uniform() * duration, job_index, attempt);
+        self().push_kill(now + rng.uniform() * duration, job_index, attempt);
       }
     }
     ++started_count_;
   }
 
-  // One scheduling pass at time `now` (Algorithm 1 body).
+  [[nodiscard]] double next_event_time() const {
+    double next = kNoEvent;
+    for (const auto& s : state_) next = std::min(next, s.next_completion());
+    next = std::min(next, self().next_kill_time());
+    if (trace_pos_ < faults_.events.size()) {
+      next = std::min(next, faults_.events[trace_pos_].time_s);
+    }
+    next = std::min(next, self().next_release_time());
+    return next;
+  }
+
+  void process_completions(double now) {
+    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
+      auto& s = state_[mi];
+      while (!s.running.empty() && s.running.begin()->first <= now) {
+        const RunningJob rj = s.running.begin()->second;
+        s.free += rj.nodes;
+        s.running.erase(s.running.begin());
+        running_ref_[rj.job].active = false;
+        if (rj.policy.enabled()) {
+          // Split the occupied span into committed work and checkpoint
+          // overhead so utilization counts real progress only.
+          const long long written = rj.policy.checkpoints_during(rj.work);
+          result_.node_seconds[mi] += rj.work * static_cast<double>(rj.nodes);
+          result_.checkpoint_overhead_node_seconds[mi] +=
+              static_cast<double>(written) * rj.policy.overhead_s *
+              static_cast<double>(rj.nodes);
+          result_.checkpoints_written += written;
+        } else {
+          result_.node_seconds[mi] += (rj.end - rj.start) * static_cast<double>(rj.nodes);
+        }
+        ++result_.completed_jobs;
+        ++finalized_;
+      }
+      free_nodes_[mi] = s.free;
+    }
+  }
+
+  /// Kills the running attempt of `job_index` at time `t`, returning its
+  /// nodes to the free pool and either resubmitting the job with backoff
+  /// or abandoning it once the retry budget is spent.
+  void kill_running_job(std::size_t job_index, double t) {
+    RunningRef& ref = running_ref_[job_index];
+    MPHPC_ASSERT(ref.active);
+    auto& s = state_[ref.machine];
+    const RunningJob rj = ref.where->second;
+    if (rj.policy.enabled()) {
+      const auto account = rj.policy.account_kill(t - rj.start, rj.work);
+      saved_fraction_[job_index] +=
+          account.saved_work_s / jobs_[job_index].runtime[ref.machine];
+      const auto nodes = static_cast<double>(rj.nodes);
+      result_.recovered_node_seconds[ref.machine] += account.saved_work_s * nodes;
+      result_.lost_node_seconds[ref.machine] += account.lost_work_s * nodes;
+      result_.checkpoint_overhead_node_seconds[ref.machine] +=
+          account.overhead_paid_s * nodes;
+      result_.checkpoints_written += account.checkpoints;
+    } else {
+      result_.lost_node_seconds[ref.machine] +=
+          (t - rj.start) * static_cast<double>(rj.nodes);
+    }
+    s.running.erase(ref.where);
+    ref.active = false;
+    s.free += rj.nodes;
+    free_nodes_[ref.machine] = s.free;
+    ++result_.jobs_killed;
+
+    JobOutcome& outcome = result_.outcomes[job_index];
+    outcome.end_s = t;
+    if (attempts_[job_index] >= faults_.retry.max_attempts) {
+      outcome.abandoned = true;
+      ++result_.abandoned_jobs;
+      ++finalized_;
+      return;
+    }
+    Rng rng(derive_seed(faults_.seed, "retry-jitter",
+                        static_cast<std::uint64_t>(jobs_[job_index].id),
+                        static_cast<std::uint64_t>(attempts_[job_index])));
+    const double delay = faults_.retry.delay_s(attempts_[job_index], rng.uniform());
+    self().push_release(t + delay, job_index);
+    ++result_.total_retries;
+  }
+
+  void process_node_events(double now) {
+    while (trace_pos_ < faults_.events.size() &&
+           faults_.events[trace_pos_].time_s <= now) {
+      const NodeEvent& event = faults_.events[trace_pos_++];
+      const auto mi = static_cast<std::size_t>(event.machine);
+      auto& s = state_[mi];
+      if (event.delta < 0) {
+        if (s.free == 0) {
+          if (s.running.empty()) continue;  // machine already fully down
+          // No idle node to take: the failure lands on an allocated one.
+          // Kill the latest-finishing attempt (it has the least work to
+          // lose per remaining second); its nodes return to the pool.
+          kill_running_job(std::prev(s.running.end())->second.job, event.time_s);
+        }
+        MPHPC_ASSERT(s.free > 0);
+        // Adaptive planners learn the failure rate online, strictly in
+        // simulated-time order. Dropped events (machine fully down and
+        // idle) are never observed — they removed no capacity.
+        if (planner_ != nullptr) planner_->observe_node_failure(event.time_s);
+        s.settle_downtime(event.time_s);
+        ++s.down;
+        --s.free;
+      } else {
+        MPHPC_ASSERT(s.down > 0);
+        s.settle_downtime(event.time_s);
+        --s.down;
+        ++s.free;
+      }
+      free_nodes_[mi] = s.free;
+    }
+  }
+
+  void finalize_result() {
+    std::size_t completed = 0;
+    for (const JobOutcome& o : result_.outcomes) {
+      // Job state-machine invariant: submitted -> started -> finalized, so
+      // every outcome runs forward in time on a real machine (an abandoned
+      // attempt may be killed the instant it starts).
+      MPHPC_ENSURES(o.start_s >= 0.0 &&
+                    (o.abandoned ? o.end_s >= o.start_s : o.end_s > o.start_s));
+      result_.makespan_s = std::max(result_.makespan_s, o.end_s);
+      if (!o.abandoned) {
+        result_.avg_wait_s += o.wait_s();
+        ++completed;
+      }
+    }
+    result_.avg_wait_s /= static_cast<double>(completed == 0 ? 1 : completed);
+    result_.avg_bounded_slowdown = average_bounded_slowdown(result_.outcomes);
+    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
+      auto& s = state_[mi];
+      if (result_.makespan_s > s.down_last_change) {
+        s.settle_downtime(result_.makespan_s);
+      }
+      result_.downtime_node_seconds[mi] = s.down_node_seconds;
+    }
+    MPHPC_ENSURES(result_.completed_jobs + result_.abandoned_jobs == jobs_.size());
+  }
+
+  const std::vector<Job>& jobs_;
+  MachineAssigner& assigner_;
+  const FaultTrace& faults_;
+  const CheckpointPolicy checkpoint_;
+  CheckpointPlanner* const planner_;
+  const int depth_limit_;
+
+  std::array<MachineState, arch::kNumSystems> state_{};
+  std::array<int, arch::kNumSystems> free_nodes_{};
+  const ClusterView view_;
+
+  std::vector<int> attempts_;
+  /// Per-job fraction of total progress durably checkpointed across
+  /// killed attempts; the next attempt on machine m resumes with
+  /// runtime[m] * (1 - saved_fraction_) of work remaining (a fraction,
+  /// not seconds, so resuming on a different machine scales correctly).
+  std::vector<double> saved_fraction_;
+  std::vector<RunningRef> running_ref_;
+  std::size_t trace_pos_ = 0;
+  std::size_t started_count_ = 0;
+  std::size_t finalized_ = 0;
+  SimulationResult result_;
+};
+
+/// The original binary-heap + std::list engine, kept verbatim as the
+/// golden oracle for the calendar engine (SimEngineKind::kReference).
+/// Every queue operation and backfill visit matches the pre-calendar
+/// implementation exactly; equivalence tests pin the calendar engine's
+/// results to this one bit-for-bit.
+class ReferenceEngine final : public EngineBase<ReferenceEngine> {
+  friend class EngineBase<ReferenceEngine>;
+
+ public:
+  using EngineBase<ReferenceEngine>::EngineBase;
+
+ private:
+  void init_queues() {}
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  void queue_push_back(std::size_t i) { queue_.push_back(i); }
+  void push_release(double t, std::size_t i) { pending_.emplace(t, i); }
+  void push_kill(double t, std::size_t i, int attempt) {
+    kills_.emplace(t, i, attempt);
+  }
+  [[nodiscard]] double next_kill_time() const {
+    return kills_.empty() ? kNoEvent : std::get<0>(kills_.top());
+  }
+  [[nodiscard]] double next_release_time() const {
+    return pending_.empty() ? kNoEvent : pending_.top().first;
+  }
+
+  void process_kills(double now) {
+    while (!kills_.empty() && std::get<0>(kills_.top()) <= now) {
+      const auto [t, job_index, attempt] = kills_.top();
+      kills_.pop();
+      // Stale entries: the attempt already completed, or was killed first
+      // by a node failure (possibly restarted since).
+      if (!running_ref_[job_index].active || attempts_[job_index] != attempt) continue;
+      kill_running_job(job_index, t);
+    }
+  }
+
+  void release_pending(double now) {
+    while (!pending_.empty() && pending_.top().first <= now) {
+      // Resubmissions join the back of the FCFS queue: a killed job loses
+      // its queue position, as in production schedulers.
+      queue_.push_back(pending_.top().second);
+      pending_.pop();
+    }
+  }
+
+  // One scheduling pass at time `now` (Algorithm 1 body), with the
+  // original full linear rescan of the queue.
   void schedule_pass(double now) {
     while (!queue_.empty()) {
       const std::size_t head = queue_.front();
@@ -236,173 +583,6 @@ class SimEngine {
     }
   }
 
-  [[nodiscard]] double next_event_time() const {
-    double next = kNoEvent;
-    for (const auto& s : state_) next = std::min(next, s.next_completion());
-    if (!kills_.empty()) next = std::min(next, std::get<0>(kills_.top()));
-    if (trace_pos_ < faults_.events.size()) {
-      next = std::min(next, faults_.events[trace_pos_].time_s);
-    }
-    if (!pending_.empty()) next = std::min(next, pending_.top().first);
-    return next;
-  }
-
-  void process_completions(double now) {
-    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
-      auto& s = state_[mi];
-      while (!s.running.empty() && s.running.begin()->first <= now) {
-        const RunningJob rj = s.running.begin()->second;
-        s.free += rj.nodes;
-        s.running.erase(s.running.begin());
-        running_ref_[rj.job].active = false;
-        if (checkpoint_.enabled()) {
-          // Split the occupied span into committed work and checkpoint
-          // overhead so utilization counts real progress only.
-          const long long written = checkpoint_.checkpoints_during(rj.work);
-          result_.node_seconds[mi] += rj.work * static_cast<double>(rj.nodes);
-          result_.checkpoint_overhead_node_seconds[mi] +=
-              static_cast<double>(written) * checkpoint_.overhead_s *
-              static_cast<double>(rj.nodes);
-          result_.checkpoints_written += written;
-        } else {
-          result_.node_seconds[mi] += (rj.end - rj.start) * static_cast<double>(rj.nodes);
-        }
-        ++result_.completed_jobs;
-        ++finalized_;
-      }
-      free_nodes_[mi] = s.free;
-    }
-  }
-
-  /// Kills the running attempt of `job_index` at time `t`, returning its
-  /// nodes to the free pool and either resubmitting the job with backoff
-  /// or abandoning it once the retry budget is spent.
-  void kill_running_job(std::size_t job_index, double t) {
-    RunningRef& ref = running_ref_[job_index];
-    MPHPC_ASSERT(ref.active);
-    auto& s = state_[ref.machine];
-    const RunningJob rj = ref.where->second;
-    if (checkpoint_.enabled()) {
-      const auto account = checkpoint_.account_kill(t - rj.start, rj.work);
-      saved_fraction_[job_index] +=
-          account.saved_work_s / jobs_[job_index].runtime[ref.machine];
-      const auto nodes = static_cast<double>(rj.nodes);
-      result_.recovered_node_seconds[ref.machine] += account.saved_work_s * nodes;
-      result_.lost_node_seconds[ref.machine] += account.lost_work_s * nodes;
-      result_.checkpoint_overhead_node_seconds[ref.machine] +=
-          account.overhead_paid_s * nodes;
-      result_.checkpoints_written += account.checkpoints;
-    } else {
-      result_.lost_node_seconds[ref.machine] +=
-          (t - rj.start) * static_cast<double>(rj.nodes);
-    }
-    s.running.erase(ref.where);
-    ref.active = false;
-    s.free += rj.nodes;
-    free_nodes_[ref.machine] = s.free;
-    ++result_.jobs_killed;
-
-    JobOutcome& outcome = result_.outcomes[job_index];
-    outcome.end_s = t;
-    if (attempts_[job_index] >= faults_.retry.max_attempts) {
-      outcome.abandoned = true;
-      ++result_.abandoned_jobs;
-      ++finalized_;
-      return;
-    }
-    Rng rng(derive_seed(faults_.seed, "retry-jitter",
-                        static_cast<std::uint64_t>(jobs_[job_index].id),
-                        static_cast<std::uint64_t>(attempts_[job_index])));
-    const double delay = faults_.retry.delay_s(attempts_[job_index], rng.uniform());
-    pending_.emplace(t + delay, job_index);
-    ++result_.total_retries;
-  }
-
-  void process_kills(double now) {
-    while (!kills_.empty() && std::get<0>(kills_.top()) <= now) {
-      const auto [t, job_index, attempt] = kills_.top();
-      kills_.pop();
-      // Stale entries: the attempt already completed, or was killed first
-      // by a node failure (possibly restarted since).
-      if (!running_ref_[job_index].active || attempts_[job_index] != attempt) continue;
-      kill_running_job(job_index, t);
-    }
-  }
-
-  void process_node_events(double now) {
-    while (trace_pos_ < faults_.events.size() &&
-           faults_.events[trace_pos_].time_s <= now) {
-      const NodeEvent& event = faults_.events[trace_pos_++];
-      const auto mi = static_cast<std::size_t>(event.machine);
-      auto& s = state_[mi];
-      if (event.delta < 0) {
-        if (s.free == 0) {
-          if (s.running.empty()) continue;  // machine already fully down
-          // No idle node to take: the failure lands on an allocated one.
-          // Kill the latest-finishing attempt (it has the least work to
-          // lose per remaining second); its nodes return to the pool.
-          kill_running_job(std::prev(s.running.end())->second.job, event.time_s);
-        }
-        MPHPC_ASSERT(s.free > 0);
-        s.settle_downtime(event.time_s);
-        ++s.down;
-        --s.free;
-      } else {
-        MPHPC_ASSERT(s.down > 0);
-        s.settle_downtime(event.time_s);
-        --s.down;
-        ++s.free;
-      }
-      free_nodes_[mi] = s.free;
-    }
-  }
-
-  void release_pending(double now) {
-    while (!pending_.empty() && pending_.top().first <= now) {
-      // Resubmissions join the back of the FCFS queue: a killed job loses
-      // its queue position, as in production schedulers.
-      queue_.push_back(pending_.top().second);
-      pending_.pop();
-    }
-  }
-
-  void finalize_result() {
-    MPHPC_ENSURES(queue_.empty());
-    std::size_t completed = 0;
-    for (const JobOutcome& o : result_.outcomes) {
-      // Job state-machine invariant: submitted -> started -> finalized, so
-      // every outcome runs forward in time on a real machine (an abandoned
-      // attempt may be killed the instant it starts).
-      MPHPC_ENSURES(o.start_s >= 0.0 &&
-                    (o.abandoned ? o.end_s >= o.start_s : o.end_s > o.start_s));
-      result_.makespan_s = std::max(result_.makespan_s, o.end_s);
-      if (!o.abandoned) {
-        result_.avg_wait_s += o.wait_s();
-        ++completed;
-      }
-    }
-    result_.avg_wait_s /= static_cast<double>(completed == 0 ? 1 : completed);
-    result_.avg_bounded_slowdown = average_bounded_slowdown(result_.outcomes);
-    for (std::size_t mi = 0; mi < state_.size(); ++mi) {
-      auto& s = state_[mi];
-      if (result_.makespan_s > s.down_last_change) {
-        s.settle_downtime(result_.makespan_s);
-      }
-      result_.downtime_node_seconds[mi] = s.down_node_seconds;
-    }
-    MPHPC_ENSURES(result_.completed_jobs + result_.abandoned_jobs == jobs_.size());
-  }
-
-  const std::vector<Job>& jobs_;
-  MachineAssigner& assigner_;
-  const FaultTrace& faults_;
-  const CheckpointPolicy checkpoint_;
-  const int depth_limit_;
-
-  std::array<MachineState, arch::kNumSystems> state_{};
-  std::array<int, arch::kNumSystems> free_nodes_{};
-  const ClusterView view_;
-
   std::list<std::size_t> queue_;
   /// (release time, job) resubmissions and deferred submits, time-ordered;
   /// ties release in job-index order for determinism.
@@ -416,17 +596,220 @@ class SimEngine {
                       std::vector<std::tuple<double, std::size_t, int>>,
                       std::greater<>>
       kills_;
-  std::vector<int> attempts_;
-  /// Per-job fraction of total progress durably checkpointed across
-  /// killed attempts; the next attempt on machine m resumes with
-  /// runtime[m] * (1 - saved_fraction_) of work remaining (a fraction,
-  /// not seconds, so resuming on a different machine scales correctly).
-  std::vector<double> saved_fraction_;
-  std::vector<RunningRef> running_ref_;
-  std::size_t trace_pos_ = 0;
-  std::size_t started_count_ = 0;
-  std::size_t finalized_ = 0;
-  SimulationResult result_;
+};
+
+/// The production engine (SimEngineKind::kCalendar): calendar queues for
+/// releases and kills, and a width-indexed FCFS queue so backfill skips
+/// whole job-size classes that cannot start anywhere. With a stateless
+/// assigner the indexed scan provably starts the same jobs as the full
+/// rescan (a skipped candidate would only ever be assigned and rejected);
+/// stateful assigners (Random, User+RR, guarded fallback) keep the full
+/// scan so their internal state advances call-for-call identically.
+class CalendarEngine final : public EngineBase<CalendarEngine> {
+  friend class EngineBase<CalendarEngine>;
+
+ public:
+  using EngineBase<CalendarEngine>::EngineBase;
+
+ private:
+  void init_queues() {
+    queue_.init(jobs_);
+    // Must be read after prime(): GuardedModelBasedAssigner only knows
+    // whether every job takes the pure model path once primed.
+    indexed_ = assigner_.stateless_assign();
+  }
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  void queue_push_back(std::size_t i) { queue_.push_back(i); }
+  void push_release(double t, std::size_t i) {
+    pending_.push({t, kReleaseEvent, static_cast<std::uint64_t>(i), 0});
+  }
+  void push_kill(double t, std::size_t i, int attempt) {
+    kills_.push({t, kKillEvent, static_cast<std::uint64_t>(i),
+                 static_cast<std::uint64_t>(attempt)});
+  }
+  [[nodiscard]] double next_kill_time() const { return kills_.next_time(); }
+  [[nodiscard]] double next_release_time() const { return pending_.next_time(); }
+
+  void process_kills(double now) {
+    while (!kills_.empty() && kills_.next_time() <= now) {
+      const SimEvent e = kills_.pop_front();
+      const auto job_index = static_cast<std::size_t>(e.seq);
+      const int attempt = static_cast<int>(e.sub);
+      // Stale entries: the attempt already completed, or was killed first
+      // by a node failure (possibly restarted since).
+      if (!running_ref_[job_index].active || attempts_[job_index] != attempt) continue;
+      kill_running_job(job_index, e.time_s);
+    }
+  }
+
+  void release_pending(double now) {
+    while (!pending_.empty() && pending_.next_time() <= now) {
+      // Resubmissions join the back of the FCFS queue: a killed job loses
+      // its queue position, as in production schedulers.
+      queue_.push_back(static_cast<std::size_t>(pending_.pop_front().seq));
+    }
+  }
+
+  void schedule_pass(double now) {
+    if (indexed_) {
+      schedule_pass_indexed(now);
+    } else {
+      schedule_pass_scan(now);
+    }
+  }
+
+  /// Full-rescan pass over the intrusive queue — candidate visits, assign
+  /// calls, and depth counting all match ReferenceEngine::schedule_pass
+  /// one-for-one (required for stateful assigners).
+  void schedule_pass_scan(double now) {
+    while (!queue_.empty()) {
+      const std::size_t head = queue_.front();
+      const arch::SystemId m = assigner_.assign(jobs_[head], started_count_, view_);
+      const auto mi = static_cast<std::size_t>(m);
+      if (state_[mi].free >= jobs_[head].nodes_required) {
+        start_job(head, m, now);
+        queue_.erase(head);
+        continue;
+      }
+
+      const auto [shadow_time, projected_free] =
+          state_[mi].earliest_fit(now, jobs_[head].nodes_required);
+      int shadow_spare = projected_free - jobs_[head].nodes_required;
+
+      int max_free = 0;
+      for (const auto& s : state_) max_free = std::max(max_free, s.free);
+      if (max_free == 0) break;
+
+      int scanned = 0;
+      for (std::size_t it = queue_.next(head);
+           it != FcfsQueue::kNull && scanned < depth_limit_; ++scanned) {
+        const std::size_t cand = it;
+        it = queue_.next(it);  // advance before a possible erase
+        const Job& job = jobs_[cand];
+        const arch::SystemId cm = assigner_.assign(job, started_count_, view_);
+        const auto ci = static_cast<std::size_t>(cm);
+        if (state_[ci].free < job.nodes_required) continue;
+        if (cm != m) {
+          start_job(cand, cm, now);
+          queue_.erase(cand);
+          continue;
+        }
+        // Same machine as the reservation: must not delay the head.
+        const double end = now + job.runtime[ci];
+        if (end <= shadow_time) {
+          start_job(cand, cm, now);
+          queue_.erase(cand);
+        } else if (shadow_spare >= job.nodes_required) {
+          shadow_spare -= job.nodes_required;
+          start_job(cand, cm, now);
+          queue_.erase(cand);
+        }
+      }
+      break;  // head stays blocked until the next event
+    }
+  }
+
+  /// Indexed pass: merges the per-width sublists by FCFS sequence number,
+  /// visiting only candidates whose size class can still start on *some*
+  /// machine. For a stateless assigner this starts exactly the jobs the
+  /// full rescan would: every skipped candidate would have been assigned
+  /// and then rejected by the per-machine free check (free <= max_free <
+  /// nodes_required), a no-op for a pure assign(). The per-pass work is
+  /// O(classes) per examined candidate instead of O(queue length) total.
+  void schedule_pass_indexed(double now) {
+    while (!queue_.empty()) {
+      const std::size_t head = queue_.front();
+      const arch::SystemId m = assigner_.assign(jobs_[head], started_count_, view_);
+      const auto mi = static_cast<std::size_t>(m);
+      if (state_[mi].free >= jobs_[head].nodes_required) {
+        start_job(head, m, now);
+        queue_.erase(head);
+        continue;
+      }
+
+      const auto [shadow_time, projected_free] =
+          state_[mi].earliest_fit(now, jobs_[head].nodes_required);
+      int shadow_spare = projected_free - jobs_[head].nodes_required;
+
+      int max_free = 0;
+      for (const auto& s : state_) max_free = std::max(max_free, s.free);
+      if (max_free == 0) break;
+
+      // One cursor per size class that can still start somewhere. The head
+      // is the front of its class (lowest live sequence number overall),
+      // so skipping it once at cursor setup suffices.
+      cursors_.clear();
+      for (std::size_t c = 0; c < queue_.num_classes(); ++c) {
+        if (queue_.class_width(c) > max_free) continue;
+        std::size_t at = queue_.class_head(c);
+        if (at == head) at = queue_.wnext(at);
+        if (at != FcfsQueue::kNull) cursors_.push_back({c, at});
+      }
+
+      int scanned = 0;
+      while (scanned < depth_limit_) {
+        // Free capacity only shrinks within a pass: drop classes the pool
+        // can no longer start, then take the lowest-sequence candidate.
+        std::size_t keep = 0;
+        for (std::size_t k = 0; k < cursors_.size(); ++k) {
+          if (queue_.class_width(cursors_[k].cls) <= max_free) {
+            cursors_[keep++] = cursors_[k];
+          }
+        }
+        cursors_.resize(keep);
+        if (cursors_.empty()) break;
+        std::size_t best = 0;
+        for (std::size_t k = 1; k < cursors_.size(); ++k) {
+          if (queue_.seq(cursors_[k].at) < queue_.seq(cursors_[best].at)) best = k;
+        }
+        const std::size_t cand = cursors_[best].at;
+        const std::size_t nxt = queue_.wnext(cand);
+        if (nxt == FcfsQueue::kNull) {
+          cursors_[best] = cursors_.back();
+          cursors_.pop_back();
+        } else {
+          cursors_[best].at = nxt;
+        }
+        ++scanned;
+
+        const Job& job = jobs_[cand];
+        const arch::SystemId cm = assigner_.assign(job, started_count_, view_);
+        const auto ci = static_cast<std::size_t>(cm);
+        if (state_[ci].free < job.nodes_required) continue;
+        bool started = false;
+        if (cm != m) {
+          started = true;
+        } else {
+          // Same machine as the reservation: must not delay the head.
+          const double end = now + job.runtime[ci];
+          if (end <= shadow_time) {
+            started = true;
+          } else if (shadow_spare >= job.nodes_required) {
+            shadow_spare -= job.nodes_required;
+            started = true;
+          }
+        }
+        if (!started) continue;
+        start_job(cand, cm, now);
+        queue_.erase(cand);
+        max_free = 0;
+        for (const auto& s : state_) max_free = std::max(max_free, s.free);
+        if (max_free == 0) break;
+      }
+      break;  // head stays blocked until the next event
+    }
+  }
+
+  struct Cursor {
+    std::size_t cls = 0;
+    std::size_t at = 0;
+  };
+
+  FcfsQueue queue_;
+  CalendarQueue pending_;
+  CalendarQueue kills_;
+  std::vector<Cursor> cursors_;  // scratch, reused across passes
+  bool indexed_ = false;
 };
 
 }  // namespace
@@ -441,7 +824,11 @@ SimulationResult simulate(const std::vector<Job>& jobs,
                           const std::vector<Machine>& machines,
                           MachineAssigner& assigner, const FaultTrace& faults,
                           const SchedulerOptions& options) {
-  SimEngine engine(jobs, machines, assigner, faults, options);
+  if (options.engine == SimEngineKind::kReference) {
+    ReferenceEngine engine(jobs, machines, assigner, faults, options);
+    return engine.run();
+  }
+  CalendarEngine engine(jobs, machines, assigner, faults, options);
   return engine.run();
 }
 

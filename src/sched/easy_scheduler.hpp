@@ -34,14 +34,36 @@
 
 namespace mphpc::sched {
 
+/// Which event-engine implementation simulate() runs.
+///
+/// kCalendar is the production engine: calendar/bucket event queues with
+/// an explicit (time, kind, seq) total order, a width-indexed FCFS queue
+/// so backfill skips job-size classes that cannot start anywhere, and
+/// O(1)-amortised event handling — built for 10^6-job traces.
+/// kReference preserves the original binary-heap + linear-rescan engine
+/// as the golden oracle: both engines produce bit-identical
+/// SimulationResults (golden-tested), kReference just does more work.
+enum class SimEngineKind { kCalendar, kReference };
+
 struct SchedulerOptions {
   /// Maximum queued jobs examined per backfill pass. The paper's
   /// Algorithm 1 scans the whole queue; production schedulers often cap
   /// the scan. 0 means unlimited (the default, matching the paper).
+  /// With a stateless assigner (MachineAssigner::stateless_assign) the
+  /// calendar engine only examines — and only counts — candidates that
+  /// could start on some machine; stateful assigners see every candidate
+  /// so their internal state advances exactly as in a full scan.
   int backfill_depth = 0;
   /// Per-job checkpoint/restart policy. The default (interval 0) keeps
   /// the restart-from-zero behaviour bit-identically.
   CheckpointPolicy checkpoint{};
+  /// Optional per-attempt policy source (per-app tiers, adaptive
+  /// Young/Daly, ...). When set it overrides `checkpoint`. The planner is
+  /// mutated during the run (it observes failures in simulated-time
+  /// order), so pass a fresh instance per simulate() call and never share
+  /// one across concurrent simulations.
+  CheckpointPlanner* planner = nullptr;
+  SimEngineKind engine = SimEngineKind::kCalendar;
 };
 
 struct SimulationResult {

@@ -1,0 +1,158 @@
+#include "sched/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace mphpc::sched {
+
+namespace {
+
+constexpr double kNoEvent = std::numeric_limits<double>::infinity();
+constexpr std::size_t kMinBuckets = 16;
+// Largest time/width quotient mapped exactly (stays well inside the
+// 2^53 double-integer range so year arithmetic in find_min is exact).
+constexpr double kMaxExactSlot = 4.0e15;
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+std::size_t CalendarQueue::bucket_of(double time_s) const noexcept {
+  const double q = time_s / width_;
+  if (q >= kMaxExactSlot) {
+    // Beyond the exactly-representable slot range: park deterministically;
+    // find_min() reaches such events through its direct-scan fallback.
+    return static_cast<std::size_t>(
+        std::fmod(q, static_cast<double>(buckets_.size())));
+  }
+  return static_cast<std::size_t>(static_cast<std::uint64_t>(q) %
+                                  buckets_.size());
+}
+
+void CalendarQueue::push(const SimEvent& event) {
+  MPHPC_EXPECTS(std::isfinite(event.time_s) && event.time_s >= 0.0);
+  // Monotonicity: the engine never schedules an event before the current
+  // simulated time, which is at least the last popped event's time.
+  MPHPC_EXPECTS(event.time_s >= floor_);
+  buckets_[bucket_of(event.time_s)].push_back(event);
+  ++size_;
+  min_valid_ = false;
+  if (size_ > 2 * buckets_.size()) rebuild(2 * buckets_.size());
+}
+
+double CalendarQueue::next_time() const {
+  if (!find_min()) return kNoEvent;
+  return buckets_[min_bucket_][min_pos_].time_s;
+}
+
+SimEvent CalendarQueue::pop_front() {
+  MPHPC_EXPECTS(size_ > 0);
+  const bool found = find_min();
+  MPHPC_ASSERT(found);
+  auto& bucket = buckets_[min_bucket_];
+  const SimEvent event = bucket[min_pos_];
+  // Swap-remove: order within a bucket is irrelevant, the comparator is a
+  // total order so the minimum is position-independent.
+  bucket[min_pos_] = bucket.back();
+  bucket.pop_back();
+  --size_;
+  min_valid_ = false;
+  floor_ = event.time_s;
+  // Shrink once a drained-down table would make the forward scan pay for
+  // mostly-empty buckets.
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8) {
+    rebuild(std::max(kMinBuckets, 2 * size_));
+  }
+  return event;
+}
+
+bool CalendarQueue::find_min() const {
+  if (size_ == 0) return false;
+  if (min_valid_) return true;
+
+  // Forward scan from the floor's bucket, one width-window per bucket.
+  // floor(time / width) is monotone in time (correctly-rounded division),
+  // so windows are visited in non-decreasing event-time order and the
+  // first window with a qualifying event holds the global minimum. The
+  // half-width slack on the window top absorbs division rounding at the
+  // boundary without admitting next-year events (a year is >= 16 widths).
+  const double base_q = floor_ / width_;
+  if (base_q < kMaxExactSlot) {
+    const auto base = static_cast<std::uint64_t>(base_q);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>((base + i) % buckets_.size());
+      const auto& bucket = buckets_[b];
+      if (bucket.empty()) continue;
+      const double window_top =
+          (static_cast<double>(base + i) + 1.5) * width_;
+      std::size_t best = bucket.size();
+      for (std::size_t p = 0; p < bucket.size(); ++p) {
+        if (bucket[p].time_s >= window_top) continue;  // a later year
+        if (best == bucket.size() || event_before(bucket[p], bucket[best])) {
+          best = p;
+        }
+      }
+      if (best != bucket.size()) {
+        min_bucket_ = b;
+        min_pos_ = best;
+        min_valid_ = true;
+        return true;
+      }
+    }
+  }
+
+  // Degenerate distribution (all events far beyond one calendar year):
+  // fall back to a direct scan. Rare by construction — rebuild() sizes the
+  // year to cover the live span — and still deterministic.
+  std::size_t best_bucket = buckets_.size();
+  std::size_t best_pos = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (std::size_t p = 0; p < buckets_[b].size(); ++p) {
+      if (best_bucket == buckets_.size() ||
+          event_before(buckets_[b][p], buckets_[best_bucket][best_pos])) {
+        best_bucket = b;
+        best_pos = p;
+      }
+    }
+  }
+  MPHPC_ASSERT(best_bucket != buckets_.size());
+  min_bucket_ = best_bucket;
+  min_pos_ = best_pos;
+  min_valid_ = true;
+  return true;
+}
+
+void CalendarQueue::rebuild(std::size_t target_buckets) {
+  std::vector<SimEvent> events;
+  events.reserve(size_);
+  for (auto& bucket : buckets_) {
+    events.insert(events.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  // Width estimate: three average inter-event gaps per bucket keeps the
+  // expected bucket occupancy small while the whole live span fits inside
+  // one calendar year (buckets ~ 2 * size, so year ~ 6 * span).
+  if (events.size() >= 2) {
+    double lo = events.front().time_s;
+    double hi = lo;
+    for (const SimEvent& e : events) {
+      lo = std::min(lo, e.time_s);
+      hi = std::max(hi, e.time_s);
+    }
+    const double span = hi - lo;
+    if (span > 0.0) {
+      // Keep every live event's slot inside the exact mapping range.
+      width_ = std::max(3.0 * span / static_cast<double>(events.size()),
+                        hi / kMaxExactSlot);
+    }
+  }
+  buckets_.assign(std::max(target_buckets, kMinBuckets), {});
+  for (const SimEvent& e : events) buckets_[bucket_of(e.time_s)].push_back(e);
+  min_valid_ = false;
+}
+
+}  // namespace mphpc::sched

@@ -1,0 +1,91 @@
+// Calendar (bucket) event queue for the scheduling simulation.
+//
+// The event loop in easy_scheduler.cpp is monotone: it always drains the
+// globally earliest event, and every new event lands at or after the
+// current simulated time. A binary heap pays O(log n) per operation and,
+// worse, leaves equal-time ordering to insertion order. This queue is the
+// classic calendar queue (R. Brown, CACM 1988) specialised for that
+// monotone access pattern — O(1) amortised push/pop under the usual
+// event-density assumptions — with a fully explicit total order on events:
+//
+//   (time_s, kind, seq, sub)
+//
+// so ties at equal timestamps are deterministic by construction, never a
+// heap-layout accident. The engine keys `seq` by job index and `sub` by
+// attempt number; `kind` separates event classes when one queue carries
+// more than one (kills order before releases at equal times, matching the
+// event loop's processing order).
+//
+// Events are hashed into `buckets` of `width` simulated seconds each; the
+// bucket array wraps around ("years"). Pop scans forward from the last
+// popped time, one bucket-window at a time; pushes that outgrow the table
+// trigger a rebuild with a width re-estimated from the live event span, so
+// both a 10^6-event submission front and a trickle of retry events keep
+// near-constant cost. Correctness never depends on the width estimate —
+// a full-table fallback scan handles any degenerate distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mphpc::sched {
+
+/// One queued simulation event, ordered by (time_s, kind, seq, sub).
+struct SimEvent {
+  double time_s = 0.0;
+  std::uint32_t kind = 0;  ///< event class; lower drains first at equal times
+  std::uint64_t seq = 0;   ///< primary tie-break (the engine uses job index)
+  std::uint64_t sub = 0;   ///< secondary tie-break (the engine uses attempt)
+};
+
+/// Strict total order over distinct events: (time_s, kind, seq, sub).
+[[nodiscard]] constexpr bool event_before(const SimEvent& a,
+                                          const SimEvent& b) noexcept {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.sub < b.sub;
+}
+
+/// Monotone calendar queue. Pushes must not predate the last popped event
+/// (MPHPC_EXPECTS-checked); pops always return the least event under
+/// event_before. Deterministic: the pop sequence depends only on the set
+/// of pushed events, never on bucket geometry or insertion order.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  void push(const SimEvent& event);
+
+  /// Time of the earliest queued event, or +infinity when empty.
+  [[nodiscard]] double next_time() const;
+
+  /// Removes and returns the least event. The queue must not be empty.
+  SimEvent pop_front();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  /// Bucket index for an event time under the current geometry.
+  [[nodiscard]] std::size_t bucket_of(double time_s) const noexcept;
+  /// Locates the least event (cached between const calls); returns false
+  /// when empty.
+  bool find_min() const;
+  /// Re-buckets every event into `target_buckets` buckets with a width
+  /// re-estimated from the live span.
+  void rebuild(std::size_t target_buckets);
+
+  std::vector<std::vector<SimEvent>> buckets_;
+  double width_ = 1.0;
+  double floor_ = 0.0;  ///< time of the last popped event (monotone)
+  std::size_t size_ = 0;
+
+  // Cached location of the minimum, so next_time() + pop_front() pairs
+  // scan the calendar once. Invalidated by push and rebuild.
+  mutable bool min_valid_ = false;
+  mutable std::size_t min_bucket_ = 0;
+  mutable std::size_t min_pos_ = 0;
+};
+
+}  // namespace mphpc::sched

@@ -87,13 +87,19 @@ FaultTrace FaultModel::generate(const std::vector<Machine>& machines,
     }
   }
 
-  // Deterministic global order: time, then downs before ups, then machine.
-  std::sort(trace.events.begin(), trace.events.end(),
-            [](const NodeEvent& a, const NodeEvent& b) {
-              if (a.time_s != b.time_s) return a.time_s < b.time_s;
-              if (a.delta != b.delta) return a.delta < b.delta;
-              return a.machine < b.machine;
-            });
+  // Deterministic global order — the (time, kind, seq) discipline of the
+  // event queue: time, then downs before ups (kind), then machine (seq).
+  // Two same-machine events can still collide on all three keys (two
+  // repairs computing the identical up time), so the sort must be STABLE:
+  // generation order then breaks the tie, making the trace a pure function
+  // of (rates, machines, horizon, seed) rather than of the sort
+  // implementation's behaviour on equal elements.
+  std::stable_sort(trace.events.begin(), trace.events.end(),
+                   [](const NodeEvent& a, const NodeEvent& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     if (a.delta != b.delta) return a.delta < b.delta;
+                     return a.machine < b.machine;
+                   });
   return trace;
 }
 

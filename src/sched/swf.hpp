@@ -1,0 +1,89 @@
+// Standard Workload Format (SWF) trace reader.
+//
+// SWF is the interchange format of the Parallel Workloads Archive: a
+// header of `;`-prefixed directives followed by one job per line with 18
+// whitespace-separated numeric fields (job number, submit, wait, run
+// time, allocated processors, ..., status, ...). parse_swf() reads the
+// format strictly — a truncated or non-numeric job line is a hard error
+// diagnosed with its origin and line number, never silently skipped —
+// while unknown header directives are preserved verbatim (the archive
+// uses many).
+//
+// jobs_from_swf() maps a parsed trace onto the simulation's Job model:
+// each SWF job keeps its own submit time, node count (allocated
+// processors / procs_per_node, clamped to the cluster) and runtime, and
+// borrows the *cross-architecture shape* of a sampled dataset row — the
+// row's four per-system runtimes are rescaled so the traced system's
+// runtime equals the SWF run time exactly. The row's relative
+// performance vector is preserved bit-for-bit, so model-based placement
+// behaves as it would for the dataset app, at trace-realistic scale.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "sched/job.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::sched {
+
+/// One SWF job line (the fields the simulation consumes; the remaining
+/// fields are validated as numeric and discarded).
+struct SwfJob {
+  long long job_number = 0;  ///< field 1
+  double submit_s = 0.0;     ///< field 2
+  double run_s = 0.0;        ///< field 4 (-1 = unknown)
+  int procs = 0;             ///< field 5, allocated (-1 = unknown)
+  int requested_procs = 0;   ///< field 8 (-1 = unknown)
+  int status = 0;            ///< field 11
+};
+
+/// A parsed SWF file: header directives in file order plus the job lines.
+struct SwfTrace {
+  std::vector<std::pair<std::string, std::string>> directives;
+  std::vector<SwfJob> jobs;
+};
+
+/// Parses SWF text. `origin` names the source in diagnostics (a path, or
+/// "<string>" in tests); malformed job lines throw std::runtime_error
+/// formatted "origin:line: message". An empty stream yields an empty
+/// trace.
+[[nodiscard]] SwfTrace parse_swf(std::istream& in, const std::string& origin);
+
+/// Reads and parses an SWF file; throws std::runtime_error when the file
+/// cannot be opened.
+[[nodiscard]] SwfTrace read_swf_file(const std::string& path);
+
+/// How jobs_from_swf maps SWF processor counts and runtimes onto the
+/// simulated cluster.
+struct SwfMapOptions {
+  int procs_per_node = 36;  ///< trace processors folded into one node
+  int max_nodes = 2;        ///< clamp: widest job the cluster accepts
+  /// The system the traced runtimes are taken to have run on; the sampled
+  /// dataset row is rescaled so this system's runtime equals run_s.
+  arch::SystemId traced_system = arch::SystemId::kQuartz;
+  std::uint64_t seed = 0;  ///< row-sampling stream
+};
+
+/// Jobs dropped by the mapping (and why), for reporting.
+struct SwfMapStats {
+  std::size_t mapped = 0;
+  std::size_t skipped_no_runtime = 0;  ///< run_s <= 0 (cancelled/unknown)
+  std::size_t skipped_no_procs = 0;    ///< neither procs field positive
+};
+
+/// Maps a parsed trace onto simulation jobs (see file comment). Jobs are
+/// emitted in trace order with dense sequential ids; rows are drawn from
+/// a stream seeded by options.seed. `stats`, when non-null, receives the
+/// mapping tally.
+[[nodiscard]] std::vector<Job> jobs_from_swf(const SwfTrace& trace,
+                                             const core::Dataset& dataset,
+                                             const workload::AppCatalog& apps,
+                                             const SwfMapOptions& options,
+                                             SwfMapStats* stats = nullptr);
+
+}  // namespace mphpc::sched

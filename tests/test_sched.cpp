@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <set>
 
 #include "arch/system_catalog.hpp"
 #include "common/error.hpp"
@@ -12,6 +14,7 @@
 #include "sched/assigners.hpp"
 #include "sched/checkpoint.hpp"
 #include "sched/easy_scheduler.hpp"
+#include "sched/event_queue.hpp"
 #include "sched/faults.hpp"
 #include "sched/machine.hpp"
 
@@ -960,6 +963,399 @@ TEST(RetryPolicy, BackoffIsCappedAndJittered) {
   EXPECT_DOUBLE_EQ(policy.delay_s(1, 0.5), 10.0);  // midpoint
   EXPECT_GT(policy.delay_s(1, 0.999), 14.9);       // approx +50 %
   EXPECT_THROW(policy.delay_s(0, 0.5), mphpc::ContractViolation);
+}
+
+// ------------------------------------------------- calendar event queue ----
+
+struct EventOrder {
+  bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
+    return event_before(a, b);
+  }
+};
+
+TEST(CalendarQueue, EmptyQueueReportsInfiniteNextTime) {
+  CalendarQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), std::numeric_limits<double>::infinity());
+}
+
+void expect_events_equal(const SimEvent& a, const SimEvent& b) {
+  EXPECT_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.sub, b.sub);
+}
+
+TEST(CalendarQueue, PopsMatchReferenceOrderUnderMonotoneChurn) {
+  // Interleaved pushes and pops against a sorted-multiset oracle, with
+  // pushes constrained to never predate the last pop (the engine's
+  // monotone access pattern). Duplicate timestamps are forced often so
+  // the (time, kind, seq, sub) tie-break is exercised, not just times.
+  CalendarQueue queue;
+  std::multiset<SimEvent, EventOrder> oracle;
+  Rng rng(404);
+  double now = 0.0;
+  for (int step = 0; step < 20'000; ++step) {
+    if (oracle.empty() || rng.bernoulli(0.55)) {
+      SimEvent event;
+      // Quantized offsets make exact-time collisions common.
+      event.time_s = now + static_cast<double>(rng.below(64)) * 0.25;
+      event.kind = static_cast<std::uint32_t>(rng.below(2));
+      event.seq = rng.below(16);
+      event.sub = rng.below(4);
+      queue.push(event);
+      oracle.insert(event);
+    } else {
+      ASSERT_EQ(queue.next_time(), oracle.begin()->time_s);
+      const SimEvent popped = queue.pop_front();
+      expect_events_equal(popped, *oracle.begin());
+      oracle.erase(oracle.begin());
+      now = popped.time_s;
+    }
+    ASSERT_EQ(queue.size(), oracle.size());
+  }
+  while (!oracle.empty()) {
+    expect_events_equal(queue.pop_front(), *oracle.begin());
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, PopOrderIsIndependentOfInsertionOrder) {
+  // The same event set pushed forwards and backwards must drain in the
+  // identical sequence: ordering is the explicit total order, never a
+  // bucket-layout or insertion-order accident.
+  std::vector<SimEvent> events;
+  Rng rng(7);
+  for (int i = 0; i < 2'000; ++i) {
+    events.push_back({static_cast<double>(rng.below(50)),
+                      static_cast<std::uint32_t>(rng.below(2)), rng.below(8),
+                      rng.below(3)});
+  }
+  CalendarQueue forward;
+  CalendarQueue backward;
+  for (const SimEvent& e : events) forward.push(e);
+  for (auto it = events.rbegin(); it != events.rend(); ++it) backward.push(*it);
+  while (!forward.empty()) {
+    ASSERT_FALSE(backward.empty());
+    expect_events_equal(forward.pop_front(), backward.pop_front());
+  }
+  EXPECT_TRUE(backward.empty());
+}
+
+TEST(CalendarQueue, BurstGrowthThenDrainKeepsOrder) {
+  // A 50k-event burst forces repeated grow rebuilds; the full drain then
+  // forces shrink rebuilds. Order must survive every geometry change.
+  CalendarQueue queue;
+  std::multiset<SimEvent, EventOrder> oracle;
+  Rng rng(11);
+  for (int i = 0; i < 50'000; ++i) {
+    const SimEvent event{rng.uniform() * 1e4, 1,
+                         static_cast<std::uint64_t>(i), 0};
+    queue.push(event);
+    oracle.insert(event);
+  }
+  while (!oracle.empty()) {
+    expect_events_equal(queue.pop_front(), *oracle.begin());
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, DegenerateTimeDistributionsStaySorted) {
+  {
+    // Every event at the same instant: span 0 defeats width estimation;
+    // the tie-break alone must order the drain.
+    CalendarQueue queue;
+    for (std::uint64_t seq = 100; seq-- > 0;) {
+      queue.push({42.0, 1, seq, 0});
+    }
+    for (std::uint64_t seq = 0; seq < 100; ++seq) {
+      const SimEvent event = queue.pop_front();
+      EXPECT_EQ(event.time_s, 42.0);
+      EXPECT_EQ(event.seq, seq);
+    }
+  }
+  {
+    // Huge timestamps near the exact-slot limit plus tiny gaps: the
+    // fmod/full-scan fallbacks must keep exact order.
+    CalendarQueue queue;
+    std::multiset<SimEvent, EventOrder> oracle;
+    Rng rng(13);
+    for (int i = 0; i < 500; ++i) {
+      const SimEvent event{4.0e15 + rng.uniform() * 4.0, 1,
+                           static_cast<std::uint64_t>(i), 0};
+      queue.push(event);
+      oracle.insert(event);
+    }
+    while (!oracle.empty()) {
+      expect_events_equal(queue.pop_front(), *oracle.begin());
+      oracle.erase(oracle.begin());
+    }
+  }
+}
+
+// ---------------------------------------------- engine golden equivalence ----
+
+/// Runs the same simulation through the calendar and reference engines
+/// with independently constructed assigners and requires bit-identical
+/// results.
+template <typename MakeAssigner>
+void expect_engines_identical(const std::vector<Job>& jobs,
+                              const std::vector<Machine>& machines,
+                              const FaultTrace& trace, SchedulerOptions options,
+                              MakeAssigner make_assigner) {
+  auto calendar_assigner = make_assigner();
+  auto reference_assigner = make_assigner();
+  options.engine = SimEngineKind::kCalendar;
+  const auto calendar =
+      simulate(jobs, machines, calendar_assigner, trace, options);
+  options.engine = SimEngineKind::kReference;
+  const auto reference =
+      simulate(jobs, machines, reference_assigner, trace, options);
+  expect_results_identical(calendar, reference);
+}
+
+TEST(EngineGolden, AllAssignersIdenticalUnderFaultsAndCheckpoints) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(1'500, 17);
+  const auto model = FaultModel::uniform(2000.0, 400.0, 0.05, {}, 23);
+  const auto trace = model.generate(machines, 50'000.0);
+  ASSERT_TRUE(trace.enabled());
+  SchedulerOptions options;
+  options.checkpoint = {40.0, 2.0};
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return RoundRobinAssigner(); });
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return RandomAssigner(9); });
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return UserRoundRobinAssigner(); });
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return ModelBasedAssigner(); });
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return OracleAssigner(); });
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return GuardedModelBasedAssigner(); });
+}
+
+TEST(EngineGolden, BoundedDepthIdenticalForStatefulAssigners) {
+  // With a stateful assigner both engines take the full-scan backfill
+  // path, so a bounded depth must count candidates identically.
+  // (Stateless assigners use the indexed path, whose depth accounting
+  // intentionally differs — see SchedulerOptions::backfill_depth.)
+  const auto machines = tiny_cluster();
+  const auto jobs = random_workload(800, 29);
+  const auto model = FaultModel::uniform(3000.0, 500.0, 0.08, {}, 41);
+  const auto trace = model.generate(machines, 80'000.0);
+  for (const int depth : {1, 3, 16}) {
+    SchedulerOptions options;
+    options.backfill_depth = depth;
+    expect_engines_identical(jobs, machines, trace, options,
+                             [] { return RandomAssigner(31); });
+    expect_engines_identical(jobs, machines, trace, options,
+                             [] { return UserRoundRobinAssigner(); });
+  }
+}
+
+TEST(EngineGolden, GuardedFallbackPathIdentical) {
+  // Implausible predictions force GuardedModelBasedAssigner off its pure
+  // path (stateless_assign() false after prime), so the calendar engine
+  // must fall back to the legacy full-scan backfill and still match.
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  auto jobs = random_workload(800, 5);
+  for (std::size_t i = 0; i < jobs.size(); i += 7) {
+    jobs[i].predicted =
+        core::Rpv({std::numeric_limits<double>::quiet_NaN(), 1.0, 1.0, 1.0});
+  }
+  const auto model = FaultModel::uniform(2500.0, 400.0, 0.05, {}, 59);
+  const auto trace = model.generate(machines, 60'000.0);
+  SchedulerOptions options;
+  options.backfill_depth = 3;
+  expect_engines_identical(jobs, machines, trace, options,
+                           [] { return GuardedModelBasedAssigner(); });
+}
+
+TEST(EngineGolden, CollidingTimestampsResolveInJobIndexOrder) {
+  // Two jobs killed by two simultaneous node failures retry with zero
+  // jitter, producing two release events at the *identical* timestamp.
+  // The (time, kind, seq) order requires job 0 to re-queue ahead of job 1,
+  // observable because only one node is back when scheduling resumes.
+  const auto machines = tiny_cluster();  // quartz: 2 nodes
+  class QuartzOnly final : public MachineAssigner {
+   public:
+    arch::SystemId assign(const Job&, std::size_t, const ClusterView&) override {
+      return SystemId::kQuartz;
+    }
+    std::string name() const override { return "quartz-only"; }
+  };
+
+  FaultTrace trace;
+  trace.events = {{10.0, SystemId::kQuartz, -1},
+                  {10.0, SystemId::kQuartz, -1},
+                  {50.0, SystemId::kQuartz, +1},
+                  {80.0, SystemId::kQuartz, +1}};
+  trace.retry = {/*max_attempts=*/4, /*base_delay_s=*/5.0, /*multiplier=*/2.0,
+                 /*max_delay_s=*/3600.0, /*jitter=*/0.0};
+
+  const std::vector<Job> jobs = {make_job(0, 100, 100, 100, 100),
+                                 make_job(1, 100, 100, 100, 100)};
+  SchedulerOptions options;
+  for (const auto engine : {SimEngineKind::kCalendar, SimEngineKind::kReference}) {
+    options.engine = engine;
+    QuartzOnly assigner;
+    const auto result = simulate(jobs, machines, assigner, trace, options);
+    EXPECT_EQ(result.jobs_killed, 2);
+    EXPECT_EQ(result.total_retries, 2);
+    EXPECT_EQ(result.completed_jobs, 2u);
+    // Both retries release at exactly t = 15; the seq tie-break hands the
+    // single repaired node at t = 50 to job 0, the t = 80 node to job 1.
+    EXPECT_DOUBLE_EQ(result.outcomes[0].start_s, 50.0);
+    EXPECT_DOUBLE_EQ(result.outcomes[0].end_s, 150.0);
+    EXPECT_DOUBLE_EQ(result.outcomes[1].start_s, 80.0);
+    EXPECT_DOUBLE_EQ(result.outcomes[1].end_s, 180.0);
+    EXPECT_DOUBLE_EQ(result.makespan_s, 180.0);
+  }
+  expect_engines_identical(jobs, machines, trace, SchedulerOptions{},
+                           [] { return QuartzOnly(); });
+}
+
+// -------------------------------------------------- checkpoint planners ----
+
+TEST(CheckpointPlanner, PerAppUniformPolicyMatchesFixedPolicyBitIdentically) {
+  // When every job shares one app, a per-app planner naming that app must
+  // reproduce the fixed-policy run exactly — and the planner must win
+  // over an options.checkpoint it overrides.
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(400, 61);  // every job is "TestApp"
+  const auto model = FaultModel::uniform(2000.0, 400.0, 0.1, {}, 67);
+  const auto trace = model.generate(machines, 50'000.0);
+  // Interval well under the 1-30 s runtimes so attempts actually write.
+  const CheckpointPolicy policy{5.0, 0.5};
+
+  SchedulerOptions fixed;
+  fixed.checkpoint = policy;
+  RoundRobinAssigner a1;
+  const auto fixed_run = simulate(jobs, machines, a1, trace, fixed);
+  EXPECT_GT(fixed_run.checkpoints_written, 0);
+
+  PerAppCheckpointPlanner planner({});
+  planner.set("TestApp", policy);
+  SchedulerOptions planned;
+  planned.planner = &planner;
+  planned.checkpoint = {999.0, 9.0};  // must be ignored: planner wins
+  RoundRobinAssigner a2;
+  const auto planned_run = simulate(jobs, machines, a2, trace, planned);
+  expect_results_identical(fixed_run, planned_run);
+}
+
+TEST(CheckpointPlanner, PerAppPolicyForUnknownAppIsDisabledRun) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(300, 71);
+  const auto model = FaultModel::uniform(2000.0, 400.0, 0.1, {}, 73);
+  const auto trace = model.generate(machines, 50'000.0);
+
+  RoundRobinAssigner a1;
+  const auto plain = simulate(jobs, machines, a1, trace);
+
+  PerAppCheckpointPlanner planner({});  // disabled fallback
+  planner.set("NoSuchApp", {30.0, 2.0});
+  SchedulerOptions options;
+  options.planner = &planner;
+  RoundRobinAssigner a2;
+  const auto planned = simulate(jobs, machines, a2, trace, options);
+  expect_results_identical(plain, planned);
+  EXPECT_EQ(planned.checkpoints_written, 0);
+}
+
+TEST(AdaptiveYoungDaly, EstimateBlendsPriorAndObservedFailures) {
+  const Job job = make_job(0, 10, 10, 10, 10);
+  {
+    // No prior, no observations: nothing suggests failures happen, so
+    // checkpointing stays off.
+    AdaptiveYoungDalyPlanner planner(10.0, /*prior_mtbf_s=*/0.0);
+    planner.begin(4);
+    EXPECT_TRUE(std::isinf(planner.estimated_mtbf_s(100.0)));
+    EXPECT_FALSE(planner.policy_for(job, 100.0).enabled());
+
+    // Two failures over 4 nodes x 100 s of node-time: MTBF = 400 / 2.
+    planner.observe_node_failure(50.0);
+    planner.observe_node_failure(80.0);
+    EXPECT_EQ(planner.observed_failures(), 2);
+    EXPECT_DOUBLE_EQ(planner.estimated_mtbf_s(100.0), 200.0);
+    const auto policy = planner.policy_for(job, 100.0);
+    EXPECT_DOUBLE_EQ(policy.interval_s, young_daly_interval(10.0, 200.0));
+    EXPECT_DOUBLE_EQ(policy.overhead_s, 10.0);
+  }
+  {
+    // A prior acts as prior_weight pseudo-failures at the prior MTBF.
+    AdaptiveYoungDalyPlanner planner(10.0, /*prior_mtbf_s=*/1000.0,
+                                     /*prior_weight=*/4.0);
+    planner.begin(4);
+    EXPECT_DOUBLE_EQ(planner.estimated_mtbf_s(0.0), 1000.0);
+    planner.observe_node_failure(0.0);
+    // (4 nodes x 500 s + 4 x 1000) / (1 + 4) = 1200.
+    EXPECT_DOUBLE_EQ(planner.estimated_mtbf_s(500.0), 1200.0);
+  }
+  {
+    // Zero overhead disables checkpointing regardless of the estimate.
+    AdaptiveYoungDalyPlanner planner(0.0, 1000.0);
+    planner.begin(4);
+    EXPECT_FALSE(planner.policy_for(job, 100.0).enabled());
+  }
+}
+
+TEST(AdaptiveYoungDaly, SimulationIsDeterministicAndEngineIdentical) {
+  const auto machines = tiny_cluster(3, 3, 3, 3);
+  const auto jobs = random_workload(400, 81);
+  const auto model = FaultModel::uniform(1500.0, 400.0, 0.1, {}, 83);
+  const auto trace = model.generate(machines, 80'000.0);
+
+  const auto run = [&](SimEngineKind engine) {
+    // Small overhead keeps the Young/Daly interval (~sqrt(2 C MTBF), MTBF
+    // near 2000 s here) below the 1-30 s runtimes so checkpoints happen.
+    AdaptiveYoungDalyPlanner planner(/*overhead_s=*/0.05,
+                                     /*prior_mtbf_s=*/2000.0);
+    SchedulerOptions options;
+    options.planner = &planner;
+    options.engine = engine;
+    RoundRobinAssigner assigner;
+    auto result = simulate(jobs, machines, assigner, trace, options);
+    EXPECT_GT(planner.observed_failures(), 0);
+    return result;
+  };
+
+  const auto calendar = run(SimEngineKind::kCalendar);
+  const auto calendar_again = run(SimEngineKind::kCalendar);
+  const auto reference = run(SimEngineKind::kReference);
+  expect_results_identical(calendar, calendar_again);
+  expect_results_identical(calendar, reference);
+  EXPECT_GT(calendar.checkpoints_written, 0);
+}
+
+// ------------------------------------------------------- scale (gated) ----
+
+TEST(SchedScale, MillionJobFaultySimulationCompletes) {
+  // The 1M-job scale smoke (the tracked wall-time baseline lives in
+  // results/BENCH_sched.json via `mphpc sched-scale`). Too slow for the
+  // default tier-1 run; opt in with MPHPC_SCHED_SCALE=1.
+  if (std::getenv("MPHPC_SCHED_SCALE") == nullptr) {
+    GTEST_SKIP() << "set MPHPC_SCHED_SCALE=1 to run the 1M-job scale smoke";
+  }
+  const arch::SystemCatalog catalog;
+  const auto machines = default_cluster(catalog);
+  const auto jobs = random_workload(1'000'000, 77);
+  const auto model =
+      FaultModel::uniform(/*node_mtbf_s=*/200.0 * 3600.0,
+                          /*mttr_s=*/2.0 * 3600.0, /*kill_probability=*/0.02,
+                          {}, 7);
+  const auto trace = model.generate(machines, 50'000.0);
+  GuardedModelBasedAssigner assigner;
+  SchedulerOptions options;
+  options.backfill_depth = 1000;
+  const auto result = simulate(jobs, machines, assigner, trace, options);
+  EXPECT_EQ(result.completed_jobs + result.abandoned_jobs, jobs.size());
+  EXPECT_GT(result.jobs_killed, 0);
 }
 
 }  // namespace

@@ -83,7 +83,7 @@ for s in report["strategies"]:
     assert s["completed_jobs"] + s["abandoned_jobs"] == report["config"]["jobs"], \
         f"{s['strategy']}: jobs not reconciled"
 cs = report["checkpoint_strategies"]
-assert [c["policy"] for c in cs] == ["none", "fixed", "optimal"]
+assert [c["policy"] for c in cs] == ["none", "fixed", "optimal", "adaptive"]
 none = cs[0]
 assert none["checkpoints_written"] == 0 and none["recovered_node_seconds"] == 0.0
 guarded = next(s for s in report["strategies"] if "Model-based" in s["strategy"])
@@ -92,6 +92,29 @@ assert none["makespan_h"] == guarded["makespan_h"], \
 assert any(c["recovered_node_seconds"] > 0 for c in cs[1:]), \
     "checkpointing recovered no node-seconds"
 print("sched-faults smoke: ok")
+EOF
+
+# Scheduler scale smoke: the calendar-queue engine must push a 100k-job
+# faulty simulation through end-to-end, the two independent node-second
+# tallies must agree, and the wall time is published for trend-watching
+# (the tracked 1M-job baseline lives in results/BENCH_sched.json).
+echo "==== [dev] scheduler scale smoke (sched-scale, 100k jobs) ===="
+./build-dev/tools/mphpc sched-scale \
+  --jobs 100000 --inputs 2 --node-mtbf-h 50 --mttr-h 1 --kill-prob 0.02 \
+  --seed 7 --out build-dev/sched_scale_smoke.json
+python3 - <<'EOF'
+import json
+report = json.load(open("build-dev/sched_scale_smoke.json"))
+faulty = report["faulty"]
+assert faulty["completed_jobs"] + faulty["abandoned_jobs"] == report["config"]["jobs"], \
+    "jobs not reconciled"
+committed = faulty["node_seconds_total"]
+outcomes = faulty["outcome_node_seconds_total"]
+assert abs(committed - outcomes) <= 1e-6 * max(committed, 1.0), \
+    f"node-seconds not reconciled: engine {committed} vs outcomes {outcomes}"
+assert faulty["jobs_killed"] > 0 and faulty["total_retries"] > 0, \
+    "faulty scale run exercised no kills/retries"
+print(f"sched-scale smoke: ok (100k jobs, faulty wall {faulty['wall_s']:.2f} s)")
 EOF
 
 # Kill-and-resume train smoke: SIGKILL mphpc train mid-fit, resume from

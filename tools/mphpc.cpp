@@ -11,7 +11,11 @@
 //   mphpc sched-faults [--jobs N] [--inputs N] [--node-mtbf-h H] [--mttr-h H]
 //                  [--kill-prob P] [--max-attempts K] [--seed S]
 //                  [--checkpoint-overhead-s C] [--checkpoint-interval-s I]
+//                  [--swf FILE] [--swf-procs-per-node P] [--swf-max-nodes N]
 //                  [--out FILE.json]
+//   mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]
+//                  [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]
+//                  [--max-attempts K] [--seed S] [--out FILE.json]
 //
 // Every command is deterministic for a given set of flags.
 #include <algorithm>
@@ -21,9 +25,11 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/system_catalog.hpp"
 #include "common/atomic_file.hpp"
@@ -39,6 +45,7 @@
 #include "data/split.hpp"
 #include "sched/easy_scheduler.hpp"
 #include "sched/faults.hpp"
+#include "sched/swf.hpp"
 #include "sched/workload_gen.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
@@ -286,7 +293,9 @@ double sum_over_machines(const std::array<double, arch::kNumSystems>& values) {
 /// the guarded model-based assigner. "none" IS the headline faulty run
 /// (a zero-interval policy is bit-identical to no policy, so rerunning
 /// would be wasted work); "fixed" uses --checkpoint-interval-s; "optimal"
-/// uses the Young/Daly interval derived from the trace MTBF.
+/// uses the Young/Daly interval derived from the trace MTBF; "adaptive"
+/// re-estimates the MTBF online from observed failures (no prior) and
+/// hands each attempt the Young/Daly interval for the current estimate.
 void report_checkpoint_comparison(const std::vector<sched::Job>& jobs,
                                   const std::vector<sched::Machine>& machines,
                                   const sched::FaultTrace& trace,
@@ -302,10 +311,18 @@ void report_checkpoint_comparison(const std::vector<sched::Job>& jobs,
   ckpt_runs.push_back({"none", {}, std::move(no_checkpoint)});
   ckpt_runs.push_back({"fixed", {fixed_interval_s, overhead_s}, {}});
   ckpt_runs.push_back({"optimal", {optimal_interval_s, overhead_s}, {}});
+  ckpt_runs.push_back({"adaptive", {}, {}});
   for (std::size_t c = 1; c < ckpt_runs.size(); ++c) {
     sched::GuardedModelBasedAssigner assigner;
     sched::SchedulerOptions options;
-    options.checkpoint = ckpt_runs[c].checkpoint;
+    // Fresh planner per simulation: it accumulates the failures it
+    // observes and must never be shared across runs.
+    sched::AdaptiveYoungDalyPlanner adaptive(overhead_s, /*prior_mtbf_s=*/0.0);
+    if (ckpt_runs[c].policy == "adaptive") {
+      options.planner = &adaptive;
+    } else {
+      options.checkpoint = ckpt_runs[c].checkpoint;
+    }
     ckpt_runs[c].result = sched::simulate(jobs, machines, assigner, trace, options);
   }
 
@@ -334,7 +351,10 @@ void report_checkpoint_comparison(const std::vector<sched::Job>& jobs,
     json.field("checkpoint_overhead_node_seconds", overhead);
     json.field("checkpoints_written", result.checkpoints_written);
     json.end_object();
-    ckpt_table.add_row({entry.policy, format_fixed(entry.checkpoint.interval_s, 0),
+    ckpt_table.add_row({entry.policy,
+                        entry.policy == "adaptive"
+                            ? std::string("online")
+                            : format_fixed(entry.checkpoint.interval_s, 0),
                         format_fixed(result.makespan_s / 3600.0, 3),
                         format_fixed(lost / 3600.0, 1),
                         format_fixed(recovered / 3600.0, 1),
@@ -346,6 +366,42 @@ void report_checkpoint_comparison(const std::vector<sched::Job>& jobs,
   ckpt_table.print();
 }
 
+/// Workload for cmd_sched_faults: either a replayed SWF trace (submit
+/// times, node counts and runtimes from the trace, cross-architecture
+/// runtime shape from sampled dataset rows — predictions are the rows'
+/// true RPVs, so no model training is needed) or the classic
+/// model-predicted sample of the dataset.
+std::vector<sched::Job> load_faults_workload(
+    const Args& args, const core::Dataset& dataset,
+    const workload::AppCatalog& apps,
+    const std::vector<sched::Machine>& machines) {
+  if (!args.has("swf")) {
+    const auto predictor = train_predictor(dataset, args);
+    const auto predictions = predictor.predict(dataset.features());
+    return sched::sample_jobs(
+        dataset, predictions, apps,
+        static_cast<std::size_t>(args.get_int("jobs", 10000)), 7);
+  }
+  const auto trace = sched::read_swf_file(args.get("swf", ""));
+  sched::SwfMapOptions map_options;
+  map_options.procs_per_node = args.get_int("swf-procs-per-node", 36);
+  int min_nodes = std::numeric_limits<int>::max();
+  for (const auto& m : machines) min_nodes = std::min(min_nodes, m.total_nodes);
+  map_options.max_nodes = std::min(args.get_int("swf-max-nodes", 2), min_nodes);
+  map_options.seed = 7;
+  sched::SwfMapStats stats;
+  auto jobs = sched::jobs_from_swf(trace, dataset, apps, map_options, &stats);
+  std::printf(
+      "SWF trace %s: %zu jobs mapped, %zu skipped (no runtime), "
+      "%zu skipped (no processors)\n",
+      args.get("swf", "").c_str(), stats.mapped, stats.skipped_no_runtime,
+      stats.skipped_no_procs);
+  if (jobs.empty()) {
+    throw std::runtime_error("SWF trace mapped to zero usable jobs");
+  }
+  return jobs;
+}
+
 /// Reruns the §VII strategy comparison under fault injection: a fault-free
 /// baseline per strategy fixes the fault-trace horizon, then each strategy
 /// replays the same seeded trace. Emits a JSON report alongside the table.
@@ -353,12 +409,8 @@ int cmd_sched_faults(const Args& args) {
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
   const auto dataset = build_dataset(args);
-  const auto predictor = train_predictor(dataset, args);
-  const auto predictions = predictor.predict(dataset.features());
-  const auto jobs =
-      sched::sample_jobs(dataset, predictions, apps,
-                         static_cast<std::size_t>(args.get_int("jobs", 10000)), 7);
   const auto machines = sched::default_cluster(systems);
+  const auto jobs = load_faults_workload(args, dataset, apps, machines);
 
   const double node_mtbf_h = args.get_double("node-mtbf-h", 200.0);
   const double mttr_h = args.get_double("mttr-h", 2.0);
@@ -481,6 +533,130 @@ int cmd_sched_faults(const Args& args) {
   return 0;
 }
 
+/// Scheduler scale benchmark: streams a large sampled workload (true-RPV
+/// predictions, no model training) through the calendar-queue engine,
+/// fault-free first (sizing the fault horizon) and then under the seeded
+/// fault trace, reporting wall time and a node-seconds reconciliation.
+int cmd_sched_scale(const Args& args) {
+  const workload::AppCatalog apps;
+  const arch::SystemCatalog systems;
+  const auto dataset = build_dataset(args);
+  const auto machines = sched::default_cluster(systems);
+
+  const auto count = static_cast<std::size_t>(args.get_int("jobs", 1000000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const double node_mtbf_h = args.get_double("node-mtbf-h", 200.0);
+  const double mttr_h = args.get_double("mttr-h", 2.0);
+  const double kill_prob = args.get_double("kill-prob", 0.02);
+  // A bounded backfill pass keeps per-event work flat even when the queue
+  // holds most of the trace (production schedulers cap the scan the same
+  // way); 0 restores the unlimited paper setting.
+  sched::SchedulerOptions options;
+  options.backfill_depth = args.get_int("depth", 1000);
+
+  std::printf("sampling %zu jobs...\n", count);
+  sched::WorkloadOptions wopts;
+  wopts.count = count;
+  wopts.seed = seed;
+  wopts.arrival_rate_per_s = args.get_double("arrival-rate", 0.0);
+  std::vector<sched::Job> jobs;
+  jobs.reserve(count);
+  Timer sample_timer;
+  sched::stream_jobs(
+      dataset,
+      [&dataset](std::size_t row) {
+        core::SystemTimes times{};
+        for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+          times[k] = dataset.time_on(row, static_cast<arch::SystemId>(k));
+        }
+        return core::Rpv::relative_to(times, arch::SystemId::kQuartz);
+      },
+      apps, wopts, [&jobs](sched::Job&& job) { jobs.push_back(std::move(job)); });
+  const double sample_s = sample_timer.seconds();
+  std::printf("sampled in %.2f s\n", sample_s);
+
+  sched::GuardedModelBasedAssigner baseline_assigner;
+  Timer baseline_timer;
+  const auto baseline = sched::simulate(jobs, machines, baseline_assigner, options);
+  const double baseline_wall_s = baseline_timer.seconds();
+  std::printf("fault-free: makespan %.1f h, %zu jobs, %.2f s wall\n",
+              baseline.makespan_s / 3600.0, baseline.completed_jobs,
+              baseline_wall_s);
+
+  sched::RetryPolicy retry;
+  retry.max_attempts = args.get_int("max-attempts", retry.max_attempts);
+  const double horizon_s = 4.0 * baseline.makespan_s;
+  const auto model = sched::FaultModel::uniform(node_mtbf_h * 3600.0,
+                                                mttr_h * 3600.0, kill_prob, retry,
+                                                seed);
+  const auto trace = model.generate(machines, horizon_s);
+  std::printf("fault trace: %zu node events over %.1f h horizon\n",
+              trace.events.size(), horizon_s / 3600.0);
+
+  sched::GuardedModelBasedAssigner assigner;
+  Timer faulty_timer;
+  const auto result = sched::simulate(jobs, machines, assigner, trace, options);
+  const double faulty_wall_s = faulty_timer.seconds();
+  std::printf(
+      "faulty: makespan %.1f h, %zu completed, %zu abandoned, %lld kills, "
+      "%lld retries, %.2f s wall\n",
+      result.makespan_s / 3600.0, result.completed_jobs, result.abandoned_jobs,
+      result.jobs_killed, result.total_retries, faulty_wall_s);
+
+  // Reconciliation: with checkpointing disabled, committed node-seconds
+  // are exactly the completed outcomes' occupied spans — two independent
+  // tallies of the same quantity (ci.sh asserts they agree).
+  double outcome_node_seconds = 0.0;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const sched::JobOutcome& o = result.outcomes[i];
+    if (o.abandoned) continue;
+    outcome_node_seconds +=
+        (o.end_s - o.start_s) * static_cast<double>(jobs[i].nodes_required);
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.begin_object("config");
+  json.field("jobs", count);
+  json.field("seed", static_cast<long long>(seed));
+  json.field("backfill_depth", options.backfill_depth);
+  json.field("arrival_rate_per_s", wopts.arrival_rate_per_s);
+  json.field("node_mtbf_h", node_mtbf_h);
+  json.field("mttr_h", mttr_h);
+  json.field("kill_probability", kill_prob);
+  json.field("max_attempts", retry.max_attempts);
+  json.end_object();
+  json.begin_object("baseline");
+  json.field("makespan_h", baseline.makespan_s / 3600.0);
+  json.field("wall_s", baseline_wall_s);
+  json.end_object();
+  json.begin_object("faulty");
+  json.field("wall_s", faulty_wall_s);
+  json.field("sample_wall_s", sample_s);
+  json.field("makespan_h", result.makespan_s / 3600.0);
+  json.field("avg_bounded_slowdown", result.avg_bounded_slowdown);
+  json.field("completed_jobs", result.completed_jobs);
+  json.field("abandoned_jobs", result.abandoned_jobs);
+  json.field("jobs_killed", result.jobs_killed);
+  json.field("total_retries", result.total_retries);
+  json.field("node_events", trace.events.size());
+  json.field("node_seconds_total", sum_over_machines(result.node_seconds));
+  json.field("outcome_node_seconds_total", outcome_node_seconds);
+  json.field("lost_node_seconds_total",
+             sum_over_machines(result.lost_node_seconds));
+  json.field("downtime_node_seconds_total",
+             sum_over_machines(result.downtime_node_seconds));
+  json.end_object();
+  json.end_object();
+
+  const std::string out = args.get("out", "results/sched_scale.json");
+  const auto parent = std::filesystem::path(out).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  atomic_write_text(out, json.str() + "\n");
+  std::printf("report written to %s\n", out.c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
       "mphpc — cross-architecture performance prediction toolkit\n\n"
@@ -497,7 +673,11 @@ void usage() {
       "  mphpc sched-faults [--jobs N] [--node-mtbf-h H] [--mttr-h H]\n"
       "                 [--kill-prob P] [--max-attempts K] [--seed S]\n"
       "                 [--checkpoint-overhead-s C] [--checkpoint-interval-s I]\n"
-      "                 [--out FILE.json]\n");
+      "                 [--swf FILE] [--swf-procs-per-node P] [--swf-max-nodes N]\n"
+      "                 [--out FILE.json]\n"
+      "  mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]\n"
+      "                 [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]\n"
+      "                 [--max-attempts K] [--seed S] [--out FILE.json]\n");
 }
 
 }  // namespace
@@ -516,6 +696,7 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(args);
     if (command == "schedule") return cmd_schedule(args);
     if (command == "sched-faults") return cmd_sched_faults(args);
+    if (command == "sched-scale") return cmd_sched_scale(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
