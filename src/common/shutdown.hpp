@@ -1,0 +1,58 @@
+// Signal-aware shutdown latch for the long-running subcommands.
+//
+// `mphpc serve`, `mphpc train --checkpoint-every`, and `mphpc sched-scale`
+// all run for minutes to hours and own on-disk state (model checkpoints,
+// JSON reports, the serve model store). A SIGINT/SIGTERM must not kill
+// them mid-write: they install this latch once, keep working, and poll
+// `requested()` at their natural flush points (checkpoint boundaries,
+// simulation phases, the serve event loop) to drain and exit cleanly.
+//
+// The handler itself is async-signal-safe: it sets a sig_atomic_t flag
+// and writes one byte into a self-pipe, nothing else. Event loops that
+// block in poll()/read() add `wake_fd()` to their fd set so a signal
+// interrupts the wait immediately instead of on the next request.
+//
+// SIGKILL, by design, cannot be caught — crash safety against it comes
+// from atomic_file writes, not from this latch.
+#pragma once
+
+namespace mphpc {
+
+class ShutdownLatch {
+ public:
+  /// The process-wide latch.
+  [[nodiscard]] static ShutdownLatch& instance();
+
+  /// Installs SIGINT + SIGTERM handlers (idempotent; keeps any prior
+  /// `install()` state). Handlers persist for the process lifetime.
+  void install();
+
+  /// True once a shutdown signal arrived (or `request()` was called).
+  [[nodiscard]] bool requested() const noexcept;
+
+  /// The signal that tripped the latch (0 when not requested).
+  [[nodiscard]] int signal_number() const noexcept;
+
+  /// Conventional exit code for a run interrupted by `sig`: 128 + sig
+  /// (130 for SIGINT, 143 for SIGTERM) — distinct from success (0) and
+  /// from ordinary errors (1, 2), so wrappers can tell "interrupted but
+  /// state flushed" apart from "failed".
+  [[nodiscard]] static int exit_code(int sig) noexcept { return 128 + sig; }
+  [[nodiscard]] int exit_code() const noexcept { return exit_code(signal_number()); }
+
+  /// Readable end of the self-pipe: poll() it alongside I/O fds to wake
+  /// blocking loops the moment a signal lands. -1 before install().
+  [[nodiscard]] int wake_fd() const noexcept;
+
+  /// Trips the latch programmatically (tests and in-process shutdown
+  /// requests take the same drain path as a real signal).
+  void request(int sig) noexcept;
+
+  /// Re-arms the latch (tests only; handlers stay installed).
+  void reset() noexcept;
+
+ private:
+  ShutdownLatch() = default;
+};
+
+}  // namespace mphpc

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/contract.hpp"
 
@@ -38,6 +39,20 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr err = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::run_task_capturing(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    const std::lock_guard lock(mutex_);
+    if (first_exception_ == nullptr) first_exception_ = std::current_exception();
+  }
 }
 
 bool ThreadPool::try_run_one_task() {
@@ -49,7 +64,7 @@ bool ThreadPool::try_run_one_task() {
     queue_.pop();
     ++active_;
   }
-  task();
+  run_task_capturing(task);
   {
     const std::lock_guard lock(mutex_);
     --active_;
@@ -69,7 +84,7 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++active_;
     }
-    task();
+    run_task_capturing(task);
     {
       const std::lock_guard lock(mutex_);
       --active_;
@@ -106,23 +121,39 @@ std::size_t ThreadPool::parallel_chunks(
   // `remaining` is guarded by done_mutex (not an atomic): the last worker
   // must still hold the mutex when the count reaches zero, otherwise a
   // spurious wakeup could let the caller observe zero, return, and destroy
-  // done_mutex/done_cv while that worker is about to lock them.
+  // done_mutex/done_cv while that worker is about to lock them. The same
+  // mutex guards the per-call exception slot: chunk bodies that throw are
+  // captured here (never escaping into a worker) and rethrown to this
+  // caller once every chunk has finished.
   std::size_t remaining = chunks - 1;
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr chunk_exception;
 
   for (std::size_t c = 1; c < chunks; ++c) {
     submit([&, c] {
-      const auto [lo, hi] = bounds(c);
-      body(c, lo, hi);
+      std::exception_ptr err;
+      try {
+        const auto [lo, hi] = bounds(c);
+        body(c, lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
       const std::lock_guard lock(done_mutex);
+      if (err != nullptr && chunk_exception == nullptr) chunk_exception = err;
       if (--remaining == 0) done_cv.notify_one();
     });
   }
 
-  // Calling thread takes chunk 0 to avoid idling.
-  const auto [lo0, hi0] = bounds(0);
-  body(0, lo0, hi0);
+  // Calling thread takes chunk 0 to avoid idling. Its exception must not
+  // unwind yet — workers still reference the locals above.
+  std::exception_ptr caller_exception;
+  try {
+    const auto [lo0, hi0] = bounds(0);
+    body(0, lo0, hi0);
+  } catch (...) {
+    caller_exception = std::current_exception();
+  }
 
   // Help-drain while waiting: when called from inside a pool task, this
   // caller's chunks may sit behind occupied workers — blocking here would
@@ -132,13 +163,19 @@ std::size_t ThreadPool::parallel_chunks(
   for (;;) {
     {
       const std::lock_guard lock(done_mutex);
-      if (remaining == 0) return chunks;
+      if (remaining == 0) break;
     }
     if (try_run_one_task()) continue;
     std::unique_lock lock(done_mutex);
     done_cv.wait(lock, [&] { return remaining == 0; });
-    return chunks;
+    break;
   }
+
+  // All chunks are done; no lock needed to read the slot anymore, but the
+  // acquire via done_mutex above already ordered the stores.
+  if (chunk_exception != nullptr) std::rethrow_exception(chunk_exception);
+  if (caller_exception != nullptr) std::rethrow_exception(caller_exception);
+  return chunks;
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,10 +32,16 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  /// Enqueues a task. A task that throws does not take the process down:
+  /// the first uncaught exception is captured and rethrown to the next
+  /// wait_idle() caller (later ones are dropped — the first failure is
+  /// the diagnosis; the rest are usually its echo).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception any submitted task raised since the
+  /// last wait_idle() (clearing it). parallel_for/parallel_chunks deliver
+  /// their body's exceptions at their own join point instead.
   void wait_idle();
 
   /// Runs body(i) for every i in [begin, end), partitioned into contiguous
@@ -52,6 +59,11 @@ class ThreadPool {
   /// own chunks are outstanding the caller helps drain the shared queue
   /// instead of blocking, so a worker that issues a nested parallel region
   /// cannot deadlock behind occupied workers.
+  ///
+  /// A body that throws (on any chunk, worker or caller) does not
+  /// terminate the process: every chunk still runs to completion or
+  /// failure, then one of the thrown exceptions (the first captured) is
+  /// rethrown here to the submitter. The pool stays usable afterwards.
   std::size_t parallel_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
@@ -67,6 +79,10 @@ class ThreadPool {
   /// progress instead of blocking (nested-parallelism deadlock avoidance).
   bool try_run_one_task();
 
+  /// Runs `task`, capturing an escaping exception into first_exception_
+  /// (first writer wins) instead of letting it unwind into the worker.
+  void run_task_capturing(const std::function<void()>& task);
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
@@ -74,6 +90,10 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a submit()ed task since the last
+  /// wait_idle(); guarded by mutex_. parallel_chunks exceptions use their
+  /// own per-call slot and never land here.
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace mphpc

@@ -46,9 +46,14 @@ std::string train_fingerprint(const ml::GbtOptions& o, std::size_t rows,
   return s;
 }
 
+/// Thrown out of the checkpoint callback to unwind fit_resumable when
+/// TrainCheckpoint::stop asks to end the run. Checkpoints fire between
+/// boosting rounds, with no pool work in flight, so unwinding is safe.
+struct TrainStopped {};
+
 }  // namespace
 
-void CrossArchPredictor::train_checkpointed(const Dataset& dataset,
+bool CrossArchPredictor::train_checkpointed(const Dataset& dataset,
                                             const TrainCheckpoint& ckpt,
                                             std::span<const std::size_t> rows,
                                             ThreadPool* pool) {
@@ -81,15 +86,25 @@ void CrossArchPredictor::train_checkpointed(const Dataset& dataset,
     // correctly or no checkpoint at all — never a torn state.
     atomic_write_text(manifest_path, fingerprint);
   }
-  const ml::GbtRegressor::ProgressFn on_checkpoint = [&](int) { save(ckpt.path); };
-  model_.fit_resumable(x, y, ckpt.every,
-                       ckpt.every > 0 ? on_checkpoint : ml::GbtRegressor::ProgressFn{},
-                       pool);
+  const ml::GbtRegressor::ProgressFn on_checkpoint = [&](int) {
+    save(ckpt.path);
+    if (ckpt.stop && ckpt.stop()) throw TrainStopped{};
+  };
+  try {
+    model_.fit_resumable(
+        x, y, ckpt.every,
+        ckpt.every > 0 ? on_checkpoint : ml::GbtRegressor::ProgressFn{}, pool);
+  } catch (const TrainStopped&) {
+    // Stopped at a checkpoint boundary: the checkpoint just written plus
+    // the manifest resume this exact fit, so both stay on disk.
+    return false;
+  }
   recompile();
 
   std::error_code ec;  // best-effort cleanup; the final model is what matters
   std::filesystem::remove(ckpt.path, ec);
   std::filesystem::remove(manifest_path, ec);
+  return true;
 }
 
 Rpv CrossArchPredictor::predict(const sim::RunProfile& profile) const {
@@ -130,19 +145,22 @@ namespace {
 constexpr std::string_view kSectionMarker = "=== model ===";
 }  // namespace
 
-void CrossArchPredictor::save(const std::string& path) const {
+std::string CrossArchPredictor::serialize_text() const {
   MPHPC_EXPECTS(trained());
   std::string text = pipeline_.serialize();
   text += std::string(kSectionMarker) + "\n";
   text += model_.serialize();
-  ml::save_text(text, path);
+  return text;
 }
 
-CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
-  const std::string text = ml::load_text(path);
+void CrossArchPredictor::save(const std::string& path) const {
+  ml::save_text(serialize_text(), path);
+}
+
+CrossArchPredictor CrossArchPredictor::from_text(std::string_view text) {
   const std::size_t pos = text.find(kSectionMarker);
-  if (pos == std::string::npos) {
-    throw ParseError("predictor file missing section marker: " + path);
+  if (pos == std::string_view::npos) {
+    throw ParseError("predictor text missing section marker");
   }
   CrossArchPredictor predictor;
   predictor.pipeline_ = FeaturePipeline::deserialize(text.substr(0, pos));
@@ -152,12 +170,59 @@ CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
   return predictor;
 }
 
+CrossArchPredictor CrossArchPredictor::load(const std::string& path) {
+  try {
+    return from_text(ml::load_text(path));
+  } catch (const ParseError& e) {
+    throw ParseError(std::string(e.what()) + ": " + path);
+  }
+}
+
+CrossArchPredictor CrossArchPredictor::from_parts(FeaturePipeline pipeline,
+                                                  ml::GbtRegressor model) {
+  MPHPC_EXPECTS(model.fitted());
+  CrossArchPredictor predictor;
+  predictor.pipeline_ = std::move(pipeline);
+  predictor.model_ = std::move(model);
+  predictor.options_.gbt = predictor.model_.options();
+  predictor.recompile();
+  return predictor;
+}
+
+void CrossArchPredictor::warm_refit(const ml::Matrix& x, const ml::Matrix& y,
+                                    int extra_rounds, ThreadPool* pool) {
+  MPHPC_EXPECTS(trained());
+  model_.warm_start_fit(x, y, extra_rounds, pool);
+  options_.gbt = model_.options();
+  recompile();
+}
+
 GuardedPredictor::GuardedPredictor(CrossArchPredictor predictor,
                                    const RpvGuardOptions& bounds)
-    : predictor_(std::move(predictor)), bounds_(bounds) {
+    : bounds_(bounds) {
   MPHPC_EXPECTS(bounds.min_ratio > 0.0 && bounds.min_ratio < bounds.max_ratio);
-  healthy_ = predictor_.trained();
-  if (!healthy_) last_error_ = "predictor is untrained";
+  model_ = std::make_shared<const CrossArchPredictor>(std::move(predictor));
+  if (!model_->trained()) last_error_ = "predictor is untrained";
+}
+
+GuardedPredictor::GuardedPredictor(GuardedPredictor&& other) noexcept
+    : model_(std::move(other.model_)),
+      bounds_(other.bounds_),
+      fallbacks_(other.fallbacks_.load(std::memory_order_relaxed)),
+      forced_degraded_(other.forced_degraded_.load(std::memory_order_relaxed)),
+      last_error_(std::move(other.last_error_)) {}
+
+GuardedPredictor& GuardedPredictor::operator=(GuardedPredictor&& other) noexcept {
+  if (this != &other) {
+    model_ = std::move(other.model_);
+    bounds_ = other.bounds_;
+    fallbacks_.store(other.fallbacks_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    forced_degraded_.store(other.forced_degraded_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    last_error_ = std::move(other.last_error_);
+  }
+  return *this;
 }
 
 GuardedPredictor GuardedPredictor::load(const std::string& path,
@@ -173,46 +238,95 @@ GuardedPredictor GuardedPredictor::load(const std::string& path,
   }
 }
 
+void GuardedPredictor::record_error(const std::string& message) {
+  const std::lock_guard lock(mutex_);
+  last_error_ = message;
+}
+
+std::string GuardedPredictor::last_error() const {
+  const std::lock_guard lock(mutex_);
+  return last_error_;
+}
+
+std::shared_ptr<const CrossArchPredictor> GuardedPredictor::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return model_;
+}
+
+void GuardedPredictor::swap_model(CrossArchPredictor next) {
+  // Build the shared_ptr outside the lock; the swap itself is two pointer
+  // writes, so readers are never blocked behind a model copy.
+  auto fresh = std::make_shared<const CrossArchPredictor>(std::move(next));
+  const bool trained = fresh->trained();
+  const std::lock_guard lock(mutex_);
+  model_ = std::move(fresh);
+  if (trained) {
+    last_error_.clear();
+  } else {
+    last_error_ = "predictor is untrained";
+  }
+}
+
+void GuardedPredictor::set_forced_degraded(bool on, const std::string& reason) {
+  forced_degraded_.store(on, std::memory_order_relaxed);
+  if (on && !reason.empty()) record_error(reason);
+}
+
+bool GuardedPredictor::healthy() const {
+  if (forced_degraded_.load(std::memory_order_relaxed)) return false;
+  const auto model = snapshot();
+  return model != nullptr && model->trained();
+}
+
 Rpv GuardedPredictor::predict(const sim::RunProfile& profile) {
-  if (!healthy_) {
-    ++fallbacks_;
+  const auto model = snapshot();
+  if (model == nullptr || !model->trained() ||
+      forced_degraded_.load(std::memory_order_relaxed)) {
+    bump_fallbacks();
     return neutral_rpv();
   }
   Rpv rpv;
   try {
-    rpv = predictor_.predict(profile);
+    rpv = model->predict(profile);
   } catch (const std::exception& e) {
-    last_error_ = e.what();
-    ++fallbacks_;
+    record_error(e.what());
+    bump_fallbacks();
     return neutral_rpv();
   }
   if (!plausible(rpv)) {
-    last_error_ = "predicted RPV outside plausibility bounds";
-    ++fallbacks_;
+    record_error("predicted RPV outside plausibility bounds");
+    bump_fallbacks();
     return neutral_rpv();
   }
   return rpv;
 }
 
 std::vector<Rpv> GuardedPredictor::predict_rpvs(
-    std::span<const sim::RunProfile> profiles, ThreadPool* pool) {
-  if (!healthy_) {
-    fallbacks_ += static_cast<long long>(profiles.size());
+    std::span<const sim::RunProfile> profiles, ThreadPool* pool,
+    std::vector<std::uint8_t>* fallback_out) {
+  if (fallback_out != nullptr) fallback_out->assign(profiles.size(), 0);
+  const auto model = snapshot();
+  if (model == nullptr || !model->trained() ||
+      forced_degraded_.load(std::memory_order_relaxed)) {
+    bump_fallbacks(static_cast<long long>(profiles.size()));
+    if (fallback_out != nullptr) fallback_out->assign(profiles.size(), 1);
     return std::vector<Rpv>(profiles.size(), neutral_rpv());
   }
   std::vector<Rpv> rpvs;
   try {
-    rpvs = predictor_.predict_rpvs(profiles, pool);
+    rpvs = model->predict_rpvs(profiles, pool);
   } catch (const std::exception& e) {
-    last_error_ = e.what();
-    fallbacks_ += static_cast<long long>(profiles.size());
+    record_error(e.what());
+    bump_fallbacks(static_cast<long long>(profiles.size()));
+    if (fallback_out != nullptr) fallback_out->assign(profiles.size(), 1);
     return std::vector<Rpv>(profiles.size(), neutral_rpv());
   }
-  for (Rpv& rpv : rpvs) {
-    if (!plausible(rpv)) {
-      last_error_ = "predicted RPV outside plausibility bounds";
-      ++fallbacks_;
-      rpv = neutral_rpv();
+  for (std::size_t i = 0; i < rpvs.size(); ++i) {
+    if (!plausible(rpvs[i])) {
+      record_error("predicted RPV outside plausibility bounds");
+      bump_fallbacks();
+      rpvs[i] = neutral_rpv();
+      if (fallback_out != nullptr) (*fallback_out)[i] = 1;
     }
   }
   return rpvs;

@@ -469,6 +469,22 @@ GbtTree build_tree_hist(const BuildContext& ctx, const GbtOptions& opt,
       .build();
 }
 
+/// Per-tree subsampling mask: marks `sampled` of `total` entries drawn
+/// without replacement, or everything when subsampling is off (in which
+/// case the RNG is deliberately not advanced — matching the resume
+/// burn-in, which skips the draw under the same condition).
+void fill_sample_mask(Rng& rng, std::vector<std::uint8_t>& mask,
+                      std::size_t total, std::size_t sampled) {
+  if (sampled < total) {
+    std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+    for (const std::size_t i : sample_without_replacement(rng, total, sampled)) {
+      mask[i] = 1;
+    }
+  } else {
+    std::fill(mask.begin(), mask.end(), std::uint8_t{1});
+  }
+}
+
 /// Gradient/hessian of the objective at residual r = pred - y.
 inline void gradients(GbtObjective objective, double delta, double pred, double y,
                       double& g, double& h) noexcept {
@@ -531,6 +547,22 @@ void GbtRegressor::fit(const Matrix& x, const Matrix& y, ThreadPool* pool) {
 void GbtRegressor::fit_resumable(const Matrix& x, const Matrix& y,
                                  int checkpoint_every,
                                  const ProgressFn& on_checkpoint, ThreadPool* pool) {
+  fit_impl(x, y, checkpoint_every, on_checkpoint, pool, /*warm=*/false);
+}
+
+void GbtRegressor::warm_start_fit(const Matrix& x, const Matrix& y,
+                                  int extra_rounds, ThreadPool* pool) {
+  MPHPC_EXPECTS(fitted());
+  MPHPC_EXPECTS(extra_rounds >= 1);
+  MPHPC_EXPECTS(x.cols() == n_features_ && y.cols() == ensembles_.size());
+  options_.n_rounds = rounds_completed() + extra_rounds;
+  fit_impl(x, y, /*checkpoint_every=*/0, nullptr, pool, /*warm=*/true);
+}
+
+void GbtRegressor::fit_impl(const Matrix& x, const Matrix& y,
+                            int checkpoint_every,
+                            const ProgressFn& on_checkpoint, ThreadPool* pool,
+                            bool warm) {
   MPHPC_EXPECTS(x.rows() == y.rows() && x.rows() > 0 && x.cols() > 0 && y.cols() > 0);
   MPHPC_EXPECTS(options_.n_rounds >= 1 && options_.max_depth >= 1);
   MPHPC_EXPECTS(options_.subsample > 0.0 && options_.subsample <= 1.0);
@@ -568,33 +600,49 @@ void GbtRegressor::fit_resumable(const Matrix& x, const Matrix& y,
 
   const auto init_output = [&](std::size_t k) {
     OutputState& st = states[k];
-    // Base score: mean target of this output (recomputed identically on
-    // resume — the data is the same fit's data).
-    double mean = 0.0;
-    for (std::size_t r = 0; r < n; ++r) mean += y(r, k);
-    mean /= static_cast<double>(n);
-    base_score_[k] = mean;
+    if (!warm) {
+      // Base score: mean target of this output (recomputed identically on
+      // resume — the data is the same fit's data). A warm start keeps the
+      // fitted base score instead: the stored trees were built against it,
+      // and the new window's mean would shift their implicit target.
+      double mean = 0.0;
+      for (std::size_t r = 0; r < n; ++r) mean += y(r, k);
+      mean /= static_cast<double>(n);
+      base_score_[k] = mean;
+    }
 
-    st.pred.assign(n, mean);
+    st.pred.assign(n, base_score_[k]);
     st.g.resize(n);
     st.h.resize(n);
     st.in_sample.resize(n);
     st.in_cols.resize(n_feat);
-    st.rng = Rng(derive_seed(options_.seed, "output", static_cast<std::uint64_t>(k)));
     ensembles_[k].reserve(static_cast<std::size_t>(options_.n_rounds));
 
-    // Resume burn-in: replay the completed rounds' sampling draws so the
-    // RNG stream continues exactly where the interrupted fit stopped,
-    // and rebuild pred by re-adding the checkpointed trees in round
-    // order — the same additions the original fit performed.
-    for (int round = 0; round < start_round; ++round) {
-      if (n_rows_sampled < n) {
-        (void)sample_without_replacement(st.rng, n, n_rows_sampled);
-      }
-      if (n_cols_sampled < n_feat) {
-        (void)sample_without_replacement(st.rng, n_feat, n_cols_sampled);
+    if (warm) {
+      // Fresh stream per (output, generation): the prior rounds' draws
+      // were made against a different window, so replaying them would be
+      // meaningless — keying on start_round keeps every refit generation
+      // deterministic and distinct.
+      st.rng = Rng(derive_seed(options_.seed, "warm",
+                               static_cast<std::uint64_t>(k),
+                               static_cast<std::uint64_t>(start_round)));
+    } else {
+      st.rng = Rng(derive_seed(options_.seed, "output", static_cast<std::uint64_t>(k)));
+      // Resume burn-in: replay the completed rounds' sampling draws so
+      // the RNG stream continues exactly where the interrupted fit
+      // stopped.
+      for (int round = 0; round < start_round; ++round) {
+        if (n_rows_sampled < n) {
+          (void)sample_without_replacement(st.rng, n, n_rows_sampled);
+        }
+        if (n_cols_sampled < n_feat) {
+          (void)sample_without_replacement(st.rng, n_feat, n_cols_sampled);
+        }
       }
     }
+    // Rebuild pred by re-adding the stored trees in round order (resume:
+    // the same additions the original fit performed; warm: the ensemble's
+    // predictions on the new window).
     for (int round = 0; round < start_round; ++round) {
       const GbtTree& tree = ensembles_[k][static_cast<std::size_t>(round)];
       for (std::size_t r = 0; r < n; ++r) st.pred[r] += tree.predict(x.row(r));
@@ -610,26 +658,8 @@ void GbtRegressor::fit_resumable(const Matrix& x, const Matrix& y,
                   st.g[r], st.h[r]);
       }
 
-      // Row subsampling without replacement.
-      if (n_rows_sampled < n) {
-        std::fill(st.in_sample.begin(), st.in_sample.end(), std::uint8_t{0});
-        for (const std::size_t r :
-             sample_without_replacement(st.rng, n, n_rows_sampled)) {
-          st.in_sample[r] = 1;
-        }
-      } else {
-        std::fill(st.in_sample.begin(), st.in_sample.end(), std::uint8_t{1});
-      }
-      // Column subsampling per tree.
-      if (n_cols_sampled < n_feat) {
-        std::fill(st.in_cols.begin(), st.in_cols.end(), std::uint8_t{0});
-        for (const std::size_t f :
-             sample_without_replacement(st.rng, n_feat, n_cols_sampled)) {
-          st.in_cols[f] = 1;
-        }
-      } else {
-        std::fill(st.in_cols.begin(), st.in_cols.end(), std::uint8_t{1});
-      }
+      fill_sample_mask(st.rng, st.in_sample, n, n_rows_sampled);
+      fill_sample_mask(st.rng, st.in_cols, n_feat, n_cols_sampled);
 
       GbtTree tree =
           options_.tree_method == GbtTreeMethod::kHist

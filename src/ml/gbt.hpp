@@ -107,6 +107,18 @@ class GbtRegressor final : public Regressor {
   void fit_resumable(const Matrix& x, const Matrix& y, int checkpoint_every,
                      const ProgressFn& on_checkpoint, ThreadPool* pool = nullptr);
 
+  /// Online warm start: continues boosting an already-fitted model with
+  /// `extra_rounds` more trees per output, trained on a NEW data window
+  /// (any row count; feature/output shapes must match the fitted model).
+  /// Unlike a resume, the base score stays fixed — the stored trees were
+  /// built against it — and the subsampling RNG starts a fresh stream
+  /// derived from (seed, output, rounds already completed), so each
+  /// refit generation is deterministic without replaying history against
+  /// data that no longer exists. Raises options().n_rounds to the new
+  /// total.
+  void warm_start_fit(const Matrix& x, const Matrix& y, int extra_rounds,
+                      ThreadPool* pool = nullptr);
+
   /// Boosting rounds present per output (0 when unfitted; a partial
   /// checkpoint holds fewer than options().n_rounds).
   [[nodiscard]] int rounds_completed() const noexcept {
@@ -142,6 +154,13 @@ class GbtRegressor final : public Regressor {
   [[nodiscard]] static GbtRegressor deserialize(std::string_view text);
 
  private:
+  /// Shared body of fit_resumable and warm_start_fit. `warm` selects the
+  /// warm-start initialization (fixed base score, fresh per-generation
+  /// RNG stream) over the resume one (recomputed base score, replayed
+  /// sampling draws).
+  void fit_impl(const Matrix& x, const Matrix& y, int checkpoint_every,
+                const ProgressFn& on_checkpoint, ThreadPool* pool, bool warm);
+
   /// Recomputes the merged importance accumulators from the per-output
   /// ones in fixed output order (deterministic, idempotent).
   /// Validates a resumed model (or initializes a fresh one) against the

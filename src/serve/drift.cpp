@@ -1,0 +1,47 @@
+#include "serve/drift.hpp"
+
+#include <cmath>
+
+#include "common/contract.hpp"
+
+namespace mphpc::serve {
+
+DriftDetector::DriftDetector(DriftOptions options) : options_(options) {
+  MPHPC_EXPECTS(options.window >= 1);
+  MPHPC_EXPECTS(options.recover_mae > 0.0 &&
+                options.recover_mae < options.trip_mae);
+  errors_.assign(options_.window, 0.0);
+}
+
+double DriftDetector::rolling_mae() const noexcept {
+  if (count_ == 0) return 0.0;
+  // Recomputed from the buffer in fixed order rather than kept as a
+  // running sum: the window is small and this keeps the mean exactly
+  // reproducible regardless of how many observations ever flowed through.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) sum += errors_[i];
+  return sum / static_cast<double>(count_);
+}
+
+DriftDetector::State DriftDetector::observe(double abs_error) {
+  MPHPC_EXPECTS(std::isfinite(abs_error) && abs_error >= 0.0);
+  errors_[head_] = abs_error;
+  head_ = (head_ + 1) % options_.window;
+  if (count_ < options_.window) ++count_;
+
+  // State transitions only consider a full window: a handful of bad (or
+  // good) observations right after startup must not flip the service.
+  if (count_ == options_.window) {
+    const double mae = rolling_mae();
+    if (state_ == State::kHealthy && mae > options_.trip_mae) {
+      state_ = State::kTripped;
+      ++trips_;
+    } else if (state_ == State::kTripped && mae < options_.recover_mae) {
+      state_ = State::kHealthy;
+      ++recoveries_;
+    }
+  }
+  return state_;
+}
+
+}  // namespace mphpc::serve

@@ -1,0 +1,58 @@
+// Prediction-drift detection for the online service (two-state machine
+// with hysteresis).
+//
+// Every feedback observation contributes one scalar: the mean absolute
+// error between the RPV the current model predicts for the completed run
+// and the RPV its measured times imply. The detector keeps the last
+// `window` errors in a ring buffer; when the window is full and the
+// rolling mean exceeds `trip_mae`, the service trips into degraded mode
+// (predictions fall back to neutral, refits freeze so the model cannot
+// learn from the suspect data). It recovers only once the rolling mean —
+// still tracked against the frozen model — drops below the strictly
+// lower `recover_mae`, so a stream hovering near the threshold cannot
+// flap the service between modes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mphpc::serve {
+
+struct DriftOptions {
+  std::size_t window = 64;   ///< rolling-error window (observations)
+  double trip_mae = 0.75;    ///< full-window mean abs error that trips
+  double recover_mae = 0.35; ///< hysteresis: recover below this (< trip)
+};
+
+class DriftDetector {
+ public:
+  enum class State { kHealthy, kTripped };
+
+  explicit DriftDetector(DriftOptions options = {});
+
+  /// Records one |prediction - truth| observation and returns the state
+  /// it leaves the detector in. Not thread-safe; the service serializes
+  /// feedback in arrival order.
+  State observe(double abs_error);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool tripped() const noexcept { return state_ == State::kTripped; }
+
+  /// Mean of the errors currently in the window (0 when empty).
+  [[nodiscard]] double rolling_mae() const noexcept;
+  [[nodiscard]] std::size_t samples() const noexcept { return count_; }
+  [[nodiscard]] long long trips() const noexcept { return trips_; }
+  [[nodiscard]] long long recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] const DriftOptions& options() const noexcept { return options_; }
+
+ private:
+  DriftOptions options_;
+  std::vector<double> errors_;  ///< ring buffer, capacity options_.window
+  std::size_t head_ = 0;        ///< next slot to overwrite
+  std::size_t count_ = 0;       ///< valid entries (<= window)
+  State state_ = State::kHealthy;
+  long long trips_ = 0;
+  long long recoveries_ = 0;
+};
+
+}  // namespace mphpc::serve

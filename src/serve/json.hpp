@@ -1,0 +1,60 @@
+// Minimal JSON parser for the serve protocol.
+//
+// `mphpc serve` reads newline-delimited JSON requests from untrusted
+// clients, so the parser must never crash on malformed input: every
+// syntax error throws ParseError with a position, which the server turns
+// into a structured error reply. The writer side reuses common
+// JsonWriter; this is the matching read side, covering exactly the JSON
+// the protocol needs (objects, arrays, strings, numbers, bools, null)
+// with a recursion-depth cap so a hostile request cannot blow the stack.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mphpc::serve {
+
+/// An immutable parsed JSON value. Object members preserve source order
+/// (lookups are linear — protocol objects are small by construction).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document; trailing non-whitespace is an
+  /// error. Throws ParseError (with a byte offset) on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; ContractViolation on a kind mismatch (protocol code
+  /// checks kinds first and reports its own, friendlier errors).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup (first match); nullptr when absent or when this
+  /// value is not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                             // arrays
+  std::vector<std::pair<std::string, JsonValue>> members_;  // objects
+};
+
+}  // namespace mphpc::serve

@@ -1,0 +1,70 @@
+#include "serve/model_store.hpp"
+
+#include <filesystem>
+
+#include "common/atomic_file.hpp"
+#include "common/contract.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "ml/serialize.hpp"
+
+namespace mphpc::serve {
+
+namespace {
+constexpr std::string_view kMagic = "mphpc-serve-model v1 ";
+}  // namespace
+
+ModelStore::ModelStore(std::string path) : path_(std::move(path)) {
+  MPHPC_EXPECTS(!path_.empty());
+}
+
+std::string ModelStore::fingerprint_of(std::string_view body) {
+  return format_hex64(fnv1a_64(body));
+}
+
+std::optional<ModelStore::StoredModel> ModelStore::load() const {
+  if (!std::filesystem::exists(path_)) return std::nullopt;
+  const std::string text = ml::load_text(path_);
+
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos || !starts_with(text, kMagic)) {
+    throw ParseError("serve model store has a bad header: " + path_);
+  }
+  const std::string_view header =
+      std::string_view(text).substr(kMagic.size(), eol - kMagic.size());
+  const std::size_t space = header.find(' ');
+  if (space == std::string_view::npos) {
+    throw ParseError("serve model store header missing fingerprint: " + path_);
+  }
+
+  StoredModel stored;
+  try {
+    stored.generation =
+        static_cast<long long>(parse_double(header.substr(0, space)));
+  } catch (const ParseError&) {
+    throw ParseError("serve model store header has a bad generation: " + path_);
+  }
+  stored.fingerprint = std::string(trim(header.substr(space + 1)));
+
+  const std::string_view body = std::string_view(text).substr(eol + 1);
+  if (fingerprint_of(body) != stored.fingerprint) {
+    throw ParseError("serve model store fingerprint mismatch (corrupt body): " +
+                     path_);
+  }
+  stored.predictor = core::CrossArchPredictor::from_text(body);
+  return stored;
+}
+
+std::string ModelStore::store(const core::CrossArchPredictor& predictor,
+                              long long generation) const {
+  MPHPC_EXPECTS(predictor.trained() && generation >= 0);
+  const std::string body = predictor.serialize_text();
+  std::string fingerprint = fingerprint_of(body);
+  std::string text = std::string(kMagic) + std::to_string(generation) + " " +
+                     fingerprint + "\n";
+  text += body;
+  atomic_write_text(path_, text);
+  return fingerprint;
+}
+
+}  // namespace mphpc::serve

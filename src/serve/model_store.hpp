@@ -1,0 +1,56 @@
+// Crash-safe persistence for the serve daemon's current model.
+//
+// The store is a SINGLE self-verifying file written with
+// atomic_write_text, so there is no multi-file commit protocol to tear:
+// a SIGKILL at any instant — including mid-refit — leaves either the
+// previous complete model or the new complete model on disk, never a
+// mix. The first line is an integrity header
+//
+//   mphpc-serve-model v1 <generation> <fnv1a64-of-body>
+//
+// followed by the CrossArchPredictor text form; load() recomputes the
+// body hash and refuses a file whose header disagrees (bit rot, manual
+// edits). The hash doubles as the model fingerprint reported by the
+// stats op and asserted byte-identical by the kill-and-restart test.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/predictor.hpp"
+
+namespace mphpc::serve {
+
+class ModelStore {
+ public:
+  explicit ModelStore(std::string path);
+
+  struct StoredModel {
+    core::CrossArchPredictor predictor;
+    std::string fingerprint;  ///< fnv1a64 of the serialized model body
+    long long generation = 0;
+  };
+
+  /// Loads the stored model. Returns nullopt when no store file exists;
+  /// throws ParseError on a present-but-invalid file (bad header,
+  /// fingerprint mismatch, unparseable model) so the caller can decide
+  /// whether a bootstrap fallback is available.
+  [[nodiscard]] std::optional<StoredModel> load() const;
+
+  /// Atomically persists `predictor` as generation `generation`; returns
+  /// the fingerprint written into the header.
+  std::string store(const core::CrossArchPredictor& predictor,
+                    long long generation) const;
+
+  /// Fingerprint of a serialized model body (fnv1a64, formatted as the
+  /// 16-digit hex the header and stats op use).
+  [[nodiscard]] static std::string fingerprint_of(std::string_view body);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mphpc::serve

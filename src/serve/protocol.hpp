@@ -1,0 +1,63 @@
+// The `mphpc serve` wire protocol: newline-delimited JSON requests and
+// replies (one object per line).
+//
+// Requests (client -> daemon):
+//   {"op":"predict","id":"p1","profile":{...}}        -> RPV prediction
+//   {"op":"feedback","id":"f1","profile":{...},
+//    "times":{"quartz":10.0,"ruby":8.0,...}}          -> training feedback
+//   {"op":"stats","id":"s1"}                          -> service counters
+//   {"op":"shutdown","id":"q1"}                       -> drain and exit
+//
+// The profile object carries the run's identity, resources, and raw
+// hardware counters keyed by their snake_case kind names (see
+// arch/counter_names.hpp); `total_instructions` must be positive because
+// every intensity feature divides by it.
+//
+// Replies (daemon -> client) echo the request id:
+//   {"id":"p1","ok":true,"op":"predict","rpv":[...],"fastest":"ruby",
+//    "fallback":false}
+//   {"id":"f1","ok":false,"code":"bad_request","error":"..."}
+// Error codes: bad_request, overloaded, deadline_exceeded, shutting_down,
+// internal.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/rpv.hpp"
+#include "sim/profiler.hpp"
+
+namespace mphpc::serve {
+
+enum class Op { kPredict, kFeedback, kStats, kShutdown };
+
+[[nodiscard]] std::string_view to_string(Op op) noexcept;
+
+/// One parsed request. `times` is meaningful for feedback only.
+struct Request {
+  Op op = Op::kPredict;
+  std::string id;
+  sim::RunProfile profile;
+  core::SystemTimes times{};
+};
+
+/// Parses one request line. Throws ParseError with a client-safe message
+/// on any malformed or semantically invalid input (unknown op, missing
+/// profile fields, non-positive counters/times, ...).
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Success reply for a predict request (single line, no newline).
+[[nodiscard]] std::string predict_reply(std::string_view id, const core::Rpv& rpv,
+                                        bool fallback);
+
+/// Success reply for a feedback request: acknowledges ingestion and
+/// reports the drift state the observation left behind.
+[[nodiscard]] std::string feedback_reply(std::string_view id, bool degraded,
+                                         double rolling_mae);
+
+/// Error reply (single line, no newline). `code` is one of the protocol
+/// error codes listed above.
+[[nodiscard]] std::string error_reply(std::string_view id, std::string_view code,
+                                      std::string_view message);
+
+}  // namespace mphpc::serve

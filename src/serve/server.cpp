@@ -1,0 +1,366 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/contract.hpp"
+#include "common/shutdown.hpp"
+#include "common/strings.hpp"
+
+namespace mphpc::serve {
+
+namespace {
+
+/// A request line larger than this is rejected outright — the protocol's
+/// objects are a few hundred bytes; a megabyte of "line" is a bug or an
+/// attack, not a request.
+constexpr std::size_t kMaxLineBytes = 1U << 20U;
+
+}  // namespace
+
+Server::Server(ServeCore& core, ServerOptions options, std::ostream* log)
+    : core_(core),
+      options_(std::move(options)),
+      log_(log),
+      pool_(options_.pool_threads) {
+  MPHPC_EXPECTS(options_.queue_cap >= 1 && options_.batch_max >= 1);
+  MPHPC_EXPECTS(options_.deadline_ms >= 0);
+}
+
+void Server::log_line(const std::string& message) {
+  if (log_ == nullptr) return;
+  *log_ << "[serve] " << message << '\n';
+  log_->flush();
+}
+
+int Server::setup_listener() {
+  sockaddr_un addr = {};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " +
+                             options_.socket_path);
+  }
+  ::unlink(options_.socket_path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::copy(options_.socket_path.begin(), options_.socket_path.end(),
+            addr.sun_path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: cannot listen on " + options_.socket_path +
+                             ": " + err);
+  }
+  return fd;
+}
+
+int Server::run() {
+  ShutdownLatch::instance().install();
+  // A client that disconnects mid-reply must not kill the daemon.
+  struct sigaction ignore_pipe = {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &ignore_pipe, nullptr);
+
+  int listen_fd = -1;
+  if (!options_.socket_path.empty()) listen_fd = setup_listener();
+  log_line(options_.socket_path.empty()
+               ? "listening on stdin (stdio mode)"
+               : "listening on " + options_.socket_path);
+  if (!core_.bootstrap_note().empty()) log_line(core_.bootstrap_note());
+  log_line("serving generation " + std::to_string(core_.generation()) +
+           " fingerprint " + core_.fingerprint());
+
+  std::thread batcher([this] { batcher_loop(); });
+  std::thread refitter([this] { refit_loop(); });
+
+  intake_loop(listen_fd);
+
+  // Intake has stopped; let the batcher drain everything already queued,
+  // then stop both workers and persist the final model.
+  {
+    const std::lock_guard lock(queue_mutex_);
+    stop_batcher_ = true;
+  }
+  queue_cv_.notify_all();
+  batcher.join();
+  {
+    const std::lock_guard lock(refit_mutex_);
+    stop_refit_ = true;
+  }
+  refit_cv_.notify_all();
+  refitter.join();
+
+  core_.flush();
+  for (Connection& conn : connections_) {
+    if (conn.fd > 2) ::close(conn.fd);  // never close stdio fds
+  }
+  connections_.clear();
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    ::unlink(options_.socket_path.c_str());
+  }
+  log_line("drained; model generation " + std::to_string(core_.generation()) +
+           " flushed");
+  return 0;
+}
+
+void Server::intake_loop(int listen_fd) {
+  ShutdownLatch& latch = ShutdownLatch::instance();
+  if (listen_fd < 0) {
+    connections_.push_back(Connection{0, std::string(), false});
+  }
+  for (;;) {
+    if (latch.requested()) {
+      begin_drain("signal");
+      return;
+    }
+    {
+      const std::lock_guard lock(queue_mutex_);
+      if (draining_) return;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{latch.wake_fd(), POLLIN, 0});
+    std::size_t listen_index = 0;
+    const bool has_listener = listen_fd >= 0;
+    if (has_listener) {
+      listen_index = fds.size();
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+    }
+    const std::size_t conn_base = fds.size();
+    for (const Connection& conn : connections_) {
+      fds.push_back(pollfd{conn.fd, POLLIN, 0});
+    }
+
+    // The 500 ms tick is a safety net for the (pipe-less) install failure
+    // path; signals normally wake the poll via the latch fd immediately.
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      log_line(std::string("poll failed: ") + std::strerror(errno));
+      begin_drain("poll failure");
+      return;
+    }
+    if (ready == 0) continue;
+
+    if (has_listener && (fds[listen_index].revents & POLLIN) != 0) {
+      const int client = ::accept(listen_fd, nullptr, nullptr);
+      if (client >= 0) {
+        connections_.push_back(Connection{client, std::string(), false});
+        continue;  // pollfd set changed; rebuild before reading
+      }
+    }
+
+    for (std::size_t i = connections_.size(); i > 0; --i) {
+      const std::size_t idx = i - 1;
+      const short revents = fds[conn_base + idx].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!read_connection(connections_[idx])) {
+        if (connections_[idx].fd == 0) {
+          // EOF on stdin IS the shutdown request in stdio mode.
+          begin_drain("stdin EOF");
+          return;
+        }
+        // Defer the close to run() teardown: queued requests may still
+        // hold this fd, and closing now would let accept() recycle the
+        // number for a different client.
+        connections_.erase(connections_.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+    {
+      const std::lock_guard lock(queue_mutex_);
+      if (draining_) return;
+    }
+  }
+}
+
+bool Server::read_connection(Connection& conn) {
+  char buf[65536];
+  const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+  if (n == 0) return false;
+  if (n < 0) return errno == EINTR || errno == EAGAIN;
+  conn.buffer.append(buf, static_cast<std::size_t>(n));
+
+  std::size_t pos = 0;
+  while ((pos = conn.buffer.find('\n')) != std::string::npos) {
+    const std::string line = conn.buffer.substr(0, pos);
+    conn.buffer.erase(0, pos + 1);
+    if (conn.discarding) {
+      conn.discarding = false;  // the oversized line finally ended
+      continue;
+    }
+    handle_input_line(conn.fd, line);
+  }
+  if (conn.buffer.size() > kMaxLineBytes && !conn.discarding) {
+    write_reply(conn.fd == 0 ? 1 : conn.fd,
+                error_reply("", "bad_request", "request line exceeds 1 MiB"));
+    conn.buffer.clear();
+    conn.discarding = true;
+  }
+  return true;
+}
+
+void Server::handle_input_line(int fd, std::string_view line) {
+  if (trim(line).empty()) return;
+  const int reply_fd = fd == 0 ? 1 : fd;  // stdio mode replies on stdout
+  {
+    const std::lock_guard lock(queue_mutex_);
+    if (draining_) {
+      write_reply(reply_fd,
+                  error_reply("", "shutting_down", "daemon is draining"));
+      return;
+    }
+  }
+  Pending pending;
+  try {
+    pending.request = parse_request(line);
+  } catch (const std::exception& e) {
+    write_reply(reply_fd, error_reply("", "bad_request", e.what()));
+    return;
+  }
+  if (pending.request.op == Op::kShutdown) {
+    write_reply(reply_fd, core_.handle_request(pending.request));
+    begin_drain("shutdown request");
+    return;
+  }
+  pending.fd = reply_fd;
+  pending.arrival = Clock::now();
+  enqueue(std::move(pending));
+}
+
+void Server::enqueue(Pending pending) {
+  Pending victim;
+  bool shed = false;
+  {
+    const std::lock_guard lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_cap) {
+      // Shed the OLDEST request: it is the most likely to be past its
+      // deadline already, and the client learns immediately via the
+      // overload reply instead of waiting on a queue that cannot keep up.
+      victim = std::move(queue_.front());
+      queue_.pop_front();
+      shed = true;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  if (shed) {
+    core_.note_shed();
+    write_reply(victim.fd,
+                error_reply(victim.request.id, "overloaded",
+                            "queue full: oldest request shed"));
+  }
+}
+
+void Server::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_batcher_ || !queue_.empty(); });
+      if (queue_.empty() && stop_batcher_) return;
+      const std::size_t take = std::min(options_.batch_max, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    serve_batch(batch);
+  }
+}
+
+void Server::serve_batch(std::vector<Pending>& batch) {
+  const Clock::time_point now = Clock::now();
+  std::vector<Request> live;
+  std::vector<std::size_t> live_index;
+  bool saw_feedback = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Pending& p = batch[i];
+    if (options_.deadline_ms > 0 &&
+        now - p.arrival > std::chrono::milliseconds(options_.deadline_ms)) {
+      core_.note_deadline_expired();
+      write_reply(p.fd, error_reply(p.request.id, "deadline_exceeded",
+                                    "request exceeded its serve deadline"));
+      continue;
+    }
+    if (p.request.op == Op::kFeedback) saw_feedback = true;
+    live_index.push_back(i);
+    live.push_back(p.request);
+  }
+  if (!live.empty()) {
+    const std::vector<std::string> replies = core_.handle_requests(live, &pool_);
+    for (std::size_t k = 0; k < replies.size(); ++k) {
+      write_reply(batch[live_index[k]].fd, replies[k]);
+    }
+  }
+  if (saw_feedback && core_.refit_pending()) {
+    {
+      const std::lock_guard lock(refit_mutex_);
+      refit_kick_ = true;
+    }
+    refit_cv_.notify_one();
+  }
+}
+
+void Server::refit_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(refit_mutex_);
+      refit_cv_.wait(lock, [this] { return stop_refit_ || refit_kick_; });
+      refit_kick_ = false;
+      if (stop_refit_) return;
+    }
+    try {
+      if (core_.run_refit(&pool_)) {
+        log_line("refit: published generation " +
+                 std::to_string(core_.generation()) + " fingerprint " +
+                 core_.fingerprint());
+      }
+    } catch (const std::exception& e) {
+      // A refit failure (e.g. disk full during persist) must not take the
+      // serving path down: the old generation keeps serving.
+      log_line(std::string("refit failed (serving continues): ") + e.what());
+    }
+  }
+}
+
+void Server::write_reply(int fd, std::string_view reply) {
+  std::string line(reply);
+  line += '\n';
+  const std::lock_guard lock(write_mutex_);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client gone (EPIPE et al.) — drop the reply, not the daemon
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void Server::begin_drain(const char* why) {
+  {
+    const std::lock_guard lock(queue_mutex_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  log_line(std::string("draining (") + why + ")");
+}
+
+}  // namespace mphpc::serve

@@ -1,0 +1,113 @@
+// Server — the transport and threading shell around ServeCore.
+//
+// Request lifecycle:
+//   intake (main thread)   poll()s the shutdown latch's wake fd plus
+//                          stdin (stdio mode) or a Unix-domain listener
+//                          and its client connections; splits complete
+//                          JSONL lines, parses them, and either replies
+//                          immediately (parse error -> bad_request,
+//                          draining -> shutting_down) or enqueues the
+//                          request with its arrival time.
+//   queue (bounded)        at capacity the OLDEST request is shed with an
+//                          `overloaded` reply and the new one admitted —
+//                          staleness is worth less than freshness, and
+//                          the queue can never grow without bound.
+//   batcher (one thread)   pops up to batch_max requests, expires those
+//                          whose deadline passed (deadline_exceeded),
+//                          serves the rest through ServeCore (consecutive
+//                          predicts share one compiled batch inference),
+//                          writes replies, and kicks the refit thread
+//                          when feedback has accumulated.
+//   refit (one thread)     runs ServeCore::run_refit off the request
+//                          path; a refit failure is logged, never fatal.
+//
+// Shutdown: a SIGINT/SIGTERM (via ShutdownLatch), a shutdown request, or
+// EOF stops intake; the batcher drains everything already queued, the
+// model is flushed to the store, and run() returns 0. SIGKILL needs no
+// handling here — the store's atomic write protocol guarantees a
+// restartable model at every instant.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace mphpc::serve {
+
+struct ServerOptions {
+  std::string socket_path;     ///< empty: stdio mode (stdin -> stdout)
+  std::size_t queue_cap = 1024;
+  std::size_t batch_max = 64;
+  int deadline_ms = 0;         ///< per-request serve deadline (0 = none)
+  std::size_t pool_threads = 0;  ///< inference pool size (0 = hardware)
+};
+
+class Server {
+ public:
+  /// `log` receives human-readable progress lines (nullptr = silent);
+  /// protocol replies never go through it.
+  Server(ServeCore& core, ServerOptions options, std::ostream* log = nullptr);
+
+  /// Runs the daemon until EOF / shutdown request / SIGINT / SIGTERM,
+  /// then drains and returns the process exit code (0 on a clean drain).
+  int run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Request request;
+    int fd = 1;  ///< reply destination
+    Clock::time_point arrival{};
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::string buffer;
+    bool discarding = false;  ///< oversized line: drop bytes to next newline
+  };
+
+  void log_line(const std::string& message);
+  [[nodiscard]] int setup_listener();
+  void intake_loop(int listen_fd);
+  bool read_connection(Connection& conn);  ///< false when closed/EOF
+  void handle_input_line(int fd, std::string_view line);
+  void enqueue(Pending pending);
+  void write_reply(int fd, std::string_view reply);
+
+  void batcher_loop();
+  void serve_batch(std::vector<Pending>& batch);
+  void refit_loop();
+  void begin_drain(const char* why);
+
+  ServeCore& core_;
+  ServerOptions options_;
+  std::ostream* log_;
+  ThreadPool pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_batcher_ = false;
+  bool draining_ = false;
+
+  std::mutex refit_mutex_;
+  std::condition_variable refit_cv_;
+  bool refit_kick_ = false;
+  bool stop_refit_ = false;
+
+  std::mutex write_mutex_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace mphpc::serve

@@ -1,0 +1,149 @@
+// ServeCore — the transport-independent heart of `mphpc serve`.
+//
+// Owns the guarded predictor, the crash-safe model store, the drift
+// detector, and the sliding feedback window. The Server (server.hpp)
+// feeds it parsed requests from whatever transport is in use; tests feed
+// it lines directly. Responsibilities:
+//
+//   predict   batch-featurize + one compiled inference per run of
+//             consecutive predict requests; per-row plausibility guard.
+//   feedback  turn measured times into an RPV target, shadow-predict to
+//             feed the drift detector (even while degraded — recovery
+//             needs the error stream), append to the sliding window.
+//   refit     when enough feedback accumulated and drift is quiet,
+//             warm-start the boosted model on the window (or cold-rebuild
+//             once the ensemble hits its round budget), persist the new
+//             generation to the store FIRST, then atomically hot-swap it
+//             into the guard. A SIGKILL anywhere in that sequence leaves
+//             a loadable store: either the old generation or the new one.
+//   drift     a tripped detector forces the guard degraded (neutral RPVs)
+//             and freezes refits until the rolling error recovers.
+//
+// Thread model: predict paths are lock-free on a model snapshot;
+// feedback and stats take the core mutex; run_refit is called from a
+// single dedicated thread. All public entry points are safe to call
+// concurrently except run_refit (one caller at a time).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/feature_pipeline.hpp"
+#include "core/predictor.hpp"
+#include "serve/drift.hpp"
+#include "serve/model_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace mphpc::serve {
+
+struct ServeOptions {
+  std::string state_dir;   ///< required: model store lives here
+  std::string model_path;  ///< bootstrap model when the store is empty
+  core::RpvGuardOptions bounds{};
+  DriftOptions drift{};
+  std::size_t window_capacity = 4096;  ///< feedback rows kept for refits
+  std::size_t refit_every = 256;       ///< feedbacks per refit (0 = never)
+  std::size_t min_refit_rows = 32;     ///< smallest window worth refitting on
+  int refit_rounds = 20;               ///< extra boosting rounds per refit
+  int max_model_rounds = 2000;         ///< warm-start budget before compaction
+  int cold_rounds = 200;               ///< rounds for a compaction rebuild
+};
+
+class ServeCore {
+ public:
+  /// Bootstraps the serving model: a valid store in state_dir wins (it is
+  /// the survivor of the last run), else model_path seeds the store at
+  /// generation 0. Throws std::runtime_error when neither yields a model
+  /// — a daemon with nothing to serve is a configuration error, not a
+  /// degraded state.
+  explicit ServeCore(ServeOptions options);
+
+  /// Parses and serves one request line; never throws on bad input (the
+  /// reply is a structured error instead).
+  [[nodiscard]] std::string handle_line(std::string_view line,
+                                        ThreadPool* pool = nullptr);
+
+  /// Serves a batch of parsed requests, one reply per request in order.
+  /// Runs of consecutive predict requests share one compiled batch
+  /// inference.
+  [[nodiscard]] std::vector<std::string> handle_requests(
+      std::span<const Request> requests, ThreadPool* pool = nullptr);
+
+  /// Serves one parsed request (shutdown gets an ok ack; the transport
+  /// owns the actual drain).
+  [[nodiscard]] std::string handle_request(const Request& request,
+                                           ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::string stats_reply(std::string_view id);
+
+  /// True when enough feedback has accumulated for a refit and drift has
+  /// not frozen learning.
+  [[nodiscard]] bool refit_pending() const;
+
+  /// Runs one refit cycle if one is pending: fit on the window, persist
+  /// the new generation, hot-swap. Single-caller (the refit thread).
+  /// Returns true when a new generation was published. Throws on
+  /// persistence failure — the caller decides whether that is fatal.
+  bool run_refit(ThreadPool* pool = nullptr);
+
+  /// Persists the current model/generation to the store (idempotent;
+  /// called on clean shutdown so a --model bootstrap without any refit
+  /// still leaves a store behind).
+  void flush();
+
+  [[nodiscard]] long long generation() const;
+  [[nodiscard]] std::string fingerprint() const;
+  [[nodiscard]] bool degraded() const { return !guard_.healthy(); }
+  [[nodiscard]] core::GuardedPredictor& guard() noexcept { return guard_; }
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const ModelStore& store() const noexcept { return store_; }
+  /// Non-fatal bootstrap diagnostics (e.g. "store was corrupt, fell back
+  /// to --model"); empty when bootstrap was clean.
+  [[nodiscard]] const std::string& bootstrap_note() const noexcept {
+    return bootstrap_note_;
+  }
+
+  /// Transport-level events folded into the stats reply.
+  void note_shed() noexcept { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_deadline_expired() noexcept {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  struct WindowRow {
+    std::array<double, core::FeaturePipeline::kNumFeatures> x{};
+    std::array<double, arch::kNumSystems> y{};
+  };
+
+  void bootstrap();
+  [[nodiscard]] std::string handle_feedback(const Request& request);
+  [[nodiscard]] std::string shutdown_reply(std::string_view id) const;
+
+  ServeOptions options_;
+  ModelStore store_;
+  core::GuardedPredictor guard_;
+  std::string bootstrap_note_;
+
+  mutable std::mutex mutex_;  ///< guards window_, drift_, generation_, fingerprint_
+  std::deque<WindowRow> window_;
+  DriftDetector drift_;
+  std::size_t pending_feedback_ = 0;
+  long long generation_ = 0;
+  std::string fingerprint_;
+
+  std::atomic<long long> predicts_{0};
+  std::atomic<long long> feedbacks_{0};
+  std::atomic<long long> refits_{0};
+  std::atomic<long long> request_errors_{0};
+  std::atomic<long long> shed_{0};
+  std::atomic<long long> deadline_expired_{0};
+};
+
+}  // namespace mphpc::serve

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 
 #include "common/distributions.hpp"
 #include "common/contract.hpp"
@@ -383,6 +384,70 @@ TEST(ThreadPool, DeterministicReduction) {
     return total;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran] { ran++; });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // Every other task still ran — one failure never cancels the queue.
+  EXPECT_EQ(ran.load(), 20);
+  // The slot is cleared: the pool is reusable and the next wait is clean.
+  pool.submit([&ran] { ran++; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, SubmitOnlyFirstExceptionSurvives) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one rethrow regardless of how many tasks failed.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // nothing pending, nothing stored
+}
+
+TEST(ThreadPool, ParallelChunksBodyExceptionReachesCaller) {
+  ThreadPool pool(3);
+  std::atomic<int> chunks_run{0};
+  try {
+    pool.parallel_chunks(0, 1000, [&](std::size_t c, std::size_t, std::size_t) {
+      chunks_run++;
+      if (c == 1) throw std::runtime_error("chunk 1 failed");
+    });
+    FAIL() << "parallel_chunks should rethrow the body's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1 failed");
+  }
+  // Every chunk still executed (run-to-completion, then rethrow).
+  EXPECT_EQ(chunks_run.load(), 4);
+  // The pool survives: a follow-up region runs normally.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 100, [&after](std::size_t) { after++; });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, CallerChunkExceptionAlsoPropagates) {
+  // The caller thread runs a chunk too; a throw there must not be
+  // swallowed or double-delivered.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_chunks(
+                   0, 10,
+                   [](std::size_t, std::size_t, std::size_t) {
+                     throw std::logic_error("every chunk fails");
+                   }),
+               std::logic_error);
+  pool.wait_idle();  // no stray exception leaks into the submit slot
 }
 
 TEST(Timer, MeasuresElapsed) {

@@ -2,9 +2,13 @@
 // predictor, model selection, importance reporting.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "arch/system_catalog.hpp"
 #include "common/error.hpp"
@@ -544,6 +548,125 @@ TEST(GuardedPredictor, DegradedPredictRpvsIsAllNeutral) {
     for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
   }
   EXPECT_EQ(guarded.fallback_count(), static_cast<long long>(profiles.size()));
+}
+
+// ------------------------------------------- guarded predictor: hot swap ----
+
+TEST_F(DatasetTest, GuardedPredictorSwapPreservesHealthAndSnapshots) {
+  GuardedPredictor guarded(small_predictor(dataset()), {});
+  const auto before = guarded.snapshot();
+  ASSERT_NE(before, nullptr);
+  guarded.swap_model(small_predictor(dataset()));
+  const auto after = guarded.snapshot();
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before.get(), after.get());  // a swap publishes a new object
+  EXPECT_TRUE(guarded.healthy());
+  // The old snapshot stays valid for readers that captured it pre-swap.
+  EXPECT_TRUE(before->trained());
+  (void)before->predict(sample_profile());
+}
+
+TEST_F(DatasetTest, GuardedPredictorExactFallbacksUnderConcurrentHotSwap) {
+  // Several threads batch-predict in a loop while another thread keeps
+  // hot-swapping the model. With bounds no real RPV can satisfy, EVERY
+  // row must fall back; the counter being exactly threads*calls*rows
+  // proves no row was lost or double-counted across any swap.
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 20;
+  const auto profiles = varied_profiles();
+  RpvGuardOptions impossible;
+  impossible.min_ratio = 1e-9;
+  impossible.max_ratio = 2e-9;
+  GuardedPredictor guarded(small_predictor(dataset()), impossible);
+  const CrossArchPredictor donor = small_predictor(dataset());
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> non_neutral{0};
+  std::atomic<long long> rows_not_flagged{0};
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      guarded.swap_model(CrossArchPredictor(donor));
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      for (int c = 0; c < kCalls; ++c) {
+        std::vector<std::uint8_t> fallback;
+        const std::vector<Rpv> batch =
+            guarded.predict_rpvs(profiles, nullptr, &fallback);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (fallback[i] == 0) rows_not_flagged++;
+          for (std::size_t k = 0; k < arch::kNumSystems; ++k) {
+            if (batch[i][k] != 1.0) non_neutral++;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  swapper.join();
+
+  EXPECT_EQ(rows_not_flagged.load(), 0);
+  EXPECT_EQ(non_neutral.load(), 0);
+  EXPECT_EQ(guarded.fallback_count(),
+            static_cast<long long>(kThreads) * kCalls *
+                static_cast<long long>(profiles.size()));
+  EXPECT_TRUE(guarded.healthy());  // plausibility fallback never degrades
+}
+
+TEST_F(DatasetTest, GuardedPredictorZeroFallbacksUnderConcurrentHotSwap) {
+  // Same race, generous bounds: no row may spuriously fall back even when
+  // predictions straddle a swap.
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 20;
+  const auto profiles = varied_profiles();
+  GuardedPredictor guarded(small_predictor(dataset()), {});
+  const CrossArchPredictor donor = small_predictor(dataset());
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> flagged{0};
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      guarded.swap_model(CrossArchPredictor(donor));
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      for (int c = 0; c < kCalls; ++c) {
+        std::vector<std::uint8_t> fallback;
+        (void)guarded.predict_rpvs(profiles, nullptr, &fallback);
+        for (const std::uint8_t f : fallback) {
+          if (f != 0) flagged++;
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  swapper.join();
+
+  EXPECT_EQ(flagged.load(), 0);
+  EXPECT_EQ(guarded.fallback_count(), 0);
+}
+
+TEST_F(DatasetTest, GuardedPredictorForcedDegradedOverridesHealthyModel) {
+  GuardedPredictor guarded(small_predictor(dataset()), {});
+  ASSERT_TRUE(guarded.healthy());
+  guarded.set_forced_degraded(true, "drift tripped in a test");
+  EXPECT_FALSE(guarded.healthy());
+  EXPECT_TRUE(guarded.forced_degraded());
+  const Rpv rpv = guarded.predict(sample_profile());
+  for (std::size_t k = 0; k < arch::kNumSystems; ++k) EXPECT_DOUBLE_EQ(rpv[k], 1.0);
+  EXPECT_NE(guarded.last_error().find("drift tripped"), std::string::npos);
+  guarded.set_forced_degraded(false);
+  EXPECT_TRUE(guarded.healthy());
+  EXPECT_EQ(guarded.predict(sample_profile()).values(),
+            small_predictor(dataset()).predict(sample_profile()).values());
 }
 
 // --------------------------------------------------------- model selection ----

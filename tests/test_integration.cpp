@@ -213,7 +213,7 @@ TEST_F(EndToEnd, TrainResumeAfterSigkillIsBitIdentical) {
     // Child: checkpoint every 2 rounds until killed. SIGKILL gives no
     // chance to flush anything — only completed atomic renames survive.
     core::CrossArchPredictor victim(options);
-    victim.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, false},
+    victim.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, false, {}},
                               s.split.train);
     victim.save(model_path);
     _exit(0);
@@ -234,7 +234,7 @@ TEST_F(EndToEnd, TrainResumeAfterSigkillIsBitIdentical) {
   ASSERT_TRUE(std::filesystem::exists(ckpt_path + ".manifest"));
 
   core::CrossArchPredictor resumed(options);
-  resumed.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true},
+  resumed.train_checkpointed(s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true, {}},
                              s.split.train);
   resumed.save(model_path);
 
@@ -266,7 +266,7 @@ TEST_F(EndToEnd, TrainResumeRejectsForeignCheckpoint) {
 
   core::CrossArchPredictor resumed(options);
   EXPECT_THROW(resumed.train_checkpointed(
-                   s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true},
+                   s.dataset, {ckpt_path, /*every=*/2, /*resume=*/true, {}},
                    s.split.train),
                std::runtime_error);
   std::filesystem::remove(ckpt_path);

@@ -147,6 +147,70 @@ fi
 cmp build-dev/train_smoke_ref.model build-dev/train_smoke.model
 echo "kill-and-resume train smoke: ok (models bit-identical)"
 
+# Serve smoke: run the online prediction daemon end-to-end in stdio mode
+# over a FIFO — predicts and enough feedback to force a refit/hot-swap, a
+# malformed line that must produce a bad_request reply (not an exit), then
+# SIGTERM, which must drain cleanly (exit 0) and leave a verifiable model
+# store at a refit generation.
+echo "==== [dev] serve smoke (daemon, hot-swap, malformed input, SIGTERM) ===="
+rm -rf build-dev/serve_smoke
+mkdir -p build-dev/serve_smoke
+./build-dev/tools/mphpc train --inputs 2 --rounds 30 --depth 3 \
+  --out build-dev/serve_smoke/model.txt
+./build-dev/bench/bench_serve_load --emit-jsonl build-dev/serve_smoke/session.jsonl \
+  --predicts 4 --feedbacks 8
+mkfifo build-dev/serve_smoke/in.fifo
+./build-dev/tools/mphpc serve --state-dir build-dev/serve_smoke/state \
+  --model build-dev/serve_smoke/model.txt \
+  --refit-every 8 --min-refit-rows 4 --refit-rounds 3 \
+  < build-dev/serve_smoke/in.fifo \
+  > build-dev/serve_smoke/replies.jsonl 2> build-dev/serve_smoke/log.txt &
+serve_pid=$!
+exec 3> build-dev/serve_smoke/in.fifo
+cat build-dev/serve_smoke/session.jsonl >&3
+echo '{this is not json' >&3
+# Poll stats until the refit thread has published generation 1.
+swap_seen=0
+for i in $(seq 1 200); do
+  echo "{\"op\":\"stats\",\"id\":\"s${i}\"}" >&3
+  if grep -q '"generation":1' build-dev/serve_smoke/replies.jsonl; then
+    swap_seen=1
+    break
+  fi
+  if ! kill -0 "${serve_pid}" 2>/dev/null; then
+    echo "serve daemon died during the smoke" >&2
+    cat build-dev/serve_smoke/log.txt >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [[ "${swap_seen}" -ne 1 ]]; then
+  echo "serve daemon never published a refit generation" >&2
+  cat build-dev/serve_smoke/log.txt >&2
+  exit 1
+fi
+kill -TERM "${serve_pid}"
+wait "${serve_pid}"  # a clean drain exits 0; set -e fails the lane otherwise
+exec 3>&-
+python3 - <<'EOF'
+import json
+replies = [json.loads(l) for l in open("build-dev/serve_smoke/replies.jsonl")]
+ops = {}
+for r in replies:
+    key = r.get("op", "error:" + r.get("code", "?"))
+    ops[key] = ops.get(key, 0) + 1
+assert ops.get("predict", 0) >= 4, f"missing predict replies: {ops}"
+assert ops.get("feedback", 0) >= 8, f"missing feedback replies: {ops}"
+assert ops.get("error:bad_request", 0) == 1, f"malformed line not rejected: {ops}"
+assert all(r["ok"] for r in replies if "code" not in r), "non-ok reply"
+assert not any(r.get("fallback") for r in replies if r.get("op") == "predict"), \
+    "healthy smoke produced fallback predictions"
+header = open("build-dev/serve_smoke/state/serve_model.txt").readline().split()
+assert header[0] == "mphpc-serve-model" and int(header[2]) >= 1, \
+    f"store not at a refit generation after drain: {header}"
+print(f"serve smoke: ok ({ops}, store generation {header[2]})")
+EOF
+
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   # The compiled engine indexes one flat node pool with hand-built
@@ -155,11 +219,11 @@ if [[ "${fast}" -eq 0 ]]; then
   ctest --preset asan -R 'CompiledParity' --no-tests=error --output-on-failure
   if [[ "${with_tsan}" -eq 1 ]]; then
     # The full suite already ran under TSan above; this re-run asserts the
-    # fault/determinism/checkpoint tests (the ones most likely to surface
-    # scheduler races) still exist — --no-tests=error fails the lane if
-    # they vanish.
+    # fault/determinism/checkpoint/serve tests (the ones most likely to
+    # surface scheduler or daemon races) still exist — --no-tests=error
+    # fails the lane if they vanish.
     run_lane tsan
-    ctest --preset tsan -R 'Fault|Determinism|Checkpoint|Resum' \
+    ctest --preset tsan -R 'Fault|Determinism|Checkpoint|Resum|Serve' \
       --no-tests=error --output-on-failure
   fi
 fi

@@ -16,8 +16,18 @@
 //   mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]
 //                  [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]
 //                  [--max-attempts K] [--seed S] [--out FILE.json]
+//   mphpc serve    --state-dir DIR [--model MODEL] [--socket PATH]
+//                  [--refit-every K] [--drift-window N] [--trip-mae X]
+//                  [--recover-mae X] [--queue-cap N] [--batch-max N]
+//                  [--deadline-ms MS] [--threads N]
 //
-// Every command is deterministic for a given set of flags.
+// Every command is deterministic for a given set of flags (serve excepted:
+// it reacts to whatever requests arrive).
+//
+// The long-running commands (train --checkpoint-every, sched-scale, serve)
+// install the ShutdownLatch: SIGINT/SIGTERM flushes their on-disk state at
+// the next natural boundary and exits 128+signal, so wrappers can tell
+// "interrupted but resumable" apart from failure.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +35,7 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -34,6 +45,7 @@
 #include "arch/system_catalog.hpp"
 #include "common/atomic_file.hpp"
 #include "common/json_writer.hpp"
+#include "common/shutdown.hpp"
 #include "common/strings.hpp"
 #include "common/table_printer.hpp"
 #include "common/thread_pool.hpp"
@@ -47,6 +59,8 @@
 #include "sched/faults.hpp"
 #include "sched/swf.hpp"
 #include "sched/workload_gen.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -152,15 +166,30 @@ int cmd_train(const Args& args) {
   if (!default_campaign_dir.empty() && !args.has("campaign-dir")) {
     std::printf("campaign cache: %s\n", default_campaign_dir.c_str());
   }
+  // A checkpointed run is interruptible end to end: SIGINT/SIGTERM stops
+  // at the next checkpoint boundary with the checkpoint flushed, and the
+  // process exits 128+signal so callers know the run can be --resume'd.
+  ShutdownLatch& latch = ShutdownLatch::instance();
+  if (every > 0 || resume) latch.install();
   const auto dataset = build_dataset(args, default_campaign_dir);
   core::CrossArchPredictor predictor(options);
   Timer timer;
   if (every > 0 || resume) {
+    if (latch.requested()) {
+      std::printf("interrupted before training; campaign shards are cached\n");
+      return latch.exit_code();
+    }
     core::CrossArchPredictor::TrainCheckpoint ckpt;
     ckpt.path = out + ".ckpt";
     ckpt.every = every;
     ckpt.resume = resume;
-    predictor.train_checkpointed(dataset, ckpt, {}, &ThreadPool::shared());
+    ckpt.stop = [&latch] { return latch.requested(); };
+    if (!predictor.train_checkpointed(dataset, ckpt, {}, &ThreadPool::shared())) {
+      std::printf("interrupted after %.1f s: checkpoint flushed to %s "
+                  "(continue with --resume)\n",
+                  timer.seconds(), ckpt.path.c_str());
+      return latch.exit_code();
+    }
   } else {
     predictor.train(dataset, {}, &ThreadPool::shared());
   }
@@ -537,7 +566,63 @@ int cmd_sched_faults(const Args& args) {
 /// predictions, no model training) through the calendar-queue engine,
 /// fault-free first (sizing the fault horizon) and then under the seeded
 /// fault trace, reporting wall time and a node-seconds reconciliation.
+/// Config echoed into every sched-scale report, complete or partial.
+struct ScaleConfig {
+  std::size_t jobs = 0;
+  std::uint64_t seed = 0;
+  int backfill_depth = 0;
+  double arrival_rate_per_s = 0.0;
+  double node_mtbf_h = 0.0;
+  double mttr_h = 0.0;
+  double kill_prob = 0.0;
+  int max_attempts = 0;
+};
+
+void emit_scale_config(JsonWriter& json, const ScaleConfig& cfg) {
+  json.begin_object("config");
+  json.field("jobs", cfg.jobs);
+  json.field("seed", static_cast<long long>(cfg.seed));
+  json.field("backfill_depth", cfg.backfill_depth);
+  json.field("arrival_rate_per_s", cfg.arrival_rate_per_s);
+  json.field("node_mtbf_h", cfg.node_mtbf_h);
+  json.field("mttr_h", cfg.mttr_h);
+  json.field("kill_probability", cfg.kill_prob);
+  json.field("max_attempts", cfg.max_attempts);
+  json.end_object();
+}
+
+void write_scale_report(const std::string& out, const JsonWriter& json) {
+  const auto parent = std::filesystem::path(out).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  atomic_write_text(out, json.str() + "\n");
+  std::printf("report written to %s\n", out.c_str());
+}
+
+/// Flushes a partial sched-scale report for an interrupted run — the
+/// config, whatever phase sections already completed, and the
+/// interruption marker — and hands back the 128+signal exit code.
+int flush_interrupted_scale_report(
+    const std::string& out, const ScaleConfig& cfg, const char* last_phase,
+    const std::function<void(JsonWriter&)>& sections) {
+  JsonWriter json;
+  json.begin_object();
+  emit_scale_config(json, cfg);
+  if (sections) sections(json);
+  json.field("interrupted", true);
+  json.field("signal", ShutdownLatch::instance().signal_number());
+  json.field("last_completed_phase", last_phase);
+  json.end_object();
+  write_scale_report(out, json);
+  std::printf("interrupted after the %s phase; partial report flushed\n",
+              last_phase);
+  return ShutdownLatch::instance().exit_code();
+}
+
 int cmd_sched_scale(const Args& args) {
+  // Million-job runs take minutes: flush a partial report and exit
+  // 128+signal instead of dying report-less on Ctrl-C.
+  ShutdownLatch& latch = ShutdownLatch::instance();
+  latch.install();
   const workload::AppCatalog apps;
   const arch::SystemCatalog systems;
   const auto dataset = build_dataset(args);
@@ -553,6 +638,9 @@ int cmd_sched_scale(const Args& args) {
   // way); 0 restores the unlimited paper setting.
   sched::SchedulerOptions options;
   options.backfill_depth = args.get_int("depth", 1000);
+  sched::RetryPolicy retry;
+  retry.max_attempts = args.get_int("max-attempts", retry.max_attempts);
+  const std::string out = args.get("out", "results/sched_scale.json");
 
   std::printf("sampling %zu jobs...\n", count);
   sched::WorkloadOptions wopts;
@@ -575,6 +663,13 @@ int cmd_sched_scale(const Args& args) {
   const double sample_s = sample_timer.seconds();
   std::printf("sampled in %.2f s\n", sample_s);
 
+  ScaleConfig cfg{count,   seed,   options.backfill_depth,
+                  wopts.arrival_rate_per_s, node_mtbf_h,
+                  mttr_h,  kill_prob,       retry.max_attempts};
+  if (latch.requested()) {
+    return flush_interrupted_scale_report(out, cfg, "sample", {});
+  }
+
   sched::GuardedModelBasedAssigner baseline_assigner;
   Timer baseline_timer;
   const auto baseline = sched::simulate(jobs, machines, baseline_assigner, options);
@@ -583,8 +678,16 @@ int cmd_sched_scale(const Args& args) {
               baseline.makespan_s / 3600.0, baseline.completed_jobs,
               baseline_wall_s);
 
-  sched::RetryPolicy retry;
-  retry.max_attempts = args.get_int("max-attempts", retry.max_attempts);
+  const auto emit_baseline = [&](JsonWriter& json) {
+    json.begin_object("baseline");
+    json.field("makespan_h", baseline.makespan_s / 3600.0);
+    json.field("wall_s", baseline_wall_s);
+    json.end_object();
+  };
+  if (latch.requested()) {
+    return flush_interrupted_scale_report(out, cfg, "baseline", emit_baseline);
+  }
+
   const double horizon_s = 4.0 * baseline.makespan_s;
   const auto model = sched::FaultModel::uniform(node_mtbf_h * 3600.0,
                                                 mttr_h * 3600.0, kill_prob, retry,
@@ -616,20 +719,8 @@ int cmd_sched_scale(const Args& args) {
 
   JsonWriter json;
   json.begin_object();
-  json.begin_object("config");
-  json.field("jobs", count);
-  json.field("seed", static_cast<long long>(seed));
-  json.field("backfill_depth", options.backfill_depth);
-  json.field("arrival_rate_per_s", wopts.arrival_rate_per_s);
-  json.field("node_mtbf_h", node_mtbf_h);
-  json.field("mttr_h", mttr_h);
-  json.field("kill_probability", kill_prob);
-  json.field("max_attempts", retry.max_attempts);
-  json.end_object();
-  json.begin_object("baseline");
-  json.field("makespan_h", baseline.makespan_s / 3600.0);
-  json.field("wall_s", baseline_wall_s);
-  json.end_object();
+  emit_scale_config(json, cfg);
+  emit_baseline(json);
   json.begin_object("faulty");
   json.field("wall_s", faulty_wall_s);
   json.field("sample_wall_s", sample_s);
@@ -647,14 +738,61 @@ int cmd_sched_scale(const Args& args) {
   json.field("downtime_node_seconds_total",
              sum_over_machines(result.downtime_node_seconds));
   json.end_object();
+  // A signal during the faulty simulation still yields the full report —
+  // everything had already been computed — but the exit code records the
+  // interruption for the caller.
+  if (latch.requested()) {
+    json.field("interrupted", true);
+    json.field("signal", latch.signal_number());
+  }
   json.end_object();
 
-  const std::string out = args.get("out", "results/sched_scale.json");
-  const auto parent = std::filesystem::path(out).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent);
-  atomic_write_text(out, json.str() + "\n");
-  std::printf("report written to %s\n", out.c_str());
-  return 0;
+  write_scale_report(out, json);
+  return latch.requested() ? latch.exit_code() : 0;
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions core_options;
+  core_options.state_dir = args.get("state-dir", "");
+  if (core_options.state_dir.empty()) {
+    std::fprintf(stderr,
+                 "serve requires --state-dir DIR (home of the model store)\n");
+    return 2;
+  }
+  std::filesystem::create_directories(core_options.state_dir);
+  core_options.model_path = args.get("model", "");
+  core_options.drift.window = static_cast<std::size_t>(args.get_int(
+      "drift-window", static_cast<int>(core_options.drift.window)));
+  core_options.drift.trip_mae =
+      args.get_double("trip-mae", core_options.drift.trip_mae);
+  core_options.drift.recover_mae =
+      args.get_double("recover-mae", core_options.drift.recover_mae);
+  core_options.window_capacity = static_cast<std::size_t>(args.get_int(
+      "window-capacity", static_cast<int>(core_options.window_capacity)));
+  core_options.refit_every = static_cast<std::size_t>(args.get_int(
+      "refit-every", static_cast<int>(core_options.refit_every)));
+  core_options.min_refit_rows = static_cast<std::size_t>(args.get_int(
+      "min-refit-rows", static_cast<int>(core_options.min_refit_rows)));
+  core_options.refit_rounds =
+      args.get_int("refit-rounds", core_options.refit_rounds);
+  core_options.max_model_rounds =
+      args.get_int("max-model-rounds", core_options.max_model_rounds);
+  core_options.cold_rounds = args.get_int("cold-rounds", core_options.cold_rounds);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path = args.get("socket", "");
+  server_options.queue_cap = static_cast<std::size_t>(
+      args.get_int("queue-cap", static_cast<int>(server_options.queue_cap)));
+  server_options.batch_max = static_cast<std::size_t>(
+      args.get_int("batch-max", static_cast<int>(server_options.batch_max)));
+  server_options.deadline_ms = args.get_int("deadline-ms", 0);
+  server_options.pool_threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+
+  serve::ServeCore core(std::move(core_options));
+  // Progress goes to stderr: stdout is the reply channel in stdio mode.
+  serve::Server server(core, std::move(server_options), &std::cerr);
+  return server.run();
 }
 
 void usage() {
@@ -677,7 +815,14 @@ void usage() {
       "                 [--out FILE.json]\n"
       "  mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]\n"
       "                 [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]\n"
-      "                 [--max-attempts K] [--seed S] [--out FILE.json]\n");
+      "                 [--max-attempts K] [--seed S] [--out FILE.json]\n"
+      "  mphpc serve    --state-dir DIR [--model MODEL] [--socket PATH]\n"
+      "                 [--refit-every K] [--refit-rounds R] [--drift-window N]\n"
+      "                 [--trip-mae X] [--recover-mae X] [--window-capacity N]\n"
+      "                 [--queue-cap N] [--batch-max N] [--deadline-ms MS]\n"
+      "                 [--threads N]\n"
+      "                 (JSONL protocol on the socket, or stdin/stdout when\n"
+      "                  --socket is omitted; see README \"mphpc serve\")\n");
 }
 
 }  // namespace
@@ -697,6 +842,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return cmd_schedule(args);
     if (command == "sched-faults") return cmd_sched_faults(args);
     if (command == "sched-scale") return cmd_sched_scale(args);
+    if (command == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
