@@ -1,6 +1,7 @@
 #include "serve/protocol.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/json_writer.hpp"
@@ -41,11 +42,15 @@ double opt_number(const JsonValue& obj, std::string_view key, double fallback) {
 
 int opt_int(const JsonValue& obj, std::string_view key, int fallback) {
   const double d = opt_number(obj, key, static_cast<double>(fallback));
-  const int i = static_cast<int>(d);
-  if (static_cast<double>(i) != d) {
-    bad("field '" + std::string(key) + "' must be an integer");
+  // Range-check BEFORE casting: double->int overflow is undefined
+  // behavior, and clients control this value. Both int bounds are
+  // exactly representable as doubles, so the comparisons are precise.
+  if (d < static_cast<double>(std::numeric_limits<int>::min()) ||
+      d > static_cast<double>(std::numeric_limits<int>::max()) ||
+      d != std::floor(d)) {
+    bad("field '" + std::string(key) + "' must be an integer in int range");
   }
-  return i;
+  return static_cast<int>(d);
 }
 
 bool opt_bool(const JsonValue& obj, std::string_view key, bool fallback) {
@@ -127,7 +132,13 @@ core::SystemTimes parse_times(const JsonValue& obj) {
     if (!sys.has_value()) bad("unknown system '" + name + "' in times");
     const double t = get_number(value, name);
     if (t <= 0.0) bad("times." + name + " must be positive");
-    times[static_cast<std::size_t>(*sys)] = t;
+    const std::size_t idx = static_cast<std::size_t>(*sys);
+    // A repeated key would count toward `seen` twice and leave another
+    // system's slot at 0, tripping a contract check deep in Rpv instead
+    // of a bad_request here. Times are already required positive, so a
+    // non-zero slot means the key appeared before.
+    if (times[idx] > 0.0) bad("duplicate system '" + name + "' in times");
+    times[idx] = t;
     ++seen;
   }
   if (seen != arch::kNumSystems) {

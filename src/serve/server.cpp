@@ -42,6 +42,32 @@ void Server::log_line(const std::string& message) {
   log_->flush();
 }
 
+void Server::retain_fd(int fd) {
+  if (fd <= 2) return;
+  const std::lock_guard lock(fd_mutex_);
+  ++fd_refs_[fd];
+}
+
+void Server::release_fd(int fd) {
+  if (fd <= 2) return;
+  const std::lock_guard lock(fd_mutex_);
+  const auto it = fd_refs_.find(fd);
+  MPHPC_EXPECTS(it != fd_refs_.end() && it->second > 0);
+  if (--it->second > 0) return;
+  fd_refs_.erase(it);
+  if (fd_dead_.erase(fd) > 0) ::close(fd);
+}
+
+void Server::retire_fd(int fd) {
+  if (fd <= 2) return;
+  const std::lock_guard lock(fd_mutex_);
+  if (fd_refs_.find(fd) == fd_refs_.end()) {
+    ::close(fd);
+    return;
+  }
+  fd_dead_.insert(fd);
+}
+
 int Server::setup_listener() {
   sockaddr_un addr = {};
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -108,13 +134,22 @@ int Server::run() {
     if (conn.fd > 2) ::close(conn.fd);  // never close stdio fds
   }
   connections_.clear();
+  {
+    // The drained batcher released every queued reply, so deferred-close
+    // fds should all be gone; sweep whatever is left regardless.
+    const std::lock_guard lock(fd_mutex_);
+    for (const int fd : fd_dead_) ::close(fd);
+    fd_dead_.clear();
+    fd_refs_.clear();
+  }
   if (listen_fd >= 0) {
     ::close(listen_fd);
     ::unlink(options_.socket_path.c_str());
   }
   log_line("drained; model generation " + std::to_string(core_.generation()) +
            " flushed");
-  return 0;
+  const ShutdownLatch& latch = ShutdownLatch::instance();
+  return latch.requested() ? latch.exit_code() : 0;
 }
 
 void Server::intake_loop(int listen_fd) {
@@ -174,9 +209,10 @@ void Server::intake_loop(int listen_fd) {
           begin_drain("stdin EOF");
           return;
         }
-        // Defer the close to run() teardown: queued requests may still
-        // hold this fd, and closing now would let accept() recycle the
-        // number for a different client.
+        // Closes now unless queued requests still hold this fd, in which
+        // case the last reply release closes it (an immediate close would
+        // let accept() recycle the number for a different client).
+        retire_fd(connections_[idx].fd);
         connections_.erase(connections_.begin() +
                            static_cast<std::ptrdiff_t>(idx));
       }
@@ -239,6 +275,7 @@ void Server::handle_input_line(int fd, std::string_view line) {
   }
   pending.fd = reply_fd;
   pending.arrival = Clock::now();
+  retain_fd(reply_fd);  // released when the reply (or shed/expiry) is written
   enqueue(std::move(pending));
 }
 
@@ -263,6 +300,7 @@ void Server::enqueue(Pending pending) {
     write_reply(victim.fd,
                 error_reply(victim.request.id, "overloaded",
                             "queue full: oldest request shed"));
+    release_fd(victim.fd);
   }
 }
 
@@ -296,6 +334,7 @@ void Server::serve_batch(std::vector<Pending>& batch) {
       core_.note_deadline_expired();
       write_reply(p.fd, error_reply(p.request.id, "deadline_exceeded",
                                     "request exceeded its serve deadline"));
+      release_fd(p.fd);
       continue;
     }
     if (p.request.op == Op::kFeedback) saw_feedback = true;
@@ -307,6 +346,7 @@ void Server::serve_batch(std::vector<Pending>& batch) {
     for (std::size_t k = 0; k < replies.size(); ++k) {
       write_reply(batch[live_index[k]].fd, replies[k]);
     }
+    for (const std::size_t i : live_index) release_fd(batch[i].fd);
   }
   if (saw_feedback && core_.refit_pending()) {
     {

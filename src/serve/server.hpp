@@ -23,9 +23,11 @@
 //
 // Shutdown: a SIGINT/SIGTERM (via ShutdownLatch), a shutdown request, or
 // EOF stops intake; the batcher drains everything already queued, the
-// model is flushed to the store, and run() returns 0. SIGKILL needs no
-// handling here — the store's atomic write protocol guarantees a
-// restartable model at every instant.
+// model is flushed to the store, and run() returns 0 — or 128+signal
+// when a signal started the drain, so wrappers can tell "interrupted
+// but flushed" from a clean stop. SIGKILL needs no handling here — the
+// store's atomic write protocol guarantees a restartable model at
+// every instant.
 #pragma once
 
 #include <chrono>
@@ -33,7 +35,9 @@
 #include <cstddef>
 #include <deque>
 #include <iosfwd>
+#include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -59,7 +63,8 @@ class Server {
   Server(ServeCore& core, ServerOptions options, std::ostream* log = nullptr);
 
   /// Runs the daemon until EOF / shutdown request / SIGINT / SIGTERM,
-  /// then drains and returns the process exit code (0 on a clean drain).
+  /// then drains and returns the process exit code: 0 on a clean drain
+  /// (EOF or shutdown request), 128+signal when a signal tripped it.
   int run();
 
  private:
@@ -90,6 +95,17 @@ class Server {
   void refit_loop();
   void begin_drain(const char* why);
 
+  /// Reply-fd lifecycle. Every queued Pending holds a reference on its
+  /// reply fd, so a disconnect observed by intake cannot close an fd the
+  /// batcher still has replies for (close would let accept() recycle the
+  /// number and misdeliver those replies). retire_fd() — the disconnect
+  /// path — closes immediately when nothing is queued for the fd and
+  /// otherwise defers the close to the release_fd() that drops the last
+  /// reference. stdio fds (<= 2) are borrowed, never closed.
+  void retain_fd(int fd);
+  void release_fd(int fd);
+  void retire_fd(int fd);
+
   ServeCore& core_;
   ServerOptions options_;
   std::ostream* log_;
@@ -108,6 +124,10 @@ class Server {
 
   std::mutex write_mutex_;
   std::vector<Connection> connections_;
+
+  std::mutex fd_mutex_;
+  std::map<int, std::size_t> fd_refs_;  ///< fd -> queued replies
+  std::set<int> fd_dead_;  ///< disconnected; close when refs drop to zero
 };
 
 }  // namespace mphpc::serve

@@ -150,8 +150,9 @@ echo "kill-and-resume train smoke: ok (models bit-identical)"
 # Serve smoke: run the online prediction daemon end-to-end in stdio mode
 # over a FIFO — predicts and enough feedback to force a refit/hot-swap, a
 # malformed line that must produce a bad_request reply (not an exit), then
-# SIGTERM, which must drain cleanly (exit 0) and leave a verifiable model
-# store at a refit generation.
+# SIGTERM, which must drain cleanly (exit 143 = 128+SIGTERM, the
+# "interrupted but flushed" convention shared with train/sched-scale)
+# and leave a verifiable model store at a refit generation.
 echo "==== [dev] serve smoke (daemon, hot-swap, malformed input, SIGTERM) ===="
 rm -rf build-dev/serve_smoke
 mkdir -p build-dev/serve_smoke
@@ -190,7 +191,15 @@ if [[ "${swap_seen}" -ne 1 ]]; then
   exit 1
 fi
 kill -TERM "${serve_pid}"
-wait "${serve_pid}"  # a clean drain exits 0; set -e fails the lane otherwise
+# A signal-initiated drain exits 128+SIGTERM = 143 (after flushing the
+# model store); anything else — 0 included — means the drain path broke.
+serve_rc=0
+wait "${serve_pid}" || serve_rc=$?
+if [[ "${serve_rc}" -ne 143 ]]; then
+  echo "serve daemon exited ${serve_rc} on SIGTERM (want 143)" >&2
+  cat build-dev/serve_smoke/log.txt >&2
+  exit 1
+fi
 exec 3>&-
 python3 - <<'EOF'
 import json
