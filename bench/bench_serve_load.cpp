@@ -203,15 +203,22 @@ struct ClientResult {
   std::vector<double> latency_ms;
   long long ok = 0;
   long long errors = 0;
+  long long resets = 0;  ///< connections lost mid-request and re-dialed
 };
 
 /// Closed-loop client: sends its assigned request lines one at a time and
 /// times each round trip. Every `feedback_every`-th request is a feedback
 /// so the daemon refits and hot-swaps while predicts are in flight.
+///
+/// A connection reset (a supervised worker SIGKILLed with this client's
+/// request in flight) is NOT an error: the client re-dials — the
+/// supervisor's socket stays live across worker deaths — and retries the
+/// same request. Only a reply that arrives and is wrong, or a daemon
+/// that stops answering entirely, counts against `errors`.
 ClientResult run_client(const std::string& socket_path, const Corpus& corpus,
                         int requests, int feedback_every, int offset) {
   ClientResult result;
-  const int fd = connect_with_retry(socket_path);
+  int fd = connect_with_retry(socket_path);
   if (fd < 0) {
     result.errors = requests;
     return result;
@@ -225,12 +232,27 @@ ClientResult run_client(const std::string& socket_path, const Corpus& corpus,
     const auto& lines = feedback ? corpus.feedbacks : corpus.predicts;
     const std::string& line =
         lines[static_cast<std::size_t>(global) % lines.size()];
-    const Timer timer;
-    if (!send_line(fd, line) || !read_line(fd, buffer, reply)) {
-      result.errors += requests - i;
-      break;
+    bool answered = false;
+    for (int attempt = 0; attempt < 5 && !answered; ++attempt) {
+      const Timer timer;
+      if (send_line(fd, line) && read_line(fd, buffer, reply)) {
+        result.latency_ms.push_back(timer.millis());
+        answered = true;
+        break;
+      }
+      ::close(fd);
+      buffer.clear();  // a dead worker's partial reply is garbage
+      ++result.resets;
+      fd = connect_with_retry(socket_path);
+      if (fd < 0) {
+        result.errors += requests - i;
+        return result;
+      }
     }
-    result.latency_ms.push_back(timer.millis());
+    if (!answered) {
+      ++result.errors;
+      continue;
+    }
     if (reply.find("\"ok\":true") != std::string::npos) {
       ++result.ok;
     } else {
@@ -267,6 +289,71 @@ int emit_jsonl(const std::string& path, int predicts, int feedbacks) {
   std::fprintf(stderr, "wrote %d predicts + %d feedbacks to %s\n", predicts,
                feedbacks, path.c_str());
   return 0;
+}
+
+/// External mode: hammers an already-running daemon (typically the
+/// `--workers N` supervised fleet) on `socket_path`. The caller owns the
+/// daemon's lifecycle — no shutdown is sent — so ci.sh can kill -9 a
+/// worker mid-load and assert the client-visible outcome: every request
+/// answered correctly or with an explicit error code, resets absorbed by
+/// re-dialing, zero silent drops.
+int run_external(const std::string& socket_path, int requests, int clients,
+                 int feedback_every) {
+  const Corpus corpus = build_corpus(/*inputs_per_app=*/2, /*seed=*/11);
+  std::fprintf(stderr, "running %d requests over %d clients against %s...\n",
+               requests, clients, socket_path.c_str());
+  const Timer wall;
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  {
+    std::vector<std::thread> workers;
+    const int share = requests / clients;
+    for (int c = 0; c < clients; ++c) {
+      const int n = c == clients - 1 ? requests - share * (clients - 1) : share;
+      workers.emplace_back([&, c, n] {
+        results[static_cast<std::size_t>(c)] =
+            run_client(socket_path, corpus, n, feedback_every, c * share);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const double elapsed_s = wall.seconds();
+
+  std::vector<double> latencies;
+  long long ok = 0;
+  long long errors = 0;
+  long long resets = 0;
+  for (const ClientResult& r : results) {
+    latencies.insert(latencies.end(), r.latency_ms.begin(), r.latency_ms.end());
+    ok += r.ok;
+    errors += r.errors;
+    resets += r.resets;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  JsonWriter json;
+  json.begin_object();
+  json.begin_object("config");
+  json.field("socket", socket_path);
+  json.field("requests", requests);
+  json.field("clients", clients);
+  json.field("feedback_every", feedback_every);
+  json.end_object();
+  json.begin_object("results");
+  json.field("elapsed_s", elapsed_s);
+  json.field("throughput_rps", static_cast<double>(ok + errors) / elapsed_s);
+  json.field("ok", ok);
+  json.field("errors", errors);
+  json.field("resets", resets);
+  json.begin_object("latency_ms");
+  json.field("p50", percentile(latencies, 0.50));
+  json.field("p90", percentile(latencies, 0.90));
+  json.field("p99", percentile(latencies, 0.99));
+  json.field("max", latencies.empty() ? 0.0 : latencies.back());
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+  return errors == 0 ? 0 : 1;
 }
 
 int run_benchmark(int requests, int clients, int feedback_every) {
@@ -321,10 +408,12 @@ int run_benchmark(int requests, int clients, int feedback_every) {
   std::vector<double> latencies;
   long long ok = 0;
   long long errors = 0;
+  long long resets = 0;
   for (const ClientResult& r : results) {
     latencies.insert(latencies.end(), r.latency_ms.begin(), r.latency_ms.end());
     ok += r.ok;
     errors += r.errors;
+    resets += r.resets;
   }
   std::sort(latencies.begin(), latencies.end());
 
@@ -343,6 +432,7 @@ int run_benchmark(int requests, int clients, int feedback_every) {
   json.field("throughput_rps", static_cast<double>(ok + errors) / elapsed_s);
   json.field("ok", ok);
   json.field("errors", errors);
+  json.field("resets", resets);
   json.begin_object("latency_ms");
   json.field("p50", percentile(latencies, 0.50));
   json.field("p90", percentile(latencies, 0.90));
@@ -368,6 +458,7 @@ int run_benchmark(int requests, int clients, int feedback_every) {
 
 int main(int argc, char** argv) {
   std::string emit_path;
+  std::string socket_path;
   int requests = 2000;
   int clients = 4;
   int feedback_every = 16;
@@ -379,6 +470,7 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : "";
     };
     if (arg == "--emit-jsonl") emit_path = next();
+    else if (arg == "--socket") socket_path = next();
     else if (arg == "--requests") requests = std::atoi(next());
     else if (arg == "--clients") clients = std::atoi(next());
     else if (arg == "--feedback-every") feedback_every = std::atoi(next());
@@ -387,8 +479,9 @@ int main(int argc, char** argv) {
     else {
       std::fprintf(stderr,
                    "usage: %s [--requests N] [--clients C] "
-                   "[--feedback-every K] | --emit-jsonl FILE [--predicts P] "
-                   "[--feedbacks F]\n",
+                   "[--feedback-every K] | --socket PATH [--requests N] "
+                   "[--clients C] [--feedback-every K] | --emit-jsonl FILE "
+                   "[--predicts P] [--feedbacks F]\n",
                    argv[0]);
       return 2;
     }
@@ -397,6 +490,9 @@ int main(int argc, char** argv) {
   if (requests < 1 || clients < 1 || clients > requests) {
     std::fprintf(stderr, "bad --requests/--clients\n");
     return 2;
+  }
+  if (!socket_path.empty()) {
+    return run_external(socket_path, requests, clients, feedback_every);
   }
   return run_benchmark(requests, clients, feedback_every);
 }

@@ -1,5 +1,6 @@
 #include "serve/drift.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contract.hpp"
@@ -42,6 +43,73 @@ DriftDetector::State DriftDetector::observe(double abs_error) {
     }
   }
   return state_;
+}
+
+DriftMap::DriftMap(DriftMapOptions options)
+    : options_(options), app_options_(options.global), global_(options.global) {
+  if (options_.app_window == 0) {
+    options_.app_window = std::max<std::size_t>(4, options_.global.window / 4);
+  }
+  app_options_.window = options_.app_window;
+}
+
+DriftMap::Entry* DriftMap::touch(std::string_view app) {
+  if (options_.max_apps == 0) return nullptr;
+  const auto found = index_.find(std::string(app));
+  if (found != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, found->second);
+    return &*found->second;
+  }
+  if (lru_.size() >= options_.max_apps) {
+    // Evict the coldest app. Its history (trips included) is forgotten;
+    // the global detector is what keeps covering it from now on.
+    index_.erase(lru_.back().app);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{std::string(app), DriftDetector(app_options_)});
+  index_.emplace(lru_.front().app, lru_.begin());
+  return &lru_.front();
+}
+
+DriftMap::Outcome DriftMap::observe(std::string_view app, double abs_error) {
+  Entry* entry = touch(app);
+  bool quarantined = false;
+  if (entry != nullptr) {
+    // Feed the app detector first so an observation that trips the app
+    // is itself kept OUT of the global window (quarantine includes the
+    // tripping sample's successors; the pre-trip samples already
+    // contributed, which is what lets genuinely global drift still trip
+    // the fleet detector).
+    entry->detector.observe(abs_error);
+    quarantined = entry->detector.tripped();
+  }
+  if (!quarantined) global_.observe(abs_error);
+  return Outcome{global_.tripped(), quarantined};
+}
+
+bool DriftMap::degraded(std::string_view app) const {
+  return global_.tripped() || app_tripped(app);
+}
+
+bool DriftMap::app_tripped(std::string_view app) const {
+  const auto found = index_.find(std::string(app));
+  return found != index_.end() && found->second->detector.tripped();
+}
+
+std::size_t DriftMap::apps_tripped() const {
+  std::size_t tripped = 0;
+  for (const Entry& entry : lru_) {
+    if (entry.detector.tripped()) ++tripped;
+  }
+  return tripped;
+}
+
+std::vector<std::string> DriftMap::tripped_apps() const {
+  std::vector<std::string> apps;
+  for (const Entry& entry : lru_) {
+    if (entry.detector.tripped()) apps.push_back(entry.app);
+  }
+  return apps;
 }
 
 }  // namespace mphpc::serve

@@ -11,9 +11,19 @@
 // still tracked against the frozen model — drops below the strictly
 // lower `recover_mae`, so a stream hovering near the threshold cannot
 // flap the service between modes.
+//
+// DriftMap layers per-app isolation on top: each app name gets its own
+// (smaller-window) detector from a bounded LRU, so one misbehaving
+// workload degrades only its own predictions while the global detector
+// — fed by the NON-tripped apps — still guards the fleet as a whole and
+// covers apps evicted from (or never admitted to) the map.
 #pragma once
 
 #include <cstddef>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace mphpc::serve {
@@ -53,6 +63,80 @@ class DriftDetector {
   State state_ = State::kHealthy;
   long long trips_ = 0;
   long long recoveries_ = 0;
+};
+
+struct DriftMapOptions {
+  DriftOptions global;       ///< the fleet-wide fallback detector
+  std::size_t max_apps = 64; ///< LRU bound on per-app detectors (0 = global-only)
+  /// Per-app window; 0 derives max(4, global.window / 4), so a single
+  /// bad app trips its own detector well before it could fill the
+  /// global window.
+  std::size_t app_window = 0;
+};
+
+/// Per-app drift detectors over a global fallback.
+///
+/// Semantics, chosen so one poisoned workload cannot sink the fleet:
+///  - Every observation feeds the app's own detector (created on first
+///    sight, LRU-evicted past `max_apps`).
+///  - An observation feeds the GLOBAL detector only while its app is
+///    not tripped ("quarantine"): once app A trips, its garbage errors
+///    stop dragging the global mean up, so apps B..Z stay healthy. The
+///    app keeps observing its own stream and rejoins the global pool
+///    after it recovers.
+///  - `degraded(app)` is the OR of the global state and the app state —
+///    the global detector still covers evicted/unseen apps and genuine
+///    fleet-wide drift (many apps degrading at once trips global before
+///    any single small app window fills).
+///
+/// With max_apps == 0 the map degenerates to exactly the single global
+/// detector (the pre-multi-app behavior, kept for the legacy tests and
+/// the --drift-max-apps 0 escape hatch).
+class DriftMap {
+ public:
+  explicit DriftMap(DriftMapOptions options = {});
+
+  struct Outcome {
+    bool global_tripped = false;
+    bool app_tripped = false;
+  };
+
+  /// Records one observation attributed to `app`. Not thread-safe; the
+  /// service serializes feedback in arrival order.
+  Outcome observe(std::string_view app, double abs_error);
+
+  /// Should predictions for `app` fall back to neutral?
+  [[nodiscard]] bool degraded(std::string_view app) const;
+
+  /// Has `app` itself tripped? (false for unseen/evicted apps even while
+  /// the global detector is tripped — callers use this to tell "your
+  /// workload drifted" from "the fleet drifted").
+  [[nodiscard]] bool app_tripped(std::string_view app) const;
+
+  [[nodiscard]] const DriftDetector& global() const noexcept { return global_; }
+  [[nodiscard]] std::size_t apps_tracked() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::size_t apps_tripped() const;
+  /// Names of currently tripped apps, in most-recently-used order.
+  [[nodiscard]] std::vector<std::string> tripped_apps() const;
+  [[nodiscard]] const DriftMapOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Entry {
+    std::string app;
+    DriftDetector detector;
+  };
+
+  /// Returns the entry for `app`, creating (and LRU-evicting) as needed;
+  /// nullptr when per-app tracking is disabled.
+  Entry* touch(std::string_view app);
+
+  DriftMapOptions options_;
+  DriftOptions app_options_;  ///< global options with the app window
+  DriftDetector global_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };
 
 }  // namespace mphpc::serve

@@ -1,0 +1,141 @@
+#include "serve/fault_inject.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace mphpc::serve {
+namespace {
+
+struct PointSpec {
+  std::string_view name;
+  FaultSite site;
+  FaultAction action;
+};
+
+// The catalog of nameable fault points. Order is documentation order
+// (accept -> reply -> publish -> refit along the request/refit path).
+constexpr PointSpec kPoints[] = {
+    {"crash-accept", FaultSite::kAccept, FaultAction::kCrash},
+    {"hang-accept", FaultSite::kAccept, FaultAction::kHang},
+    {"crash-mid-reply", FaultSite::kMidReply, FaultAction::kCrash},
+    {"hang-mid-reply", FaultSite::kMidReply, FaultAction::kHang},
+    {"short-write-mid-reply", FaultSite::kMidReply, FaultAction::kShortWrite},
+    {"crash-pre-publish", FaultSite::kPrePublish, FaultAction::kCrash},
+    {"hang-pre-publish", FaultSite::kPrePublish, FaultAction::kHang},
+    {"crash-mid-refit", FaultSite::kMidRefit, FaultAction::kCrash},
+    {"hang-mid-refit", FaultSite::kMidRefit, FaultAction::kHang},
+};
+
+}  // namespace
+
+std::string_view to_string(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kAccept:
+      return "accept";
+    case FaultSite::kMidReply:
+      return "mid-reply";
+    case FaultSite::kPrePublish:
+      return "pre-publish";
+    case FaultSite::kMidRefit:
+      return "mid-refit";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kHang:
+      return "hang";
+    case FaultAction::kShortWrite:
+      return "short-write";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  static const bool armed_from_env = [] {
+    const char* spec = std::getenv("MPHPC_SERVE_FAULT");
+    if (spec != nullptr && *spec != '\0') injector.arm(spec);
+    return true;
+  }();
+  (void)armed_from_env;
+  return injector;
+}
+
+void FaultInjector::arm(std::string_view spec) {
+  std::string_view point = spec;
+  long long nth = 1;
+  if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+    point = spec.substr(0, colon);
+    const std::string nth_text(spec.substr(colon + 1));
+    char* end = nullptr;
+    nth = std::strtoll(nth_text.c_str(), &end, 10);
+    if (end == nth_text.c_str() || *end != '\0' || nth <= 0) {
+      throw std::invalid_argument("MPHPC_SERVE_FAULT: bad occurrence count '" +
+                                  nth_text + "' (want a positive integer)");
+    }
+  }
+  for (const PointSpec& candidate : kPoints) {
+    if (candidate.name == point) {
+      site_ = candidate.site;
+      action_ = candidate.action;
+      nth_ = nth;
+      for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+      armed_.store(true, std::memory_order_release);
+      return;
+    }
+  }
+  throw std::invalid_argument("MPHPC_SERVE_FAULT: unknown fault point '" +
+                              std::string(point) + "'");
+}
+
+void FaultInjector::disarm() noexcept {
+  armed_.store(false, std::memory_order_release);
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+}
+
+FaultAction FaultInjector::at(FaultSite site) noexcept {
+  if (!armed_.load(std::memory_order_acquire)) return FaultAction::kNone;
+  const auto index = static_cast<int>(site);
+  // fetch_add gives every occurrence a unique ordinal, so even with
+  // concurrent callers exactly one sees count == nth_ and fires.
+  const long long count =
+      counts_[index].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (site != site_ || count != nth_) return FaultAction::kNone;
+  return action_;
+}
+
+long long FaultInjector::hits(FaultSite site) const noexcept {
+  return counts_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+void FaultInjector::execute(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kNone:
+    case FaultAction::kShortWrite:
+      return;
+    case FaultAction::kCrash:
+      // SIGKILL on self: no unwinding, no atexit, no flush — the closest
+      // portable stand-in for a power loss at this instruction.
+      (void)::kill(::getpid(), SIGKILL);
+      // Unreachable in practice; pause forever rather than return into
+      // code that assumed the crash happened.
+      [[fallthrough]];
+    case FaultAction::kHang:
+      // Block this thread forever without burning CPU. Heartbeats from
+      // this thread stop; the supervisor's watchdog is what ends us.
+      for (;;) ::poll(nullptr, 0, -1);
+  }
+}
+
+}  // namespace mphpc::serve

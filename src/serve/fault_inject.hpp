@@ -1,0 +1,92 @@
+// Deterministic fault injection for the live serving stack.
+//
+// `sched/faults.hpp` gave the *simulator* seeded, replayable failures;
+// this seam applies the same discipline to the *daemon*. Four sites on
+// the request/refit path are tagged with a named fault point:
+//
+//   site          points
+//   accept        crash-accept, hang-accept
+//   mid-reply     crash-mid-reply, short-write-mid-reply, hang-mid-reply
+//   pre-publish   crash-pre-publish, hang-pre-publish
+//   mid-refit     crash-mid-refit, hang-mid-refit
+//
+// The injector is armed from the environment:
+//
+//   MPHPC_SERVE_FAULT=<point>[:<nth>]
+//
+// fires the point's action exactly on the <nth> (1-based, default 1)
+// time its site is reached in this process, and never again. Actions:
+// `crash` raises SIGKILL against the own process (no unwinding, no
+// atexit — exactly what a crash-safety test wants), `hang` blocks the
+// calling thread forever (what a heartbeat watchdog must detect), and
+// `short-write` returns to the call site, which writes a torn reply.
+//
+// The seam is compiled in always — production binaries carry it — and
+// costs one relaxed atomic load per site when unarmed, so there is no
+// "test build" whose behavior differs from the shipped one. The
+// supervisor clears MPHPC_SERVE_FAULT for restarted workers, so a fault
+// hits first incarnations only and recovery runs clean.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace mphpc::serve {
+
+enum class FaultSite { kAccept, kMidReply, kPrePublish, kMidRefit };
+enum class FaultAction { kNone, kCrash, kHang, kShortWrite };
+
+[[nodiscard]] std::string_view to_string(FaultSite site) noexcept;
+[[nodiscard]] std::string_view to_string(FaultAction action) noexcept;
+
+class FaultInjector {
+ public:
+  /// The process-wide injector, armed from MPHPC_SERVE_FAULT on first
+  /// use (empty/unset env leaves it disarmed).
+  [[nodiscard]] static FaultInjector& instance();
+
+  /// Arms from a spec ("<point>[:<nth>]"); throws std::invalid_argument
+  /// on an unknown point or a non-positive nth. Resets hit counters.
+  void arm(std::string_view spec);
+
+  /// Disarms and resets hit counters (tests).
+  void disarm() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one occurrence of `site` and returns the action to perform
+  /// — kNone unless this is exactly the armed point's nth occurrence.
+  /// Thread-safe; the nth occurrence fires on exactly one caller.
+  [[nodiscard]] FaultAction at(FaultSite site) noexcept;
+
+  /// Occurrences of `site` observed since arming (tests).
+  [[nodiscard]] long long hits(FaultSite site) const noexcept;
+
+  /// Performs `action`: kCrash raises SIGKILL (does not return), kHang
+  /// blocks forever, kNone/kShortWrite return (short writes are the
+  /// call site's job — only it knows what "half the bytes" means).
+  static void execute(FaultAction action) noexcept;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  FaultSite site_ = FaultSite::kAccept;
+  FaultAction action_ = FaultAction::kNone;
+  long long nth_ = 1;
+  std::atomic<long long> counts_[4]{};
+};
+
+/// Check-and-execute helper for sites whose only meaningful actions are
+/// crash/hang. Returns the action for sites that must handle
+/// kShortWrite themselves.
+inline FaultAction fault_point(FaultSite site) noexcept {
+  const FaultAction action = FaultInjector::instance().at(site);
+  FaultInjector::execute(action);
+  return action;
+}
+
+}  // namespace mphpc::serve

@@ -32,11 +32,24 @@ class ModelStore {
     long long generation = 0;
   };
 
+  struct Header {
+    long long generation = 0;
+    std::string fingerprint;
+  };
+
   /// Loads the stored model. Returns nullopt when no store file exists;
   /// throws ParseError on a present-but-invalid file (bad header,
   /// fingerprint mismatch, unparseable model) so the caller can decide
   /// whether a bootstrap fallback is available.
   [[nodiscard]] std::optional<StoredModel> load() const;
+
+  /// Reads just the first line — (generation, fingerprint) — without
+  /// parsing or verifying the body. This is the cheap poll multi-worker
+  /// followers use to notice a leader's publish; a follower that sees a
+  /// new header does the full (verifying) load() before swapping, so a
+  /// torn read here costs a retry, never a bad model. Returns nullopt
+  /// when no store file exists; throws ParseError on a malformed header.
+  [[nodiscard]] std::optional<Header> peek_header() const;
 
   /// Atomically persists `predictor` as generation `generation`; returns
   /// the fingerprint written into the header.
@@ -51,6 +64,67 @@ class ModelStore {
 
  private:
   std::string path_;
+};
+
+/// Advisory refit lease for a multi-worker fleet sharing one ModelStore.
+///
+/// At most one worker should burn CPU refitting at a time, so workers
+/// elect a refitter through a lock file next to the store: acquisition
+/// is open(O_CREAT|O_EXCL) — atomic on every POSIX filesystem — with the
+/// holder's identity written as the file content for the stats op. The
+/// holder refreshes the lease mtime while refitting; a candidate that
+/// finds the file older than `ttl_s` declares the holder dead (crashed
+/// mid-refit, SIGKILLed) and takes over by unlinking and re-racing the
+/// O_EXCL create, which leaves exactly one winner.
+///
+/// The lease is an OPTIMIZATION, not a correctness boundary: store
+/// writes are atomic and monotone in generation, so two simultaneous
+/// refitters (possible across a stale takeover) waste cycles but cannot
+/// tear state — followers converge on whichever generation landed last.
+class RefitLease {
+ public:
+  /// A null lease: try_acquire() always succeeds, nothing touches disk.
+  /// Single-process serving uses this so the code path is uniform.
+  RefitLease() = default;
+
+  /// A real lease at `path` (conventionally `<state_dir>/refit.lease`)
+  /// identifying this process as `holder`; a holder silent for `ttl_s`
+  /// seconds is considered dead.
+  RefitLease(std::string path, std::string holder, double ttl_s);
+
+  ~RefitLease();
+  RefitLease(const RefitLease&) = delete;
+  RefitLease& operator=(const RefitLease&) = delete;
+  RefitLease(RefitLease&& other) noexcept;
+  RefitLease& operator=(RefitLease&& other) noexcept;
+
+  /// Tries to become the refitter. Returns true on success (including
+  /// re-entry while already held). Takes over a stale holder.
+  [[nodiscard]] bool try_acquire();
+
+  /// Bumps the lease mtime so long refits aren't mistaken for death.
+  /// No-op unless held.
+  void refresh() noexcept;
+
+  /// Releases the lease (unlinks the file). No-op unless held.
+  void release() noexcept;
+
+  [[nodiscard]] bool held() const noexcept { return held_; }
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+  [[nodiscard]] const std::string& holder() const noexcept { return holder_; }
+
+  /// The current holder's identity as recorded in the lease file, or ""
+  /// when no lease file exists (idle fleet / null lease).
+  [[nodiscard]] std::string read_holder() const;
+
+ private:
+  [[nodiscard]] bool create_exclusive();
+  [[nodiscard]] double age_s() const;
+
+  std::string path_;
+  std::string holder_;
+  double ttl_s_ = 30.0;
+  bool held_ = false;
 };
 
 }  // namespace mphpc::serve

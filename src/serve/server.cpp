@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -15,6 +16,7 @@
 #include "common/contract.hpp"
 #include "common/shutdown.hpp"
 #include "common/strings.hpp"
+#include "serve/fault_inject.hpp"
 
 namespace mphpc::serve {
 
@@ -27,18 +29,81 @@ constexpr std::size_t kMaxLineBytes = 1U << 20U;
 
 }  // namespace
 
+int listen_unix(const std::string& path) {
+  sockaddr_un addr = {};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long: " + path);
+  }
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::copy(path.begin(), path.end(), addr.sun_path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: cannot listen on " + path + ": " + err);
+  }
+  return fd;
+}
+
+IntakeQueue::IntakeQueue(std::size_t capacity) : capacity_(capacity) {
+  MPHPC_EXPECTS(capacity >= 1);
+}
+
+std::optional<Pending> IntakeQueue::push(Pending pending) {
+  std::optional<Pending> victim;
+  if (size() >= capacity_) {
+    // Shed the OLDEST request from the lowest-priority non-empty lane: a
+    // dropped feedback costs a little model freshness, a dropped predict
+    // stalls a scheduler decision, and in either lane the oldest entry
+    // is the one most likely past its deadline already. The client
+    // learns immediately via the overload reply instead of waiting on a
+    // queue that cannot keep up.
+    std::deque<Pending>& lane = feedback_.empty() ? predict_ : feedback_;
+    victim = std::move(lane.front());
+    lane.pop_front();
+  }
+  if (pending.request.op == Op::kFeedback) {
+    feedback_.push_back(std::move(pending));
+  } else {
+    predict_.push_back(std::move(pending));
+  }
+  return victim;
+}
+
+std::size_t IntakeQueue::pop_batch(std::size_t max, std::vector<Pending>& out) {
+  std::size_t taken = 0;
+  // Priority lane drains first. Feedback can only starve while the
+  // predict lane stays saturated — exactly the overload regime in which
+  // feedback is the designated sacrifice.
+  for (std::deque<Pending>* lane : {&predict_, &feedback_}) {
+    while (taken < max && !lane->empty()) {
+      out.push_back(std::move(lane->front()));
+      lane->pop_front();
+      ++taken;
+    }
+  }
+  return taken;
+}
+
 Server::Server(ServeCore& core, ServerOptions options, std::ostream* log)
     : core_(core),
       options_(std::move(options)),
       log_(log),
-      pool_(options_.pool_threads) {
+      pool_(options_.pool_threads),
+      queue_(options_.queue_cap) {
   MPHPC_EXPECTS(options_.queue_cap >= 1 && options_.batch_max >= 1);
-  MPHPC_EXPECTS(options_.deadline_ms >= 0);
+  MPHPC_EXPECTS(options_.deadline_ms >= 0 && options_.store_poll_s >= 0.0);
 }
 
 void Server::log_line(const std::string& message) {
   if (log_ == nullptr) return;
-  *log_ << "[serve] " << message << '\n';
+  *log_ << "[" << options_.log_tag << "] " << message << '\n';
   log_->flush();
 }
 
@@ -68,30 +133,7 @@ void Server::retire_fd(int fd) {
   fd_dead_.insert(fd);
 }
 
-int Server::setup_listener() {
-  sockaddr_un addr = {};
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("serve: socket path too long: " +
-                             options_.socket_path);
-  }
-  ::unlink(options_.socket_path.c_str());
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error(std::string("serve: socket() failed: ") +
-                             std::strerror(errno));
-  }
-  addr.sun_family = AF_UNIX;
-  std::copy(options_.socket_path.begin(), options_.socket_path.end(),
-            addr.sun_path);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 64) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    throw std::runtime_error("serve: cannot listen on " + options_.socket_path +
-                             ": " + err);
-  }
-  return fd;
-}
+int Server::setup_listener() { return listen_unix(options_.socket_path); }
 
 int Server::run() {
   ShutdownLatch::instance().install();
@@ -100,10 +142,25 @@ int Server::run() {
   ignore_pipe.sa_handler = SIG_IGN;
   ::sigaction(SIGPIPE, &ignore_pipe, nullptr);
 
-  int listen_fd = -1;
-  if (!options_.socket_path.empty()) listen_fd = setup_listener();
-  log_line(options_.socket_path.empty()
-               ? "listening on stdin (stdio mode)"
+  // A borrowed listener is shared with sibling workers: accept() must
+  // not block when a sibling wins the race for a connection poll() saw,
+  // so the shared open file description goes nonblocking. Heartbeats
+  // must never wedge the intake loop on a slow supervisor either.
+  const bool borrowed_listener = options_.listen_fd >= 0;
+  int listen_fd = options_.listen_fd;
+  if (borrowed_listener) {
+    (void)::fcntl(listen_fd, F_SETFL,
+                  ::fcntl(listen_fd, F_GETFL, 0) | O_NONBLOCK);
+  } else if (!options_.socket_path.empty()) {
+    listen_fd = setup_listener();
+  }
+  if (options_.heartbeat_fd >= 0) {
+    (void)::fcntl(options_.heartbeat_fd, F_SETFL,
+                  ::fcntl(options_.heartbeat_fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  log_line(listen_fd < 0 ? "listening on stdin (stdio mode)"
+           : borrowed_listener
+               ? "listening on inherited fd " + std::to_string(listen_fd)
                : "listening on " + options_.socket_path);
   if (!core_.bootstrap_note().empty()) log_line(core_.bootstrap_note());
   log_line("serving generation " + std::to_string(core_.generation()) +
@@ -142,7 +199,10 @@ int Server::run() {
     fd_dead_.clear();
     fd_refs_.clear();
   }
-  if (listen_fd >= 0) {
+  if (listen_fd >= 0 && !borrowed_listener) {
+    // An inherited listener belongs to the supervisor (and to sibling
+    // workers still accepting on it); only a listener we created gets
+    // closed and its socket path unlinked.
     ::close(listen_fd);
     ::unlink(options_.socket_path.c_str());
   }
@@ -181,7 +241,8 @@ void Server::intake_loop(int listen_fd) {
     }
 
     // The 500 ms tick is a safety net for the (pipe-less) install failure
-    // path; signals normally wake the poll via the latch fd immediately.
+    // path (signals normally wake the poll via the latch fd immediately)
+    // and doubles as the heartbeat cadence toward the supervisor.
     const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
     if (ready < 0) {
       if (errno == EINTR) continue;
@@ -189,11 +250,16 @@ void Server::intake_loop(int listen_fd) {
       begin_drain("poll failure");
       return;
     }
+    maybe_heartbeat();
     if (ready == 0) continue;
 
     if (has_listener && (fds[listen_index].revents & POLLIN) != 0) {
       const int client = ::accept(listen_fd, nullptr, nullptr);
       if (client >= 0) {
+        // Fault point: a crash/hang here models a worker dying while
+        // admitting a connection — the client sees a reset, never a
+        // half-served request.
+        fault_point(FaultSite::kAccept);
         connections_.push_back(Connection{client, std::string(), false});
         continue;  // pollfd set changed; rebuild before reading
       }
@@ -222,6 +288,30 @@ void Server::intake_loop(int listen_fd) {
       if (draining_) return;
     }
   }
+}
+
+void Server::maybe_heartbeat() {
+  if (options_.heartbeat_fd < 0) return;
+  // A heartbeat asserts "this worker is serving", not just "the intake
+  // thread is scheduled": beat only while the queue is empty (nothing to
+  // prove) or the batcher finished a batch since the last beat. A worker
+  // wedged mid-reply under load stops beating even though intake still
+  // polls, and the supervisor's watchdog takes it out.
+  bool queue_empty = false;
+  {
+    const std::lock_guard lock(queue_mutex_);
+    queue_empty = queue_.empty();
+  }
+  const unsigned long long steps = batcher_steps_.load(std::memory_order_relaxed);
+  if (!queue_empty && steps == last_batcher_steps_) return;
+  last_batcher_steps_ = steps;
+  const char beat = '.';
+  ssize_t n = 0;
+  do {
+    n = ::write(options_.heartbeat_fd, &beat, 1);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN (supervisor slow to drain) and EPIPE (supervisor gone) are
+  // both fine: the pipe's only job is edge-triggered liveness.
 }
 
 bool Server::read_connection(Connection& conn) {
@@ -280,27 +370,22 @@ void Server::handle_input_line(int fd, std::string_view line) {
 }
 
 void Server::enqueue(Pending pending) {
-  Pending victim;
-  bool shed = false;
+  std::optional<Pending> victim;
   {
     const std::lock_guard lock(queue_mutex_);
-    if (queue_.size() >= options_.queue_cap) {
-      // Shed the OLDEST request: it is the most likely to be past its
-      // deadline already, and the client learns immediately via the
-      // overload reply instead of waiting on a queue that cannot keep up.
-      victim = std::move(queue_.front());
-      queue_.pop_front();
-      shed = true;
-    }
-    queue_.push_back(std::move(pending));
+    victim = queue_.push(std::move(pending));
+    core_.note_lane_depths(queue_.predict_depth(), queue_.feedback_depth());
   }
   queue_cv_.notify_one();
-  if (shed) {
-    core_.note_shed();
-    write_reply(victim.fd,
-                error_reply(victim.request.id, "overloaded",
-                            "queue full: oldest request shed"));
-    release_fd(victim.fd);
+  if (victim.has_value()) {
+    const bool was_feedback = victim->request.op == Op::kFeedback;
+    core_.note_shed(victim->request.op);
+    write_reply(victim->fd,
+                error_reply(victim->request.id, "overloaded",
+                            was_feedback
+                                ? "queue full: oldest feedback shed"
+                                : "queue full: oldest predict shed"));
+    release_fd(victim->fd);
   }
 }
 
@@ -311,14 +396,12 @@ void Server::batcher_loop() {
       std::unique_lock lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stop_batcher_ || !queue_.empty(); });
       if (queue_.empty() && stop_batcher_) return;
-      const std::size_t take = std::min(options_.batch_max, queue_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      batch.reserve(std::min(options_.batch_max, queue_.size()));
+      (void)queue_.pop_batch(options_.batch_max, batch);
+      core_.note_lane_depths(queue_.predict_depth(), queue_.feedback_depth());
     }
     serve_batch(batch);
+    batcher_steps_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -358,14 +441,29 @@ void Server::serve_batch(std::vector<Pending>& batch) {
 }
 
 void Server::refit_loop() {
+  const bool polling = options_.store_poll_s > 0.0;
+  const auto poll_tick = std::chrono::duration<double>(options_.store_poll_s);
   for (;;) {
     {
       std::unique_lock lock(refit_mutex_);
-      refit_cv_.wait(lock, [this] { return stop_refit_ || refit_kick_; });
+      const auto woken = [this] { return stop_refit_ || refit_kick_; };
+      if (polling) {
+        // Wake on the poll tick even without a kick: a pure follower
+        // (all its feedback shed, or a sibling holds the lease) must
+        // still notice the leader's publishes.
+        (void)refit_cv_.wait_for(lock, poll_tick, woken);
+      } else {
+        refit_cv_.wait(lock, woken);
+      }
       refit_kick_ = false;
       if (stop_refit_) return;
     }
     try {
+      if (polling && core_.follow_store()) {
+        log_line("follow: loaded generation " +
+                 std::to_string(core_.generation()) + " fingerprint " +
+                 core_.fingerprint());
+      }
       if (core_.run_refit(&pool_)) {
         log_line("refit: published generation " +
                  std::to_string(core_.generation()) + " fingerprint " +
@@ -383,6 +481,12 @@ void Server::write_reply(int fd, std::string_view reply) {
   std::string line(reply);
   line += '\n';
   const std::lock_guard lock(write_mutex_);
+  // Fault point: kShortWrite truncates the reply to half its bytes (a
+  // torn line the client's JSONL parser must reject), crash/hang model a
+  // worker dying with the reply in flight.
+  const FaultAction fault = FaultInjector::instance().at(FaultSite::kMidReply);
+  FaultInjector::execute(fault);
+  if (fault == FaultAction::kShortWrite) line.resize(line.size() / 2);
   std::size_t off = 0;
   while (off < line.size()) {
     const ssize_t n = ::write(fd, line.data() + off, line.size() - off);

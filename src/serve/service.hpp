@@ -27,6 +27,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <span>
@@ -48,12 +49,20 @@ struct ServeOptions {
   std::string model_path;  ///< bootstrap model when the store is empty
   core::RpvGuardOptions bounds{};
   DriftOptions drift{};
+  std::size_t drift_max_apps = 64;   ///< per-app drift LRU bound (0 = global-only)
+  std::size_t drift_app_window = 0;  ///< per-app window (0 = max(4, window/4))
   std::size_t window_capacity = 4096;  ///< feedback rows kept for refits
   std::size_t refit_every = 256;       ///< feedbacks per refit (0 = never)
   std::size_t min_refit_rows = 32;     ///< smallest window worth refitting on
   int refit_rounds = 20;               ///< extra boosting rounds per refit
   int max_model_rounds = 2000;         ///< warm-start budget before compaction
   int cold_rounds = 200;               ///< rounds for a compaction rebuild
+  // Fleet identity + coordination (set by the supervisor path; the
+  // defaults describe a standalone single-process daemon).
+  int worker_id = 0;                 ///< reported by stats
+  long long restarts_observed = 0;   ///< prior incarnations of this slot
+  bool use_lease = false;            ///< elect a single refitter on disk
+  double lease_ttl_s = 30.0;         ///< silent-holder takeover threshold
 };
 
 class ServeCore {
@@ -89,13 +98,25 @@ class ServeCore {
 
   /// Runs one refit cycle if one is pending: fit on the window, persist
   /// the new generation, hot-swap. Single-caller (the refit thread).
+  /// With use_lease, refits only while holding the on-disk refit lease
+  /// (non-holders return false and keep following the store instead).
   /// Returns true when a new generation was published. Throws on
   /// persistence failure — the caller decides whether that is fatal.
   bool run_refit(ThreadPool* pool = nullptr);
 
+  /// Converges this core on the store's published generation: peeks the
+  /// header and, when it differs from the generation/fingerprint served
+  /// here, loads and hot-swaps the stored model. This is how follower
+  /// workers pick up a leader's refits. Returns true when a swap
+  /// happened. Never throws (a torn or corrupt store read is retried on
+  /// the next poll).
+  bool follow_store() noexcept;
+
   /// Persists the current model/generation to the store (idempotent;
   /// called on clean shutdown so a --model bootstrap without any refit
-  /// still leaves a store behind).
+  /// still leaves a store behind). In lease mode the write is skipped
+  /// when the store already holds our generation or newer — a draining
+  /// follower must not clobber the leader's latest publish.
   void flush();
 
   [[nodiscard]] long long generation() const;
@@ -110,10 +131,24 @@ class ServeCore {
     return bootstrap_note_;
   }
 
-  /// Transport-level events folded into the stats reply.
-  void note_shed() noexcept { shed_.fetch_add(1, std::memory_order_relaxed); }
+  /// Transport-level events folded into the stats reply. Sheds are
+  /// attributed to the shed request's lane so operators can see the
+  /// priority policy working (feedback shed before predict).
+  void note_shed(Op op = Op::kPredict) noexcept {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    (op == Op::kFeedback ? shed_feedback_ : shed_predict_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   void note_deadline_expired() noexcept {
     deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Latest per-lane intake depths, sampled by the transport for stats.
+  void note_lane_depths(std::size_t predict_depth,
+                        std::size_t feedback_depth) noexcept {
+    lane_predict_depth_.store(static_cast<long long>(predict_depth),
+                              std::memory_order_relaxed);
+    lane_feedback_depth_.store(static_cast<long long>(feedback_depth),
+                               std::memory_order_relaxed);
   }
 
  private:
@@ -125,25 +160,43 @@ class ServeCore {
   void bootstrap();
   [[nodiscard]] std::string handle_feedback(const Request& request);
   [[nodiscard]] std::string shutdown_reply(std::string_view id) const;
+  /// Applies the per-app drift override to one predict result: a tripped
+  /// app's prediction is replaced with the neutral RPV and flagged as a
+  /// fallback, leaving other apps' predictions untouched.
+  void apply_app_degrade(const sim::RunProfile& profile, core::Rpv& rpv,
+                         std::uint8_t& fallback);
 
   ServeOptions options_;
   ModelStore store_;
   core::GuardedPredictor guard_;
+  RefitLease lease_;
   std::string bootstrap_note_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 
-  mutable std::mutex mutex_;  ///< guards window_, drift_, generation_, fingerprint_
+  mutable std::mutex mutex_;  ///< guards window_, generation_, fingerprint_
   std::deque<WindowRow> window_;
-  DriftDetector drift_;
   std::size_t pending_feedback_ = 0;
   long long generation_ = 0;
   std::string fingerprint_;
 
+  /// Separate from mutex_ so the (hot) predict path's per-app drift check
+  /// never contends with a refit's window copy.
+  mutable std::mutex drift_mutex_;
+  DriftMap drift_;
+
   std::atomic<long long> predicts_{0};
   std::atomic<long long> feedbacks_{0};
   std::atomic<long long> refits_{0};
+  std::atomic<long long> reloads_{0};
   std::atomic<long long> request_errors_{0};
   std::atomic<long long> shed_{0};
+  std::atomic<long long> shed_predict_{0};
+  std::atomic<long long> shed_feedback_{0};
   std::atomic<long long> deadline_expired_{0};
+  std::atomic<long long> app_fallbacks_{0};
+  std::atomic<long long> lane_predict_depth_{0};
+  std::atomic<long long> lane_feedback_depth_{0};
 };
 
 }  // namespace mphpc::serve

@@ -1,0 +1,341 @@
+#include "serve/supervisor.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/shutdown.hpp"
+#include "serve/fault_inject.hpp"
+
+namespace mphpc::serve {
+
+namespace {
+
+/// Event-loop cadence: short enough to honor sub-100ms restart backoffs
+/// (the tests use them) without busy-waiting.
+constexpr int kPollMs = 50;
+
+double seconds_since(std::chrono::steady_clock::time_point then,
+                     std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double>(now - then).count();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options, WorkerMain worker_main,
+                       std::ostream* log)
+    : options_(std::move(options)),
+      worker_main_(std::move(worker_main)),
+      log_(log) {
+  MPHPC_EXPECTS(options_.workers >= 1 && worker_main_ != nullptr);
+  MPHPC_EXPECTS(options_.heartbeat_timeout_s > 0.0 &&
+                options_.stable_after_s > 0.0);
+  MPHPC_EXPECTS(options_.restart.max_attempts >= 1);
+  slots_.resize(static_cast<std::size_t>(options_.workers));
+}
+
+void Supervisor::log_line(const std::string& message) {
+  if (log_ == nullptr) return;
+  *log_ << "[" << options_.log_tag << "] " << message << '\n';
+  log_->flush();
+}
+
+void Supervisor::emit(Event event, int slot, long long detail) {
+  if (hook_) hook_(event, slot, detail);
+}
+
+void Supervisor::spawn(int slot_index) {
+  Slot& slot = slots_[static_cast<std::size_t>(slot_index)];
+  MPHPC_EXPECTS(slot.pid < 0);
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("supervisor: pipe() failed: ") +
+                             std::strerror(errno));
+  }
+
+  const long long restarts = slot.restarts;
+  const int pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    throw std::runtime_error(std::string("supervisor: fork() failed: ") +
+                             std::strerror(errno));
+  }
+
+  if (pid == 0) {
+    // Child. Drop every supervisor-side fd it inherited: the read end of
+    // its own pipe and both ends of every sibling's (a worker holding a
+    // dead sibling's write end would keep that pipe from ever reporting
+    // HUP).
+    ::close(pipe_fds[0]);
+    for (const Slot& other : slots_) {
+      if (other.heartbeat_fd >= 0) ::close(other.heartbeat_fd);
+    }
+    // The child starts its own signal lifecycle: the latch must not
+    // inherit a tripped state from the supervisor's process image.
+    ShutdownLatch::instance().reset();
+    if (restarts > 0) {
+      // A restarted incarnation runs CLEAN: the injected fault already
+      // fired (that is why we are restarting), and recovery must not
+      // re-trip it. Scrub both the env (future arms) and the injector
+      // singleton (it may have armed pre-fork in this image).
+      ::unsetenv("MPHPC_SERVE_FAULT");
+      FaultInjector::instance().disarm();
+    }
+    WorkerEnv env;
+    env.slot = slot_index;
+    env.restarts = restarts;
+    env.heartbeat_fd = pipe_fds[1];
+    int code = 1;
+    try {
+      code = worker_main_(env);
+    } catch (const std::exception& e) {
+      // Writing to the supervisor's log stream from the child is safe:
+      // the fork snapshotted the stream, and worker stderr is line-ish.
+      log_line("worker " + std::to_string(slot_index) +
+               " failed: " + std::string(e.what()));
+    }
+    // _exit, not exit: unwinding through the supervisor's static state
+    // (twice-flushed streams, re-run destructors) is how forked children
+    // corrupt shared files.
+    ::_exit(code);
+  }
+
+  // Parent. The read end goes nonblocking so drain_heartbeat can slurp
+  // whatever is buffered and return instead of blocking on a quiet pipe.
+  ::close(pipe_fds[1]);
+  (void)::fcntl(pipe_fds[0], F_SETFL,
+                ::fcntl(pipe_fds[0], F_GETFL, 0) | O_NONBLOCK);
+  slot.pid = pid;
+  slot.heartbeat_fd = pipe_fds[0];
+  slot.spawned_at = Clock::now();
+  slot.last_beat = slot.spawned_at;
+  slot.restart_pending = false;
+  log_line("spawned worker " + std::to_string(slot_index) + " (pid " +
+           std::to_string(pid) + ", restarts " + std::to_string(restarts) +
+           ")");
+  emit(Event::kSpawned, slot_index, restarts);
+}
+
+void Supervisor::drain_heartbeat(Slot& slot) {
+  char buffer[256];
+  for (;;) {
+    const ssize_t n = ::read(slot.heartbeat_fd, buffer, sizeof buffer);
+    if (n > 0) {
+      slot.last_beat = Clock::now();
+      if (n < static_cast<ssize_t>(sizeof buffer)) return;
+      continue;  // more may be buffered
+    }
+    // 0 = writer gone (waitpid owns that story); <0 = EAGAIN/EINTR.
+    return;
+  }
+}
+
+int Supervisor::reap(bool& escalated) {
+  escalated = false;
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.pid < 0) continue;
+    int status = 0;
+    // Per-known-pid, never waitpid(-1): a supervisor running inside a
+    // test binary must not reap children it did not fork.
+    const int reaped = ::waitpid(slot.pid, &status, WNOHANG);
+    if (reaped != slot.pid) continue;
+
+    const double uptime_s = seconds_since(slot.spawned_at, now);
+    ::close(slot.heartbeat_fd);
+    slot.heartbeat_fd = -1;
+    slot.pid = -1;
+    emit(Event::kExited, static_cast<int>(i), status);
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      // A clean exit means this worker completed a drain (EOF or a
+      // shutdown request): that instruction is fleet-wide.
+      log_line("worker " + std::to_string(i) + " drained cleanly");
+      return static_cast<int>(i);
+    }
+
+    const std::string why =
+        WIFSIGNALED(status)
+            ? "killed by signal " + std::to_string(WTERMSIG(status))
+            : "exited " + std::to_string(WIFEXITED(status)
+                                             ? WEXITSTATUS(status)
+                                             : status);
+    // A long stable run forgives past flaps; a quick death extends the
+    // current streak and the backoff that comes with it.
+    if (uptime_s >= options_.stable_after_s) slot.attempt = 0;
+    slot.attempt += 1;
+    slot.restarts += 1;
+    if (slot.attempt >= options_.restart.max_attempts) {
+      log_line("worker " + std::to_string(i) + " " + why + "; slot burned " +
+               std::to_string(slot.attempt) +
+               " attempts — escalating to group drain");
+      emit(Event::kEscalated, static_cast<int>(i), slot.attempt);
+      escalated = true;
+      return -1;
+    }
+    const double u =
+        Rng(derive_seed(options_.seed, "supervisor", static_cast<int>(i),
+                        slot.restarts))
+            .uniform();
+    const double delay_s = options_.restart.delay_s(slot.attempt, u);
+    slot.restart_pending = true;
+    slot.restart_at =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(delay_s));
+    const long long delay_ms = std::llround(delay_s * 1000.0);
+    log_line("worker " + std::to_string(i) + " " + why + " after " +
+             std::to_string(uptime_s) + " s; restart " +
+             std::to_string(slot.restarts) + " in " +
+             std::to_string(delay_ms) + " ms");
+    emit(Event::kRestartScheduled, static_cast<int>(i), delay_ms);
+  }
+  return -1;
+}
+
+void Supervisor::kill_hung() {
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.pid < 0) continue;
+    const double silent_s = seconds_since(slot.last_beat, now);
+    if (silent_s <= options_.heartbeat_timeout_s) continue;
+    log_line("worker " + std::to_string(i) + " (pid " +
+             std::to_string(slot.pid) + ") silent for " +
+             std::to_string(silent_s) + " s — killing as hung");
+    emit(Event::kHung, static_cast<int>(i),
+         std::llround(silent_s));
+    // SIGKILL, not SIGTERM: a hung worker by definition is not running
+    // its drain path. The reap path restarts it like any crash.
+    (void)::kill(slot.pid, SIGKILL);
+    // Push last_beat forward so we do not re-kill every tick while the
+    // zombie waits for its waitpid.
+    slot.last_beat = now;
+  }
+}
+
+void Supervisor::start_due_restarts() {
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.pid >= 0 || !slot.restart_pending) continue;
+    if (now < slot.restart_at) continue;
+    spawn(static_cast<int>(i));
+  }
+}
+
+void Supervisor::drain_group(int sig) {
+  draining_ = true;
+  emit(Event::kDraining, -1, sig);
+  log_line(sig == 0 ? "draining group (clean)"
+                    : "draining group (signal " + std::to_string(sig) + ")");
+  for (Slot& slot : slots_) {
+    slot.restart_pending = false;  // no resurrections during a drain
+    if (slot.pid >= 0) (void)::kill(slot.pid, SIGTERM);
+  }
+
+  const Clock::time_point started = Clock::now();
+  bool killed_stragglers = false;
+  for (;;) {
+    bool any_live = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.pid < 0) continue;
+      int status = 0;
+      if (::waitpid(slot.pid, &status, WNOHANG) == slot.pid) {
+        ::close(slot.heartbeat_fd);
+        slot.heartbeat_fd = -1;
+        slot.pid = -1;
+        emit(Event::kExited, static_cast<int>(i), status);
+        continue;
+      }
+      any_live = true;
+    }
+    if (!any_live) break;
+    if (!killed_stragglers &&
+        seconds_since(started, Clock::now()) > options_.heartbeat_timeout_s) {
+      // A worker that ignored SIGTERM for a whole heartbeat timeout is
+      // hung; its store state is crash-safe by construction, so SIGKILL
+      // loses nothing a drain would have saved.
+      for (Slot& slot : slots_) {
+        if (slot.pid >= 0) (void)::kill(slot.pid, SIGKILL);
+      }
+      killed_stragglers = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  log_line("group drained");
+}
+
+int Supervisor::run() {
+  ShutdownLatch& latch = ShutdownLatch::instance();
+  latch.install();
+  log_line("supervising " + std::to_string(options_.workers) +
+           " workers (restart budget " +
+           std::to_string(options_.restart.max_attempts) +
+           " attempts/slot, heartbeat timeout " +
+           std::to_string(options_.heartbeat_timeout_s) + " s)");
+  for (int i = 0; i < options_.workers; ++i) spawn(i);
+
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{latch.wake_fd(), POLLIN, 0});
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].heartbeat_fd < 0) continue;
+      fd_slot.push_back(i);
+      fds.push_back(pollfd{slots_[i].heartbeat_fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                             kPollMs);
+    if (ready < 0 && errno != EINTR) {
+      log_line(std::string("poll failed: ") + std::strerror(errno));
+      drain_group(SIGTERM);
+      return 1;
+    }
+    for (std::size_t k = 0; k < fd_slot.size(); ++k) {
+      if ((fds[k + 1].revents & POLLIN) != 0) {
+        drain_heartbeat(slots_[fd_slot[k]]);
+      }
+    }
+
+    if (latch.requested()) {
+      drain_group(latch.signal_number());
+      return latch.exit_code();
+    }
+
+    bool escalated = false;
+    const int clean_slot = reap(escalated);
+    if (escalated) {
+      drain_group(SIGTERM);
+      return 1;
+    }
+    if (clean_slot >= 0) {
+      drain_group(0);
+      // The latch may have tripped while the clean drain ran; a signal
+      // still wins the exit-code convention.
+      return latch.requested() ? latch.exit_code() : 0;
+    }
+
+    kill_hung();
+    start_due_restarts();
+  }
+}
+
+}  // namespace mphpc::serve

@@ -1,0 +1,142 @@
+// Supervisor — the fault-tolerant process tree over `mphpc serve`.
+//
+// `mphpc serve --workers N` runs one supervisor that forks N worker
+// processes. All workers inherit the SAME listening Unix-socket fd
+// (created once, before the first fork), so the kernel load-balances
+// accept() across them and a worker death severs only the connections
+// that worker held — the socket itself stays live. Each worker also gets
+// the write end of a private heartbeat pipe.
+//
+// The supervisor's event loop watches three things:
+//
+//   waitpid     per-known-pid WNOHANG (never -1: a supervisor embedded
+//               in a test process must not reap unrelated children).
+//               A worker that exits 0 finished a clean drain (EOF or a
+//               shutdown request landed on it) — that is a fleet-wide
+//               instruction, so the group drains and run() returns 0. A
+//               worker killed by a signal or exiting nonzero crashed and
+//               is restarted with backoff.
+//   heartbeats  each worker beats ~2x/second while provably serving
+//               (server.hpp's maybe_heartbeat). A worker silent past
+//               heartbeat_timeout_s is declared hung and SIGKILLed; the
+//               waitpid path then restarts it like any other crash.
+//   the latch   SIGTERM/SIGINT to the supervisor propagates as SIGTERM
+//               to every worker, workers drain and exit 143, and run()
+//               returns 128+signal — the same "interrupted but flushed"
+//               convention the single-process daemon documents.
+//
+// Restart discipline reuses sched::RetryPolicy (the simulator's capped
+// exponential backoff, jitter included): slot attempt k restarts after
+// delay_s(k, u) with a deterministic jitter draw derived from the seed,
+// the slot, and the incarnation count. A worker that stays up
+// stable_after_s resets its slot's attempt streak; one that flaps past
+// max_attempts escalates — the whole group drains and run() returns 1,
+// because a worker that cannot hold a socket open is a configuration
+// problem supervision cannot fix.
+//
+// Restarted incarnations get MPHPC_SERVE_FAULT scrubbed from their
+// environment, so an injected fault (fault_inject.hpp) kills only first
+// incarnations and the recovery path always runs clean — exactly what
+// the crash-recovery tests need.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/faults.hpp"
+
+namespace mphpc::serve {
+
+struct SupervisorOptions {
+  int workers = 2;
+  /// Restart backoff per slot. The serve CLI defaults are much tighter
+  /// than the simulator's (a prediction service should come back in
+  /// fractions of a second, not minutes).
+  sched::RetryPolicy restart{.max_attempts = 6,
+                             .base_delay_s = 0.25,
+                             .multiplier = 2.0,
+                             .max_delay_s = 10.0,
+                             .jitter = 0.25};
+  double heartbeat_timeout_s = 10.0;  ///< silence that means "hung"
+  double stable_after_s = 30.0;       ///< uptime that resets a slot's streak
+  std::uint64_t seed = 1;             ///< jitter determinism
+  std::string log_tag = "serve.sup";
+};
+
+/// What a forked worker is given to run with.
+struct WorkerEnv {
+  int slot = 0;            ///< stable worker index in [0, workers)
+  long long restarts = 0;  ///< prior incarnations of this slot
+  int heartbeat_fd = -1;   ///< write end of this worker's liveness pipe
+};
+
+class Supervisor {
+ public:
+  /// The worker body, run in the forked child; its return value becomes
+  /// the worker's exit code (the child _exit()s with it — no unwinding
+  /// back into supervisor stack frames, no double-flushed buffers).
+  using WorkerMain = std::function<int(const WorkerEnv&)>;
+
+  /// Observable lifecycle transitions, for tests and log correlation.
+  enum class Event {
+    kSpawned,           ///< detail = restarts so far on this slot
+    kExited,            ///< detail = raw waitpid status
+    kHung,              ///< detail = seconds silent (rounded)
+    kRestartScheduled,  ///< detail = delay in milliseconds
+    kEscalated,         ///< detail = attempts burned on the slot
+    kDraining,          ///< detail = signal propagated (0 = clean)
+  };
+  using EventHook = std::function<void(Event event, int slot, long long detail)>;
+
+  /// `log` receives human-readable progress lines (nullptr = silent).
+  Supervisor(SupervisorOptions options, WorkerMain worker_main,
+             std::ostream* log = nullptr);
+
+  /// Tests hook lifecycle events; must be set before run().
+  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+  /// Runs the fleet until a drain finishes. Returns 0 (a worker drained
+  /// cleanly), 128+signal (SIGTERM/SIGINT propagated), or 1 (a slot
+  /// flapped past the retry budget and the group was escalated down).
+  int run();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Slot {
+    int pid = -1;            ///< -1: not running
+    int heartbeat_fd = -1;   ///< read end (-1 when not running)
+    long long restarts = 0;  ///< total incarnations spawned minus one
+    int attempt = 0;         ///< crashes in the current flap streak
+    Clock::time_point spawned_at{};
+    Clock::time_point last_beat{};
+    bool restart_pending = false;
+    Clock::time_point restart_at{};
+  };
+
+  void log_line(const std::string& message);
+  void emit(Event event, int slot, long long detail);
+  void spawn(int slot);
+  void drain_heartbeat(Slot& slot);
+  /// Reaps exited workers; returns the slot index of a clean (exit 0)
+  /// worker, or -1.
+  int reap(bool& escalated);
+  void kill_hung();
+  void start_due_restarts();
+  /// Propagates `sig` (0 = none) to live workers and waits them out,
+  /// SIGKILLing stragglers after the heartbeat timeout.
+  void drain_group(int sig);
+
+  SupervisorOptions options_;
+  WorkerMain worker_main_;
+  std::ostream* log_;
+  EventHook hook_;
+  std::vector<Slot> slots_;
+  bool draining_ = false;
+};
+
+}  // namespace mphpc::serve

@@ -26,6 +26,7 @@
 #include "serve/json.hpp"
 #include "serve/model_store.hpp"
 #include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
@@ -98,6 +99,11 @@ ServeOptions test_options(const std::string& state_dir) {
   o.min_refit_rows = 4;
   o.refit_rounds = 5;
   o.window_capacity = 64;
+  // The legacy drift suite below probes the single global detector
+  // (exact trip-on-window-fill timing); per-app quarantine would change
+  // which samples reach the global window, so pin it off here and test
+  // DriftMap semantics separately.
+  o.drift_max_apps = 0;
   return o;
 }
 
@@ -337,6 +343,103 @@ TEST(ServeDrift, RejectsBadConfigAndObservations) {
                ContractViolation);
 }
 
+// ----------------------------------------------------------- drift map ----
+
+DriftMapOptions drift_map_options() {
+  DriftMapOptions o;
+  o.global = {/*window=*/8, /*trip_mae=*/0.5, /*recover_mae=*/0.2};
+  o.max_apps = 4;
+  o.app_window = 4;
+  return o;
+}
+
+TEST(ServeDriftMap, AppTripQuarantinesItFromGlobal) {
+  DriftMap m(drift_map_options());
+  // App A goes bad: its own window-4 detector trips on the 4th sample.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(m.observe("A", 1.0).app_tripped);
+  }
+  const auto trip = m.observe("A", 1.0);
+  EXPECT_TRUE(trip.app_tripped);
+  EXPECT_FALSE(trip.global_tripped);
+  EXPECT_TRUE(m.degraded("A"));
+  EXPECT_FALSE(m.degraded("B"));
+
+  // Only the 3 pre-trip samples reached the global pool; once tripped,
+  // A's garbage is quarantined and stops dragging the global mean up.
+  EXPECT_EQ(m.global().samples(), 3u);
+  (void)m.observe("A", 1.0);
+  EXPECT_EQ(m.global().samples(), 3u);
+
+  // B's clean stream fills the global window without tripping it.
+  for (int i = 0; i < 8; ++i) (void)m.observe("B", 0.0);
+  EXPECT_FALSE(m.global().tripped());
+  EXPECT_FALSE(m.degraded("B"));
+  EXPECT_TRUE(m.degraded("A"));
+  EXPECT_EQ(m.apps_tripped(), 1u);
+  ASSERT_EQ(m.tripped_apps().size(), 1u);
+  EXPECT_EQ(m.tripped_apps()[0], "A");
+}
+
+TEST(ServeDriftMap, AppRecoversAndRejoinsGlobalPool) {
+  DriftMap m(drift_map_options());
+  for (int i = 0; i < 4; ++i) (void)m.observe("A", 1.0);
+  ASSERT_TRUE(m.degraded("A"));
+
+  // Clean samples wash A's window-4 detector below recover_mae.
+  bool recovered = false;
+  for (int i = 0; i < 4 && !recovered; ++i) {
+    recovered = !m.observe("A", 0.0).app_tripped;
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_FALSE(m.degraded("A"));
+  EXPECT_EQ(m.apps_tripped(), 0u);
+
+  // Recovered: A's samples feed the global detector again.
+  const std::size_t before = m.global().samples();
+  (void)m.observe("A", 0.0);
+  EXPECT_EQ(m.global().samples(), before + 1);
+}
+
+TEST(ServeDriftMap, LruEvictsBeyondMaxApps) {
+  DriftMapOptions o = drift_map_options();
+  o.max_apps = 2;
+  DriftMap m(o);
+  for (int i = 0; i < 4; ++i) (void)m.observe("A", 1.0);  // A trips
+  ASSERT_TRUE(m.app_tripped("A"));
+  (void)m.observe("B", 0.0);
+  (void)m.observe("C", 0.0);  // evicts A, the least recently used
+  EXPECT_EQ(m.apps_tracked(), 2u);
+  EXPECT_FALSE(m.app_tripped("A"));  // evicted: per-app state forgotten
+  EXPECT_FALSE(m.degraded("A"));     // healthy global still covers it
+}
+
+TEST(ServeDriftMap, ZeroMaxAppsDegeneratesToGlobalDetector) {
+  DriftMapOptions o = drift_map_options();
+  o.max_apps = 0;
+  DriftMap m(o);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(m.observe("A", 1.0).app_tripped);  // no per-app tracking
+  }
+  EXPECT_EQ(m.apps_tracked(), 0u);
+  EXPECT_TRUE(m.global().tripped());  // every sample reached global
+  EXPECT_TRUE(m.degraded("A"));
+  EXPECT_TRUE(m.degraded("never-seen"));
+}
+
+TEST(ServeDriftMap, GlobalTripDegradesUnseenApps) {
+  DriftMap m(drift_map_options());
+  // Eight distinct apps each contribute one bad sample: no per-app
+  // window (4) ever fills, but the global window (8) does — genuine
+  // fleet-wide drift trips global and degrades everyone.
+  for (int i = 0; i < 8; ++i) {
+    (void)m.observe("app-" + std::to_string(i), 1.0);
+  }
+  EXPECT_TRUE(m.global().tripped());
+  EXPECT_EQ(m.apps_tripped(), 0u);
+  EXPECT_TRUE(m.degraded("someone-else"));
+}
+
 // --------------------------------------------------------- model store ----
 
 TEST(ServeModelStore, RoundTripsModelGenerationAndFingerprint) {
@@ -402,6 +505,140 @@ TEST(ServeModelStore, RejectsTamperedFile) {
     out << "some-other-format v9 1 abc\nbody\n";
   }
   EXPECT_THROW(store.load(), ParseError);
+}
+
+TEST(ServeModelStore, PeekHeaderMatchesLoadWithoutParsingBody) {
+  const std::string dir = fresh_dir("store_peek");
+  const ModelStore store(dir + "/model.txt");
+  EXPECT_FALSE(store.peek_header().has_value());  // no store file yet
+
+  const std::string fingerprint = store.store(shared_state().predictor, 7);
+  const auto header = store.peek_header();
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->generation, 7);
+  EXPECT_EQ(header->fingerprint, fingerprint);
+
+  {
+    std::ofstream out(store.path());
+    out << "not-a-store-header at all\nbody\n";
+  }
+  EXPECT_THROW(store.peek_header(), ParseError);
+}
+
+// --------------------------------------------------------- refit lease ----
+
+TEST(ServeRefitLease, NullLeaseAlwaysAcquiresAndTouchesNothing) {
+  RefitLease lease;
+  EXPECT_FALSE(lease.enabled());
+  EXPECT_TRUE(lease.try_acquire());
+  lease.refresh();
+  lease.release();
+  EXPECT_EQ(lease.read_holder(), "");
+}
+
+TEST(ServeRefitLease, ExclusiveAcquireAndHandoffOnRelease) {
+  const std::string path = fresh_dir("lease_excl") + "/refit.lease";
+  RefitLease a(path, "worker-0", 30.0);
+  RefitLease b(path, "worker-1", 30.0);
+  EXPECT_TRUE(a.try_acquire());
+  EXPECT_TRUE(a.held());
+  EXPECT_TRUE(a.try_acquire());  // re-entrant for the holder
+  EXPECT_FALSE(b.try_acquire());
+  EXPECT_EQ(b.read_holder(), "worker-0");
+  a.release();
+  EXPECT_FALSE(a.held());
+  EXPECT_TRUE(b.try_acquire());
+  EXPECT_EQ(a.read_holder(), "worker-1");
+}
+
+TEST(ServeRefitLease, TakesOverStaleHolderButRespectsFreshOne) {
+  const std::string path = fresh_dir("lease_stale") + "/refit.lease";
+  RefitLease dead(path, "dead-worker", 30.0);
+  ASSERT_TRUE(dead.try_acquire());
+  // Backdate the lease: a SIGKILLed holder never unlinks, so only its
+  // mtime going stale gives the fleet the lease back.
+  std::filesystem::last_write_time(
+      path,
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(1));
+  RefitLease live(path, "live-worker", 30.0);
+  EXPECT_TRUE(live.try_acquire());
+  EXPECT_EQ(live.read_holder(), "live-worker");
+
+  // A fresh (recent-mtime) lease is respected.
+  RefitLease contender(path, "contender", 30.0);
+  EXPECT_FALSE(contender.try_acquire());
+}
+
+TEST(ServeRefitLease, RefreshForestallsTakeover) {
+  const std::string path = fresh_dir("lease_refresh") + "/refit.lease";
+  RefitLease holder(path, "holder", 30.0);
+  ASSERT_TRUE(holder.try_acquire());
+  std::filesystem::last_write_time(
+      path,
+      std::filesystem::file_time_type::clock::now() - std::chrono::hours(1));
+  holder.refresh();  // a long refit keeps bumping the mtime
+  RefitLease contender(path, "contender", 30.0);
+  EXPECT_FALSE(contender.try_acquire());
+}
+
+TEST(ServeRefitLease, MoveTransfersOwnership) {
+  const std::string path = fresh_dir("lease_move") + "/refit.lease";
+  RefitLease a(path, "mover", 30.0);
+  ASSERT_TRUE(a.try_acquire());
+  RefitLease b(std::move(a));
+  EXPECT_TRUE(b.held());
+  EXPECT_FALSE(a.held());  // moved-from: defined, lease-less state
+  b.release();
+  EXPECT_EQ(b.read_holder(), "");
+}
+
+// -------------------------------------------------------- intake queue ----
+
+Pending make_pending(Op op, std::string id) {
+  Pending p;
+  p.request.op = op;
+  p.request.id = std::move(id);
+  return p;
+}
+
+TEST(ServeIntakeQueue, PriorityLaneDrainsBeforeFeedback) {
+  IntakeQueue q(8);
+  EXPECT_FALSE(q.push(make_pending(Op::kFeedback, "f1")).has_value());
+  EXPECT_FALSE(q.push(make_pending(Op::kPredict, "p1")).has_value());
+  EXPECT_FALSE(q.push(make_pending(Op::kFeedback, "f2")).has_value());
+  EXPECT_FALSE(q.push(make_pending(Op::kStats, "s1")).has_value());
+  EXPECT_EQ(q.predict_depth(), 2u);  // predict + stats share the lane
+  EXPECT_EQ(q.feedback_depth(), 2u);
+
+  std::vector<Pending> out;
+  EXPECT_EQ(q.pop_batch(10, out), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].request.id, "p1");
+  EXPECT_EQ(out[1].request.id, "s1");
+  EXPECT_EQ(out[2].request.id, "f1");
+  EXPECT_EQ(out[3].request.id, "f2");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeIntakeQueue, ShedsOldestFeedbackBeforeAnyPredict) {
+  IntakeQueue q(2);
+  EXPECT_FALSE(q.push(make_pending(Op::kFeedback, "f1")).has_value());
+  EXPECT_FALSE(q.push(make_pending(Op::kPredict, "p1")).has_value());
+  // At capacity: the incoming predict displaces the oldest feedback.
+  const auto victim = q.push(make_pending(Op::kPredict, "p2"));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->request.id, "f1");
+  EXPECT_EQ(victim->request.op, Op::kFeedback);
+  // No feedback left to sacrifice: the oldest predict goes next.
+  const auto victim2 = q.push(make_pending(Op::kPredict, "p3"));
+  ASSERT_TRUE(victim2.has_value());
+  EXPECT_EQ(victim2->request.id, "p1");
+  EXPECT_EQ(q.size(), 2u);
+
+  std::vector<Pending> out;
+  EXPECT_EQ(q.pop_batch(10, out), 2u);
+  EXPECT_EQ(out[0].request.id, "p2");
+  EXPECT_EQ(out[1].request.id, "p3");
 }
 
 // ----------------------------------------------------------- serve core ----
@@ -623,6 +860,131 @@ TEST(ServeCoreTest, DriftInjectionTripsFreezesRefitsAndRecovers) {
   const JsonValue ok = JsonValue::parse(
       core.handle_request(predict_request(s.profiles[0], "p2")));
   EXPECT_FALSE(ok.find("fallback")->as_bool());
+}
+
+// The acceptance-gate isolation test: poisoned feedback for one app
+// degrades that app's predictions to neutral while another app keeps
+// real model output and the fleet-wide guard stays healthy.
+TEST(ServeCoreTest, PerAppDriftTripLeavesOtherAppsHealthy) {
+  const std::string dir = fresh_dir("per_app_drift");
+  ServeOptions options = test_options(dir);
+  options.drift_max_apps = 8;
+  options.drift_app_window = 4;
+  ServeCore core(options);
+  const auto& s = shared_state();
+
+  // profiles are app-major: [0..3] CoMD, [4..7] AMG (see shared_state).
+  const auto& comd = s.profiles[0];
+  const auto& amg = s.profiles[4];
+  ASSERT_NE(comd.app, amg.app);
+
+  bool tripped = false;
+  for (int i = 0; i < 4; ++i) {
+    const JsonValue ack = JsonValue::parse(
+        core.handle_request(feedback_request(comd, drifted_times(), "bad")));
+    tripped = ack.find("degraded")->as_bool();
+  }
+  ASSERT_TRUE(tripped);
+  EXPECT_FALSE(core.degraded());  // the global guard stayed healthy
+
+  // CoMD predictions fall back to neutral...
+  const JsonValue a =
+      JsonValue::parse(core.handle_request(predict_request(comd, "pa")));
+  EXPECT_TRUE(a.find("fallback")->as_bool());
+  for (const JsonValue& r : a.find("rpv")->items()) {
+    EXPECT_DOUBLE_EQ(r.as_number(), 1.0);
+  }
+  // ...while AMG still gets real model output.
+  const JsonValue b =
+      JsonValue::parse(core.handle_request(predict_request(amg, "pb")));
+  EXPECT_FALSE(b.find("fallback")->as_bool());
+
+  const JsonValue st = JsonValue::parse(core.stats_reply("s"));
+  EXPECT_EQ(st.find("drift")->find("apps_tripped")->as_number(), 1.0);
+  ASSERT_EQ(st.find("drift")->find("tripped_apps")->items().size(), 1u);
+  EXPECT_EQ(st.find("drift")->find("tripped_apps")->items()[0].as_string(),
+            comd.app);
+  EXPECT_GE(st.find("counters")->find("app_fallbacks")->as_number(), 1.0);
+
+  // Clean feedback washes CoMD's small window and un-degrades just it.
+  bool recovered = false;
+  for (int i = 0; i < 8 && !recovered; ++i) {
+    const JsonValue ack = JsonValue::parse(core.handle_request(
+        feedback_request(comd, consistent_times(s.predictor, comd), "good")));
+    recovered = !ack.find("degraded")->as_bool();
+  }
+  EXPECT_TRUE(recovered);
+  const JsonValue after =
+      JsonValue::parse(core.handle_request(predict_request(comd, "pc")));
+  EXPECT_FALSE(after.find("fallback")->as_bool());
+}
+
+// Two cores on one state dir model two supervised workers sharing the
+// store: the leader publishes a refit, the follower converges on it.
+TEST(ServeCoreTest, FollowerConvergesOnLeaderPublish) {
+  const std::string dir = fresh_dir("follow");
+  const auto& s = shared_state();
+  ServeOptions leader_options = test_options(dir);
+  leader_options.use_lease = true;
+  ServeOptions follower_options = leader_options;
+  follower_options.worker_id = 1;
+
+  ServeCore leader(leader_options);
+  ServeCore follower(follower_options);
+  EXPECT_EQ(follower.generation(), 0);
+  EXPECT_FALSE(follower.follow_store());  // nothing new to pick up yet
+
+  for (std::size_t i = 0; i < leader.options().refit_every; ++i) {
+    const auto& p = s.profiles[i % s.profiles.size()];
+    (void)leader.handle_request(
+        feedback_request(p, consistent_times(s.predictor, p), "f"));
+  }
+  ASSERT_TRUE(leader.run_refit());
+  ASSERT_EQ(leader.generation(), 1);
+
+  EXPECT_TRUE(follower.follow_store());
+  EXPECT_EQ(follower.generation(), 1);
+  EXPECT_EQ(follower.fingerprint(), leader.fingerprint());
+  EXPECT_FALSE(follower.follow_store());  // already converged
+
+  // The follower serves from the leader's model immediately, and its
+  // stats account for the reload and the lease plumbing.
+  const JsonValue reply = JsonValue::parse(
+      follower.handle_request(predict_request(s.profiles[0], "p")));
+  EXPECT_TRUE(reply.find("ok")->as_bool());
+  const JsonValue st = JsonValue::parse(follower.stats_reply("s"));
+  EXPECT_TRUE(st.find("refit_lease")->find("enabled")->as_bool());
+  EXPECT_EQ(st.find("counters")->find("reloads")->as_number(), 1.0);
+
+  // A draining follower must not roll the store back to its generation.
+  follower.flush();
+  const auto header = ModelStore(dir + "/serve_model.txt").peek_header();
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->generation, 1);
+}
+
+TEST(ServeCoreTest, StatsReportFleetIdentityAndLanes) {
+  const std::string dir = fresh_dir("stats_fleet");
+  ServeOptions options = test_options(dir);
+  options.worker_id = 3;
+  options.restarts_observed = 2;
+  ServeCore core(options);
+  core.note_shed(Op::kFeedback);
+  core.note_shed(Op::kPredict);
+  core.note_lane_depths(5, 7);
+
+  const JsonValue st = JsonValue::parse(core.stats_reply("s"));
+  EXPECT_GE(st.find("uptime_s")->as_number(), 0.0);
+  EXPECT_EQ(st.find("worker_id")->as_number(), 3.0);
+  EXPECT_EQ(st.find("restarts_observed")->as_number(), 2.0);
+  EXPECT_FALSE(st.find("refit_lease")->find("enabled")->as_bool());
+  EXPECT_EQ(st.find("counters")->find("shed")->as_number(), 2.0);
+  const JsonValue* lanes = st.find("lanes");
+  ASSERT_NE(lanes, nullptr);
+  EXPECT_EQ(lanes->find("predict")->find("depth")->as_number(), 5.0);
+  EXPECT_EQ(lanes->find("predict")->find("shed")->as_number(), 1.0);
+  EXPECT_EQ(lanes->find("feedback")->find("depth")->as_number(), 7.0);
+  EXPECT_EQ(lanes->find("feedback")->find("shed")->as_number(), 1.0);
 }
 
 // ------------------------------------------------------ crash restart ----

@@ -1,0 +1,365 @@
+// Tests for src/serve's fault-tolerance layer: the fault-injection seam
+// (nth-occurrence arming, crash/hang/short-write actions, store
+// integrity under an injected pre-publish crash) and the Supervisor
+// process tree (restart-with-backoff, hung-worker watchdog, flap
+// escalation, clean and signal-driven group drains).
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/system_catalog.hpp"
+#include "common/shutdown.hpp"
+#include "core/dataset.hpp"
+#include "core/predictor.hpp"
+#include "serve/fault_inject.hpp"
+#include "serve/model_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "serve/supervisor.hpp"
+#include "sim/runner.hpp"
+#include "workload/app_catalog.hpp"
+
+namespace mphpc::serve {
+namespace {
+
+// ------------------------------------------------------------ fixtures ----
+
+struct ServeFixture {
+  std::string model_path;
+  std::vector<sim::RunProfile> profiles;
+};
+
+/// One small trained model + a few profiles, built once for the whole
+/// suite (and, crucially, before any fork() — the trainer uses threads).
+const ServeFixture& serve_fixture() {
+  static const ServeFixture fixture = [] {
+    const workload::AppCatalog apps;
+    const arch::SystemCatalog systems;
+    sim::CampaignOptions campaign;
+    campaign.inputs_per_app = 2;
+    const auto dataset =
+        core::build_dataset(sim::run_campaign(apps, systems, campaign));
+
+    core::CrossArchPredictor::Options options;
+    options.gbt.n_rounds = 20;
+    options.gbt.max_depth = 3;
+    core::CrossArchPredictor predictor(options);
+    predictor.train(dataset);
+
+    ServeFixture f;
+    f.model_path = ::testing::TempDir() + "/supervisor_seed_model.txt";
+    predictor.save(f.model_path);
+
+    const sim::Profiler profiler(41);
+    const auto& sig = apps.get("CoMD");
+    for (const auto& input : workload::make_inputs(sig, 2, 41)) {
+      f.profiles.push_back(profiler.profile(sig, input,
+                                            workload::ScaleClass::kOneNode,
+                                            systems.get("quartz")));
+    }
+    return f;
+  }();
+  return fixture;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "/supervisor_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+ServeOptions store_test_options(const std::string& state_dir) {
+  ServeOptions o;
+  o.state_dir = state_dir;
+  o.model_path = serve_fixture().model_path;
+  o.refit_every = 8;
+  o.min_refit_rows = 4;
+  o.refit_rounds = 2;
+  o.drift_max_apps = 0;
+  return o;
+}
+
+Request feedback_request(const sim::RunProfile& profile, std::string id) {
+  Request r;
+  r.op = Op::kFeedback;
+  r.id = std::move(id);
+  r.profile = profile;
+  r.times = {3.0, 2.0, 1.0, 2.5};
+  return r;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+// -------------------------------------------------------- fault inject ----
+
+/// Every test leaves the process-wide injector disarmed: the singleton
+/// outlives any one TEST, and a leaked arm would fire in a later one.
+struct FaultInjectTest : ::testing::Test {
+  void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+TEST_F(FaultInjectTest, FiresOnExactlyTheNthOccurrence) {
+  auto& inj = FaultInjector::instance();
+  inj.arm("short-write-mid-reply:3");
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(inj.at(FaultSite::kMidReply), FaultAction::kNone);
+  EXPECT_EQ(inj.at(FaultSite::kMidReply), FaultAction::kNone);
+  EXPECT_EQ(inj.at(FaultSite::kMidReply), FaultAction::kShortWrite);
+  EXPECT_EQ(inj.at(FaultSite::kMidReply), FaultAction::kNone);  // fires once
+  EXPECT_EQ(inj.hits(FaultSite::kMidReply), 4);
+  // Other sites never fire, however often they are passed.
+  EXPECT_EQ(inj.at(FaultSite::kAccept), FaultAction::kNone);
+  EXPECT_EQ(inj.at(FaultSite::kPrePublish), FaultAction::kNone);
+}
+
+TEST_F(FaultInjectTest, UnarmedInjectorIsInertAndCountsNothing) {
+  auto& inj = FaultInjector::instance();
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fault_point(FaultSite::kAccept), FaultAction::kNone);
+  }
+  // The unarmed fast path must not even count — zero cost when unset.
+  EXPECT_EQ(inj.hits(FaultSite::kAccept), 0);
+}
+
+TEST_F(FaultInjectTest, RejectsUnknownPointsAndBadCounts) {
+  auto& inj = FaultInjector::instance();
+  EXPECT_THROW(inj.arm("frobnicate"), std::invalid_argument);
+  EXPECT_THROW(inj.arm(""), std::invalid_argument);
+  EXPECT_THROW(inj.arm("crash-accept:0"), std::invalid_argument);
+  EXPECT_THROW(inj.arm("crash-accept:-2"), std::invalid_argument);
+  EXPECT_THROW(inj.arm("crash-accept:x"), std::invalid_argument);
+  EXPECT_FALSE(inj.armed());
+  inj.arm("crash-mid-refit");  // bare point name: nth defaults to 1
+  EXPECT_TRUE(inj.armed());
+}
+
+TEST_F(FaultInjectTest, ShortWriteReturnsControlToTheCallSite) {
+  FaultInjector::instance().arm("short-write-mid-reply:1");
+  EXPECT_EQ(fault_point(FaultSite::kMidReply), FaultAction::kShortWrite);
+  EXPECT_EQ(fault_point(FaultSite::kMidReply), FaultAction::kNone);
+}
+
+TEST_F(FaultInjectTest, CrashActionDiesWithoutUnwinding) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultInjector::instance().arm("crash-accept:1");
+    (void)fault_point(FaultSite::kAccept);
+    ::_exit(7);  // unreachable when the crash fires
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+}
+
+// The acceptance-gate store-integrity test: a SIGKILL injected at the
+// pre-publish fault point (after the refit computed a new model, before
+// the store write) must leave the on-disk store BYTE-IDENTICAL to the
+// pre-refit survivor — the torn-publish bug this seam exists to catch.
+TEST_F(FaultInjectTest, CrashAtPrePublishLeavesStoreByteIdentical) {
+  const auto& fx = serve_fixture();  // built before fork
+  const std::string dir = fresh_dir("fault_prepublish");
+  const std::string store_path = dir + "/serve_model.txt";
+
+  { ServeCore seeded(store_test_options(dir)); }  // seed generation 0
+  const std::string before = file_bytes(store_path);
+  ASSERT_FALSE(before.empty());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultInjector::instance().arm("crash-pre-publish:1");
+    ServeCore core(store_test_options(dir));
+    for (int i = 0; i < 8; ++i) {
+      (void)core.handle_request(feedback_request(
+          fx.profiles[static_cast<std::size_t>(i) % fx.profiles.size()], "f"));
+    }
+    (void)core.run_refit();  // dies at the fault point
+    ::_exit(7);              // unreachable when the fault fires
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "fault did not fire";
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Byte-identical: the aborted refit left no trace on disk.
+  EXPECT_EQ(file_bytes(store_path), before);
+
+  // And a restart bootstraps from the intact survivor and serves.
+  ServeCore restarted(store_test_options(dir));
+  EXPECT_EQ(restarted.generation(), 0);
+  Request predict;
+  predict.op = Op::kPredict;
+  predict.id = "p";
+  predict.profile = fx.profiles[0];
+  EXPECT_NE(restarted.handle_request(predict).find("\"ok\":true"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------- supervisor ----
+
+struct EventRecord {
+  Supervisor::Event event;
+  int slot;
+  long long detail;
+};
+
+/// Runs a Supervisor over toy worker bodies and records every lifecycle
+/// event. The event hook runs on the supervisor's (single) thread, so no
+/// locking is needed around `events`.
+struct SupervisorHarness {
+  SupervisorOptions options;
+  std::vector<EventRecord> events;
+
+  SupervisorHarness() {
+    options.workers = 1;
+    options.restart = {.max_attempts = 4,
+                       .base_delay_s = 0.02,
+                       .multiplier = 2.0,
+                       .max_delay_s = 0.1,
+                       .jitter = 0.0};
+    options.heartbeat_timeout_s = 30.0;
+    options.stable_after_s = 30.0;
+  }
+
+  int run(Supervisor::WorkerMain main) {
+    Supervisor supervisor(options, std::move(main));
+    supervisor.set_event_hook(
+        [this](Supervisor::Event event, int slot, long long detail) {
+          events.push_back({event, slot, detail});
+        });
+    return supervisor.run();
+  }
+
+  [[nodiscard]] long long count(Supervisor::Event event) const {
+    long long n = 0;
+    for (const EventRecord& r : events) n += r.event == event ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] bool saw(Supervisor::Event event, long long detail) const {
+    for (const EventRecord& r : events) {
+      if (r.event == event && r.detail == detail) return true;
+    }
+    return false;
+  }
+};
+
+/// A well-behaved worker: heartbeats steadily, drains on SIGTERM — the
+/// same latch-driven lifecycle the real Server::run follows.
+int loyal_worker(const WorkerEnv& env) {
+  auto& latch = ShutdownLatch::instance();
+  while (!latch.requested()) {
+    (void)::write(env.heartbeat_fd, ".", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return latch.exit_code();
+}
+
+TEST(SupervisorTest, RestartsCrashedWorkerWithGrowingBackoff) {
+  SupervisorHarness h;
+  const int rc = h.run([](const WorkerEnv& env) {
+    // The first two incarnations crash; the third drains cleanly.
+    return env.restarts < 2 ? 3 : 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(h.count(Supervisor::Event::kSpawned), 3);
+  EXPECT_EQ(h.count(Supervisor::Event::kEscalated), 0);
+  EXPECT_TRUE(h.saw(Supervisor::Event::kSpawned, 2));  // incarnation count
+
+  // Capped-exponential backoff: the second delay is no shorter.
+  std::vector<long long> delays_ms;
+  for (const EventRecord& r : h.events) {
+    if (r.event == Supervisor::Event::kRestartScheduled) {
+      delays_ms.push_back(r.detail);
+    }
+  }
+  ASSERT_EQ(delays_ms.size(), 2u);
+  EXPECT_GE(delays_ms[1], delays_ms[0]);
+}
+
+TEST(SupervisorTest, HungWorkerIsKilledAndRestarted) {
+  SupervisorHarness h;
+  h.options.heartbeat_timeout_s = 0.3;
+  const int rc = h.run([](const WorkerEnv& env) {
+    if (env.restarts == 0) {
+      // Hang: never heartbeat. The watchdog must SIGKILL us.
+      std::this_thread::sleep_for(std::chrono::seconds(60));
+      return 9;
+    }
+    return 0;
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(h.count(Supervisor::Event::kHung), 1);
+  EXPECT_EQ(h.count(Supervisor::Event::kSpawned), 2);
+  EXPECT_EQ(h.count(Supervisor::Event::kEscalated), 0);
+}
+
+TEST(SupervisorTest, EscalatesWhenASlotFlapsPastTheBudget) {
+  SupervisorHarness h;
+  h.options.workers = 2;
+  h.options.restart.max_attempts = 2;
+  const int rc = h.run([](const WorkerEnv& env) {
+    if (env.slot == 0) return 1;  // flaps forever
+    return loyal_worker(env);     // healthy sibling, drains on SIGTERM
+  });
+  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(h.count(Supervisor::Event::kEscalated), 1);
+  // The escalation took the healthy sibling down with SIGTERM too.
+  EXPECT_TRUE(h.saw(Supervisor::Event::kDraining, SIGTERM));
+}
+
+TEST(SupervisorTest, CleanWorkerExitDrainsTheWholeGroup) {
+  SupervisorHarness h;
+  h.options.workers = 3;
+  const int rc = h.run([](const WorkerEnv& env) {
+    if (env.slot == 2) {
+      // Models a worker whose client sent a shutdown request: it drains
+      // and exits 0 — a fleet-wide instruction.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      return 0;
+    }
+    return loyal_worker(env);
+  });
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(h.count(Supervisor::Event::kEscalated), 0);
+  EXPECT_TRUE(h.saw(Supervisor::Event::kDraining, 0));
+  EXPECT_EQ(h.count(Supervisor::Event::kExited), 3);
+}
+
+TEST(SupervisorTest, SignalDrainReturns128PlusSignal) {
+  SupervisorHarness h;
+  h.options.workers = 2;
+  std::thread tripper([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Same drain path as a real SIGTERM (the latch documents this).
+    ShutdownLatch::instance().request(SIGTERM);
+  });
+  const int rc = h.run(loyal_worker);
+  tripper.join();
+  ShutdownLatch::instance().reset();  // do not leak the trip to later tests
+  EXPECT_EQ(rc, 128 + SIGTERM);
+  EXPECT_TRUE(h.saw(Supervisor::Event::kDraining, SIGTERM));
+  EXPECT_EQ(h.count(Supervisor::Event::kExited), 2);
+}
+
+}  // namespace
+}  // namespace mphpc::serve

@@ -220,6 +220,94 @@ assert header[0] == "mphpc-serve-model" and int(header[2]) >= 1, \
 print(f"serve smoke: ok ({ops}, store generation {header[2]})")
 EOF
 
+# Supervised-fleet smoke: three workers share one inherited listening
+# socket. kill -9 one worker mid-load — clients must finish with zero
+# errors (in-flight connections may reset; the client reconnects and
+# retries), the supervisor must respawn the slot within its backoff
+# bound, and a SIGTERM must drain the whole group with exit 143.
+echo "==== [dev] supervised fleet smoke (--workers 3, kill -9, SIGTERM) ===="
+rm -rf build-dev/fleet_smoke
+mkdir -p build-dev/fleet_smoke
+./build-dev/tools/mphpc serve --state-dir build-dev/fleet_smoke/state \
+  --model build-dev/serve_smoke/model.txt \
+  --socket build-dev/fleet_smoke/serve.sock --workers 3 \
+  --refit-every 8 --min-refit-rows 4 --refit-rounds 3 \
+  --restart-base-delay-s 0.1 --heartbeat-timeout-s 5 \
+  2> build-dev/fleet_smoke/log.txt &
+fleet_pid=$!
+# The listener is created before the first fork; wait for the last
+# worker to report in before loading the fleet.
+fleet_up=0
+for i in $(seq 1 100); do
+  if grep -q 'spawned worker 2' build-dev/fleet_smoke/log.txt 2>/dev/null; then
+    fleet_up=1
+    break
+  fi
+  sleep 0.05
+done
+# Drain on failure with SIGTERM, not SIGKILL: a SIGKILLed supervisor
+# orphans its workers, which keep the shared socket (and our stdout
+# pipe) open forever.
+fleet_fail() {
+  echo "$1" >&2
+  cat build-dev/fleet_smoke/log.txt >&2
+  kill -TERM "${fleet_pid}" 2>/dev/null || true
+  wait "${fleet_pid}" 2>/dev/null || true
+  exit 1
+}
+if [[ "${fleet_up}" -ne 1 ]]; then
+  fleet_fail "fleet never spawned all workers"
+fi
+victim="$(sed -nE 's/.*spawned worker 1 \(pid ([0-9]+), restarts 0\).*/\1/p' \
+  build-dev/fleet_smoke/log.txt | head -1)"
+if [[ -z "${victim}" ]]; then
+  fleet_fail "could not extract worker 1 pid from the fleet log"
+fi
+./build-dev/bench/bench_serve_load --socket build-dev/fleet_smoke/serve.sock \
+  --requests 6000 --clients 4 --feedback-every 4 \
+  > build-dev/fleet_smoke/load.json &
+load_pid=$!
+sleep 0.05
+kill -9 "${victim}"
+load_rc=0
+wait "${load_pid}" || load_rc=$?
+if [[ "${load_rc}" -ne 0 ]]; then
+  cat build-dev/fleet_smoke/load.json >&2 || true
+  fleet_fail "fleet load saw client-visible errors (rc ${load_rc})"
+fi
+# The supervisor must respawn the killed slot within its backoff bound.
+restart_seen=0
+for i in $(seq 1 100); do
+  if grep -qE 'spawned worker 1 \(pid [0-9]+, restarts 1\)' \
+      build-dev/fleet_smoke/log.txt; then
+    restart_seen=1
+    break
+  fi
+  sleep 0.05
+done
+if [[ "${restart_seen}" -ne 1 ]]; then
+  fleet_fail "supervisor never restarted the killed worker"
+fi
+kill -TERM "${fleet_pid}"
+fleet_rc=0
+wait "${fleet_pid}" || fleet_rc=$?
+if [[ "${fleet_rc}" -ne 143 ]]; then
+  echo "fleet exited ${fleet_rc} on SIGTERM (want 143)" >&2
+  cat build-dev/fleet_smoke/log.txt >&2
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+report = json.load(open("build-dev/fleet_smoke/load.json"))
+results = report["results"]
+assert results["errors"] == 0, f"client-visible errors under worker kill: {results}"
+assert results["ok"] == report["config"]["requests"], f"lost replies: {results}"
+log = open("build-dev/fleet_smoke/log.txt").read()
+assert "group drained" in log, "fleet drain never completed"
+print(f"fleet smoke: ok ({results['ok']} requests, "
+      f"{results['resets']} connection resets, worker restarted)")
+EOF
+
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   # The compiled engine indexes one flat node pool with hand-built
@@ -228,11 +316,12 @@ if [[ "${fast}" -eq 0 ]]; then
   ctest --preset asan -R 'CompiledParity' --no-tests=error --output-on-failure
   if [[ "${with_tsan}" -eq 1 ]]; then
     # The full suite already ran under TSan above; this re-run asserts the
-    # fault/determinism/checkpoint/serve tests (the ones most likely to
-    # surface scheduler or daemon races) still exist — --no-tests=error
-    # fails the lane if they vanish.
+    # fault/determinism/checkpoint/serve/supervisor tests (the ones most
+    # likely to surface scheduler or daemon races) still exist —
+    # --no-tests=error fails the lane if they vanish. 'Fault' also picks
+    # up the FaultInject suite.
     run_lane tsan
-    ctest --preset tsan -R 'Fault|Determinism|Checkpoint|Resum|Serve' \
+    ctest --preset tsan -R 'Fault|Determinism|Checkpoint|Resum|Serve|Supervisor' \
       --no-tests=error --output-on-failure
   fi
 fi

@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "arch/system_catalog.hpp"
 #include "common/atomic_file.hpp"
 #include "common/json_writer.hpp"
@@ -61,6 +63,7 @@
 #include "sched/workload_gen.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/supervisor.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
 
@@ -778,6 +781,10 @@ int cmd_serve(const Args& args) {
   core_options.max_model_rounds =
       args.get_int("max-model-rounds", core_options.max_model_rounds);
   core_options.cold_rounds = args.get_int("cold-rounds", core_options.cold_rounds);
+  core_options.drift_max_apps = static_cast<std::size_t>(args.get_int(
+      "drift-max-apps", static_cast<int>(core_options.drift_max_apps)));
+  core_options.drift_app_window = static_cast<std::size_t>(args.get_int(
+      "drift-app-window", static_cast<int>(core_options.drift_app_window)));
 
   serve::ServerOptions server_options;
   server_options.socket_path = args.get("socket", "");
@@ -789,10 +796,63 @@ int cmd_serve(const Args& args) {
   server_options.pool_threads =
       static_cast<std::size_t>(args.get_int("threads", 0));
 
-  serve::ServeCore core(std::move(core_options));
-  // Progress goes to stderr: stdout is the reply channel in stdio mode.
-  serve::Server server(core, std::move(server_options), &std::cerr);
-  return server.run();
+  const int workers = args.get_int("workers", 1);
+  if (workers < 1) {
+    std::fprintf(stderr, "serve: --workers must be >= 1\n");
+    return 2;
+  }
+  if (workers == 1) {
+    serve::ServeCore core(std::move(core_options));
+    // Progress goes to stderr: stdout is the reply channel in stdio mode.
+    serve::Server server(core, std::move(server_options), &std::cerr);
+    return server.run();
+  }
+
+  // Supervised fleet. Workers share one listening socket (stdio cannot be
+  // split N ways) and one model store, refits gated by the on-disk lease.
+  if (server_options.socket_path.empty()) {
+    std::fprintf(stderr, "serve: --workers %d requires --socket PATH\n",
+                 workers);
+    return 2;
+  }
+  serve::SupervisorOptions sup_options;
+  sup_options.workers = workers;
+  sup_options.restart.max_attempts =
+      args.get_int("restart-max", sup_options.restart.max_attempts);
+  sup_options.restart.base_delay_s = args.get_double(
+      "restart-base-delay-s", sup_options.restart.base_delay_s);
+  sup_options.restart.max_delay_s =
+      args.get_double("restart-max-delay-s", sup_options.restart.max_delay_s);
+  sup_options.heartbeat_timeout_s = args.get_double(
+      "heartbeat-timeout-s", sup_options.heartbeat_timeout_s);
+  sup_options.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const int listen_fd = serve::listen_unix(server_options.socket_path);
+  const double store_poll_s = args.get_double("store-poll-s", 0.5);
+  core_options.use_lease = true;
+
+  serve::Supervisor supervisor(
+      sup_options,
+      [&](const serve::WorkerEnv& env) {
+        serve::ServeOptions worker_core = core_options;
+        worker_core.worker_id = env.slot;
+        worker_core.restarts_observed = env.restarts;
+        serve::ServerOptions worker_server = server_options;
+        worker_server.socket_path.clear();  // fd inherited, path not owned
+        worker_server.listen_fd = listen_fd;
+        worker_server.heartbeat_fd = env.heartbeat_fd;
+        worker_server.store_poll_s = store_poll_s;
+        worker_server.log_tag = "serve.w" + std::to_string(env.slot);
+        serve::ServeCore core(std::move(worker_core));
+        serve::Server server(core, std::move(worker_server), &std::cerr);
+        return server.run();
+      },
+      &std::cerr);
+  const int rc = supervisor.run();
+  ::close(listen_fd);
+  ::unlink(server_options.socket_path.c_str());
+  return rc;
 }
 
 void usage() {
@@ -817,12 +877,16 @@ void usage() {
       "                 [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]\n"
       "                 [--max-attempts K] [--seed S] [--out FILE.json]\n"
       "  mphpc serve    --state-dir DIR [--model MODEL] [--socket PATH]\n"
-      "                 [--refit-every K] [--refit-rounds R] [--drift-window N]\n"
+      "                 [--workers N] [--restart-max K] [--restart-base-delay-s S]\n"
+      "                 [--restart-max-delay-s S] [--heartbeat-timeout-s S]\n"
+      "                 [--store-poll-s S] [--refit-every K] [--refit-rounds R]\n"
+      "                 [--drift-window N] [--drift-max-apps N] [--drift-app-window N]\n"
       "                 [--trip-mae X] [--recover-mae X] [--window-capacity N]\n"
       "                 [--queue-cap N] [--batch-max N] [--deadline-ms MS]\n"
       "                 [--threads N]\n"
       "                 (JSONL protocol on the socket, or stdin/stdout when\n"
-      "                  --socket is omitted; see README \"mphpc serve\")\n");
+      "                  --socket is omitted; --workers N > 1 runs a supervised\n"
+      "                  crash-recovering fleet and requires --socket)\n");
 }
 
 }  // namespace
