@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "arch/system_catalog.hpp"
 #include "common/rng.hpp"
@@ -17,6 +20,31 @@
 #include "sched/workload_gen.hpp"
 #include "sim/runner.hpp"
 #include "workload/app_catalog.hpp"
+
+// Global allocation counter so the serve-path benches can assert the
+// steady-state single-row predict is allocation-free (the hot request
+// path of `mphpc serve`). Counts every operator new in the process.
+// GCC pattern-matches replaced new/delete pairs against the builtin
+// allocator and mis-flags the (correct) malloc/free implementations.
+// lint:allow-file raw-new -- replacing the global allocator to count it
+// is the one place 'operator new/delete' definitions are the point
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -204,11 +232,79 @@ void BM_GbtPredictCompiled(benchmark::State& state) {
 }
 BENCHMARK(BM_GbtPredictCompiled)->Arg(4096)->Unit(benchmark::kMillisecond);
 
+// Quantized bin-code engine on the same model/rows: uint8 row codes +
+// uint8 threshold compares + uint16 children, so one output's trees stay
+// L1-resident. Lossless for this model, so the ratio to
+// BM_GbtPredictCompiled is pure kernel speedup.
+void BM_GbtPredictQuantized(benchmark::State& state) {
+  const auto compiled =
+      ml::CompiledEnsemble::compile(predict_gbt_model(), {.quantize = true});
+  if (!compiled.quantized()) {
+    state.SkipWithError("model did not quantize");
+    return;
+  }
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_GbtPredictQuantized)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Compile-time cost of each engine (the price paid at train/load/refit).
+void BM_GbtCompileExact(benchmark::State& state) {
+  const auto& model = predict_gbt_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::CompiledEnsemble::compile(model).n_nodes());
+  }
+}
+BENCHMARK(BM_GbtCompileExact)->Unit(benchmark::kMillisecond);
+
+void BM_GbtCompileQuantized(benchmark::State& state) {
+  const auto& model = predict_gbt_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::CompiledEnsemble::compile(model, {.quantize = true}).quantized());
+  }
+}
+BENCHMARK(BM_GbtCompileQuantized)->Unit(benchmark::kMillisecond);
+
+// The serve hot path: one row through the thread-local-scratch overload,
+// asserting the steady state allocates nothing (arg 0 = exact engine,
+// arg 1 = quantized).
+void BM_GbtPredictRowServe(benchmark::State& state) {
+  const auto compiled = ml::CompiledEnsemble::compile(
+      predict_gbt_model(), {.quantize = state.range(0) != 0});
+  if (state.range(0) != 0 && !compiled.quantized()) {
+    state.SkipWithError("model did not quantize");
+    return;
+  }
+  const auto& f = FitFixture::get();
+  std::vector<double> out(compiled.n_outputs());
+  // Warm the thread-local scratch so the timed loop is steady state.
+  compiled.predict_row(f.x.row(0), out);
+  bool allocated = false;
+  for (auto _ : state) {
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    compiled.predict_row(f.x.row(0), out);
+    benchmark::DoNotOptimize(out.data());
+    allocated |= g_alloc_count.load(std::memory_order_relaxed) != before;
+  }
+  if (allocated) state.SkipWithError("predict_row allocated on the hot path");
+}
+BENCHMARK(BM_GbtPredictRowServe)->Arg(0)->Arg(1);
+
 const ml::RandomForest& predict_forest_model() {
   static const ml::RandomForest model = [] {
     const auto& f = FitFixture::get();
     ml::ForestOptions options;
     options.n_trees = 25;
+    // Histogram split search: the thresholds then come from <= max_bins
+    // bin edges per feature, so the same model also serves quantized —
+    // Ref / Compiled / Quantized rows compare one model. (Exact-grown
+    // forests mint too many distinct thresholds for the uint8 cut table.)
+    options.method = ml::TreeMethod::kHist;
     ml::RandomForest m(options);
     m.fit(f.x, f.y);
     return m;
@@ -237,6 +333,22 @@ void BM_ForestPredictCompiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
 }
 BENCHMARK(BM_ForestPredictCompiled)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictQuantized(benchmark::State& state) {
+  const auto compiled =
+      ml::CompiledEnsemble::compile(predict_forest_model(), {.quantize = true});
+  if (!compiled.quantized()) {
+    state.SkipWithError("model did not quantize");
+    return;
+  }
+  const ml::Matrix x =
+      tiled_rows(FitFixture::get().x, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.predict(x).flat().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_ForestPredictQuantized)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_ForestFit(benchmark::State& state) {
   const auto& f = FitFixture::get();

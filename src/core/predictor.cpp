@@ -21,8 +21,16 @@ void CrossArchPredictor::train(const Dataset& dataset,
 }
 
 void CrossArchPredictor::recompile() {
-  compiled_ = model_.fitted() ? ml::CompiledEnsemble::compile(model_)
-                              : ml::CompiledEnsemble{};
+  compiled_ = model_.fitted()
+                  ? ml::CompiledEnsemble::compile(
+                        model_, ml::CompileOptions{.quantize = options_.quantize})
+                  : ml::CompiledEnsemble{};
+}
+
+void CrossArchPredictor::set_quantized(bool quantize) {
+  if (options_.quantize == quantize) return;
+  options_.quantize = quantize;
+  if (model_.fitted()) recompile();
 }
 
 namespace {
@@ -120,6 +128,12 @@ std::vector<Rpv> CrossArchPredictor::predict_rpvs(
   MPHPC_EXPECTS(trained());
   std::vector<Rpv> out;
   if (profiles.empty()) return out;
+  if (profiles.size() == 1) {
+    // Serve hot path: a single request skips the Matrix round trip and
+    // runs the scratch-reusing row kernel (no per-call tile state).
+    out.push_back(predict(profiles.front()));
+    return out;
+  }
   ml::Matrix x(profiles.size(), FeaturePipeline::kNumFeatures);
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     const FeaturePipeline::FeatureVector f = pipeline_.features(profiles[i]);

@@ -28,9 +28,14 @@ class CrossArchPredictor {
  public:
   struct Options {
     ml::GbtOptions gbt;
+    /// Compile the inference engine in quantized bin-code mode (see
+    /// ml::CompileOptions::quantize). Models that exceed the code ranges
+    /// fall back to the exact engine; quantized() reports what serves.
+    bool quantize = false;
   };
 
-  explicit CrossArchPredictor(Options options = Options()) : options_(options) {}
+  CrossArchPredictor() = default;
+  explicit CrossArchPredictor(Options options) : options_(options) {}
 
   /// Trains the RPV model on the dataset (optionally restricted to the
   /// given rows, e.g. a train split). Copies the dataset's fitted feature
@@ -85,6 +90,13 @@ class CrossArchPredictor {
   [[nodiscard]] const ml::CompiledEnsemble& compiled() const noexcept {
     return compiled_;
   }
+  /// True when predictions are served by the quantized bin-code engine.
+  [[nodiscard]] bool quantized() const noexcept { return compiled_.quantized(); }
+
+  /// Switches the inference engine between exact and quantized modes by
+  /// recompiling the current model (a no-op before training; the option
+  /// then applies to the eventual train/load compile).
+  void set_quantized(bool quantize);
   [[nodiscard]] const FeaturePipeline& pipeline() const noexcept { return pipeline_; }
 
   /// Persists pipeline + model to a single file; load() restores it.

@@ -5,6 +5,10 @@
 #include <limits>
 #include <utility>
 
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
 #include "common/contract.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbt.hpp"
@@ -43,7 +47,8 @@ std::int32_t tree_depth(const std::vector<Node>& nodes) {
 
 }  // namespace
 
-CompiledEnsemble CompiledEnsemble::compile(const GbtRegressor& model) {
+CompiledEnsemble CompiledEnsemble::compile(const GbtRegressor& model,
+                                           CompileOptions options) {
   MPHPC_EXPECTS(model.fitted());
   CompiledEnsemble ce;
   ce.kind_ = Kind::kGbt;
@@ -92,6 +97,7 @@ CompiledEnsemble CompiledEnsemble::compile(const GbtRegressor& model) {
     }
     ce.output_begin_.push_back(static_cast<std::int32_t>(ce.roots_.size()));
   }
+  if (options.quantize) ce.build_quantized_pool();
   MPHPC_ENSURES(ce.compiled());
   return ce;
 }
@@ -129,7 +135,8 @@ void append_cart_tree(const DecisionTree& tree, std::vector<std::int32_t>& featu
 
 }  // namespace
 
-CompiledEnsemble CompiledEnsemble::compile(const RandomForest& model) {
+CompiledEnsemble CompiledEnsemble::compile(const RandomForest& model,
+                                           CompileOptions options) {
   MPHPC_EXPECTS(model.fitted());
   CompiledEnsemble ce;
   ce.kind_ = Kind::kForestMean;
@@ -157,11 +164,13 @@ CompiledEnsemble CompiledEnsemble::compile(const RandomForest& model) {
   }
   // Every fitted tree saw the same X, so any tree's feature count works.
   ce.n_features_ = model.trees().front().n_features();
+  if (options.quantize) ce.build_quantized_pool();
   MPHPC_ENSURES(ce.compiled());
   return ce;
 }
 
-CompiledEnsemble CompiledEnsemble::compile(const DecisionTree& model) {
+CompiledEnsemble CompiledEnsemble::compile(const DecisionTree& model,
+                                           CompileOptions options) {
   MPHPC_EXPECTS(model.fitted());
   CompiledEnsemble ce;
   ce.kind_ = Kind::kSingleTree;
@@ -172,8 +181,113 @@ CompiledEnsemble CompiledEnsemble::compile(const DecisionTree& model) {
                 static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()));
   append_cart_tree(model, ce.feature_, ce.threshold_, ce.left_, ce.right_,
                    ce.roots_, ce.depth_, ce.values_);
+  if (options.quantize) ce.build_quantized_pool();
   MPHPC_ENSURES(ce.compiled());
   return ce;
+}
+
+void CompiledEnsemble::build_quantized_pool() {
+  // Works uniformly over every model kind from the exact pool alone:
+  // internal nodes are the ones that do not self-loop (leaves have
+  // left_[i] == i), and their threshold_ slot holds a real split value.
+  quantized_ = false;
+  quantize_note_.clear();
+  if (n_features_ > std::numeric_limits<std::uint16_t>::max()) {
+    quantize_note_ = "feature count exceeds uint16";
+    return;
+  }
+  // Per-feature sorted distinct cut tables from the fitted thresholds.
+  std::vector<std::vector<double>> cuts(n_features_);
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    if (left_[i] == static_cast<std::int32_t>(i)) continue;  // leaf
+    cuts[static_cast<std::size_t>(feature_[i])].push_back(threshold_[i]);
+  }
+  cut_begin_.assign(1, 0);
+  cuts_.clear();
+  for (std::vector<double>& fc : cuts) {
+    std::sort(fc.begin(), fc.end());
+    fc.erase(std::unique(fc.begin(), fc.end()), fc.end());
+    // A node's cut index must fit uint8 and a row code #{cuts < v} can be
+    // n_cuts itself, so both need n_cuts <= 255.
+    if (fc.size() > 255) {
+      quantize_note_ = "a feature has more than 255 distinct thresholds";
+      cuts_.clear();
+      cut_begin_.clear();
+      return;
+    }
+    cuts_.insert(cuts_.end(), fc.begin(), fc.end());
+    cut_begin_.push_back(static_cast<std::uint32_t>(cuts_.size()));
+  }
+  // Re-encode the pool tree by tree: renumber nodes in BFS order so an
+  // internal node's children land adjacent (left at child_base, right at
+  // child_base + 1 — the walk step is then one add off a flag), and pack
+  // each node into a single word: 32 bits when the feature index fits
+  // uint8 (the pool then runs ~5x smaller than the exact one and a whole
+  // ensemble's walk state is L1-resident), 64 bits otherwise. Leaves get
+  // cut = 255, an index no internal node can carry (cut indices stop at
+  // 254 because a feature has at most 255 cuts), so `code > 255` is
+  // always false and the leaf self-loops through its own child_base.
+  const bool narrow = n_features_ <= 255;
+  if (narrow) {
+    q_node32_.resize(feature_.size());
+  } else {
+    q_node64_.resize(feature_.size());
+  }
+  q_payload_.resize(feature_.size());
+  std::vector<std::uint32_t> order;       // order[new_local] = old_local
+  std::vector<std::uint32_t> child_base;  // per new_local
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const auto begin = static_cast<std::size_t>(roots_[t]);
+    const std::size_t end = t + 1 < roots_.size()
+                                ? static_cast<std::size_t>(roots_[t + 1])
+                                : feature_.size();
+    if (end - begin > std::size_t{std::numeric_limits<std::uint16_t>::max()}) {
+      quantize_note_ = "a tree has more than 65535 nodes";
+      q_node32_.clear();
+      q_node64_.clear();
+      q_payload_.clear();
+      cuts_.clear();
+      cut_begin_.clear();
+      return;
+    }
+    order.assign(1, 0);
+    child_base.clear();
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const std::size_t old_global = begin + order[head];
+      if (left_[old_global] == static_cast<std::int32_t>(old_global)) {
+        child_base.push_back(static_cast<std::uint32_t>(head));  // self-loop
+        continue;
+      }
+      child_base.push_back(static_cast<std::uint32_t>(order.size()));
+      order.push_back(static_cast<std::uint32_t>(left_[old_global]) -
+                      static_cast<std::uint32_t>(begin));
+      order.push_back(static_cast<std::uint32_t>(right_[old_global]) -
+                      static_cast<std::uint32_t>(begin));
+    }
+    for (std::size_t j = 0; j < order.size(); ++j) {
+      const std::size_t i = begin + order[j];
+      const bool leaf = left_[i] == static_cast<std::int32_t>(i);
+      std::uint64_t feat = 0;
+      std::uint64_t cut = 255;
+      if (!leaf) {
+        const auto f = static_cast<std::size_t>(feature_[i]);
+        const std::vector<double>& fc = cuts[f];
+        feat = static_cast<std::uint64_t>(f);
+        cut = static_cast<std::uint64_t>(
+            std::lower_bound(fc.begin(), fc.end(), threshold_[i]) - fc.begin());
+      }
+      if (narrow) {
+        q_node32_[begin + j] = static_cast<std::uint32_t>(
+            feat | (cut << 8) |
+            (static_cast<std::uint64_t>(child_base[j]) << 16));
+      } else {
+        q_node64_[begin + j] = feat | (cut << 16) |
+                               (static_cast<std::uint64_t>(child_base[j]) << 32);
+      }
+      q_payload_[begin + j] = leaf ? threshold_[i] : 0.0;
+    }
+  }
+  quantized_ = true;
 }
 
 void CompiledEnsemble::predict_tile(const Matrix& x, std::size_t lo,
@@ -265,11 +379,296 @@ void CompiledEnsemble::predict_tile(const Matrix& x, std::size_t lo,
   }
 }
 
+void CompiledEnsemble::predict_tile_quantized(const Matrix& x, std::size_t lo,
+                                              std::size_t hi, Matrix& out,
+                                              std::uint8_t* codes) const {
+  // Bin the tile once: every later tree walk reads uint8 codes, so the
+  // per-row hot state is n_features_ bytes (a 512-row tile of 21 features
+  // is ~10 KB — the whole tile stays L1-resident across the ensemble).
+  // Eight rows chop in lock-step per feature: they share one cut table
+  // and one range width, so every probe is eight independent masked adds
+  // off a hot table — no mispredicted compares (bin_row's scalar chop,
+  // serial per feature, would cost as much as the tree walks it feeds).
+  constexpr std::size_t kLanes = 8;
+  {
+    std::size_t r = lo;
+    std::array<const double*, kLanes> xr;
+    std::array<const double*, kLanes> base;
+    std::array<double, kLanes> v;
+    for (; r + kLanes <= hi; r += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) xr[l] = x.row(r + l).data();
+      std::uint8_t* crow = codes + (r - lo) * n_features_;
+      for (std::size_t f = 0; f < n_features_; ++f) {
+        const double* start = cuts_.data() + cut_begin_[f];
+        std::size_t n = cut_begin_[f + 1] - cut_begin_[f];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          base[l] = start;
+          v[l] = xr[l][f];
+        }
+        while (n > 1) {
+          const std::size_t half = n / 2;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            base[l] += half & (0 - static_cast<std::size_t>(base[l][half - 1] <
+                                                            v[l]));
+          }
+          n -= half;
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const std::size_t below = n == 1 && base[l][0] < v[l] ? 1 : 0;
+          crow[l * n_features_ + f] = static_cast<std::uint8_t>(
+              static_cast<std::size_t>(base[l] - start) + below);
+        }
+      }
+    }
+    for (; r < hi; ++r) {
+      bin_row(x.row(r).data(), codes + (r - lo) * n_features_);
+    }
+  }
+  if (!q_node32_.empty()) {
+    walk_tile_quantized(q_node32_.data(), lo, hi, out, codes);
+  } else {
+    walk_tile_quantized(q_node64_.data(), lo, hi, out, codes);
+  }
+}
+
+#if defined(__AVX512F__)
+// GCC's avx512 headers spell "undefined vector" as `__m512i __Y = __Y;`,
+// which -Wmaybe-uninitialized flags once the shift intrinsics inline into
+// the walk below. Silence that known-bogus warning for this region only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+namespace {
+
+/// Rows per vector walk: four 16-lane gather groups in flight. A single
+/// group is latency-bound — the serial gather -> compare -> gather chain
+/// of one step runs ~25 cycles — so three more independent groups overlap
+/// it and keep the gather ports busy instead of idle.
+constexpr std::size_t kQuadRows = 64;
+
+/// Walks one tree for four 16-lane groups of pre-binned rows. `qn` is
+/// the tree's packed 32-bit node pool, `codes` the tile's row-major
+/// uint8 code matrix (padded so the dword gathers of the last code stay
+/// inside the buffer), `rowoff[g]` lane byte-offsets of each row's code
+/// block. One step per lane is two gathers (node word, code byte) plus
+/// shift/mask/compare — the same arithmetic as the scalar qstep, so
+/// leaves (and therefore results) are identical. Leaf indices land in
+/// `loc`, tree-local.
+inline void qwalk_quad(const std::uint32_t* qn, std::int32_t steps,
+                       const std::uint8_t* codes, const __m512i* rowoff,
+                       __m512i* loc) noexcept {
+  const __m512i k_ff = _mm512_set1_epi32(0xFF);
+  const __m512i k_one = _mm512_set1_epi32(1);
+  for (int g = 0; g < 4; ++g) loc[g] = _mm512_setzero_si512();
+  for (std::int32_t s = 0; s < steps; ++s) {
+    for (int g = 0; g < 4; ++g) {
+      const __m512i w = _mm512_i32gather_epi32(loc[g], qn, 4);
+      const __m512i cidx =
+          _mm512_add_epi32(_mm512_and_si512(w, k_ff), rowoff[g]);
+      const __m512i code =
+          _mm512_and_si512(_mm512_i32gather_epi32(cidx, codes, 1), k_ff);
+      const __m512i cut = _mm512_and_si512(_mm512_srli_epi32(w, 8), k_ff);
+      const __m512i child = _mm512_srli_epi32(w, 16);
+      const __mmask16 gt = _mm512_cmp_epu32_mask(code, cut, _MM_CMPINT_NLE);
+      loc[g] = _mm512_mask_add_epi32(child, gt, child, k_one);
+    }
+  }
+}
+
+/// Lane byte-offsets of rows [first_row, first_row + 64) into the tile's
+/// code matrix, one vector per 16-row group.
+inline void quad_row_offsets(std::size_t first_row, std::size_t n_features,
+                             __m512i* rowoff) noexcept {
+  const __m512i lane_off = _mm512_mullo_epi32(
+      _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+      _mm512_set1_epi32(static_cast<int>(n_features)));
+  for (int g = 0; g < 4; ++g) {
+    rowoff[g] = _mm512_add_epi32(
+        lane_off, _mm512_set1_epi32(static_cast<int>(
+                      (first_row + 16 * static_cast<std::size_t>(g)) *
+                      n_features)));
+  }
+}
+
+}  // namespace
+#endif  // __AVX512F__
+
+// Same lane-group shape as the exact kernel, but a walk step is two
+// loads (the packed node word + the row's code byte) and a handful of
+// integer ops per lane instead of five scattered loads — the eight
+// lock-step lanes keep both load ports busy on a far smaller pool.
+// When the build targets AVX-512 and the pool is 32-bit, full 64-row
+// quads take the gather-based vector walk instead (identical integer
+// arithmetic and FP accumulation order, so results stay bit-identical);
+// the scalar lanes then only mop up the tile remainder.
+template <typename Word>
+void CompiledEnsemble::walk_tile_quantized(const Word* pool, std::size_t lo,
+                                           std::size_t hi, Matrix& out,
+                                           const std::uint8_t* codes) const {
+  constexpr std::size_t kLanes = 8;
+  std::size_t scalar_lo = lo;  // rows below it were served by the vector path
+#if defined(__AVX512F__)
+  if constexpr (sizeof(Word) == 4) {
+    const std::size_t vec_rows = (hi - lo) / kQuadRows * kQuadRows;
+    if (vec_rows > 0) {
+      scalar_lo = lo + vec_rows;
+      if (kind_ == Kind::kGbt) {
+        std::array<double, kQuadRows> accbuf;
+        for (std::size_t k = 0; k < n_outputs_; ++k) {
+          const auto t_begin = static_cast<std::size_t>(output_begin_[k]);
+          const auto t_end = static_cast<std::size_t>(output_begin_[k + 1]);
+          for (std::size_t q = 0; q < vec_rows; q += kQuadRows) {
+            __m512i rowoff[4];
+            quad_row_offsets(q, n_features_, rowoff);
+            __m512d acc[8];
+            for (__m512d& a : acc) a = _mm512_set1_pd(base_[k]);
+            for (std::size_t t = t_begin; t < t_end; ++t) {
+              const auto origin = static_cast<std::size_t>(roots_[t]);
+              __m512i leaf[4];
+              qwalk_quad(pool + origin, depth_[t], codes, rowoff, leaf);
+              const double* qp = q_payload_.data() + origin;
+              for (int g = 0; g < 4; ++g) {
+                acc[2 * g] = _mm512_add_pd(
+                    acc[2 * g],
+                    _mm512_i32gather_pd(_mm512_castsi512_si256(leaf[g]), qp,
+                                        8));
+                acc[2 * g + 1] = _mm512_add_pd(
+                    acc[2 * g + 1],
+                    _mm512_i32gather_pd(_mm512_extracti64x4_epi64(leaf[g], 1),
+                                        qp, 8));
+              }
+            }
+            for (int i = 0; i < 8; ++i) {
+              _mm512_storeu_pd(accbuf.data() + 8 * i, acc[i]);
+            }
+            for (std::size_t l = 0; l < kQuadRows; ++l) {
+              out(lo + q + l, k) = accbuf[l];
+            }
+          }
+        }
+      } else {
+        std::array<std::uint32_t, kQuadRows> leafbuf;
+        for (std::size_t q = 0; q < vec_rows; q += kQuadRows) {
+          __m512i rowoff[4];
+          quad_row_offsets(q, n_features_, rowoff);
+          for (std::size_t t = 0; t < roots_.size(); ++t) {
+            const auto origin = static_cast<std::size_t>(roots_[t]);
+            __m512i leaf[4];
+            qwalk_quad(pool + origin, depth_[t], codes, rowoff, leaf);
+            for (int g = 0; g < 4; ++g) {
+              _mm512_storeu_si512(leafbuf.data() + 16 * g, leaf[g]);
+            }
+            const double* qp = q_payload_.data() + origin;
+            for (std::size_t l = 0; l < kQuadRows; ++l) {
+              const double* v =
+                  values_.data() + static_cast<std::size_t>(qp[leafbuf[l]]);
+              double* dst = out.row(lo + q + l).data();
+              for (std::size_t c = 0; c < value_width_; ++c) dst[c] += v[c];
+            }
+          }
+        }
+      }
+    }
+  }
+#endif  // __AVX512F__
+  if (kind_ == Kind::kGbt) {
+    for (std::size_t k = 0; k < n_outputs_; ++k) {
+      const auto t_begin = static_cast<std::size_t>(output_begin_[k]);
+      const auto t_end = static_cast<std::size_t>(output_begin_[k + 1]);
+      std::size_t r = scalar_lo;
+      std::array<const std::uint8_t*, kLanes> qr;
+      std::array<std::uint32_t, kLanes> local;
+      std::array<double, kLanes> acc;
+      for (; r + kLanes <= hi; r += kLanes) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          qr[l] = codes + (r + l - lo) * n_features_;
+        }
+        acc.fill(base_[k]);
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const Word* qn = pool + static_cast<std::size_t>(roots_[t]);
+          const double* qp =
+              q_payload_.data() + static_cast<std::size_t>(roots_[t]);
+          const std::int32_t steps = depth_[t];
+          local.fill(0);
+          for (std::int32_t s = 0; s < steps; ++s) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+              local[l] = qstep(qn[local[l]], qr[l]);
+            }
+          }
+          for (std::size_t l = 0; l < kLanes; ++l) acc[l] += qp[local[l]];
+        }
+        for (std::size_t l = 0; l < kLanes; ++l) out(r + l, k) = acc[l];
+      }
+      for (; r < hi; ++r) {
+        double sum = base_[k];
+        const std::uint8_t* qr1 = codes + (r - lo) * n_features_;
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const std::int32_t leaf = qwalk(roots_[t], depth_[t], qr1);
+          sum += q_payload_[static_cast<std::size_t>(leaf)];
+        }
+        out(r, k) = sum;
+      }
+    }
+    return;
+  }
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const Word* qn = pool + static_cast<std::size_t>(roots_[t]);
+    const double* qp = q_payload_.data() + static_cast<std::size_t>(roots_[t]);
+    const std::int32_t steps = depth_[t];
+    const auto add_leaf = [&](std::size_t r, std::uint32_t leaf) {
+      const double* v = values_.data() + static_cast<std::size_t>(qp[leaf]);
+      double* dst = out.row(r).data();
+      for (std::size_t k = 0; k < value_width_; ++k) dst[k] += v[k];
+    };
+    std::size_t r = scalar_lo;
+    std::array<const std::uint8_t*, kLanes> qr;
+    std::array<std::uint32_t, kLanes> local;
+    for (; r + kLanes <= hi; r += kLanes) {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        qr[l] = codes + (r + l - lo) * n_features_;
+      }
+      local.fill(0);
+      for (std::int32_t s = 0; s < steps; ++s) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          local[l] = qstep(qn[local[l]], qr[l]);
+        }
+      }
+      for (std::size_t l = 0; l < kLanes; ++l) add_leaf(r + l, local[l]);
+    }
+    for (; r < hi; ++r) {
+      std::uint32_t local1 = 0;
+      const std::uint8_t* qr1 = codes + (r - lo) * n_features_;
+      for (std::int32_t s = 0; s < steps; ++s) local1 = qstep(qn[local1], qr1);
+      add_leaf(r, local1);
+    }
+  }
+  if (kind_ == Kind::kForestMean) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      for (double& v : out.row(r)) v /= n_trees_;
+    }
+  }
+}
+
+#if defined(__AVX512F__)
+#pragma GCC diagnostic pop
+#endif
+
 Matrix CompiledEnsemble::predict(const Matrix& x, ThreadPool* pool) const {
   MPHPC_EXPECTS(compiled());
   MPHPC_EXPECTS(x.cols() == n_features_);
   Matrix out(x.rows(), n_outputs_);
   const auto run_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    if (quantized_) {
+      // One code buffer per chunk, reused across its tiles: the only
+      // allocation the quantized batch path makes. The +4 pad keeps the
+      // vector walk's dword gather of the last code byte inside the
+      // buffer (it masks the extra bytes off; they are never used).
+      std::vector<std::uint8_t> codes(kTile * n_features_ + 4);
+      for (std::size_t lo = row_begin; lo < row_end; lo += kTile) {
+        predict_tile_quantized(x, lo, std::min(row_end, lo + kTile), out,
+                               codes.data());
+      }
+      return;
+    }
     for (std::size_t lo = row_begin; lo < row_end; lo += kTile) {
       predict_tile(x, lo, std::min(row_end, lo + kTile), out);
     }
@@ -287,11 +686,51 @@ Matrix CompiledEnsemble::predict(const Matrix& x, ThreadPool* pool) const {
   return out;
 }
 
+// lint:allow-next-line contract-coverage -- delegate; the scratch overload owns the contracts
 void CompiledEnsemble::predict_row(std::span<const double> x,
                                    std::span<double> out) const {
+  // One scratch per thread: steady-state single-row serving allocates
+  // nothing (the bench asserts this).
+  thread_local RowScratch scratch;
+  predict_row(x, out, scratch);
+}
+
+void CompiledEnsemble::predict_row(std::span<const double> x,
+                                   std::span<double> out,
+                                   RowScratch& scratch) const {
   MPHPC_EXPECTS(compiled());
   MPHPC_EXPECTS(out.size() == n_outputs_);
   MPHPC_EXPECTS(x.size() == n_features_);
+  if (quantized_) {
+    if (scratch.codes.size() < n_features_) scratch.codes.resize(n_features_);
+    std::uint8_t* codes = scratch.codes.data();
+    bin_row(x.data(), codes);
+    if (kind_ == Kind::kGbt) {
+      for (std::size_t k = 0; k < n_outputs_; ++k) {
+        double acc = base_[k];
+        const auto t_begin = static_cast<std::size_t>(output_begin_[k]);
+        const auto t_end = static_cast<std::size_t>(output_begin_[k + 1]);
+        for (std::size_t t = t_begin; t < t_end; ++t) {
+          const std::int32_t leaf = qwalk(roots_[t], depth_[t], codes);
+          acc += q_payload_[static_cast<std::size_t>(leaf)];
+        }
+        out[k] = acc;
+      }
+      return;
+    }
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+      const std::int32_t leaf = qwalk(roots_[t], depth_[t], codes);
+      const double* v =
+          values_.data() +
+          static_cast<std::size_t>(q_payload_[static_cast<std::size_t>(leaf)]);
+      for (std::size_t k = 0; k < value_width_; ++k) out[k] += v[k];
+    }
+    if (kind_ == Kind::kForestMean) {
+      for (double& v : out) v /= n_trees_;
+    }
+    return;
+  }
   if (kind_ == Kind::kGbt) {
     for (std::size_t k = 0; k < n_outputs_; ++k) {
       double acc = base_[k];

@@ -26,11 +26,40 @@
 // cross-row arithmetic exists — so chunking and tiling cannot change a
 // single result bit.
 //
+// Quantized mode (CompileOptions{.quantize = true}) additionally builds a
+// bin-code pool: every distinct split threshold of each feature becomes an
+// entry in a sorted per-feature cut table, node thresholds shrink to the
+// uint8 index of their cut, and each input row is binned ONCE per tile
+// (uint8 code per feature via lower_bound on the cut table). Because the
+// code of a value v is exactly #{cuts < v}, the walk comparison
+// `code(v) <= cut_index` decides identically to `v <= threshold` — the
+// quantized pool is a lossless re-encoding, not an approximation. The pool
+// itself is relaid out for the walk: each tree's nodes are renumbered in
+// BFS order so an internal node's two children always sit adjacent, and a
+// node packs into ONE word — 32 bits (uint8 feature | uint8 cut index |
+// uint16 tree-local index of the left child; right = left + 1) when the
+// model has at most 255 features, 64 bits with a uint16 feature field
+// otherwise. A walk step is then two loads — the node word and the row's
+// code byte — plus `next = child_base + (code > cut)`, versus five loads
+// (feature, threshold, left, right, row value) in the exact kernel; at 4
+// bytes per hot node instead of 20 a whole boosted ensemble's walk pool
+// sits L1-resident where the exact pool thrashes L2. Leaves
+// store cut = 255 (an impossible internal cut index, since codes reach at
+// most 255 and real cut indices at most 254) with the child base pointing
+// at themselves, so overshooting the walk self-loops exactly like the
+// exact pool. Leaf payloads live in a parallel q_payload_ array in the
+// same BFS order. Models that exceed the code ranges (> 255 distinct cuts
+// on one feature, > 65535 nodes in one tree, > 65535 features) silently
+// keep only the exact pool; quantized() reports availability and
+// quantize_note() the reason.
+//
 // Compile once at train/load time (CrossArchPredictor does); compilation
 // is cheap (one pass over the nodes) and the compiled form is immutable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "ml/matrix.hpp"
@@ -41,28 +70,61 @@ class DecisionTree;
 class GbtRegressor;
 class RandomForest;
 
+/// Compile-time knobs for CompiledEnsemble. `quantize` asks for the uint8
+/// bin-code pool on top of the exact pool; when the model fits the code
+/// ranges the quantized pool serves every predict call (losslessly).
+struct CompileOptions {
+  bool quantize = false;
+};
+
 class CompiledEnsemble {
  public:
+  /// Reusable per-caller state for single-row prediction: holds the row's
+  /// bin codes so hot serving paths never allocate per request. A
+  /// default-constructed scratch is valid for any engine; it grows to the
+  /// engine's feature count on first use and is then allocation-free.
+  struct RowScratch {
+    std::vector<std::uint8_t> codes;
+  };
+
   /// Default-constructed engines are empty (compiled() == false).
   CompiledEnsemble() = default;
 
   /// Flattens a fitted model. The model can be dropped afterwards for
   /// inference-only serving; keep it for serialization or importances.
-  [[nodiscard]] static CompiledEnsemble compile(const GbtRegressor& model);
-  [[nodiscard]] static CompiledEnsemble compile(const RandomForest& model);
-  [[nodiscard]] static CompiledEnsemble compile(const DecisionTree& model);
+  [[nodiscard]] static CompiledEnsemble compile(const GbtRegressor& model,
+                                               CompileOptions options = {});
+  [[nodiscard]] static CompiledEnsemble compile(const RandomForest& model,
+                                               CompileOptions options = {});
+  [[nodiscard]] static CompiledEnsemble compile(const DecisionTree& model,
+                                               CompileOptions options = {});
 
   [[nodiscard]] bool compiled() const noexcept { return !roots_.empty(); }
   [[nodiscard]] std::size_t n_features() const noexcept { return n_features_; }
   [[nodiscard]] std::size_t n_outputs() const noexcept { return n_outputs_; }
   [[nodiscard]] std::size_t n_nodes() const noexcept { return feature_.size(); }
 
+  /// True when the quantized pool was requested AND the model fit the
+  /// uint8/uint16 code ranges; predict paths then use bin codes.
+  [[nodiscard]] bool quantized() const noexcept { return quantized_; }
+  /// Human-readable reason when quantization was requested but skipped
+  /// (empty when quantized() or never requested).
+  [[nodiscard]] const std::string& quantize_note() const noexcept {
+    return quantize_note_;
+  }
+
   /// Batched prediction, bit-identical to the source model's predict().
   /// `pool` distributes row chunks; results do not depend on it.
   [[nodiscard]] Matrix predict(const Matrix& x, ThreadPool* pool = nullptr) const;
 
-  /// Single-row prediction into `out` (size n_outputs()).
+  /// Single-row prediction into `out` (size n_outputs()). Uses a
+  /// thread-local scratch; see the overload below for caller-owned state.
   void predict_row(std::span<const double> x, std::span<double> out) const;
+
+  /// Single-row prediction with caller-owned scratch: allocation-free
+  /// after the scratch's first use with this engine's feature count.
+  void predict_row(std::span<const double> x, std::span<double> out,
+                   RowScratch& scratch) const;
 
  private:
   enum class Kind : std::uint8_t { kGbt = 0, kForestMean = 1, kSingleTree = 2 };
@@ -73,6 +135,43 @@ class CompiledEnsemble {
 
   void predict_tile(const Matrix& x, std::size_t lo, std::size_t hi,
                     Matrix& out) const;
+  /// Quantized tile kernel: `codes` is caller scratch of at least
+  /// (hi - lo) * n_features_ bytes, overwritten with the tile's bin codes.
+  void predict_tile_quantized(const Matrix& x, std::size_t lo, std::size_t hi,
+                              Matrix& out, std::uint8_t* codes) const;
+  /// The walk half of the quantized tile kernel, generic over the packed
+  /// node width (`pool` is q_node32_ or q_node64_); `codes` already binned.
+  template <typename Word>
+  void walk_tile_quantized(const Word* pool, std::size_t lo, std::size_t hi,
+                           Matrix& out, const std::uint8_t* codes) const;
+
+  /// Derives the per-feature cut tables and the uint8/uint16 pool from the
+  /// already-built exact pool; on range overflow leaves the engine exact
+  /// and records the reason. Called by compile() when options.quantize.
+  void build_quantized_pool();
+
+  /// Bin-codes one row: codes[f] = #{cuts of feature f < x[f]}, so
+  /// `codes[f] <= cut_index` decides exactly like `x[f] <= threshold_`.
+  /// The search is a branchless binary chop (the advance is a masked add,
+  /// not a data-dependent jump): std::lower_bound mispredicts ~50% per
+  /// probe on real feature values, which costs as much as the tree walks
+  /// it feeds.
+  void bin_row(const double* xr, std::uint8_t* codes) const noexcept {
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const double* start = cuts_.data() + cut_begin_[f];
+      const double* base = start;
+      const double v = xr[f];
+      std::size_t n = cut_begin_[f + 1] - cut_begin_[f];
+      while (n > 1) {
+        const std::size_t half = n / 2;
+        base += half & (0 - static_cast<std::size_t>(base[half - 1] < v));
+        n -= half;
+      }
+      const std::size_t below = n == 1 && base[0] < v ? 1 : 0;
+      codes[f] = static_cast<std::uint8_t>(
+          static_cast<std::size_t>(base - start) + below);
+    }
+  }
 
   /// Walks one tree for one row: exactly `steps` branch-free iterations
   /// (leaves self-loop, so overshooting is a no-op); returns the leaf.
@@ -88,6 +187,43 @@ class CompiledEnsemble {
       node = (left_[i] & take_left) | (right_[i] & ~take_left);
     }
     return node;
+  }
+
+  /// One step of the quantized walk: `w` is a packed node word, `qr` the
+  /// row's bin codes. Decodes to `left_child + (code > cut)` — branch-free
+  /// (flag materialized by setcc, no data-dependent jump), and a leaf's
+  /// cut of 255 makes the predicate false so the self-loop holds.
+  [[nodiscard]] static std::uint32_t qstep(std::uint32_t w,
+                                           const std::uint8_t* qr) noexcept {
+    const std::uint8_t code = qr[w & 0xFFU];
+    const std::uint8_t cut = static_cast<std::uint8_t>(w >> 8);
+    return (w >> 16) + static_cast<std::uint32_t>(code > cut);
+  }
+  [[nodiscard]] static std::uint32_t qstep(std::uint64_t w,
+                                           const std::uint8_t* qr) noexcept {
+    const std::uint8_t code = qr[w & 0xFFFFU];
+    const std::uint8_t cut = static_cast<std::uint8_t>(w >> 16);
+    return static_cast<std::uint32_t>(w >> 32) +
+           static_cast<std::uint32_t>(code > cut);
+  }
+
+  /// Quantized walk over one tree's packed nodes for a pre-binned row;
+  /// `origin` is the tree's pool offset (node words hold tree-local child
+  /// indices so they fit uint16). Returns the leaf's GLOBAL pool index
+  /// into q_payload_ (the quantized pool has its own BFS node order).
+  [[nodiscard]] std::int32_t qwalk(std::int32_t origin, std::int32_t steps,
+                                   const std::uint8_t* qr) const noexcept {
+    std::uint32_t local = 0;
+    if (!q_node32_.empty()) {
+      const std::uint32_t* qn =
+          q_node32_.data() + static_cast<std::size_t>(origin);
+      for (std::int32_t s = 0; s < steps; ++s) local = qstep(qn[local], qr);
+    } else {
+      const std::uint64_t* qn =
+          q_node64_.data() + static_cast<std::size_t>(origin);
+      for (std::int32_t s = 0; s < steps; ++s) local = qstep(qn[local], qr);
+    }
+    return origin + static_cast<std::int32_t>(local);
   }
 
   Kind kind_ = Kind::kGbt;
@@ -112,6 +248,28 @@ class CompiledEnsemble {
   std::size_t n_features_ = 0;
   std::size_t n_outputs_ = 0;
   double n_trees_ = 1.0;  ///< kForestMean: mean divisor (reference divides)
+
+  // Quantized pool (built only when CompileOptions::quantize and the model
+  // fits the code ranges). Trees keep their roots_ offsets but renumber
+  // nodes internally in BFS order with sibling children adjacent; each
+  // node packs into one word. Models with <= 255 features use q_node32_ —
+  // bits [0,8) feature, [8,16) cut index (255 marks a leaf), [16,32)
+  // TREE-LOCAL index of the left child (right child = left + 1; a leaf
+  // points at itself) — wider models use q_node64_ with the same shape at
+  // uint16 field widths (feature [0,16), cut [16,24), child [32,48)).
+  // Exactly one of the two is non-empty when quantized_. q_payload_
+  // mirrors the exact threshold_ payload in the BFS order: the scalar
+  // leaf weight for GBT, the values_ offset for forest/tree, 0 for
+  // internal nodes. Per-feature sorted distinct cut values live flat in
+  // cuts_ with cut_begin_ offsets (size n_features_ + 1), exactly the
+  // FeatureBins layout from hist training.
+  bool quantized_ = false;
+  std::string quantize_note_;
+  std::vector<double> cuts_;
+  std::vector<std::uint32_t> cut_begin_;
+  std::vector<std::uint32_t> q_node32_;
+  std::vector<std::uint64_t> q_node64_;
+  std::vector<double> q_payload_;
 };
 
 }  // namespace mphpc::ml

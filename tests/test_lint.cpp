@@ -250,8 +250,35 @@ TEST_F(LintTest, ListRulesEnumeratesAll) {
       "pragma-once",             "no-float",
       "function-size",           "ref-capture-in-parallel",
       "lock-held-blocking-call", "contract-coverage",
-      "raw-artifact-write",      "unordered-accumulation"};
+      "raw-artifact-write",      "unordered-accumulation",
+      "quantized-compare"};
   EXPECT_EQ(rules, expected);
+}
+
+TEST_F(LintTest, QuantizedCompareFlagsDoubleAgainstBinCode) {
+  write("src/qc_bad.cpp",
+        "#include <cstdint>\n"
+        "#include <vector>\n"
+        "bool bad(const std::vector<std::uint8_t>& codes, double threshold) {\n"
+        "  return codes[0] <= threshold;\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.count("[quantized-compare]"), 1) << r.output;
+}
+
+TEST_F(LintTest, QuantizedCompareAcceptsExplicitCastSite) {
+  write("src/qc_ok.cpp",
+        "#include <cstdint>\n"
+        "#include <vector>\n"
+        "bool ok(const std::vector<std::uint8_t>& codes, double threshold) {\n"
+        "  return static_cast<double>(codes[0]) <= threshold;\n"
+        "}\n"
+        "bool same_type(std::uint8_t code, std::uint8_t cut) {\n"
+        "  return code <= cut;  // uint8-vs-uint8 is the intended fast path\n"
+        "}\n");
+  const LintResult r = run_lint(root_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST_F(LintTest, ReportFlagDuplicatesFindingsToFile) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -1013,6 +1014,193 @@ TEST(CompiledParity, DeterministicAcrossThreadCounts) {
     ThreadPool pool(threads);
     expect_matrices_identical(compiled.predict(p.x, &pool), reference);
   }
+}
+
+// ---------------------------------------------- quantized bin-code parity ----
+//
+// The quantized engine gates on two properties (the exact engine keeps its
+// bit-identity gate above): quantized-vs-exact RMSE within 1% of the
+// prediction scale on arbitrary rows, and bit-identity on rows whose
+// feature values sit exactly on (or adjacent to) the fitted cut values.
+// The current cut-table scheme is lossless, so it passes both trivially;
+// the tests assert only the contract so a future lossy quantizer (e.g.
+// coarser re-binning) still has a green gate to hit.
+
+/// RMS magnitude of a prediction matrix, the scale for the 1% RMSE gate.
+double rms_scale(const Matrix& m) {
+  return root_mean_squared_error(m, Matrix(m.rows(), m.cols()));
+}
+
+void expect_rmse_parity(const Matrix& exact, const Matrix& quantized) {
+  ASSERT_EQ(exact.rows(), quantized.rows());
+  ASSERT_EQ(exact.cols(), quantized.cols());
+  EXPECT_LE(root_mean_squared_error(exact, quantized),
+            0.01 * rms_scale(exact) + 1e-12);
+}
+
+TEST(QuantizedParity, GbtHistQuantizedEngineServes) {
+  const Problem p = make_problem(300, 0.3, 60);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+  ASSERT_TRUE(quantized.quantized());
+  EXPECT_TRUE(quantized.quantize_note().empty());
+  const auto exact = CompiledEnsemble::compile(model);
+  EXPECT_FALSE(exact.quantized());
+  const Problem held = make_problem(200, 0.3, 61);
+  expect_rmse_parity(exact.predict(held.x), quantized.predict(held.x));
+  expect_row_parity(quantized, held.x, quantized.predict(held.x));
+}
+
+TEST(QuantizedParity, FuzzRandomEnsemblesRandomRows) {
+  // Random ensembles x random rows (deliberately outside the training
+  // range): the RMSE-parity gate must hold for every shape.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    GbtOptions options = small_gbt();
+    options.n_rounds = 8 + static_cast<int>(seed) * 11;
+    options.max_depth = 2 + static_cast<int>(seed % 4);
+    options.tree_method =
+        seed % 2 == 0 ? GbtTreeMethod::kHist : GbtTreeMethod::kExact;
+    const Problem p = make_problem(250, 0.4, 62 + seed);
+    GbtRegressor model(options);
+    model.fit(p.x, p.y);
+    Rng rng(100 + seed);
+    Matrix rows(150, 3);
+    for (double& v : rows.flat()) v = -0.5 + 2.0 * rng.uniform();
+    const auto exact = CompiledEnsemble::compile(model);
+    const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+    if (options.tree_method == GbtTreeMethod::kHist) {
+      // Hist training draws every threshold from <= max_bins bin edges,
+      // so the quantized pool must always be available. Exact training
+      // mints fresh midpoints every round and may legitimately overflow
+      // the uint8 cut range — then the exact pool serves and the parity
+      // check below still must hold.
+      ASSERT_TRUE(quantized.quantized()) << quantized.quantize_note();
+    }
+    expect_rmse_parity(exact.predict(rows), quantized.predict(rows));
+  }
+}
+
+TEST(QuantizedParity, BinRepresentativeRowsBitIdentical) {
+  // Rows whose feature values are the fitted thresholds themselves (and
+  // their immediate double neighbours — the hardest boundary cases) must
+  // predict bit-identically to the exact engine.
+  const Problem p = make_problem(300, 0.3, 64);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  std::vector<double> base(p.x.row(0).begin(), p.x.row(0).end());
+  std::vector<double> flat;
+  for (std::size_t k = 0; k < model.n_outputs(); ++k) {
+    for (const GbtTree& tree : model.ensemble(k)) {
+      for (const GbtNode& node : tree.nodes) {
+        if (node.is_leaf()) continue;
+        for (const double v :
+             {node.threshold,
+              std::nextafter(node.threshold, -std::numeric_limits<double>::infinity()),
+              std::nextafter(node.threshold, std::numeric_limits<double>::infinity())}) {
+          std::vector<double> row = base;
+          row[static_cast<std::size_t>(node.feature)] = v;
+          flat.insert(flat.end(), row.begin(), row.end());
+        }
+      }
+    }
+  }
+  const std::size_t n_rows = flat.size() / 3;
+  const Matrix rows(n_rows, 3, std::move(flat));
+  const auto exact = CompiledEnsemble::compile(model);
+  const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+  ASSERT_TRUE(quantized.quantized());
+  expect_matrices_identical(exact.predict(rows), quantized.predict(rows));
+}
+
+TEST(QuantizedParity, DeterministicAcrossThreadCounts) {
+  const Problem p = make_problem(700, 0.3, 65);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+  ASSERT_TRUE(quantized.quantized());
+  const Matrix reference = quantized.predict(p.x, nullptr);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    expect_matrices_identical(quantized.predict(p.x, &pool), reference);
+  }
+}
+
+TEST(QuantizedParity, SerializedModelRecompilesQuantizedIdentically) {
+  const Problem p = make_problem(300, 0.3, 66);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const GbtRegressor restored = GbtRegressor::deserialize(model.serialize());
+  const auto a = CompiledEnsemble::compile(model, {.quantize = true});
+  const auto b = CompiledEnsemble::compile(restored, {.quantize = true});
+  ASSERT_TRUE(a.quantized());
+  ASSERT_TRUE(b.quantized());
+  expect_matrices_identical(a.predict(p.x), b.predict(p.x));
+}
+
+TEST(QuantizedParity, RowScratchReuseMatchesBatch) {
+  const Problem p = make_problem(200, 0.3, 67);
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(p.x, p.y);
+  const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+  ASSERT_TRUE(quantized.quantized());
+  const Matrix batch = quantized.predict(p.x);
+  CompiledEnsemble::RowScratch scratch;  // reused across every row
+  std::vector<double> out(quantized.n_outputs());
+  for (std::size_t r = 0; r < p.x.rows(); ++r) {
+    quantized.predict_row(p.x.row(r), out, scratch);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      EXPECT_EQ(out[k], batch(r, k)) << "row " << r << " output " << k;
+    }
+  }
+}
+
+TEST(QuantizedParity, DegenerateModels) {
+  // Stump: a single split.
+  const Problem p = make_problem(200, 0.3, 68);
+  TreeOptions stump_options;
+  stump_options.max_depth = 1;
+  DecisionTree stump(stump_options);
+  stump.fit(p.x, p.y);
+  const auto qstump = CompiledEnsemble::compile(stump, {.quantize = true});
+  ASSERT_TRUE(qstump.quantized());
+  expect_matrices_identical(qstump.predict(p.x), stump.predict(p.x));
+
+  // Single leaf: a constant target collapses every tree (walk length 0).
+  Matrix constant_y(p.y.rows(), p.y.cols());
+  for (double& v : constant_y.flat()) v = 2.75;
+  GbtRegressor leaf_gbt(small_gbt());
+  leaf_gbt.fit(p.x, constant_y);
+  const auto qleaf = CompiledEnsemble::compile(leaf_gbt, {.quantize = true});
+  ASSERT_TRUE(qleaf.quantized());
+  expect_matrices_identical(qleaf.predict(p.x), leaf_gbt.predict(p.x));
+
+  // Constant feature: no splits ever touch it, so its cut table is empty.
+  Matrix x = p.x;
+  for (std::size_t r = 0; r < x.rows(); ++r) x(r, 2) = 1.5;
+  GbtRegressor model(gbt_with(GbtTreeMethod::kHist));
+  model.fit(x, p.y);
+  const auto quantized = CompiledEnsemble::compile(model, {.quantize = true});
+  ASSERT_TRUE(quantized.quantized());
+  expect_matrices_identical(quantized.predict(x), model.predict(x));
+}
+
+TEST(QuantizedParity, WideModelFallsBackToExact) {
+  // Exact-greedy boosting mints fresh midpoint thresholds every round (the
+  // residuals move, so the chosen splits move): enough rounds on enough
+  // rows exceed 255 distinct cuts on a feature. The engine must keep
+  // serving bit-identically (via the exact pool) and say why it skipped
+  // quantization.
+  const Problem p = make_problem(400, 0.4, 69);
+  GbtOptions options = gbt_with(GbtTreeMethod::kExact);
+  options.n_rounds = 80;
+  options.max_depth = 6;
+  GbtRegressor model(options);
+  model.fit(p.x, p.y);
+  const auto compiled = CompiledEnsemble::compile(model, {.quantize = true});
+  EXPECT_FALSE(compiled.quantized());
+  EXPECT_FALSE(compiled.quantize_note().empty());
+  expect_matrices_identical(compiled.predict(p.x), model.predict(p.x));
 }
 
 // Parameterized noise sweep: learned models should always beat the mean

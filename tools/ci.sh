@@ -56,12 +56,29 @@ echo "==== [dev] GBT fit smoke (exact + hist) ===="
   --benchmark_min_time=0.01
 
 # Compiled-inference smoke: the batched engine must run the predict micro
-# benchmarks end-to-end for every tree model plus the scheduler-assign
-# memoization micro (tracked timings live in results/BENCH_predict.json).
-echo "==== [dev] compiled predict smoke (gbt + forest + assign) ===="
+# benchmarks end-to-end for every tree model in BOTH modes (exact and
+# quantized) plus the scheduler-assign memoization micro (tracked timings
+# live in results/BENCH_predict.json), and the quantized GBT kernel must
+# hold a >= 1.5x speedup over the exact compiled one — a deliberately
+# loose floor (the tracked bar is 2x on the bench build) so dev-build
+# noise cannot flake the lane, while a perf regression that defeats the
+# point of quantization still fails it.
+echo "==== [dev] compiled predict smoke (gbt + forest, exact + quantized) ===="
 ./build-dev/bench/bench_perf_micro \
-  --benchmark_filter='BM_(Gbt|Forest)Predict(Ref|Compiled)/4096$|BM_AssignModelBased' \
-  --benchmark_min_time=0.01
+  --benchmark_filter='BM_(Gbt|Forest)Predict(Ref|Compiled|Quantized)/4096$|BM_AssignModelBased' \
+  --benchmark_min_time=0.1 \
+  --benchmark_out=build-dev/predict_smoke.json --benchmark_out_format=json
+python3 - <<'EOF'
+import json
+runs = {b["name"]: b["cpu_time"]
+        for b in json.load(open("build-dev/predict_smoke.json"))["benchmarks"]}
+exact = runs["BM_GbtPredictCompiled/4096"]
+quant = runs["BM_GbtPredictQuantized/4096"]
+ratio = exact / quant
+assert ratio >= 1.5, \
+    f"quantized GBT predict only {ratio:.2f}x faster than exact (want >= 1.5x)"
+print(f"predict smoke: ok (quantized GBT {ratio:.2f}x faster than exact)")
+EOF
 
 # Fault-injection smoke: the sched-faults subcommand must complete a small
 # degraded-mode strategy comparison end-to-end and emit parseable JSON in
@@ -220,6 +237,70 @@ assert header[0] == "mphpc-serve-model" and int(header[2]) >= 1, \
 print(f"serve smoke: ok ({ops}, store generation {header[2]})")
 EOF
 
+# Quantized serve smoke: a --quantize daemon must answer the exact same
+# session script as an exact-engine daemon over the same model with
+# matching predictions — the quantized engine is a lossless re-encoding,
+# so the tolerance only covers the JSON float round-trip — and its stats
+# must confirm the quantized engine is actually serving (the model is
+# hist-trained, which bounds per-feature thresholds so it quantizes).
+# Refit is pushed out of reach so every reply comes from generation 0
+# and the two runs are comparable line by line.
+echo "==== [dev] quantized serve smoke (--quantize reply parity) ===="
+rm -rf build-dev/serve_smoke_q
+mkdir -p build-dev/serve_smoke_q
+./build-dev/tools/mphpc train --inputs 2 --rounds 30 --depth 3 \
+  --tree-method hist --out build-dev/serve_smoke_q/model.txt
+for mode in exact quant; do
+  extra=()
+  if [[ "${mode}" == "quant" ]]; then extra=(--quantize); fi
+  mkfifo "build-dev/serve_smoke_q/${mode}.fifo"
+  ./build-dev/tools/mphpc serve \
+    --state-dir "build-dev/serve_smoke_q/state_${mode}" \
+    --model build-dev/serve_smoke_q/model.txt \
+    --refit-every 1000000 --min-refit-rows 1000000 "${extra[@]}" \
+    < "build-dev/serve_smoke_q/${mode}.fifo" \
+    > "build-dev/serve_smoke_q/${mode}.jsonl" \
+    2> "build-dev/serve_smoke_q/${mode}.log" &
+  quant_pid=$!
+  exec 3> "build-dev/serve_smoke_q/${mode}.fifo"
+  cat build-dev/serve_smoke/session.jsonl >&3
+  echo '{"op":"stats","id":"qstats"}' >&3
+  # EOF on stdin is the stdio-mode shutdown request: drain, exit 0.
+  exec 3>&-
+  quant_rc=0
+  wait "${quant_pid}" || quant_rc=$?
+  if [[ "${quant_rc}" -ne 0 ]]; then
+    echo "serve (${mode} engine) exited ${quant_rc} on EOF (want 0)" >&2
+    cat "build-dev/serve_smoke_q/${mode}.log" >&2
+    exit 1
+  fi
+done
+python3 - <<'EOF'
+import json
+
+def replies(path):
+    return [json.loads(l) for l in open(path)]
+
+exact = replies("build-dev/serve_smoke_q/exact.jsonl")
+quant = replies("build-dev/serve_smoke_q/quant.jsonl")
+stats = next(r for r in quant if r.get("op") == "stats")
+assert stats["quantized"], "--quantize daemon is not serving quantized"
+assert not next(r for r in exact if r.get("op") == "stats")["quantized"]
+ep = {r["id"]: r for r in exact if r.get("op") == "predict"}
+qp = {r["id"]: r for r in quant if r.get("op") == "predict"}
+assert ep and ep.keys() == qp.keys(), "predict reply sets differ"
+for rid, er in ep.items():
+    qr = qp[rid]
+    assert er["fastest"] == qr["fastest"], \
+        f"{rid}: exact fastest {er['fastest']} vs quantized {qr['fastest']}"
+    assert len(er["rpv"]) == len(qr["rpv"]) and all(
+        abs(a - b) <= 1e-9 * max(abs(a), abs(b), 1.0)
+        for a, b in zip(er["rpv"], qr["rpv"])
+    ), f"{rid}.rpv: exact {er['rpv']} vs quantized {qr['rpv']}"
+print(f"quantized serve smoke: ok ({len(ep)} predictions match, "
+      f"quantized engine confirmed serving)")
+EOF
+
 # Supervised-fleet smoke: three workers share one inherited listening
 # socket. kill -9 one worker mid-load — clients must finish with zero
 # errors (in-flight connections may reset; the client reconnects and
@@ -311,9 +392,12 @@ EOF
 if [[ "${fast}" -eq 0 ]]; then
   run_lane asan
   # The compiled engine indexes one flat node pool with hand-built
-  # offsets; assert the exact-parity tests ran under ASan/UBSan
-  # (--no-tests=error fails the lane if they vanish).
-  ctest --preset asan -R 'CompiledParity' --no-tests=error --output-on-failure
+  # offsets, and the quantized engine adds packed-word pools, cut tables
+  # and the gather-based vector walk on top; assert the exact- and
+  # quantized-parity tests ran under ASan/UBSan (--no-tests=error fails
+  # the lane if they vanish).
+  ctest --preset asan -R 'CompiledParity|QuantizedParity' --no-tests=error \
+    --output-on-failure
   if [[ "${with_tsan}" -eq 1 ]]; then
     # The full suite already ran under TSan above; this re-run asserts the
     # fault/determinism/checkpoint/serve/supervisor tests (the ones most

@@ -2,9 +2,10 @@
 //
 //   mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]
 //   mphpc train    [--inputs N] [--out MODEL] [--rounds N] [--depth N] [--bins B]
-//                  [--tree-method exact|hist] [--checkpoint-every K] [--resume]
+//                  [--tree-method exact|hist] [--quantize]
+//                  [--checkpoint-every K] [--resume]
 //                  (checkpointed runs default --campaign-dir to MODEL.campaign)
-//   mphpc evaluate [--inputs N] [--model MODEL]
+//   mphpc evaluate [--inputs N] [--model MODEL] [--quantize]
 //   mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]
 //                  [--model MODEL]
 //   mphpc schedule [--jobs N] [--inputs N] [--strategy all|rr|random|user|model|oracle]
@@ -16,7 +17,7 @@
 //   mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]
 //                  [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]
 //                  [--max-attempts K] [--seed S] [--out FILE.json]
-//   mphpc serve    --state-dir DIR [--model MODEL] [--socket PATH]
+//   mphpc serve    --state-dir DIR [--model MODEL] [--quantize] [--socket PATH]
 //                  [--refit-every K] [--drift-window N] [--trip-mae X]
 //                  [--recover-mae X] [--queue-cap N] [--batch-max N]
 //                  [--deadline-ms MS] [--threads N]
@@ -133,6 +134,9 @@ core::CrossArchPredictor::Options predictor_options(const Args& args) {
     throw std::runtime_error("unknown --tree-method '" + method +
                              "' (exact|hist)");
   }
+  // Serving-side knob: the model text is identical either way, only the
+  // compiled inference engine changes (losslessly; see CompileOptions).
+  options.quantize = args.has("quantize");
   return options;
 }
 
@@ -211,7 +215,8 @@ int cmd_evaluate(const Args& args) {
 
   core::EvalMetrics metrics;
   if (args.has("model")) {
-    const auto predictor = core::CrossArchPredictor::load(args.get("model", ""));
+    auto predictor = core::CrossArchPredictor::load(args.get("model", ""));
+    predictor.set_quantized(args.has("quantize"));
     metrics = core::evaluate(y_test, predictor.predict(x_test));
   } else {
     const auto options = predictor_options(args);
@@ -764,6 +769,7 @@ int cmd_serve(const Args& args) {
   }
   std::filesystem::create_directories(core_options.state_dir);
   core_options.model_path = args.get("model", "");
+  core_options.quantize = args.has("quantize");
   core_options.drift.window = static_cast<std::size_t>(args.get_int(
       "drift-window", static_cast<int>(core_options.drift.window)));
   core_options.drift.trip_mae =
@@ -860,11 +866,12 @@ void usage() {
       "mphpc — cross-architecture performance prediction toolkit\n\n"
       "  mphpc dataset  [--inputs N] [--campaign-dir DIR] [--out FILE.csv]\n"
       "  mphpc train    [--inputs N] [--rounds N] [--depth N] [--bins B]\n"
-      "                 [--tree-method exact|hist] [--checkpoint-every K]\n"
-      "                 [--resume] [--out MODEL]\n"
+      "                 [--tree-method exact|hist] [--quantize]\n"
+      "                 [--checkpoint-every K] [--resume] [--out MODEL]\n"
       "                 (checkpointed runs cache the campaign in MODEL.campaign\n"
       "                  unless --campaign-dir is given)\n"
       "  mphpc evaluate [--inputs N] [--model MODEL] [--tree-method exact|hist]\n"
+      "                 [--quantize]\n"
       "  mphpc predict  --app NAME [--system SYS] [--scale 1core|1node|2node]\n"
       "                 [--model MODEL]\n"
       "  mphpc schedule [--jobs N] [--strategy all|rr|random|user|model|oracle]\n"
@@ -876,7 +883,8 @@ void usage() {
       "  mphpc sched-scale [--jobs N] [--depth D] [--arrival-rate R]\n"
       "                 [--node-mtbf-h H] [--mttr-h H] [--kill-prob P]\n"
       "                 [--max-attempts K] [--seed S] [--out FILE.json]\n"
-      "  mphpc serve    --state-dir DIR [--model MODEL] [--socket PATH]\n"
+      "  mphpc serve    --state-dir DIR [--model MODEL] [--quantize]\n"
+      "                 [--socket PATH]\n"
       "                 [--workers N] [--restart-max K] [--restart-base-delay-s S]\n"
       "                 [--restart-max-delay-s S] [--heartbeat-timeout-s S]\n"
       "                 [--store-poll-s S] [--refit-every K] [--refit-rounds R]\n"

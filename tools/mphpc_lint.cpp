@@ -47,6 +47,14 @@
 //                       inside a parallel_chunks/parallel_for body — the
 //                       summation order depends on the thread count even
 //                       when the write itself is lock-protected
+//   quantized-compare   an ordering comparison mixing a declared double
+//                       with a declared uint8_t and no cast at the site —
+//                       uint8_t here means quantized bin codes (ordinal
+//                       cut indices, see ml/compiled_ensemble.hpp), and
+//                       comparing one against a raw feature double
+//                       silently promotes the code to its index *value*:
+//                       a unit error. static_cast at the site states the
+//                       intent and satisfies the rule
 //
 // Suppressions (all three forms take a comma/space separated rule list):
 //   // lint:allow rule1,rule2            suppress on that source line
@@ -105,7 +113,8 @@ constexpr const char* kAllRules[] = {
     "pragma-once",          "no-float",
     "function-size",        "ref-capture-in-parallel",
     "lock-held-blocking-call", "contract-coverage",
-    "raw-artifact-write",   "unordered-accumulation"};
+    "raw-artifact-write",   "unordered-accumulation",
+    "quantized-compare"};
 
 bool is_known_rule(std::string_view r) {
   for (const char* rule : kAllRules) {
@@ -1314,6 +1323,81 @@ void rule_unordered_accumulation(const FileContext& ctx,
   }
 }
 
+/// True when `name` is declared with a `uint8_t` type in this file —
+/// plain, pointer/reference, or as a container element, as in
+/// `std::vector<std::uint8_t> codes` (the '>' of the template argument
+/// list sits between the type and the name).
+bool declared_uint8(const FileContext& ctx, const std::string& name) {
+  const std::vector<Token>& t = ctx.toks;
+  for (std::size_t j = 0; j + 1 < t.size(); ++j) {
+    if (t[j].kind != TokKind::kIdent || t[j].text != "uint8_t") continue;
+    std::size_t k = j + 1;
+    while (k < t.size() && t[k].kind == TokKind::kPunct &&
+           (t[k].text == "&" || t[k].text == "*" || t[k].text == ">")) {
+      ++k;
+    }
+    if (k < t.size() && t[k].kind == TokKind::kIdent && t[k].text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// quantized-compare: ordering comparisons whose operands mix a declared
+/// double with a declared uint8_t. Bin codes are ordinal cut indices —
+/// `codes[f] <= threshold` quietly promotes the code to its index value
+/// and compares apples to metres. An explicit static_cast near the site
+/// is the sanctioned spelling when the mix really is intended.
+void rule_quantized_compare(const FileContext& ctx, std::vector<Finding>& out) {
+  if (!ctx.in_src) return;
+  const std::vector<Token>& t = ctx.toks;
+  // Terminal identifier of the operand left of token k: walks backwards
+  // over one balanced []-subscript (`codes[f] <= x` names `codes`).
+  const auto left_operand = [&t](std::size_t k) -> std::string {
+    if (t[k].kind == TokKind::kPunct && t[k].text == "]") {
+      int depth = 0;
+      while (k > 0) {
+        if (t[k].kind == TokKind::kPunct && t[k].text == "]") ++depth;
+        if (t[k].kind == TokKind::kPunct && t[k].text == "[") {
+          if (--depth == 0) {
+            --k;
+            break;
+          }
+        }
+        --k;
+      }
+    }
+    return t[k].kind == TokKind::kIdent ? t[k].text : std::string();
+  };
+  for (std::size_t j = 1; j + 1 < t.size(); ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    const std::string& op = t[j].text;
+    if (op != "<" && op != "<=" && op != ">" && op != ">=") continue;
+    const std::string lhs = left_operand(j - 1);
+    const std::string rhs =
+        t[j + 1].kind == TokKind::kIdent ? t[j + 1].text : std::string();
+    if (lhs.empty() || rhs.empty()) continue;
+    const bool mixed =
+        (declared_uint8(ctx, lhs) && declared_double(ctx, rhs)) ||
+        (declared_double(ctx, lhs) && declared_uint8(ctx, rhs));
+    if (!mixed) continue;
+    bool cast_near = false;
+    for (std::size_t k = j >= 8 ? j - 8 : 0; k < std::min(t.size(), j + 8);
+         ++k) {
+      if (t[k].kind == TokKind::kIdent && t[k].text == "static_cast") {
+        cast_near = true;
+        break;
+      }
+    }
+    if (cast_near) continue;
+    report(out, ctx, t[j].line, "quantized-compare",
+           "'" + lhs + " " + op + " " + rhs +
+               "' compares a double against a uint8_t bin code; codes are "
+               "ordinal cut indices, not feature values — static_cast at "
+               "the site if the mix is intended");
+  }
+}
+
 void rule_lock_held_blocking_call(const FileContext& ctx,
                                   const std::vector<FnDef>& defs,
                                   std::vector<Finding>& out) {
@@ -1711,6 +1795,7 @@ std::vector<Finding> analyze_file(const FileContext& ctx, const Options& opts,
   if (en("pragma-once")) rule_pragma_once(ctx, raw);
   if (en("no-float")) rule_no_float(ctx, raw);
   if (en("raw-artifact-write")) rule_raw_artifact_write(ctx, raw);
+  if (en("quantized-compare")) rule_quantized_compare(ctx, raw);
 
   if (en("function-size") || en("lock-held-blocking-call") ||
       en("contract-coverage")) {
